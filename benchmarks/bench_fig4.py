@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 4: HID accuracy vs feature size.
+
+Paper shape to reproduce: >80 % for feature sizes >= 2 on every host,
+a collapse at size 1, and >90 % at the paper's chosen size 4.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.core.experiments import run_fig4
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return run_fig4(seed=42, benign_per_host=150, attack_per_variant=50)
+
+
+def test_fig4_regeneration(benchmark, fig4_result):
+    result = benchmark.pedantic(
+        lambda: fig4_result, rounds=1, iterations=1
+    )
+    publish("fig4", result.format())
+    benchmark.extra_info["accuracy_at_4_features"] = result.accuracy_at(4)
+    benchmark.extra_info["accuracy_at_1_feature"] = result.accuracy_at(1)
+
+    # Paper shape assertions.
+    assert result.accuracy_at(4) > 0.90, "size-4 accuracy must be >90%"
+    assert result.accuracy_at(8) > 0.80
+    assert result.accuracy_at(16) > 0.80
+    assert result.accuracy_at(1) < result.accuracy_at(4), (
+        "one feature must be markedly worse (paper: 'inefficient')"
+    )
+    # every individual host is detectable at the chosen size
+    for host in result.hosts:
+        assert result.accuracies[host][4] > 0.85, host

@@ -1,0 +1,17 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables/figures, prints
+the same rows/series the paper reports, and archives the text under
+``benchmarks/output/`` so results survive pytest's capture.
+"""
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def publish(name, text):
+    """Print a regenerated table/figure and archive it to disk."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Section-IV countermeasures, exercised one by one.
+
+For each defense the same Listing-1 payload is fired at the same host;
+the table shows which stage of CR-Spectre each defense kills and how.
+
+Run:  python examples/countermeasures.py
+"""
+
+from repro.attack import (
+    SpectreConfig,
+    build_spectre,
+    plan_execve_injection,
+)
+from repro.core.reporting import format_table
+from repro.cpu import CpuConfig
+from repro.kernel import System
+from repro.workloads import get_workload
+
+SECRET = b"TheMagicWords!!!"
+
+
+def fire(host_program, plan_kwargs=None, canary_build=0, **system_kwargs):
+    system = System(seed=13, target_data=SECRET, **system_kwargs)
+    attack = build_spectre(
+        "v1", SpectreConfig(secret_length=len(SECRET), repeats=1)
+    )
+    system.install_binary("/bin/host", host_program)
+    system.install_binary("/bin/cr", attack)
+    plan = plan_execve_injection(host_program, "/bin/host", "/bin/cr",
+                                 **(plan_kwargs or {}))
+    process = system.spawn("/bin/host", argv=plan.argv)
+    process.run_to_completion(max_instructions=60_000_000)
+    stolen = bytes(process.stdout) == SECRET
+    outcome = "SECRET STOLEN" if stolen else "blocked"
+    detail = (type(process.fault).__name__ if process.fault
+              else f"exit={process.exit_code}")
+    return outcome, detail
+
+
+def main():
+    workload = get_workload("basicmath")
+    plain_host = workload.build(iterations=40, hosted=True)
+    canary_host = workload.build(iterations=40, canary=0x51CA117E)
+
+    rows = []
+    outcome, detail = fire(plain_host)
+    rows.append(["(none)", outcome, detail])
+
+    outcome, detail = fire(plain_host,
+                           cpu_config=CpuConfig(shadow_stack=True))
+    rows.append(["shadow stack (return-address check)", outcome, detail])
+
+    outcome, detail = fire(plain_host,
+                           cpu_config=CpuConfig(clflush_privileged=True))
+    rows.append(["privileged clflush", outcome, detail])
+
+    outcome, detail = fire(plain_host, aslr=True)
+    rows.append(["ASLR", outcome, detail])
+
+    outcome, detail = fire(plain_host, cpu_config=CpuConfig(
+        invisible_speculation=True))
+    rows.append(["InvisiSpec (invisible spec. loads)", outcome, detail])
+
+    outcome, detail = fire(plain_host, cpu_config=CpuConfig(spec_window=0))
+    rows.append(["context-sensitive fencing (no window)", outcome, detail])
+
+    outcome, detail = fire(canary_host,
+                           plan_kwargs={"assume_canary": True})
+    rows.append(["stack canary (value unknown)", outcome, detail])
+
+    outcome, detail = fire(canary_host,
+                           plan_kwargs={"canary_value": 0x51CA117E})
+    rows.append(["stack canary (value leaked)", outcome, detail])
+
+    print(format_table(
+        ["countermeasure", "outcome", "detail"], rows,
+        title="CR-Spectre vs the paper's Section-IV countermeasures",
+    ))
+    print("\nnotes:")
+    print(" - the shadow stack kills the ROP chain at its first gadget")
+    print(" - privileged clflush faults the covert channel's flush phase")
+    print(" - ASLR invalidates every address baked into the payload")
+    print(" - canaries abort on overflow unless the value was leaked first")
+    print(" - InvisiSpec hides wrong-path fills; fencing removes the window:")
+    print("   both let the ROP injection SUCCEED but starve the covert channel")
+
+
+if __name__ == "__main__":
+    main()

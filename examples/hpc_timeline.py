@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""HPC timelines: what the defender's dashboard sees.
+
+Captures per-window counter series for a benign host, plain injected
+Spectre, and dispersed CR-Spectre, rendering each as ASCII strips.  The
+burst-fraction metric underneath quantifies why dispersion works: the
+same total attack activity, spread over 20x the windows.
+
+Run:  python examples/hpc_timeline.py
+"""
+
+from repro import PerturbParams, Scenario, ScenarioConfig
+from repro.core.timeline import burst_fraction, render_timeline
+
+
+def main():
+    scenario = Scenario(ScenarioConfig(seed=55, measurement_noise=0.0))
+
+    benign = scenario.benign_samples(48, include_extras=False)
+    plain = scenario.attack_samples(48, variant="v1")
+    dispersed = scenario.attack_samples(
+        48, variant="v1",
+        perturb=PerturbParams(delay=2500, calls_per_byte=3),
+    )
+
+    print(render_timeline(benign, title="benign host (basicmath)"))
+    print()
+    print(render_timeline(plain, title="plain injected Spectre v1"))
+    print()
+    print(render_timeline(
+        dispersed,
+        title="CR-Spectre (Algorithm-2 dispersion, style 'cells')",
+    ))
+
+    print("\nburst fraction (share of windows with elevated misses):")
+    for label, samples in (("benign", benign), ("plain spectre", plain),
+                           ("cr-spectre", dispersed)):
+        print(f"  {label:14s} {burst_fraction(samples):.2f}")
+    print("\nthe detector samples fixed windows: once bursts are rare,")
+    print("most windows look like the host — that is the evasion.")
+
+
+if __name__ == "__main__":
+    main()

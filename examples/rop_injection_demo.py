@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""ROP injection walkthrough: gadgets, chain, Listing-1 payload, execve.
+
+Follows the paper's Section II-C step by step, printing each artefact:
+the gadget catalogue found in the host image, the execve chain, the
+overflow payload bytes, and the resulting in-place image swap — plus
+the DEP demonstration of why plain shellcode injection cannot work.
+
+Run:  python examples/rop_injection_demo.py
+"""
+
+from repro.attack import (
+    SpectreConfig,
+    build_spectre,
+    plan_execve_injection,
+    plan_shellcode_injection,
+    scan_program,
+)
+from repro.kernel import System
+from repro.mem.layout import AddressSpaceLayout
+from repro.workloads import get_workload
+
+SECRET = b"TheMagicWords!!!"
+
+
+def hexdump(blob, width=16, limit=160):
+    lines = []
+    for offset in range(0, min(len(blob), limit), width):
+        chunk = blob[offset:offset + width]
+        hexes = " ".join(f"{b:02x}" for b in chunk)
+        text = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        lines.append(f"  {offset:04x}  {hexes:<48}  {text}")
+    if len(blob) > limit:
+        lines.append(f"  ... ({len(blob) - limit} more bytes)")
+    return "\n".join(lines)
+
+
+def main():
+    system = System(seed=7, target_data=SECRET)
+    host_workload = get_workload("basicmath")
+    host = host_workload.build(iterations=1 << 20, hosted=True)
+    attack = build_spectre(
+        "v1", SpectreConfig(secret_length=len(SECRET), repeats=1)
+    )
+    system.install_binary("/bin/basicmath", host)
+    system.install_binary("/bin/crspectre", attack)
+
+    # --- step 1: scan the host image for gadgets (paper: GDB search) ---
+    scanner = scan_program(host, AddressSpaceLayout().text_base)
+    gadgets = scanner.scan()
+    print(f"gadget scan of the host image: {len(gadgets)} gadgets")
+    print("a few usable ones:")
+    for gadget in gadgets[:6]:
+        print(f"  {gadget}")
+
+    # --- step 2: plan chain + payload (Listing 1) -----------------------
+    plan = plan_execve_injection(host, "/bin/basicmath", "/bin/crspectre")
+    print()
+    print(plan.describe())
+    print("\npayload bytes (argv[1]):")
+    print(hexdump(plan.payload.blob))
+
+    # --- step 3: detour — DEP stops naive shellcode ---------------------
+    blob, buffer_address = plan_shellcode_injection("/bin/basicmath")
+    victim = system.spawn("/bin/basicmath", argv=[blob])
+    victim.run_to_completion()
+    print(f"\nshellcode-on-stack attempt: {victim.state.value} "
+          f"({victim.fault})")
+    print("=> W^X forces code *reuse*; hence the ROP chain.")
+
+    # --- step 4: fire the real injection --------------------------------
+    process = system.spawn("/bin/basicmath", argv=plan.argv)
+    pid = process.pid
+    print(f"\nspawned host pid={pid}, image={process.image_name!r}")
+    process.run_to_completion(max_instructions=40_000_000)
+    print(f"after the overflow: pid={process.pid}, "
+          f"image={process.image_name!r} (execve kept the PID)")
+    print(f"exfiltrated over the covert channel: {bytes(process.stdout)!r}")
+    assert bytes(process.stdout) == SECRET
+
+
+if __name__ == "__main__":
+    main()

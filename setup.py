@@ -1,0 +1,9 @@
+"""Setup shim so `pip install -e . --no-use-pep517` works offline.
+
+The execution environment has no `wheel` package, which PEP 660 editable
+installs require; this legacy path only needs setuptools.
+"""
+
+from setuptools import setup
+
+setup()

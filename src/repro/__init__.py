@@ -1,0 +1,70 @@
+"""CR-Spectre reproduction: defense-aware ROP-injected dynamic Spectre.
+
+A full-stack simulation of Dhavlle et al., "CR-Spectre: Defense-Aware
+ROP Injected Code-Reuse Based Dynamic Spectre" (DATE 2022):
+
+* a toy RISC ISA + assembler (:mod:`repro.isa`),
+* a speculative CPU with caches, branch predictors, TLBs and a 56-event
+  PMU (:mod:`repro.cpu`, :mod:`repro.cache`, :mod:`repro.branch`,
+  :mod:`repro.mem`),
+* a small OS with DEP, ASLR, ``execve`` and a scheduler
+  (:mod:`repro.kernel`),
+* MiBench-style workloads incl. the vulnerable host
+  (:mod:`repro.workloads`),
+* the attack toolchain — Spectre v1/RSB/SBO generators, ROP gadget
+  scanner + chain builder, Listing-1 payloads, Algorithm-2 perturbation,
+  the adaptive evasion controller (:mod:`repro.attack`),
+* ML-based hardware intrusion detection (:mod:`repro.hid`), and
+* the per-figure/table experiment runners (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro import Scenario, ScenarioConfig
+    scenario = Scenario(ScenarioConfig(host="basicmath"))
+    recovered, correct = scenario.verify_secret_recovery()
+"""
+
+from repro.attack import (
+    AdaptiveAttacker,
+    PerturbParams,
+    SpectreConfig,
+    build_spectre,
+    plan_execve_injection,
+)
+from repro.core import Scenario, ScenarioConfig
+from repro.core.experiments import (
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_table1,
+)
+from repro.errors import ReproError
+from repro.hid import HidDetector, OnlineHidDetector, Profiler, make_detector
+from repro.kernel import System, build_binary
+from repro.workloads import get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveAttacker",
+    "PerturbParams",
+    "SpectreConfig",
+    "build_spectre",
+    "plan_execve_injection",
+    "Scenario",
+    "ScenarioConfig",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_table1",
+    "ReproError",
+    "HidDetector",
+    "OnlineHidDetector",
+    "Profiler",
+    "make_detector",
+    "System",
+    "build_binary",
+    "get_workload",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,88 @@
+"""Attack toolchain: Spectre variants, ROP injection, dynamic perturbation."""
+
+from repro.attack.calibrate import CalibrationResult, calibrate
+from repro.attack.adaptive import (
+    AdaptiveAttacker,
+    AttemptRecord,
+    DETECT_THRESHOLD,
+    EVADE_THRESHOLD,
+)
+from repro.attack.chain import ChainBuilder, RopChain, build_execve_chain
+from repro.attack.config import SpectreConfig
+from repro.attack.gadgets import Gadget, GadgetScanner, scan_program
+from repro.attack.injection import (
+    BUFFER_SP_OFFSET,
+    FILL_BYTES,
+    InjectionPlan,
+    plan_execve_injection,
+    plan_shellcode_injection,
+)
+from repro.attack.payload import (
+    Payload,
+    build_payload,
+    payload_total_length,
+    plan_string_addresses,
+)
+from repro.attack.perturb import (
+    PerturbParams,
+    mutate,
+    perturb_source,
+    random_params,
+)
+from repro.attack import (spectre_btb, spectre_rsb, spectre_sbo,
+                          spectre_v1)
+
+SPECTRE_VARIANTS = {
+    "v1": spectre_v1,
+    "rsb": spectre_rsb,
+    "sbo": spectre_sbo,
+    "btb": spectre_btb,
+}
+
+
+def build_spectre(variant, config):
+    """Build an attack binary by variant name ('v1', 'rsb', 'sbo')."""
+    try:
+        module = SPECTRE_VARIANTS[variant]
+    except KeyError:
+        raise KeyError(
+            f"unknown Spectre variant {variant!r}; "
+            f"choose from {sorted(SPECTRE_VARIANTS)}"
+        )
+    return module.build(config)
+
+
+__all__ = [
+    "CalibrationResult",
+    "calibrate",
+    "AdaptiveAttacker",
+    "AttemptRecord",
+    "DETECT_THRESHOLD",
+    "EVADE_THRESHOLD",
+    "ChainBuilder",
+    "RopChain",
+    "build_execve_chain",
+    "SpectreConfig",
+    "Gadget",
+    "GadgetScanner",
+    "scan_program",
+    "BUFFER_SP_OFFSET",
+    "FILL_BYTES",
+    "InjectionPlan",
+    "plan_execve_injection",
+    "plan_shellcode_injection",
+    "Payload",
+    "build_payload",
+    "payload_total_length",
+    "plan_string_addresses",
+    "PerturbParams",
+    "mutate",
+    "perturb_source",
+    "random_params",
+    "SPECTRE_VARIANTS",
+    "build_spectre",
+    "spectre_btb",
+    "spectre_rsb",
+    "spectre_sbo",
+    "spectre_v1",
+]

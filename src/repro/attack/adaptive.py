@@ -1,0 +1,94 @@
+"""Defense-aware adaptation loop (paper Section II-E, Figure 3).
+
+The attacker observes only what the paper's attacker observes: whether
+the HID flagged the attempt, quantified as the detector's accuracy over
+the attempt's windows.  Policy:
+
+* accuracy <= ``evade_threshold`` (55 %): evasion succeeded — keep the
+  current perturbation variant;
+* accuracy >= ``detect_threshold`` (80 %): clearly detected — mutate
+  aggressively;
+* in between: mutate gently.
+
+Across attempts the attacker also hill-climbs: if a mutation made
+detection *worse* (higher accuracy than the best variant seen), the next
+proposal restarts from the best-so-far parameters before mutating.
+"""
+
+import dataclasses
+import random
+
+from repro.attack.perturb import PerturbParams, mutate, random_params
+
+EVADE_THRESHOLD = 0.55
+DETECT_THRESHOLD = 0.80
+
+
+@dataclasses.dataclass
+class AttemptRecord:
+    attempt: int
+    params: PerturbParams
+    accuracy: float
+
+    @property
+    def evaded(self):
+        return self.accuracy <= EVADE_THRESHOLD
+
+
+class AdaptiveAttacker:
+    """Chooses the next Algorithm-2 variant from detector feedback."""
+
+    def __init__(self, seed=0, initial_params=None,
+                 evade_threshold=EVADE_THRESHOLD,
+                 detect_threshold=DETECT_THRESHOLD):
+        self.rng = random.Random(seed)
+        self.evade_threshold = evade_threshold
+        self.detect_threshold = detect_threshold
+        self.current = initial_params or PerturbParams()
+        self.history = []
+        self._best = None  # (accuracy, params)
+
+    def propose(self):
+        """Parameters for the next attack attempt."""
+        return self.current
+
+    def feedback(self, accuracy):
+        """Report the HID's accuracy on the attempt just executed."""
+        record = AttemptRecord(
+            attempt=len(self.history) + 1,
+            params=self.current,
+            accuracy=accuracy,
+        )
+        self.history.append(record)
+
+        if self._best is None or accuracy < self._best[0]:
+            self._best = (accuracy, self.current)
+
+        if accuracy <= self.evade_threshold:
+            # Evading: stand still; moving could re-expose us.
+            return record
+
+        base = self._best[1] if self._best[0] < accuracy else self.current
+        if accuracy >= self.detect_threshold:
+            aggressiveness = 1.0
+        else:
+            span = self.detect_threshold - self.evade_threshold
+            aggressiveness = 0.3 + 0.7 * (
+                (accuracy - self.evade_threshold) / span
+            )
+        self.current = mutate(base, self.rng, aggressiveness=aggressiveness)
+        return record
+
+    def restart_random(self):
+        """Abandon the lineage and draw a fresh random variant."""
+        self.current = random_params(self.rng)
+        return self.current
+
+    @property
+    def best(self):
+        """(accuracy, params) of the least-detected attempt so far."""
+        return self._best
+
+    @property
+    def evaded_yet(self):
+        return any(record.evaded for record in self.history)

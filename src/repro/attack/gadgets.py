@@ -1,0 +1,154 @@
+"""ROP gadget scanner.
+
+Scans the encoded ``.text`` bytes of a binary — exactly what the paper
+does with GDB on the compiled victim: "search for all instructions that
+end in a ret instruction".  A *gadget* is an instruction-slot-aligned
+suffix of the image that reaches a ``ret`` within a few instructions
+without passing through a control transfer.  The scanner also provides
+the semantic queries the chain builder needs (``pop``-register loaders,
+``syscall; ret`` tails).
+"""
+
+import dataclasses
+
+from repro.errors import GadgetNotFoundError
+from repro.isa.encoding import INSTRUCTION_SIZE, try_decode
+from repro.isa.opcodes import CONTROL_OPCODES, Opcode
+from repro.isa.registers import register_name
+
+
+@dataclasses.dataclass(frozen=True)
+class Gadget:
+    """One usable gadget: address + the instructions it executes."""
+
+    address: int
+    instructions: tuple
+
+    @property
+    def length(self):
+        return len(self.instructions)
+
+    @property
+    def stack_words_consumed(self):
+        """Words the gadget pops off the stack *before* its final ret."""
+        return sum(
+            1 for insn in self.instructions[:-1] if insn.opcode == Opcode.POP
+        )
+
+    def to_assembly(self):
+        return "; ".join(insn.to_assembly() for insn in self.instructions)
+
+    def __str__(self):
+        return f"{self.address:#010x}: {self.to_assembly()}"
+
+
+class GadgetScanner:
+    """Find gadgets in a relocated text image."""
+
+    def __init__(self, text_bytes, text_base, max_gadget_length=6):
+        self.text_bytes = bytes(text_bytes)
+        self.text_base = text_base
+        self.max_gadget_length = max_gadget_length
+        self._gadgets = None
+
+    def scan(self):
+        """Return every gadget (cached after the first call)."""
+        if self._gadgets is not None:
+            return self._gadgets
+        gadgets = []
+        slots = len(self.text_bytes) // INSTRUCTION_SIZE
+        decoded = [
+            try_decode(self.text_bytes, i * INSTRUCTION_SIZE)
+            for i in range(slots)
+        ]
+        for start in range(slots):
+            instructions = []
+            for offset in range(self.max_gadget_length):
+                index = start + offset
+                if index >= slots:
+                    break
+                insn = decoded[index]
+                if insn is None:
+                    break
+                instructions.append(insn)
+                if insn.opcode == Opcode.RET:
+                    gadgets.append(Gadget(
+                        address=self.text_base + start * INSTRUCTION_SIZE,
+                        instructions=tuple(instructions),
+                    ))
+                    break
+                if insn.opcode in CONTROL_OPCODES:
+                    break
+                if insn.opcode in (Opcode.HALT, Opcode.SYSCALL):
+                    break
+        self._gadgets = gadgets
+        return gadgets
+
+    # ---- semantic queries ------------------------------------------------
+    def find_pop_sequence(self, registers):
+        """Find a gadget that is exactly ``pop r1; ...; pop rN; ret``.
+
+        *registers* is a sequence of register indices, in pop order.
+        """
+        wanted = tuple(registers)
+        for gadget in self.scan():
+            body = gadget.instructions
+            if len(body) != len(wanted) + 1:
+                continue
+            if body[-1].opcode != Opcode.RET:
+                continue
+            if all(
+                insn.opcode == Opcode.POP and insn.rd == reg
+                for insn, reg in zip(body[:-1], wanted)
+            ):
+                return gadget
+        names = ", ".join(register_name(r) for r in wanted)
+        raise GadgetNotFoundError(f"no 'pop {names}; ret' gadget in image")
+
+    def find_pop_register(self, register):
+        """Shortest gadget whose net effect loads *register* from the stack.
+
+        Accepts gadgets with extra leading pops (they consume junk words
+        the chain builder will pad for), as long as the *last* pop before
+        ``ret`` targets the wanted register.
+        """
+        candidates = []
+        for gadget in self.scan():
+            body = gadget.instructions
+            if body[-1].opcode != Opcode.RET:
+                continue
+            pops = body[:-1]
+            if not pops or any(i.opcode != Opcode.POP for i in pops):
+                continue
+            if pops[-1].rd == register:
+                candidates.append(gadget)
+        if not candidates:
+            raise GadgetNotFoundError(
+                f"no gadget popping {register_name(register)} in image"
+            )
+        return min(candidates, key=lambda g: g.length)
+
+    def find_syscall_ret(self):
+        """A ``syscall``-terminated slot (the kernel-call trampoline)."""
+        slots = len(self.text_bytes) // INSTRUCTION_SIZE
+        for start in range(slots):
+            insn = try_decode(self.text_bytes, start * INSTRUCTION_SIZE)
+            if insn is not None and insn.opcode == Opcode.SYSCALL:
+                return self.text_base + start * INSTRUCTION_SIZE
+        raise GadgetNotFoundError("no syscall instruction in image")
+
+    def gadget_count(self):
+        return len(self.scan())
+
+    def report(self, limit=None):
+        """Printable gadget catalogue (analysis/debugging aid)."""
+        gadgets = self.scan()
+        if limit is not None:
+            gadgets = gadgets[:limit]
+        return "\n".join(str(g) for g in gadgets)
+
+
+def scan_program(program, text_base):
+    """Scan a relocatable Program as it would appear loaded at *text_base*."""
+    text, _ = program.relocated(text_base, 0x1000_0000)
+    return GadgetScanner(text, text_base)

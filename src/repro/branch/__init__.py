@@ -1,0 +1,24 @@
+"""Branch prediction: BHT, BTB, RSB and the composite predictor."""
+
+from repro.branch.bht import (
+    BranchHistoryTable,
+    STRONG_NOT_TAKEN,
+    STRONG_TAKEN,
+    WEAK_NOT_TAKEN,
+    WEAK_TAKEN,
+)
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.predictor import BranchPredictor, PredictorConfig
+from repro.branch.rsb import ReturnStackBuffer
+
+__all__ = [
+    "BranchHistoryTable",
+    "STRONG_NOT_TAKEN",
+    "STRONG_TAKEN",
+    "WEAK_NOT_TAKEN",
+    "WEAK_TAKEN",
+    "BranchTargetBuffer",
+    "BranchPredictor",
+    "PredictorConfig",
+    "ReturnStackBuffer",
+]

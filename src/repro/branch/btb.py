@@ -1,0 +1,40 @@
+"""Branch target buffer for indirect jumps and calls.
+
+The BTB predicts *where* an indirect control transfer goes.  A wrong BTB
+entry sends the speculative front end to an attacker-chosen target —
+the Spectre-v2 style confusion our ``spectre_btb`` variant exploits.
+"""
+
+from collections import OrderedDict
+
+
+class BranchTargetBuffer:
+    """Direct-mapped-by-LRU target cache: pc -> last observed target."""
+
+    def __init__(self, entries=256):
+        if entries <= 0:
+            raise ValueError("BTB needs at least one entry")
+        self.entries = entries
+        self._targets = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def predict(self, pc):
+        """Return the predicted target for *pc*, or None on a BTB miss."""
+        target = self._targets.get(pc)
+        if target is None:
+            self.misses += 1
+            return None
+        self._targets.move_to_end(pc)
+        self.hits += 1
+        return target
+
+    def update(self, pc, target):
+        """Record the resolved target of the transfer at *pc*."""
+        self._targets[pc] = target
+        self._targets.move_to_end(pc)
+        if len(self._targets) > self.entries:
+            self._targets.popitem(last=False)
+
+    def reset(self):
+        self._targets.clear()

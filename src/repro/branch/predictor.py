@@ -1,0 +1,93 @@
+"""Composite branch prediction unit: BHT + BTB + RSB."""
+
+import dataclasses
+
+from repro.branch.bht import BranchHistoryTable
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.rsb import ReturnStackBuffer
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictorConfig:
+    bht_entries: int = 1024
+    btb_entries: int = 256
+    rsb_depth: int = 16
+
+
+class BranchPredictor:
+    """Front-end predictor the speculative executor consults.
+
+    The CPU asks three questions:
+
+    * conditional branch at *pc*: taken or not (:meth:`predict_conditional`)
+    * indirect transfer at *pc*: predicted target (:meth:`predict_indirect`)
+    * return: predicted return address (:meth:`predict_return`)
+
+    and reports resolved outcomes back for training.
+    """
+
+    def __init__(self, config=None):
+        self.config = config or PredictorConfig()
+        self.bht = BranchHistoryTable(self.config.bht_entries)
+        self.btb = BranchTargetBuffer(self.config.btb_entries)
+        self.rsb = ReturnStackBuffer(self.config.rsb_depth)
+        self.conditional_predictions = 0
+        self.conditional_mispredictions = 0
+        self.indirect_predictions = 0
+        self.indirect_mispredictions = 0
+        self.return_predictions = 0
+        self.return_mispredictions = 0
+
+    # ---- conditional branches ------------------------------------------
+    def predict_conditional(self, pc):
+        return self.bht.predict(pc)
+
+    def resolve_conditional(self, pc, predicted, taken):
+        """Train the BHT; returns True when the prediction was wrong."""
+        self.conditional_predictions += 1
+        self.bht.update(pc, taken)
+        mispredicted = predicted != taken
+        if mispredicted:
+            self.conditional_mispredictions += 1
+        return mispredicted
+
+    # ---- indirect jumps / calls ------------------------------------------
+    def predict_indirect(self, pc):
+        return self.btb.predict(pc)
+
+    def resolve_indirect(self, pc, predicted, target):
+        self.indirect_predictions += 1
+        self.btb.update(pc, target)
+        mispredicted = predicted != target
+        if mispredicted:
+            self.indirect_mispredictions += 1
+        return mispredicted
+
+    # ---- calls / returns ---------------------------------------------------
+    def on_call(self, return_address):
+        self.rsb.push(return_address)
+
+    def predict_return(self):
+        return self.rsb.predict()
+
+    def resolve_return(self, predicted, target):
+        self.return_predictions += 1
+        mispredicted = predicted != target
+        self.rsb.record_outcome(not mispredicted)
+        if mispredicted:
+            self.return_mispredictions += 1
+        return mispredicted
+
+    # ---- totals -------------------------------------------------------------
+    @property
+    def total_mispredictions(self):
+        return (
+            self.conditional_mispredictions
+            + self.indirect_mispredictions
+            + self.return_mispredictions
+        )
+
+    def reset(self):
+        self.bht.reset()
+        self.btb.reset()
+        self.rsb.reset()

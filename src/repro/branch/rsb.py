@@ -1,0 +1,53 @@
+"""Return stack buffer (RSB).
+
+``call`` pushes the architectural return address onto this hidden
+hardware stack; ``ret`` pops it as the *prediction*.  When the software
+stack has been tampered with (exactly what the ROP payload does) the RSB
+prediction and the architectural return address disagree — which both
+(a) makes every ROP gadget boundary a mispredicted return, and (b) is
+the mechanism behind the Spectre-RSB variant [Koruyeh et al., WOOT'18]
+where wrong-path execution continues at the *RSB-predicted* address.
+"""
+
+
+class ReturnStackBuffer:
+    """Fixed-depth circular return-address predictor."""
+
+    def __init__(self, depth=16):
+        if depth <= 0:
+            raise ValueError("RSB depth must be positive")
+        self.depth = depth
+        self._stack = []
+        self.hits = 0
+        self.misses = 0
+        self.overflows = 0
+        self.underflows = 0
+
+    def push(self, return_address):
+        """Record a call's return address."""
+        if len(self._stack) == self.depth:
+            # Circular behaviour: the oldest entry is lost.
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(return_address)
+
+    def predict(self):
+        """Pop the predicted return target (None if empty)."""
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def record_outcome(self, correct):
+        """Account a resolved return against the prediction."""
+        if correct:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    @property
+    def occupancy(self):
+        return len(self._stack)
+
+    def reset(self):
+        self._stack.clear()

@@ -1,0 +1,26 @@
+"""Cache models: replacement policies, set-associative cache, hierarchy."""
+
+from repro.cache.cache import Cache, CacheStats
+from repro.cache.hierarchy import AccessResult, CacheConfig, CacheHierarchy
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    POLICIES,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "AccessResult",
+    "CacheConfig",
+    "CacheHierarchy",
+    "FifoPolicy",
+    "LruPolicy",
+    "POLICIES",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+]

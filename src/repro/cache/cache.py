@@ -1,0 +1,157 @@
+"""A set-associative cache model (tags only, no data payload).
+
+Only the *presence* of lines matters for both timing and the Spectre
+covert channel, so the model stores tags and dirty bits but not data.
+``clflush`` (line invalidation from user code) and persistent fills from
+squashed speculative loads — the two mechanisms CR-Spectre lives on — are
+first-class operations.
+"""
+
+import dataclasses
+
+from repro.cache.replacement import make_policy
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters one cache instance accumulates over its lifetime."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    read_accesses: int = 0
+    read_misses: int = 0
+    write_accesses: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    flushes: int = 0
+
+    def snapshot(self):
+        return dataclasses.replace(self)
+
+
+class Cache:
+    """One level of a set-associative cache."""
+
+    def __init__(self, name, size, line_size=64, ways=8, policy="lru"):
+        if size % (line_size * ways):
+            raise ValueError(
+                f"{name}: size {size} not divisible by line_size*ways"
+            )
+        self.name = name
+        self.size = size
+        self.line_size = line_size
+        self.ways = ways
+        self.num_sets = size // (line_size * ways)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: number of sets must be a power of two")
+        self._set_mask = self.num_sets - 1
+        self._line_shift = line_size.bit_length() - 1
+        if 1 << self._line_shift != line_size:
+            raise ValueError(f"{name}: line size must be a power of two")
+        self.policy_name = policy
+        self._tags = [[None] * ways for _ in range(self.num_sets)]
+        self._dirty = [[False] * ways for _ in range(self.num_sets)]
+        self._policies = [make_policy(policy, ways) for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # ---- address helpers ----------------------------------------------
+    def line_address(self, address):
+        """The address with line-offset bits cleared."""
+        return address >> self._line_shift << self._line_shift
+
+    def _index_tag(self, address):
+        line = address >> self._line_shift
+        return line & self._set_mask, line >> (
+            self.num_sets.bit_length() - 1
+        )
+
+    # ---- operations ----------------------------------------------------
+    def access(self, address, is_write=False):
+        """Look up *address*; fill on miss.
+
+        Returns ``(hit, evicted_line_address_or_none)``.  The evicted line
+        address lets the hierarchy model writebacks / back-invalidations.
+        """
+        index, tag = self._index_tag(address)
+        tags = self._tags[index]
+        policy = self._policies[index]
+        stats = self.stats
+        stats.accesses += 1
+        if is_write:
+            stats.write_accesses += 1
+        else:
+            stats.read_accesses += 1
+
+        for way in range(self.ways):
+            if tags[way] == tag:
+                policy.on_access(way)
+                if is_write:
+                    self._dirty[index][way] = True
+                stats.hits += 1
+                return True, None
+
+        stats.misses += 1
+        if is_write:
+            stats.write_misses += 1
+        else:
+            stats.read_misses += 1
+
+        valid = [t is not None for t in tags]
+        way = policy.victim(valid)
+        evicted = None
+        if tags[way] is not None:
+            stats.evictions += 1
+            if self._dirty[index][way]:
+                stats.writebacks += 1
+            evicted_line = (tags[way] * self.num_sets + index) << self._line_shift
+            evicted = evicted_line
+        tags[way] = tag
+        self._dirty[index][way] = is_write
+        policy.on_access(way)
+        return False, evicted
+
+    def probe(self, address):
+        """Non-destructive presence check (no fill, no stats)."""
+        index, tag = self._index_tag(address)
+        return tag in self._tags[index]
+
+    def invalidate(self, address):
+        """clflush semantics: drop the line if present; True if it was."""
+        index, tag = self._index_tag(address)
+        tags = self._tags[index]
+        self.stats.flushes += 1
+        for way in range(self.ways):
+            if tags[way] == tag:
+                tags[way] = None
+                if self._dirty[index][way]:
+                    self.stats.writebacks += 1
+                    self._dirty[index][way] = False
+                self._policies[index].on_invalidate(way)
+                return True
+        return False
+
+    def flush_all(self):
+        """Invalidate every line (context switch cost model)."""
+        for index in range(self.num_sets):
+            for way in range(self.ways):
+                self._tags[index][way] = None
+                self._dirty[index][way] = False
+
+    @property
+    def occupancy(self):
+        """Number of valid lines currently cached."""
+        return sum(
+            1
+            for tags in self._tags
+            for tag in tags
+            if tag is not None
+        )
+
+    def __repr__(self):
+        return (
+            f"Cache({self.name!r}, size={self.size}, "
+            f"line={self.line_size}, ways={self.ways}, "
+            f"policy={self.policy_name!r})"
+        )

@@ -1,0 +1,151 @@
+"""Three-level cache hierarchy (L1I + L1D, unified L2) with latencies.
+
+Latencies are the heart of the covert channel: the attacker's
+``rdcycle``-timed reloads distinguish an L1/L2 hit (a few cycles) from a
+DRAM access (~two hundred cycles), recovering the secret byte that a
+squashed speculative load left behind as a cache fill.
+"""
+
+import dataclasses
+
+from repro.cache.cache import Cache, CacheStats
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Geometry + timing knobs for a :class:`CacheHierarchy`."""
+
+    line_size: int = 64
+    l1d_size: int = 32 * 1024
+    l1d_ways: int = 8
+    l1i_size: int = 32 * 1024
+    l1i_ways: int = 8
+    l2_size: int = 256 * 1024
+    l2_ways: int = 8
+    policy: str = "lru"
+    l1_latency: int = 2
+    l2_latency: int = 12
+    memory_latency: int = 180
+
+
+@dataclasses.dataclass
+class AccessResult:
+    """Outcome of one data/instruction access."""
+
+    latency: int
+    l1_hit: bool
+    l2_hit: bool
+
+    @property
+    def hit(self):
+        return self.l1_hit or self.l2_hit
+
+    @property
+    def memory_access(self):
+        return not self.hit
+
+
+class CacheHierarchy:
+    """L1I/L1D backed by a unified L2, backed by fixed-latency memory.
+
+    ``shared_l2`` lets several hierarchies (one per core/process) share
+    one physical L2 — the contention that makes a co-located CR-Spectre
+    measurably slow the host down (Table I).  Each hierarchy keeps its
+    *own* L2 access/hit/miss counters so per-process PMU attribution
+    stays correct even when the array is shared.
+    """
+
+    def __init__(self, config=None, shared_l2=None, asid=0):
+        self.config = config or CacheConfig()
+        cfg = self.config
+        self.l1d = Cache("L1D", cfg.l1d_size, cfg.line_size, cfg.l1d_ways,
+                         cfg.policy)
+        self.l1i = Cache("L1I", cfg.l1i_size, cfg.line_size, cfg.l1i_ways,
+                         cfg.policy)
+        self.l2 = shared_l2 or Cache("L2", cfg.l2_size, cfg.line_size,
+                                     cfg.l2_ways, cfg.policy)
+        self.l2_shared = shared_l2 is not None
+        #: Address-space tag: distinct processes use identical virtual
+        #: addresses, so shared-L2 lookups are disambiguated by ASID
+        #: (folded into the tag bits, leaving set selection untouched).
+        #: Otherwise one process's fills would falsely hit for another.
+        self._asid_tag = (asid & 0xFF) << 32
+        #: local attribution of this hierarchy's L2 traffic
+        self.l2_stats = CacheStats()
+        self.memory_reads = 0
+        self.memory_writes = 0
+
+    def _l2_access(self, address, is_write):
+        hit, _ = self.l2.access(address | self._asid_tag, is_write)
+        stats = self.l2_stats
+        stats.accesses += 1
+        if hit:
+            stats.hits += 1
+        else:
+            stats.misses += 1
+            if is_write:
+                stats.write_misses += 1
+            else:
+                stats.read_misses += 1
+        return hit
+
+    # ---- accesses ------------------------------------------------------
+    def data_access(self, address, is_write=False):
+        """Access the data path; returns an :class:`AccessResult`."""
+        cfg = self.config
+        l1_hit, _ = self.l1d.access(address, is_write)
+        if l1_hit:
+            return AccessResult(cfg.l1_latency, True, False)
+        l2_hit = self._l2_access(address, is_write)
+        if l2_hit:
+            return AccessResult(cfg.l1_latency + cfg.l2_latency, False, True)
+        if is_write:
+            self.memory_writes += 1
+        else:
+            self.memory_reads += 1
+        return AccessResult(
+            cfg.l1_latency + cfg.l2_latency + cfg.memory_latency,
+            False,
+            False,
+        )
+
+    def instruction_access(self, address):
+        """Access the instruction path; returns an :class:`AccessResult`."""
+        cfg = self.config
+        l1_hit, _ = self.l1i.access(address)
+        if l1_hit:
+            return AccessResult(cfg.l1_latency, True, False)
+        l2_hit = self._l2_access(address, False)
+        if l2_hit:
+            return AccessResult(cfg.l1_latency + cfg.l2_latency, False, True)
+        self.memory_reads += 1
+        return AccessResult(
+            cfg.l1_latency + cfg.l2_latency + cfg.memory_latency,
+            False,
+            False,
+        )
+
+    def flush_line(self, address):
+        """``clflush``: evict the line from every level.
+
+        Returns True if the line was present anywhere.
+        """
+        present = self.l1d.invalidate(address)
+        present |= self.l1i.invalidate(address)
+        present |= self.l2.invalidate(address | self._asid_tag)
+        return present
+
+    def flush_all(self):
+        self.l1d.flush_all()
+        self.l1i.flush_all()
+        self.l2.flush_all()
+
+    def probe_data(self, address):
+        """Presence check without side effects (test/diagnostic helper)."""
+        return self.l1d.probe(address) or self.l2.probe(
+            address | self._asid_tag
+        )
+
+    @property
+    def line_size(self):
+        return self.config.line_size

@@ -1,0 +1,112 @@
+"""Replacement policies for set-associative caches.
+
+Each policy manages *one* cache set and decides which way to evict.  The
+policy objects are deliberately tiny — the cache calls them millions of
+times per simulated run.
+"""
+
+import random
+
+
+class ReplacementPolicy:
+    """Interface: per-set victim selection plus access bookkeeping."""
+
+    name = "abstract"
+
+    def __init__(self, ways):
+        self.ways = ways
+
+    def on_access(self, way):
+        """Called on every hit or fill of *way*."""
+
+    def on_invalidate(self, way):
+        """Called when *way* is invalidated (e.g. clflush)."""
+
+    def victim(self, valid):
+        """Return the way to evict; *valid* is a list of per-way validity.
+
+        Invalid ways must be preferred (cold fill before eviction).
+        """
+        raise NotImplementedError
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used, tracked with per-way timestamps."""
+
+    name = "lru"
+
+    def __init__(self, ways):
+        super().__init__(ways)
+        self._stamps = [0] * ways
+        self._clock = 0
+
+    def on_access(self, way):
+        self._clock += 1
+        self._stamps[way] = self._clock
+
+    def on_invalidate(self, way):
+        self._stamps[way] = 0
+
+    def victim(self, valid):
+        for way, is_valid in enumerate(valid):
+            if not is_valid:
+                return way
+        stamps = self._stamps
+        victim = 0
+        for way in range(1, self.ways):
+            if stamps[way] < stamps[victim]:
+                victim = way
+        return victim
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out: evict in fill order, ignore hits."""
+
+    name = "fifo"
+
+    def __init__(self, ways):
+        super().__init__(ways)
+        self._next = 0
+
+    def victim(self, valid):
+        for way, is_valid in enumerate(valid):
+            if not is_valid:
+                return way
+        victim = self._next
+        self._next = (self._next + 1) % self.ways
+        return victim
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random eviction (seeded for determinism)."""
+
+    name = "random"
+
+    def __init__(self, ways, seed=0):
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+
+    def victim(self, valid):
+        for way, is_valid in enumerate(valid):
+            if not is_valid:
+                return way
+        return self._rng.randrange(self.ways)
+
+
+POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name, ways):
+    """Instantiate a replacement policy by name."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {sorted(POLICIES)}"
+        )
+    return factory(ways)

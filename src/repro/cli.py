@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``attack``      run one ROP-injected extraction and print the leak
+``gadgets``     print the ROP gadget catalogue of a host binary
+``disasm``      disassemble a workload or attack binary
+``workloads``   list available workloads
+``fig4/fig5/fig6/table1``  regenerate one paper artefact
+``profile``     profile a workload and dump HPC windows to CSV
+"""
+
+import argparse
+import sys
+
+
+def _add_seed(parser):
+    parser.add_argument("--seed", type=int, default=0,
+                        help="deterministic seed (default 0)")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CR-Spectre (DATE 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("attack", help="run one injected extraction")
+    p.add_argument("--variant", default="v1",
+                   choices=("v1", "rsb", "sbo", "btb"))
+    p.add_argument("--host", default="basicmath")
+    p.add_argument("--secret", default="TheMagicWords!!!")
+    p.add_argument("--delay", type=int, default=0,
+                   help="Algorithm-2 dispersion trips (0 = plain)")
+    p.add_argument("--style", type=int, default=0, choices=(0, 1, 2),
+                   help="dispersion style: 0=cells 1=stream 2=chase")
+    _add_seed(p)
+
+    p = sub.add_parser("gadgets", help="print a host's gadget catalogue")
+    p.add_argument("--host", default="basicmath")
+    p.add_argument("--limit", type=int, default=25)
+
+    p = sub.add_parser("disasm", help="disassemble a workload binary")
+    p.add_argument("--workload", default="basicmath")
+    p.add_argument("--hosted", action="store_true",
+                   help="include the Algorithm-1 vulnerable wrapper")
+
+    sub.add_parser("workloads", help="list available workloads")
+
+    for name, help_text in (
+        ("fig4", "HID accuracy vs feature size"),
+        ("fig5", "offline HID vs Spectre / CR-Spectre"),
+        ("fig6", "online HID vs dynamic CR-Spectre"),
+        ("table1", "IPC overhead of co-located CR-Spectre"),
+    ):
+        p = sub.add_parser(name, help=f"regenerate {help_text}")
+        p.add_argument("--quick", action="store_true",
+                       help="scaled-down run (~10x faster, same shapes)")
+        _add_seed(p)
+
+    p = sub.add_parser("profile", help="dump a workload's HPC windows")
+    p.add_argument("--workload", default="basicmath")
+    p.add_argument("--samples", type=int, default=50)
+    p.add_argument("--output", default="traces.csv")
+    _add_seed(p)
+
+    return parser
+
+
+def cmd_attack(args):
+    from repro.attack import PerturbParams, SpectreConfig, build_spectre, \
+        plan_execve_injection
+    from repro.kernel import System
+    from repro.workloads import get_workload
+
+    secret = args.secret.encode("latin-1")
+    perturb = None
+    if args.delay:
+        perturb = PerturbParams(delay=args.delay, style=args.style,
+                                calls_per_byte=2)
+    system = System(seed=args.seed, target_data=secret)
+    host = get_workload(args.host).build(iterations=1 << 20, hosted=True)
+    attack = build_spectre(args.variant, SpectreConfig(
+        secret_length=len(secret), repeats=1, perturb=perturb,
+    ))
+    system.install_binary("/bin/host", host)
+    system.install_binary("/bin/cr", attack)
+    plan = plan_execve_injection(host, "/bin/host", "/bin/cr")
+    print(plan.describe())
+    process = system.spawn("/bin/host", argv=plan.argv)
+    process.run_to_completion(max_instructions=120_000_000)
+    leaked = bytes(process.stdout)
+    correct = sum(a == b for a, b in zip(leaked, secret))
+    print(f"\nleaked: {leaked!r}  ({correct}/{len(secret)} bytes correct)")
+    return 0 if correct == len(secret) else 1
+
+
+def cmd_gadgets(args):
+    from repro.attack import scan_program
+    from repro.mem.layout import AddressSpaceLayout
+    from repro.workloads import get_workload
+
+    host = get_workload(args.host).build(iterations=100, hosted=True)
+    scanner = scan_program(host, AddressSpaceLayout().text_base)
+    gadgets = scanner.scan()
+    print(f"{len(gadgets)} gadgets in {args.host!r} "
+          f"(showing {min(args.limit, len(gadgets))}):")
+    print(scanner.report(limit=args.limit))
+    return 0
+
+
+def cmd_disasm(args):
+    from repro.isa.disassembler import format_listing
+    from repro.mem.layout import TEXT_BASE
+    from repro.workloads import get_workload
+
+    program = get_workload(args.workload).build(
+        iterations=100, hosted=args.hosted
+    )
+    text, _ = program.relocated(TEXT_BASE, 0x1000_0000)
+    print(format_listing(text, base=TEXT_BASE))
+    return 0
+
+
+def cmd_workloads(_args):
+    from repro.workloads import ALL_WORKLOADS
+
+    for workload in ALL_WORKLOADS:
+        print(f"{workload.name:18s} [{workload.category:7s}] "
+              f"{workload.description}")
+    return 0
+
+
+def cmd_experiment(args):
+    from repro.core.experiments import run_fig4, run_fig5, run_fig6, \
+        run_table1
+
+    runner = {
+        "fig4": run_fig4,
+        "fig5": run_fig5,
+        "fig6": run_fig6,
+        "table1": run_table1,
+    }[args.command]
+    kwargs = {"seed": args.seed}
+    if getattr(args, "quick", False):
+        kwargs.update({
+            "fig4": dict(benign_per_host=60, attack_per_variant=20,
+                         variants=("v1",)),
+            "fig5": dict(attempts=3, training_benign=90,
+                         training_attack=90, attempt_samples=24,
+                         attempt_benign=8),
+            "fig6": dict(attempts=3, training_benign=90,
+                         training_attack=90, attempt_samples=24,
+                         attempt_benign=8),
+            "table1": dict(repetitions=1,
+                           rows=(("Math", "basicmath", (60,)),
+                                 ("SHA 1", "sha", (10,)))),
+        }[args.command])
+    result = runner(**kwargs)
+    print(result.format())
+    return 0
+
+
+def cmd_profile(args):
+    from repro.hid.io import save_samples
+    from repro.hid.profiler import Profiler
+    from repro.kernel import System
+    from repro.workloads import get_workload
+
+    system = System(seed=args.seed)
+    system.install_binary(
+        "/bin/w", get_workload(args.workload).build(iterations=1 << 28)
+    )
+    process = system.spawn("/bin/w")
+    samples = Profiler(quantum=2000).profile(process, args.samples)
+    count = save_samples(samples, args.output)
+    print(f"wrote {count} windows x 56 events to {args.output}")
+    return 0
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "attack": cmd_attack,
+        "gadgets": cmd_gadgets,
+        "disasm": cmd_disasm,
+        "workloads": cmd_workloads,
+        "fig4": cmd_experiment,
+        "fig5": cmd_experiment,
+        "fig6": cmd_experiment,
+        "table1": cmd_experiment,
+        "profile": cmd_profile,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Core: campaign orchestration, experiment runners, reporting."""
+
+from repro.core.reporting import (
+    format_percent,
+    format_series,
+    format_table,
+    sparkline,
+)
+from repro.core.scenario import (
+    DEFAULT_SECRET,
+    PROFILE_ITERATIONS,
+    PROFILE_REPEATS,
+    Scenario,
+    ScenarioConfig,
+)
+
+__all__ = [
+    "format_percent",
+    "format_series",
+    "format_table",
+    "sparkline",
+    "DEFAULT_SECRET",
+    "PROFILE_ITERATIONS",
+    "PROFILE_REPEATS",
+    "Scenario",
+    "ScenarioConfig",
+]

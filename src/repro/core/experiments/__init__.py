@@ -1,0 +1,52 @@
+"""Experiment runners: one per table/figure of the paper's evaluation."""
+
+from repro.core.experiments.common import (
+    DETECTOR_LEGENDS,
+    DETECTOR_NAMES,
+    attempt_dataset,
+    co_run,
+    mean_accuracy,
+    search_evading_params,
+    split_training,
+    train_detectors,
+)
+from repro.core.experiments.fig4 import Fig4Result, run_fig4
+from repro.core.experiments.hardening import (
+    HardeningResult,
+    run_hardening,
+)
+from repro.core.experiments.fig5 import Fig5Result, run_fig5
+from repro.core.experiments.fig6 import Fig6Result, run_fig6
+from repro.core.experiments.table1 import (
+    ONLINE_PERTURB,
+    OFFLINE_PERTURB,
+    TABLE1_ROWS,
+    Table1Result,
+    Table1Row,
+    run_table1,
+)
+
+__all__ = [
+    "DETECTOR_LEGENDS",
+    "DETECTOR_NAMES",
+    "attempt_dataset",
+    "co_run",
+    "mean_accuracy",
+    "search_evading_params",
+    "split_training",
+    "train_detectors",
+    "Fig4Result",
+    "run_fig4",
+    "HardeningResult",
+    "run_hardening",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Result",
+    "run_fig6",
+    "ONLINE_PERTURB",
+    "OFFLINE_PERTURB",
+    "TABLE1_ROWS",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+]

@@ -1,0 +1,89 @@
+"""Figure 4: HID accuracy vs feature size, per MiBench host.
+
+The paper plots detection accuracy of an MLP-style HID distinguishing
+each of four MiBench hosts from (variant-averaged) standalone Spectre,
+for feature sizes 16, 8, 4, 2 and 1.  Expected shape: >80 % for sizes
+>= 2, a collapse at size 1, and >90 % at the chosen size 4.
+"""
+
+import dataclasses
+
+from repro.core.reporting import format_table
+from repro.core.scenario import Scenario, ScenarioConfig
+from repro.hid import feature_set, make_detector, samples_to_dataset
+from repro.hid.features import FEATURE_SIZES
+from repro.workloads import FIG4_HOSTS
+
+
+@dataclasses.dataclass
+class Fig4Result:
+    """accuracies[host][feature_size] = variant-averaged accuracy."""
+
+    accuracies: dict
+    hosts: tuple
+    feature_sizes: tuple
+    classifier: str
+
+    def format(self):
+        headers = ["Feature size"] + [
+            f"Spectre_{i + 1} ({host})"
+            for i, host in enumerate(self.hosts)
+        ]
+        rows = []
+        for size in self.feature_sizes:
+            row = [size]
+            for host in self.hosts:
+                row.append(f"{100.0 * self.accuracies[host][size]:.1f}%")
+            rows.append(row)
+        return format_table(
+            headers, rows,
+            title=(f"Fig. 4 — HID ({self.classifier}) accuracy vs feature "
+                   f"size (Spectre variants averaged)"),
+        )
+
+    def accuracy_at(self, size):
+        """Host-averaged accuracy at one feature size."""
+        values = [self.accuracies[host][size] for host in self.hosts]
+        return sum(values) / len(values)
+
+
+def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
+             classifier="mlp", benign_per_host=150, attack_per_variant=50,
+             variants=("v1", "rsb", "sbo")):
+    """Regenerate Figure 4.  Returns a :class:`Fig4Result`."""
+    accuracies = {}
+    for host in hosts:
+        scenario = Scenario(ScenarioConfig(
+            host=host, seed=seed, spectre_variants=tuple(variants),
+        ))
+        # The paper's profiling scope "also includes the host and other
+        # benign applications like browsers, text editors" — without the
+        # cache-noisy extras a single miss counter would suffice.
+        benign = scenario.benign_samples(benign_per_host)
+        per_variant_samples = {
+            variant: scenario.attack_samples(
+                attack_per_variant, variant=variant
+            )
+            for variant in variants
+        }
+        accuracies[host] = {}
+        for size in feature_sizes:
+            features = feature_set(size)
+            variant_accuracies = []
+            for variant, attack in per_variant_samples.items():
+                dataset = samples_to_dataset(benign, attack, features)
+                train, test = dataset.split(0.7, seed=seed)
+                detector = make_detector(
+                    classifier, features=features, seed=seed
+                )
+                detector.fit(train)
+                variant_accuracies.append(detector.accuracy_on(test))
+            accuracies[host][size] = (
+                sum(variant_accuracies) / len(variant_accuracies)
+            )
+    return Fig4Result(
+        accuracies=accuracies,
+        hosts=tuple(hosts),
+        feature_sizes=tuple(feature_sizes),
+        classifier=classifier,
+    )

@@ -1,0 +1,49 @@
+"""Plain-text rendering of experiment results (tables + series).
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent.
+"""
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned ASCII table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(w) for h, w in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(
+            str(cell).ljust(w) for cell, w in zip(row, widths)
+        ))
+    return "\n".join(lines)
+
+
+def format_series(name, values, fmt="{:.1f}"):
+    """One figure line: ``name: v1 v2 v3 ...``."""
+    rendered = " ".join(fmt.format(v) for v in values)
+    return f"{name}: {rendered}"
+
+
+def format_percent(value):
+    return f"{100.0 * value:.1f}%"
+
+
+def sparkline(values, lo=None, hi=None):
+    """Tiny unicode trend strip for accuracy-vs-attempt series."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = (hi - lo) or 1.0
+    return "".join(
+        blocks[min(len(blocks) - 1,
+                   int((value - lo) / span * (len(blocks) - 1)))]
+        for value in values
+    )

@@ -1,0 +1,104 @@
+"""HPC timeline visualisation: what the defender's dashboard shows.
+
+Renders per-window event series as ASCII strip charts, so the attack's
+phases — host prologue, ROP entry, execve, flush/reload bursts,
+dispersion valleys — are visible at a glance.  Used by the timeline
+example and handy when debugging new perturbation variants.
+"""
+
+from repro.core.reporting import sparkline
+
+#: Events worth watching in a timeline by default.
+DEFAULT_TIMELINE_EVENTS = (
+    "total_cache_misses",
+    "total_cache_accesses",
+    "branch_mispredictions",
+    "branch_instructions",
+)
+
+
+def series_from_samples(samples, event):
+    """Extract one event's per-window series from profiler samples."""
+    return [float(sample.events[event]) for sample in samples]
+
+
+def render_timeline(samples, events=DEFAULT_TIMELINE_EVENTS, width=72,
+                    title=None):
+    """Render event strips over the sample windows.
+
+    Long capture runs are bucketed down to *width* columns by averaging,
+    so the chart stays terminal-sized regardless of sample count.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    if not samples:
+        lines.append("  (no samples)")
+        return "\n".join(lines)
+    lines.append(f"  {len(samples)} windows, bucketed to "
+                 f"{min(width, len(samples))} columns")
+    for event in events:
+        series = series_from_samples(samples, event)
+        bucketed = _bucket(series, width)
+        low, high = min(bucketed), max(bucketed)
+        lines.append(
+            f"  {event:>24} [{low:8.1f}..{high:8.1f}] "
+            f"{sparkline(bucketed)}"
+        )
+    return "\n".join(lines)
+
+
+def detect_phases(samples, event="total_cache_misses", threshold=None):
+    """Split a capture into burst/quiet phases by thresholding *event*.
+
+    Returns a list of ``(phase, start_index, length)`` with phase in
+    {"burst", "quiet"}.  The default threshold is the midpoint of the
+    series' range; a flat series (range < 1 event) is all-quiet.
+    """
+    series = series_from_samples(samples, event)
+    if not series:
+        return []
+    if threshold is None:
+        low, high = min(series), max(series)
+        if high - low < 1.0:
+            return [("quiet", 0, len(series))]
+        threshold = (low + high) / 2.0
+    phases = []
+    current = "burst" if series[0] >= threshold else "quiet"
+    start = 0
+    for index, value in enumerate(series[1:], start=1):
+        phase = "burst" if value >= threshold else "quiet"
+        if phase != current:
+            phases.append((current, start, index - start))
+            current, start = phase, index
+    phases.append((current, start, len(series) - start))
+    return phases
+
+
+def burst_fraction(samples, event="total_cache_misses", threshold=None):
+    """Fraction of windows in burst phases — the dispersion metric.
+
+    Plain Spectre sits near 1.0; a well-dispersed CR-Spectre variant
+    pushes this toward 0, which is exactly why fixed-window detectors
+    stop seeing it.
+    """
+    phases = detect_phases(samples, event=event, threshold=threshold)
+    total = sum(length for _, _, length in phases)
+    if total == 0:
+        return 0.0
+    burst = sum(length for phase, _, length in phases if phase == "burst")
+    return burst / total
+
+
+def _bucket(series, width):
+    """Average-downsample a series to at most *width* points."""
+    if len(series) <= width:
+        return list(series)
+    bucketed = []
+    step = len(series) / width
+    for column in range(width):
+        lo = int(column * step)
+        hi = max(lo + 1, int((column + 1) * step))
+        chunk = series[lo:hi]
+        bucketed.append(sum(chunk) / len(chunk))
+    return bucketed

@@ -1,0 +1,19 @@
+"""CPU: speculative interpreter, PMU, architectural state, shadow stack."""
+
+from repro.cpu.cpu import Cpu, CpuConfig
+from repro.cpu.pmu import EVENT_NAMES, NUM_EVENTS, PAPER_FEATURES, Pmu
+from repro.cpu.shadow_stack import ShadowStack
+from repro.cpu.state import CpuState, to_signed, to_unsigned
+
+__all__ = [
+    "Cpu",
+    "CpuConfig",
+    "EVENT_NAMES",
+    "NUM_EVENTS",
+    "PAPER_FEATURES",
+    "Pmu",
+    "ShadowStack",
+    "CpuState",
+    "to_signed",
+    "to_unsigned",
+]

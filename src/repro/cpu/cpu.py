@@ -1,0 +1,584 @@
+"""The speculative CPU: an interpreter with a bounded wrong-path window.
+
+Execution model
+---------------
+Instructions commit in order.  Control transfers consult the branch
+predictor (BHT / BTB / RSB); on a misprediction the CPU first executes up
+to ``spec_window`` *wrong-path* instructions starting at the predicted
+target.  Wrong-path execution works on a shadow register file and a store
+buffer, so architectural state is squashed afterwards — but instruction
+and data fetches performed on the wrong path still fill the caches and
+TLBs.  That persistence is precisely the Spectre channel the paper (and
+Kocher et al.) exploit, so it is modelled faithfully rather than faked.
+
+Timing model
+------------
+A width-``issue_width`` superscalar is approximated by charging
+``1/issue_width`` cycles per simple instruction, plus real penalties for
+memory-hierarchy misses, branch mispredictions, fences, and long-latency
+arithmetic.  ``rdcycle`` exposes the cycle counter to software, which is
+what the covert channel's flush+reload timer reads.
+"""
+
+import dataclasses
+
+from repro.branch.predictor import BranchPredictor
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cpu.pmu import Pmu
+from repro.cpu.shadow_stack import ShadowStack
+from repro.cpu.state import CpuState, to_signed
+from repro.errors import (
+    CpuFault,
+    EncodingError,
+    MemoryFault,
+    PrivilegeFault,
+)
+from repro.isa.encoding import INSTRUCTION_SIZE, decode
+from repro.isa.opcodes import Opcode
+from repro.mem.tlb import Tlb
+
+MASK32 = 0xFFFFFFFF
+
+_OP = Opcode  # local alias to shorten the dispatch code
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuConfig:
+    """Microarchitectural knobs.
+
+    ``shadow_stack`` and ``clflush_privileged`` implement two of the
+    paper's Section-IV countermeasures.
+    """
+
+    issue_width: int = 4
+    spec_window: int = 48
+    mispredict_penalty: float = 14.0
+    btb_miss_penalty: float = 8.0
+    mul_extra: float = 1.0
+    div_extra: float = 3.0
+    fence_latency: float = 8.0
+    clflush_latency: float = 6.0
+    syscall_latency: float = 40.0
+    shadow_stack: bool = False
+    clflush_privileged: bool = False
+    #: InvisiSpec-style defense (Yan et al., MICRO'18; discussed by the
+    #: paper): wrong-path loads are serviced from an invisible buffer
+    #: and never fill the caches, so a squash leaves no trace — the
+    #: covert channel's transmit side goes dark.
+    invisible_speculation: bool = False
+
+
+def _truncdiv(numerator, denominator):
+    """C-style truncating integer division (rounds toward zero)."""
+    quotient = abs(numerator) // abs(denominator)
+    if (numerator < 0) != (denominator < 0):
+        quotient = -quotient
+    return quotient
+
+
+def _alu_rrr(opcode, a, b):
+    """32-bit register-register ALU semantics."""
+    if opcode == _OP.ADD:
+        return (a + b) & MASK32
+    if opcode == _OP.SUB:
+        return (a - b) & MASK32
+    if opcode == _OP.MUL:
+        return (a * b) & MASK32
+    if opcode == _OP.DIV:
+        if b == 0:
+            return MASK32
+        return _truncdiv(to_signed(a), to_signed(b)) & MASK32
+    if opcode == _OP.MOD:
+        if b == 0:
+            return a
+        sa, sb = to_signed(a), to_signed(b)
+        return (sa - sb * _truncdiv(sa, sb)) & MASK32
+    if opcode == _OP.AND:
+        return a & b
+    if opcode == _OP.OR:
+        return a | b
+    if opcode == _OP.XOR:
+        return a ^ b
+    if opcode == _OP.SHL:
+        return (a << (b & 31)) & MASK32
+    if opcode == _OP.SHR:
+        return a >> (b & 31)
+    if opcode == _OP.SRA:
+        return (to_signed(a) >> (b & 31)) & MASK32
+    if opcode == _OP.SLT:
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if opcode == _OP.SLTU:
+        return 1 if a < b else 0
+    raise AssertionError(f"not an RRR opcode: {opcode}")
+
+
+def _alu_rri(opcode, a, imm):
+    """32-bit register-immediate ALU semantics."""
+    if opcode == _OP.ADDI:
+        return (a + imm) & MASK32
+    if opcode == _OP.MULI:
+        return (a * imm) & MASK32
+    if opcode == _OP.ANDI:
+        return a & (imm & MASK32)
+    if opcode == _OP.ORI:
+        return a | (imm & MASK32)
+    if opcode == _OP.XORI:
+        return a ^ (imm & MASK32)
+    if opcode == _OP.SHLI:
+        return (a << (imm & 31)) & MASK32
+    if opcode == _OP.SHRI:
+        return a >> (imm & 31)
+    if opcode == _OP.SRAI:
+        return (to_signed(a) >> (imm & 31)) & MASK32
+    if opcode == _OP.SLTI:
+        return 1 if to_signed(a) < imm else 0
+    raise AssertionError(f"not an RRI opcode: {opcode}")
+
+
+def _branch_taken(opcode, a, b):
+    if opcode == _OP.BEQ:
+        return a == b
+    if opcode == _OP.BNE:
+        return a != b
+    if opcode == _OP.BLT:
+        return to_signed(a) < to_signed(b)
+    if opcode == _OP.BGE:
+        return to_signed(a) >= to_signed(b)
+    if opcode == _OP.BLTU:
+        return a < b
+    if opcode == _OP.BGEU:
+        return a >= b
+    raise AssertionError(f"not a branch opcode: {opcode}")
+
+
+class Cpu:
+    """One simulated hardware thread."""
+
+    def __init__(self, memory, caches=None, predictor=None, config=None):
+        self.memory = memory
+        self.caches = caches or CacheHierarchy()
+        self.predictor = predictor or BranchPredictor()
+        self.config = config or CpuConfig()
+        self.state = CpuState()
+        self.dtlb = Tlb()
+        self.itlb = Tlb()
+        self.pmu = Pmu(self)
+        self.cycles = 0.0
+        self.shadow_stack = ShadowStack() if self.config.shadow_stack else None
+        self.kernel_mode = False
+        self.syscall_handler = None
+        self._decode_cache = {}
+        self._base_cost = 1.0 / self.config.issue_width
+        self._l1_latency = self.caches.config.l1_latency
+        self._last_iline = -1
+        self._last_ipage = -1
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def reset_for_exec(self):
+        """Flush decode/translation state after ``execve`` remaps memory."""
+        self._decode_cache.clear()
+        self._last_iline = -1
+        self._last_ipage = -1
+        self.dtlb.flush()
+        self.itlb.flush()
+        if self.shadow_stack is not None:
+            self.shadow_stack.reset()
+        self.predictor.rsb.reset()
+
+    def _fetch(self, pc):
+        instruction = self._decode_cache.get(pc)
+        if instruction is None:
+            blob = self.memory.fetch(pc, INSTRUCTION_SIZE)
+            try:
+                instruction = decode(blob)
+            except EncodingError as exc:
+                raise CpuFault(f"illegal instruction at {pc:#010x}: {exc}")
+            self._decode_cache[pc] = instruction
+        line = pc >> 6
+        if line != self._last_iline:
+            self._last_iline = line
+            result = self.caches.instruction_access(pc)
+            extra = result.latency - self._l1_latency
+            if extra > 0:
+                self.cycles += extra
+                self.pmu.counters["memory_stall_cycles"] += extra
+        page = pc >> 12
+        if page != self._last_ipage:
+            self._last_ipage = page
+            self.itlb.access(pc)
+        return instruction
+
+    def _charge_data_access(self, address, is_write):
+        self.dtlb.access(address)
+        result = self.caches.data_access(address, is_write)
+        extra = result.latency - self._l1_latency
+        if extra > 0:
+            self.cycles += extra
+            self.pmu.counters["memory_stall_cycles"] += extra
+
+    def _push_word(self, value):
+        state = self.state
+        sp = (state.sp - 4) & MASK32
+        state.sp = sp
+        self.memory.store_word(sp, value)
+        self._charge_data_access(sp, True)
+
+    def _pop_word(self):
+        state = self.state
+        sp = state.sp
+        value = self.memory.load_word(sp)
+        self._charge_data_access(sp, False)
+        state.sp = (sp + 4) & MASK32
+        return value
+
+    def _mispredict(self, wrong_path_pc):
+        """Charge the penalty and run the wrong path speculatively."""
+        penalty = self.config.mispredict_penalty
+        self.cycles += penalty
+        self.pmu.counters["mispredict_penalty_cycles"] += int(penalty)
+        if wrong_path_pc is not None:
+            self._speculate(wrong_path_pc)
+
+    # ------------------------------------------------------------------
+    # wrong-path (speculative) execution
+    # ------------------------------------------------------------------
+    def _speculate(self, start_pc):
+        """Execute the wrong path; only cache/TLB fills persist."""
+        regs = self.state.copy_regs()
+        store_buffer = {}
+        counters = self.pmu.counters
+        memory = self.memory
+        caches = self.caches
+        pc = start_pc
+        executed = 0
+
+        for _ in range(self.config.spec_window):
+            try:
+                instruction = self._decode_cache.get(pc)
+                if instruction is None:
+                    blob = memory.fetch(pc, INSTRUCTION_SIZE)
+                    instruction = decode(blob)
+                    self._decode_cache[pc] = instruction
+                # Wrong-path fetch fills the I-cache / ITLB too.
+                caches.instruction_access(pc)
+                self.itlb.access(pc)
+            except (MemoryFault, EncodingError):
+                break
+
+            executed += 1
+            counters["spec_instructions"] += 1
+            op = instruction.opcode
+            next_pc = (pc + INSTRUCTION_SIZE) & MASK32
+
+            if op == _OP.LW or op == _OP.LB:
+                address = (regs[instruction.rs1] + instruction.imm) & MASK32
+                counters["spec_loads"] += 1
+                if self.config.invisible_speculation:
+                    # Serviced from the speculative buffer: data flows to
+                    # the wrong path, but no cache line is installed.
+                    pass
+                else:
+                    self.dtlb.access(address)
+                    result = caches.data_access(address, False)
+                    if not result.hit:
+                        counters["spec_cache_fills"] += 1
+                key = (address, 4 if op == _OP.LW else 1)
+                if key in store_buffer:
+                    value = store_buffer[key]
+                else:
+                    try:
+                        if op == _OP.LW:
+                            value = memory.load_word(address)
+                        else:
+                            value = memory.load_byte(address)
+                    except MemoryFault:
+                        # Faulting wrong-path loads are suppressed; the
+                        # cache fill above already happened, as on real
+                        # hardware with a physically-mapped probe array.
+                        break
+                if instruction.rd != 0:
+                    regs[instruction.rd] = value & MASK32
+            elif op == _OP.SW or op == _OP.SB:
+                address = (regs[instruction.rs1] + instruction.imm) & MASK32
+                size = 4 if op == _OP.SW else 1
+                store_buffer[(address, size)] = regs[instruction.rs2] & (
+                    MASK32 if size == 4 else 0xFF
+                )
+                self.dtlb.access(address)
+                caches.data_access(address, True)
+            elif _OP.ADD <= op <= _OP.SLTU:
+                if instruction.rd != 0:
+                    regs[instruction.rd] = _alu_rrr(
+                        op, regs[instruction.rs1], regs[instruction.rs2]
+                    )
+            elif _OP.ADDI <= op <= _OP.SLTI:
+                if instruction.rd != 0:
+                    regs[instruction.rd] = _alu_rri(
+                        op, regs[instruction.rs1], instruction.imm
+                    )
+            elif op == _OP.LI:
+                if instruction.rd != 0:
+                    regs[instruction.rd] = instruction.imm & MASK32
+            elif op == _OP.MOV:
+                if instruction.rd != 0:
+                    regs[instruction.rd] = regs[instruction.rs1]
+            elif _OP.BEQ <= op <= _OP.BGEU:
+                # Nested branches resolve immediately on the wrong path.
+                if _branch_taken(op, regs[instruction.rs1],
+                                 regs[instruction.rs2]):
+                    next_pc = (pc + instruction.imm) & MASK32
+            elif op == _OP.JMP:
+                next_pc = (pc + instruction.imm) & MASK32
+            elif op == _OP.JMPR:
+                next_pc = (regs[instruction.rs1] + instruction.imm) & MASK32
+            elif op == _OP.CALL or op == _OP.CALLR:
+                return_address = next_pc
+                sp = (regs[13] - 4) & MASK32
+                regs[13] = sp
+                store_buffer[(sp, 4)] = return_address
+                if op == _OP.CALL:
+                    next_pc = (pc + instruction.imm) & MASK32
+                else:
+                    next_pc = (regs[instruction.rs1] + instruction.imm) & MASK32
+            elif op == _OP.RET:
+                sp = regs[13]
+                key = (sp, 4)
+                if key in store_buffer:
+                    target = store_buffer[key]
+                else:
+                    try:
+                        target = memory.load_word(sp)
+                    except MemoryFault:
+                        break
+                regs[13] = (sp + 4) & MASK32
+                next_pc = target & MASK32
+            elif op == _OP.PUSH:
+                sp = (regs[13] - 4) & MASK32
+                regs[13] = sp
+                store_buffer[(sp, 4)] = regs[instruction.rs1]
+                caches.data_access(sp, True)
+            elif op == _OP.POP:
+                sp = regs[13]
+                key = (sp, 4)
+                if key in store_buffer:
+                    value = store_buffer[key]
+                else:
+                    try:
+                        value = memory.load_word(sp)
+                    except MemoryFault:
+                        break
+                caches.data_access(sp, False)
+                regs[13] = (sp + 4) & MASK32
+                if instruction.rd != 0:
+                    regs[instruction.rd] = value
+            elif op == _OP.RDCYCLE:
+                if instruction.rd != 0:
+                    regs[instruction.rd] = int(self.cycles) & MASK32
+            elif op == _OP.RDINSTRET:
+                if instruction.rd != 0:
+                    regs[instruction.rd] = (
+                        self.pmu.counters["instructions"] & MASK32
+                    )
+            elif op == _OP.NOP:
+                pass
+            else:
+                # HALT, SYSCALL, MFENCE, CLFLUSH: serialising — wrong-path
+                # execution stops here (clflush is never speculated).
+                break
+            pc = next_pc
+
+        counters["squashed_instructions"] += executed
+
+    # ------------------------------------------------------------------
+    # architectural execution
+    # ------------------------------------------------------------------
+    def step(self):
+        """Execute one architectural instruction; returns False on halt."""
+        state = self.state
+        if state.halted:
+            return False
+        config = self.config
+        counters = self.pmu.counters
+        predictor = self.predictor
+        pc = state.pc
+        instruction = self._fetch(pc)
+        op = instruction.opcode
+        regs = state.regs
+        next_pc = (pc + INSTRUCTION_SIZE) & MASK32
+        self.cycles += self._base_cost
+        counters["instructions"] += 1
+
+        if _OP.ADD <= op <= _OP.SLTU:
+            counters["alu_instructions"] += 1
+            if op in (_OP.MUL, _OP.DIV, _OP.MOD):
+                counters["mul_div_instructions"] += 1
+                self.cycles += (
+                    config.div_extra if op in (_OP.DIV, _OP.MOD)
+                    else config.mul_extra
+                )
+            state.write_reg(
+                instruction.rd,
+                _alu_rrr(op, regs[instruction.rs1], regs[instruction.rs2]),
+            )
+        elif _OP.ADDI <= op <= _OP.SLTI:
+            counters["alu_instructions"] += 1
+            if op == _OP.MULI:
+                counters["mul_div_instructions"] += 1
+                self.cycles += config.mul_extra
+            state.write_reg(
+                instruction.rd,
+                _alu_rri(op, regs[instruction.rs1], instruction.imm),
+            )
+        elif op == _OP.LI:
+            counters["alu_instructions"] += 1
+            state.write_reg(instruction.rd, instruction.imm & MASK32)
+        elif op == _OP.MOV:
+            counters["alu_instructions"] += 1
+            state.write_reg(instruction.rd, regs[instruction.rs1])
+        elif op == _OP.LW:
+            counters["load_instructions"] += 1
+            address = (regs[instruction.rs1] + instruction.imm) & MASK32
+            value = self.memory.load_word(address)
+            self._charge_data_access(address, False)
+            state.write_reg(instruction.rd, value)
+        elif op == _OP.LB:
+            counters["load_instructions"] += 1
+            address = (regs[instruction.rs1] + instruction.imm) & MASK32
+            value = self.memory.load_byte(address)
+            self._charge_data_access(address, False)
+            state.write_reg(instruction.rd, value)
+        elif op == _OP.SW:
+            counters["store_instructions"] += 1
+            address = (regs[instruction.rs1] + instruction.imm) & MASK32
+            self.memory.store_word(address, regs[instruction.rs2])
+            self._charge_data_access(address, True)
+        elif op == _OP.SB:
+            counters["store_instructions"] += 1
+            address = (regs[instruction.rs1] + instruction.imm) & MASK32
+            self.memory.store_byte(address, regs[instruction.rs2])
+            self._charge_data_access(address, True)
+        elif op == _OP.PUSH:
+            counters["stack_instructions"] += 1
+            self._push_word(regs[instruction.rs1])
+        elif op == _OP.POP:
+            counters["stack_instructions"] += 1
+            state.write_reg(instruction.rd, self._pop_word())
+        elif _OP.BEQ <= op <= _OP.BGEU:
+            counters["branch_instructions"] += 1
+            counters["cond_branch_instructions"] += 1
+            taken = _branch_taken(op, regs[instruction.rs1],
+                                  regs[instruction.rs2])
+            predicted = predictor.predict_conditional(pc)
+            mispredicted = predictor.resolve_conditional(pc, predicted, taken)
+            if taken:
+                counters["branches_taken"] += 1
+                next_pc = (pc + instruction.imm) & MASK32
+            if mispredicted:
+                wrong_path = (
+                    (pc + instruction.imm) & MASK32 if predicted
+                    else (pc + INSTRUCTION_SIZE) & MASK32
+                )
+                self._mispredict(wrong_path)
+        elif op == _OP.JMP:
+            counters["branch_instructions"] += 1
+            next_pc = (pc + instruction.imm) & MASK32
+        elif op == _OP.JMPR:
+            counters["branch_instructions"] += 1
+            counters["indirect_jump_instructions"] += 1
+            target = (regs[instruction.rs1] + instruction.imm) & MASK32
+            predicted = predictor.predict_indirect(pc)
+            mispredicted = predictor.resolve_indirect(pc, predicted, target)
+            if predicted is None:
+                self.cycles += config.btb_miss_penalty
+            elif mispredicted:
+                self._mispredict(predicted)
+            next_pc = target
+        elif op == _OP.CALL:
+            counters["branch_instructions"] += 1
+            counters["call_instructions"] += 1
+            return_address = next_pc
+            self._push_word(return_address)
+            predictor.on_call(return_address)
+            if self.shadow_stack is not None:
+                self.shadow_stack.on_call(return_address)
+            next_pc = (pc + instruction.imm) & MASK32
+        elif op == _OP.CALLR:
+            counters["branch_instructions"] += 1
+            counters["call_instructions"] += 1
+            counters["indirect_jump_instructions"] += 1
+            target = (regs[instruction.rs1] + instruction.imm) & MASK32
+            predicted = predictor.predict_indirect(pc)
+            mispredicted = predictor.resolve_indirect(pc, predicted, target)
+            return_address = next_pc
+            self._push_word(return_address)
+            predictor.on_call(return_address)
+            if self.shadow_stack is not None:
+                self.shadow_stack.on_call(return_address)
+            if predicted is None:
+                self.cycles += config.btb_miss_penalty
+            elif mispredicted:
+                self._mispredict(predicted)
+            next_pc = target
+        elif op == _OP.RET:
+            counters["branch_instructions"] += 1
+            counters["ret_instructions"] += 1
+            target = self._pop_word()
+            if self.shadow_stack is not None:
+                self.shadow_stack.on_return(target)
+            predicted = predictor.predict_return()
+            mispredicted = predictor.resolve_return(predicted, target)
+            if mispredicted:
+                self._mispredict(predicted)
+            next_pc = target
+        elif op == _OP.CLFLUSH:
+            counters["clflush_instructions"] += 1
+            if self.config.clflush_privileged and not self.kernel_mode:
+                raise PrivilegeFault(
+                    "clflush is disabled for non-privileged code "
+                    "(countermeasure active)"
+                )
+            address = (regs[instruction.rs1] + instruction.imm) & MASK32
+            self.caches.flush_line(address)
+            self.cycles += config.clflush_latency
+        elif op == _OP.MFENCE:
+            counters["mfence_instructions"] += 1
+            self.cycles += config.fence_latency
+            counters["fence_stall_cycles"] += int(config.fence_latency)
+        elif op == _OP.RDCYCLE:
+            counters["alu_instructions"] += 1
+            state.write_reg(instruction.rd, int(self.cycles) & MASK32)
+        elif op == _OP.RDINSTRET:
+            counters["alu_instructions"] += 1
+            state.write_reg(
+                instruction.rd, counters["instructions"] & MASK32
+            )
+        elif op == _OP.SYSCALL:
+            counters["syscall_instructions"] += 1
+            self.cycles += config.syscall_latency
+            if self.syscall_handler is None:
+                raise CpuFault(f"syscall at {pc:#010x} with no handler")
+            state.pc = next_pc  # handlers (execve) may overwrite this
+            self.syscall_handler(self)
+            return not state.halted
+        elif op == _OP.NOP:
+            pass
+        elif op == _OP.HALT:
+            state.halted = True
+            return False
+        else:  # pragma: no cover - every opcode is handled above
+            raise CpuFault(f"unhandled opcode {op!r} at {pc:#010x}")
+
+        state.pc = next_pc
+        return True
+
+    def run(self, max_instructions=None):
+        """Run until halt (or *max_instructions*); returns retired count."""
+        executed = 0
+        while not self.state.halted:
+            if max_instructions is not None and executed >= max_instructions:
+                break
+            self.step()
+            executed += 1
+        return executed

@@ -1,0 +1,47 @@
+"""Shadow stack countermeasure (paper, Section IV).
+
+The paper suggests "a shadow memory — only accessible to the operating
+system — to compare and correct when return address manipulation takes
+place".  This model keeps a hardware-private copy of every pushed return
+address; a ``ret`` whose architectural target disagrees with the shadow
+copy raises :class:`ShadowStackViolation`, killing the ROP chain at its
+first gadget.
+"""
+
+from repro.errors import ShadowStackViolation
+
+
+class ShadowStack:
+    """Hardware-private return-address stack."""
+
+    def __init__(self, depth=4096):
+        self.depth = depth
+        self._stack = []
+        self.violations_detected = 0
+
+    def on_call(self, return_address):
+        if len(self._stack) >= self.depth:
+            # Deep recursion: oldest frames lose protection (documented
+            # real-world behaviour of bounded shadow stacks).
+            self._stack.pop(0)
+        self._stack.append(return_address)
+
+    def on_return(self, target):
+        """Validate a return; raises on mismatch."""
+        if not self._stack:
+            # Returns past the protected depth cannot be checked.
+            return
+        expected = self._stack.pop()
+        if expected != target:
+            self.violations_detected += 1
+            raise ShadowStackViolation(
+                f"return to {target:#010x} but shadow stack expected "
+                f"{expected:#010x} (ROP suspected)"
+            )
+
+    @property
+    def occupancy(self):
+        return len(self._stack)
+
+    def reset(self):
+        self._stack.clear()

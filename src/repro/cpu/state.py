@@ -1,0 +1,60 @@
+"""Architectural CPU state: registers + program counter."""
+
+from repro.isa.registers import NUM_REGISTERS, REGISTER_NAMES, SP, ZERO
+
+MASK32 = 0xFFFFFFFF
+
+
+def to_signed(value):
+    """Interpret a 32-bit unsigned value as signed."""
+    value &= MASK32
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def to_unsigned(value):
+    """Wrap any Python int into the unsigned 32-bit range."""
+    return value & MASK32
+
+
+class CpuState:
+    """Registers, PC and the halted flag.
+
+    Registers are stored as unsigned 32-bit ints; ``r0`` reads as zero
+    and ignores writes (enforced by :meth:`write_reg`).
+    """
+
+    __slots__ = ("regs", "pc", "halted", "exit_code")
+
+    def __init__(self):
+        self.regs = [0] * NUM_REGISTERS
+        self.pc = 0
+        self.halted = False
+        self.exit_code = None
+
+    def read_reg(self, index):
+        return self.regs[index]
+
+    def write_reg(self, index, value):
+        if index != ZERO:
+            self.regs[index] = value & MASK32
+
+    @property
+    def sp(self):
+        return self.regs[SP]
+
+    @sp.setter
+    def sp(self, value):
+        self.regs[SP] = value & MASK32
+
+    def copy_regs(self):
+        """Snapshot the register file (used by the speculative executor)."""
+        return list(self.regs)
+
+    def dump(self):
+        """Readable register dump for debugging."""
+        rows = [
+            f"{REGISTER_NAMES[i]:>4} = {self.regs[i]:#010x}"
+            for i in range(NUM_REGISTERS)
+        ]
+        rows.append(f"  pc = {self.pc:#010x}")
+        return "\n".join(rows)

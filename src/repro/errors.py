@@ -1,0 +1,82 @@
+"""Exception hierarchy for the CR-Spectre reproduction.
+
+Every error raised by the simulator, the toolchain, the attack layer or the
+HID layer derives from :class:`ReproError`, so callers can catch one base
+class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AssemblerError(ReproError):
+    """Raised when assembly source cannot be parsed or encoded."""
+
+    def __init__(self, message, line_number=None, line=None):
+        location = "" if line_number is None else f" (line {line_number}: {line!r})"
+        super().__init__(f"{message}{location}")
+        self.line_number = line_number
+        self.line = line
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+class MemoryFault(ReproError):
+    """Base class for simulated memory faults."""
+
+    def __init__(self, message, address=None):
+        if address is not None:
+            message = f"{message} at address {address:#010x}"
+        super().__init__(message)
+        self.address = address
+
+
+class SegmentationFault(MemoryFault):
+    """Access to an unmapped address."""
+
+
+class ProtectionFault(MemoryFault):
+    """Access violating page permissions (e.g. executing a DEP page)."""
+
+
+class AlignmentFault(MemoryFault):
+    """Misaligned word access."""
+
+
+class CpuFault(ReproError):
+    """Raised for architectural faults during execution."""
+
+
+class ShadowStackViolation(CpuFault):
+    """Return address mismatch detected by the shadow-stack countermeasure."""
+
+
+class PrivilegeFault(CpuFault):
+    """Unprivileged use of a restricted instruction (e.g. clflush)."""
+
+
+class StackCanaryViolation(CpuFault):
+    """Stack canary corrupted; the process aborts before returning."""
+
+
+class KernelError(ReproError):
+    """Raised by the simulated OS layer (bad syscall, missing binary...)."""
+
+
+class LoaderError(KernelError):
+    """Raised when a program cannot be loaded or relocated."""
+
+
+class AttackError(ReproError):
+    """Raised by the attack toolchain (no gadget found, bad payload...)."""
+
+
+class GadgetNotFoundError(AttackError):
+    """A required ROP gadget does not exist in the scanned image."""
+
+
+class HidError(ReproError):
+    """Raised by the HID layer (bad dataset, untrained classifier...)."""

@@ -1,0 +1,60 @@
+"""Hardware-assisted intrusion detection: profiler, features, classifiers."""
+
+from repro.hid.classifiers import (
+    CLASSIFIER_FACTORIES,
+    DeepNnClassifier,
+    LinearSvmClassifier,
+    LogisticRegressionClassifier,
+    MlpClassifier,
+    make_classifier,
+)
+from repro.hid.dataset import (
+    ATTACK,
+    BENIGN,
+    Dataset,
+    Sample,
+    samples_to_dataset,
+)
+from repro.hid.detector import (
+    HidDetector,
+    OnlineHidDetector,
+    average_accuracy,
+    make_detector,
+)
+from repro.hid.features import (
+    DEFAULT_FEATURES,
+    ELIGIBLE_EVENTS,
+    FEATURE_SIZES,
+    RANKED_FEATURES,
+    feature_set,
+)
+from repro.hid.metrics import DetectionMetrics, compute_metrics
+from repro.hid.profiler import Profiler
+from repro.hid.scaler import StandardScaler
+
+__all__ = [
+    "CLASSIFIER_FACTORIES",
+    "DeepNnClassifier",
+    "LinearSvmClassifier",
+    "LogisticRegressionClassifier",
+    "MlpClassifier",
+    "make_classifier",
+    "ATTACK",
+    "BENIGN",
+    "Dataset",
+    "Sample",
+    "samples_to_dataset",
+    "HidDetector",
+    "OnlineHidDetector",
+    "average_accuracy",
+    "make_detector",
+    "DEFAULT_FEATURES",
+    "ELIGIBLE_EVENTS",
+    "FEATURE_SIZES",
+    "RANKED_FEATURES",
+    "feature_set",
+    "DetectionMetrics",
+    "compute_metrics",
+    "Profiler",
+    "StandardScaler",
+]

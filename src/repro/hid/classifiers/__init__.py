@@ -1,0 +1,37 @@
+"""The four HID classifiers (paper Section III-A)."""
+
+from repro.hid.classifiers.base import BaseClassifier
+from repro.hid.classifiers.deep_nn import DeepNnClassifier
+from repro.hid.classifiers.logistic import LogisticRegressionClassifier
+from repro.hid.classifiers.mlp import MlpClassifier
+from repro.hid.classifiers.svm import LinearSvmClassifier
+
+CLASSIFIER_FACTORIES = {
+    "mlp": MlpClassifier,
+    "nn": DeepNnClassifier,
+    "lr": LogisticRegressionClassifier,
+    "svm": LinearSvmClassifier,
+}
+
+
+def make_classifier(name, seed=0, **kwargs):
+    """Instantiate a detector model by name ('mlp', 'nn', 'lr', 'svm')."""
+    try:
+        factory = CLASSIFIER_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown classifier {name!r}; "
+            f"choose from {sorted(CLASSIFIER_FACTORIES)}"
+        )
+    return factory(seed=seed, **kwargs)
+
+
+__all__ = [
+    "BaseClassifier",
+    "DeepNnClassifier",
+    "LogisticRegressionClassifier",
+    "MlpClassifier",
+    "LinearSvmClassifier",
+    "CLASSIFIER_FACTORIES",
+    "make_classifier",
+]

@@ -1,0 +1,69 @@
+"""Classifier interface shared by the four HID models.
+
+All classifiers are binary (benign=0 / attack=1), implemented from
+scratch on numpy because sklearn/TensorFlow are unavailable offline —
+the paper's MLP (sklearn), NN (TensorFlow), LR and SVM map onto
+:class:`~repro.hid.classifiers.mlp.MlpClassifier`,
+:class:`~repro.hid.classifiers.deep_nn.DeepNnClassifier`,
+:class:`~repro.hid.classifiers.logistic.LogisticRegressionClassifier` and
+:class:`~repro.hid.classifiers.svm.LinearSvmClassifier`.
+"""
+
+import numpy as np
+
+from repro.errors import HidError
+
+
+class BaseClassifier:
+    """fit / predict / score over already-scaled feature matrices."""
+
+    name = "abstract"
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self._fitted = False
+
+    # ---- interface -----------------------------------------------------
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.shape[0] != y.shape[0]:
+            raise HidError("X and y row counts differ")
+        if X.shape[0] == 0:
+            raise HidError("cannot fit on an empty dataset")
+        self._fit(X, y)
+        self._fitted = True
+        return self
+
+    def predict(self, X):
+        self._require_fitted()
+        return self._predict(np.asarray(X, dtype=np.float64))
+
+    def decision_function(self, X):
+        """Signed score; positive = attack."""
+        self._require_fitted()
+        return self._decision(np.asarray(X, dtype=np.float64))
+
+    def score(self, X, y):
+        """Accuracy on (X, y)."""
+        predictions = self.predict(X)
+        y = np.asarray(y)
+        return float(np.mean(predictions == y))
+
+    # ---- hooks -----------------------------------------------------------
+    def _fit(self, X, y):
+        raise NotImplementedError
+
+    def _decision(self, X):
+        raise NotImplementedError
+
+    def _predict(self, X):
+        return (self._decision(X) > 0.0).astype(np.int64)
+
+    def _require_fitted(self):
+        if not self._fitted:
+            raise HidError(f"{self.name} classifier used before fit()")
+
+    def clone(self):
+        """Fresh, unfitted copy with identical hyper-parameters."""
+        raise NotImplementedError

@@ -1,0 +1,25 @@
+"""Deep NN detector (the paper's 6-layer TensorFlow network with ReLU).
+
+Six layers = input + four ReLU hidden layers + logistic output, sharing
+the MLP training machinery.
+"""
+
+from repro.hid.classifiers.mlp import MlpClassifier
+
+
+class DeepNnClassifier(MlpClassifier):
+    """The paper's "Neural Network (NN) from Tensorflow" stand-in."""
+
+    name = "nn"
+
+    def __init__(self, hidden_layers=(64, 48, 32, 16), learning_rate=0.03,
+                 momentum=0.9, epochs=250, batch_size=32, l2=1e-4, seed=0):
+        super().__init__(
+            hidden_layers=hidden_layers,
+            learning_rate=learning_rate,
+            momentum=momentum,
+            epochs=epochs,
+            batch_size=batch_size,
+            l2=l2,
+            seed=seed,
+        )

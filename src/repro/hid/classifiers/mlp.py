@@ -1,0 +1,118 @@
+"""Multi-layer perceptron (the paper's sklearn MLP detector).
+
+ReLU hidden layers, sigmoid output, mini-batch SGD with momentum — a
+from-scratch equivalent of ``sklearn.neural_network.MLPClassifier``.
+The paper's "3-layer network" is input + one hidden + output, i.e.
+``hidden_layers=(32,)`` here.
+"""
+
+import numpy as np
+
+from repro.hid.classifiers.base import BaseClassifier
+
+
+def _sigmoid(z):
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class MlpClassifier(BaseClassifier):
+    """ReLU MLP with a logistic output unit."""
+
+    name = "mlp"
+
+    def __init__(self, hidden_layers=(32,), learning_rate=0.05,
+                 momentum=0.9, epochs=200, batch_size=32, l2=1e-4, seed=0):
+        super().__init__(seed=seed)
+        self.hidden_layers = tuple(hidden_layers)
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.weights_ = None
+        self.biases_ = None
+
+    # ------------------------------------------------------------------
+    def _init_params(self, input_dim, rng):
+        sizes = [input_dim, *self.hidden_layers, 1]
+        weights, biases = [], []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            # He initialisation for the ReLU stacks.
+            scale = np.sqrt(2.0 / fan_in)
+            weights.append(rng.normal(scale=scale, size=(fan_in, fan_out)))
+            biases.append(np.zeros(fan_out))
+        return weights, biases
+
+    def _forward(self, X, weights, biases):
+        """Returns (activations per layer, output probabilities)."""
+        activations = [X]
+        a = X
+        for w, b in zip(weights[:-1], biases[:-1]):
+            a = np.maximum(a @ w + b, 0.0)
+            activations.append(a)
+        logits = a @ weights[-1] + biases[-1]
+        return activations, _sigmoid(logits).ravel()
+
+    def _fit(self, X, y):
+        n, d = X.shape
+        rng = np.random.default_rng(self.seed)
+        weights, biases = self._init_params(d, rng)
+        vel_w = [np.zeros_like(w) for w in weights]
+        vel_b = [np.zeros_like(b) for b in biases]
+        target = y.astype(np.float64)
+
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                xb, tb = X[batch], target[batch]
+                activations, probs = self._forward(xb, weights, biases)
+
+                # Backprop of binary cross-entropy through the sigmoid.
+                delta = ((probs - tb) / len(batch))[:, None]
+                grads_w = [None] * len(weights)
+                grads_b = [None] * len(biases)
+                for layer in range(len(weights) - 1, -1, -1):
+                    a_prev = activations[layer]
+                    grads_w[layer] = a_prev.T @ delta + self.l2 * weights[layer]
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = delta @ weights[layer].T
+                        delta *= (activations[layer] > 0.0)
+
+                for layer in range(len(weights)):
+                    vel_w[layer] = (
+                        self.momentum * vel_w[layer]
+                        - self.learning_rate * grads_w[layer]
+                    )
+                    vel_b[layer] = (
+                        self.momentum * vel_b[layer]
+                        - self.learning_rate * grads_b[layer]
+                    )
+                    weights[layer] += vel_w[layer]
+                    biases[layer] += vel_b[layer]
+
+        self.weights_ = weights
+        self.biases_ = biases
+
+    def _decision(self, X):
+        _, probs = self._forward(X, self.weights_, self.biases_)
+        return probs - 0.5
+
+    def predict_proba(self, X):
+        self._require_fitted()
+        _, probs = self._forward(
+            np.asarray(X, dtype=np.float64), self.weights_, self.biases_
+        )
+        return probs
+
+    def clone(self):
+        return type(self)(
+            hidden_layers=self.hidden_layers,
+            learning_rate=self.learning_rate,
+            momentum=self.momentum,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            l2=self.l2,
+            seed=self.seed,
+        )

@@ -1,0 +1,127 @@
+"""HID detectors: offline (static) and online (retraining).
+
+The offline HID (paper: "a static type that does not retrain itself
+during runtime", like CloudRadar) is trained once.  The online HID is
+"retrained during runtime on newer traces": after every attack attempt
+the windows observed during that attempt are added — with ground-truth
+labels, modelling the defender's offline forensics — and the model is
+refitted from scratch on the augmented dataset.
+"""
+
+import numpy as np
+
+from repro.errors import HidError
+from repro.hid.classifiers import make_classifier
+from repro.hid.dataset import Dataset
+from repro.hid.features import DEFAULT_FEATURES
+from repro.hid.metrics import compute_metrics
+from repro.hid.scaler import StandardScaler
+
+
+class HidDetector:
+    """Scaler + classifier over a fixed HPC feature subset."""
+
+    def __init__(self, classifier="mlp", features=DEFAULT_FEATURES, seed=0):
+        if isinstance(classifier, str):
+            classifier = make_classifier(classifier, seed=seed)
+        self.classifier = classifier
+        self.features = tuple(features)
+        self.seed = seed
+        self.scaler = StandardScaler()
+        self._trained = False
+
+    @property
+    def name(self):
+        return self.classifier.name
+
+    # ---- training ----------------------------------------------------
+    def fit(self, dataset):
+        """Train on a dataset whose features match ``self.features``."""
+        if dataset.feature_names != self.features:
+            raise HidError(
+                "dataset features do not match detector configuration"
+            )
+        X = self.scaler.fit_transform(dataset.X)
+        self.classifier.fit(X, dataset.y)
+        self._trained = True
+        return self
+
+    # ---- inference ------------------------------------------------------
+    def predict(self, dataset):
+        self._require_trained()
+        return self.classifier.predict(self.scaler.transform(dataset.X))
+
+    def predict_samples(self, samples):
+        """Classify raw profiler samples; returns a label array."""
+        dataset = Dataset.from_samples(samples, self.features)
+        return self.predict(dataset)
+
+    def metrics_on(self, dataset):
+        self._require_trained()
+        predictions = self.predict(dataset)
+        return compute_metrics(dataset.y, predictions)
+
+    def accuracy_on(self, dataset):
+        return self.metrics_on(dataset).accuracy
+
+    def accuracy_on_samples(self, samples):
+        dataset = Dataset.from_samples(samples, self.features)
+        return self.accuracy_on(dataset)
+
+    def _require_trained(self):
+        if not self._trained:
+            raise HidError("detector used before fit()")
+
+
+class OnlineHidDetector(HidDetector):
+    """Retrains on the augmented trace corpus after every attempt."""
+
+    def __init__(self, classifier="mlp", features=DEFAULT_FEATURES, seed=0,
+                 max_training_rows=6000):
+        super().__init__(classifier=classifier, features=features, seed=seed)
+        self.max_training_rows = max_training_rows
+        self._corpus = None
+        self._retrain_count = 0
+
+    def fit(self, dataset):
+        self._corpus = dataset
+        return super().fit(dataset)
+
+    def observe(self, dataset):
+        """Fold newly profiled windows in and retrain (online learning)."""
+        if self._corpus is None:
+            raise HidError("online detector must be fit() before observe()")
+        self._corpus = self._corpus.merged_with(dataset)
+        self._retrain_count += 1
+        bounded = self._corpus.subsample(
+            self.max_training_rows, seed=self.seed + self._retrain_count
+        )
+        # Refit a fresh clone: sklearn-style warm restarts would anchor
+        # the old decision boundary and understate the defender.
+        self.classifier = self.classifier.clone()
+        X = self.scaler.fit_transform(bounded.X)
+        self.classifier.fit(X, bounded.y)
+        return self
+
+    @property
+    def corpus_size(self):
+        return 0 if self._corpus is None else len(self._corpus)
+
+    @property
+    def retrain_count(self):
+        return self._retrain_count
+
+
+def make_detector(classifier="mlp", features=DEFAULT_FEATURES, seed=0,
+                  online=False):
+    """Factory covering both detector types."""
+    if online:
+        return OnlineHidDetector(
+            classifier=classifier, features=features, seed=seed
+        )
+    return HidDetector(classifier=classifier, features=features, seed=seed)
+
+
+def average_accuracy(detectors, dataset):
+    """Mean accuracy of several detectors on one dataset."""
+    return float(np.mean([d.accuracy_on(dataset) for d in detectors]))

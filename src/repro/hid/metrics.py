@@ -1,0 +1,66 @@
+"""Detection metrics for HID evaluation."""
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectionMetrics:
+    """Binary confusion-matrix summary (attack = positive class)."""
+
+    true_positives: int
+    true_negatives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def total(self):
+        return (self.true_positives + self.true_negatives
+                + self.false_positives + self.false_negatives)
+
+    @property
+    def accuracy(self):
+        if self.total == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / self.total
+
+    @property
+    def precision(self):
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self):
+        """a.k.a. detection rate of the attack class."""
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def false_positive_rate(self):
+        denom = self.false_positives + self.true_negatives
+        return self.false_positives / denom if denom else 0.0
+
+    @property
+    def f1(self):
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def describe(self):
+        return (
+            f"acc={self.accuracy:.3f} prec={self.precision:.3f} "
+            f"rec={self.recall:.3f} f1={self.f1:.3f} "
+            f"fpr={self.false_positive_rate:.3f}"
+        )
+
+
+def compute_metrics(y_true, y_pred):
+    """Build :class:`DetectionMetrics` from label arrays."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    return DetectionMetrics(
+        true_positives=int(np.sum((y_true == 1) & (y_pred == 1))),
+        true_negatives=int(np.sum((y_true == 0) & (y_pred == 0))),
+        false_positives=int(np.sum((y_true == 0) & (y_pred == 1))),
+        false_negatives=int(np.sum((y_true == 1) & (y_pred == 0))),
+    )

@@ -1,0 +1,30 @@
+"""Feature standardisation (from scratch; sklearn is unavailable offline)."""
+
+import numpy as np
+
+from repro.errors import HidError
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling fitted on training data."""
+
+    def __init__(self):
+        self.mean_ = None
+        self.scale_ = None
+
+    def fit(self, X):
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # Constant features scale by 1 so they become exactly zero.
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X):
+        if self.mean_ is None:
+            raise HidError("scaler used before fit()")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)

@@ -1,0 +1,38 @@
+"""Toy RISC ISA: registers, opcodes, encoding, assembler, disassembler."""
+
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.disassembler import disassemble, format_listing
+from repro.isa.encoding import (
+    INSTRUCTION_SIZE,
+    decode,
+    decode_program,
+    encode,
+    encode_program,
+    try_decode,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Opcode
+from repro.isa.program import DATA, Program, Relocation, Symbol, TEXT
+from repro.isa import registers
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "disassemble",
+    "format_listing",
+    "INSTRUCTION_SIZE",
+    "decode",
+    "decode_program",
+    "encode",
+    "encode_program",
+    "try_decode",
+    "Instruction",
+    "Format",
+    "Opcode",
+    "DATA",
+    "TEXT",
+    "Program",
+    "Relocation",
+    "Symbol",
+    "registers",
+]

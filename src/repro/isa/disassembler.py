@@ -1,0 +1,36 @@
+"""Disassembler: encoded bytes back to readable assembly.
+
+Used by debugging helpers and by the gadget scanner's reporting path, so
+an analyst can inspect exactly which instruction sequence a gadget
+executes.
+"""
+
+from repro.isa.encoding import INSTRUCTION_SIZE, try_decode
+
+
+def disassemble(blob, base=0):
+    """Disassemble a text segment.
+
+    Returns a list of ``(address, instruction_or_none, text)`` tuples;
+    undecodable slots are rendered as ``.byte`` lines so the output always
+    covers every byte.
+    """
+    lines = []
+    for offset in range(0, len(blob) - len(blob) % INSTRUCTION_SIZE,
+                        INSTRUCTION_SIZE):
+        address = base + offset
+        instruction = try_decode(blob, offset)
+        if instruction is None:
+            raw = blob[offset:offset + INSTRUCTION_SIZE]
+            text = ".byte " + ", ".join(f"{b:#04x}" for b in raw)
+        else:
+            text = instruction.to_assembly()
+        lines.append((address, instruction, text))
+    return lines
+
+
+def format_listing(blob, base=0):
+    """Return a printable multi-line disassembly listing."""
+    return "\n".join(
+        f"{address:#010x}:  {text}" for address, _, text in disassemble(blob, base)
+    )

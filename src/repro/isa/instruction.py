@@ -1,0 +1,88 @@
+"""The :class:`Instruction` value type."""
+
+import dataclasses
+
+from repro.isa.opcodes import Format, OPCODE_FORMATS, Opcode
+from repro.isa.registers import register_name
+
+IMM_MIN = -(2**31)
+IMM_MAX = 2**31 - 1
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One decoded machine instruction.
+
+    ``imm`` is a signed 32-bit value; branch/jump immediates are *byte*
+    offsets relative to the address of the instruction itself.
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self):
+        if not isinstance(self.opcode, Opcode):
+            object.__setattr__(self, "opcode", Opcode(self.opcode))
+        for field in ("rd", "rs1", "rs2"):
+            value = getattr(self, field)
+            if not 0 <= value < 16:
+                raise ValueError(f"{field} out of range: {value}")
+        if not IMM_MIN <= self.imm <= IMM_MAX:
+            raise ValueError(f"immediate out of range: {self.imm}")
+
+    @property
+    def format(self):
+        return OPCODE_FORMATS[self.opcode]
+
+    def to_assembly(self):
+        """Render the instruction as assembler-compatible text."""
+        mnemonic = self.opcode.name.lower()
+        fmt = self.format
+        if fmt is Format.NONE:
+            return mnemonic
+        if fmt is Format.RRR:
+            return (
+                f"{mnemonic} {register_name(self.rd)}, "
+                f"{register_name(self.rs1)}, {register_name(self.rs2)}"
+            )
+        if fmt is Format.RRI:
+            return (
+                f"{mnemonic} {register_name(self.rd)}, "
+                f"{register_name(self.rs1)}, {self.imm}"
+            )
+        if fmt is Format.RI:
+            return f"{mnemonic} {register_name(self.rd)}, {self.imm}"
+        if fmt is Format.RR:
+            return f"{mnemonic} {register_name(self.rd)}, {register_name(self.rs1)}"
+        if fmt is Format.R_SRC:
+            return f"{mnemonic} {register_name(self.rs1)}"
+        if fmt is Format.R_DST:
+            return f"{mnemonic} {register_name(self.rd)}"
+        if fmt is Format.MEM_LOAD:
+            return (
+                f"{mnemonic} {register_name(self.rd)}, "
+                f"{self.imm}({register_name(self.rs1)})"
+            )
+        if fmt is Format.MEM_STORE:
+            return (
+                f"{mnemonic} {register_name(self.rs2)}, "
+                f"{self.imm}({register_name(self.rs1)})"
+            )
+        if fmt is Format.MEM_ADDR:
+            return f"{mnemonic} {self.imm}({register_name(self.rs1)})"
+        if fmt is Format.BRANCH:
+            return (
+                f"{mnemonic} {register_name(self.rs1)}, "
+                f"{register_name(self.rs2)}, {self.imm}"
+            )
+        if fmt is Format.JUMP:
+            return f"{mnemonic} {self.imm}"
+        if fmt is Format.JR:
+            return f"{mnemonic} {register_name(self.rs1)}, {self.imm}"
+        raise AssertionError(f"unhandled format {fmt}")
+
+    def __str__(self):
+        return self.to_assembly()

@@ -1,0 +1,190 @@
+"""Opcode definitions for the toy RISC ISA.
+
+Every instruction is a fixed 8-byte word (see :mod:`repro.isa.encoding`).
+The numeric opcode values are part of the binary format: the ROP gadget
+scanner recognises ``RET`` (and the instructions preceding it) directly in
+the encoded bytes of loaded binaries, so the values below must stay stable.
+
+Operand *formats* describe how the assembler parses and the disassembler
+prints each instruction:
+
+=========  ==========================================  ==================
+Format     Assembly syntax                             Fields used
+=========  ==========================================  ==================
+``NONE``   ``ret``                                     --
+``RRR``    ``add rd, rs1, rs2``                        rd, rs1, rs2
+``RRI``    ``addi rd, rs1, imm``                       rd, rs1, imm
+``RI``     ``li rd, imm``                              rd, imm
+``RR``     ``mov rd, rs1``                             rd, rs1
+``R``      ``push rs1`` / ``pop rd`` / ``rdcycle rd``  rs1 or rd
+``MEM``    ``lw rd, imm(rs1)`` / ``sw rs2, imm(rs1)``  rd/rs2, rs1, imm
+``BRANCH`` ``beq rs1, rs2, label``                     rs1, rs2, imm
+``JUMP``   ``jmp label`` / ``call label``              imm (pc-relative)
+``JR``     ``jmpr rs1`` / ``callr rs1``                rs1, imm
+=========  ==========================================  ==================
+"""
+
+import enum
+
+
+class Format(enum.Enum):
+    """Operand format of an opcode (parse/print shape)."""
+
+    NONE = "none"
+    RRR = "rrr"
+    RRI = "rri"
+    RI = "ri"
+    RR = "rr"
+    R_SRC = "r_src"  # single source register (push)
+    R_DST = "r_dst"  # single destination register (pop, rdcycle)
+    MEM_LOAD = "mem_load"
+    MEM_STORE = "mem_store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    JR = "jr"
+    MEM_ADDR = "mem_addr"  # clflush imm(rs1)
+
+
+class Opcode(enum.IntEnum):
+    """All machine opcodes with their stable binary values."""
+
+    NOP = 0x00
+    HALT = 0x01
+
+    # Register-register ALU.
+    ADD = 0x10
+    SUB = 0x11
+    MUL = 0x12
+    DIV = 0x13
+    MOD = 0x14
+    AND = 0x15
+    OR = 0x16
+    XOR = 0x17
+    SHL = 0x18
+    SHR = 0x19
+    SRA = 0x1A
+    SLT = 0x1B
+    SLTU = 0x1C
+
+    # Register-immediate ALU.
+    ADDI = 0x20
+    MULI = 0x21
+    ANDI = 0x22
+    ORI = 0x23
+    XORI = 0x24
+    SHLI = 0x25
+    SHRI = 0x26
+    SRAI = 0x27
+    SLTI = 0x28
+    LI = 0x29
+    MOV = 0x2A
+
+    # Memory.
+    LW = 0x30
+    LB = 0x31
+    SW = 0x32
+    SB = 0x33
+    PUSH = 0x34
+    POP = 0x35
+
+    # Control flow.
+    BEQ = 0x40
+    BNE = 0x41
+    BLT = 0x42
+    BGE = 0x43
+    BLTU = 0x44
+    BGEU = 0x45
+    JMP = 0x48
+    JMPR = 0x49
+    CALL = 0x4A
+    CALLR = 0x4B
+    RET = 0x4C
+
+    # System.
+    SYSCALL = 0x50
+    CLFLUSH = 0x51
+    MFENCE = 0x52
+    RDCYCLE = 0x53
+    RDINSTRET = 0x54
+
+
+#: Opcode -> operand format.
+OPCODE_FORMATS = {
+    Opcode.NOP: Format.NONE,
+    Opcode.HALT: Format.NONE,
+    Opcode.ADD: Format.RRR,
+    Opcode.SUB: Format.RRR,
+    Opcode.MUL: Format.RRR,
+    Opcode.DIV: Format.RRR,
+    Opcode.MOD: Format.RRR,
+    Opcode.AND: Format.RRR,
+    Opcode.OR: Format.RRR,
+    Opcode.XOR: Format.RRR,
+    Opcode.SHL: Format.RRR,
+    Opcode.SHR: Format.RRR,
+    Opcode.SRA: Format.RRR,
+    Opcode.SLT: Format.RRR,
+    Opcode.SLTU: Format.RRR,
+    Opcode.ADDI: Format.RRI,
+    Opcode.MULI: Format.RRI,
+    Opcode.ANDI: Format.RRI,
+    Opcode.ORI: Format.RRI,
+    Opcode.XORI: Format.RRI,
+    Opcode.SHLI: Format.RRI,
+    Opcode.SHRI: Format.RRI,
+    Opcode.SRAI: Format.RRI,
+    Opcode.SLTI: Format.RRI,
+    Opcode.LI: Format.RI,
+    Opcode.MOV: Format.RR,
+    Opcode.LW: Format.MEM_LOAD,
+    Opcode.LB: Format.MEM_LOAD,
+    Opcode.SW: Format.MEM_STORE,
+    Opcode.SB: Format.MEM_STORE,
+    Opcode.PUSH: Format.R_SRC,
+    Opcode.POP: Format.R_DST,
+    Opcode.BEQ: Format.BRANCH,
+    Opcode.BNE: Format.BRANCH,
+    Opcode.BLT: Format.BRANCH,
+    Opcode.BGE: Format.BRANCH,
+    Opcode.BLTU: Format.BRANCH,
+    Opcode.BGEU: Format.BRANCH,
+    Opcode.JMP: Format.JUMP,
+    Opcode.JMPR: Format.JR,
+    Opcode.CALL: Format.JUMP,
+    Opcode.CALLR: Format.JR,
+    Opcode.RET: Format.NONE,
+    Opcode.SYSCALL: Format.NONE,
+    Opcode.CLFLUSH: Format.MEM_ADDR,
+    Opcode.MFENCE: Format.NONE,
+    Opcode.RDCYCLE: Format.R_DST,
+    Opcode.RDINSTRET: Format.R_DST,
+}
+
+#: Lowercase mnemonic -> opcode, for the assembler.
+MNEMONICS = {op.name.lower(): op for op in Opcode}
+
+ALU_RRR_OPCODES = frozenset(
+    op for op, fmt in OPCODE_FORMATS.items() if fmt is Format.RRR
+)
+ALU_RRI_OPCODES = frozenset(
+    op for op, fmt in OPCODE_FORMATS.items() if fmt is Format.RRI
+) | {Opcode.LI, Opcode.MOV}
+LOAD_OPCODES = frozenset({Opcode.LW, Opcode.LB, Opcode.POP})
+STORE_OPCODES = frozenset({Opcode.SW, Opcode.SB, Opcode.PUSH})
+COND_BRANCH_OPCODES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU}
+)
+CONTROL_OPCODES = COND_BRANCH_OPCODES | {
+    Opcode.JMP,
+    Opcode.JMPR,
+    Opcode.CALL,
+    Opcode.CALLR,
+    Opcode.RET,
+}
+
+VALID_OPCODE_VALUES = frozenset(int(op) for op in Opcode)
+
+
+def is_valid_opcode(value):
+    """Return True if *value* is the binary value of a defined opcode."""
+    return value in VALID_OPCODE_VALUES

@@ -1,0 +1,96 @@
+"""Linkable program images produced by the assembler.
+
+A :class:`Program` is the simulated analogue of an object file / ELF
+binary: it holds the encoded ``.text`` and ``.data`` sections, a symbol
+table, and relocation records for every absolute address embedded in
+either section.  The loader (:mod:`repro.kernel.loader`) picks base
+addresses — possibly randomised under ASLR — and patches the relocations,
+exactly the step that makes ROP payloads address-sensitive.
+"""
+
+import dataclasses
+import struct
+
+
+TEXT = "text"
+DATA = "data"
+
+
+@dataclasses.dataclass(frozen=True)
+class Symbol:
+    """A named location inside a section."""
+
+    name: str
+    section: str
+    offset: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Relocation:
+    """An absolute-address fixup.
+
+    ``section``/``offset`` locate the 4-byte field to patch (for text
+    relocations the field is the ``imm`` slot, i.e. instruction offset + 4);
+    the patched value is ``address_of(symbol) + addend``.
+    """
+
+    section: str
+    offset: int
+    symbol: str
+    addend: int = 0
+
+
+@dataclasses.dataclass
+class Program:
+    """An assembled, not-yet-loaded binary image."""
+
+    name: str
+    text: bytes
+    data: bytes
+    symbols: dict
+    relocations: list
+    entry: str = "main"
+
+    def symbol(self, name):
+        """Return the :class:`Symbol` for *name* (KeyError if undefined)."""
+        return self.symbols[name]
+
+    def has_symbol(self, name):
+        return name in self.symbols
+
+    def text_offset_of(self, name):
+        """Offset of a text symbol within ``.text``."""
+        symbol = self.symbols[name]
+        if symbol.section != TEXT:
+            raise ValueError(f"symbol {name!r} is not in .text")
+        return symbol.offset
+
+    def relocated(self, text_base, data_base):
+        """Return ``(text_bytes, data_bytes)`` with relocations applied.
+
+        The returned buffers are fresh ``bytearray`` copies; the program
+        itself is immutable and can be loaded many times at different
+        bases.
+        """
+        text = bytearray(self.text)
+        data = bytearray(self.data)
+        buffers = {TEXT: text, DATA: data}
+        bases = {TEXT: text_base, DATA: data_base}
+        for relocation in self.relocations:
+            symbol = self.symbols[relocation.symbol]
+            address = bases[symbol.section] + symbol.offset + relocation.addend
+            struct.pack_into(
+                "<I",
+                buffers[relocation.section],
+                relocation.offset,
+                address & 0xFFFFFFFF,
+            )
+        return bytes(text), bytes(data)
+
+    @property
+    def text_size(self):
+        return len(self.text)
+
+    @property
+    def data_size(self):
+        return len(self.data)

@@ -1,0 +1,94 @@
+"""Register file definition for the toy RISC ISA.
+
+The machine has 16 general-purpose 32-bit registers.  ``r0`` is hardwired
+to zero (writes are discarded), mirroring the RISC convention; the stack
+grows downward through ``sp``.
+
+Calling convention
+------------------
+==========  =====  =========================================
+Alias       Index  Role
+==========  =====  =========================================
+``zero``    0      constant zero
+``rv``      1      return value / syscall return
+``a0..a3``  2-5    arguments (``a0`` also carries the syscall
+                   number at a ``syscall`` instruction)
+``t0..t3``  6-9    caller-saved temporaries
+``s0..s1``  10-11  callee-saved
+``fp``      12     frame pointer (callee-saved)
+``sp``      13     stack pointer
+``gp``      14     global pointer (rarely used)
+``lr``      15     scratch link register (``call`` pushes the
+                   return address on the *stack*, not here)
+==========  =====  =========================================
+"""
+
+NUM_REGISTERS = 16
+
+REGISTER_ALIASES = {
+    "zero": 0,
+    "rv": 1,
+    "a0": 2,
+    "a1": 3,
+    "a2": 4,
+    "a3": 5,
+    "t0": 6,
+    "t1": 7,
+    "t2": 8,
+    "t3": 9,
+    "s0": 10,
+    "s1": 11,
+    "fp": 12,
+    "sp": 13,
+    "gp": 14,
+    "lr": 15,
+}
+
+# Canonical printable name for each index (aliases win over rN).
+REGISTER_NAMES = ["r%d" % i for i in range(NUM_REGISTERS)]
+for _alias, _idx in REGISTER_ALIASES.items():
+    REGISTER_NAMES[_idx] = _alias
+
+ZERO = REGISTER_ALIASES["zero"]
+RV = REGISTER_ALIASES["rv"]
+A0 = REGISTER_ALIASES["a0"]
+A1 = REGISTER_ALIASES["a1"]
+A2 = REGISTER_ALIASES["a2"]
+A3 = REGISTER_ALIASES["a3"]
+T0 = REGISTER_ALIASES["t0"]
+T1 = REGISTER_ALIASES["t1"]
+T2 = REGISTER_ALIASES["t2"]
+T3 = REGISTER_ALIASES["t3"]
+S0 = REGISTER_ALIASES["s0"]
+S1 = REGISTER_ALIASES["s1"]
+FP = REGISTER_ALIASES["fp"]
+SP = REGISTER_ALIASES["sp"]
+GP = REGISTER_ALIASES["gp"]
+LR = REGISTER_ALIASES["lr"]
+
+
+def parse_register(token):
+    """Return the register index for a textual operand.
+
+    Accepts both the ``rN`` spelling and the ABI aliases above.
+
+    >>> parse_register("sp")
+    13
+    >>> parse_register("r7")
+    7
+    """
+    token = token.strip().lower()
+    if token in REGISTER_ALIASES:
+        return REGISTER_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        index = int(token[1:])
+        if 0 <= index < NUM_REGISTERS:
+            return index
+    raise ValueError(f"unknown register {token!r}")
+
+
+def register_name(index):
+    """Return the canonical name for a register index."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    return REGISTER_NAMES[index]

@@ -1,0 +1,39 @@
+"""Simulated OS: loader, processes, syscalls, scheduler, system facade."""
+
+from repro.kernel.libc import LIBC_SOURCE, libc_symbols
+from repro.kernel.loader import (
+    LoadedImage,
+    TARGET_BASE,
+    build_binary,
+    load_image,
+)
+from repro.kernel.process import Process, ProcessState
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.syscalls import (
+    SYS_EXECVE,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_WRITE,
+    SYS_YIELD,
+    SyscallInterface,
+)
+from repro.kernel.system import System
+
+__all__ = [
+    "LIBC_SOURCE",
+    "libc_symbols",
+    "LoadedImage",
+    "TARGET_BASE",
+    "build_binary",
+    "load_image",
+    "Process",
+    "ProcessState",
+    "Scheduler",
+    "SYS_EXECVE",
+    "SYS_EXIT",
+    "SYS_GETPID",
+    "SYS_WRITE",
+    "SYS_YIELD",
+    "SyscallInterface",
+    "System",
+]

@@ -1,0 +1,219 @@
+"""A libc-style routine library, statically linked into every binary.
+
+Two roles, mirroring the paper:
+
+* ordinary runtime support (``strcpy``, ``memcpy``, ``strlen``, ``puts``,
+  syscall wrappers) that workloads call; and
+* an (unintentional, but realistic) *gadget supply*.  "A binary compiled
+  using GCC has various other libraries linked with it, thus providing
+  more gadgets than available only with the host" — our library plays the
+  part of those linked libraries.  Functions that save and restore
+  registers around their bodies leave ``pop <reg>; ...; ret`` suffixes in
+  the text image, and the syscall wrappers end in ``syscall; ret``; the
+  gadget scanner finds both, with no gadget planted outside ordinary
+  function bodies.
+
+All labels are prefixed with their function name, so user programs can
+link against this source unambiguously.
+"""
+
+LIBC_SOURCE = r"""
+; ======================================================================
+; libc for the toy ISA.  Calling convention: args a0-a3, result rv,
+; t0-t3 caller-saved, s0-s1/fp callee-saved.
+; ======================================================================
+
+.text
+
+; ---- char* strcpy(char *dst /*a0*/, const char *src /*a1*/) ----------
+strcpy:
+    mov  t0, a0
+strcpy_loop:
+    lb   t1, 0(a1)
+    sb   t1, 0(t0)
+    addi a1, a1, 1
+    addi t0, t0, 1
+    bne  t1, zero, strcpy_loop
+    mov  rv, a0
+    ret
+
+; ---- void* memcpy(void *dst /*a0*/, const void *src /*a1*/, n /*a2*/) -
+memcpy:
+    mov  t0, a0
+    mov  t1, a1
+    mov  t2, a2
+memcpy_loop:
+    beq  t2, zero, memcpy_done
+    lb   t3, 0(t1)
+    sb   t3, 0(t0)
+    addi t0, t0, 1
+    addi t1, t1, 1
+    addi t2, t2, -1
+    jmp  memcpy_loop
+memcpy_done:
+    mov  rv, a0
+    ret
+
+; ---- int strlen(const char *s /*a0*/) ---------------------------------
+strlen:
+    li   rv, 0
+strlen_loop:
+    lb   t0, 0(a0)
+    beq  t0, zero, strlen_done
+    addi rv, rv, 1
+    addi a0, a0, 1
+    jmp  strlen_loop
+strlen_done:
+    ret
+
+; ---- void* memset(void *dst /*a0*/, int c /*a1*/, n /*a2*/) -----------
+memset:
+    mov  t0, a0
+    mov  t1, a2
+memset_loop:
+    beq  t1, zero, memset_done
+    sb   a1, 0(t0)
+    addi t0, t0, 1
+    addi t1, t1, -1
+    jmp  memset_loop
+memset_done:
+    mov  rv, a0
+    ret
+
+; ---- int strcmp(const char *a /*a0*/, const char *b /*a1*/) -----------
+strcmp:
+strcmp_loop:
+    lb   t0, 0(a0)
+    lb   t1, 0(a1)
+    bne  t0, t1, strcmp_diff
+    beq  t0, zero, strcmp_equal
+    addi a0, a0, 1
+    addi a1, a1, 1
+    jmp  strcmp_loop
+strcmp_diff:
+    sub  rv, t0, t1
+    ret
+strcmp_equal:
+    li   rv, 0
+    ret
+
+; ---- syscall wrappers --------------------------------------------------
+; void exit(int code /*a0->a1*/)
+libc_exit:
+    mov  a1, a0
+    li   a0, 1          ; SYS_EXIT
+    syscall
+    halt                ; not reached
+
+; int write(int fd /*a0*/, const void *buf /*a1*/, int n /*a2*/)
+libc_write:
+    mov  a3, a2
+    mov  a2, a1
+    mov  a1, a0
+    li   a0, 2          ; SYS_WRITE
+    syscall
+    ret
+
+; int execve(const char *path /*a0*/, const char *arg /*a1*/)
+; The classic ROP destination: a syscall wrapper ending in ret.
+libc_execve:
+    mov  a2, a1
+    mov  a1, a0
+    li   a0, 3          ; SYS_EXECVE
+    syscall
+    ret                 ; reached only if execve failed
+
+; int getpid(void)
+libc_getpid:
+    li   a0, 4          ; SYS_GETPID
+    syscall
+    ret
+
+; int puts(const char *s /*a0*/)
+puts:
+    push s0
+    mov  s0, a0
+    call strlen
+    mov  t2, rv
+    mov  a1, s0
+    mov  a2, t2
+    li   a0, 1          ; fd = stdout
+    mov  a3, a2
+    mov  a2, a1
+    mov  a1, a0
+    li   a0, 2          ; SYS_WRITE
+    syscall
+    pop  s0
+    ret
+
+; ---- register-save/restore heavy helpers ------------------------------
+; These mimic compiled functions with big prologues/epilogues; their
+; epilogues are exactly the "pop reg; ret" gadget material ROP wants.
+
+; int checked_add(int a /*a0*/, int b /*a1*/) - saturating add
+checked_add:
+    push s0
+    push s1
+    add  rv, a0, a1
+    slt  s0, rv, a0
+    beq  s0, zero, checked_add_ok
+    li   rv, 0x7FFFFFFF
+checked_add_ok:
+    pop  s1
+    pop  s0
+    ret
+
+; int clamp(int v /*a0*/, int lo /*a1*/, int hi /*a2*/)
+clamp:
+    push a2
+    push a1
+    mov  rv, a0
+    slt  t0, rv, a1
+    beq  t0, zero, clamp_check_hi
+    mov  rv, a1
+clamp_check_hi:
+    slt  t0, a2, rv
+    beq  t0, zero, clamp_done
+    mov  rv, a2
+clamp_done:
+    pop  a1
+    pop  a2
+    ret
+
+; void swap_words(int *p /*a0*/, int *q /*a1*/)
+swap_words:
+    push a1
+    push a0
+    lw   t0, 0(a0)
+    lw   t1, 0(a1)
+    sw   t1, 0(a0)
+    sw   t0, 0(a1)
+    pop  a0
+    pop  a1
+    ret
+
+; int abs32(int v /*a0*/)
+abs32:
+    push a0
+    mov  rv, a0
+    slt  t0, rv, zero
+    beq  t0, zero, abs32_done
+    sub  rv, zero, rv
+abs32_done:
+    pop  a0
+    ret
+
+.data
+libc_heap_scratch:
+    .space 256
+"""
+
+
+def libc_symbols():
+    """Names exported by the library (used to detect link collisions)."""
+    names = []
+    for line in LIBC_SOURCE.splitlines():
+        line = line.split(";", 1)[0].strip()
+        if line.endswith(":"):
+            names.append(line[:-1])
+    return names

@@ -1,0 +1,165 @@
+"""Program loader: build + place + relocate binaries; set up the stack.
+
+``build_binary`` statically links a workload's assembly with the libc
+source (the gadget supply) and assembles once; ``load_image`` then places
+the image into a process address space — with DEP permissions and,
+optionally, ASLR — and prepares ``argc``/``argv`` exactly like a real
+``execve`` would: argument *byte blobs* go on the stack top, a pointer
+array below them, and the entry point receives ``a0 = argc``,
+``a1 = argv``.
+
+Argument blobs may contain NUL bytes (the ROP payload of Listing 1 is
+binary data); ``argv`` strings are still NUL-terminated on the stack so
+well-behaved string functions see normal C strings.
+"""
+
+from repro.errors import LoaderError
+from repro.isa.assembler import assemble
+from repro.isa.registers import A0, A1, A2, SP
+from repro.kernel.libc import LIBC_SOURCE
+from repro.mem.layout import AddressSpaceLayout
+from repro.mem.memory import PERM_R, PERM_W, PERM_X
+
+#: Where the shared "target application" segment (the secret's home) maps.
+TARGET_BASE = 0x3000_0000
+
+_STACK_ARG_AREA = 8192  # stack bytes reserved for argv blobs + pointers
+
+
+def build_binary(name, source, link_libc=True):
+    """Assemble *source* (optionally linked with libc) into a Program."""
+    if link_libc:
+        source = source + "\n" + LIBC_SOURCE
+    return assemble(source, name=name)
+
+
+class LoadedImage:
+    """Bookkeeping the loader returns: where everything ended up."""
+
+    def __init__(self, program, layout, entry_address):
+        self.program = program
+        self.layout = layout
+        self.entry_address = entry_address
+
+    def address_of(self, symbol_name):
+        """Absolute address of a program symbol after relocation."""
+        symbol = self.program.symbol(symbol_name)
+        base = (
+            self.layout.text_base
+            if symbol.section == "text"
+            else self.layout.data_base
+        )
+        return base + symbol.offset
+
+
+def load_image(memory, program, layout=None, argv=(), target_data=None):
+    """Map *program* into *memory* and build the initial stack.
+
+    Returns ``(image, initial_regs)`` where ``initial_regs`` is a dict of
+    register values the CPU must start with (``sp``, ``a0``, ``a1``).
+    """
+    layout = layout or AddressSpaceLayout()
+    text, data = program.relocated(layout.text_base, layout.data_base)
+
+    if text:
+        memory.map_segment("text", layout.text_base, _round_page(len(text)),
+                           PERM_R | PERM_X)
+        memory.write_bytes(layout.text_base, text, force=True)
+    if data or True:
+        size = max(_round_page(len(data)), 4096)
+        memory.map_segment("data", layout.data_base, size, PERM_R | PERM_W)
+        if data:
+            memory.write_bytes(layout.data_base, data)
+
+    memory.map_segment("stack", layout.stack_base, layout.stack_size,
+                       PERM_R | PERM_W)
+
+    if target_data is not None:
+        memory.map_segment("target", TARGET_BASE,
+                           _round_page(len(target_data)), PERM_R)
+        memory.write_bytes(TARGET_BASE, target_data, force=True)
+
+    sp, argc, argv_ptr, arglen_ptr = _build_stack(memory, layout, argv)
+
+    if not program.has_symbol(program.entry):
+        raise LoaderError(
+            f"binary {program.name!r} has no entry symbol {program.entry!r}"
+        )
+    entry_symbol = program.symbol(program.entry)
+    if entry_symbol.section != "text":
+        raise LoaderError(f"entry symbol {program.entry!r} is not code")
+    entry_address = layout.text_base + entry_symbol.offset
+
+    image = LoadedImage(program, layout, entry_address)
+    initial_regs = {SP: sp, A0: argc, A1: argv_ptr, A2: arglen_ptr}
+    return image, initial_regs
+
+
+def _build_stack(memory, layout, argv):
+    """Place argv blobs, pointer array and length array on the stack.
+
+    Returns ``(sp, argc, argv_ptr, arglen_ptr)``.  The parallel length
+    array models a ``read()``/``recv()``-style interface: argument blobs
+    are binary-safe (the ROP payload contains NUL bytes) and the program
+    receives their true lengths in ``a2``.
+    """
+    argv = [_as_bytes(arg) for arg in argv]
+    total_blob = sum(len(blob) + 1 for blob in argv)
+    if total_blob + 12 * (len(argv) + 2) > _STACK_ARG_AREA:
+        raise LoaderError("argv too large for the stack argument area")
+
+    cursor = layout.stack_top
+    pointers = []
+    for blob in argv:
+        cursor -= len(blob) + 1
+        memory.write_bytes(cursor, blob + b"\x00")
+        pointers.append(cursor)
+
+    # Pointer array (argc entries + NULL terminator), word aligned.
+    cursor &= ~3
+    cursor -= 4 * (len(argv) + 1)
+    argv_ptr = cursor
+    for index, pointer in enumerate(pointers):
+        memory.store_word(argv_ptr + 4 * index, pointer)
+    memory.store_word(argv_ptr + 4 * len(argv), 0)
+
+    # Length array, parallel to argv.
+    cursor -= 4 * len(argv)
+    arglen_ptr = cursor
+    for index, blob in enumerate(argv):
+        memory.store_word(arglen_ptr + 4 * index, len(blob))
+
+    # 64-byte align the initial stack pointer below the argument area.
+    sp = (arglen_ptr - 64) & ~63
+    return sp, len(argv), argv_ptr, arglen_ptr
+
+
+def compute_initial_sp(layout, argv_lengths):
+    """Predict the initial stack pointer for given argv blob lengths.
+
+    Mirrors :func:`_build_stack` arithmetically.  Without ASLR the stack
+    is fully deterministic, which is exactly the knowledge the paper's
+    adversary exploits to place gadget addresses: the payload builder
+    calls this to compute the overflowed buffer's absolute address.
+    """
+    cursor = layout.stack_top
+    for length in argv_lengths:
+        cursor -= length + 1
+    cursor &= ~3
+    cursor -= 4 * (len(argv_lengths) + 1)
+    cursor -= 4 * len(argv_lengths)
+    return (cursor - 64) & ~63
+
+
+def _as_bytes(value):
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, bytearray):
+        return bytes(value)
+    if isinstance(value, str):
+        return value.encode("latin-1")
+    raise LoaderError(f"argv entries must be str/bytes, got {type(value)!r}")
+
+
+def _round_page(size, page=4096):
+    return max(page, (size + page - 1) // page * page)

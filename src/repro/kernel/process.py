@@ -1,0 +1,87 @@
+"""Process model: one address space + one CPU + lifecycle state."""
+
+import enum
+
+from repro.errors import ReproError
+
+
+class ProcessState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    EXITED = "exited"
+    FAULTED = "faulted"
+
+
+class Process:
+    """A simulated process.
+
+    The PMU belongs to the process's CPU, so after the ROP injection the
+    attack's events are attributed to this (white-listed) process — the
+    cloaking property CR-Spectre relies on.
+    """
+
+    def __init__(self, pid, name, memory, cpu):
+        self.pid = pid
+        self.name = name
+        self.memory = memory
+        self.cpu = cpu
+        self.state = ProcessState.READY
+        self.exit_code = None
+        self.fault = None
+        self.stdout = bytearray()
+        #: set by execve so callers can observe the image swap
+        self.image_name = name
+
+    @property
+    def pmu(self):
+        return self.cpu.pmu
+
+    @property
+    def alive(self):
+        return self.state in (ProcessState.READY, ProcessState.RUNNING)
+
+    def step_quantum(self, instructions):
+        """Run up to *instructions*; returns the number actually retired.
+
+        Faults (segfault, DEP violation, shadow-stack trap, canary abort)
+        terminate the process and are recorded rather than propagated, the
+        way a kernel would deliver SIGSEGV/SIGABRT.
+        """
+        if not self.alive:
+            return 0
+        self.state = ProcessState.RUNNING
+        try:
+            executed = self.cpu.run(max_instructions=instructions)
+        except ReproError as exc:
+            self.state = ProcessState.FAULTED
+            self.fault = exc
+            return 0
+        if self.cpu.state.halted:
+            self.state = ProcessState.EXITED
+            self.exit_code = (
+                self.cpu.state.exit_code
+                if self.cpu.state.exit_code is not None
+                else 0
+            )
+        else:
+            self.state = ProcessState.READY
+        return executed
+
+    def run_to_completion(self, max_instructions=50_000_000):
+        """Run the process alone until it exits or faults."""
+        remaining = max_instructions
+        while self.alive and remaining > 0:
+            executed = self.step_quantum(min(remaining, 1_000_000))
+            if executed == 0 and not self.alive:
+                break
+            remaining -= max(executed, 1)
+        return self.state
+
+    def stdout_text(self):
+        return self.stdout.decode("latin-1")
+
+    def __repr__(self):
+        return (
+            f"Process(pid={self.pid}, name={self.name!r}, "
+            f"state={self.state.value})"
+        )

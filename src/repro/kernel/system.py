@@ -1,0 +1,128 @@
+"""The `System` facade: filesystem of binaries, process management, execve.
+
+One ``System`` is one machine under one configuration (cache geometry,
+CPU knobs, countermeasures, ASLR on/off, the shared target segment with
+the secret).  Experiments create a fresh ``System`` per trial so runs
+are independent and seeds make them reproducible.
+"""
+
+import random
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import CacheConfig, CacheHierarchy
+from repro.cpu.cpu import Cpu, CpuConfig
+from repro.errors import KernelError
+from repro.kernel.loader import load_image
+from repro.kernel.process import Process
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.syscalls import SyscallInterface
+from repro.mem.layout import AddressSpaceLayout, randomized_layout
+from repro.mem.memory import Memory
+
+
+class System:
+    """A single simulated machine."""
+
+    def __init__(self, seed=0, cpu_config=None, cache_config=None,
+                 aslr=False, aslr_entropy_bits=12, target_data=None,
+                 quantum=2000, shared_l2=False):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.cpu_config = cpu_config or CpuConfig()
+        self.cache_config = cache_config or CacheConfig()
+        self.aslr = aslr
+        self.aslr_entropy_bits = aslr_entropy_bits
+        self.target_data = target_data
+        self.scheduler = Scheduler(quantum=quantum)
+        self.filesystem = {}
+        self.processes = []
+        self._next_pid = 100
+        self.shared_l2 = None
+        if shared_l2:
+            # One physical L2 for the whole machine: co-located processes
+            # contend for it, which is where Table I's overhead comes from.
+            cfg = self.cache_config
+            self.shared_l2 = Cache("L2", cfg.l2_size, cfg.line_size,
+                                   cfg.l2_ways, cfg.policy)
+
+    # ---- filesystem ----------------------------------------------------
+    def install_binary(self, path, program):
+        """Register an assembled Program under a filesystem path."""
+        self.filesystem[path] = program
+
+    def lookup_binary(self, path):
+        try:
+            return self.filesystem[path]
+        except KeyError:
+            raise KernelError(f"no such binary: {path!r}")
+
+    # ---- process lifecycle ----------------------------------------------
+    def _make_layout(self):
+        if self.aslr:
+            return randomized_layout(self.rng, self.aslr_entropy_bits)
+        return AddressSpaceLayout()
+
+    def spawn(self, path, argv=None, name=None):
+        """Create a process running the binary at *path*."""
+        program = self.lookup_binary(path)
+        memory = Memory()
+        caches = CacheHierarchy(self.cache_config, shared_l2=self.shared_l2,
+                                asid=self._next_pid)
+        cpu = Cpu(memory, caches=caches, config=self.cpu_config)
+        layout = self._make_layout()
+        full_argv = [path] + list(argv or ())
+        image, initial_regs = load_image(
+            memory, program, layout=layout, argv=full_argv,
+            target_data=self.target_data,
+        )
+        for register, value in initial_regs.items():
+            cpu.state.write_reg(register, value)
+        cpu.state.pc = image.entry_address
+
+        pid = self._next_pid
+        self._next_pid += 1
+        process = Process(pid, name or program.name, memory, cpu)
+        process.image = image
+        cpu.syscall_handler = SyscallInterface(self, process)
+        self.processes.append(process)
+        return process
+
+    def do_execve(self, process, path, argument=None):
+        """Replace *process*'s image in place (same PID, same PMU).
+
+        This is the paper's injection endpoint: the ROP chain lands in the
+        libc ``execve`` wrapper, and the malicious binary then executes
+        under the identity — and the performance-counter attribution — of
+        the exploited host.
+        """
+        program = self.lookup_binary(path)
+        cpu = process.cpu
+        memory = process.memory
+
+        memory.unmap_all()
+        layout = self._make_layout()
+        argv = [path] + ([argument] if argument is not None else [])
+        image, initial_regs = load_image(
+            memory, program, layout=layout, argv=argv,
+            target_data=self.target_data,
+        )
+        cpu.reset_for_exec()
+        cpu.state.regs = [0] * len(cpu.state.regs)
+        for register, value in initial_regs.items():
+            cpu.state.write_reg(register, value)
+        cpu.state.pc = image.entry_address
+        process.image = image
+        process.image_name = program.name
+
+    # ---- running ---------------------------------------------------------
+    def run(self, processes=None, max_quanta=None, on_quantum=None):
+        """Round-robin schedule processes (default: all live ones)."""
+        if processes is None:
+            processes = [p for p in self.processes if p.alive]
+        return self.scheduler.run(
+            processes, max_quanta=max_quanta, on_quantum=on_quantum
+        )
+
+    def run_alone(self, process, max_instructions=50_000_000):
+        """Run one process to completion without competition."""
+        return process.run_to_completion(max_instructions=max_instructions)

@@ -1,0 +1,45 @@
+"""Memory subsystem: segments + permissions (DEP), layout/ASLR, TLB."""
+
+from repro.mem.layout import (
+    AddressSpaceLayout,
+    DATA_BASE,
+    LIBC_DATA_BASE,
+    LIBC_TEXT_BASE,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    STACK_SIZE,
+    STACK_TOP,
+    TEXT_BASE,
+    page_align,
+    randomized_layout,
+)
+from repro.mem.memory import (
+    Memory,
+    PERM_R,
+    PERM_W,
+    PERM_X,
+    Segment,
+    format_perms,
+)
+from repro.mem.tlb import Tlb
+
+__all__ = [
+    "AddressSpaceLayout",
+    "DATA_BASE",
+    "LIBC_DATA_BASE",
+    "LIBC_TEXT_BASE",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "STACK_SIZE",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "page_align",
+    "randomized_layout",
+    "Memory",
+    "PERM_R",
+    "PERM_W",
+    "PERM_X",
+    "Segment",
+    "format_perms",
+    "Tlb",
+]

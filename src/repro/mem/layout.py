@@ -1,0 +1,70 @@
+"""Default address-space layout and ASLR.
+
+The layout mimics a classic 32-bit Linux process::
+
+    0x0040_0000   .text of the main binary          (r-x)
+    0x0800_0000   .text of the shared libc image    (r-x)
+    0x1000_0000   .data / heap of the main binary   (rw-)
+    0x1800_0000   .data of the libc image           (rw-)
+    0x7FFF_0000   top of the downward-growing stack (rw-)
+
+ASLR, when enabled, slides each region by a random page-aligned delta.
+The ROP payload is built against concrete gadget addresses, so enabling
+ASLR (without an information leak) breaks the chain — the countermeasure
+experiment relies on exactly that.
+"""
+
+import dataclasses
+import random
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+TEXT_BASE = 0x0040_0000
+LIBC_TEXT_BASE = 0x0800_0000
+DATA_BASE = 0x1000_0000
+LIBC_DATA_BASE = 0x1800_0000
+STACK_TOP = 0x7FFF_0000
+STACK_SIZE = 0x0010_0000  # 1 MiB
+
+
+@dataclasses.dataclass(frozen=True)
+class AddressSpaceLayout:
+    """Concrete base addresses chosen for one process image."""
+
+    text_base: int = TEXT_BASE
+    libc_text_base: int = LIBC_TEXT_BASE
+    data_base: int = DATA_BASE
+    libc_data_base: int = LIBC_DATA_BASE
+    stack_top: int = STACK_TOP
+    stack_size: int = STACK_SIZE
+
+    @property
+    def stack_base(self):
+        return self.stack_top - self.stack_size
+
+
+def page_align(address):
+    """Round *address* down to a page boundary."""
+    return address & ~(PAGE_SIZE - 1)
+
+
+def randomized_layout(rng=None, entropy_bits=12):
+    """Return an ASLR-randomised layout.
+
+    *entropy_bits* is the number of random page-granular bits per region
+    (12 bits of page entropy ≈ the classic 32-bit Linux mmap entropy).
+    """
+    rng = rng or random.Random()
+    span = 1 << entropy_bits
+
+    def slide():
+        return rng.randrange(span) * PAGE_SIZE
+
+    return AddressSpaceLayout(
+        text_base=TEXT_BASE + slide(),
+        libc_text_base=LIBC_TEXT_BASE + slide(),
+        data_base=DATA_BASE + slide(),
+        libc_data_base=LIBC_DATA_BASE + slide(),
+        stack_top=STACK_TOP - slide(),
+    )

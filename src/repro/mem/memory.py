@@ -1,0 +1,205 @@
+"""Byte-addressable memory with segment-level R/W/X permissions.
+
+The permission model is the piece that makes the ROP storyline honest:
+Data Execution Prevention (DEP / W^X) is enforced by refusing instruction
+fetches from segments without ``X``, so an attacker cannot simply write
+shellcode into the overflowed stack buffer and jump to it — reusing the
+host's own executable code (the ROP chain) is the only way in, exactly as
+the paper argues.
+"""
+
+import struct
+
+from repro.errors import (
+    AlignmentFault,
+    ProtectionFault,
+    SegmentationFault,
+)
+
+PERM_R = 1
+PERM_W = 2
+PERM_X = 4
+
+
+def format_perms(perms):
+    """Render a permission bitmask as e.g. ``"r-x"``."""
+    return (
+        ("r" if perms & PERM_R else "-")
+        + ("w" if perms & PERM_W else "-")
+        + ("x" if perms & PERM_X else "-")
+    )
+
+
+class Segment:
+    """A contiguous mapped region."""
+
+    __slots__ = ("name", "base", "size", "perms", "buffer")
+
+    def __init__(self, name, base, size, perms):
+        if size <= 0:
+            raise ValueError(f"segment {name!r} must have positive size")
+        self.name = name
+        self.base = base
+        self.size = size
+        self.perms = perms
+        self.buffer = bytearray(size)
+
+    @property
+    def end(self):
+        """One past the last mapped address."""
+        return self.base + self.size
+
+    def contains(self, address):
+        return self.base <= address < self.end
+
+    def overlaps(self, other):
+        return self.base < other.end and other.base < self.end
+
+    def __repr__(self):
+        return (
+            f"Segment({self.name!r}, base={self.base:#010x}, "
+            f"size={self.size:#x}, perms={format_perms(self.perms)})"
+        )
+
+
+class Memory:
+    """A process address space: a small set of non-overlapping segments.
+
+    The hot path (``load_word``/``store_word``) keeps a one-entry segment
+    cache because real programs overwhelmingly hit the same segment in
+    bursts.
+    """
+
+    def __init__(self):
+        self.segments = []
+        self._last = None
+
+    # ---- mapping ------------------------------------------------------
+    def map_segment(self, name, base, size, perms):
+        """Map a new zero-filled segment; returns it."""
+        if base < 0 or base + size > 0x1_0000_0000:
+            raise ValueError(
+                f"segment {name!r} outside 32-bit address space"
+            )
+        segment = Segment(name, base, size, perms)
+        for existing in self.segments:
+            if existing.overlaps(segment):
+                raise ValueError(
+                    f"segment {name!r} overlaps {existing.name!r}"
+                )
+        self.segments.append(segment)
+        self.segments.sort(key=lambda s: s.base)
+        self._last = None
+        return segment
+
+    def unmap_all(self):
+        """Drop every mapping (used by ``execve`` to replace the image)."""
+        self.segments = []
+        self._last = None
+
+    def segment_by_name(self, name):
+        for segment in self.segments:
+            if segment.name == name:
+                return segment
+        raise KeyError(f"no segment named {name!r}")
+
+    def find_segment(self, address):
+        """Return the segment containing *address* or raise a fault."""
+        last = self._last
+        if last is not None and last.contains(address):
+            return last
+        for segment in self.segments:
+            if segment.contains(address):
+                self._last = segment
+                return segment
+        raise SegmentationFault("unmapped access", address)
+
+    def is_mapped(self, address):
+        try:
+            self.find_segment(address)
+        except SegmentationFault:
+            return False
+        return True
+
+    # ---- typed access -------------------------------------------------
+    def _checked(self, address, size, perm):
+        segment = self.find_segment(address)
+        if address + size > segment.end:
+            raise SegmentationFault("access crosses segment end", address)
+        if not segment.perms & perm:
+            kind = {PERM_R: "read", PERM_W: "write", PERM_X: "execute"}[perm]
+            raise ProtectionFault(
+                f"{kind} of {format_perms(segment.perms)} "
+                f"segment {segment.name!r}",
+                address,
+            )
+        return segment
+
+    def load_byte(self, address):
+        segment = self._checked(address, 1, PERM_R)
+        return segment.buffer[address - segment.base]
+
+    def store_byte(self, address, value):
+        segment = self._checked(address, 1, PERM_W)
+        segment.buffer[address - segment.base] = value & 0xFF
+
+    def load_word(self, address):
+        if address & 3:
+            raise AlignmentFault("misaligned word load", address)
+        segment = self._checked(address, 4, PERM_R)
+        offset = address - segment.base
+        return struct.unpack_from("<I", segment.buffer, offset)[0]
+
+    def store_word(self, address, value):
+        if address & 3:
+            raise AlignmentFault("misaligned word store", address)
+        segment = self._checked(address, 4, PERM_W)
+        offset = address - segment.base
+        struct.pack_into("<I", segment.buffer, offset, value & 0xFFFFFFFF)
+
+    def fetch(self, address, size):
+        """Instruction fetch: *size* bytes with execute permission."""
+        segment = self._checked(address, size, PERM_X)
+        offset = address - segment.base
+        return bytes(segment.buffer[offset:offset + size])
+
+    # ---- bulk helpers (used by the loader and syscalls) ----------------
+    def write_bytes(self, address, blob, force=False):
+        """Copy *blob* into memory; ``force`` bypasses W permission.
+
+        The loader uses ``force=True`` to populate read-only text segments.
+        """
+        remaining = memoryview(bytes(blob))
+        while remaining:
+            segment = self.find_segment(address)
+            if not force and not segment.perms & PERM_W:
+                raise ProtectionFault(
+                    f"write of read-only segment {segment.name!r}", address
+                )
+            offset = address - segment.base
+            chunk = min(len(remaining), segment.size - offset)
+            segment.buffer[offset:offset + chunk] = remaining[:chunk]
+            remaining = remaining[chunk:]
+            address += chunk
+
+    def read_bytes(self, address, size):
+        out = bytearray()
+        while size:
+            segment = self.find_segment(address)
+            offset = address - segment.base
+            chunk = min(size, segment.size - offset)
+            out += segment.buffer[offset:offset + chunk]
+            size -= chunk
+            address += chunk
+        return bytes(out)
+
+    def read_cstring(self, address, limit=4096):
+        """Read a NUL-terminated string (syscall path argument)."""
+        out = bytearray()
+        for _ in range(limit):
+            byte = self.load_byte(address)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+            address += 1
+        raise SegmentationFault("unterminated string", address)

@@ -1,0 +1,48 @@
+"""A small translation lookaside buffer model.
+
+The simulator keeps a flat (identity-mapped) address space, so the TLB
+does not translate anything — it only *accounts*: hits and misses per
+page, which feed the ``dtlb_*`` / ``itlb_*`` performance events.  TLB
+pressure is one of the 56 events the paper's detector can select from.
+"""
+
+from collections import OrderedDict
+
+from repro.mem.layout import PAGE_SHIFT
+
+
+class Tlb:
+    """Fully associative TLB with LRU replacement."""
+
+    def __init__(self, entries=64):
+        if entries <= 0:
+            raise ValueError("TLB needs at least one entry")
+        self.entries = entries
+        self._pages = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address):
+        """Touch the page of *address*; returns True on a TLB hit."""
+        page = address >> PAGE_SHIFT
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._pages[page] = True
+        if len(self._pages) > self.entries:
+            self._pages.popitem(last=False)
+        return False
+
+    def flush(self):
+        """Drop all entries (context switch / execve)."""
+        self._pages.clear()
+
+    @property
+    def occupancy(self):
+        return len(self._pages)
+
+    def reset_counters(self):
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,29 @@
+"""Workloads: MiBench-style kernels, benign extras, vulnerable hosts."""
+
+from repro.workloads.base import (
+    OVERFLOW_BUFFER_BYTES,
+    OVERFLOW_FILL_BYTES,
+    OVERFLOW_FILL_BYTES_CANARY,
+    Workload,
+)
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    BENIGN_EXTRAS,
+    FIG4_HOSTS,
+    MIBENCH,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "OVERFLOW_BUFFER_BYTES",
+    "OVERFLOW_FILL_BYTES",
+    "OVERFLOW_FILL_BYTES_CANARY",
+    "Workload",
+    "ALL_WORKLOADS",
+    "BENIGN_EXTRAS",
+    "FIG4_HOSTS",
+    "MIBENCH",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,181 @@
+"""Workload abstraction: MiBench-style kernels assembled three ways.
+
+A workload contributes a ``workload_main`` routine (plus private data and
+helpers).  It can be built:
+
+* **standalone** — a plain ``main`` calls the kernel and exits;
+* **hosted** — wrapped in the paper's Algorithm-1 victim: ``main`` first
+  feeds ``argv[1]`` (with its *true binary length*, ``recv``-style) to a
+  function that copies it into a 100-byte stack buffer without a bounds
+  check, then runs the kernel.  This is the ROP attack's point of entry.
+* **hosted with canary** — same, plus a stack-canary check (Section IV
+  countermeasure): the copy still overflows, but the corrupted canary
+  aborts the process before ``ret`` can reach the first gadget.
+
+Builds are cached per (workload, variant, iterations).
+"""
+
+import dataclasses
+import functools
+
+from repro.kernel.loader import build_binary
+
+#: Bytes of stack the Algorithm-1 victim exposes below the return address:
+#: char buffer[100] plus the saved frame pointer.
+OVERFLOW_BUFFER_BYTES = 100
+OVERFLOW_FILL_BYTES = OVERFLOW_BUFFER_BYTES + 4  # buffer + saved fp
+OVERFLOW_FILL_BYTES_CANARY = OVERFLOW_BUFFER_BYTES + 8  # + canary word
+
+_STANDALONE_MAIN = r"""
+.text
+main:
+    call workload_main
+    mov  a0, rv
+    call libc_exit
+"""
+
+# Algorithm 1 of the paper.  Frame of exploited_function at the copy:
+#   sp+0   .. sp+99   char buffer[100]
+#   sp+100 .. sp+103  saved fp
+#   sp+104 .. sp+107  return address   <- the ROP chain lands here
+_HOSTED_MAIN = r"""
+.text
+main:
+    ; a0 = argc, a1 = argv, a2 = argv lengths
+    push s0
+    push s1
+    mov  s0, a1
+    mov  s1, a2
+    slti t0, a0, 2
+    bne  t0, zero, main_no_input
+    lw   a0, 4(s0)          ; argv[1] (attacker-controlled bytes)
+    lw   a1, 4(s1)          ; its true length
+    call exploited_function
+main_no_input:
+    call workload_main
+    pop  s1
+    pop  s0
+    mov  a0, rv
+    call libc_exit
+
+; void exploited_function(const char *input, int len)
+;   char buffer[100]; memcpy(buffer, input, len);   // no bounds check
+exploited_function:
+    push fp
+    addi sp, sp, -100
+    mov  fp, sp
+    li   t0, 0
+ef_copy:
+    bge  t0, a1, ef_done
+    add  t1, a0, t0
+    lb   t2, 0(t1)
+    add  t3, fp, t0
+    sb   t2, 0(t3)
+    addi t0, t0, 1
+    jmp  ef_copy
+ef_done:
+    addi sp, sp, 100
+    pop  fp
+    ret
+"""
+
+# Canary variant: frame gains a canary word between buffer and saved fp:
+#   sp+0..99 buffer, sp+100..103 canary, sp+104..107 fp, sp+108..111 ra
+_HOSTED_MAIN_CANARY_TEMPLATE = r"""
+.data
+__canary_value:
+    .word {canary}
+
+.text
+main:
+    push s0
+    push s1
+    mov  s0, a1
+    mov  s1, a2
+    slti t0, a0, 2
+    bne  t0, zero, main_no_input
+    lw   a0, 4(s0)
+    lw   a1, 4(s1)
+    call exploited_function
+main_no_input:
+    call workload_main
+    pop  s1
+    pop  s0
+    mov  a0, rv
+    call libc_exit
+
+exploited_function:
+    push fp
+    la   t3, __canary_value
+    lw   t3, 0(t3)
+    push t3                  ; place the canary below the saved registers
+    addi sp, sp, -100
+    mov  fp, sp
+    li   t0, 0
+ef_copy:
+    bge  t0, a1, ef_done
+    add  t1, a0, t0
+    lb   t2, 0(t1)
+    add  t3, fp, t0
+    sb   t2, 0(t3)
+    addi t0, t0, 1
+    jmp  ef_copy
+ef_done:
+    addi sp, sp, 100
+    pop  t2                  ; reload what should still be the canary
+    la   t3, __canary_value
+    lw   t3, 0(t3)
+    beq  t2, t3, ef_ok
+    li   a0, 97              ; __stack_chk_fail: abort the process
+    call libc_exit
+ef_ok:
+    pop  fp
+    ret
+"""
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """A named kernel with a source generator.
+
+    ``kernel_source`` is a callable ``(iterations) -> str`` producing
+    assembly that defines ``workload_main``.
+    """
+
+    name: str
+    description: str
+    category: str  # "mibench" or "benign"
+    kernel_source: callable
+    default_iterations: int = 100
+
+    def source(self, iterations=None, hosted=False, canary=0):
+        iterations = iterations or self.default_iterations
+        kernel = self.kernel_source(iterations)
+        if canary:
+            wrapper = _HOSTED_MAIN_CANARY_TEMPLATE.format(canary=canary)
+        elif hosted:
+            wrapper = _HOSTED_MAIN
+        else:
+            wrapper = _STANDALONE_MAIN
+        return wrapper + "\n" + kernel
+
+    def build(self, iterations=None, hosted=False, canary=0):
+        """Assemble (and cache) a binary for this workload variant."""
+        iterations = iterations or self.default_iterations
+        return _build_cached(self, iterations, hosted, canary)
+
+    def binary_path(self, hosted=False):
+        """Conventional filesystem path for installs."""
+        suffix = "_host" if hosted else ""
+        return f"/bin/{self.name}{suffix}"
+
+
+@functools.lru_cache(maxsize=256)
+def _build_cached(workload, iterations, hosted, canary):
+    variant = "host" if (hosted or canary) else "app"
+    name = f"{workload.name}-{variant}-{iterations}"
+    return build_binary(
+        name,
+        workload.source(iterations=iterations, hosted=hosted or bool(canary),
+                        canary=canary),
+    )

@@ -1,0 +1,302 @@
+"""Extra benign applications (paper: "browsers, text editors, etc.").
+
+The HID's training set must contain more than the host: Section II-E
+profiles other benign applications "to emulate a practical situation".
+Two synthetic apps with distinct microarchitectural characters stand in
+for them:
+
+* ``browser`` — DOM-ish pointer chasing (dependent irregular loads),
+  bursts of string handling through libc, and layout-arithmetic bursts.
+* ``editor`` — gap-buffer editing: block moves via ``memcpy``, linear
+  character scans, counter updates.
+"""
+
+from repro.workloads.base import Workload
+
+BROWSER_NODES = 16384  # 128 KiB of node arrays: real browsers miss caches
+
+
+def _word_rows(words, per_row=16):
+    """Render a word list as .word directives, 16 per line."""
+    rows = []
+    for start in range(0, len(words), per_row):
+        chunk = words[start:start + per_row]
+        rows.append("    .word " + ", ".join(str(w) for w in chunk))
+    return "\n".join(rows)
+EDITOR_BUFFER = 131072  # 128 KiB text: scans stream through L1
+
+
+def browser_source(iterations):
+    # The DOM graph is baked into .data at build time (a real browser
+    # arrives with its heap already allocated): br_next is a full-cycle
+    # permutation so the chase streams through all 64 KiB of nodes, and
+    # br_value carries pseudorandom payloads.
+    mask = BROWSER_NODES - 1
+    next_words = [(i + 7919) & mask for i in range(BROWSER_NODES)]
+    value_words = []
+    state = 909090
+    for _ in range(BROWSER_NODES):
+        state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+        value_words.append(state & 0xFFFF)
+    next_data = _word_rows(next_words)
+    value_data = _word_rows(value_words)
+    return f"""
+; ---- browser: pointer chase + string work + layout arithmetic ----
+.data
+br_next:
+{next_data}
+br_value:
+{value_data}
+br_markup:
+    .asciiz "<div class='content'><p>lorem ipsum dolor sit amet</p></div>"
+br_scratch:
+    .space 128
+
+.text
+workload_main:
+    push s0
+    push s1
+
+    li   s1, {iterations}
+    li   rv, 0
+br_outer:
+    beq  s1, zero, br_done
+
+    ; ---- chase 200 links through the DOM ----
+    ; start node varies per iteration so successive chases cover
+    ; different arcs of the permutation cycle
+    muli s0, s1, 977
+    andi s0, s0, {BROWSER_NODES - 1}
+    li   t0, 200
+br_chase:
+    beq  t0, zero, br_strings
+    shli t1, s0, 2
+    la   t2, br_next
+    add  t2, t2, t1
+    lw   s0, 0(t2)            ; dependent load: next node
+    la   t2, br_value
+    add  t2, t2, t1
+    lw   t3, 0(t2)
+    add  rv, rv, t3
+    addi t0, t0, -1
+    jmp  br_chase
+
+br_strings:
+    ; ---- render: copy markup + measure it ----
+    la   a0, br_scratch
+    la   a1, br_markup
+    call strcpy
+    la   a0, br_scratch
+    call strlen
+    add  rv, rv, rv
+
+    ; ---- layout arithmetic burst ----
+    li   t0, 64
+    li   t1, 7
+br_layout:
+    beq  t0, zero, br_next_iter
+    muli t1, t1, 31
+    addi t1, t1, 17
+    andi t1, t1, 0xFFFF
+    add  rv, rv, t1
+    addi t0, t0, -1
+    jmp  br_layout
+
+br_next_iter:
+    addi s1, s1, -1
+    jmp  br_outer
+
+br_done:
+    andi rv, rv, 0xFF
+    pop  s1
+    pop  s0
+    ret
+"""
+
+
+def editor_source(iterations):
+    return f"""
+; ---- editor: gap-buffer block moves + character scans ----
+.data
+ed_ready:
+    .word 0
+ed_buffer:
+    .space {EDITOR_BUFFER}
+
+.text
+workload_main:
+    push s0
+    push s1
+
+    ; ---- one-time buffer init with printable text ----
+    la   gp, ed_ready
+    lw   t0, 0(gp)
+    bne  t0, zero, ed_go
+    li   t0, 1
+    sw   t0, 0(gp)
+    la   t1, ed_buffer
+    li   t2, {EDITOR_BUFFER}
+    li   t3, 123123
+ed_init:
+    beq  t2, zero, ed_go
+    muli t3, t3, 1103515245
+    addi t3, t3, 12345
+    shri a3, t3, 11
+    andi a3, a3, 25
+    addi a3, a3, 'a'
+    sb   a3, 0(t1)
+    addi t1, t1, 1
+    addi t2, t2, -1
+    jmp  ed_init
+
+ed_go:
+    li   s1, {iterations}
+    li   rv, 0
+ed_outer:
+    beq  s1, zero, ed_done
+
+    ; ---- move the gap: memcpy a 256-byte block by 16 bytes ----
+    li   t0, {EDITOR_BUFFER - 512}
+    mod  t0, s1, t0           ; block origin varies per edit
+    la   a1, ed_buffer
+    add  a1, a1, t0           ; src
+    addi a0, a1, 16           ; dst (overlap-free direction)
+    li   a2, 256
+    call memcpy
+
+    ; ---- scan an 8 KiB slice around the cursor for a character ----
+    li   t2, {EDITOR_BUFFER - 8192}
+    mod  t0, s1, t2           ; slice origin rotates with the edit count
+    la   t1, ed_buffer
+    add  t1, t1, t0
+    li   t2, 8192
+    li   t3, 'q'
+ed_scan:
+    beq  t2, zero, ed_next_iter
+    lb   a3, 0(t1)
+    bne  a3, t3, ed_scan_next
+    addi rv, rv, 1
+ed_scan_next:
+    addi t1, t1, 1
+    addi t2, t2, -1
+    jmp  ed_scan
+
+ed_next_iter:
+    addi s1, s1, -1
+    jmp  ed_outer
+
+ed_done:
+    andi rv, rv, 0xFF
+    pop  s1
+    pop  s0
+    ret
+"""
+
+
+BROWSER = Workload(
+    name="browser",
+    description="Synthetic browser: pointer chasing + strings + layout math",
+    category="benign",
+    kernel_source=browser_source,
+    default_iterations=60,
+)
+
+EDITOR = Workload(
+    name="editor",
+    description="Synthetic text editor: gap-buffer moves + scans",
+    category="benign",
+    kernel_source=editor_source,
+    default_iterations=60,
+)
+
+
+HID_DAEMON_LIGHT_BUFFER = 16 * 1024
+HID_DAEMON_HEAVY_BUFFER = 384 * 1024
+
+
+def _hid_daemon_source(buffer_bytes):
+    """HID daemon kernel: stream a sample buffer, accumulate statistics.
+
+    Models the measurement side of the paper's HID on the same machine:
+    the *offline* type only gathers HPC samples (small buffer, light
+    cache footprint), the *online* type additionally retrains on the
+    accumulated trace matrix (large buffer streaming through the shared
+    L2 — which is what shows up as extra host overhead in Table I).
+    """
+    words = buffer_bytes // 4
+    def source(iterations):
+        return f"""
+; ---- hid daemon: stream {buffer_bytes} bytes of trace data ----
+.data
+hidd_ready:
+    .word 0
+hidd_buffer:
+    .space {buffer_bytes}
+
+.text
+workload_main:
+    push s0
+    push s1
+
+    la   gp, hidd_ready
+    lw   t0, 0(gp)
+    bne  t0, zero, hidd_go
+    li   t0, 1
+    sw   t0, 0(gp)
+    la   t1, hidd_buffer
+    li   t2, {words}
+    li   t3, 456456
+hidd_init:
+    beq  t2, zero, hidd_go
+    muli t3, t3, 1103515245
+    addi t3, t3, 12345
+    sw   t3, 0(t1)
+    addi t1, t1, 4
+    addi t2, t2, -1
+    jmp  hidd_init
+
+hidd_go:
+    li   s1, {{iterations}}
+    li   rv, 0
+hidd_outer:
+    beq  s1, zero, hidd_done
+    ; one pass over the trace matrix: load, scale, accumulate
+    la   t1, hidd_buffer
+    li   t2, {words}
+hidd_pass:
+    beq  t2, zero, hidd_next
+    lw   t3, 0(t1)
+    muli t3, t3, 3
+    shri t3, t3, 2
+    add  rv, rv, t3
+    addi t1, t1, 4
+    addi t2, t2, -1
+    jmp  hidd_pass
+hidd_next:
+    addi s1, s1, -1
+    jmp  hidd_outer
+
+hidd_done:
+    andi rv, rv, 0xFF
+    pop  s1
+    pop  s0
+    ret
+""".format(iterations=iterations)
+    return source
+
+
+HID_DAEMON_LIGHT = Workload(
+    name="hid_daemon_light",
+    description="Offline-type HID daemon: HPC sampling only (small footprint)",
+    category="benign",
+    kernel_source=_hid_daemon_source(HID_DAEMON_LIGHT_BUFFER),
+    default_iterations=100,
+)
+
+HID_DAEMON_HEAVY = Workload(
+    name="hid_daemon_heavy",
+    description="Online-type HID daemon: sampling + retraining (L2-streaming)",
+    category="benign",
+    kernel_source=_hid_daemon_source(HID_DAEMON_HEAVY_BUFFER),
+    default_iterations=100,
+)

@@ -1,0 +1,160 @@
+"""MiBench ``adpcm`` (telecomm suite), scaled.
+
+IMA ADPCM encoding: per input sample, compute the delta against the
+predictor, quantise it against the current step size with a chain of
+compare-and-subtract branches, clamp the predictor, and walk the step
+index through the (real) 89-entry step-size table.  Data-dependent
+short branches + one table load per sample — the telecom codec profile.
+"""
+
+from repro.workloads.base import Workload
+
+# The genuine IMA ADPCM step-size table.
+_STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+_INDEX_ADJUST = [-1, -1, -1, -1, 2, 4, 6, 8]
+
+SAMPLES_PER_ITERATION = 64
+
+
+def kernel_source(iterations):
+    step_rows = "\n".join(
+        "    .word " + ", ".join(str(v) for v in _STEP_TABLE[i:i + 12])
+        for i in range(0, len(_STEP_TABLE), 12)
+    )
+    adjust_row = "    .word " + ", ".join(str(v) for v in _INDEX_ADJUST)
+    return f"""
+; ---- adpcm: IMA ADPCM encoder over an LCG sample stream ----
+.data
+ad_steps:
+{step_rows}
+ad_adjust:
+{adjust_row}
+ad_predicted:
+    .word 0
+ad_index:
+    .word 0
+
+.text
+workload_main:
+    push s0
+    push s1
+    li   s1, {iterations}
+    li   s0, 646464               ; sample-stream LCG
+    li   rv, 0
+ad_outer:
+    beq  s1, zero, ad_done
+    li   a2, {SAMPLES_PER_ITERATION}
+ad_sample:
+    beq  a2, zero, ad_next_iter
+
+    ; ---- next 16-bit signed sample ----
+    muli s0, s0, 1103515245
+    addi s0, s0, 12345
+    shri t0, s0, 12
+    andi t0, t0, 0xFFFF
+    addi t0, t0, -32768           ; sample in [-32768, 32767]
+
+    ; ---- delta = sample - predicted ----
+    la   t1, ad_predicted
+    lw   t2, 0(t1)
+    sub  t0, t0, t2               ; delta
+
+    ; ---- sign bit + magnitude ----
+    li   t3, 0                    ; code
+    bge  t0, zero, ad_positive
+    li   t3, 8                    ; sign bit
+    sub  t0, zero, t0
+ad_positive:
+
+    ; ---- step = steps[index] ----
+    la   a3, ad_index
+    lw   gp, 0(a3)
+    shli lr, gp, 2
+    la   a0, ad_steps
+    add  a0, a0, lr
+    lw   a0, 0(a0)                ; step
+
+    ; ---- quantise: the codec's compare-subtract ladder ----
+    blt  t0, a0, ad_q1
+    ori  t3, t3, 4
+    sub  t0, t0, a0
+ad_q1:
+    shri a1, a0, 1
+    blt  t0, a1, ad_q2
+    ori  t3, t3, 2
+    sub  t0, t0, a1
+ad_q2:
+    shri a1, a0, 2
+    blt  t0, a1, ad_q3
+    ori  t3, t3, 1
+ad_q3:
+
+    ; ---- predictor update (approximate reconstruction) ----
+    andi lr, t3, 7
+    mul  lr, lr, a0
+    shri lr, lr, 2
+    andi a1, t3, 8
+    beq  a1, zero, ad_add
+    sub  t2, t2, lr
+    jmp  ad_clamp
+ad_add:
+    add  t2, t2, lr
+ad_clamp:
+    li   a1, 32767
+    bge  a1, t2, ad_clamp_low
+    mov  t2, a1
+ad_clamp_low:
+    li   a1, -32768
+    bge  t2, a1, ad_store_pred
+    mov  t2, a1
+ad_store_pred:
+    sw   t2, 0(t1)
+
+    ; ---- index += adjust[code & 7], clamped to [0, 88] ----
+    andi lr, t3, 7
+    shli lr, lr, 2
+    la   a1, ad_adjust
+    add  a1, a1, lr
+    lw   a1, 0(a1)
+    add  gp, gp, a1
+    bge  gp, zero, ad_index_high
+    li   gp, 0
+ad_index_high:
+    li   a1, 88
+    bge  a1, gp, ad_index_store
+    mov  gp, a1
+ad_index_store:
+    sw   gp, 0(a3)
+
+    add  rv, rv, t3               ; accumulate codes
+    addi a2, a2, -1
+    jmp  ad_sample
+
+ad_next_iter:
+    addi s1, s1, -1
+    jmp  ad_outer
+
+ad_done:
+    andi rv, rv, 0xFF
+    pop  s1
+    pop  s0
+    ret
+"""
+
+
+WORKLOAD = Workload(
+    name="adpcm",
+    description="MiBench adpcm: IMA codec ladder, branchy + table loads",
+    category="mibench",
+    kernel_source=kernel_source,
+    default_iterations=60,
+)

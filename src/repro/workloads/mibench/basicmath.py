@@ -1,0 +1,78 @@
+"""MiBench ``basicmath`` (the paper's "Math" host), scaled.
+
+The original runs cubic solves, integer square roots and angle
+conversions.  The kernel below keeps the same operation mix — divide-
+heavy Newton iterations, Euclid gcd (modulo), Horner cubic evaluation —
+over a pseudorandom input stream, so its HPC signature (high
+``mul_div_instructions``, moderate branching, almost no memory traffic)
+matches the original's character.
+"""
+
+from repro.workloads.base import Workload
+
+
+def kernel_source(iterations):
+    return f"""
+; ---- basicmath: Newton isqrt + Euclid gcd + cubic Horner ----
+.text
+workload_main:
+    li   t0, {iterations}
+    li   s0, 12345            ; LCG state
+    li   rv, 0
+bm_outer:
+    beq  t0, zero, bm_done
+    muli s0, s0, 1103515245   ; x = lcg()
+    addi s0, s0, 12345
+    shri t1, s0, 8
+    andi t1, t1, 0xFFFF
+    ori  t1, t1, 1            ; n >= 1
+
+    ; integer sqrt: ten Newton steps r = (r + n/r) / 2
+    mov  t2, t1
+    li   t3, 10
+bm_newton:
+    beq  t3, zero, bm_newton_done
+    div  s1, t1, t2
+    add  t2, t2, s1
+    shri t2, t2, 1
+    addi t3, t3, -1
+    jmp  bm_newton
+bm_newton_done:
+    add  rv, rv, t2
+
+    ; gcd(n, 9240) by Euclid
+    mov  t2, t1
+    li   t3, 9240
+bm_gcd:
+    beq  t3, zero, bm_gcd_done
+    mod  s1, t2, t3
+    mov  t2, t3
+    mov  t3, s1
+    jmp  bm_gcd
+bm_gcd_done:
+    add  rv, rv, t2
+
+    ; cubic 3n^3 + 5n^2 + 7n + 11 by Horner
+    muli t2, t1, 3
+    addi t2, t2, 5
+    mul  t2, t2, t1
+    addi t2, t2, 7
+    mul  t2, t2, t1
+    addi t2, t2, 11
+    add  rv, rv, t2
+
+    addi t0, t0, -1
+    jmp  bm_outer
+bm_done:
+    andi rv, rv, 0xFF
+    ret
+"""
+
+
+WORKLOAD = Workload(
+    name="basicmath",
+    description="MiBench basicmath (Math): isqrt/gcd/cubic, divide heavy",
+    category="mibench",
+    kernel_source=kernel_source,
+    default_iterations=200,
+)

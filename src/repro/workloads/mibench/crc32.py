@@ -1,0 +1,99 @@
+"""MiBench ``crc32`` (telecomm suite), scaled.
+
+Table-driven CRC-32: the 256-entry table is generated once with the real
+reflected polynomial 0xEDB88320, then each iteration folds 64
+pseudorandom bytes through the table — one dependent table load per
+byte, the classic load-use-latency-bound telecom kernel.
+"""
+
+from repro.workloads.base import Workload
+
+BYTES_PER_ITERATION = 64
+
+
+def kernel_source(iterations):
+    return f"""
+; ---- crc32: table-driven CRC over {BYTES_PER_ITERATION} bytes/iteration ----
+.data
+crc_table:
+    .space 1024
+crc_table_ready:
+    .word 0
+
+.text
+workload_main:
+    push s0
+    push s1
+
+    ; ---- one-time table generation ----
+    la   gp, crc_table_ready
+    lw   t0, 0(gp)
+    bne  t0, zero, crc_ready
+    li   t0, 1
+    sw   t0, 0(gp)
+    la   t1, crc_table
+    li   t2, 0                ; i
+crc_tbl_outer:
+    slti t0, t2, 256
+    beq  t0, zero, crc_ready
+    mov  t3, t2               ; c = i
+    li   a2, 8
+crc_tbl_inner:
+    beq  a2, zero, crc_tbl_store
+    andi a3, t3, 1
+    shri t3, t3, 1
+    beq  a3, zero, crc_tbl_no_xor
+    xori t3, t3, 0xEDB88320
+crc_tbl_no_xor:
+    addi a2, a2, -1
+    jmp  crc_tbl_inner
+crc_tbl_store:
+    shli a3, t2, 2
+    add  a3, a3, t1
+    sw   t3, 0(a3)
+    addi t2, t2, 1
+    jmp  crc_tbl_outer
+
+crc_ready:
+    li   s1, {iterations}
+    li   s0, 55555            ; LCG state
+    li   rv, -1               ; crc = 0xFFFFFFFF
+    la   a2, crc_table
+crc_outer:
+    beq  s1, zero, crc_done
+    li   t0, {BYTES_PER_ITERATION}
+crc_bytes:
+    beq  t0, zero, crc_next_iter
+    muli s0, s0, 1103515245
+    addi s0, s0, 12345
+    shri t1, s0, 16
+    andi t1, t1, 0xFF         ; next input byte
+    xor  t2, rv, t1
+    andi t2, t2, 0xFF
+    shli t2, t2, 2
+    add  t2, t2, a2
+    lw   t3, 0(t2)            ; table[(crc ^ b) & 0xFF]
+    shri rv, rv, 8
+    xor  rv, rv, t3
+    addi t0, t0, -1
+    jmp  crc_bytes
+crc_next_iter:
+    addi s1, s1, -1
+    jmp  crc_outer
+
+crc_done:
+    xori rv, rv, -1           ; final complement
+    andi rv, rv, 0xFF
+    pop  s1
+    pop  s0
+    ret
+"""
+
+
+WORKLOAD = Workload(
+    name="crc32",
+    description="MiBench crc32: table-driven CRC, dependent-load bound",
+    category="mibench",
+    kernel_source=kernel_source,
+    default_iterations=300,
+)

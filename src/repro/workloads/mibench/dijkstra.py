@@ -1,0 +1,167 @@
+"""MiBench ``dijkstra`` (network suite), scaled.
+
+O(V^2) Dijkstra over a dense pseudorandom adjacency matrix.  Each outer
+iteration solves single-source shortest paths from a rotating source
+vertex.  Irregular loads (matrix rows, distance array), compare-driven
+branches and a linear min-scan — the network-processing profile of the
+original.
+"""
+
+from repro.workloads.base import Workload
+
+NUM_VERTICES = 24
+INFINITY = 0x3FFFFFFF
+
+
+def kernel_source(iterations):
+    matrix_words = NUM_VERTICES * NUM_VERTICES
+    return f"""
+; ---- dijkstra: O(V^2) SSSP, V = {NUM_VERTICES} ----
+.data
+dj_ready:
+    .word 0
+dj_matrix:
+    .space {4 * matrix_words}
+dj_dist:
+    .space {4 * NUM_VERTICES}
+dj_visited:
+    .space {4 * NUM_VERTICES}
+
+.text
+workload_main:
+    push s0
+    push s1
+
+    ; ---- one-time matrix init: weights 1..16 ----
+    la   gp, dj_ready
+    lw   t0, 0(gp)
+    bne  t0, zero, dj_go
+    li   t0, 1
+    sw   t0, 0(gp)
+    la   t1, dj_matrix
+    li   t2, {matrix_words}
+    li   t3, 777
+dj_fill:
+    beq  t2, zero, dj_go
+    muli t3, t3, 1103515245
+    addi t3, t3, 12345
+    shri a3, t3, 7
+    andi a3, a3, 15
+    addi a3, a3, 1
+    sw   a3, 0(t1)
+    addi t1, t1, 4
+    addi t2, t2, -1
+    jmp  dj_fill
+
+dj_go:
+    li   s1, {iterations}
+    li   rv, 0
+dj_outer:
+    beq  s1, zero, dj_done
+
+    ; source vertex rotates with the iteration count
+    li   t0, {NUM_VERTICES}
+    mod  s0, s1, t0           ; s0 = src
+
+    ; init dist[] = INF, visited[] = 0, dist[src] = 0
+    la   t1, dj_dist
+    la   t2, dj_visited
+    li   t3, {NUM_VERTICES}
+    li   a2, {INFINITY}
+dj_init:
+    beq  t3, zero, dj_init_src
+    sw   a2, 0(t1)
+    sw   zero, 0(t2)
+    addi t1, t1, 4
+    addi t2, t2, 4
+    addi t3, t3, -1
+    jmp  dj_init
+dj_init_src:
+    la   t1, dj_dist
+    shli t2, s0, 2
+    add  t2, t2, t1
+    sw   zero, 0(t2)
+
+    ; main loop: V rounds of (min-scan, relax-row)
+    li   a2, {NUM_VERTICES}   ; rounds left
+dj_round:
+    beq  a2, zero, dj_iter_done
+
+    ; -- find unvisited vertex u with minimal dist --
+    li   t0, -1               ; u
+    li   t1, {INFINITY + 1}   ; best
+    li   t2, 0                ; v
+dj_scan:
+    slti t3, t2, {NUM_VERTICES}
+    beq  t3, zero, dj_scan_done
+    la   t3, dj_visited
+    shli a3, t2, 2
+    add  t3, t3, a3
+    lw   t3, 0(t3)
+    bne  t3, zero, dj_scan_next
+    la   t3, dj_dist
+    add  t3, t3, a3
+    lw   t3, 0(t3)
+    bge  t3, t1, dj_scan_next
+    mov  t1, t3
+    mov  t0, t2
+dj_scan_next:
+    addi t2, t2, 1
+    jmp  dj_scan
+dj_scan_done:
+    blt  t0, zero, dj_iter_done   ; no reachable vertex left
+
+    ; -- mark u visited --
+    la   t2, dj_visited
+    shli t3, t0, 2
+    add  t2, t2, t3
+    li   t3, 1
+    sw   t3, 0(t2)
+
+    ; -- relax every edge (u, v) --
+    la   a3, dj_matrix
+    muli t2, t0, {4 * NUM_VERTICES}
+    add  a3, a3, t2           ; row pointer
+    li   t2, 0                ; v
+dj_relax:
+    slti t3, t2, {NUM_VERTICES}
+    beq  t3, zero, dj_relax_done
+    lw   t3, 0(a3)            ; w(u, v)
+    add  t3, t3, t1           ; dist[u] + w
+    la   gp, dj_dist
+    shli lr, t2, 2
+    add  gp, gp, lr
+    lw   lr, 0(gp)
+    bge  t3, lr, dj_relax_next
+    sw   t3, 0(gp)
+dj_relax_next:
+    addi a3, a3, 4
+    addi t2, t2, 1
+    jmp  dj_relax
+dj_relax_done:
+    addi a2, a2, -1
+    jmp  dj_round
+
+dj_iter_done:
+    ; accumulate dist[V-1] so the work is observable
+    la   t1, dj_dist
+    lw   t2, {4 * (NUM_VERTICES - 1)}(t1)
+    add  rv, rv, t2
+    addi s1, s1, -1
+    jmp  dj_outer
+
+dj_done:
+    andi rv, rv, 0xFF
+    pop  s1
+    pop  s0
+    ret
+"""
+
+
+WORKLOAD = Workload(
+    name="dijkstra",
+    description="MiBench dijkstra: dense O(V^2) SSSP, irregular loads",
+    category="mibench",
+    kernel_source=kernel_source,
+    default_iterations=30,
+)

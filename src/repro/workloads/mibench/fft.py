@@ -1,0 +1,152 @@
+"""MiBench ``fft`` (telecomm suite), scaled.
+
+Fixed-point (Q12) radix-2 butterfly network over 128 complex points:
+seven stages of strided paired loads, multiply-shift twiddle scaling and
+paired stores.  The twiddle table is pseudorandom rather than a true
+cosine table (the *access pattern and operation mix* are what shape the
+HPC signature, not the spectral correctness) and the bit-reversal
+permutation is omitted; both substitutions are noted in DESIGN.md.
+"""
+
+from repro.workloads.base import Workload
+
+N_POINTS = 128
+
+
+def kernel_source(iterations):
+    return f"""
+; ---- fft: fixed-point radix-2 butterflies, N = {N_POINTS} ----
+.data
+fft_ready:
+    .word 0
+fft_re:
+    .space {4 * N_POINTS}
+fft_im:
+    .space {4 * N_POINTS}
+fft_tw:
+    .space {4 * N_POINTS}
+
+.text
+workload_main:
+    push s0
+    push s1
+
+    ; ---- one-time init of inputs and twiddle table ----
+    la   gp, fft_ready
+    lw   t0, 0(gp)
+    bne  t0, zero, fft_go
+    li   t0, 1
+    sw   t0, 0(gp)
+    li   t1, 0
+    li   t3, 20202
+fft_init:
+    slti t0, t1, {N_POINTS}
+    beq  t0, zero, fft_go
+    muli t3, t3, 1103515245
+    addi t3, t3, 12345
+    shli t2, t1, 2
+    la   a3, fft_re
+    add  a3, a3, t2
+    shri a2, t3, 20
+    andi a2, a2, 0xFF
+    sw   a2, 0(a3)
+    la   a3, fft_im
+    add  a3, a3, t2
+    shri a2, t3, 12
+    andi a2, a2, 0xFF
+    sw   a2, 0(a3)
+    la   a3, fft_tw
+    add  a3, a3, t2
+    shri a2, t3, 16
+    andi a2, a2, 0x1FFF
+    addi a2, a2, -4096        ; pseudo-cosine in [-4096, 4095] (Q12)
+    sw   a2, 0(a3)
+    addi t1, t1, 1
+    jmp  fft_init
+
+fft_go:
+    la   gp, fft_ready        ; reuse as iteration cell
+    li   t0, {iterations}
+fft_iter_loop:
+    beq  t0, zero, fft_all_done
+    push t0
+
+    li   s0, 2                ; len = 2
+    li   a2, {N_POINTS // 2}  ; tstep = N / len
+fft_stage:
+    slti t2, s0, {N_POINTS + 1}
+    beq  t2, zero, fft_iter_end
+    shri t1, s0, 1            ; half = len / 2
+    li   s1, 0                ; i = 0
+fft_i_loop:
+    slti t2, s1, {N_POINTS}
+    beq  t2, zero, fft_i_done
+    li   t0, 0                ; j = 0
+fft_inner:
+    bge  t0, t1, fft_inner_done
+    mul  t2, t0, a2           ; twiddle index = (j * tstep) & (N-1)
+    andi t2, t2, {N_POINTS - 1}
+    shli t2, t2, 2
+    la   t3, fft_tw
+    add  t3, t3, t2
+    lw   t3, 0(t3)            ; tw
+    add  a3, s1, t0           ; a = i + j
+    add  gp, a3, t1           ; b = a + half
+    shli a3, a3, 2
+    shli gp, gp, 2
+    ; real butterfly
+    la   lr, fft_re
+    add  a0, lr, a3
+    add  a1, lr, gp
+    lw   lr, 0(a1)
+    mul  lr, lr, t3
+    srai lr, lr, 12           ; tr = (re[b] * tw) >> 12
+    lw   t2, 0(a0)
+    sub  rv, t2, lr
+    sw   rv, 0(a1)            ; re[b] = re[a] - tr
+    add  rv, t2, lr
+    sw   rv, 0(a0)            ; re[a] = re[a] + tr
+    ; imaginary butterfly
+    la   lr, fft_im
+    add  a0, lr, a3
+    add  a1, lr, gp
+    lw   lr, 0(a1)
+    mul  lr, lr, t3
+    srai lr, lr, 12           ; ti = (im[b] * tw) >> 12
+    lw   t2, 0(a0)
+    sub  rv, t2, lr
+    sw   rv, 0(a1)
+    add  rv, t2, lr
+    sw   rv, 0(a0)
+    addi t0, t0, 1
+    jmp  fft_inner
+fft_inner_done:
+    add  s1, s1, s0           ; i += len
+    jmp  fft_i_loop
+fft_i_done:
+    shli s0, s0, 1            ; len *= 2
+    shri a2, a2, 1            ; tstep /= 2
+    jmp  fft_stage
+
+fft_iter_end:
+    pop  t0
+    addi t0, t0, -1
+    jmp  fft_iter_loop
+
+fft_all_done:
+    la   t1, fft_re
+    lw   rv, 0(t1)
+    andi rv, rv, 0xFF
+    pop  s1
+    pop  s0
+    ret
+"""
+
+
+WORKLOAD = Workload(
+    name="fft",
+    description="MiBench fft: fixed-point radix-2 butterflies, strided",
+    category="mibench",
+    kernel_source=kernel_source,
+    default_iterations=15,
+)

@@ -1,0 +1,221 @@
+"""MiBench ``patricia`` (network suite), scaled.
+
+Routing-table lookups in a binary bit-trie: insertion builds the trie
+in a node arena once; each iteration then performs a burst of lookups
+with pseudorandom keys (half present, half scrambled misses).  Per node
+visit: load the node's bit index, test that key bit, follow the
+left/right child pointer — irregular, dependent loads with data-driven
+branches, the signature of the original's longest-prefix matching.
+
+Leaves carry the full key and every lookup ends in a key compare, so
+hits/misses are exact; internal nodes descend one bit per level
+(an uncompressed trie — path compression is what the real PATRICIA
+adds, with the same access pattern per visited node).
+"""
+
+from repro.workloads.base import Workload
+
+NUM_KEYS = 256
+NODE_WORDS = 4  # [bit, left, right, key]
+LOOKUPS_PER_ITERATION = 64
+
+
+def kernel_source(iterations):
+    # Worst case: one internal chain node per bit per key.
+    arena_bytes = 4 * NODE_WORDS * (34 * NUM_KEYS)
+    return f"""
+; ---- patricia: binary bit-trie insert + lookup bursts ----
+; node layout: +0 bit index (-1 = leaf), +4 left, +8 right, +12 key
+.data
+pt_ready:
+    .word 0
+pt_next_node:
+    .word 0
+pt_root:
+    .word 0
+pt_arena:
+    .space {arena_bytes}
+
+.text
+workload_main:
+    push s0
+    push s1
+
+    ; ---- one-time build: insert {NUM_KEYS} LCG keys ----
+    la   gp, pt_ready
+    lw   t0, 0(gp)
+    bne  t0, zero, pt_go
+    li   t0, 1
+    sw   t0, 0(gp)
+    li   s0, 80808                ; key LCG
+    li   s1, {NUM_KEYS}
+pt_build:
+    beq  s1, zero, pt_go
+    muli s0, s0, 1103515245
+    addi s0, s0, 12345
+    mov  a0, s0
+    call pt_insert
+    addi s1, s1, -1
+    jmp  pt_build
+
+pt_go:
+    li   s1, {iterations}
+    li   gp, 0                    ; hit accumulator
+pt_outer:
+    beq  s1, zero, pt_all_done
+    li   s0, 80808                ; replay the same key stream
+    li   a2, {LOOKUPS_PER_ITERATION}
+pt_lookup_burst:
+    beq  a2, zero, pt_next_iter
+    muli s0, s0, 1103515245
+    addi s0, s0, 12345
+    mov  a0, s0
+    andi t0, a2, 1                ; every other probe is a miss key
+    beq  t0, zero, pt_probe
+    xori a0, a0, 0x5A5A5A5A
+pt_probe:
+    push a2
+    call pt_search
+    pop  a2
+    add  gp, gp, rv
+    addi a2, a2, -1
+    jmp  pt_lookup_burst
+pt_next_iter:
+    addi s1, s1, -1
+    jmp  pt_outer
+
+pt_all_done:
+    andi rv, gp, 0xFF
+    pop  s1
+    pop  s0
+    ret
+
+; ---- int pt_search(key a0): 1 if key present -------------------------
+pt_search:
+    la   t0, pt_root
+    lw   t0, 0(t0)
+    beq  t0, zero, pt_search_miss
+pt_walk:
+    lw   t1, 0(t0)                ; bit index (-1 = leaf)
+    blt  t1, zero, pt_leaf
+    shr  t2, a0, t1
+    andi t2, t2, 1
+    beq  t2, zero, pt_walk_left
+    lw   t0, 8(t0)
+    jmp  pt_walk
+pt_walk_left:
+    lw   t0, 4(t0)
+    jmp  pt_walk
+pt_leaf:
+    lw   t1, 12(t0)
+    bne  t1, a0, pt_search_miss
+    li   rv, 1
+    ret
+pt_search_miss:
+    li   rv, 0
+    ret
+
+; ---- void pt_insert(key a0) -------------------------------------------
+; Descends existing internals; on reaching a leaf, splits: internal
+; chain nodes are added (one bit per level) until the stored key and
+; the new key disagree.  While their bits agree, the chain's *other*
+; child points at the old leaf (any lookup drifting there terminates
+; in a key compare, so correctness holds).
+pt_insert:
+    push s0
+    push s1
+    mov  s0, a0                   ; new key
+    call pt_alloc                 ; new leaf
+    mov  s1, rv
+    li   t0, -1
+    sw   t0, 0(s1)
+    sw   s0, 12(s1)
+
+    la   a3, pt_root              ; slot holding the current pointer
+    lw   t1, 0(a3)
+    bne  t1, zero, pt_ins_descend
+    sw   s1, 0(a3)                ; empty trie
+    jmp  pt_ins_done
+pt_ins_descend:
+    li   a2, 31                   ; next bit to test
+pt_ins_step:
+    lw   t1, 0(a3)                ; current node
+    lw   t2, 0(t1)                ; its bit
+    blt  t2, zero, pt_ins_split
+    shr  t3, s0, t2
+    andi t3, t3, 1
+    addi a2, t2, -1               ; descend one bit per level
+    beq  t3, zero, pt_ins_left
+    addi a3, t1, 8
+    jmp  pt_ins_step
+pt_ins_left:
+    addi a3, t1, 4
+    jmp  pt_ins_step
+
+pt_ins_split:
+    ; t1 = old leaf sitting in *a3
+    lw   t2, 12(t1)               ; old key
+pt_split_loop:
+    blt  a2, zero, pt_ins_done    ; identical keys: keep the old leaf
+    shr  t3, s0, a2
+    andi t3, t3, 1                ; new key's bit
+    shr  t0, t2, a2
+    andi t0, t0, 1                ; old key's bit
+    push t0
+    push t3
+    push t1
+    push t2
+    call pt_alloc                 ; internal chain node (clobbers t0-t2)
+    pop  t2
+    pop  t1
+    pop  t3
+    pop  t0
+    sw   a2, 0(rv)
+    sw   rv, 0(a3)                ; hook it into the parent slot
+    bne  t0, t3, pt_split_final
+    ; bits agree: old leaf parks on the other side, chain continues
+    beq  t3, zero, pt_chain_left
+    sw   t1, 4(rv)                ; other side
+    addi a3, rv, 8
+    jmp  pt_chain_next
+pt_chain_left:
+    sw   t1, 8(rv)
+    addi a3, rv, 4
+pt_chain_next:
+    sw   t1, 0(a3)                ; keep the slot non-null meanwhile
+    addi a2, a2, -1
+    jmp  pt_split_loop
+pt_split_final:
+    ; bits differ: place both leaves
+    beq  t3, zero, pt_final_left
+    sw   t1, 4(rv)
+    sw   s1, 8(rv)
+    jmp  pt_ins_done
+pt_final_left:
+    sw   s1, 4(rv)
+    sw   t1, 8(rv)
+pt_ins_done:
+    pop  s1
+    pop  s0
+    ret
+
+; ---- node* pt_alloc(): bump allocator over the arena ------------------
+pt_alloc:
+    la   t0, pt_next_node
+    lw   t1, 0(t0)
+    addi t2, t1, 1
+    sw   t2, 0(t0)
+    muli t1, t1, {4 * NODE_WORDS}
+    la   rv, pt_arena
+    add  rv, rv, t1
+    ret
+"""
+
+
+WORKLOAD = Workload(
+    name="patricia",
+    description="MiBench patricia: bit-trie lookups, dependent loads",
+    category="mibench",
+    kernel_source=kernel_source,
+    default_iterations=40,
+)

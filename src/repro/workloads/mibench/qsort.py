@@ -1,0 +1,120 @@
+"""MiBench ``qsort``, scaled.
+
+Recursive Lomuto quicksort over a pseudorandom array, refilled with a
+different seed each outer iteration.  The profile is the original's:
+data-dependent branches (comparisons), pointer loads/stores, and deep
+``call``/``ret`` recursion that exercises the return stack buffer.
+"""
+
+from repro.workloads.base import Workload
+
+ARRAY_LEN = 64
+
+
+def kernel_source(iterations):
+    return f"""
+; ---- qsort: recursive Lomuto quicksort over {ARRAY_LEN} words ----
+.data
+qs_array:
+    .space {4 * ARRAY_LEN}
+
+.text
+workload_main:
+    push s0
+    push s1
+    li   s0, {iterations}
+qs_outer:
+    beq  s0, zero, qs_all_done
+
+    ; refill the array with an iteration-dependent LCG stream
+    la   t0, qs_array
+    li   t1, {ARRAY_LEN}
+    mov  t3, s0
+    muli t3, t3, 1103515245
+    addi t3, t3, 12345
+qs_fill:
+    beq  t1, zero, qs_sort_start
+    muli t3, t3, 1103515245
+    addi t3, t3, 12345
+    shri a3, t3, 4
+    sw   a3, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    jmp  qs_fill
+
+qs_sort_start:
+    li   a0, 0
+    li   a1, {ARRAY_LEN - 1}
+    call qs_sort
+    addi s0, s0, -1
+    jmp  qs_outer
+
+qs_all_done:
+    la   t0, qs_array
+    lw   rv, 0(t0)
+    andi rv, rv, 0xFF
+    pop  s1
+    pop  s0
+    ret
+
+; ---- void qs_sort(int lo /*a0*/, int hi /*a1*/) ----------------------
+qs_sort:
+    bge  a0, a1, qs_ret
+    push s0
+    push s1
+    mov  s0, a0               ; lo
+    mov  s1, a1               ; hi
+
+    ; Lomuto partition with pivot = arr[hi]
+    la   t0, qs_array
+    shli t1, s1, 2
+    add  t1, t1, t0           ; &arr[hi]
+    lw   t2, 0(t1)            ; pivot
+    mov  t3, s0               ; i = lo (store slot)
+    mov  a2, s0               ; j = lo
+qs_part:
+    bge  a2, s1, qs_part_done
+    shli a3, a2, 2
+    add  a3, a3, t0
+    lw   gp, 0(a3)            ; arr[j]
+    bge  gp, t2, qs_no_swap
+    shli lr, t3, 2            ; swap arr[i] <-> arr[j]
+    add  lr, lr, t0
+    lw   a1, 0(lr)
+    sw   gp, 0(lr)
+    sw   a1, 0(a3)
+    addi t3, t3, 1
+qs_no_swap:
+    addi a2, a2, 1
+    jmp  qs_part
+qs_part_done:
+    shli lr, t3, 2            ; swap arr[i] <-> arr[hi]
+    add  lr, lr, t0
+    lw   a1, 0(lr)
+    lw   gp, 0(t1)
+    sw   gp, 0(lr)
+    sw   a1, 0(t1)
+
+    mov  a0, s0               ; qs_sort(lo, i - 1)
+    addi a1, t3, -1
+    push t3
+    call qs_sort
+    pop  t3
+    addi a0, t3, 1            ; qs_sort(i + 1, hi)
+    mov  a1, s1
+    call qs_sort
+
+    pop  s1
+    pop  s0
+qs_ret:
+    ret
+"""
+
+
+WORKLOAD = Workload(
+    name="qsort",
+    description="MiBench qsort: recursive quicksort, branch + RSB heavy",
+    category="mibench",
+    kernel_source=kernel_source,
+    default_iterations=60,
+)

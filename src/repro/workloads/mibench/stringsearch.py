@@ -1,0 +1,94 @@
+"""MiBench ``stringsearch``, scaled.
+
+Naive substring search of a 5-byte needle over a 2 KiB pseudorandom
+haystack drawn from a 4-letter alphabet (so partial matches — and the
+mispredicted inner-loop exits they cause — actually happen).  Byte
+loads and short, data-dependent branches dominate, like the original.
+"""
+
+from repro.workloads.base import Workload
+
+HAYSTACK_LEN = 2048
+
+
+def kernel_source(iterations):
+    return f"""
+; ---- stringsearch: naive search over a {HAYSTACK_LEN}-byte haystack ----
+.data
+ss_needle:
+    .asciiz "abcab"
+ss_ready:
+    .word 0
+ss_haystack:
+    .space {HAYSTACK_LEN + 1}
+
+.text
+workload_main:
+    push s0
+    push s1
+
+    ; ---- one-time haystack init: chars 'a'..'d' from an LCG ----
+    la   gp, ss_ready
+    lw   t0, 0(gp)
+    bne  t0, zero, ss_go
+    li   t0, 1
+    sw   t0, 0(gp)
+    la   t1, ss_haystack
+    li   t2, {HAYSTACK_LEN}
+    li   t3, 31337
+ss_fill:
+    beq  t2, zero, ss_go
+    muli t3, t3, 1103515245
+    addi t3, t3, 12345
+    shri a3, t3, 10
+    andi a3, a3, 3
+    addi a3, a3, 'a'
+    sb   a3, 0(t1)
+    addi t1, t1, 1
+    addi t2, t2, -1
+    jmp  ss_fill
+
+ss_go:
+    li   s1, {iterations}
+    li   rv, 0                ; total match count
+ss_outer:
+    beq  s1, zero, ss_done
+    la   s0, ss_haystack      ; candidate start pointer
+    li   t0, {HAYSTACK_LEN - 5}  ; candidate starts left
+ss_scan:
+    beq  t0, zero, ss_next_iter
+    ; compare needle at s0
+    la   t1, ss_needle
+    mov  t2, s0
+ss_cmp:
+    lb   t3, 0(t1)
+    beq  t3, zero, ss_hit     ; end of needle: full match
+    lb   a3, 0(t2)
+    bne  t3, a3, ss_miss
+    addi t1, t1, 1
+    addi t2, t2, 1
+    jmp  ss_cmp
+ss_hit:
+    addi rv, rv, 1
+ss_miss:
+    addi s0, s0, 1
+    addi t0, t0, -1
+    jmp  ss_scan
+ss_next_iter:
+    addi s1, s1, -1
+    jmp  ss_outer
+
+ss_done:
+    pop  s1
+    pop  s0
+    ret
+"""
+
+
+WORKLOAD = Workload(
+    name="stringsearch",
+    description="MiBench stringsearch: naive matching, byte-load + branchy",
+    category="mibench",
+    kernel_source=kernel_source,
+    default_iterations=40,
+)

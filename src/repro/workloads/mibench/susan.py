@@ -1,0 +1,141 @@
+"""MiBench ``susan`` (automotive suite), scaled.
+
+SUSAN smoothing: for every interior pixel, compare the 3x3
+neighbourhood against the centre with a brightness threshold and
+average the "similar" neighbours (the USAN principle).  2-D strided
+byte loads with a data-dependent branch per neighbour — the
+image-processing profile of the original.
+"""
+
+from repro.workloads.base import Workload
+
+IMAGE_DIM = 48  # 48x48 pixels
+THRESHOLD = 27
+
+
+def kernel_source(iterations):
+    return f"""
+; ---- susan: USAN-thresholded 3x3 smoothing over {IMAGE_DIM}x{IMAGE_DIM} ----
+.data
+su_ready:
+    .word 0
+su_image:
+    .space {IMAGE_DIM * IMAGE_DIM}
+su_output:
+    .space {IMAGE_DIM * IMAGE_DIM}
+
+.text
+workload_main:
+    push s0
+    push s1
+
+    ; ---- one-time image init: LCG "sensor noise" ----
+    la   gp, su_ready
+    lw   t0, 0(gp)
+    bne  t0, zero, su_go
+    li   t0, 1
+    sw   t0, 0(gp)
+    la   t1, su_image
+    li   t2, {IMAGE_DIM * IMAGE_DIM}
+    li   t3, 51515
+su_fill:
+    beq  t2, zero, su_go
+    muli t3, t3, 1103515245
+    addi t3, t3, 12345
+    shri a3, t3, 13
+    andi a3, a3, 0xFF
+    sb   a3, 0(t1)
+    addi t1, t1, 1
+    addi t2, t2, -1
+    jmp  su_fill
+
+su_go:
+    li   s1, {iterations}
+su_outer:
+    beq  s1, zero, su_done
+
+    li   s0, 1                    ; row
+su_row:
+    slti t0, s0, {IMAGE_DIM - 1}
+    beq  t0, zero, su_frame_done
+    li   a2, 1                    ; col
+su_col:
+    slti t0, a2, {IMAGE_DIM - 1}
+    beq  t0, zero, su_row_next
+
+    ; centre pixel
+    muli t1, s0, {IMAGE_DIM}
+    add  t1, t1, a2
+    la   t2, su_image
+    add  t2, t2, t1               ; &img[row][col]
+    lb   t3, 0(t2)                ; centre brightness
+
+    ; accumulate similar neighbours: sum in gp, count in lr
+    li   gp, 0
+    li   lr, 0
+    ; the 8 neighbour offsets, unrolled
+    lb   a3, -{IMAGE_DIM + 1}(t2)
+    call su_usan
+    lb   a3, -{IMAGE_DIM}(t2)
+    call su_usan
+    lb   a3, -{IMAGE_DIM - 1}(t2)
+    call su_usan
+    lb   a3, -1(t2)
+    call su_usan
+    lb   a3, 1(t2)
+    call su_usan
+    lb   a3, {IMAGE_DIM - 1}(t2)
+    call su_usan
+    lb   a3, {IMAGE_DIM}(t2)
+    call su_usan
+    lb   a3, {IMAGE_DIM + 1}(t2)
+    call su_usan
+
+    ; output = count ? sum / count : centre
+    beq  lr, zero, su_keep_centre
+    div  t3, gp, lr
+su_keep_centre:
+    la   a0, su_output
+    add  a0, a0, t1
+    sb   t3, 0(a0)
+
+    addi a2, a2, 1
+    jmp  su_col
+su_row_next:
+    addi s0, s0, 1
+    jmp  su_row
+
+su_frame_done:
+    addi s1, s1, -1
+    jmp  su_outer
+
+su_done:
+    la   t0, su_output
+    lb   rv, {IMAGE_DIM + 1}(t0)
+    pop  s1
+    pop  s0
+    ret
+
+; ---- usan helper: if |a3 - t3| < threshold: gp += a3; lr += 1 ---------
+; clobbers t0 only; neighbours stream through here 8x per pixel
+su_usan:
+    sub  t0, a3, t3
+    bge  t0, zero, su_usan_abs
+    sub  t0, zero, t0
+su_usan_abs:
+    slti t0, t0, {THRESHOLD}
+    beq  t0, zero, su_usan_out
+    add  gp, gp, a3
+    addi lr, lr, 1
+su_usan_out:
+    ret
+"""
+
+
+WORKLOAD = Workload(
+    name="susan",
+    description="MiBench susan: thresholded 3x3 smoothing, 2D strided",
+    category="mibench",
+    kernel_source=kernel_source,
+    default_iterations=4,
+)

@@ -1,0 +1,47 @@
+"""Registry of all workloads, by name and category."""
+
+from repro.workloads.benign import (BROWSER, EDITOR, HID_DAEMON_HEAVY,
+                                    HID_DAEMON_LIGHT)
+from repro.workloads.mibench.adpcm import WORKLOAD as ADPCM
+from repro.workloads.mibench.basicmath import WORKLOAD as BASICMATH
+from repro.workloads.mibench.bitcount import WORKLOAD as BITCOUNT
+from repro.workloads.mibench.crc32 import WORKLOAD as CRC32
+from repro.workloads.mibench.dijkstra import WORKLOAD as DIJKSTRA
+from repro.workloads.mibench.fft import WORKLOAD as FFT
+from repro.workloads.mibench.patricia import WORKLOAD as PATRICIA
+from repro.workloads.mibench.qsort import WORKLOAD as QSORT
+from repro.workloads.mibench.rijndael import WORKLOAD as RIJNDAEL
+from repro.workloads.mibench.sha import WORKLOAD as SHA
+from repro.workloads.mibench.stringsearch import WORKLOAD as STRINGSEARCH
+from repro.workloads.mibench.susan import WORKLOAD as SUSAN
+
+MIBENCH = (BASICMATH, BITCOUNT, SHA, QSORT, CRC32, STRINGSEARCH, DIJKSTRA,
+           FFT, RIJNDAEL, ADPCM, PATRICIA, SUSAN)
+BENIGN_EXTRAS = (BROWSER, EDITOR)
+HID_DAEMONS = (HID_DAEMON_LIGHT, HID_DAEMON_HEAVY)
+ALL_WORKLOADS = MIBENCH + BENIGN_EXTRAS + HID_DAEMONS
+
+_BY_NAME = {workload.name: workload for workload in ALL_WORKLOADS}
+
+#: The four hosts Figure 4 reports (Spectre_1..4 legends; Table I names
+#: "Math" first, so basicmath is host 1).
+FIG4_HOSTS = ("basicmath", "bitcount", "sha", "qsort")
+
+
+def get_workload(name):
+    """Look up a workload by name; raises KeyError with suggestions."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_BY_NAME)}"
+        )
+
+
+def workload_names(category=None):
+    """All workload names, optionally filtered by category."""
+    return [
+        workload.name
+        for workload in ALL_WORKLOADS
+        if category is None or workload.category == category
+    ]

@@ -1,0 +1,60 @@
+"""Covert-channel calibration tests."""
+
+import pytest
+
+from repro.attack.calibrate import CalibrationResult, calibrate
+from repro.cache.hierarchy import CacheConfig
+from repro.cpu import CpuConfig
+from repro.errors import PrivilegeFault
+from repro.kernel import System
+
+
+class TestCalibrate:
+    def test_default_machine_is_separable(self):
+        result = calibrate(seed=1)
+        assert result.separable, result.describe()
+        assert result.margin > 50
+
+    def test_threshold_between_populations(self):
+        result = calibrate(seed=1)
+        assert result.max_hit < result.threshold < result.min_miss
+
+    def test_describe(self):
+        result = calibrate(seed=1)
+        text = result.describe()
+        assert "threshold=" in text and "margin=" in text
+
+    def test_tracks_memory_latency(self):
+        slow = System(seed=1, cache_config=CacheConfig(memory_latency=400))
+        fast = System(seed=1, cache_config=CacheConfig(memory_latency=60))
+        assert calibrate(slow).min_miss > calibrate(fast).min_miss
+
+    def test_small_latency_gap_shrinks_margin(self):
+        tight = System(
+            seed=1,
+            cache_config=CacheConfig(memory_latency=8, l2_latency=4),
+        )
+        result = calibrate(tight)
+        assert result.margin < calibrate(seed=1).margin
+
+    def test_clflush_ban_propagates(self):
+        system = System(seed=1,
+                        cpu_config=CpuConfig(clflush_privileged=True))
+        with pytest.raises(PrivilegeFault):
+            calibrate(system)
+
+
+class TestResultMath:
+    def test_margin_and_separability(self):
+        result = CalibrationResult(
+            hit_latencies=(1, 2, 3), miss_latencies=(100, 110)
+        )
+        assert result.margin == 97
+        assert result.threshold == (3 + 100) // 2
+        assert result.separable
+
+    def test_overlapping_populations(self):
+        result = CalibrationResult(
+            hit_latencies=(1, 90), miss_latencies=(80, 100)
+        )
+        assert not result.separable

@@ -1,0 +1,129 @@
+"""ROP chain builder and Listing-1 payload tests."""
+
+import struct
+
+import pytest
+
+from repro.attack.chain import ChainBuilder, build_execve_chain
+from repro.attack.gadgets import GadgetScanner
+from repro.attack.payload import (
+    build_payload,
+    payload_total_length,
+    plan_string_addresses,
+)
+from repro.errors import AttackError
+from repro.isa.encoding import encode_program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import A0, A1, T0
+
+
+def _scanner_with(instructions, base=0x1000):
+    return GadgetScanner(encode_program(instructions), base)
+
+
+class TestChainBuilder:
+    def test_multi_pop_preferred(self):
+        scanner = _scanner_with([
+            Instruction(Opcode.POP, rd=A0),
+            Instruction(Opcode.POP, rd=A1),
+            Instruction(Opcode.RET),
+        ])
+        chain = (ChainBuilder(scanner)
+                 .set_registers([(A0, 0x111), (A1, 0x222)])
+                 .call(0x9999)
+                 .build())
+        assert chain.words == (0x1000, 0x111, 0x222, 0x9999)
+
+    def test_fallback_to_single_pops(self):
+        scanner = _scanner_with([
+            Instruction(Opcode.POP, rd=A0),
+            Instruction(Opcode.RET),
+            Instruction(Opcode.POP, rd=A1),
+            Instruction(Opcode.RET),
+        ])
+        chain = (ChainBuilder(scanner)
+                 .set_registers([(A0, 0x111), (A1, 0x222)])
+                 .call(0x9999)
+                 .build())
+        assert chain.words == (0x1000, 0x111, 0x1010, 0x222, 0x9999)
+
+    def test_suffix_gadget_preferred_over_padding(self):
+        # With aligned decode every suffix is itself a gadget, so the
+        # builder picks the direct 'pop a0; ret' at +8 with no junk.
+        scanner = _scanner_with([
+            Instruction(Opcode.POP, rd=T0),
+            Instruction(Opcode.POP, rd=A0),
+            Instruction(Opcode.RET),
+        ])
+        chain = ChainBuilder(scanner).set_register(A0, 0x42).build()
+        assert chain.words == (0x1008, 0x42)
+
+    def test_describe_lists_gadgets(self):
+        scanner = _scanner_with([
+            Instruction(Opcode.POP, rd=A0),
+            Instruction(Opcode.RET),
+        ])
+        chain = ChainBuilder(scanner).set_register(A0, 1).build()
+        assert "pop a0; ret" in chain.describe()
+
+    def test_execve_chain_shape(self):
+        scanner = _scanner_with([
+            Instruction(Opcode.POP, rd=A0),
+            Instruction(Opcode.POP, rd=A1),
+            Instruction(Opcode.RET),
+        ])
+        chain = build_execve_chain(scanner, 0xE000, 0x7000, 0)
+        assert chain.words == (0x1000, 0x7000, 0, 0xE000)
+
+
+class TestPayload:
+    def test_listing1_structure(self):
+        payload = build_payload([0xAAAA, 0xBBBB], buffer_address=0x7FF00000,
+                                fill_bytes=104)
+        blob = payload.blob
+        assert blob[:100] == b"D" * 100
+        assert blob[100:104] == b"FFFF"
+        assert struct.unpack_from("<I", blob, 104)[0] == 0xAAAA
+        assert struct.unpack_from("<I", blob, 108)[0] == 0xBBBB
+
+    def test_strings_appended_with_addresses(self):
+        payload = build_payload(
+            [0x1], buffer_address=0x1000, fill_bytes=104,
+            strings={"path": b"/bin/x"},
+        )
+        address = payload.string_addresses["path"]
+        assert address == 0x1000 + 104 + 4
+        offset = address - 0x1000
+        assert payload.blob[offset:offset + 7] == b"/bin/x\x00"
+
+    def test_plan_matches_build(self):
+        strings = {"a": b"xx", "b": b"yyyy"}
+        planned = plan_string_addresses(0x5000, 104, 3, strings)
+        payload = build_payload([1, 2, 3], 0x5000, 104, strings)
+        assert payload.string_addresses == planned
+
+    def test_total_length(self):
+        strings = {"p": b"abc"}
+        total = payload_total_length(104, 4, strings)
+        payload = build_payload([1, 2, 3, 4], 0, 104, strings)
+        assert payload.length == total
+
+    def test_canary_written_into_fill(self):
+        payload = build_payload([1], 0, fill_bytes=108,
+                                canary=0xCAFEBABE, canary_offset=100)
+        assert struct.unpack_from("<I", payload.blob, 100)[0] == 0xCAFEBABE
+
+    def test_canary_offset_validated(self):
+        with pytest.raises(AttackError):
+            build_payload([1], 0, fill_bytes=104, canary=1,
+                          canary_offset=104)
+
+    def test_minimum_fill(self):
+        with pytest.raises(AttackError):
+            build_payload([1], 0, fill_bytes=4)
+
+    def test_describe(self):
+        payload = build_payload([1], 0x1234, strings={"p": b"x"})
+        text = payload.describe()
+        assert "0x00001234" in text

@@ -1,0 +1,94 @@
+"""Covert-channel emitter and SpectreConfig unit tests."""
+
+import pytest
+
+from repro.attack.config import SpectreConfig
+from repro.attack.covert import (
+    EVICT_BUFFER_BYTES,
+    emit_data,
+    emit_flush_probe,
+    emit_main_skeleton,
+    emit_perturb_calls,
+    emit_reload_and_record,
+)
+from repro.attack.perturb import PerturbParams
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = SpectreConfig()
+        assert config.probe_entries == 256
+        assert config.flush_method == "clflush"
+        assert config.probe_bytes == 256 * 64 + 64
+
+    def test_probe_bytes_tracks_stride(self):
+        assert SpectreConfig(stride=128).probe_bytes == 256 * 128 + 64
+
+    def test_invalid_flush_method(self):
+        with pytest.raises(ValueError):
+            SpectreConfig(flush_method="hammer")
+
+    def test_frozen(self):
+        config = SpectreConfig()
+        with pytest.raises(Exception):
+            config.stride = 32
+
+
+class TestEmitters:
+    CONFIG = SpectreConfig(secret_length=4)
+
+    def test_data_block_aligned_probe(self):
+        text = emit_data(self.CONFIG, "xx")
+        assert ".align 6" in text
+        assert "xx_probe:" in text
+        assert "xx_leaked:" in text
+
+    def test_clflush_mode_flushes(self):
+        text = emit_flush_probe(self.CONFIG, "xx")
+        assert "clflush" in text
+        assert "mfence" in text
+
+    def test_evict_mode_has_no_clflush(self):
+        config = SpectreConfig(secret_length=4, flush_method="evict")
+        flush = emit_flush_probe(config, "xx")
+        assert "clflush 0(" not in flush  # no flush *instruction* emitted
+        assert "xx_evict_buf" in flush
+        data = emit_data(config, "xx")
+        assert str(EVICT_BUFFER_BYTES) in data
+
+    def test_clflush_mode_has_no_evict_buffer(self):
+        data = emit_data(self.CONFIG, "xx")
+        assert "evict_buf" not in data
+
+    def test_reload_uses_rdcycle_timing(self):
+        text = emit_reload_and_record(self.CONFIG, "xx")
+        assert text.count("rdcycle") == 2
+        assert "xx_leaked" in text
+
+    def test_perturb_calls_absent_without_params(self):
+        assert emit_perturb_calls(self.CONFIG, "xx") == ""
+
+    def test_perturb_calls_count(self):
+        config = SpectreConfig(
+            secret_length=4,
+            perturb=PerturbParams(calls_per_byte=3),
+        )
+        text = emit_perturb_calls(config, "xx")
+        assert text.count("call xx_pt_perturb") == 3
+
+    def test_skeleton_structure(self):
+        text = emit_main_skeleton(
+            self.CONFIG, "xx",
+            train_block="; train here",
+            strike_block="; strike here",
+            extra_text="; helpers",
+        )
+        assert text.index("; train here") < text.index("xx_flush")
+        assert text.index("xx_flush") < text.index("; strike here")
+        assert "libc_write" in text  # exfiltration
+        assert "libc_exit" in text
+
+    def test_skeleton_prefix_isolation(self):
+        a = emit_main_skeleton(self.CONFIG, "aa", "", "")
+        assert "aa_byte_loop" in a
+        assert "bb_" not in a

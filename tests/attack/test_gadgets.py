@@ -1,0 +1,125 @@
+"""Gadget scanner tests."""
+
+import pytest
+
+from repro.attack.gadgets import GadgetScanner, scan_program
+from repro.errors import GadgetNotFoundError
+from repro.isa.encoding import encode_program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import A0, A1, A2, T0
+from repro.kernel.loader import build_binary
+
+
+def _image(instructions, base=0x1000):
+    return GadgetScanner(encode_program(instructions), base)
+
+
+class TestScan:
+    def test_finds_bare_ret(self):
+        scanner = _image([Instruction(Opcode.RET)])
+        gadgets = scanner.scan()
+        assert any(g.length == 1 and g.address == 0x1000 for g in gadgets)
+
+    def test_suffixes_are_distinct_gadgets(self):
+        scanner = _image([
+            Instruction(Opcode.POP, rd=A0),
+            Instruction(Opcode.POP, rd=A1),
+            Instruction(Opcode.RET),
+        ])
+        addresses = {g.address for g in scanner.scan()}
+        assert addresses == {0x1000, 0x1008, 0x1010}
+
+    def test_control_flow_breaks_gadget(self):
+        scanner = _image([
+            Instruction(Opcode.POP, rd=A0),
+            Instruction(Opcode.JMP, imm=16),
+            Instruction(Opcode.RET),
+        ])
+        # The pop cannot reach the ret through the jmp.
+        assert all(
+            g.instructions[0].opcode != Opcode.POP for g in scanner.scan()
+        )
+
+    def test_max_length_respected(self):
+        body = [Instruction(Opcode.NOP)] * 10 + [Instruction(Opcode.RET)]
+        scanner = GadgetScanner(encode_program(body), 0, max_gadget_length=3)
+        assert max(g.length for g in scanner.scan()) <= 3
+
+    def test_scan_cached(self):
+        scanner = _image([Instruction(Opcode.RET)])
+        assert scanner.scan() is scanner.scan()
+
+    def test_undecodable_bytes_skipped(self):
+        blob = b"\xff" * 8 + encode_program([Instruction(Opcode.RET)])
+        scanner = GadgetScanner(blob, 0)
+        assert len(scanner.scan()) == 1
+
+
+class TestQueries:
+    def test_find_pop_sequence(self):
+        scanner = _image([
+            Instruction(Opcode.POP, rd=A0),
+            Instruction(Opcode.POP, rd=A1),
+            Instruction(Opcode.RET),
+        ])
+        gadget = scanner.find_pop_sequence([A0, A1])
+        assert gadget.address == 0x1000
+        assert gadget.stack_words_consumed == 2
+
+    def test_find_pop_sequence_missing(self):
+        scanner = _image([Instruction(Opcode.RET)])
+        with pytest.raises(GadgetNotFoundError):
+            scanner.find_pop_sequence([A0])
+
+    def test_find_pop_register_shortest(self):
+        scanner = _image([
+            Instruction(Opcode.POP, rd=T0),
+            Instruction(Opcode.POP, rd=A0),
+            Instruction(Opcode.RET),
+            Instruction(Opcode.POP, rd=A0),
+            Instruction(Opcode.RET),
+        ])
+        gadget = scanner.find_pop_register(A0)
+        assert gadget.length == 2  # the short 'pop a0; ret'
+
+    def test_find_pop_register_wrong_last_pop(self):
+        scanner = _image([
+            Instruction(Opcode.POP, rd=A0),
+            Instruction(Opcode.POP, rd=A1),
+            Instruction(Opcode.RET),
+        ])
+        # last pop targets a1, so there is no a0-loading gadget
+        with pytest.raises(GadgetNotFoundError):
+            scanner.find_pop_register(A2)
+
+    def test_find_syscall(self):
+        scanner = _image([
+            Instruction(Opcode.NOP),
+            Instruction(Opcode.SYSCALL),
+            Instruction(Opcode.RET),
+        ])
+        assert scanner.find_syscall_ret() == 0x1008
+
+    def test_report_readable(self):
+        scanner = _image([
+            Instruction(Opcode.POP, rd=A0),
+            Instruction(Opcode.RET),
+        ])
+        report = scanner.report()
+        assert "pop a0; ret" in report
+
+
+class TestRealImage:
+    def test_libc_provides_enough_gadgets(self):
+        program = build_binary("t", "main:\n halt")
+        scanner = scan_program(program, 0x400000)
+        assert scanner.gadget_count() > 10
+        scanner.find_pop_sequence([A0, A1])  # the execve chain's needs
+        scanner.find_syscall_ret()
+
+    def test_gadget_addresses_track_base(self):
+        program = build_binary("t", "main:\n halt")
+        low = scan_program(program, 0x400000).find_pop_sequence([A0, A1])
+        high = scan_program(program, 0x800000).find_pop_sequence([A0, A1])
+        assert high.address - low.address == 0x400000

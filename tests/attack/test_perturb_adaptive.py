@@ -1,0 +1,136 @@
+"""Algorithm-2 codegen and adaptive-controller tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attack.adaptive import AdaptiveAttacker
+from repro.attack.perturb import (
+    DELAY_STYLES,
+    PerturbParams,
+    mutate,
+    perturb_source,
+    random_params,
+)
+from repro.kernel import build_binary
+from tests.conftest import run_source
+
+
+class TestCodegen:
+    def test_paper_defaults_in_source(self):
+        source = perturb_source(PerturbParams())
+        assert ".word 11" in source      # int a = 11
+        assert ".word 6" in source       # int b = 6
+        assert "clflush" in source
+        assert "mfence" in source
+
+    def test_extra_loops_emitted(self):
+        source = perturb_source(PerturbParams(extra_loops=2))
+        assert "pt_cell_x0" in source
+        assert "pt_cell_x1" in source
+
+    def test_no_delay_no_loop(self):
+        assert "pt_delay" not in perturb_source(PerturbParams(delay=0))
+
+    @pytest.mark.parametrize("style", range(len(DELAY_STYLES)))
+    def test_styles_produce_distinct_code(self, style):
+        source = perturb_source(PerturbParams(delay=10, style=style))
+        assert f'style "{DELAY_STYLES[style]}"' in source
+
+    def test_routine_assembles_and_runs(self):
+        source = (
+            "main:\n    call pt_perturb\n    li a0, 0\n    call libc_exit\n"
+            + perturb_source(PerturbParams(loop_count=5, delay=20,
+                                           extra_loops=1))
+        )
+        process = run_source(source)
+        assert process.exit_code == 0
+
+    def test_flush_count_scales_with_loop_count(self):
+        def flushes(params):
+            source = (
+                "main:\n    call pt_perturb\n    halt\n"
+                + perturb_source(params)
+            )
+            process = run_source(source)
+            return process.pmu.read()["clflush_instructions"]
+
+        small = flushes(PerturbParams(loop_count=4))
+        large = flushes(PerturbParams(loop_count=20))
+        assert large > small
+
+    def test_prefix_namespacing(self):
+        source = perturb_source(PerturbParams(), prefix="zz")
+        assert "zz_perturb:" in source
+        assert "pt_perturb" not in source
+
+
+class TestMutation:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_mutate_stays_in_valid_ranges(self, seed):
+        rng = random.Random(seed)
+        params = PerturbParams()
+        for _ in range(10):
+            params = mutate(params, rng)
+            assert params.loop_count > 0
+            assert params.delay >= 0
+            assert params.calls_per_byte >= 1
+            assert 0 <= params.style < len(DELAY_STYLES)
+            # Mutated variants must still assemble.
+        build_binary("m", "main:\n halt\n" + perturb_source(params))
+
+    def test_mutation_is_seeded(self):
+        a = mutate(PerturbParams(), random.Random(5))
+        b = mutate(PerturbParams(), random.Random(5))
+        assert a == b
+
+    def test_random_params_valid(self):
+        for seed in range(10):
+            params = random_params(random.Random(seed))
+            assert params.loop_count >= 4
+
+
+class TestAdaptiveAttacker:
+    def test_stands_still_when_evading(self):
+        attacker = AdaptiveAttacker(seed=1)
+        before = attacker.propose()
+        attacker.feedback(0.30)
+        assert attacker.propose() == before
+
+    def test_mutates_when_detected(self):
+        attacker = AdaptiveAttacker(seed=1)
+        before = attacker.propose()
+        attacker.feedback(0.95)
+        assert attacker.propose() != before
+
+    def test_history_records_attempts(self):
+        attacker = AdaptiveAttacker(seed=1)
+        attacker.feedback(0.9)
+        attacker.feedback(0.4)
+        assert [r.evaded for r in attacker.history] == [False, True]
+        assert attacker.evaded_yet
+
+    def test_best_tracked(self):
+        attacker = AdaptiveAttacker(seed=1)
+        attacker.feedback(0.9)
+        attacker.feedback(0.6)
+        attacker.feedback(0.8)
+        assert attacker.best[0] == 0.6
+
+    def test_hill_climb_restarts_from_best(self):
+        attacker = AdaptiveAttacker(seed=1)
+        attacker.feedback(0.70)
+        good = attacker.history[0].params
+        attacker.feedback(0.99)  # worse: next proposal derives from best
+        # (cannot assert exact equality after mutation; assert lineage
+        # via the recorded best)
+        assert attacker.best[1] == good
+
+    def test_restart_random(self):
+        attacker = AdaptiveAttacker(seed=1)
+        first = attacker.propose()
+        restarted = attacker.restart_random()
+        assert restarted == attacker.propose()
+        assert restarted != first

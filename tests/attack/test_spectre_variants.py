@@ -1,0 +1,165 @@
+"""Every Spectre variant must genuinely recover the secret."""
+
+import pytest
+
+from repro.attack import (
+    PerturbParams,
+    SPECTRE_VARIANTS,
+    SpectreConfig,
+    build_spectre,
+)
+from repro.kernel import System
+from tests.conftest import SECRET
+
+VARIANTS = sorted(SPECTRE_VARIANTS)
+
+
+def _leak(variant, perturb=None, secret=SECRET, seed=21, **config_kwargs):
+    system = System(seed=seed, target_data=secret)
+    config = SpectreConfig(
+        secret_length=len(secret), repeats=1, perturb=perturb,
+        **config_kwargs,
+    )
+    system.install_binary("/bin/a", build_spectre(variant, config))
+    process = system.spawn("/bin/a")
+    process.run_to_completion(max_instructions=60_000_000)
+    return bytes(process.stdout), process
+
+
+class TestExtraction:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_full_secret_recovered(self, variant):
+        leaked, process = _leak(variant)
+        assert leaked == SECRET, (variant, leaked, process.fault)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_recovers_different_secret(self, variant):
+        secret = b"0123456789abcdef"
+        leaked, _ = _leak(variant, secret=secret)
+        assert leaked == secret
+
+    def test_repeats_emit_multiple_passes(self):
+        system = System(seed=21, target_data=SECRET)
+        config = SpectreConfig(secret_length=len(SECRET), repeats=3)
+        system.install_binary("/bin/a", build_spectre("v1", config))
+        process = system.spawn("/bin/a")
+        process.run_to_completion(max_instructions=60_000_000)
+        assert bytes(process.stdout) == SECRET * 3
+
+
+class TestPerturbedExtraction:
+    """Algorithm 2 must not break the exfiltration itself."""
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_paper_default_params(self, variant):
+        leaked, _ = _leak(variant, perturb=PerturbParams())
+        assert leaked == SECRET
+
+    @pytest.mark.parametrize("style", (0, 1, 2))
+    def test_dispersion_styles(self, style):
+        params = PerturbParams(delay=300, style=style, calls_per_byte=2)
+        leaked, _ = _leak("v1", perturb=params)
+        assert leaked == SECRET
+
+
+class TestHpcSignatures:
+    def test_plain_spectre_is_flush_heavy(self):
+        _, process = _leak("v1")
+        snap = process.pmu.read()
+        # 256 probe flushes + 1 size flush per secret byte
+        assert snap["clflush_instructions"] >= 257 * len(SECRET)
+        assert snap["l1d_misses"] > 1000
+
+    def test_variants_have_distinct_mechanisms(self):
+        _, v1 = _leak("v1")
+        _, rsb = _leak("rsb")
+        _, btb = _leak("btb")
+        v1_snap, rsb_snap = v1.pmu.read(), rsb.pmu.read()
+        btb_snap = btb.pmu.read()
+        # v1 mistrains the conditional predictor; RSB abuses returns;
+        # BTB poisons indirect-branch targets.
+        assert v1_snap["cond_branch_mispredictions"] >= len(SECRET)
+        assert rsb_snap["return_mispredictions"] >= len(SECRET)
+        assert btb_snap["indirect_mispredictions"] >= len(SECRET)
+
+    def test_perturbation_changes_signature(self):
+        _, plain = _leak("v1")
+        _, burst = _leak("v1", perturb=PerturbParams(loop_count=20,
+                                                     extra_loops=3,
+                                                     calls_per_byte=3))
+        plain_flushes = plain.pmu.read()["clflush_instructions"]
+        burst_flushes = burst.pmu.read()["clflush_instructions"]
+        assert burst_flushes > plain_flushes * 1.2
+
+
+class TestConfigKnobs:
+    def test_more_training_rounds_still_work(self):
+        leaked, _ = _leak("v1", training_rounds=12)
+        assert leaked == SECRET
+
+    def test_wider_stride(self):
+        leaked, _ = _leak("v1", stride=128)
+        assert leaked == SECRET
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(KeyError):
+            build_spectre("v9", SpectreConfig())
+
+
+class TestInvisibleSpeculationDefense:
+    """The InvisiSpec-style CPU option blanks every variant's channel."""
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_no_variant_leaks(self, variant):
+        from repro.cpu import CpuConfig
+
+        system = System(seed=21, target_data=SECRET,
+                        cpu_config=CpuConfig(invisible_speculation=True))
+        config = SpectreConfig(secret_length=len(SECRET), repeats=1)
+        system.install_binary("/bin/a", build_spectre(variant, config))
+        process = system.spawn("/bin/a")
+        process.run_to_completion(max_instructions=60_000_000)
+        leaked = bytes(process.stdout)
+        correct = sum(a == b for a, b in zip(leaked, SECRET))
+        assert correct <= 2, (variant, leaked)
+
+
+class TestEvictReload:
+    """Evict+reload: the attacker's answer to the privileged-clflush
+    countermeasure — no flush instruction anywhere in the binary."""
+
+    def test_leaks_without_clflush(self):
+        leaked, process = _leak("v1", flush_method="evict",
+                                secret=b"Words!")
+        assert leaked == b"Words!"
+        assert process.pmu.read()["clflush_instructions"] == 0
+
+    def test_defeats_privileged_clflush(self):
+        from repro.cpu import CpuConfig
+
+        secret = b"Words!"
+        system = System(seed=21, target_data=secret,
+                        cpu_config=CpuConfig(clflush_privileged=True))
+        config = SpectreConfig(secret_length=len(secret), repeats=1,
+                               flush_method="evict")
+        system.install_binary("/bin/a", build_spectre("v1", config))
+        process = system.spawn("/bin/a")
+        process.run_to_completion(max_instructions=120_000_000)
+        assert bytes(process.stdout) == secret
+
+    def test_clflush_variant_blocked_by_same_countermeasure(self):
+        from repro.cpu import CpuConfig
+        from repro.errors import PrivilegeFault
+
+        secret = b"Words!"
+        system = System(seed=21, target_data=secret,
+                        cpu_config=CpuConfig(clflush_privileged=True))
+        config = SpectreConfig(secret_length=len(secret), repeats=1)
+        system.install_binary("/bin/a", build_spectre("v1", config))
+        process = system.spawn("/bin/a")
+        process.run_to_completion(max_instructions=120_000_000)
+        assert isinstance(process.fault, PrivilegeFault)
+
+    def test_invalid_flush_method_rejected(self):
+        with pytest.raises(ValueError):
+            SpectreConfig(flush_method="prime_probe")

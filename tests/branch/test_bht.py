@@ -1,0 +1,68 @@
+"""Branch history table tests: the structure Spectre v1 mistrains."""
+
+import pytest
+
+from repro.branch.bht import (
+    BranchHistoryTable,
+    STRONG_NOT_TAKEN,
+    STRONG_TAKEN,
+)
+
+
+class TestSaturatingCounters:
+    def test_initial_prediction_not_taken(self):
+        bht = BranchHistoryTable(64)
+        assert bht.predict(0x400000) is False
+
+    def test_one_taken_flips_weak_counter(self):
+        bht = BranchHistoryTable(64)
+        bht.update(0x400000, taken=True)
+        assert bht.predict(0x400000) is True
+
+    def test_saturation_at_strong_taken(self):
+        bht = BranchHistoryTable(64)
+        for _ in range(10):
+            bht.update(0x400000, taken=True)
+        assert bht.counter(0x400000) == STRONG_TAKEN
+
+    def test_saturation_at_strong_not_taken(self):
+        bht = BranchHistoryTable(64)
+        for _ in range(10):
+            bht.update(0x400000, taken=False)
+        assert bht.counter(0x400000) == STRONG_NOT_TAKEN
+
+    def test_hysteresis(self):
+        """A strongly-trained counter survives one opposite outcome —
+        the property the Spectre strike relies on."""
+        bht = BranchHistoryTable(64)
+        for _ in range(6):
+            bht.update(0x400000, taken=False)
+        bht.update(0x400000, taken=True)  # one out-of-bounds resolution
+        assert bht.predict(0x400000) is False
+
+
+class TestIndexing:
+    def test_distinct_pcs_distinct_counters(self):
+        bht = BranchHistoryTable(1024)
+        bht.update(0x400000, taken=True)
+        bht.update(0x400000, taken=True)
+        assert bht.predict(0x400000) is True
+        assert bht.predict(0x400008) is False
+
+    def test_aliasing_wraps_at_table_size(self):
+        bht = BranchHistoryTable(16)
+        bht.update(0x0, taken=True)
+        bht.update(0x0, taken=True)
+        # pc that indexes the same slot: 16 entries * 8-byte slots
+        assert bht.predict(16 * 8) is True
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BranchHistoryTable(100)
+
+    def test_reset(self):
+        bht = BranchHistoryTable(16)
+        bht.update(0x0, taken=True)
+        bht.update(0x0, taken=True)
+        bht.reset()
+        assert bht.predict(0x0) is False

@@ -1,0 +1,70 @@
+"""BTB and RSB tests."""
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.rsb import ReturnStackBuffer
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=4)
+        assert btb.predict(0x100) is None
+        btb.update(0x100, 0x2000)
+        assert btb.predict(0x100) == 0x2000
+
+    def test_target_update_overwrites(self):
+        btb = BranchTargetBuffer()
+        btb.update(0x100, 0x2000)
+        btb.update(0x100, 0x3000)
+        assert btb.predict(0x100) == 0x3000
+
+    def test_lru_capacity(self):
+        btb = BranchTargetBuffer(entries=2)
+        btb.update(0x100, 1)
+        btb.update(0x200, 2)
+        btb.predict(0x100)       # refresh
+        btb.update(0x300, 3)     # evicts 0x200
+        assert btb.predict(0x200) is None
+        assert btb.predict(0x100) == 1
+
+    def test_counters(self):
+        btb = BranchTargetBuffer()
+        btb.predict(0x1)
+        btb.update(0x1, 0x2)
+        btb.predict(0x1)
+        assert btb.misses == 1 and btb.hits == 1
+
+
+class TestRsb:
+    def test_lifo_order(self):
+        rsb = ReturnStackBuffer(depth=4)
+        rsb.push(0x100)
+        rsb.push(0x200)
+        assert rsb.predict() == 0x200
+        assert rsb.predict() == 0x100
+
+    def test_underflow_returns_none(self):
+        rsb = ReturnStackBuffer(depth=4)
+        assert rsb.predict() is None
+        assert rsb.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        rsb = ReturnStackBuffer(depth=2)
+        rsb.push(1)
+        rsb.push(2)
+        rsb.push(3)
+        assert rsb.overflows == 1
+        assert rsb.predict() == 3
+        assert rsb.predict() == 2
+        assert rsb.predict() is None
+
+    def test_outcome_accounting(self):
+        rsb = ReturnStackBuffer()
+        rsb.record_outcome(True)
+        rsb.record_outcome(False)
+        assert rsb.hits == 1 and rsb.misses == 1
+
+    def test_reset(self):
+        rsb = ReturnStackBuffer()
+        rsb.push(0x100)
+        rsb.reset()
+        assert rsb.occupancy == 0

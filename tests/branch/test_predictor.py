@@ -1,0 +1,68 @@
+"""Composite branch-predictor tests."""
+
+from repro.branch.predictor import BranchPredictor
+
+
+class TestConditional:
+    def test_training_and_misprediction_accounting(self):
+        predictor = BranchPredictor()
+        pc = 0x400100
+        predicted = predictor.predict_conditional(pc)
+        mispredicted = predictor.resolve_conditional(pc, predicted, True)
+        assert mispredicted is True  # cold counter predicts not-taken
+        for _ in range(3):
+            predicted = predictor.predict_conditional(pc)
+            predictor.resolve_conditional(pc, predicted, True)
+        predicted = predictor.predict_conditional(pc)
+        assert predicted is True
+        assert predictor.resolve_conditional(pc, predicted, True) is False
+
+    def test_counts(self):
+        predictor = BranchPredictor()
+        predictor.resolve_conditional(0x0, False, True)
+        predictor.resolve_conditional(0x0, True, True)
+        assert predictor.conditional_predictions == 2
+        assert predictor.conditional_mispredictions == 1
+
+
+class TestIndirect:
+    def test_btb_miss_is_not_a_misprediction_hit(self):
+        predictor = BranchPredictor()
+        predicted = predictor.predict_indirect(0x10)
+        assert predicted is None
+        assert predictor.resolve_indirect(0x10, predicted, 0x2000) is True
+        predicted = predictor.predict_indirect(0x10)
+        assert predicted == 0x2000
+        assert predictor.resolve_indirect(0x10, predicted, 0x2000) is False
+
+
+class TestReturns:
+    def test_matched_call_ret(self):
+        predictor = BranchPredictor()
+        predictor.on_call(0x400008)
+        predicted = predictor.predict_return()
+        assert predictor.resolve_return(predicted, 0x400008) is False
+
+    def test_smashed_return_address_mispredicts(self):
+        """The ROP/Spectre-RSB case: the stack says one thing, the RSB
+        another."""
+        predictor = BranchPredictor()
+        predictor.on_call(0x400008)
+        predicted = predictor.predict_return()
+        assert predictor.resolve_return(predicted, 0xDEAD0000) is True
+        assert predictor.return_mispredictions == 1
+
+    def test_total_mispredictions_aggregates(self):
+        predictor = BranchPredictor()
+        predictor.resolve_conditional(0x0, False, True)
+        predictor.on_call(0x8)
+        predicted = predictor.predict_return()
+        predictor.resolve_return(predicted, 0x1234)
+        predictor.resolve_indirect(0x10, None, 0x99)
+        assert predictor.total_mispredictions == 3
+
+    def test_reset(self):
+        predictor = BranchPredictor()
+        predictor.on_call(0x8)
+        predictor.reset()
+        assert predictor.predict_return() is None

@@ -1,0 +1,134 @@
+"""Set-associative cache tests, including clflush and property checks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import Cache
+
+
+def small_cache(ways=2, sets=4, line=64):
+    return Cache("T", size=sets * ways * line, line_size=line, ways=ways)
+
+
+class TestGeometry:
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("bad", size=1000, line_size=64, ways=8)
+        with pytest.raises(ValueError):
+            Cache("bad", size=3 * 64 * 2, line_size=64, ways=2)
+
+    def test_line_address(self):
+        cache = small_cache()
+        assert cache.line_address(0x12345) == 0x12340
+
+    def test_num_sets(self):
+        cache = Cache("c", size=32 * 1024, line_size=64, ways=8)
+        assert cache.num_sets == 64
+
+
+class TestAccess:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        hit, _ = cache.access(0x1000)
+        assert hit is False
+        hit, _ = cache.access(0x1000)
+        assert hit is True
+
+    def test_same_line_different_offset_hits(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        hit, _ = cache.access(0x103F)
+        assert hit is True
+
+    def test_eviction_when_set_full(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0x0000)
+        cache.access(0x0040)
+        _, evicted = cache.access(0x0080)  # all map to the single set
+        assert evicted == 0x0000  # LRU victim
+        assert cache.probe(0x0000) is False
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0x0000, is_write=True)
+        cache.access(0x0040)
+        assert cache.stats.writebacks == 1
+
+    def test_stats_read_write_split(self):
+        cache = small_cache()
+        cache.access(0x0, is_write=False)
+        cache.access(0x1000, is_write=True)
+        assert cache.stats.read_accesses == 1
+        assert cache.stats.write_accesses == 1
+        assert cache.stats.write_misses == 1
+
+
+class TestInvalidate:
+    def test_clflush_present_line(self):
+        cache = small_cache()
+        cache.access(0x2000)
+        assert cache.invalidate(0x2000) is True
+        hit, _ = cache.access(0x2000)
+        assert hit is False
+
+    def test_clflush_absent_line(self):
+        cache = small_cache()
+        assert cache.invalidate(0x2000) is False
+
+    def test_clflush_dirty_writes_back(self):
+        cache = small_cache()
+        cache.access(0x2000, is_write=True)
+        cache.invalidate(0x2000)
+        assert cache.stats.writebacks == 1
+
+    def test_flush_all(self):
+        cache = small_cache()
+        for i in range(8):
+            cache.access(i * 64)
+        cache.flush_all()
+        assert cache.occupancy == 0
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=0xFFFF),
+                  st.booleans()),
+        max_size=200,
+    ))
+    def test_occupancy_never_exceeds_capacity(self, accesses):
+        cache = small_cache(ways=2, sets=4)
+        capacity = 2 * 4
+        for address, is_write in accesses:
+            cache.access(address, is_write)
+            assert cache.occupancy <= capacity
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                    max_size=200))
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        cache = small_cache()
+        for address in addresses:
+            cache.access(address)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=0x3FFF),
+                    max_size=100))
+    def test_immediate_reaccess_always_hits(self, addresses):
+        cache = small_cache(ways=4, sets=8)
+        for address in addresses:
+            cache.access(address)
+            hit, _ = cache.access(address)
+            assert hit is True
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                    min_size=1, max_size=100))
+    def test_probe_agrees_with_access_hit(self, addresses):
+        cache = small_cache()
+        for address in addresses:
+            present = cache.probe(address)
+            hit, _ = cache.access(address)
+            assert hit == present

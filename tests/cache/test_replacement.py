@@ -1,0 +1,69 @@
+"""Replacement-policy tests."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLru:
+    def test_prefers_invalid_ways(self):
+        policy = LruPolicy(4)
+        policy.on_access(0)
+        assert policy.victim([True, False, True, True]) == 1
+
+    def test_evicts_least_recent(self):
+        policy = LruPolicy(3)
+        for way in (0, 1, 2):
+            policy.on_access(way)
+        policy.on_access(0)  # order now: 1 oldest, then 2, then 0
+        assert policy.victim([True] * 3) == 1
+
+    def test_invalidate_makes_way_oldest(self):
+        policy = LruPolicy(2)
+        policy.on_access(0)
+        policy.on_access(1)
+        policy.on_invalidate(1)
+        assert policy.victim([True, True]) == 1
+
+
+class TestFifo:
+    def test_round_robin_order(self):
+        policy = FifoPolicy(3)
+        valid = [True] * 3
+        assert [policy.victim(valid) for _ in range(4)] == [0, 1, 2, 0]
+
+    def test_hits_do_not_change_order(self):
+        policy = FifoPolicy(2)
+        policy.on_access(1)
+        policy.on_access(1)
+        assert policy.victim([True, True]) == 0
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(8, seed=3)
+        b = RandomPolicy(8, seed=3)
+        valid = [True] * 8
+        assert [a.victim(valid) for _ in range(10)] == \
+            [b.victim(valid) for _ in range(10)]
+
+    def test_in_range(self):
+        policy = RandomPolicy(4, seed=1)
+        for _ in range(50):
+            assert 0 <= policy.victim([True] * 4) < 4
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_policy("lru", 4), LruPolicy)
+        assert isinstance(make_policy("fifo", 4), FifoPolicy)
+        assert isinstance(make_policy("random", 4), RandomPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("plru", 4)

@@ -1,0 +1,91 @@
+"""Experiment-helper (core.experiments.common) tests."""
+
+import numpy as np
+
+from repro.core.experiments.common import (
+    DETECTOR_LEGENDS,
+    DETECTOR_NAMES,
+    SEARCH_LADDER,
+    attempt_dataset,
+    benign_eval_pool,
+    mean_accuracy,
+    split_training,
+    train_detectors,
+)
+from repro.hid.dataset import ATTACK, BENIGN, Dataset, Sample
+
+
+def _sample(label, scale):
+    events = {
+        "total_cache_misses": 100.0 * scale,
+        "total_cache_accesses": 800.0 + 50 * scale,
+        "branch_mispredictions": 3.0 * scale,
+        "branch_instructions": 500.0,
+    }
+    return Sample("p", label, events)
+
+
+def _training_samples():
+    benign = [_sample(BENIGN, 0.1 + 0.01 * i) for i in range(40)]
+    attack = [_sample(ATTACK, 2.0 + 0.01 * i) for i in range(40)]
+    return benign, attack
+
+
+class TestDetectorSetup:
+    def test_four_paper_detectors(self):
+        assert set(DETECTOR_NAMES) == {"mlp", "nn", "lr", "svm"}
+        assert set(DETECTOR_LEGENDS) == set(DETECTOR_NAMES)
+
+    def test_train_detectors_all_fitted(self):
+        benign, attack = _training_samples()
+        train, test = split_training(benign, attack, seed=1)
+        detectors = train_detectors(train, ("lr", "svm"), seed=1)
+        assert set(detectors) == {"lr", "svm"}
+        for detector in detectors.values():
+            assert detector.accuracy_on(test) > 0.9
+
+    def test_online_flag(self):
+        from repro.hid.detector import OnlineHidDetector
+
+        benign, attack = _training_samples()
+        train, _ = split_training(benign, attack, seed=1)
+        detectors = train_detectors(train, ("lr",), seed=1, online=True)
+        assert isinstance(detectors["lr"], OnlineHidDetector)
+
+
+class TestDatasetHelpers:
+    def test_attempt_dataset_labels(self):
+        benign, attack = _training_samples()
+        dataset = attempt_dataset(benign[:5], attack[:7])
+        counts = dataset.class_counts()
+        assert counts[BENIGN] == 5 and counts[ATTACK] == 7
+
+    def test_mean_accuracy(self):
+        benign, attack = _training_samples()
+        train, test = split_training(benign, attack, seed=1)
+        detectors = train_detectors(train, ("lr", "svm"), seed=1)
+        mean = mean_accuracy(detectors, test)
+        individual = [d.accuracy_on(test) for d in detectors.values()]
+        assert mean == sum(individual) / 2
+
+    def test_benign_eval_pool(self):
+        dataset = Dataset(
+            np.arange(12).reshape(6, 2),
+            np.array([0, 1, 0, 1, 0, 1]),
+            ("a", "b"),
+        )
+        pool = benign_eval_pool(dataset)
+        assert len(pool) == 3
+        assert set(pool.y) == {0}
+
+
+class TestSearchLadder:
+    def test_starts_at_paper_defaults(self):
+        first = SEARCH_LADDER[0]
+        assert (first.a, first.b, first.loop_count) == (11, 6, 10)
+        assert first.delay == 0
+
+    def test_escalates_dispersion(self):
+        delays = [params.delay for params in SEARCH_LADDER]
+        assert delays[-1] > delays[0]
+        assert delays == sorted(delays)

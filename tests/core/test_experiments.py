@@ -1,0 +1,126 @@
+"""Miniature runs of every experiment: shapes, not magnitudes.
+
+Full-scale regeneration lives in benchmarks/; these keep the experiment
+plumbing honest at a few seconds total.
+"""
+
+import pytest
+
+from repro.core.experiments import (
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_table1,
+)
+from repro.core.experiments.common import co_run
+from repro.core.scenario import Scenario, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def shared_training():
+    """One scenario + training corpus reused by the fig5/fig6 minis."""
+    scenario = Scenario(ScenarioConfig(seed=8))
+    benign = scenario.benign_samples(90)
+    attack = scenario.attack_samples_mixed_variants(90)
+    return scenario, (benign, attack)
+
+
+class TestFig4Mini:
+    def test_shape(self):
+        result = run_fig4(
+            seed=8, hosts=("basicmath",), feature_sizes=(4, 1),
+            benign_per_host=60, attack_per_variant=20,
+            variants=("v1",),
+        )
+        acc4 = result.accuracies["basicmath"][4]
+        acc1 = result.accuracies["basicmath"][1]
+        assert acc4 > 0.85
+        assert acc4 >= acc1
+        assert "Fig. 4" in result.format()
+
+
+class TestFig5Mini:
+    def test_offline_detection_vs_evasion(self, shared_training):
+        scenario, training = shared_training
+        result = run_fig5(
+            seed=8, attempts=2, detector_names=("mlp", "lr"),
+            attempt_samples=24, attempt_benign=8,
+            scenario=scenario, training=training,
+        )
+        plain = result.mean_accuracy("spectre")
+        evaded = result.mean_accuracy("crspectre")
+        assert plain > 0.8
+        assert evaded < plain
+        assert result.chosen_params is not None
+        assert "Fig. 5" in result.format()
+
+
+class TestFig6Mini:
+    def test_online_dynamics(self, shared_training):
+        scenario, training = shared_training
+        result = run_fig6(
+            seed=8, attempts=3, detector_names=("lr",),
+            attempt_samples=24, attempt_benign=8,
+            scenario=scenario, training=training,
+        )
+        assert len(result.attacker_history) == 3
+        series = result.crspectre["lr"]
+        assert len(series) == 3
+        assert all(0.0 <= v <= 1.0 for v in series)
+        assert "Fig. 6" in result.format()
+
+
+class TestTable1Mini:
+    def test_overhead_small_and_positive_shape(self):
+        result = run_table1(
+            seed=8,
+            rows=(("Math", "basicmath", (60,)),),
+            repetitions=1,
+            quantum=5000,
+        )
+        [row] = result.rows
+        assert row.original_ipc > 0
+        assert row.offline_ipc > 0
+        # overhead is small either way; bound it loosely
+        assert abs(row.offline_overhead) < 0.15
+        assert "Table I" in result.format()
+        off, on = result.average_overheads()
+        assert isinstance(off, float) and isinstance(on, float)
+
+
+class TestCoRun:
+    def test_stops_when_primary_exits(self):
+        from repro.kernel import System, build_binary
+
+        system = System(seed=1)
+        system.install_binary("/bin/short", build_binary("short", """
+        main:
+            li a0, 0
+            call libc_exit
+        """))
+        system.install_binary("/bin/long", build_binary("long", """
+        main:
+        spin:
+            jmp spin
+        """))
+        short = system.spawn("/bin/short")
+        long_ = system.spawn("/bin/long")
+        co_run([short, long_], quantum=100)
+        assert not short.alive
+        assert long_.alive
+
+
+class TestHardeningMini:
+    def test_shape(self, shared_training):
+        from repro.core.experiments import run_hardening
+
+        scenario, _ = shared_training
+        result = run_hardening(
+            seed=8, train_variant_counts=(0, 3), holdout_variants=2,
+            samples_per_variant=20, training_benign=90,
+            training_attack=60, scenario=scenario,
+        )
+        assert set(result.accuracy_by_k) == {0, 3}
+        for accuracy in result.accuracy_by_k.values():
+            assert 0.0 <= accuracy <= 1.0
+        assert "Hardening" in result.format()

@@ -1,0 +1,55 @@
+"""Reporting helper tests."""
+
+from repro.core.reporting import (
+    format_percent,
+    format_series,
+    format_table,
+    sparkline,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["a", 1], ["longer", 22]],
+            title="T",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        # all rows same width structure
+        assert lines[2].count("-") > 0
+
+    def test_cell_stringification(self):
+        table = format_table(["x"], [[3.5], [None]])
+        assert "3.5" in table and "None" in table
+
+
+class TestSeries:
+    def test_format_series(self):
+        assert format_series("mlp", [1.0, 2.5]) == "mlp: 1.0 2.5"
+
+    def test_custom_format(self):
+        assert format_series("x", [0.123], fmt="{:.2f}") == "x: 0.12"
+
+
+class TestSparkline:
+    def test_monotonic_shape(self):
+        line = sparkline([0, 50, 100], lo=0, hi=100)
+        assert line[0] < line[1] < line[2]
+
+    def test_constant_series(self):
+        assert len(sparkline([5, 5, 5])) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_bounds_clamped(self):
+        line = sparkline([0, 100], lo=0, hi=100)
+        assert line == "▁█"
+
+
+class TestPercent:
+    def test_format_percent(self):
+        assert format_percent(0.163) == "16.3%"

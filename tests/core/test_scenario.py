@@ -1,0 +1,69 @@
+"""Scenario runner tests (small sample counts to stay fast)."""
+
+import pytest
+
+from repro.core.scenario import Scenario, ScenarioConfig
+from repro.hid.dataset import ATTACK, BENIGN
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return Scenario(ScenarioConfig(seed=6, measurement_noise=0.0))
+
+
+class TestBenignSampling:
+    def test_counts_and_labels(self, scenario):
+        samples = scenario.benign_samples(12)
+        assert len(samples) == 12
+        assert all(s.label == BENIGN for s in samples)
+
+    def test_host_only_mode(self, scenario):
+        samples = scenario.benign_samples(6, include_extras=False)
+        names = {s.process_name for s in samples}
+        assert len(names) == 1
+
+    def test_extras_included_by_default(self, scenario):
+        samples = scenario.benign_samples(30)
+        names = {s.process_name for s in samples}
+        assert len(names) == 3  # host + browser + editor
+
+
+class TestAttackSampling:
+    def test_injection_produces_attack_windows(self, scenario):
+        samples = scenario.attack_samples(10, variant="v1")
+        assert len(samples) == 10
+        assert all(s.label == ATTACK for s in samples)
+
+    def test_attack_binaries_cached(self, scenario):
+        first = scenario.install_attack("v1")
+        second = scenario.install_attack("v1")
+        assert first == second
+        third = scenario.install_attack("rsb")
+        assert third != first
+
+    def test_mixed_variants(self, scenario):
+        samples = scenario.attack_samples_mixed_variants(9)
+        assert len(samples) == 9
+
+    def test_perturbed_attack_differs(self, scenario):
+        from repro.attack import PerturbParams
+
+        plain = scenario.attack_samples(8, variant="v1")
+        perturbed = scenario.attack_samples(
+            8, variant="v1", perturb=PerturbParams(delay=1000,
+                                                   calls_per_byte=2)
+        )
+        plain_misses = sum(
+            s.events["total_cache_misses"] for s in plain
+        )
+        perturbed_misses = sum(
+            s.events["total_cache_misses"] for s in perturbed
+        )
+        assert perturbed_misses < plain_misses  # dispersion dilutes
+
+
+class TestSecretRecovery:
+    def test_verify_via_injection(self, scenario):
+        recovered, correct = scenario.verify_secret_recovery("v1")
+        assert recovered == scenario.config.secret
+        assert correct == len(scenario.config.secret)

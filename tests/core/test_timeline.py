@@ -1,0 +1,98 @@
+"""Timeline/phase-analysis tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.timeline import (
+    burst_fraction,
+    detect_phases,
+    render_timeline,
+    series_from_samples,
+    _bucket,
+)
+from repro.hid.dataset import Sample
+
+
+def _windows(values, event="total_cache_misses"):
+    return [
+        Sample("p", 0, {event: value, "total_cache_accesses": 0.0,
+                        "branch_mispredictions": 0.0,
+                        "branch_instructions": 0.0})
+        for value in values
+    ]
+
+
+class TestSeries:
+    def test_extraction(self):
+        samples = _windows([1, 2, 3])
+        assert series_from_samples(samples, "total_cache_misses") == \
+            [1.0, 2.0, 3.0]
+
+
+class TestBucketing:
+    def test_short_series_unchanged(self):
+        assert _bucket([1.0, 2.0], 10) == [1.0, 2.0]
+
+    def test_downsample_width(self):
+        assert len(_bucket(list(range(100)), 10)) == 10
+
+    def test_bucket_averages(self):
+        bucketed = _bucket([0.0, 10.0, 0.0, 10.0], 2)
+        assert bucketed == [5.0, 5.0]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=300),
+           st.integers(min_value=1, max_value=80))
+    def test_bucketed_range_within_original(self, series, width):
+        bucketed = _bucket(series, width)
+        assert len(bucketed) <= max(width, 1)
+        assert min(series) - 1e-9 <= min(bucketed)
+        assert max(bucketed) <= max(series) + 1e-9
+
+
+class TestPhases:
+    def test_flat_series_is_quiet(self):
+        phases = detect_phases(_windows([0, 0, 0, 0]))
+        assert phases == [("quiet", 0, 4)]
+
+    def test_alternation(self):
+        phases = detect_phases(_windows([100, 0, 100, 0]))
+        kinds = [phase for phase, _, _ in phases]
+        assert kinds == ["burst", "quiet", "burst", "quiet"]
+
+    def test_lengths_cover_series(self):
+        values = [100, 100, 0, 0, 0, 100]
+        phases = detect_phases(_windows(values))
+        assert sum(length for _, _, length in phases) == len(values)
+
+    def test_explicit_threshold(self):
+        phases = detect_phases(_windows([1, 5, 1]), threshold=3)
+        assert [p for p, _, _ in phases] == ["quiet", "burst", "quiet"]
+
+    def test_empty(self):
+        assert detect_phases([]) == []
+
+
+class TestBurstFraction:
+    def test_all_quiet(self):
+        assert burst_fraction(_windows([0, 0, 0])) == 0.0
+
+    def test_single_spike(self):
+        assert burst_fraction(_windows([0] * 9 + [100])) == 0.1
+
+    def test_all_burst_with_threshold(self):
+        assert burst_fraction(_windows([10, 12, 11]), threshold=5) == 1.0
+
+    def test_empty(self):
+        assert burst_fraction([]) == 0.0
+
+
+class TestRender:
+    def test_contains_event_rows(self):
+        text = render_timeline(_windows([1, 2, 3]), title="T")
+        assert text.startswith("T")
+        assert "total_cache_misses" in text
+        assert "branch_instructions" in text
+
+    def test_no_samples(self):
+        assert "(no samples)" in render_timeline([])

@@ -1,0 +1,194 @@
+"""CPU-level countermeasure tests (paper Section IV)."""
+
+import pytest
+
+from repro.cpu import Cpu, CpuConfig
+from repro.cpu.shadow_stack import ShadowStack
+from repro.errors import PrivilegeFault, ShadowStackViolation
+from repro.kernel import System, build_binary
+from tests.conftest import SECRET
+
+
+def _run_with(source, cpu_config):
+    system = System(seed=5, cpu_config=cpu_config, target_data=SECRET)
+    program = build_binary("cm", source)
+    system.install_binary("/bin/cm", program)
+    process = system.spawn("/bin/cm")
+    process.run_to_completion()
+    return process
+
+
+class TestShadowStackUnit:
+    def test_matched_return_passes(self):
+        shadow = ShadowStack()
+        shadow.on_call(0x400008)
+        shadow.on_return(0x400008)
+
+    def test_mismatch_raises(self):
+        shadow = ShadowStack()
+        shadow.on_call(0x400008)
+        with pytest.raises(ShadowStackViolation):
+            shadow.on_return(0xDEAD0000)
+        assert shadow.violations_detected == 1
+
+    def test_empty_stack_tolerated(self):
+        ShadowStack().on_return(0x1234)  # unprotected depth: no check
+
+    def test_bounded_depth_drops_oldest(self):
+        shadow = ShadowStack(depth=2)
+        shadow.on_call(1)
+        shadow.on_call(2)
+        shadow.on_call(3)
+        shadow.on_return(3)
+        shadow.on_return(2)
+        shadow.on_return(0xBAD)  # frame 1's record was dropped: unchecked
+
+
+class TestShadowStackIntegration:
+    SMASH = """
+    main:
+        call f
+        li   a0, 1
+        call libc_exit
+    f:
+        la   t0, elsewhere
+        sw   t0, 0(sp)      ; overwrite own return address
+        ret
+    elsewhere:
+        li   a0, 2
+        call libc_exit
+    """
+
+    def test_without_shadow_stack_redirect_succeeds(self):
+        process = _run_with(self.SMASH, CpuConfig())
+        assert process.exit_code == 2
+
+    def test_with_shadow_stack_redirect_trapped(self):
+        process = _run_with(self.SMASH, CpuConfig(shadow_stack=True))
+        assert isinstance(process.fault, ShadowStackViolation)
+
+    def test_honest_program_unaffected(self):
+        process = _run_with("""
+        main:
+            li   a0, 4
+            call f
+            mov  a0, rv
+            call libc_exit
+        f:
+            add rv, a0, a0
+            ret
+        """, CpuConfig(shadow_stack=True))
+        assert process.exit_code == 8
+
+
+class TestPrivilegedClflush:
+    FLUSHER = """
+    main:
+        la t0, cell
+        clflush 0(t0)
+        li a0, 0
+        call libc_exit
+    .data
+    cell: .word 0
+    """
+
+    def test_default_allows_clflush(self):
+        process = _run_with(self.FLUSHER, CpuConfig())
+        assert process.exit_code == 0
+
+    def test_privileged_mode_blocks_user_clflush(self):
+        process = _run_with(
+            self.FLUSHER, CpuConfig(clflush_privileged=True)
+        )
+        assert isinstance(process.fault, PrivilegeFault)
+
+    def test_kernel_mode_still_allowed(self):
+        from repro.cache.hierarchy import CacheHierarchy
+        from repro.mem.memory import Memory, PERM_R, PERM_W, PERM_X
+        from repro.isa.encoding import encode_program
+        from repro.isa.instruction import Instruction
+        from repro.isa.opcodes import Opcode
+
+        memory = Memory()
+        memory.map_segment("text", 0x1000, 0x1000, PERM_R | PERM_X)
+        memory.map_segment("data", 0x4000, 0x1000, PERM_R | PERM_W)
+        blob = encode_program([
+            Instruction(Opcode.CLFLUSH, rs1=0, imm=0x4000),
+            Instruction(Opcode.HALT),
+        ])
+        memory.write_bytes(0x1000, blob, force=True)
+        cpu = Cpu(memory, config=CpuConfig(clflush_privileged=True))
+        cpu.kernel_mode = True
+        cpu.state.pc = 0x1000
+        cpu.run()
+        assert cpu.state.halted
+
+
+class TestInvisibleSpeculation:
+    """InvisiSpec-style defense: wrong-path loads leave no cache trace."""
+
+    PROBE = """
+    main:
+        ; mispredict into a load of 'probe', then time its reload
+        la   t1, probe
+        clflush 0(t1)
+        mfence
+        li   a2, 6
+    train:
+        beq  a2, zero, strike
+        li   a0, 1
+        call victim
+        addi a2, a2, -1
+        jmp  train
+    strike:
+        la   t1, probe
+        clflush 0(t1)
+        mfence
+        li   a0, 1000
+        call victim
+        la   t1, probe
+        mfence
+        rdcycle gp
+        lw   t2, 0(t1)
+        rdcycle lr
+        sub  a0, lr, gp
+        call libc_exit
+    victim:
+        la   t0, size
+        lw   t0, 0(t0)
+        bgeu a0, t0, victim_ret
+        la   t1, probe
+        lw   t2, 0(t1)
+    victim_ret:
+        ret
+    .data
+    size: .word 8
+        .align 6
+    probe: .word 0
+    """
+
+    def test_default_leaks(self):
+        process = _run_with(self.PROBE, CpuConfig())
+        assert process.exit_code < 50  # speculative fill visible
+
+    def test_invisible_speculation_hides_fill(self):
+        process = _run_with(
+            self.PROBE, CpuConfig(invisible_speculation=True)
+        )
+        assert process.exit_code > 50  # no trace after the squash
+
+    def test_architectural_loads_unaffected(self):
+        process = _run_with("""
+        main:
+            la   t0, cell
+            lw   t1, 0(t0)     ; warm the line architecturally
+            mfence
+            rdcycle gp
+            lw   t1, 0(t0)
+            rdcycle lr
+            sub  a0, lr, gp
+            call libc_exit
+        .data
+        cell: .word 7
+        """, CpuConfig(invisible_speculation=True))
+        assert process.exit_code < 50

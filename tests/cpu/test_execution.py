@@ -1,0 +1,239 @@
+"""Whole-program execution tests on the CPU."""
+
+import pytest
+
+from repro.errors import CpuFault, ProtectionFault
+from tests.conftest import run_source
+
+
+class TestArithmeticPrograms:
+    def test_exit_code_via_syscall(self):
+        process = run_source("""
+        main:
+            li a0, 42
+            call libc_exit
+        """)
+        assert process.exit_code == 42
+
+    def test_loop_sum(self):
+        process = run_source("""
+        main:
+            li t0, 0
+            li t1, 1
+        loop:
+            slti t2, t1, 11
+            beq  t2, zero, done
+            add  t0, t0, t1
+            addi t1, t1, 1
+            jmp  loop
+        done:
+            mov a0, t0
+            call libc_exit
+        """)
+        assert process.exit_code == 55
+
+    def test_zero_register_ignores_writes(self):
+        process = run_source("""
+        main:
+            li   zero, 99
+            mov  a0, zero
+            call libc_exit
+        """)
+        assert process.exit_code == 0
+
+    def test_function_call_and_return(self):
+        process = run_source("""
+        main:
+            li   a0, 5
+            call double
+            mov  a0, rv
+            call libc_exit
+        double:
+            add  rv, a0, a0
+            ret
+        """)
+        assert process.exit_code == 10
+
+    def test_nested_calls(self):
+        process = run_source("""
+        main:
+            li   a0, 3
+            call f
+            mov  a0, rv
+            call libc_exit
+        f:
+            push a0
+            call g
+            pop  a0
+            add  rv, rv, a0
+            ret
+        g:
+            li   rv, 100
+            ret
+        """)
+        assert process.exit_code == 103
+
+    def test_recursion_factorial(self):
+        process = run_source("""
+        main:
+            li   a0, 5
+            call fact
+            mov  a0, rv
+            call libc_exit
+        fact:
+            slti t0, a0, 2
+            beq  t0, zero, fact_rec
+            li   rv, 1
+            ret
+        fact_rec:
+            push a0
+            addi a0, a0, -1
+            call fact
+            pop  a0
+            mul  rv, rv, a0
+            ret
+        """)
+        assert process.exit_code == 120
+
+    def test_indirect_call(self):
+        process = run_source("""
+        main:
+            la    t0, target
+            callr t0
+            mov   a0, rv
+            call  libc_exit
+        target:
+            li    rv, 77
+            ret
+        """)
+        assert process.exit_code == 77
+
+    def test_jump_table_via_jmpr(self):
+        process = run_source("""
+        main:
+            la   t0, case1
+            jmpr t0
+            li   a0, 0
+            call libc_exit
+        case1:
+            li   a0, 11
+            call libc_exit
+        """)
+        assert process.exit_code == 11
+
+
+class TestMemoryPrograms:
+    def test_byte_and_word_stores(self):
+        process = run_source("""
+        main:
+            la   t0, buf
+            li   t1, 0x11223344
+            sw   t1, 0(t0)
+            lb   a0, 1(t0)        ; little endian: byte 1 = 0x33
+            call libc_exit
+        .data
+        buf: .word 0
+        """)
+        assert process.exit_code == 0x33
+
+    def test_stack_push_pop(self):
+        process = run_source("""
+        main:
+            li   t0, 21
+            push t0
+            li   t0, 0
+            pop  a0
+            call libc_exit
+        """)
+        assert process.exit_code == 21
+
+    def test_argv_delivery(self):
+        process = run_source("""
+        main:
+            ; a0=argc, a1=argv, a2=lengths; exit(len(argv[1]))
+            lw   t0, 4(a2)
+            mov  a0, t0
+            call libc_exit
+        """, argv=[b"hello"])
+        assert process.exit_code == 5
+
+    def test_write_syscall_captures_stdout(self):
+        process = run_source("""
+        main:
+            la   a0, msg
+            call puts
+            li   a0, 0
+            call libc_exit
+        .data
+        msg: .asciiz "hi there"
+        """)
+        assert process.stdout_text() == "hi there"
+
+
+class TestFaults:
+    def test_segfault_terminates_process(self):
+        process = run_source("""
+        main:
+            li  t0, 0x0EADBEE0
+            lw  t1, 0(t0)
+            halt
+        """)
+        assert process.state.value == "faulted"
+
+    def test_dep_fetch_fault(self):
+        """Jumping into the (writable) data segment trips W^X."""
+        process = run_source("""
+        main:
+            la   t0, blob
+            jmpr t0
+        .data
+        blob: .word 0x01, 0
+        """)
+        assert isinstance(process.fault, ProtectionFault)
+
+    def test_misaligned_word(self):
+        process = run_source("""
+        main:
+            la  t0, buf
+            lw  t1, 1(t0)
+        .data
+        buf: .word 1, 2
+        """)
+        assert process.state.value == "faulted"
+
+    def test_halt_is_clean_exit(self):
+        process = run_source("main:\n halt")
+        assert process.state.value == "exited"
+        assert process.exit_code == 0
+
+
+class TestCycleCounters:
+    def test_rdcycle_monotonic(self):
+        process = run_source("""
+        main:
+            rdcycle t0
+            nop
+            nop
+            rdcycle t1
+            sltu a0, t0, t1
+            bne  a0, zero, ok
+            li   a0, 0
+            call libc_exit
+        ok:
+            li   a0, 1
+            call libc_exit
+        """)
+        assert process.exit_code == 1
+
+    def test_rdinstret_counts(self):
+        process = run_source("""
+        main:
+            rdinstret t0
+            nop
+            nop
+            nop
+            rdinstret t1
+            sub  a0, t1, t0
+            call libc_exit
+        """)
+        assert process.exit_code == 4  # nop x3 + the second rdinstret

@@ -1,0 +1,131 @@
+"""PMU tests: the 56-event catalogue and sampling semantics."""
+
+from repro.cpu.pmu import EVENT_NAMES, NUM_EVENTS, PAPER_FEATURES
+from tests.conftest import run_source
+
+
+class TestCatalogue:
+    def test_exactly_56_events(self):
+        assert NUM_EVENTS == 56
+        assert len(set(EVENT_NAMES)) == 56
+
+    def test_paper_features_present(self):
+        for name in PAPER_FEATURES:
+            assert name in EVENT_NAMES
+
+    def test_paper_feature_list(self):
+        assert PAPER_FEATURES == (
+            "total_cache_misses",
+            "total_cache_accesses",
+            "branch_instructions",
+            "branch_mispredictions",
+            "instructions",
+            "cycles",
+        )
+
+
+class TestCounting:
+    def _pmu_after(self, source):
+        return run_source(source).pmu.read()
+
+    def test_instruction_classes(self):
+        snap = self._pmu_after("""
+        main:
+            add  t0, t1, t2
+            mul  t0, t0, t0
+            lw   t1, 0(sp)
+            sw   t1, 0(sp)
+            push t1
+            pop  t1
+            mfence
+            halt
+        """)
+        assert snap["alu_instructions"] == 2
+        assert snap["mul_div_instructions"] == 1
+        assert snap["load_instructions"] == 1
+        assert snap["store_instructions"] == 1
+        assert snap["stack_instructions"] == 2
+        assert snap["mfence_instructions"] == 1
+
+    def test_branch_classes(self):
+        snap = self._pmu_after("""
+        main:
+            beq  zero, zero, next
+        next:
+            call f
+            jmp  over
+        over:
+            halt
+        f:
+            ret
+        """)
+        assert snap["cond_branch_instructions"] == 1
+        assert snap["branches_taken"] == 1
+        assert snap["call_instructions"] == 1
+        assert snap["ret_instructions"] == 1
+        assert snap["branch_instructions"] == 4  # beq, call, jmp, ret
+
+    def test_clflush_counted(self):
+        snap = self._pmu_after("""
+        main:
+            la t0, cell
+            clflush 0(t0)
+            halt
+        .data
+        cell: .word 0
+        """)
+        assert snap["clflush_instructions"] == 1
+
+    def test_totals_consistent(self):
+        snap = self._pmu_after("""
+        main:
+            li t0, 0
+        loop:
+            slti t1, t0, 50
+            beq  t1, zero, done
+            lw   t2, 0(sp)
+            addi t0, t0, 1
+            jmp  loop
+        done:
+            halt
+        """)
+        assert snap["total_cache_accesses"] == (
+            snap["l1d_accesses"] + snap["l1i_accesses"]
+        )
+        assert snap["total_cache_misses"] == (
+            snap["l1d_misses"] + snap["l1i_misses"]
+        )
+        assert snap["l1d_hits"] + snap["l1d_misses"] == snap["l1d_accesses"]
+        assert snap["cycles"] > 0
+        assert snap["instructions"] > 100
+
+
+class TestDeltas:
+    def test_delta_since_isolates_window(self):
+        process = run_source("""
+        main:
+            li t0, 0
+        loop:
+            addi t0, t0, 1
+            jmp loop
+        """, max_instructions=100)
+        pmu = process.cpu.pmu
+        snapshot = pmu.snapshot()
+        process.cpu.run(max_instructions=500)
+        delta = pmu.delta_since(snapshot)
+        assert delta["instructions"] == 500
+        assert set(delta) == set(EVENT_NAMES)
+
+    def test_ipc_positive(self):
+        process = run_source("""
+        main:
+            li t0, 0
+        loop:
+            slti t1, t0, 200
+            beq  t1, zero, done
+            addi t0, t0, 1
+            jmp  loop
+        done:
+            halt
+        """)
+        assert 0.1 < process.pmu.ipc <= 4.0

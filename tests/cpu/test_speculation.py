@@ -1,0 +1,186 @@
+"""Speculative-execution tests: the microarchitectural core of Spectre.
+
+These verify the two defining properties of the wrong-path window:
+
+1. architectural state (registers, memory) is fully squashed, and
+2. cache fills made on the wrong path PERSIST — the covert channel.
+"""
+
+from repro.kernel import System, build_binary
+from tests.conftest import SECRET, run_source
+
+
+def _run(source, **kwargs):
+    return run_source(source, target_data=SECRET, **kwargs)
+
+
+class TestSquash:
+    def test_wrong_path_register_writes_squashed(self):
+        process = _run("""
+        main:
+            ; train 'taken' then violate: wrong path must not leak into t3
+            li   t3, 7
+            li   t0, 0
+            li   t1, 3
+        train:
+            bge  t0, t1, after      ; eventually mispredicts
+            addi t0, t0, 1
+            jmp  train
+        after:
+            ; wrong path of the final bge (not-taken side) would run this:
+            li   t3, 99
+            nop
+        check:
+            mov  a0, t3
+            call libc_exit
+        """)
+        # Architecturally t3 is always 99 here (fall-through executes it
+        # for real); the squash property is tested via memory below.
+        assert process.exit_code == 99
+
+    def test_wrong_path_stores_squashed(self):
+        process = _run("""
+        main:
+            li   t0, 0
+        mistrain:
+            slti t1, t0, 4
+            beq  t1, zero, strike     ; trained not-taken x4, then taken
+            addi t0, t0, 1
+            jmp  mistrain
+        strike:
+            li   t2, 5                ; make the branch mispredict now:
+            slti t1, t0, 4            ; actual=false, predicted... trained
+            bne  t1, zero, poison     ; never architecturally taken
+            jmp  check
+        poison:
+            la   t3, cell
+            li   t1, 666
+            sw   t1, 0(t3)
+            jmp  check
+        check:
+            la   t3, cell
+            lw   a0, 0(t3)
+            call libc_exit
+        .data
+        cell: .word 42
+        """)
+        assert process.exit_code == 42  # the poison store never commits
+
+    def test_spec_counters_increment(self):
+        process = _run("""
+        main:
+            li   t0, 0
+        loop:
+            slti t1, t0, 6
+            beq  t1, zero, done   ; mispredicts at loop exit
+            addi t0, t0, 1
+            jmp  loop
+        done:
+            halt
+        """)
+        snap = process.pmu.read()
+        assert snap["spec_instructions"] > 0
+        assert snap["squashed_instructions"] == snap["spec_instructions"]
+
+
+class TestPersistentCacheFills:
+    SOURCE = r"""
+    main:
+        ; train the victim branch (TRAIN_VALUE selects the direction),
+        ; flush the probe line, strike out-of-bounds, time the reload.
+        li   a2, 6
+    train:
+        beq  a2, zero, flush
+        li   a0, TRAIN_VALUE
+        call victim
+        addi a2, a2, -1
+        jmp  train
+    flush:
+        la   t1, probe
+        clflush 0(t1)
+        mfence
+        li   a0, 1000          ; out of bounds
+        call victim
+        ; reload: exit code = measured latency, small = cache hit
+        la   t1, probe
+        mfence
+        rdcycle gp
+        lw   t2, 0(t1)
+        rdcycle lr
+        sub  a0, lr, gp
+        call libc_exit
+
+    victim:
+        la   t0, size
+        lw   t0, 0(t0)
+        bgeu a0, t0, victim_ret
+        la   t1, probe         ; wrong-path load fills the probe line
+        lw   t2, 0(t1)
+    victim_ret:
+        ret
+
+    .data
+    size: .word 8
+        .align 6
+    probe: .word 0
+    """
+
+    def test_wrong_path_fill_persists(self):
+        process = _run(self.SOURCE.replace("TRAIN_VALUE", "1"))
+        latency = process.exit_code
+        assert latency < 50, (
+            f"probe reload took {latency} cycles; the speculative fill "
+            f"did not persist"
+        )
+
+    def test_anti_trained_branch_no_fill(self):
+        # Training with out-of-bounds values teaches the predictor the
+        # *taken* direction: the strike is predicted correctly, there is
+        # no misprediction and hence no wrong-path fill.
+        process = _run(self.SOURCE.replace("TRAIN_VALUE", "2000"))
+        assert process.exit_code > 50
+
+    def test_spec_window_zero_disables_channel(self):
+        from repro.cpu import CpuConfig
+
+        system = System(seed=9, target_data=SECRET,
+                        cpu_config=CpuConfig(spec_window=0))
+        program = build_binary(
+            "nospec", self.SOURCE.replace("TRAIN_VALUE", "1")
+        )
+        system.install_binary("/bin/nospec", program)
+        process = system.spawn("/bin/nospec")
+        process.run_to_completion()
+        assert process.exit_code > 50  # no transient window, no fill
+
+
+class TestRsbSpeculation:
+    def test_smashed_return_speculates_at_rsb_target(self):
+        """Spectre-RSB primitive: wrong path runs at the stale RSB
+        prediction (the instruction after the call site)."""
+        process = _run("""
+        main:
+            la   t1, probe
+            clflush 0(t1)
+            mfence
+            call f
+            ; RSB-predicted wrong path (architecturally skipped):
+            la   t1, probe
+            lw   t2, 0(t1)
+        resume:
+            la   t1, probe
+            mfence
+            rdcycle gp
+            lw   t2, 0(t1)
+            rdcycle lr
+            sub  a0, lr, gp
+            call libc_exit
+        f:
+            la   t0, resume
+            sw   t0, 0(sp)
+            ret
+        .data
+            .align 6
+        probe: .word 0
+        """)
+        assert process.exit_code < 50

@@ -1,0 +1,57 @@
+"""Architectural-state helper tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.cpu.state import CpuState, to_signed, to_unsigned
+
+
+class TestConversions:
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_signed_unsigned_roundtrip(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_unsigned_signed_roundtrip(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+    def test_boundaries(self):
+        assert to_signed(0x7FFFFFFF) == 2**31 - 1
+        assert to_signed(0x80000000) == -(2**31)
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_unsigned(-1) == 0xFFFFFFFF
+
+    @given(st.integers())
+    def test_to_unsigned_always_in_range(self, value):
+        assert 0 <= to_unsigned(value) <= 0xFFFFFFFF
+
+
+class TestCpuState:
+    def test_zero_register(self):
+        state = CpuState()
+        state.write_reg(0, 99)
+        assert state.read_reg(0) == 0
+
+    def test_writes_wrap_32_bits(self):
+        state = CpuState()
+        state.write_reg(5, 0x1_2345_6789)
+        assert state.read_reg(5) == 0x2345_6789
+
+    def test_sp_property(self):
+        state = CpuState()
+        state.sp = 0x7FFF0000
+        assert state.sp == 0x7FFF0000
+        assert state.regs[13] == 0x7FFF0000
+
+    def test_copy_regs_is_a_snapshot(self):
+        state = CpuState()
+        state.write_reg(3, 7)
+        snapshot = state.copy_regs()
+        state.write_reg(3, 8)
+        assert snapshot[3] == 7
+
+    def test_dump_readable(self):
+        state = CpuState()
+        state.pc = 0x400000
+        text = state.dump()
+        assert "sp" in text
+        assert "0x00400000" in text

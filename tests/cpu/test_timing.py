@@ -1,0 +1,181 @@
+"""Timing-model tests: the cycle costs the covert channel measures.
+
+Measured blocks are wrapped in a function executed twice — the first
+call warms the I-cache so the second measures steady-state throughput.
+"""
+
+from repro.cpu import CpuConfig
+from repro.kernel import System, build_binary
+from tests.conftest import run_source
+
+
+def _measured(body):
+    """Program that times the second (warm) execution of *body*."""
+    return f"""
+main:
+    call work              ; warm the I-cache
+    rdcycle s0
+    call work
+    rdcycle s1
+    sub  a0, s1, s0
+    call libc_exit
+work:
+{body}
+    ret
+"""
+
+
+def _warm_cycles(body, cpu_config=None):
+    source = _measured(body)
+    if cpu_config is None:
+        return run_source(source).exit_code
+    system = System(seed=9, cpu_config=cpu_config)
+    system.install_binary("/bin/t", build_binary("t", source))
+    process = system.spawn("/bin/t")
+    process.run_to_completion()
+    return process.exit_code
+
+
+class TestIssueWidth:
+    def test_alu_throughput(self):
+        """100 ALU ops on a warm 4-wide core cost ~25-45 cycles."""
+        body = "\n".join("    addi t0, t0, 1" for _ in range(100))
+        cycles = _warm_cycles(body)
+        assert 20 <= cycles <= 60, cycles
+
+    def test_width_one_is_slower(self):
+        body = "\n".join("    addi t0, t0, 1" for _ in range(100))
+        wide = _warm_cycles(body)
+        narrow = _warm_cycles(body, CpuConfig(issue_width=1))
+        assert narrow > wide * 2
+
+
+class TestMemoryLatency:
+    def test_miss_vs_hit_gap(self):
+        """The flush+reload discrimination window must be wide."""
+        process = run_source("""
+        main:
+            la   t0, cell
+            lw   t1, 0(t0)        ; warm
+            mfence
+            rdcycle t2
+            lw   t1, 0(t0)        ; hit
+            rdcycle t3
+            sub  s0, t3, t2       ; hit latency
+            clflush 0(t0)
+            mfence
+            rdcycle t2
+            lw   t1, 0(t0)        ; miss to memory
+            rdcycle t3
+            sub  s1, t3, t2       ; miss latency
+            sub  a0, s1, s0
+            call libc_exit
+        .data
+            .align 6
+        cell: .word 7
+        """)
+        assert process.exit_code > 100  # gap >> any threshold jitter
+
+    def test_l2_hit_cheaper_than_memory(self):
+        from repro.cache.hierarchy import CacheConfig
+
+        system = System(seed=9, cache_config=CacheConfig())
+        system.install_binary("/bin/t", build_binary("t", """
+        main:
+            ; warm 'cell' into L2 but push it out of L1 by streaming
+            la   t0, cell
+            lw   t1, 0(t0)
+            la   t2, evict
+            li   t3, 1024          ; 64 KiB / 64 = enough to evict L1
+        stream:
+            beq  t3, zero, probe
+            lw   a3, 0(t2)
+            addi t2, t2, 64
+            addi t3, t3, -1
+            jmp  stream
+        probe:
+            mfence
+            rdcycle t2
+            lw   t1, 0(t0)
+            rdcycle t3
+            sub  a0, t3, t2
+            call libc_exit
+        .data
+            .align 6
+        cell: .word 7
+        evict: .space 65600
+        """))
+        process = system.spawn("/bin/t")
+        process.run_to_completion()
+        # L2 hit: a dozen-ish cycles, far below the ~190-cycle miss.
+        assert 2 < process.exit_code < 60
+
+
+class TestBranchCosts:
+    def test_alternating_pattern_costs_more(self):
+        predictable = _warm_cycles("""
+    li t0, 0
+p_loop:
+    slti t1, t0, 100
+    beq  t1, zero, p_done
+    addi t0, t0, 1
+    jmp  p_loop
+p_done:
+    nop""")
+        alternating = _warm_cycles("""
+    li t0, 0
+a_loop:
+    slti t1, t0, 100
+    beq  t1, zero, a_done
+    andi t2, t0, 1
+    beq  t2, zero, a_even
+    nop
+a_even:
+    addi t0, t0, 1
+    jmp  a_loop
+a_done:
+    nop""")
+        assert alternating > predictable
+
+    def test_penalty_knob(self):
+        body = """
+    li t0, 0
+k_loop:
+    slti t1, t0, 50
+    beq  t1, zero, k_done
+    andi t2, t0, 1
+    beq  t2, zero, k_skip
+    nop
+k_skip:
+    addi t0, t0, 1
+    jmp  k_loop
+k_done:
+    nop"""
+        cheap = _warm_cycles(body, CpuConfig(mispredict_penalty=2.0))
+        costly = _warm_cycles(body, CpuConfig(mispredict_penalty=50.0))
+        assert costly > cheap
+
+
+class TestInstructionCosts:
+    def test_div_slower_than_add(self):
+        adds = _warm_cycles("    add t0, t1, t2\n" * 100)
+        divs = _warm_cycles(
+            "    li t1, 100\n    li t2, 7\n"
+            + "    div t0, t1, t2\n" * 100
+        )
+        assert divs > adds * 3
+
+    def test_fence_cost(self):
+        nops = _warm_cycles("    nop\n" * 50)
+        fences = _warm_cycles("    mfence\n" * 50)
+        assert fences > nops * 5
+
+    def test_fence_stalls_counted(self):
+        process = run_source("main:\n    mfence\n    mfence\n    halt")
+        assert process.pmu.read()["fence_stall_cycles"] > 0
+
+    def test_clflush_has_latency(self):
+        nops = _warm_cycles("    nop\n" * 50)
+        body = "    la t3, main\n" + "    clflush 0(t3)\n" * 50
+        flushes = _warm_cycles(body)
+        assert flushes > nops * 3

@@ -1,0 +1,136 @@
+"""Classifier tests: all four models learn and behave like classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HidError
+from repro.hid.classifiers import (
+    CLASSIFIER_FACTORIES,
+    make_classifier,
+)
+
+MODELS = sorted(CLASSIFIER_FACTORIES)
+
+
+def _blobs(n=120, d=4, gap=4.0, seed=0):
+    """Two well-separated Gaussian blobs."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(0.0, 1.0, size=(n // 2, d))
+    x1 = rng.normal(gap, 1.0, size=(n // 2, d))
+    X = np.vstack([x0, x1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    order = rng.permutation(n)
+    return X[order], y[order]
+
+
+class TestLearning:
+    @pytest.mark.parametrize("name", MODELS)
+    def test_separable_blobs_learned(self, name):
+        X, y = _blobs()
+        model = make_classifier(name, seed=1)
+        model.fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_generalizes_to_fresh_samples(self, name):
+        X, y = _blobs(seed=0)
+        Xt, yt = _blobs(seed=99)
+        model = make_classifier(name, seed=1)
+        model.fit(X, y)
+        assert model.score(Xt, yt) > 0.9
+
+    @pytest.mark.parametrize("name", ("mlp", "nn"))
+    def test_nonlinear_boundary(self, name):
+        """XOR-style data: linear models fail, networks must not."""
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        model = make_classifier(name, seed=2, epochs=400)
+        model.fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_linear_model_fails_xor(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        model = make_classifier("lr", seed=2)
+        model.fit(X, y)
+        assert model.score(X, y) < 0.75
+
+
+class TestInterface:
+    @pytest.mark.parametrize("name", MODELS)
+    def test_predict_before_fit_raises(self, name):
+        with pytest.raises(HidError):
+            make_classifier(name).predict(np.zeros((1, 4)))
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_predictions_are_binary(self, name):
+        X, y = _blobs()
+        model = make_classifier(name, seed=1)
+        model.fit(X, y)
+        predictions = model.predict(X)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_decision_sign_matches_prediction(self, name):
+        X, y = _blobs()
+        model = make_classifier(name, seed=1)
+        model.fit(X, y)
+        scores = model.decision_function(X)
+        assert np.array_equal(scores > 0, model.predict(X) == 1)
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_deterministic_under_seed(self, name):
+        X, y = _blobs()
+        a = make_classifier(name, seed=7)
+        b = make_classifier(name, seed=7)
+        a.fit(X, y)
+        b.fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_clone_is_unfitted_same_config(self, name):
+        model = make_classifier(name, seed=7)
+        clone = model.clone()
+        assert type(clone) is type(model)
+        with pytest.raises(HidError):
+            clone.predict(np.zeros((1, 4)))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(HidError):
+            make_classifier("lr").fit(np.zeros((0, 3)), np.zeros(0))
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(HidError):
+            make_classifier("lr").fit(np.zeros((5, 3)), np.zeros(4))
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            make_classifier("tree")
+
+
+class TestProbabilities:
+    def test_lr_probabilities_bounded(self):
+        X, y = _blobs()
+        model = make_classifier("lr", seed=1)
+        model.fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_mlp_probabilities_bounded(self):
+        X, y = _blobs()
+        model = make_classifier("mlp", seed=1)
+        model.fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_deep_nn_has_more_layers(self):
+        X, y = _blobs()
+        mlp = make_classifier("mlp", seed=1)
+        nn = make_classifier("nn", seed=1)
+        mlp.fit(X, y)
+        nn.fit(X, y)
+        assert len(nn.weights_) > len(mlp.weights_)
+        # The paper's NN: 6 layers = input + 4 hidden + output.
+        assert len(nn.weights_) == 5

@@ -1,0 +1,153 @@
+"""Dataset, scaler and metrics tests with hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HidError
+from repro.hid.dataset import ATTACK, BENIGN, Dataset, Sample, \
+    samples_to_dataset
+from repro.hid.metrics import compute_metrics
+from repro.hid.scaler import StandardScaler
+
+
+def _sample(label, value=1.0, name="p"):
+    events = {"e1": value, "e2": 2 * value, "e3": 0.0}
+    return Sample(process_name=name, label=label, events=events)
+
+
+class TestDataset:
+    def test_from_samples(self):
+        ds = Dataset.from_samples(
+            [_sample(BENIGN, 1.0), _sample(ATTACK, 5.0)], ("e1", "e2")
+        )
+        assert ds.X.shape == (2, 2)
+        assert list(ds.y) == [BENIGN, ATTACK]
+
+    def test_empty_rejected(self):
+        with pytest.raises(HidError):
+            Dataset.from_samples([], ("e1",))
+
+    def test_feature_name_mismatch(self):
+        with pytest.raises(HidError):
+            Dataset(np.zeros((2, 3)), np.zeros(2), ("a", "b"))
+
+    def test_class_counts(self):
+        ds = samples_to_dataset(
+            [_sample(0)] * 3, [_sample(0)] * 2, ("e1",)
+        )
+        counts = ds.class_counts()
+        assert counts[BENIGN] == 3 and counts[ATTACK] == 2
+
+    def test_relabeling_in_samples_to_dataset(self):
+        # labels on the input samples are overridden by stream identity
+        ds = samples_to_dataset([_sample(1)], [_sample(0)], ("e1",))
+        assert list(ds.y) == [BENIGN, ATTACK]
+
+    def test_merge(self):
+        a = Dataset(np.ones((2, 1)), np.zeros(2), ("e1",))
+        b = Dataset(np.zeros((3, 1)), np.ones(3), ("e1",))
+        merged = a.merged_with(b)
+        assert len(merged) == 5
+
+    def test_merge_feature_mismatch(self):
+        a = Dataset(np.ones((2, 1)), np.zeros(2), ("e1",))
+        b = Dataset(np.ones((2, 1)), np.zeros(2), ("e2",))
+        with pytest.raises(HidError):
+            a.merged_with(b)
+
+    def test_subsample_bound(self):
+        ds = Dataset(np.arange(100).reshape(100, 1),
+                     np.zeros(100), ("e1",))
+        sub = ds.subsample(10, seed=1)
+        assert len(sub) == 10
+        assert ds.subsample(200) is ds
+
+
+class TestSplit:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=10, max_value=80),
+           st.integers(min_value=10, max_value=80),
+           st.integers(min_value=0, max_value=100))
+    def test_split_partitions_and_stratifies(self, n0, n1, seed):
+        X = np.vstack([np.zeros((n0, 2)), np.ones((n1, 2))])
+        y = np.array([0] * n0 + [1] * n1)
+        ds = Dataset(X, y, ("a", "b"))
+        train, test = ds.split(0.7, seed=seed)
+        assert len(train) + len(test) == n0 + n1
+        # stratification: class proportions preserved within 1 sample
+        assert abs(int(np.sum(train.y == 0)) - round(0.7 * n0)) <= 1
+        assert abs(int(np.sum(train.y == 1)) - round(0.7 * n1)) <= 1
+
+    def test_split_deterministic(self):
+        ds = Dataset(np.arange(40).reshape(20, 2),
+                     np.array([0, 1] * 10), ("a", "b"))
+        a = ds.split(0.7, seed=5)
+        b = ds.split(0.7, seed=5)
+        assert np.array_equal(a[0].X, b[0].X)
+
+
+class TestScaler:
+    def test_standardizes(self):
+        X = np.array([[1.0, 10.0], [3.0, 30.0], [5.0, 50.0]])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0)
+        assert np.allclose(scaled.std(axis=0), 1)
+
+    def test_constant_feature_safe(self):
+        X = np.array([[1.0, 5.0], [1.0, 7.0]])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled[:, 0], 0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(HidError):
+            StandardScaler().transform(np.zeros((1, 2)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                           allow_nan=False), min_size=3, max_size=3),
+        min_size=2, max_size=30,
+    ))
+    def test_fitted_transform_is_affine_invertible(self, rows):
+        X = np.array(rows)
+        scaler = StandardScaler().fit(X)
+        scaled = scaler.transform(X)
+        restored = scaled * scaler.scale_ + scaler.mean_
+        assert np.allclose(restored, X, atol=1e-6)
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        m = compute_metrics([0, 1, 0, 1], [0, 1, 0, 1])
+        assert m.accuracy == 1.0
+        assert m.precision == 1.0 and m.recall == 1.0
+
+    def test_all_wrong(self):
+        m = compute_metrics([0, 1], [1, 0])
+        assert m.accuracy == 0.0
+
+    def test_confusion_cells(self):
+        m = compute_metrics([1, 1, 0, 0], [1, 0, 1, 0])
+        assert (m.true_positives, m.false_negatives,
+                m.false_positives, m.true_negatives) == (1, 1, 1, 1)
+
+    def test_zero_division_guards(self):
+        m = compute_metrics([0, 0], [0, 0])
+        assert m.precision == 0.0 and m.recall == 0.0 and m.f1 == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                    min_size=1, max_size=60))
+    def test_identities(self, pairs):
+        y_true = [t for t, _ in pairs]
+        y_pred = [p for _, p in pairs]
+        m = compute_metrics(y_true, y_pred)
+        assert m.total == len(pairs)
+        assert 0.0 <= m.accuracy <= 1.0
+        agreement = sum(t == p for t, p in pairs) / len(pairs)
+        assert m.accuracy == pytest.approx(agreement)
+
+    def test_describe(self):
+        text = compute_metrics([1], [1]).describe()
+        assert "acc=1.000" in text

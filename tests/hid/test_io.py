@@ -1,0 +1,107 @@
+"""Trace persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HidError
+from repro.hid.dataset import ATTACK, BENIGN, Dataset
+from repro.hid.io import load_dataset, load_samples, save_dataset, \
+    save_samples
+from repro.hid.profiler import Profiler
+from repro.kernel import System
+from repro.workloads import get_workload
+
+
+def _samples(n=6):
+    system = System(seed=4)
+    system.install_binary(
+        "/bin/w", get_workload("bitcount").build(iterations=1 << 20)
+    )
+    process = system.spawn("/bin/w")
+    return Profiler(quantum=500).profile(process, n, label=ATTACK)
+
+
+class TestSampleRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        samples = _samples()
+        path = tmp_path / "traces.csv"
+        assert save_samples(samples, path) == len(samples)
+        loaded = load_samples(path)
+        assert len(loaded) == len(samples)
+        for original, restored in zip(samples, loaded):
+            assert restored.process_name == original.process_name
+            assert restored.label == original.label
+            for name, value in original.events.items():
+                assert restored.events[name] == pytest.approx(value)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(HidError):
+            load_samples(path)
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(HidError):
+            load_samples(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        samples = _samples(2)
+        path = tmp_path / "traces.csv"
+        save_samples(samples, path)
+        with open(path, "a") as handle:
+            handle.write("short,row\n")
+        with pytest.raises(HidError):
+            load_samples(path)
+
+    def test_loaded_samples_train_a_detector(self, tmp_path):
+        from repro.hid import DEFAULT_FEATURES, make_detector, \
+            samples_to_dataset
+
+        attack = _samples(20)
+        system = System(seed=4)
+        system.install_binary(
+            "/bin/b", get_workload("browser").build(iterations=1 << 20)
+        )
+        benign = Profiler(quantum=500).profile(
+            system.spawn("/bin/b"), 20, label=BENIGN
+        )
+        path = tmp_path / "all.csv"
+        save_samples(benign + attack, path)
+        loaded = load_samples(path)
+        dataset = samples_to_dataset(
+            [s for s in loaded if s.label == BENIGN],
+            [s for s in loaded if s.label == ATTACK],
+            DEFAULT_FEATURES,
+        )
+        detector = make_detector("lr", seed=1)
+        detector.fit(dataset)
+        assert detector.accuracy_on(dataset) > 0.8
+
+
+class TestDatasetRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        dataset = Dataset(
+            np.array([[1.5, 2.0], [3.0, 4.5]]),
+            np.array([0, 1]),
+            ("f1", "f2"),
+        )
+        path = tmp_path / "ds.csv"
+        assert save_dataset(dataset, path) == 2
+        loaded = load_dataset(path)
+        assert loaded.feature_names == ("f1", "f2")
+        assert np.allclose(loaded.X, dataset.X)
+        assert np.array_equal(loaded.y, dataset.y)
+
+    def test_not_a_dataset_file(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(HidError):
+            load_dataset(path)
+
+    def test_no_rows(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("label,f1\n")
+        with pytest.raises(HidError):
+            load_dataset(path)

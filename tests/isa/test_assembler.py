@@ -1,0 +1,257 @@
+"""Assembler tests: syntax, layout, relocations, error reporting."""
+
+import struct
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode_program
+from repro.isa.opcodes import Opcode
+
+
+class TestBasicAssembly:
+    def test_empty_source(self):
+        program = assemble("")
+        assert program.text == b""
+        assert program.data == b""
+
+    def test_single_instruction(self):
+        program = assemble("nop")
+        [insn] = decode_program(program.text)
+        assert insn.opcode is Opcode.NOP
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            ; full-line comment
+            nop            ; trailing comment
+            # hash comment too
+
+            halt
+        """)
+        opcodes = [i.opcode for i in decode_program(program.text)]
+        assert opcodes == [Opcode.NOP, Opcode.HALT]
+
+    def test_all_operand_forms(self):
+        program = assemble("""
+            add  t0, t1, t2
+            addi t0, t0, -5
+            li   a0, 0x1234
+            mov  a1, a0
+            lw   t1, 8(sp)
+            sw   t1, -4(fp)
+            push s0
+            pop  s0
+            clflush 0(t0)
+            rdcycle t3
+        """)
+        decoded = decode_program(program.text)
+        assert [i.opcode for i in decoded] == [
+            Opcode.ADD, Opcode.ADDI, Opcode.LI, Opcode.MOV, Opcode.LW,
+            Opcode.SW, Opcode.PUSH, Opcode.POP, Opcode.CLFLUSH,
+            Opcode.RDCYCLE,
+        ]
+        assert decoded[1].imm == -5
+        assert decoded[2].imm == 0x1234
+        assert decoded[5].imm == -4
+
+    def test_char_literals(self):
+        program = assemble("li a0, 'Z'")
+        [insn] = decode_program(program.text)
+        assert insn.imm == ord("Z")
+
+    def test_large_unsigned_immediates_wrap(self):
+        program = assemble("xori t0, t0, 0xEDB88320")
+        [insn] = decode_program(program.text)
+        assert insn.imm & 0xFFFFFFFF == 0xEDB88320
+
+
+class TestLabelsAndBranches:
+    def test_backward_branch_offset(self):
+        program = assemble("""
+        top:
+            nop
+            jmp top
+        """)
+        decoded = decode_program(program.text)
+        assert decoded[1].imm == -8
+
+    def test_forward_branch_offset(self):
+        program = assemble("""
+            beq t0, zero, done
+            nop
+        done:
+            halt
+        """)
+        decoded = decode_program(program.text)
+        assert decoded[0].imm == 16
+
+    def test_label_on_same_line(self):
+        program = assemble("start: nop")
+        assert program.symbols["start"].offset == 0
+
+    def test_multiple_labels_one_location(self):
+        program = assemble("""
+        alpha:
+        beta:
+            nop
+        """)
+        assert program.symbols["alpha"].offset == 0
+        assert program.symbols["beta"].offset == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_undefined_branch_target(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere")
+
+    def test_branch_to_data_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("""
+                jmp blob
+            .data
+            blob: .word 1
+            """)
+
+
+class TestDirectives:
+    def test_word_layout(self):
+        program = assemble("""
+        .data
+        values: .word 1, 2, 0xFFFFFFFF
+        """)
+        assert struct.unpack("<3I", program.data) == (1, 2, 0xFFFFFFFF)
+
+    def test_byte_ascii_asciiz(self):
+        program = assemble("""
+        .data
+        a: .byte 1, 'B', 0xFF
+        b: .ascii "hi"
+        c: .asciiz "yo"
+        """)
+        assert program.data == bytes([1, ord("B"), 0xFF]) + b"hi" + b"yo\x00"
+
+    def test_space_zeroed(self):
+        program = assemble(".data\nbuf: .space 10")
+        assert program.data == bytes(10)
+
+    def test_align(self):
+        program = assemble("""
+        .data
+            .byte 1
+            .align 3
+        here: .byte 2
+        """)
+        assert program.symbols["here"].offset == 8
+
+    def test_word_self_aligns_and_moves_label(self):
+        program = assemble("""
+        .data
+        s: .asciiz "abc"
+        w: .word 7
+        """)
+        assert program.symbols["w"].offset == 4
+        assert struct.unpack_from("<I", program.data, 4)[0] == 7
+
+    def test_entry_directive(self):
+        program = assemble("""
+        .entry start
+        other:
+            nop
+        start:
+            halt
+        """)
+        assert program.entry == "start"
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".bogus 1")
+
+    def test_instructions_in_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nnop")
+
+    def test_string_with_comma_inside(self):
+        program = assemble('.data\nmsg: .asciiz "a,b"')
+        assert program.data == b"a,b\x00"
+
+
+class TestRelocations:
+    def test_la_emits_relocation(self):
+        program = assemble("""
+            la a0, blob
+        .data
+        blob: .word 5
+        """)
+        assert len(program.relocations) == 1
+        relocation = program.relocations[0]
+        assert relocation.symbol == "blob"
+        assert relocation.section == "text"
+        assert relocation.offset == 4  # imm field of slot 0
+
+    def test_la_with_addend(self):
+        program = assemble("""
+            la a0, blob+8
+        .data
+        blob: .space 16
+        """)
+        assert program.relocations[0].addend == 8
+
+    def test_la_with_plain_integer(self):
+        program = assemble("la a0, 0x30000000")
+        assert not program.relocations
+        [insn] = decode_program(program.text)
+        assert insn.imm & 0xFFFFFFFF == 0x30000000
+
+    def test_word_label_relocation(self):
+        program = assemble("""
+        func:
+            ret
+        .data
+        table: .word func
+        """)
+        assert any(r.section == "data" for r in program.relocations)
+
+    def test_relocated_patches_addresses(self):
+        program = assemble("""
+            la a0, blob
+        .data
+        blob: .word 5
+        """)
+        text, data = program.relocated(0x1000, 0x2000)
+        imm = struct.unpack_from("<I", text, 4)[0]
+        assert imm == 0x2000  # blob is at data offset 0
+
+    def test_relocated_does_not_mutate_program(self):
+        program = assemble("""
+            la a0, blob
+        .data
+        blob: .word 5
+        """)
+        original = bytes(program.text)
+        program.relocated(0xAAAA000, 0xBBBB000)
+        assert program.text == original
+
+
+class TestErrors:
+    def test_error_carries_line_number(self):
+        try:
+            assemble("nop\nbogus_mnemonic t0")
+        except AssemblerError as exc:
+            assert exc.line_number == 2
+        else:
+            pytest.fail("expected AssemblerError")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add t0, t1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add t0, t1, r99")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("lw t0, t1")

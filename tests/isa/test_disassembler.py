@@ -1,0 +1,52 @@
+"""Disassembler tests."""
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble, format_listing
+from repro.isa.encoding import encode, encode_program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class TestDisassemble:
+    def test_addresses_and_text(self):
+        blob = encode_program([
+            Instruction(Opcode.NOP),
+            Instruction(Opcode.RET),
+        ])
+        lines = disassemble(blob, base=0x400000)
+        assert [(a, t) for a, _, t in lines] == [
+            (0x400000, "nop"),
+            (0x400008, "ret"),
+        ]
+
+    def test_undecodable_slot_rendered_as_bytes(self):
+        blob = bytes([0xEE] * 8)
+        [(_, insn, text)] = disassemble(blob)
+        assert insn is None
+        assert text.startswith(".byte")
+
+    def test_roundtrip_through_assembler(self):
+        source = """
+            li  t0, 7
+            add t1, t0, t0
+            ret
+        """
+        program = assemble(source)
+        lines = disassemble(program.text)
+        texts = [t for _, _, t in lines]
+        assert texts == ["li t0, 7", "add t1, t0, t0", "ret"]
+        # disassembly re-assembles to identical bytes
+        reassembled = assemble("\n".join(texts))
+        assert reassembled.text == program.text
+
+    def test_partial_tail_ignored(self):
+        blob = encode(Instruction(Opcode.NOP)) + b"\x01\x02"
+        assert len(disassemble(blob)) == 1
+
+
+class TestFormatListing:
+    def test_listing_contains_addresses(self):
+        blob = encode(Instruction(Opcode.HALT))
+        listing = format_listing(blob, base=0x1000)
+        assert "0x00001000" in listing
+        assert "halt" in listing

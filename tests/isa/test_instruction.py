@@ -1,0 +1,67 @@
+"""Instruction value-type tests."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Opcode
+
+
+class TestValidation:
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rd=16)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rs1=-1)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rs2=99)
+
+    def test_immediate_range_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LI, imm=2**31)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LI, imm=-(2**31) - 1)
+        Instruction(Opcode.LI, imm=2**31 - 1)
+        Instruction(Opcode.LI, imm=-(2**31))
+
+    def test_int_opcode_coerced(self):
+        instruction = Instruction(0x10, rd=1, rs1=2, rs2=3)
+        assert instruction.opcode is Opcode.ADD
+
+    def test_frozen(self):
+        instruction = Instruction(Opcode.NOP)
+        with pytest.raises(Exception):
+            instruction.rd = 3
+
+
+class TestToAssembly:
+    def test_every_format_renders(self):
+        samples = {
+            Format.NONE: Instruction(Opcode.RET),
+            Format.RRR: Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3),
+            Format.RRI: Instruction(Opcode.ADDI, rd=1, rs1=2, imm=-7),
+            Format.RI: Instruction(Opcode.LI, rd=4, imm=42),
+            Format.RR: Instruction(Opcode.MOV, rd=4, rs1=5),
+            Format.R_SRC: Instruction(Opcode.PUSH, rs1=6),
+            Format.R_DST: Instruction(Opcode.POP, rd=7),
+            Format.MEM_LOAD: Instruction(Opcode.LW, rd=1, rs1=13, imm=8),
+            Format.MEM_STORE: Instruction(Opcode.SW, rs2=1, rs1=13, imm=8),
+            Format.MEM_ADDR: Instruction(Opcode.CLFLUSH, rs1=2, imm=0),
+            Format.BRANCH: Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=16),
+            Format.JUMP: Instruction(Opcode.JMP, imm=-8),
+            Format.JR: Instruction(Opcode.JMPR, rs1=3, imm=0),
+        }
+        for fmt, instruction in samples.items():
+            assert instruction.format is fmt
+            text = instruction.to_assembly()
+            assert text.startswith(instruction.opcode.name.lower())
+
+    def test_specific_renderings(self):
+        assert Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3).to_assembly() \
+            == "add rv, a0, a1"
+        assert Instruction(Opcode.LW, rd=6, rs1=13, imm=4).to_assembly() \
+            == "lw t0, 4(sp)"
+        assert Instruction(Opcode.RET).to_assembly() == "ret"
+
+    def test_str_matches_to_assembly(self):
+        instruction = Instruction(Opcode.LI, rd=2, imm=99)
+        assert str(instruction) == instruction.to_assembly()

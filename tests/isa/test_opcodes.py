@@ -1,0 +1,63 @@
+"""Opcode-table consistency tests."""
+
+from repro.isa.opcodes import (
+    ALU_RRI_OPCODES,
+    ALU_RRR_OPCODES,
+    COND_BRANCH_OPCODES,
+    CONTROL_OPCODES,
+    Format,
+    LOAD_OPCODES,
+    MNEMONICS,
+    OPCODE_FORMATS,
+    Opcode,
+    STORE_OPCODES,
+    is_valid_opcode,
+)
+
+
+class TestTables:
+    def test_every_opcode_has_a_format(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_FORMATS, opcode
+
+    def test_every_opcode_has_a_mnemonic(self):
+        for opcode in Opcode:
+            assert MNEMONICS[opcode.name.lower()] is opcode
+
+    def test_values_unique(self):
+        values = [int(op) for op in Opcode]
+        assert len(values) == len(set(values))
+
+    def test_is_valid_opcode(self):
+        assert is_valid_opcode(int(Opcode.ADD))
+        assert not is_valid_opcode(0xFE)
+        assert not is_valid_opcode(0x02)  # gap after HALT
+
+
+class TestCategorySets:
+    def test_loads_and_stores_disjoint(self):
+        assert not LOAD_OPCODES & STORE_OPCODES
+
+    def test_conditional_branches_are_control(self):
+        assert COND_BRANCH_OPCODES <= CONTROL_OPCODES
+
+    def test_control_set_complete(self):
+        for opcode in (Opcode.JMP, Opcode.JMPR, Opcode.CALL,
+                       Opcode.CALLR, Opcode.RET):
+            assert opcode in CONTROL_OPCODES
+
+    def test_alu_sets_match_formats(self):
+        for opcode in ALU_RRR_OPCODES:
+            assert OPCODE_FORMATS[opcode] is Format.RRR
+        for opcode in ALU_RRI_OPCODES - {Opcode.LI, Opcode.MOV}:
+            assert OPCODE_FORMATS[opcode] is Format.RRI
+
+    def test_branch_value_range_is_contiguous_for_dispatch(self):
+        """cpu.step() dispatches with range comparisons; the encoding
+        must keep the conditional branches contiguous."""
+        values = sorted(int(op) for op in COND_BRANCH_OPCODES)
+        assert values == list(range(values[0], values[0] + len(values)))
+
+    def test_alu_rrr_contiguous_for_dispatch(self):
+        values = sorted(int(op) for op in ALU_RRR_OPCODES)
+        assert values == list(range(values[0], values[0] + len(values)))

@@ -1,0 +1,107 @@
+"""Program container tests: symbols, relocation, immutability."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program, Relocation, Symbol
+
+
+SOURCE = """
+main:
+    la  a0, table
+    la  a1, helper
+    call helper
+    halt
+helper:
+    ret
+.data
+table:
+    .word 1, 2, helper
+"""
+
+
+@pytest.fixture()
+def program():
+    return assemble(SOURCE, name="prog")
+
+
+class TestSymbols:
+    def test_lookup(self, program):
+        assert program.symbol("main").offset == 0
+        assert program.symbol("helper").section == "text"
+        assert program.symbol("table").section == "data"
+
+    def test_has_symbol(self, program):
+        assert program.has_symbol("main")
+        assert not program.has_symbol("nothing")
+
+    def test_text_offset_of(self, program):
+        assert program.text_offset_of("main") == 0
+        assert program.text_offset_of("helper") == 4 * 8
+
+    def test_text_offset_of_data_symbol_rejected(self, program):
+        with pytest.raises(ValueError):
+            program.text_offset_of("table")
+
+    def test_sizes(self, program):
+        assert program.text_size == 5 * 8
+        assert program.data_size == 12
+
+
+class TestRelocation:
+    def test_relocation_records(self, program):
+        symbols = {r.symbol for r in program.relocations}
+        assert symbols == {"table", "helper"}
+
+    def test_data_relocation_patched(self, program):
+        _, data = program.relocated(0x400000, 0x800000)
+        helper_addr = struct.unpack_from("<I", data, 8)[0]
+        assert helper_addr == 0x400000 + program.text_offset_of("helper")
+
+    def test_text_relocation_patched(self, program):
+        text, _ = program.relocated(0x400000, 0x800000)
+        # first instruction: la a0, table -> imm at offset 4
+        assert struct.unpack_from("<I", text, 4)[0] == 0x800000
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=0x7FFF).map(lambda v: v << 12),
+           st.integers(min_value=0, max_value=0x7FFF).map(lambda v: v << 12))
+    def test_relocation_linear_in_base(self, text_base, data_base):
+        """Patched addresses must track the chosen bases exactly."""
+        program = assemble(SOURCE)
+        text, data = program.relocated(text_base, data_base)
+        assert struct.unpack_from("<I", text, 4)[0] == data_base
+        helper = struct.unpack_from("<I", data, 8)[0]
+        assert helper == text_base + program.text_offset_of("helper")
+
+    def test_relocation_addend(self):
+        program = assemble("""
+        main:
+            la a0, blob+12
+        .data
+        blob: .space 16
+        """)
+        text, _ = program.relocated(0x1000, 0x2000)
+        assert struct.unpack_from("<I", text, 4)[0] == 0x2000 + 12
+
+
+class TestValueSemantics:
+    def test_symbol_frozen(self):
+        symbol = Symbol("x", "text", 0)
+        with pytest.raises(Exception):
+            symbol.offset = 8
+
+    def test_relocation_frozen(self):
+        relocation = Relocation("text", 4, "x")
+        with pytest.raises(Exception):
+            relocation.offset = 8
+
+    def test_program_reusable_across_loads(self, program):
+        a = program.relocated(0x1000, 0x2000)
+        b = program.relocated(0x5000, 0x6000)
+        c = program.relocated(0x1000, 0x2000)
+        assert a == c
+        assert a != b

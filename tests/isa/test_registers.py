@@ -1,0 +1,66 @@
+"""Tests for the register-file definitions."""
+
+import pytest
+
+from repro.isa import registers
+
+
+class TestParseRegister:
+    def test_numeric_names(self):
+        for index in range(16):
+            assert registers.parse_register(f"r{index}") == index
+
+    def test_aliases(self):
+        assert registers.parse_register("zero") == 0
+        assert registers.parse_register("sp") == 13
+        assert registers.parse_register("rv") == 1
+        assert registers.parse_register("a0") == 2
+        assert registers.parse_register("t3") == 9
+        assert registers.parse_register("fp") == 12
+
+    def test_case_and_whitespace_insensitive(self):
+        assert registers.parse_register("  SP ") == 13
+        assert registers.parse_register("A1") == 3
+
+    def test_out_of_range_numeric(self):
+        with pytest.raises(ValueError):
+            registers.parse_register("r16")
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            registers.parse_register("rax")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            registers.parse_register("r-1")
+
+
+class TestRegisterName:
+    def test_alias_wins_over_numeric(self):
+        assert registers.register_name(13) == "sp"
+        assert registers.register_name(0) == "zero"
+
+    def test_roundtrip_all(self):
+        for index in range(registers.NUM_REGISTERS):
+            name = registers.register_name(index)
+            assert registers.parse_register(name) == index
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            registers.register_name(16)
+        with pytest.raises(ValueError):
+            registers.register_name(-1)
+
+
+class TestAbiConstants:
+    def test_distinct(self):
+        values = [
+            registers.ZERO, registers.RV, registers.A0, registers.A1,
+            registers.A2, registers.A3, registers.T0, registers.T1,
+            registers.T2, registers.T3, registers.S0, registers.S1,
+            registers.FP, registers.SP, registers.GP, registers.LR,
+        ]
+        assert len(set(values)) == 16
+
+    def test_alias_map_is_complete(self):
+        assert len(registers.REGISTER_ALIASES) == registers.NUM_REGISTERS

@@ -1,0 +1,176 @@
+"""Behavioural tests for the linked libc routines."""
+
+from repro.kernel.libc import libc_symbols
+from tests.conftest import run_source
+
+
+class TestStringRoutines:
+    def test_strcpy(self):
+        process = run_source("""
+        main:
+            la   a0, dst
+            la   a1, src
+            call strcpy
+            la   a0, dst
+            call puts
+            li   a0, 0
+            call libc_exit
+        .data
+        src: .asciiz "copied!"
+        dst: .space 16
+        """)
+        assert process.stdout_text() == "copied!"
+
+    def test_strlen(self):
+        process = run_source("""
+        main:
+            la   a0, s
+            call strlen
+            mov  a0, rv
+            call libc_exit
+        .data
+        s: .asciiz "four"
+        """)
+        assert process.exit_code == 4
+
+    def test_strlen_empty(self):
+        process = run_source("""
+        main:
+            la   a0, s
+            call strlen
+            mov  a0, rv
+            call libc_exit
+        .data
+        s: .asciiz ""
+        """)
+        assert process.exit_code == 0
+
+    def test_memcpy_exact_length(self):
+        process = run_source("""
+        main:
+            la   a0, dst
+            la   a1, src
+            li   a2, 3
+            call memcpy
+            la   t0, dst
+            lb   a0, 3(t0)     ; byte beyond n must stay 0
+            call libc_exit
+        .data
+        src: .ascii "abcdef"
+        dst: .space 8
+        """)
+        assert process.exit_code == 0
+
+    def test_memset(self):
+        process = run_source("""
+        main:
+            la   a0, buf
+            li   a1, 0x5A
+            li   a2, 4
+            call memset
+            la   t0, buf
+            lb   a0, 3(t0)
+            call libc_exit
+        .data
+        buf: .space 8
+        """)
+        assert process.exit_code == 0x5A
+
+    def test_strcmp_orders(self):
+        process = run_source("""
+        main:
+            la   a0, x
+            la   a1, y
+            call strcmp
+            slt  a0, rv, zero     ; "abc" < "abd" -> 1
+            call libc_exit
+        .data
+        x: .asciiz "abc"
+        y: .asciiz "abd"
+        """)
+        assert process.exit_code == 1
+
+    def test_strcmp_equal(self):
+        process = run_source("""
+        main:
+            la   a0, x
+            la   a1, x
+            call strcmp
+            mov  a0, rv
+            call libc_exit
+        .data
+        x: .asciiz "same"
+        """)
+        assert process.exit_code == 0
+
+
+class TestHelpers:
+    def test_abs32(self):
+        process = run_source("""
+        main:
+            li   a0, -17
+            call abs32
+            mov  a0, rv
+            call libc_exit
+        """)
+        assert process.exit_code == 17
+
+    def test_clamp(self):
+        process = run_source("""
+        main:
+            li   a0, 99
+            li   a1, 0
+            li   a2, 10
+            call clamp
+            mov  a0, rv
+            call libc_exit
+        """)
+        assert process.exit_code == 10
+
+    def test_checked_add_saturates(self):
+        process = run_source("""
+        main:
+            li   a0, 0x7FFFFFFF
+            li   a1, 5
+            call checked_add
+            ; saturated to INT_MAX: low byte is 0xFF
+            andi a0, rv, 0xFF
+            call libc_exit
+        """)
+        assert process.exit_code == 0xFF
+
+    def test_swap_words(self):
+        process = run_source("""
+        main:
+            la   a0, x
+            la   a1, y
+            call swap_words
+            la   t0, x
+            lw   a0, 0(t0)
+            call libc_exit
+        .data
+        x: .word 1
+        y: .word 2
+        """)
+        assert process.exit_code == 2
+
+
+class TestGadgetSupply:
+    """The libc functions double as the ROP gadget source."""
+
+    def test_expected_symbols_exported(self):
+        names = libc_symbols()
+        for required in ("strcpy", "memcpy", "libc_execve", "libc_exit",
+                         "swap_words", "abs32", "clamp"):
+            assert required in names
+
+    def test_epilogues_provide_pop_ret_gadgets(self):
+        from repro.attack.gadgets import scan_program
+        from repro.isa.registers import A0, A1
+        from repro.kernel.loader import build_binary
+
+        program = build_binary("g", "main:\n halt")
+        scanner = scan_program(program, 0x400000)
+        # swap_words epilogue: pop a0; pop a1; ret
+        gadget = scanner.find_pop_sequence([A0, A1])
+        assert gadget.length == 3

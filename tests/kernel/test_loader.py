@@ -1,0 +1,132 @@
+"""Loader tests: placement, relocation, argv, sp prediction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LoaderError
+from repro.isa.assembler import assemble
+from repro.isa.registers import A0, A1, A2, SP
+from repro.kernel.loader import (
+    TARGET_BASE,
+    build_binary,
+    compute_initial_sp,
+    load_image,
+)
+from repro.mem.layout import AddressSpaceLayout
+from repro.mem.memory import Memory, PERM_X
+
+
+SIMPLE = """
+main:
+    halt
+.data
+value: .word 7
+"""
+
+
+class TestLoadImage:
+    def test_segments_mapped(self):
+        memory = Memory()
+        image, regs = load_image(memory, assemble(SIMPLE))
+        layout = image.layout
+        assert memory.segment_by_name("text").base == layout.text_base
+        assert memory.segment_by_name("data").base == layout.data_base
+        assert memory.segment_by_name("stack").size == layout.stack_size
+
+    def test_text_is_executable_data_is_not(self):
+        memory = Memory()
+        load_image(memory, assemble(SIMPLE))
+        assert memory.segment_by_name("text").perms & PERM_X
+        assert not memory.segment_by_name("data").perms & PERM_X
+
+    def test_entry_address(self):
+        memory = Memory()
+        image, _ = load_image(memory, assemble(SIMPLE))
+        assert image.entry_address == image.layout.text_base
+
+    def test_data_contents_relocated(self):
+        memory = Memory()
+        image, _ = load_image(memory, assemble(SIMPLE))
+        assert memory.load_word(image.layout.data_base) == 7
+
+    def test_missing_entry_symbol(self):
+        program = assemble(".data\nx: .word 1")
+        with pytest.raises(LoaderError):
+            load_image(Memory(), program)
+
+    def test_target_segment(self):
+        memory = Memory()
+        load_image(memory, assemble(SIMPLE), target_data=b"SECRET")
+        assert memory.read_bytes(TARGET_BASE, 6) == b"SECRET"
+        segment = memory.segment_by_name("target")
+        assert not segment.perms & 2  # read-only
+
+    def test_address_of_symbol(self):
+        memory = Memory()
+        image, _ = load_image(memory, assemble(SIMPLE))
+        assert image.address_of("value") == image.layout.data_base
+        assert image.address_of("main") == image.layout.text_base
+
+
+class TestArgv:
+    def test_argc_argv_registers(self):
+        memory = Memory()
+        _, regs = load_image(memory, assemble(SIMPLE),
+                             argv=["/bin/x", b"payload"])
+        assert regs[A0] == 2
+        argv_ptr = regs[A1]
+        first = memory.load_word(argv_ptr)
+        assert memory.read_cstring(first) == b"/bin/x"
+        second = memory.load_word(argv_ptr + 4)
+        assert memory.read_bytes(second, 7) == b"payload"
+        assert memory.load_word(argv_ptr + 8) == 0  # NULL terminator
+
+    def test_length_array_binary_safe(self):
+        """The ROP payload contains NULs; lengths must be true sizes."""
+        blob = b"AB\x00CD"
+        memory = Memory()
+        _, regs = load_image(memory, assemble(SIMPLE),
+                             argv=["/bin/x", blob])
+        lengths_ptr = regs[A2]
+        assert memory.load_word(lengths_ptr) == 6
+        assert memory.load_word(lengths_ptr + 4) == 5
+
+    def test_sp_aligned(self):
+        memory = Memory()
+        _, regs = load_image(memory, assemble(SIMPLE), argv=["a", "bb"])
+        assert regs[SP] % 64 == 0
+
+    def test_oversized_argv_rejected(self):
+        with pytest.raises(LoaderError):
+            load_image(Memory(), assemble(SIMPLE), argv=[b"x" * 9000])
+
+    def test_bad_argv_type_rejected(self):
+        with pytest.raises(LoaderError):
+            load_image(Memory(), assemble(SIMPLE), argv=[123])
+
+
+class TestSpPrediction:
+    """compute_initial_sp is the attacker's model of the loader; the two
+    must agree exactly or every ROP payload misses its buffer."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.integers(min_value=0, max_value=400), min_size=1, max_size=4,
+    ))
+    def test_prediction_matches_loader(self, lengths):
+        argv = [b"x" * n for n in lengths]
+        memory = Memory()
+        _, regs = load_image(memory, assemble(SIMPLE), argv=argv)
+        predicted = compute_initial_sp(AddressSpaceLayout(), lengths)
+        assert predicted == regs[SP]
+
+
+class TestBuildBinary:
+    def test_links_libc(self):
+        program = build_binary("t", "main:\n call strlen\n halt")
+        assert program.has_symbol("strlen")
+        assert program.has_symbol("libc_execve")
+
+    def test_without_libc(self):
+        program = build_binary("t", "main:\n halt", link_libc=False)
+        assert not program.has_symbol("strlen")

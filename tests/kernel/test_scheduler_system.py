@@ -1,0 +1,120 @@
+"""Scheduler, process lifecycle and System facade tests."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import ProcessState, Scheduler, System, build_binary
+
+COUNTER = """
+main:
+    li t0, 0
+loop:
+    slti t1, t0, ITERS
+    beq  t1, zero, done
+    addi t0, t0, 1
+    jmp  loop
+done:
+    li a0, 0
+    call libc_exit
+"""
+
+
+def _install_counter(system, path, iters):
+    system.install_binary(
+        path, build_binary(path, COUNTER.replace("ITERS", str(iters)))
+    )
+
+
+class TestScheduler:
+    def test_round_robin_interleaves(self):
+        system = System(seed=1, quantum=50)
+        _install_counter(system, "/bin/a", 500)
+        _install_counter(system, "/bin/b", 500)
+        a = system.spawn("/bin/a")
+        b = system.spawn("/bin/b")
+        quanta = system.run()
+        assert a.state == ProcessState.EXITED
+        assert b.state == ProcessState.EXITED
+        assert quanta > 2  # genuinely sliced
+
+    def test_max_quanta_stops_early(self):
+        system = System(seed=1, quantum=50)
+        _install_counter(system, "/bin/a", 100000)
+        a = system.spawn("/bin/a")
+        system.run(max_quanta=3)
+        assert a.alive
+
+    def test_on_quantum_callback(self):
+        system = System(seed=1, quantum=50)
+        _install_counter(system, "/bin/a", 300)
+        a = system.spawn("/bin/a")
+        seen = []
+        system.run(on_quantum=lambda proc, n: seen.append((proc.pid, n)))
+        assert seen and all(pid == a.pid for pid, _ in seen)
+
+    def test_context_switch_flush(self):
+        system = System(seed=1, quantum=50)
+        system.scheduler.context_switch_flush = True
+        _install_counter(system, "/bin/a", 400)
+        _install_counter(system, "/bin/b", 400)
+        a = system.spawn("/bin/a")
+        b = system.spawn("/bin/b")
+        system.run()
+        # Flushing forces extra I-cache misses beyond the solo baseline.
+        solo = System(seed=1, quantum=50)
+        _install_counter(solo, "/bin/a", 400)
+        sa = solo.spawn("/bin/a")
+        solo.run()
+        assert a.pmu.read()["l1i_misses"] > sa.pmu.read()["l1i_misses"]
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            Scheduler(quantum=0)
+
+
+class TestProcessLifecycle:
+    def test_fault_recorded_not_raised(self):
+        system = System(seed=1)
+        system.install_binary("/bin/crash", build_binary("crash", """
+        main:
+            li t0, 0x0BADBEE0
+            lw t1, 0(t0)
+        """))
+        process = system.spawn("/bin/crash")
+        process.run_to_completion()
+        assert process.state == ProcessState.FAULTED
+        assert process.fault is not None
+        assert process.step_quantum(100) == 0  # dead processes stay dead
+
+    def test_repr(self):
+        system = System(seed=1)
+        _install_counter(system, "/bin/a", 1)
+        process = system.spawn("/bin/a")
+        assert "ready" in repr(process)
+
+
+class TestSystem:
+    def test_missing_binary(self):
+        with pytest.raises(KernelError):
+            System(seed=1).spawn("/bin/ghost")
+
+    def test_pids_unique_and_increasing(self):
+        system = System(seed=1)
+        _install_counter(system, "/bin/a", 1)
+        pids = [system.spawn("/bin/a").pid for _ in range(3)]
+        assert pids == sorted(pids)
+        assert len(set(pids)) == 3
+
+    def test_aslr_randomizes_layouts(self):
+        system = System(seed=7, aslr=True)
+        _install_counter(system, "/bin/a", 1)
+        a = system.spawn("/bin/a")
+        b = system.spawn("/bin/a")
+        assert a.image.layout != b.image.layout
+
+    def test_no_aslr_is_deterministic(self):
+        system = System(seed=7)
+        _install_counter(system, "/bin/a", 1)
+        a = system.spawn("/bin/a")
+        b = system.spawn("/bin/a")
+        assert a.image.layout == b.image.layout

@@ -1,0 +1,66 @@
+"""Layout and ASLR tests."""
+
+import random
+
+from repro.mem.layout import (
+    AddressSpaceLayout,
+    PAGE_SIZE,
+    page_align,
+    randomized_layout,
+)
+
+
+class TestDefaultLayout:
+    def test_regions_are_disjoint(self):
+        layout = AddressSpaceLayout()
+        regions = sorted([
+            (layout.text_base, layout.text_base + 0x100000),
+            (layout.data_base, layout.data_base + 0x100000),
+            (layout.libc_text_base, layout.libc_text_base + 0x100000),
+            (layout.libc_data_base, layout.libc_data_base + 0x100000),
+            (layout.stack_base, layout.stack_top),
+        ])
+        for (_, end), (start, _) in zip(regions, regions[1:]):
+            assert end <= start
+
+    def test_stack_grows_down_from_top(self):
+        layout = AddressSpaceLayout()
+        assert layout.stack_base == layout.stack_top - layout.stack_size
+
+
+class TestPageAlign:
+    def test_already_aligned(self):
+        assert page_align(0x4000) == 0x4000
+
+    def test_rounds_down(self):
+        assert page_align(0x4FFF) == 0x4000
+
+
+class TestAslr:
+    def test_randomized_is_page_aligned(self):
+        layout = randomized_layout(random.Random(1))
+        for base in (layout.text_base, layout.data_base, layout.stack_top):
+            assert base % PAGE_SIZE == 0
+
+    def test_deterministic_under_seed(self):
+        a = randomized_layout(random.Random(42))
+        b = randomized_layout(random.Random(42))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = randomized_layout(random.Random(1))
+        b = randomized_layout(random.Random(2))
+        assert a != b
+
+    def test_entropy_bits_bound_the_slide(self):
+        default = AddressSpaceLayout()
+        for seed in range(20):
+            layout = randomized_layout(random.Random(seed), entropy_bits=4)
+            slide = layout.text_base - default.text_base
+            assert 0 <= slide < 16 * PAGE_SIZE
+
+    def test_stack_slides_down(self):
+        default = AddressSpaceLayout()
+        for seed in range(10):
+            layout = randomized_layout(random.Random(seed))
+            assert layout.stack_top <= default.stack_top

@@ -1,0 +1,146 @@
+"""Memory model tests: segments, permissions (DEP), typed access."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import (
+    AlignmentFault,
+    ProtectionFault,
+    SegmentationFault,
+)
+from repro.mem.memory import (
+    Memory,
+    PERM_R,
+    PERM_W,
+    PERM_X,
+    format_perms,
+)
+
+
+@pytest.fixture()
+def memory():
+    m = Memory()
+    m.map_segment("data", 0x1000, 0x1000, PERM_R | PERM_W)
+    m.map_segment("text", 0x4000, 0x1000, PERM_R | PERM_X)
+    return m
+
+
+class TestMapping:
+    def test_overlap_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.map_segment("bad", 0x1800, 0x1000, PERM_R)
+
+    def test_adjacent_allowed(self, memory):
+        memory.map_segment("next", 0x2000, 0x100, PERM_R)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Memory().map_segment("empty", 0, 0, PERM_R)
+
+    def test_outside_32bit_rejected(self):
+        with pytest.raises(ValueError):
+            Memory().map_segment("big", 0xFFFFF000, 0x2000, PERM_R)
+
+    def test_segment_by_name(self, memory):
+        assert memory.segment_by_name("data").base == 0x1000
+        with pytest.raises(KeyError):
+            memory.segment_by_name("nope")
+
+    def test_unmap_all(self, memory):
+        memory.unmap_all()
+        assert not memory.is_mapped(0x1000)
+
+
+class TestTypedAccess:
+    def test_byte_roundtrip(self, memory):
+        memory.store_byte(0x1005, 0xAB)
+        assert memory.load_byte(0x1005) == 0xAB
+
+    def test_byte_masks_to_8_bits(self, memory):
+        memory.store_byte(0x1000, 0x1FF)
+        assert memory.load_byte(0x1000) == 0xFF
+
+    def test_word_roundtrip_little_endian(self, memory):
+        memory.store_word(0x1010, 0x11223344)
+        assert memory.load_word(0x1010) == 0x11223344
+        assert memory.load_byte(0x1010) == 0x44
+
+    def test_word_wraps_to_32_bits(self, memory):
+        memory.store_word(0x1010, -1)
+        assert memory.load_word(0x1010) == 0xFFFFFFFF
+
+    def test_misaligned_word_faults(self, memory):
+        with pytest.raises(AlignmentFault):
+            memory.load_word(0x1001)
+        with pytest.raises(AlignmentFault):
+            memory.store_word(0x1002, 1)
+
+    def test_unmapped_faults(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.load_byte(0x9000)
+        with pytest.raises(SegmentationFault):
+            memory.store_byte(0x0, 1)
+
+    def test_access_crossing_segment_end(self, memory):
+        # last aligned word slot that would cross the segment boundary
+        memory.map_segment("tiny", 0x3000, 6, PERM_R | PERM_W)
+        with pytest.raises(SegmentationFault):
+            memory.load_word(0x3004)
+
+
+class TestPermissions:
+    def test_write_to_text_faults(self, memory):
+        with pytest.raises(ProtectionFault):
+            memory.store_byte(0x4000, 1)
+
+    def test_fetch_from_data_faults_dep(self, memory):
+        """The DEP property: rw- pages are not executable."""
+        with pytest.raises(ProtectionFault):
+            memory.fetch(0x1000, 8)
+
+    def test_fetch_from_text_works(self, memory):
+        memory.write_bytes(0x4000, b"\x00" * 8, force=True)
+        assert memory.fetch(0x4000, 8) == b"\x00" * 8
+
+    def test_force_write_bypasses_readonly(self, memory):
+        memory.write_bytes(0x4000, b"\x4c", force=True)
+        assert memory.read_bytes(0x4000, 1) == b"\x4c"
+
+    def test_format_perms(self):
+        assert format_perms(PERM_R | PERM_W) == "rw-"
+        assert format_perms(PERM_R | PERM_X) == "r-x"
+        assert format_perms(0) == "---"
+
+
+class TestBulkHelpers:
+    def test_write_read_roundtrip(self, memory):
+        memory.write_bytes(0x1100, b"hello world")
+        assert memory.read_bytes(0x1100, 11) == b"hello world"
+
+    def test_cstring(self, memory):
+        memory.write_bytes(0x1200, b"path\x00junk")
+        assert memory.read_cstring(0x1200) == b"path"
+
+    def test_unterminated_cstring_faults(self, memory):
+        memory.write_bytes(0x1000, b"x" * 16)
+        with pytest.raises(SegmentationFault):
+            memory.read_cstring(0x1000, limit=8)
+
+    @given(st.binary(min_size=1, max_size=64),
+           st.integers(min_value=0, max_value=0xF00))
+    def test_roundtrip_property(self, blob, offset):
+        memory = Memory()
+        memory.map_segment("d", 0x1000, 0x1000, PERM_R | PERM_W)
+        memory.write_bytes(0x1000 + offset, blob)
+        assert memory.read_bytes(0x1000 + offset, len(blob)) == blob
+
+    @given(st.integers(min_value=0, max_value=0xFFC // 4 * 4))
+    def test_word_byte_consistency(self, offset):
+        memory = Memory()
+        memory.map_segment("d", 0, 0x1000, PERM_R | PERM_W)
+        offset &= ~3
+        memory.store_word(offset, 0xDEADBEEF)
+        value = sum(
+            memory.load_byte(offset + i) << (8 * i) for i in range(4)
+        )
+        assert value == 0xDEADBEEF

@@ -1,0 +1,56 @@
+"""TLB model tests."""
+
+import pytest
+
+from repro.mem.tlb import Tlb
+
+
+class TestTlb:
+    def test_first_touch_misses(self):
+        tlb = Tlb(entries=4)
+        assert tlb.access(0x1000) is False
+        assert tlb.misses == 1
+
+    def test_same_page_hits(self):
+        tlb = Tlb(entries=4)
+        tlb.access(0x1000)
+        assert tlb.access(0x1FFF) is True  # same 4 KiB page
+        assert tlb.hits == 1
+
+    def test_different_page_misses(self):
+        tlb = Tlb(entries=4)
+        tlb.access(0x1000)
+        assert tlb.access(0x2000) is False
+
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2)
+        tlb.access(0x1000)
+        tlb.access(0x2000)
+        tlb.access(0x1000)       # refresh page 1
+        tlb.access(0x3000)       # evicts page 2 (LRU)
+        assert tlb.access(0x1000) is True
+        assert tlb.access(0x2000) is False
+
+    def test_capacity_bound(self):
+        tlb = Tlb(entries=8)
+        for page in range(100):
+            tlb.access(page << 12)
+        assert tlb.occupancy == 8
+
+    def test_flush(self):
+        tlb = Tlb()
+        tlb.access(0x1000)
+        tlb.flush()
+        assert tlb.occupancy == 0
+        assert tlb.access(0x1000) is False
+
+    def test_reset_counters_keeps_contents(self):
+        tlb = Tlb()
+        tlb.access(0x1000)
+        tlb.reset_counters()
+        assert tlb.hits == 0 and tlb.misses == 0
+        assert tlb.access(0x1000) is True
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=0)

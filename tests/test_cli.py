@@ -1,0 +1,70 @@
+"""CLI tests (fast paths only; the experiment commands are bench-scale)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_attack_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.variant == "v1"
+        assert args.delay == 0
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--variant", "v9"])
+
+    def test_every_command_parses(self):
+        for argv in (["attack"], ["gadgets"], ["disasm"], ["workloads"],
+                     ["fig4"], ["fig5"], ["fig6"], ["table1"],
+                     ["profile"]):
+            assert build_parser().parse_args(argv).command == argv[0]
+
+
+class TestCommands:
+    def test_workloads_lists(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "basicmath" in out
+        assert "browser" in out
+
+    def test_gadgets(self, capsys):
+        assert main(["gadgets", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ret" in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "--workload", "bitcount"]) == 0
+        out = capsys.readouterr().out
+        assert "workload" not in out  # raw listing, no symbols
+        assert "0x00400000" in out
+
+    def test_profile_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "t.csv"
+        assert main(["profile", "--workload", "bitcount",
+                     "--samples", "4", "--output", str(output)]) == 0
+        header = output.read_text().splitlines()[0]
+        assert header.startswith("process_name,label,instructions")
+        assert len(output.read_text().splitlines()) == 5
+
+    def test_attack_end_to_end(self, capsys):
+        assert main(["attack", "--variant", "rsb",
+                     "--secret", "short"]) == 0
+        out = capsys.readouterr().out
+        assert "5/5 bytes correct" in out
+
+
+class TestQuickExperiments:
+    def test_quick_flag_parses(self):
+        args = build_parser().parse_args(["fig5", "--quick"])
+        assert args.quick is True
+
+    def test_fig4_quick_runs(self, capsys):
+        assert main(["fig4", "--quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out

@@ -1,0 +1,73 @@
+"""Exception-hierarchy tests: one catchable base, informative messages."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_reproerror(self):
+        leaf_classes = (
+            errors.AssemblerError,
+            errors.EncodingError,
+            errors.SegmentationFault,
+            errors.ProtectionFault,
+            errors.AlignmentFault,
+            errors.CpuFault,
+            errors.ShadowStackViolation,
+            errors.PrivilegeFault,
+            errors.StackCanaryViolation,
+            errors.KernelError,
+            errors.LoaderError,
+            errors.AttackError,
+            errors.GadgetNotFoundError,
+            errors.HidError,
+        )
+        for cls in leaf_classes:
+            assert issubclass(cls, errors.ReproError), cls
+
+    def test_memory_fault_family(self):
+        for cls in (errors.SegmentationFault, errors.ProtectionFault,
+                    errors.AlignmentFault):
+            assert issubclass(cls, errors.MemoryFault)
+
+    def test_cpu_fault_family(self):
+        for cls in (errors.ShadowStackViolation, errors.PrivilegeFault,
+                    errors.StackCanaryViolation):
+            assert issubclass(cls, errors.CpuFault)
+
+    def test_loader_error_is_kernel_error(self):
+        assert issubclass(errors.LoaderError, errors.KernelError)
+
+    def test_gadget_error_is_attack_error(self):
+        assert issubclass(errors.GadgetNotFoundError, errors.AttackError)
+
+
+class TestMessages:
+    def test_memory_fault_formats_address(self):
+        fault = errors.SegmentationFault("unmapped access", 0xDEAD0000)
+        assert "0xdead0000" in str(fault)
+        assert fault.address == 0xDEAD0000
+
+    def test_memory_fault_without_address(self):
+        fault = errors.MemoryFault("generic")
+        assert fault.address is None
+
+    def test_assembler_error_location(self):
+        error = errors.AssemblerError("bad mnemonic", 12, "xyz t0")
+        assert "line 12" in str(error)
+        assert error.line_number == 12
+        assert error.line == "xyz t0"
+
+    def test_assembler_error_without_location(self):
+        error = errors.AssemblerError("broken")
+        assert str(error) == "broken"
+
+
+class TestCatchability:
+    def test_single_except_at_api_boundary(self):
+        """The documented pattern: catch ReproError once."""
+        from repro.kernel import System
+
+        with pytest.raises(errors.ReproError):
+            System(seed=1).spawn("/bin/missing")

@@ -1,0 +1,57 @@
+"""Full-pipeline integration tests: the paper's story end to end."""
+
+from repro import (
+    PerturbParams,
+    Scenario,
+    ScenarioConfig,
+    make_detector,
+)
+from repro.hid import DEFAULT_FEATURES, samples_to_dataset
+
+
+class TestFullPipeline:
+    """Stage a campaign once and verify every paper claim in sequence."""
+
+    def test_detect_then_evade(self):
+        scenario = Scenario(ScenarioConfig(seed=31))
+
+        # 1. The ROP-injected attack really steals the secret.
+        recovered, correct = scenario.verify_secret_recovery("v1")
+        assert recovered == scenario.config.secret
+
+        # 2. A trained HID detects the plain injected Spectre.
+        benign = scenario.benign_samples(90)
+        attack = scenario.attack_samples(45, variant="v1")
+        dataset = samples_to_dataset(benign, attack, DEFAULT_FEATURES)
+        train, test = dataset.split(0.7, seed=31)
+        detector = make_detector("mlp", seed=31)
+        detector.fit(train)
+        assert detector.accuracy_on(test) > 0.9
+
+        # 3. The dispersion-perturbed CR-Spectre evades that detector...
+        evading = PerturbParams(delay=2500, calls_per_byte=3)
+        cr_attack = scenario.attack_samples(45, variant="v1",
+                                            perturb=evading)
+        eval_ds = samples_to_dataset(benign[:15], cr_attack,
+                                     DEFAULT_FEATURES)
+        accuracy = detector.accuracy_on(eval_ds)
+        assert accuracy < 0.55, f"CR-Spectre detected at {accuracy:.0%}"
+
+        # 4. ...while STILL stealing the secret.
+        recovered, _ = scenario.verify_secret_recovery(
+            "v1", perturb=evading
+        )
+        assert recovered == scenario.config.secret
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

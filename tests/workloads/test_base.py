@@ -1,0 +1,58 @@
+"""Workload-wrapper (base) tests: the three build variants."""
+
+from repro.workloads import get_workload
+from repro.workloads.base import (
+    OVERFLOW_BUFFER_BYTES,
+    OVERFLOW_FILL_BYTES,
+    OVERFLOW_FILL_BYTES_CANARY,
+)
+
+
+class TestSourceVariants:
+    def test_standalone_has_plain_main(self):
+        source = get_workload("bitcount").source(iterations=5)
+        assert "exploited_function" not in source
+        assert "workload_main" in source
+
+    def test_hosted_contains_algorithm1(self):
+        source = get_workload("bitcount").source(iterations=5, hosted=True)
+        assert "exploited_function" in source
+        assert "__canary_value" not in source
+
+    def test_canary_variant(self):
+        source = get_workload("bitcount").source(
+            iterations=5, canary=0xAB12
+        )
+        assert "__canary_value" in source
+        assert str(0xAB12) in source
+
+    def test_frame_constants_consistent(self):
+        assert OVERFLOW_FILL_BYTES == OVERFLOW_BUFFER_BYTES + 4
+        assert OVERFLOW_FILL_BYTES_CANARY == OVERFLOW_BUFFER_BYTES + 8
+
+
+class TestBuildCaching:
+    def test_same_parameters_same_program(self):
+        workload = get_workload("bitcount")
+        assert workload.build(iterations=7) is workload.build(iterations=7)
+
+    def test_different_parameters_different_program(self):
+        workload = get_workload("bitcount")
+        assert workload.build(iterations=7) is not \
+            workload.build(iterations=8)
+        assert workload.build(iterations=7) is not \
+            workload.build(iterations=7, hosted=True)
+
+    def test_binary_path_convention(self):
+        workload = get_workload("sha")
+        assert workload.binary_path() == "/bin/sha"
+        assert workload.binary_path(hosted=True) == "/bin/sha_host"
+
+
+class TestHostedBinarySymbols:
+    def test_entry_and_vuln_symbols(self):
+        program = get_workload("bitcount").build(iterations=5, hosted=True)
+        assert program.has_symbol("main")
+        assert program.has_symbol("exploited_function")
+        assert program.has_symbol("workload_main")
+        assert program.has_symbol("libc_execve")  # the chain's target

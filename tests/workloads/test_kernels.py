@@ -1,0 +1,146 @@
+"""Workload tests: every kernel builds, runs, exits and is deterministic."""
+
+import pytest
+
+from repro.kernel import ProcessState, System
+from repro.workloads import ALL_WORKLOADS, FIG4_HOSTS, get_workload
+
+
+#: Long-iteration workloads get fewer loops so the suite stays fast.
+_TEST_ITERATIONS = {"hid_daemon_heavy": 2, "hid_daemon_light": 4}
+
+
+def _run(workload, iterations=None, max_instructions=6_000_000):
+    if iterations is None:
+        iterations = _TEST_ITERATIONS.get(workload.name, 8)
+    system = System(seed=2)
+    program = workload.build(iterations=iterations)
+    system.install_binary("/bin/w", program)
+    process = system.spawn("/bin/w")
+    process.run_to_completion(max_instructions=max_instructions)
+    return process
+
+
+class TestEveryWorkload:
+    @pytest.mark.parametrize(
+        "name", [w.name for w in ALL_WORKLOADS]
+    )
+    def test_runs_to_clean_exit(self, name):
+        process = _run(get_workload(name))
+        assert process.state == ProcessState.EXITED, process.fault
+        assert process.fault is None
+
+    @pytest.mark.parametrize(
+        "name", [w.name for w in ALL_WORKLOADS]
+    )
+    def test_deterministic_exit_code(self, name):
+        a = _run(get_workload(name))
+        b = _run(get_workload(name))
+        assert a.exit_code == b.exit_code
+        assert a.pmu.read()["instructions"] == b.pmu.read()["instructions"]
+
+    def test_iterations_scale_work(self):
+        workload = get_workload("bitcount")
+        small = _run(workload, iterations=10)
+        large = _run(workload, iterations=40)
+        ratio = (large.pmu.read()["instructions"]
+                 / small.pmu.read()["instructions"])
+        assert 2.5 < ratio < 5.5
+
+
+class TestSignatures:
+    """Each kernel must have a distinct microarchitectural character —
+    that diversity is what the HID trains on."""
+
+    def _profile(self, name):
+        process = _run(get_workload(name), iterations=12)
+        snap = process.pmu.read()
+        instr = snap["instructions"]
+        return {
+            "miss_rate": snap["total_cache_misses"] / instr,
+            "branch_rate": snap["branch_instructions"] / instr,
+            "muldiv_rate": snap["mul_div_instructions"] / instr,
+            "load_rate": snap["load_instructions"] / instr,
+        }
+
+    def test_basicmath_is_divide_heavy(self):
+        profile = self._profile("basicmath")
+        assert profile["muldiv_rate"] > 0.08
+
+    def test_bitcount_is_alu_bound(self):
+        profile = self._profile("bitcount")
+        assert profile["miss_rate"] < 0.01
+        assert profile["load_rate"] < 0.15
+
+    def test_browser_misses_caches(self):
+        profile = self._profile("browser")
+        assert profile["miss_rate"] > 0.02
+
+    def test_qsort_is_branchy(self):
+        profile = self._profile("qsort")
+        assert profile["branch_rate"] > 0.2
+
+    def test_crc32_loads_more_than_basicmath(self):
+        crc = self._profile("crc32")
+        math = self._profile("basicmath")
+        assert crc["load_rate"] > math["load_rate"]
+
+
+class TestRegistry:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_fig4_hosts_exist(self):
+        for name in FIG4_HOSTS:
+            assert get_workload(name).category == "mibench"
+
+    def test_categories(self):
+        from repro.workloads import workload_names
+
+        assert "basicmath" in workload_names("mibench")
+        assert "browser" in workload_names("benign")
+        assert "basicmath" not in workload_names("benign")
+
+
+class TestQuicksortCorrectness:
+    def test_array_actually_sorted(self):
+        """Run qsort once and inspect the array in simulated memory."""
+        import struct
+
+        from repro.workloads.mibench.qsort import ARRAY_LEN
+
+        system = System(seed=2)
+        workload = get_workload("qsort")
+        program = workload.build(iterations=1)
+        system.install_binary("/bin/q", program)
+        process = system.spawn("/bin/q")
+        process.run_to_completion(max_instructions=2_000_000)
+        base = process.image.address_of("qs_array")
+        blob = process.memory.read_bytes(base, 4 * ARRAY_LEN)
+        values = list(struct.unpack(f"<{ARRAY_LEN}i", blob))
+        assert values == sorted(values)
+
+
+class TestSha1Correctness:
+    def test_state_changes_per_block(self):
+        """Digest state must differ between 1-block and 2-block runs."""
+        system = System(seed=2)
+        workload = get_workload("sha")
+
+        def digest(iterations):
+            program = workload.build(iterations=iterations)
+            local = System(seed=2)
+            local.install_binary("/bin/s", program)
+            process = local.spawn("/bin/s")
+            process.run_to_completion(max_instructions=4_000_000)
+            base = process.image.address_of("sha_h")
+            return process.memory.read_bytes(base, 20)
+
+        assert digest(1) != digest(2)
+
+    def test_known_initial_vector_consumed(self):
+        workload = get_workload("sha")
+        source = workload.source(iterations=1)
+        assert "0x67452301" in source  # SHA-1 H0
+        assert "0xCA62C1D6" in source  # round-4 K
