@@ -7,11 +7,17 @@ the same rows/series the paper reports, and archives the text under
 
 import pathlib
 
+from repro.atomicio import atomic_write_text
+
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
 def publish(name, text):
-    """Print a regenerated table/figure and archive it to disk."""
+    """Print a regenerated table/figure and archive it to disk.
+
+    The archive write is atomic (temp file + rename), so a benchmark
+    killed mid-publish never leaves a truncated artefact behind.
+    """
     OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    atomic_write_text(OUTPUT_DIR / f"{name}.txt", text + "\n")
     print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")

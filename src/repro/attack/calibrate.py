@@ -14,10 +14,16 @@ different :class:`~repro.cache.hierarchy.CacheConfig`.
 import dataclasses
 import struct
 
+from repro.errors import BudgetExceededError, CalibrationError
 from repro.kernel.loader import build_binary
 from repro.kernel.system import System
 
 _ROUNDS = 32
+
+#: Instruction budget for one calibration run — generous (a clean run
+#: retires well under 1/10th of this) but finite, so a runaway image
+#: trips the watchdog instead of hanging the sweep.
+CALIBRATION_BUDGET = 2_000_000
 
 _CALIBRATION_SOURCE = f"""
 ; time {_ROUNDS} hot reloads and {_ROUNDS} cold reloads of one line
@@ -119,18 +125,37 @@ class CalibrationResult:
         )
 
 
-def calibrate(system=None, seed=0):
-    """Run the calibration binary; returns a :class:`CalibrationResult`.
+def _calibrate_once(system_factory, seed, faults, attempt_counter):
+    """One calibration attempt on a fresh machine; may raise transiently."""
+    from repro.core.resilience import RUNAWAY_SOURCE, Watchdog
 
-    Pass a configured :class:`System` to calibrate against non-default
-    cache geometry/latency; faults propagate (a machine that cannot run
-    the calibration cannot run the attack either).
-    """
-    system = system or System(seed=seed)
-    program = build_binary("calibrate", _CALIBRATION_SOURCE)
+    attempt_counter[0] += 1
+    attempt = attempt_counter[0]
+    system = system_factory()
+
+    source = _CALIBRATION_SOURCE
+    if faults is not None and faults.runaway_fired(
+            context=f"calibrate:{attempt}"):
+        # The injected image never halts: only the watchdog gets us out.
+        source = RUNAWAY_SOURCE
+    program = build_binary("calibrate", source)
     system.install_binary("/bin/.calibrate", program)
     process = system.spawn("/bin/.calibrate")
-    process.run_to_completion(max_instructions=2_000_000)
+    watchdog = Watchdog(CALIBRATION_BUDGET, label=f"calibrate:{attempt}")
+    try:
+        # The instruction cap gets headroom so the watchdog (the typed
+        # path) always trips before the silent run-loop cut-off.
+        process.run_to_completion(
+            max_instructions=2 * CALIBRATION_BUDGET, watchdog=watchdog
+        )
+    except BudgetExceededError as exc:
+        # Per-attempt budget: a fresh attempt gets a fresh image and a
+        # fresh budget, so this one is worth retrying (unlike sweep-level
+        # budget trips, which stay fatal).
+        raise CalibrationError(
+            "calibration image overran its instruction budget "
+            "(runaway speculation)"
+        ) from exc
     if process.fault is not None:
         raise process.fault
     blob = bytes(process.stdout)
@@ -139,7 +164,61 @@ def calibrate(system=None, seed=0):
     # cold-I-cache fetch stalls *inside* the timed window — the same
     # reason real calibration loops throw away their head samples.
     warmup = 4
-    return CalibrationResult(
+    result = CalibrationResult(
         hit_latencies=tuple(values[warmup:_ROUNDS]),
         miss_latencies=tuple(values[_ROUNDS + warmup:]),
     )
+    if faults is not None and (
+            faults.should_fire("miscalibration", f"calibrate:{attempt}")
+            or faults.should_fire("cache_corruption",
+                                  f"calibrate:{attempt}")):
+        result = faults.corrupt_calibration(result)
+    if not result.separable:
+        raise CalibrationError(
+            f"hit/miss populations overlap ({result.describe()}); "
+            f"the covert channel cannot be thresholded",
+            calibration=result,
+        )
+    return result
+
+
+def calibrate(system=None, seed=0, faults=None, retry_policy=None,
+              retrier=None):
+    """Run the calibration binary; returns a :class:`CalibrationResult`.
+
+    Pass a configured :class:`System` (or rely on the default built from
+    *seed*) to calibrate against non-default cache geometry/latency.
+
+    Calibration is the noisiest step of a real attack, so it runs under
+    the resilience layer: a watchdog bounds each attempt's instructions
+    (:class:`~repro.errors.BudgetExceededError` on runaway images), an
+    inseparable hit/miss split raises a transient
+    :class:`~repro.errors.CalibrationError`, and transient failures are
+    retried with seeded exponential backoff.  Pass *retrier* (or inspect
+    ``calibrate.last_retrier`` after the call) for per-attempt telemetry.
+    Fatal machine faults still propagate: a machine that cannot run the
+    calibration cannot run the attack either.
+    """
+    from repro.core.resilience import Retrier, RetryPolicy
+
+    if retrier is None:
+        retrier = Retrier(
+            policy=retry_policy or RetryPolicy(max_attempts=4, seed=seed)
+        )
+    calibrate.last_retrier = retrier
+
+    attempt_counter = [0]
+    if system is not None:
+        # A caller-provided machine is reused across attempts (its state
+        # is what we are calibrating); fresh defaults are rebuilt so a
+        # transient glitch does not leak into the next attempt.
+        system_factory = lambda: system  # noqa: E731
+    else:
+        system_factory = lambda: System(seed=seed)  # noqa: E731
+    return retrier.call(
+        _calibrate_once, system_factory, seed, faults, attempt_counter
+    )
+
+
+#: The Retrier used by the most recent :func:`calibrate` call (telemetry).
+calibrate.last_retrier = None

@@ -6,17 +6,91 @@ Commands
 ``gadgets``     print the ROP gadget catalogue of a host binary
 ``disasm``      disassemble a workload or attack binary
 ``workloads``   list available workloads
-``fig4/fig5/fig6/table1``  regenerate one paper artefact
+``fig4/fig5/fig6/table1/hardening``  regenerate one paper artefact
 ``profile``     profile a workload and dump HPC windows to CSV
+``smoke``       fast resilience smoke run (CI): faults + retries
+
+Exit codes
+----------
+0  success
+1  fatal error (unrecoverable :class:`~repro.errors.ReproError`)
+2  usage error (bad arguments; argparse convention)
+3  instruction budget / watchdog exceeded
+4  partial results (some sweep cells degraded by faults)
 """
 
 import argparse
 import sys
 
+EXIT_OK = 0
+EXIT_FATAL = 1
+EXIT_USAGE = 2
+EXIT_BUDGET = 3
+EXIT_PARTIAL = 4
+
 
 def _add_seed(parser):
     parser.add_argument("--seed", type=int, default=0,
                         help="deterministic seed (default 0)")
+
+
+def _fault_spec(text):
+    """argparse type for ``--inject-faults kind=rate`` items."""
+    from repro.core.resilience import FAULT_KINDS
+
+    kind, sep, rate_text = text.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected kind=rate, got {text!r}"
+        )
+    if kind not in FAULT_KINDS:
+        raise argparse.ArgumentTypeError(
+            f"unknown fault kind {kind!r} (choose from "
+            f"{', '.join(FAULT_KINDS)})"
+        )
+    try:
+        rate = float(rate_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"rate must be a float in [0, 1], got {rate_text!r}"
+        )
+    if not 0.0 <= rate <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"rate must be in [0, 1], got {rate}"
+        )
+    return kind, rate
+
+
+def _add_resilience(parser):
+    parser.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="checkpoint directory: persist completed sweep cells and "
+             "skip them on re-run",
+    )
+    parser.add_argument(
+        "--inject-faults", metavar="KIND=RATE", type=_fault_spec,
+        action="append", default=None,
+        help="arm the deterministic fault injector (repeatable), e.g. "
+             "--inject-faults hpc_drop=0.05",
+    )
+    parser.add_argument(
+        "--max-fault-fires", type=int, default=None, metavar="N",
+        help="cap the total number of injected faults (per kind)",
+    )
+
+
+def _build_faults(args):
+    """FaultInjector from --inject-faults/--seed, or None if unarmed."""
+    specs = getattr(args, "inject_faults", None)
+    if not specs:
+        return None
+    from repro.core.resilience import FaultInjector
+
+    return FaultInjector(
+        seed=args.seed,
+        rates=dict(specs),
+        max_fires=getattr(args, "max_fault_fires", None),
+    )
 
 
 def build_parser():
@@ -35,6 +109,9 @@ def build_parser():
                    help="Algorithm-2 dispersion trips (0 = plain)")
     p.add_argument("--style", type=int, default=0, choices=(0, 1, 2),
                    help="dispersion style: 0=cells 1=stream 2=chase")
+    p.add_argument("--budget", type=int, default=None, metavar="INSNS",
+                   help="instruction watchdog: fail with exit code 3 "
+                        "instead of running past this many instructions")
     _add_seed(p)
 
     p = sub.add_parser("gadgets", help="print a host's gadget catalogue")
@@ -53,17 +130,32 @@ def build_parser():
         ("fig5", "offline HID vs Spectre / CR-Spectre"),
         ("fig6", "online HID vs dynamic CR-Spectre"),
         ("table1", "IPC overhead of co-located CR-Spectre"),
+        ("hardening", "adversarial-training ablation"),
     ):
         p = sub.add_parser(name, help=f"regenerate {help_text}")
         p.add_argument("--quick", action="store_true",
                        help="scaled-down run (~10x faster, same shapes)")
         _add_seed(p)
+        _add_resilience(p)
+        if name == "table1":
+            p.add_argument(
+                "--budget", type=int, default=None, metavar="INSNS",
+                help="per-measurement instruction watchdog",
+            )
 
     p = sub.add_parser("profile", help="dump a workload's HPC windows")
     p.add_argument("--workload", default="basicmath")
     p.add_argument("--samples", type=int, default=50)
     p.add_argument("--output", default="traces.csv")
     _add_seed(p)
+
+    p = sub.add_parser(
+        "smoke",
+        help="resilience smoke run for CI: quick fig4 sweep plus a "
+             "calibration under injected faults and retries",
+    )
+    _add_seed(p)
+    _add_resilience(p)
 
     return parser
 
@@ -89,11 +181,17 @@ def cmd_attack(args):
     plan = plan_execve_injection(host, "/bin/host", "/bin/cr")
     print(plan.describe())
     process = system.spawn("/bin/host", argv=plan.argv)
-    process.run_to_completion(max_instructions=120_000_000)
+    watchdog = None
+    if args.budget is not None:
+        from repro.core.resilience import Watchdog
+
+        watchdog = Watchdog(args.budget, label="attack")
+    process.run_to_completion(max_instructions=120_000_000,
+                              watchdog=watchdog)
     leaked = bytes(process.stdout)
     correct = sum(a == b for a, b in zip(leaked, secret))
     print(f"\nleaked: {leaked!r}  ({correct}/{len(secret)} bytes correct)")
-    return 0 if correct == len(secret) else 1
+    return EXIT_OK if correct == len(secret) else EXIT_FATAL
 
 
 def cmd_gadgets(args):
@@ -134,13 +232,14 @@ def cmd_workloads(_args):
 
 def cmd_experiment(args):
     from repro.core.experiments import run_fig4, run_fig5, run_fig6, \
-        run_table1
+        run_hardening, run_table1
 
     runner = {
         "fig4": run_fig4,
         "fig5": run_fig5,
         "fig6": run_fig6,
         "table1": run_table1,
+        "hardening": run_hardening,
     }[args.command]
     kwargs = {"seed": args.seed}
     if getattr(args, "quick", False):
@@ -156,10 +255,22 @@ def cmd_experiment(args):
             "table1": dict(repetitions=1,
                            rows=(("Math", "basicmath", (60,)),
                                  ("SHA 1", "sha", (10,)))),
+            "hardening": dict(train_variant_counts=(0, 2),
+                              holdout_variants=2, samples_per_variant=20,
+                              training_benign=80, training_attack=60),
         }[args.command])
+    if args.resume is not None:
+        kwargs["checkpoint"] = args.resume
+    faults = _build_faults(args)
+    if faults is not None:
+        kwargs["faults"] = faults
+    if args.command == "table1" and args.budget is not None:
+        kwargs["measurement_budget"] = args.budget
     result = runner(**kwargs)
     print(result.format())
-    return 0
+    if faults is not None:
+        print(f"\n{faults.summary()}")
+    return EXIT_PARTIAL if getattr(result, "partial", False) else EXIT_OK
 
 
 def cmd_profile(args):
@@ -179,6 +290,44 @@ def cmd_profile(args):
     return 0
 
 
+def cmd_smoke(args):
+    """Resilience smoke (CI): sweep + calibration under injected faults.
+
+    Exercises the whole stack in well under a minute: seeded fault
+    injection degrading sweep cells, retry-with-backoff around covert
+    channel calibration, and the partial-result exit code.
+    """
+    from repro.attack.calibrate import calibrate
+    from repro.core.experiments import run_fig4
+    from repro.core.resilience import FaultInjector
+
+    faults = _build_faults(args)
+    if faults is None:
+        from repro.core.resilience import FAULT_KINDS
+
+        faults = FaultInjector(
+            seed=args.seed,
+            rates={kind: 0.2 for kind in FAULT_KINDS},
+            max_fires=2,
+        )
+
+    calibration = calibrate(seed=args.seed, faults=faults)
+    retrier = calibrate.last_retrier
+    attempts = len(retrier.last_call_attempts())
+    print(f"calibration: threshold={calibration.threshold} after "
+          f"{attempts} attempt(s), "
+          f"{retrier.clock.elapsed:.1f}s virtual backoff")
+
+    result = run_fig4(
+        seed=args.seed, hosts=("basicmath",), classifier="lr",
+        benign_per_host=40, attack_per_variant=16, variants=("v1",),
+        checkpoint=args.resume, faults=faults,
+    )
+    print(result.format())
+    print(f"\n{faults.summary()}")
+    return EXIT_PARTIAL if result.partial else EXIT_OK
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     handlers = {
@@ -190,9 +339,22 @@ def main(argv=None):
         "fig5": cmd_experiment,
         "fig6": cmd_experiment,
         "table1": cmd_experiment,
+        "hardening": cmd_experiment,
         "profile": cmd_profile,
+        "smoke": cmd_smoke,
     }
-    return handlers[args.command](args)
+    from repro.errors import BudgetExceededError, ReproError, is_transient
+
+    try:
+        return handlers[args.command](args)
+    except BudgetExceededError as exc:
+        print(f"repro: budget exceeded: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except ReproError as exc:
+        kind = "transient error (retries exhausted)" \
+            if is_transient(exc) else "fatal error"
+        print(f"repro: {kind}: {exc}", file=sys.stderr)
+        return EXIT_FATAL
 
 
 if __name__ == "__main__":

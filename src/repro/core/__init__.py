@@ -1,27 +1,50 @@
-"""Core: campaign orchestration, experiment runners, reporting."""
+"""Core: campaign orchestration, experiment runners, reporting, resilience.
 
-from repro.core.reporting import (
-    format_percent,
-    format_series,
-    format_table,
-    sparkline,
-)
-from repro.core.scenario import (
-    DEFAULT_SECRET,
-    PROFILE_ITERATIONS,
-    PROFILE_REPEATS,
-    Scenario,
-    ScenarioConfig,
-)
+This ``__init__`` resolves its re-exports lazily (PEP 562).  The
+resilience subpackage (:mod:`repro.core.resilience`) is imported by
+low-level modules such as :mod:`repro.attack.calibrate`; eager imports
+of :mod:`repro.core.scenario` here would close an import cycle
+(scenario → attack → calibrate → core), so attribute access triggers
+the heavy imports only when actually needed.
+"""
 
-__all__ = [
-    "format_percent",
-    "format_series",
-    "format_table",
-    "sparkline",
-    "DEFAULT_SECRET",
-    "PROFILE_ITERATIONS",
-    "PROFILE_REPEATS",
-    "Scenario",
-    "ScenarioConfig",
-]
+_LAZY_EXPORTS = {
+    "format_percent": "repro.core.reporting",
+    "format_series": "repro.core.reporting",
+    "format_table": "repro.core.reporting",
+    "format_cell_status": "repro.core.reporting",
+    "sparkline": "repro.core.reporting",
+    "DEFAULT_SECRET": "repro.core.scenario",
+    "PROFILE_ITERATIONS": "repro.core.scenario",
+    "PROFILE_REPEATS": "repro.core.scenario",
+    "Scenario": "repro.core.scenario",
+    "ScenarioConfig": "repro.core.scenario",
+    "FaultInjector": "repro.core.resilience",
+    "FAULT_KINDS": "repro.core.resilience",
+    "RetryPolicy": "repro.core.resilience",
+    "Retrier": "repro.core.resilience",
+    "VirtualClock": "repro.core.resilience",
+    "with_retry": "repro.core.resilience",
+    "Watchdog": "repro.core.resilience",
+    "CheckpointStore": "repro.core.resilience",
+    "run_cell": "repro.core.resilience",
+}
+
+__all__ = sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

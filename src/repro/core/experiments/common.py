@@ -1,8 +1,25 @@
 """Shared machinery for the per-figure experiment runners."""
 
+import os
+
 from repro.attack import PerturbParams
+from repro.core.resilience import CheckpointStore
 from repro.hid import DEFAULT_FEATURES, make_detector, samples_to_dataset
 from repro.hid.dataset import Dataset
+
+
+def open_checkpoint(checkpoint, experiment, meta):
+    """Resolve a runner's ``checkpoint`` argument into a store (or None).
+
+    ``checkpoint`` is a directory: the sweep persists to
+    ``<checkpoint>/<experiment>.json``.  ``meta`` must hold every knob
+    that changes the sweep's cells (seed, scale, hosts...) — a stored
+    checkpoint with different meta is discarded, never mixed in.
+    """
+    if checkpoint is None:
+        return None
+    path = os.path.join(os.fspath(checkpoint), f"{experiment}.json")
+    return CheckpointStore(path, meta={"experiment": experiment, **meta})
 
 #: The paper's four detector models (Section III-A).
 DETECTOR_NAMES = ("mlp", "nn", "lr", "svm")
@@ -17,10 +34,18 @@ DETECTOR_LEGENDS = {
 
 
 def train_detectors(train_dataset, names=DETECTOR_NAMES, seed=0,
-                    online=False, features=DEFAULT_FEATURES):
-    """Fit one detector per model name on the training dataset."""
+                    online=False, features=DEFAULT_FEATURES, faults=None):
+    """Fit one detector per model name on the training dataset.
+
+    *faults* (a :class:`~repro.core.resilience.FaultInjector`) may inject
+    ``classifier_divergence``: the affected fit raises a transient
+    :class:`~repro.errors.ClassifierConvergenceError`, which sweep cells
+    absorb into a partial report.
+    """
     detectors = {}
     for name in names:
+        if faults is not None:
+            faults.check_convergence(name, context="train_detectors")
         detector = make_detector(
             name, features=features, seed=seed, online=online
         )
@@ -86,11 +111,14 @@ def search_evading_params(scenario, detectors, benign_pool,
 
 
 def co_run(processes, quantum=10_000, context_switch_flush=True,
-           until=None, max_quanta=1_000_000):
+           until=None, max_quanta=1_000_000, watchdog=None):
     """Round-robin *processes* with context-switch costs.
 
     Stops when ``until()`` becomes true (default: the first process
-    terminates).  Used by the Table-I overhead measurements.
+    terminates).  Used by the Table-I overhead measurements.  A
+    *watchdog* turns an over-budget co-schedule into a typed
+    :class:`~repro.errors.BudgetExceededError` instead of silently
+    stopping at ``max_quanta``.
     """
     if until is None:
         primary = processes[0]
@@ -111,8 +139,11 @@ def co_run(processes, quantum=10_000, context_switch_flush=True,
                 process.cpu.dtlb.flush()
                 process.cpu.itlb.flush()
             last = process
-            if process.step_quantum(quantum):
+            executed = process.step_quantum(quantum)
+            if executed:
                 progressed = True
+            if watchdog is not None:
+                watchdog.charge(executed)
             quanta += 1
             if until():
                 break

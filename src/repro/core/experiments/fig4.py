@@ -4,11 +4,18 @@ The paper plots detection accuracy of an MLP-style HID distinguishing
 each of four MiBench hosts from (variant-averaged) standalone Spectre,
 for feature sizes 16, 8, 4, 2 and 1.  Expected shape: >80 % for sizes
 >= 2, a collapse at size 1, and >90 % at the chosen size 4.
+
+Each host is one sweep *cell*: with ``checkpoint`` set, completed hosts
+are persisted atomically and a re-run resumes with the remaining hosts;
+with ``faults`` set, injected failures degrade single cells into a
+partial report instead of crashing the sweep.
 """
 
 import dataclasses
 
-from repro.core.reporting import format_table
+from repro.core.experiments.common import open_checkpoint
+from repro.core.reporting import append_status_section, format_table
+from repro.core.resilience import run_cell, sweep_partial
 from repro.core.scenario import Scenario, ScenarioConfig
 from repro.hid import feature_set, make_detector, samples_to_dataset
 from repro.hid.features import FEATURE_SIZES
@@ -23,6 +30,11 @@ class Fig4Result:
     hosts: tuple
     feature_sizes: tuple
     classifier: str
+    cell_status: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def partial(self):
+        return sweep_partial(self.cell_status)
 
     def format(self):
         headers = ["Feature size"] + [
@@ -33,57 +45,103 @@ class Fig4Result:
         for size in self.feature_sizes:
             row = [size]
             for host in self.hosts:
-                row.append(f"{100.0 * self.accuracies[host][size]:.1f}%")
+                cell = self.accuracies.get(host)
+                row.append(
+                    f"{100.0 * cell[size]:.1f}%" if cell else "n/a"
+                )
             rows.append(row)
-        return format_table(
+        text = format_table(
             headers, rows,
             title=(f"Fig. 4 — HID ({self.classifier}) accuracy vs feature "
                    f"size (Spectre variants averaged)"),
         )
+        return append_status_section(
+            text, self._noteworthy_status(), self.partial
+        )
+
+    def _noteworthy_status(self):
+        if any(cell.get("status") != "ok"
+               for cell in self.cell_status.values()):
+            return self.cell_status
+        return {}
 
     def accuracy_at(self, size):
-        """Host-averaged accuracy at one feature size."""
-        values = [self.accuracies[host][size] for host in self.hosts]
+        """Host-averaged accuracy at one feature size (completed hosts)."""
+        values = [
+            self.accuracies[host][size]
+            for host in self.hosts if host in self.accuracies
+        ]
         return sum(values) / len(values)
+
+
+def _host_cell(host, seed, feature_sizes, classifier, benign_per_host,
+               attack_per_variant, variants, faults):
+    """One host's accuracy-by-size dict (JSON-serialisable)."""
+    scenario = Scenario(ScenarioConfig(
+        host=host, seed=seed, spectre_variants=tuple(variants),
+    ), faults=faults)
+    # The paper's profiling scope "also includes the host and other
+    # benign applications like browsers, text editors" — without the
+    # cache-noisy extras a single miss counter would suffice.
+    benign = scenario.benign_samples(benign_per_host)
+    per_variant_samples = {
+        variant: scenario.attack_samples(
+            attack_per_variant, variant=variant
+        )
+        for variant in variants
+    }
+    by_size = {}
+    for size in feature_sizes:
+        features = feature_set(size)
+        variant_accuracies = []
+        for variant, attack in per_variant_samples.items():
+            dataset = samples_to_dataset(benign, attack, features)
+            train, test = dataset.split(0.7, seed=seed)
+            if faults is not None:
+                faults.check_convergence(
+                    classifier, context=f"fig4:{host}:{size}"
+                )
+            detector = make_detector(
+                classifier, features=features, seed=seed
+            )
+            detector.fit(train)
+            variant_accuracies.append(detector.accuracy_on(test))
+        by_size[str(size)] = (
+            sum(variant_accuracies) / len(variant_accuracies)
+        )
+    return by_size
 
 
 def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
              classifier="mlp", benign_per_host=150, attack_per_variant=50,
-             variants=("v1", "rsb", "sbo")):
+             variants=("v1", "rsb", "sbo"), checkpoint=None, faults=None):
     """Regenerate Figure 4.  Returns a :class:`Fig4Result`."""
+    store = open_checkpoint(checkpoint, "fig4", {
+        "seed": seed,
+        "hosts": list(hosts),
+        "feature_sizes": list(feature_sizes),
+        "classifier": classifier,
+        "benign_per_host": benign_per_host,
+        "attack_per_variant": attack_per_variant,
+        "variants": list(variants),
+    })
+    statuses = {}
     accuracies = {}
     for host in hosts:
-        scenario = Scenario(ScenarioConfig(
-            host=host, seed=seed, spectre_variants=tuple(variants),
-        ))
-        # The paper's profiling scope "also includes the host and other
-        # benign applications like browsers, text editors" — without the
-        # cache-noisy extras a single miss counter would suffice.
-        benign = scenario.benign_samples(benign_per_host)
-        per_variant_samples = {
-            variant: scenario.attack_samples(
-                attack_per_variant, variant=variant
-            )
-            for variant in variants
-        }
-        accuracies[host] = {}
-        for size in feature_sizes:
-            features = feature_set(size)
-            variant_accuracies = []
-            for variant, attack in per_variant_samples.items():
-                dataset = samples_to_dataset(benign, attack, features)
-                train, test = dataset.split(0.7, seed=seed)
-                detector = make_detector(
-                    classifier, features=features, seed=seed
-                )
-                detector.fit(train)
-                variant_accuracies.append(detector.accuracy_on(test))
-            accuracies[host][size] = (
-                sum(variant_accuracies) / len(variant_accuracies)
-            )
+        value = run_cell(
+            f"host/{host}",
+            lambda host=host: _host_cell(
+                host, seed, feature_sizes, classifier, benign_per_host,
+                attack_per_variant, variants, faults,
+            ),
+            store=store, statuses=statuses,
+        )
+        if value is not None:
+            accuracies[host] = {int(k): v for k, v in value.items()}
     return Fig4Result(
         accuracies=accuracies,
         hosts=tuple(hosts),
         feature_sizes=tuple(feature_sizes),
         classifier=classifier,
+        cell_status=statuses,
     )

@@ -5,19 +5,33 @@
     offline (the paper: "to save the overhead, CR-Spectre only generates
     one variation of perturbation" because a static HID never relearns)
     and replays it; detection collapses below the 55 % evasion line.
+
+Sweep cells (checkpoint/resume granularity): ``training`` (the sampled
+corpus), ``spectre`` (phase a) and ``crspectre`` (phase b).  A resumed
+run replays completed cells from the checkpoint and recomputes only the
+rest; an injected fault degrades the affected cell into a partial
+report.
 """
 
 import dataclasses
 
+from repro.attack import PerturbParams
 from repro.core.experiments.common import (
     DETECTOR_NAMES,
     attempt_dataset,
+    open_checkpoint,
     search_evading_params,
     split_training,
     train_detectors,
 )
-from repro.core.reporting import format_series, sparkline
+from repro.core.reporting import (
+    append_status_section,
+    format_series,
+    sparkline,
+)
+from repro.core.resilience import run_cell, sweep_partial
 from repro.core.scenario import Scenario, ScenarioConfig
+from repro.hid.io import samples_from_records, samples_to_records
 
 
 @dataclasses.dataclass
@@ -27,6 +41,11 @@ class Fig5Result:
     chosen_params: object
     search_history: list
     attempts: int
+    cell_status: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def partial(self):
+        return sweep_partial(self.cell_status)
 
     def format(self):
         lines = ["Fig. 5(a) — offline HID vs plain Spectre "
@@ -37,15 +56,24 @@ class Fig5Result:
                 "  " + format_series(f"{name:>4}", values)
                 + "  " + sparkline(values, 0, 100)
             )
+        chosen = (self.chosen_params.describe()
+                  if self.chosen_params is not None else "n/a")
         lines.append("Fig. 5(b) — offline HID vs CR-Spectre "
-                     f"(fixed variant: {self.chosen_params.describe()})")
+                     f"(fixed variant: {chosen})")
         for name, series in self.crspectre.items():
             values = [100.0 * v for v in series]
             lines.append(
                 "  " + format_series(f"{name:>4}", values)
                 + "  " + sparkline(values, 0, 100)
             )
-        return "\n".join(lines)
+        text = "\n".join(lines)
+        noteworthy = {
+            key: cell for key, cell in self.cell_status.items()
+            if cell.get("status") != "ok"
+        }
+        return append_status_section(
+            text, self.cell_status if noteworthy else {}, self.partial
+        )
 
     def mean_accuracy(self, which="crspectre"):
         series = getattr(self, which)
@@ -56,57 +84,122 @@ class Fig5Result:
 def run_fig5(seed=0, host="basicmath", attempts=10,
              detector_names=DETECTOR_NAMES, training_benign=240,
              training_attack=240, attempt_samples=60, attempt_benign=20,
-             scenario=None, training=None):
+             scenario=None, training=None, checkpoint=None, faults=None):
     """Regenerate Figure 5.  Returns a :class:`Fig5Result`.
 
     ``scenario``/``training`` allow reuse of an already-staged campaign
     (the fig5+fig6 benches share the expensive sampling phase).
     """
+    store = open_checkpoint(checkpoint, "fig5", {
+        "seed": seed, "host": host, "attempts": attempts,
+        "detector_names": list(detector_names),
+        "training_benign": training_benign,
+        "training_attack": training_attack,
+        "attempt_samples": attempt_samples,
+        "attempt_benign": attempt_benign,
+    })
+    statuses = {}
     if scenario is None:
-        scenario = Scenario(ScenarioConfig(host=host, seed=seed))
+        scenario = Scenario(ScenarioConfig(host=host, seed=seed),
+                            faults=faults)
+
     if training is None:
-        benign = scenario.benign_samples(training_benign)
-        attack = scenario.attack_samples_mixed_variants(training_attack)
-        training = (benign, attack)
+        records = run_cell(
+            "training",
+            lambda: {
+                "benign": samples_to_records(
+                    scenario.benign_samples(training_benign)
+                ),
+                "attack": samples_to_records(
+                    scenario.attack_samples_mixed_variants(training_attack)
+                ),
+            },
+            store=store, statuses=statuses,
+        )
+        if records is None:
+            return Fig5Result(
+                spectre={}, crspectre={}, chosen_params=None,
+                search_history=[], attempts=attempts, cell_status=statuses,
+            )
+        training = (samples_from_records(records["benign"]),
+                    samples_from_records(records["attack"]))
     benign, attack = training
 
-    train, _test = split_training(benign, attack, seed=seed)
-    detectors = train_detectors(train, detector_names, seed=seed)
+    detectors = run_cell(
+        "detectors",
+        lambda: train_detectors(
+            split_training(benign, attack, seed=seed)[0],
+            detector_names, seed=seed, faults=faults,
+        ),
+        store=None, statuses=statuses,  # models are not serialisable
+    )
+    if detectors is None:
+        return Fig5Result(
+            spectre={}, crspectre={}, chosen_params=None,
+            search_history=[], attempts=attempts, cell_status=statuses,
+        )
 
     # ---- (a) plain Spectre --------------------------------------------
-    spectre_series = {name: [] for name in detector_names}
-    for attempt in range(attempts):
-        fresh_attack = scenario.attack_samples_mixed_variants(
-            attempt_samples
-        )
-        fresh_benign = scenario.benign_samples(
-            attempt_benign, include_extras=False
-        )
-        dataset = attempt_dataset(fresh_benign, fresh_attack)
-        for name, detector in detectors.items():
-            spectre_series[name].append(detector.accuracy_on(dataset))
+    def phase_a():
+        series = {name: [] for name in detector_names}
+        for _attempt in range(attempts):
+            fresh_attack = scenario.attack_samples_mixed_variants(
+                attempt_samples
+            )
+            fresh_benign = scenario.benign_samples(
+                attempt_benign, include_extras=False
+            )
+            dataset = attempt_dataset(fresh_benign, fresh_attack)
+            for name, detector in detectors.items():
+                series[name].append(detector.accuracy_on(dataset))
+        return series
+
+    spectre_series = run_cell("spectre", phase_a,
+                              store=store, statuses=statuses) or {}
 
     # ---- (b) CR-Spectre with one pre-tuned variant ----------------------
-    import random
-    params, history = search_evading_params(
-        scenario, detectors, benign, rng=random.Random(seed + 77),
-    )
-    crspectre_series = {name: [] for name in detector_names}
-    for attempt in range(attempts):
-        fresh_attack = scenario.attack_samples_mixed_variants(
-            attempt_samples, perturb=params
+    def phase_b():
+        import random
+        params, history = search_evading_params(
+            scenario, detectors, benign, rng=random.Random(seed + 77),
         )
-        fresh_benign = scenario.benign_samples(
-            attempt_benign, include_extras=False
-        )
-        dataset = attempt_dataset(fresh_benign, fresh_attack)
-        for name, detector in detectors.items():
-            crspectre_series[name].append(detector.accuracy_on(dataset))
+        series = {name: [] for name in detector_names}
+        for _attempt in range(attempts):
+            fresh_attack = scenario.attack_samples_mixed_variants(
+                attempt_samples, perturb=params
+            )
+            fresh_benign = scenario.benign_samples(
+                attempt_benign, include_extras=False
+            )
+            dataset = attempt_dataset(fresh_benign, fresh_attack)
+            for name, detector in detectors.items():
+                series[name].append(detector.accuracy_on(dataset))
+        return {
+            "series": series,
+            "params": dataclasses.asdict(params),
+            "history": [
+                [dataclasses.asdict(p), accuracy]
+                for p, accuracy in history
+            ],
+        }
+
+    phase_b_value = run_cell("crspectre", phase_b,
+                             store=store, statuses=statuses)
+    if phase_b_value is None:
+        crspectre_series, chosen_params, search_history = {}, None, []
+    else:
+        crspectre_series = phase_b_value["series"]
+        chosen_params = PerturbParams(**phase_b_value["params"])
+        search_history = [
+            (PerturbParams(**fields), accuracy)
+            for fields, accuracy in phase_b_value["history"]
+        ]
 
     return Fig5Result(
         spectre=spectre_series,
         crspectre=crspectre_series,
-        chosen_params=params,
-        search_history=history,
+        chosen_params=chosen_params,
+        search_history=search_history,
         attempts=attempts,
+        cell_status=statuses,
     )

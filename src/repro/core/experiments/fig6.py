@@ -7,18 +7,34 @@
     parameters; the online HID retrains on everything it saw.  The paper
     reports a degrading trend with partial recoveries, crossing the 55 %
     evasion threshold, with a minimum of 16 %.
+
+Sweep cells (checkpoint/resume granularity): ``training`` (the sampled
+corpus), ``spectre`` (phase a, detectors retrained inside the cell) and
+``crspectre`` (phase b, including the serialised attacker history).  A
+killed sweep resumes from the last completed cell; an injected fault
+degrades its cell into a partial report.
 """
 
 import dataclasses
 
-from repro.attack.adaptive import AdaptiveAttacker
+from repro.attack import PerturbParams
+from repro.attack.adaptive import AdaptiveAttacker, AttemptRecord
 from repro.core.experiments.common import (
     DETECTOR_NAMES,
     attempt_dataset,
+    open_checkpoint,
     split_training,
     train_detectors,
 )
+from repro.core.reporting import (
+    append_status_section,
+    format_series,
+    sparkline,
+)
+from repro.core.resilience import run_cell, sweep_partial
+from repro.core.scenario import Scenario, ScenarioConfig
 from repro.hid.dataset import Dataset
+from repro.hid.io import samples_from_records, samples_to_records
 
 
 def observe_self_labeled(detector, dataset):
@@ -34,8 +50,6 @@ def observe_self_labeled(detector, dataset):
     detector.observe(
         Dataset(dataset.X, predictions, dataset.feature_names)
     )
-from repro.core.reporting import format_series, sparkline
-from repro.core.scenario import Scenario, ScenarioConfig
 
 
 @dataclasses.dataclass
@@ -44,6 +58,11 @@ class Fig6Result:
     crspectre: dict
     attacker_history: list  # AttemptRecord per attempt
     attempts: int
+    cell_status: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def partial(self):
+        return sweep_partial(self.cell_status)
 
     def format(self):
         lines = ["Fig. 6(a) — online HID vs plain Spectre "
@@ -68,7 +87,14 @@ class Fig6Result:
                 f"{'EVADED' if record.evaded else 'detected'} "
                 f"[{record.params.describe()}]"
             )
-        return "\n".join(lines)
+        text = "\n".join(lines)
+        noteworthy = any(
+            cell.get("status") != "ok"
+            for cell in self.cell_status.values()
+        )
+        return append_status_section(
+            text, self.cell_status if noteworthy else {}, self.partial
+        )
 
     def min_accuracy(self):
         return min(v for s in self.crspectre.values() for v in s)
@@ -77,7 +103,8 @@ class Fig6Result:
 def run_fig6(seed=0, host="basicmath", attempts=10,
              detector_names=DETECTOR_NAMES, training_benign=240,
              training_attack=240, attempt_samples=60, attempt_benign=15,
-             audit_every=3, scenario=None, training=None):
+             audit_every=3, scenario=None, training=None, checkpoint=None,
+             faults=None):
     """Regenerate Figure 6.  Returns a :class:`Fig6Result`.
 
     ``audit_every``: every k-th attempt the defender's analysts audit
@@ -85,65 +112,125 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
     is learned with ground truth — the source of the partial recoveries
     in Fig. 6(b); all other attempts retrain self-labeled.
     """
+    store = open_checkpoint(checkpoint, "fig6", {
+        "seed": seed, "host": host, "attempts": attempts,
+        "detector_names": list(detector_names),
+        "training_benign": training_benign,
+        "training_attack": training_attack,
+        "attempt_samples": attempt_samples,
+        "attempt_benign": attempt_benign,
+        "audit_every": audit_every,
+    })
+    statuses = {}
     if scenario is None:
-        scenario = Scenario(ScenarioConfig(host=host, seed=seed))
+        scenario = Scenario(ScenarioConfig(host=host, seed=seed),
+                            faults=faults)
     if training is None:
-        benign = scenario.benign_samples(training_benign)
-        attack = scenario.attack_samples_mixed_variants(training_attack)
-        training = (benign, attack)
+        records = run_cell(
+            "training",
+            lambda: {
+                "benign": samples_to_records(
+                    scenario.benign_samples(training_benign)
+                ),
+                "attack": samples_to_records(
+                    scenario.attack_samples_mixed_variants(training_attack)
+                ),
+            },
+            store=store, statuses=statuses,
+        )
+        if records is None:
+            return Fig6Result(
+                spectre={}, crspectre={}, attacker_history=[],
+                attempts=attempts, cell_status=statuses,
+            )
+        training = (samples_from_records(records["benign"]),
+                    samples_from_records(records["attack"]))
     benign, attack = training
+    train, _ = split_training(benign, attack, seed=seed)
 
     # ---- (a) plain Spectre vs retraining detectors ---------------------
-    train, _ = split_training(benign, attack, seed=seed)
-    detectors = train_detectors(train, detector_names, seed=seed,
-                                online=True)
-    spectre_series = {name: [] for name in detector_names}
-    for attempt in range(attempts):
-        fresh_attack = scenario.attack_samples_mixed_variants(
-            attempt_samples
-        )
-        fresh_benign = scenario.benign_samples(
-            attempt_benign, include_extras=False
-        )
-        dataset = attempt_dataset(fresh_benign, fresh_attack)
-        audited = audit_every and (attempt + 1) % audit_every == 0
-        for name, detector in detectors.items():
-            spectre_series[name].append(detector.accuracy_on(dataset))
-            if audited:
-                detector.observe(dataset)
-            else:
-                observe_self_labeled(detector, dataset)
+    def phase_a():
+        detectors = train_detectors(train, detector_names, seed=seed,
+                                    online=True, faults=faults)
+        series = {name: [] for name in detector_names}
+        for attempt in range(attempts):
+            fresh_attack = scenario.attack_samples_mixed_variants(
+                attempt_samples
+            )
+            fresh_benign = scenario.benign_samples(
+                attempt_benign, include_extras=False
+            )
+            dataset = attempt_dataset(fresh_benign, fresh_attack)
+            audited = audit_every and (attempt + 1) % audit_every == 0
+            for name, detector in detectors.items():
+                series[name].append(detector.accuracy_on(dataset))
+                if audited:
+                    detector.observe(dataset)
+                else:
+                    observe_self_labeled(detector, dataset)
+        return series
+
+    spectre_series = run_cell("spectre", phase_a,
+                              store=store, statuses=statuses) or {}
 
     # ---- (b) dynamic CR-Spectre vs retraining detectors ------------------
-    detectors = train_detectors(train, detector_names, seed=seed,
-                                online=True)
-    attacker = AdaptiveAttacker(seed=seed + 13)
-    crspectre_series = {name: [] for name in detector_names}
-    for attempt in range(attempts):
-        params = attacker.propose()
-        fresh_attack = scenario.attack_samples_mixed_variants(
-            attempt_samples, perturb=params
-        )
-        fresh_benign = scenario.benign_samples(
-            attempt_benign, include_extras=False
-        )
-        dataset = attempt_dataset(fresh_benign, fresh_attack)
-        audited = audit_every and (attempt + 1) % audit_every == 0
-        accuracies = []
-        for name, detector in detectors.items():
-            accuracy = detector.accuracy_on(dataset)
-            crspectre_series[name].append(accuracy)
-            accuracies.append(accuracy)
-            if audited:
-                detector.observe(dataset)
-            else:
-                observe_self_labeled(detector, dataset)
-        # The attacker only sees the (averaged) detector verdicts.
-        attacker.feedback(sum(accuracies) / len(accuracies))
+    def phase_b():
+        detectors = train_detectors(train, detector_names, seed=seed,
+                                    online=True, faults=faults)
+        attacker = AdaptiveAttacker(seed=seed + 13)
+        series = {name: [] for name in detector_names}
+        for attempt in range(attempts):
+            params = attacker.propose()
+            fresh_attack = scenario.attack_samples_mixed_variants(
+                attempt_samples, perturb=params
+            )
+            fresh_benign = scenario.benign_samples(
+                attempt_benign, include_extras=False
+            )
+            dataset = attempt_dataset(fresh_benign, fresh_attack)
+            audited = audit_every and (attempt + 1) % audit_every == 0
+            accuracies = []
+            for name, detector in detectors.items():
+                accuracy = detector.accuracy_on(dataset)
+                series[name].append(accuracy)
+                accuracies.append(accuracy)
+                if audited:
+                    detector.observe(dataset)
+                else:
+                    observe_self_labeled(detector, dataset)
+            # The attacker only sees the (averaged) detector verdicts.
+            attacker.feedback(sum(accuracies) / len(accuracies))
+        return {
+            "series": series,
+            "history": [
+                {
+                    "attempt": record.attempt,
+                    "accuracy": record.accuracy,
+                    "params": dataclasses.asdict(record.params),
+                }
+                for record in attacker.history
+            ],
+        }
+
+    phase_b_value = run_cell("crspectre", phase_b,
+                             store=store, statuses=statuses)
+    if phase_b_value is None:
+        crspectre_series, attacker_history = {}, []
+    else:
+        crspectre_series = phase_b_value["series"]
+        attacker_history = [
+            AttemptRecord(
+                attempt=record["attempt"],
+                params=PerturbParams(**record["params"]),
+                accuracy=record["accuracy"],
+            )
+            for record in phase_b_value["history"]
+        ]
 
     return Fig6Result(
         spectre=spectre_series,
         crspectre=crspectre_series,
-        attacker_history=list(attacker.history),
+        attacker_history=attacker_history,
         attempts=attempts,
+        cell_status=statuses,
     )

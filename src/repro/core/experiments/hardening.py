@@ -10,17 +10,25 @@ variants as a function of the number of variants trained on.  The
 interesting shape is diminishing returns — each disguise style must be
 represented, and variants inside a known style stop evading, while a
 style absent from training remains open.
+
+Sweep cells (checkpoint/resume granularity): ``corpus`` (every sampled
+pool — benign, plain attack, K train variants, holdout variants) and
+one ``k/<K>`` cell per ablation point.  A killed sweep resumes with the
+corpus replayed from the checkpoint and only the missing K points
+recomputed.
 """
 
 import dataclasses
 import random
 
 from repro.attack.perturb import random_params
-from repro.core.experiments.common import attempt_dataset
-from repro.core.reporting import format_table
+from repro.core.experiments.common import attempt_dataset, open_checkpoint
+from repro.core.reporting import append_status_section, format_table
+from repro.core.resilience import run_cell, sweep_partial
 from repro.core.scenario import Scenario, ScenarioConfig
 from repro.hid import make_detector, samples_to_dataset
 from repro.hid.features import DEFAULT_FEATURES
+from repro.hid.io import samples_from_records, samples_to_records
 
 
 @dataclasses.dataclass
@@ -30,18 +38,30 @@ class HardeningResult:
     accuracy_by_k: dict
     holdout_variants: int
     classifier: str
+    cell_status: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def partial(self):
+        return sweep_partial(self.cell_status)
 
     def format(self):
         rows = [
             [k, f"{100 * accuracy:.1f}%"]
             for k, accuracy in sorted(self.accuracy_by_k.items())
         ]
-        return format_table(
+        text = format_table(
             ["variants trained on", "accuracy on unseen variants"],
             rows,
             title=(f"Hardening ablation — adversarially trained "
                    f"{self.classifier} vs {self.holdout_variants} "
                    f"held-out CR-Spectre variants"),
+        )
+        noteworthy = any(
+            cell.get("status") != "ok"
+            for cell in self.cell_status.values()
+        )
+        return append_status_section(
+            text, self.cell_status if noteworthy else {}, self.partial
         )
 
     def improvement(self):
@@ -52,46 +72,85 @@ class HardeningResult:
 def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
                   holdout_variants=4, samples_per_variant=40,
                   training_benign=200, training_attack=120,
-                  attempt_benign=15, scenario=None):
+                  attempt_benign=15, scenario=None, checkpoint=None,
+                  faults=None):
     """Run the adversarial-training ablation.
 
     For each K in *train_variant_counts*: train on benign + plain
     Spectre + K random perturbation variants, then evaluate on
     *holdout_variants* fresh random variants (disjoint RNG stream).
     """
+    store = open_checkpoint(checkpoint, "hardening", {
+        "seed": seed,
+        "classifier": classifier,
+        "train_variant_counts": list(train_variant_counts),
+        "holdout_variants": holdout_variants,
+        "samples_per_variant": samples_per_variant,
+        "training_benign": training_benign,
+        "training_attack": training_attack,
+        "attempt_benign": attempt_benign,
+    })
+    statuses = {}
     rng_train = random.Random(seed + 1)
     rng_holdout = random.Random(seed + 999)
-    scenario = scenario or Scenario(ScenarioConfig(seed=seed))
-
-    benign = scenario.benign_samples(training_benign)
-    plain_attack = scenario.attack_samples_mixed_variants(training_attack)
+    scenario = scenario or Scenario(ScenarioConfig(seed=seed), faults=faults)
 
     max_k = max(train_variant_counts)
-    train_variant_samples = [
-        scenario.attack_samples(
-            samples_per_variant, variant="v1",
-            perturb=random_params(rng_train),
+
+    def corpus_cell():
+        benign = scenario.benign_samples(training_benign)
+        plain = scenario.attack_samples_mixed_variants(training_attack)
+        train_variants = [
+            scenario.attack_samples(
+                samples_per_variant, variant="v1",
+                perturb=random_params(rng_train),
+            )
+            for _ in range(max_k)
+        ]
+        holdouts = [
+            scenario.attack_samples(
+                samples_per_variant, variant="v1",
+                perturb=random_params(rng_holdout),
+            )
+            for _ in range(holdout_variants)
+        ]
+        eval_benign = scenario.benign_samples(
+            attempt_benign * holdout_variants, include_extras=False
         )
-        for _ in range(max_k)
+        return {
+            "benign": samples_to_records(benign),
+            "plain_attack": samples_to_records(plain),
+            "train_variants": [samples_to_records(s)
+                               for s in train_variants],
+            "holdouts": [samples_to_records(s) for s in holdouts],
+            "eval_benign": samples_to_records(eval_benign),
+        }
+
+    corpus = run_cell("corpus", corpus_cell, store=store, statuses=statuses)
+    if corpus is None:
+        return HardeningResult(
+            accuracy_by_k={}, holdout_variants=holdout_variants,
+            classifier=classifier, cell_status=statuses,
+        )
+    benign = samples_from_records(corpus["benign"])
+    plain_attack = samples_from_records(corpus["plain_attack"])
+    train_variant_samples = [
+        samples_from_records(records)
+        for records in corpus["train_variants"]
     ]
     holdout_sets = [
-        scenario.attack_samples(
-            samples_per_variant, variant="v1",
-            perturb=random_params(rng_holdout),
-        )
-        for _ in range(holdout_variants)
+        samples_from_records(records) for records in corpus["holdouts"]
     ]
-    holdout_benign = scenario.benign_samples(
-        attempt_benign * holdout_variants, include_extras=False
-    )
+    holdout_benign = samples_from_records(corpus["eval_benign"])
 
-    accuracy_by_k = {}
-    for k in train_variant_counts:
+    def k_cell(k):
         attack_pool = list(plain_attack)
         for variant_samples in train_variant_samples[:k]:
             attack_pool.extend(variant_samples)
         dataset = samples_to_dataset(benign, attack_pool,
                                      DEFAULT_FEATURES)
+        if faults is not None:
+            faults.check_convergence(classifier, context=f"hardening:k={k}")
         detector = make_detector(classifier, seed=seed)
         detector.fit(dataset)
 
@@ -103,10 +162,18 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
             accuracies.append(detector.accuracy_on(
                 attempt_dataset(eval_benign, holdout)
             ))
-        accuracy_by_k[k] = sum(accuracies) / len(accuracies)
+        return sum(accuracies) / len(accuracies)
+
+    accuracy_by_k = {}
+    for k in train_variant_counts:
+        value = run_cell(f"k/{k}", lambda k=k: k_cell(k),
+                         store=store, statuses=statuses)
+        if value is not None:
+            accuracy_by_k[k] = value
 
     return HardeningResult(
         accuracy_by_k=accuracy_by_k,
         holdout_variants=holdout_variants,
         classifier=classifier,
+        cell_status=statuses,
     )

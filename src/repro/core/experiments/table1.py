@@ -22,9 +22,11 @@ from repro.attack import (
     build_spectre,
     plan_execve_injection,
 )
-from repro.core.experiments.common import co_run
-from repro.core.reporting import format_table
+from repro.core.experiments.common import co_run, open_checkpoint
+from repro.core.reporting import append_status_section, format_table
+from repro.core.resilience import Watchdog, run_cell, sweep_partial
 from repro.core.scenario import PROFILE_REPEATS
+from repro.errors import BudgetExceededError
 from repro.kernel.system import System
 from repro.workloads import get_workload
 
@@ -65,6 +67,11 @@ class Table1Row:
 @dataclasses.dataclass
 class Table1Result:
     rows: list
+    cell_status: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def partial(self):
+        return sweep_partial(self.cell_status)
 
     def format(self):
         headers = ["Benchmark", "Original (IPC)",
@@ -79,9 +86,16 @@ class Table1Result:
              f"{100 * row.online_overhead:.2f}%"]
             for row in self.rows
         ]
-        return format_table(
+        text = format_table(
             headers, body,
             title="Table I — performance overhead in evaluated benchmarks",
+        )
+        noteworthy = any(
+            cell.get("status") != "ok"
+            for cell in self.cell_status.values()
+        )
+        return append_status_section(
+            text, self.cell_status if noteworthy else {}, self.partial
         )
 
     def average_overheads(self):
@@ -105,13 +119,17 @@ def _inject_attack(system, host_program, host_path, secret, perturb, tag):
 
 def _measure_host_ipc(seed, workload_name, iterations, secret,
                       perturb=None, dynamic=False, quantum=10_000,
-                      rotate_quanta=40):
+                      rotate_quanta=40, watchdog=None):
     """Host IPC to completion, optionally next to an injected attack.
 
     ``dynamic=True`` models the *online-type* CR-Spectre campaign: the
     attack is periodically torn down and re-injected with mutated
     Algorithm-2 parameters (the paper's variant regeneration), which is
     what costs slightly more than the offline single-variant execution.
+    A *watchdog* bounds the whole measurement: a host that never
+    completes (runaway injection) raises
+    :class:`~repro.errors.BudgetExceededError` instead of re-entering
+    the rotation loop forever.
     """
     import random
 
@@ -126,7 +144,8 @@ def _measure_host_ipc(seed, workload_name, iterations, secret,
     host = system.spawn(host_path)
 
     if perturb is None:
-        co_run([host], quantum=quantum, until=lambda: not host.alive)
+        co_run([host], quantum=quantum, until=lambda: not host.alive,
+               watchdog=watchdog)
         return host.pmu.ipc
 
     # The HID itself runs on the machine: the offline type only samples
@@ -150,7 +169,8 @@ def _measure_host_ipc(seed, workload_name, iterations, secret,
     while host.alive:
         window = rotate_quanta if dynamic else 1_000_000
         co_run([host, injected, daemon], quantum=quantum,
-               until=lambda: not host.alive, max_quanta=window)
+               until=lambda: not host.alive, max_quanta=window,
+               watchdog=watchdog)
         if dynamic and host.alive:
             # Variant regeneration: fresh injection, mutated parameters.
             injected.cpu.state.halted = True
@@ -164,34 +184,78 @@ def _measure_host_ipc(seed, workload_name, iterations, secret,
 
 
 def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
-               repetitions=3, quantum=10_000):
+               repetitions=3, quantum=10_000, checkpoint=None,
+               measurement_budget=None, faults=None):
     """Regenerate Table I.  Returns a :class:`Table1Result`.
 
     ``repetitions`` mirrors the paper's averaging over repeated runs
-    ("iterating the same application 100 times", scaled down).
+    ("iterating the same application 100 times", scaled down).  Each
+    benchmark row is one sweep cell; ``measurement_budget`` (instructions)
+    arms a per-measurement watchdog so a runaway co-schedule fails typed
+    instead of hanging.  *faults* may inject ``runaway_speculation``:
+    the affected row trips its (real or implied) budget and degrades
+    into a failed cell rather than spinning forever.
     """
-    result_rows = []
-    for label, workload_name, iteration_choices in rows:
+    store = open_checkpoint(checkpoint, "table1", {
+        "seed": seed,
+        "rows": [list(row[:2]) + [list(row[2])] for row in rows],
+        "secret": secret.decode("latin-1"),
+        "repetitions": repetitions,
+        "quantum": quantum,
+    })
+    statuses = {}
+
+    def row_cell(label, workload_name, iteration_choices):
+        if faults is not None and faults.runaway_fired(f"table1:{label}"):
+            limit = measurement_budget or 5_000_000
+            raise BudgetExceededError(
+                f"injected runaway speculation in row {label!r}",
+                consumed=limit, budget=limit, label=f"table1:{label}",
+            )
         original, offline, online = [], [], []
         for repetition in range(repetitions):
             rep_seed = seed + 1000 * repetition
             for iterations in iteration_choices:
+                def budget():
+                    if measurement_budget is None:
+                        return None
+                    return Watchdog(measurement_budget,
+                                    label=f"table1:{label}")
                 original.append(_measure_host_ipc(
                     rep_seed, workload_name, iterations, secret,
-                    perturb=None, quantum=quantum,
+                    perturb=None, quantum=quantum, watchdog=budget(),
                 ))
                 offline.append(_measure_host_ipc(
                     rep_seed, workload_name, iterations, secret,
                     perturb=OFFLINE_PERTURB, quantum=quantum,
+                    watchdog=budget(),
                 ))
                 online.append(_measure_host_ipc(
                     rep_seed, workload_name, iterations, secret,
                     perturb=ONLINE_PERTURB, dynamic=True, quantum=quantum,
+                    watchdog=budget(),
                 ))
-        result_rows.append(Table1Row(
-            benchmark=label,
-            original_ipc=sum(original) / len(original),
-            offline_ipc=sum(offline) / len(offline),
-            online_ipc=sum(online) / len(online),
-        ))
-    return Table1Result(rows=result_rows)
+        return {
+            "original": sum(original) / len(original),
+            "offline": sum(offline) / len(offline),
+            "online": sum(online) / len(online),
+        }
+
+    result_rows = []
+    for label, workload_name, iteration_choices in rows:
+        value = run_cell(
+            f"row/{label}",
+            lambda label=label, workload_name=workload_name,
+            iteration_choices=iteration_choices: row_cell(
+                label, workload_name, iteration_choices
+            ),
+            store=store, statuses=statuses,
+        )
+        if value is not None:
+            result_rows.append(Table1Row(
+                benchmark=label,
+                original_ipc=value["original"],
+                offline_ipc=value["offline"],
+                online_ipc=value["online"],
+            ))
+    return Table1Result(rows=result_rows, cell_status=statuses)

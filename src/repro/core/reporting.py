@@ -34,6 +34,41 @@ def format_percent(value):
     return f"{100.0 * value:.1f}%"
 
 
+def format_cell_status(statuses, title="sweep cells"):
+    """Render a sweep's per-cell status block (resilient reporting).
+
+    ``statuses`` maps cell key → ``{"status": ..., "error": ...}`` as
+    produced by :func:`repro.core.resilience.run_cell`.  Failed cells
+    show their error chain, so a partially-failed sweep still emits a
+    usable report instead of crashing.
+    """
+    if not statuses:
+        return ""
+    lines = [f"{title}:"]
+    for key in sorted(statuses):
+        cell = statuses[key]
+        status = cell.get("status", "?")
+        line = f"  [{status:>6}] {key}"
+        error = cell.get("error")
+        if error:
+            line += f"  — {error}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def append_status_section(text, statuses, partial):
+    """Attach the cell-status block (and a partial banner) to a report."""
+    if not statuses:
+        return text
+    block = format_cell_status(statuses)
+    if partial:
+        block += (
+            "\nWARNING: partial results — one or more cells failed; "
+            "values above cover the completed cells only."
+        )
+    return f"{text}\n{block}"
+
+
 def sparkline(values, lo=None, hi=None):
     """Tiny unicode trend strip for accuracy-vs-attempt series."""
     blocks = "▁▂▃▄▅▆▇█"

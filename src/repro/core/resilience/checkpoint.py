@@ -1,0 +1,145 @@
+"""Checkpoint/resume for experiment sweeps.
+
+A sweep is a set of named *cells* (e.g. one per workload × attack ×
+classifier).  Each completed cell is persisted atomically (temp file +
+``os.replace``), so a killed run loses at most the cell in flight, and a
+re-run skips every completed cell.
+
+The store is one JSON file::
+
+    {"meta": {...}, "cells": {"fig6/spectre": {...}, ...}}
+
+``meta`` binds the checkpoint to its sweep configuration (experiment
+name, seed, scale knobs); resuming with different meta discards the
+stale cells rather than silently mixing two configurations.
+"""
+
+import json
+import os
+
+from repro.atomicio import atomic_write_json
+from repro.errors import (
+    BudgetExceededError,
+    CheckpointError,
+    RetryExhaustedError,
+    TransientError,
+)
+
+#: Cell statuses a sweep report can carry.
+CELL_OK = "ok"
+CELL_CACHED = "cached"      # loaded from a previous run's checkpoint
+CELL_FAILED = "failed"      # typed, recoverable failure; sweep went on
+
+
+class CheckpointStore:
+    """One sweep's cell cache, persisted atomically after every put."""
+
+    def __init__(self, path, meta=None):
+        self.path = os.fspath(path)
+        self.meta = dict(meta or {})
+        self.discarded = False
+        self._cells = {}
+        self._load()
+
+    def _load(self):
+        if not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            cells = payload["cells"]
+            stored_meta = payload.get("meta", {})
+        except (OSError, ValueError, KeyError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint {self.path!r}: {exc}"
+            ) from exc
+        if self.meta and stored_meta != self.meta:
+            # A different sweep configuration wrote this file: its cells
+            # would be wrong answers here.  Start fresh.
+            self.discarded = True
+            return
+        self._cells = dict(cells)
+
+    def _flush(self):
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        atomic_write_json(
+            self.path, {"meta": self.meta, "cells": self._cells}
+        )
+
+    def __contains__(self, key):
+        return str(key) in self._cells
+
+    def __len__(self):
+        return len(self._cells)
+
+    def keys(self):
+        return sorted(self._cells)
+
+    def get(self, key):
+        try:
+            return self._cells[str(key)]
+        except KeyError:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} has no cell {key!r}"
+            ) from None
+
+    def put(self, key, value):
+        """Record a completed cell and persist the store atomically."""
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"cell {key!r} value is not JSON-serialisable: {exc}"
+            ) from exc
+        self._cells[str(key)] = value
+        self._flush()
+
+    def clear(self):
+        self._cells = {}
+        self._flush()
+
+
+#: Error classes a sweep cell may absorb into a partial report; anything
+#: else (programming errors, fatal configuration errors) propagates.
+RECOVERABLE = (TransientError, RetryExhaustedError, BudgetExceededError)
+
+
+def run_cell(key, compute, store=None, statuses=None):
+    """Run one sweep cell with checkpoint + graceful-degradation semantics.
+
+    * completed in a previous run → return the cached value (``cached``);
+    * ``compute()`` succeeds → persist (when *store* given) and return it;
+    * ``compute()`` raises a recoverable error → record ``failed`` with
+      the error chain and return ``None`` so the sweep continues.
+
+    ``statuses`` (dict) receives ``key -> {"status": ..., "error": ...}``.
+    """
+    key = str(key)
+    if statuses is None:
+        statuses = {}
+    if store is not None and key in store:
+        statuses[key] = {"status": CELL_CACHED}
+        return store.get(key)
+    try:
+        value = compute()
+    except RECOVERABLE as exc:
+        chain = []
+        cursor = exc
+        while cursor is not None:
+            chain.append(f"{type(cursor).__name__}: {cursor}")
+            cursor = cursor.__cause__
+        statuses[key] = {"status": CELL_FAILED, "error": " <- ".join(chain)}
+        return None
+    if store is not None:
+        store.put(key, value)
+    statuses[key] = {"status": CELL_OK}
+    return value
+
+
+def sweep_partial(statuses):
+    """True when any cell of the sweep failed."""
+    return any(
+        cell.get("status") == CELL_FAILED for cell in statuses.values()
+    )

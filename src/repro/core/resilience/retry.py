@@ -1,0 +1,129 @@
+"""Seeded retry with exponential backoff and jitter — no wall clock.
+
+The simulator is deterministic, so its retry layer must be too: delays
+are charged to a :class:`VirtualClock` (simulated seconds) instead of
+``time.sleep``, and the jitter draws from a seeded RNG.  Two runs with
+the same seed produce identical attempt sequences, delays and telemetry.
+"""
+
+import dataclasses
+import functools
+import random
+
+from repro.errors import RetryExhaustedError, TransientError
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule: ``base_delay * multiplier**(attempt-1)`` ±jitter."""
+
+    max_attempts: int = 4
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def delay_for(self, attempt, rng):
+        """Backoff delay after failed attempt number *attempt* (1-based)."""
+        delay = min(
+            self.base_delay * self.multiplier ** (attempt - 1),
+            self.max_delay,
+        )
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+class VirtualClock:
+    """Accumulates simulated sleep; keeps retries wall-clock free."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self.sleeps = 0
+
+    def sleep(self, seconds):
+        self.elapsed += seconds
+        self.sleeps += 1
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryAttempt:
+    """Telemetry for one attempt of one retried call."""
+
+    call: int
+    attempt: int
+    outcome: str            # "ok" or "error"
+    error: str = ""
+    backoff: float = 0.0    # simulated seconds slept *after* this attempt
+
+
+class Retrier:
+    """Executes callables under a :class:`RetryPolicy`.
+
+    Only :class:`TransientError` subclasses are retried (configurable via
+    ``retry_on``); fatal errors propagate untouched.  When the budget of
+    attempts runs out, raises :class:`RetryExhaustedError` with the last
+    transient error chained as ``__cause__``.
+    """
+
+    def __init__(self, policy=None, clock=None, retry_on=(TransientError,)):
+        self.policy = policy or RetryPolicy()
+        self.clock = clock or VirtualClock()
+        self.retry_on = retry_on
+        self.rng = random.Random(self.policy.seed)
+        self.telemetry = []
+        self.calls = 0
+
+    def call(self, fn, *args, **kwargs):
+        self.calls += 1
+        policy = self.policy
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                result = fn(*args, **kwargs)
+            except self.retry_on as exc:
+                if attempt >= policy.max_attempts:
+                    self.telemetry.append(RetryAttempt(
+                        call=self.calls, attempt=attempt,
+                        outcome="error", error=repr(exc),
+                    ))
+                    raise RetryExhaustedError(
+                        f"{getattr(fn, '__name__', fn)!s} kept failing",
+                        attempts=attempt,
+                    ) from exc
+                backoff = policy.delay_for(attempt, self.rng)
+                self.telemetry.append(RetryAttempt(
+                    call=self.calls, attempt=attempt,
+                    outcome="error", error=repr(exc), backoff=backoff,
+                ))
+                self.clock.sleep(backoff)
+            else:
+                self.telemetry.append(RetryAttempt(
+                    call=self.calls, attempt=attempt, outcome="ok",
+                ))
+                return result
+
+    def last_call_attempts(self):
+        """Telemetry rows belonging to the most recent ``call``."""
+        return [t for t in self.telemetry if t.call == self.calls]
+
+
+def with_retry(policy=None, clock=None, retry_on=(TransientError,)):
+    """Decorator form; the wrapper exposes its ``Retrier`` as ``retrier``.
+
+    >>> @with_retry(RetryPolicy(max_attempts=3, seed=7))
+    ... def read_channel(): ...
+    >>> read_channel.retrier.telemetry   # per-attempt records
+    """
+
+    def decorate(fn):
+        retrier = Retrier(policy=policy, clock=clock, retry_on=retry_on)
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            return retrier.call(fn, *args, **kwargs)
+
+        wrapper.retrier = retrier
+        return wrapper
+
+    return decorate

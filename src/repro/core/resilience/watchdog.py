@@ -1,0 +1,59 @@
+"""Instruction-budget watchdog for simulator run loops.
+
+An injected ROP chain that loops forever, or an adaptive mutation that
+never converges, must raise a typed error instead of hanging the sweep.
+The watchdog is duck-typed on purpose: :mod:`repro.cpu.cpu`,
+:mod:`repro.kernel` and the experiment helpers only call ``charge``,
+so the low layers never import this (higher-layer) module.
+"""
+
+from repro.errors import BudgetExceededError
+
+
+class Watchdog:
+    """A cumulative instruction budget shared across run loops.
+
+    Attach one instance to a :class:`~repro.cpu.cpu.Cpu` (``cpu.watchdog``)
+    or pass it to ``Scheduler.run`` / ``Process.run_to_completion`` /
+    ``co_run``; every loop charges the instructions it retires, and the
+    first charge past the budget raises :class:`BudgetExceededError`.
+    """
+
+    def __init__(self, budget, label="run"):
+        if budget <= 0:
+            raise ValueError("watchdog budget must be positive")
+        self.budget = int(budget)
+        self.label = label
+        self.consumed = 0
+        self.trips = 0
+
+    @property
+    def remaining(self):
+        return max(self.budget - self.consumed, 0)
+
+    @property
+    def exhausted(self):
+        return self.consumed > self.budget
+
+    def charge(self, instructions):
+        """Account for *instructions*; raise once the budget is blown."""
+        if instructions:
+            self.consumed += int(instructions)
+        if self.consumed > self.budget:
+            self.trips += 1
+            raise BudgetExceededError(
+                "instruction budget exhausted",
+                consumed=self.consumed,
+                budget=self.budget,
+                label=self.label,
+            )
+
+    def reset(self):
+        """Re-arm for a fresh run (keeps ``trips`` as telemetry)."""
+        self.consumed = 0
+
+    def __repr__(self):
+        return (
+            f"Watchdog(budget={self.budget}, consumed={self.consumed}, "
+            f"label={self.label!r})"
+        )

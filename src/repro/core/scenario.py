@@ -44,10 +44,18 @@ class ScenarioConfig:
 
 
 class Scenario:
-    """One installed machine + sampling helpers."""
+    """One installed machine + sampling helpers.
 
-    def __init__(self, config=None):
+    *faults* (a :class:`~repro.core.resilience.FaultInjector`) threads
+    the resilience layer through sampling: armed ``hpc_drop`` /
+    ``hpc_garble`` kinds degrade every batch of profiler windows, and
+    ``cache_corruption`` invalidates the profiled process's caches before
+    sampling — the degradation paths the robustness tests exercise.
+    """
+
+    def __init__(self, config=None, faults=None):
         self.config = config or ScenarioConfig()
+        self.faults = faults
         cfg = self.config
         self.system = System(
             seed=cfg.seed,
@@ -98,6 +106,12 @@ class Scenario:
         return path
 
     # ---- sampling ------------------------------------------------------
+    def _degrade(self, samples, context):
+        """Run a fresh batch through the fault injector, if armed."""
+        if self.faults is None:
+            return samples
+        return self.faults.filter_samples(samples, context=context)
+
     def benign_samples(self, num_samples, include_extras=True):
         """Windows from the host + the other benign applications."""
         sources = [self.host_path]
@@ -107,10 +121,17 @@ class Scenario:
         samples = []
         for path in sources:
             process = self.system.spawn(path)
+            if self.faults is not None:
+                self.faults.corrupt_cache(
+                    process.cpu.caches, context=f"benign:{path}"
+                )
             samples.extend(
                 self.profiler.profile(process, per_source, label=BENIGN)
             )
-        return samples[:num_samples] if len(samples) > num_samples else samples
+        samples = (
+            samples[:num_samples] if len(samples) > num_samples else samples
+        )
+        return self._degrade(samples, "benign_samples")
 
     def attack_samples(self, num_samples, variant="v1", perturb=None):
         """Windows from one injected attack run (the paper's Fig. 1 flow).
@@ -125,6 +146,10 @@ class Scenario:
             self.host_program, self.host_path, attack_path
         )
         process = self.system.spawn(self.host_path, argv=plan.argv)
+        if self.faults is not None:
+            self.faults.corrupt_cache(
+                process.cpu.caches, context=f"attack:{variant}"
+            )
         samples = self.profiler.profile(process, num_samples, label=ATTACK)
         if process.state == ProcessState.FAULTED:
             raise AttackError(
@@ -132,7 +157,7 @@ class Scenario:
             )
         if process.image_name == self.host_program.name:
             raise AttackError("execve never happened; payload did not fire")
-        return samples
+        return self._degrade(samples, f"attack_samples:{variant}")
 
     def attack_samples_mixed_variants(self, num_samples, perturb=None):
         """Equal share of windows from every configured Spectre variant."""

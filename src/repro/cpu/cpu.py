@@ -167,6 +167,9 @@ class Cpu:
         self.shadow_stack = ShadowStack() if self.config.shadow_stack else None
         self.kernel_mode = False
         self.syscall_handler = None
+        #: optional instruction-budget guard (duck-typed: needs .charge);
+        #: see :class:`repro.core.resilience.watchdog.Watchdog`
+        self.watchdog = None
         self._decode_cache = {}
         self._base_cost = 1.0 / self.config.issue_width
         self._l1_latency = self.caches.config.l1_latency
@@ -573,12 +576,30 @@ class Cpu:
         state.pc = next_pc
         return True
 
+    #: How many instructions retire between watchdog charges; coarse
+    #: enough to keep the interpreter loop hot, fine enough that a
+    #: runaway chain is caught within one chunk of its budget.
+    WATCHDOG_STRIDE = 1024
+
     def run(self, max_instructions=None):
-        """Run until halt (or *max_instructions*); returns retired count."""
+        """Run until halt (or *max_instructions*); returns retired count.
+
+        When ``self.watchdog`` is set, the retired count is charged to it
+        in :data:`WATCHDOG_STRIDE` chunks; an exhausted budget raises
+        :class:`~repro.errors.BudgetExceededError` out of the loop — this
+        is what turns a never-halting injected chain into a typed error
+        instead of a hang.
+        """
         executed = 0
+        stride = self.WATCHDOG_STRIDE
+        watchdog = self.watchdog
         while not self.state.halted:
             if max_instructions is not None and executed >= max_instructions:
                 break
             self.step()
             executed += 1
+            if watchdog is not None and executed % stride == 0:
+                watchdog.charge(stride)
+        if watchdog is not None and executed % stride:
+            watchdog.charge(executed % stride)
         return executed

@@ -10,6 +10,28 @@ class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
 
+class TransientError(ReproError):
+    """An error a retry can plausibly fix (noise, mis-calibration, ...).
+
+    The resilience layer's retry decorator re-attempts operations that
+    raise a :class:`TransientError` subclass; everything else is treated
+    as fatal and propagates immediately.
+    """
+
+
+class FatalError(ReproError):
+    """An error no amount of retrying will fix (bad config, bad input)."""
+
+
+def is_transient(exc):
+    """True when *exc* (or any link of its cause chain) is retryable."""
+    while exc is not None:
+        if isinstance(exc, TransientError):
+            return True
+        exc = exc.__cause__
+    return False
+
+
 class AssemblerError(ReproError):
     """Raised when assembly source cannot be parsed or encoded."""
 
@@ -80,3 +102,66 @@ class GadgetNotFoundError(AttackError):
 
 class HidError(ReproError):
     """Raised by the HID layer (bad dataset, untrained classifier...)."""
+
+
+class BudgetExceededError(ReproError):
+    """A watchdog's instruction/quantum budget was exhausted.
+
+    Raised instead of hanging when an injected ROP chain loops forever or
+    an adaptive mutation never converges.  Deliberately *not* transient:
+    retrying the same run would burn the same budget again; callers must
+    either raise the budget or treat the run as lost.
+    """
+
+    def __init__(self, message, consumed=None, budget=None, label=None):
+        if budget is not None:
+            message = (
+                f"{message} (consumed {consumed} of {budget} instructions"
+                + (f" in {label!r}" if label else "") + ")"
+            )
+        super().__init__(message)
+        self.consumed = consumed
+        self.budget = budget
+        self.label = label
+
+
+class CalibrationError(AttackError, TransientError):
+    """Covert-channel calibration produced inseparable hit/miss timings."""
+
+    def __init__(self, message, calibration=None):
+        super().__init__(message)
+        self.calibration = calibration
+
+
+class CovertChannelError(AttackError, TransientError):
+    """A covert-channel read failed or returned garbage (noise burst)."""
+
+
+class ClassifierConvergenceError(HidError, TransientError):
+    """A detector's training loop failed to converge on this draw."""
+
+
+class SampleCorruptionError(HidError, TransientError):
+    """HPC sampling lost or garbled too many windows to proceed."""
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file is unreadable or structurally invalid."""
+
+
+class RetryExhaustedError(ReproError):
+    """All retry attempts failed; ``__cause__`` holds the last error."""
+
+    def __init__(self, message, attempts=None):
+        if attempts is not None:
+            message = f"{message} (gave up after {attempts} attempts)"
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class InjectedFault(TransientError):
+    """Raised by the fault injector itself for kinds modelled as errors."""
+
+    def __init__(self, message, kind=None):
+        super().__init__(message)
+        self.kind = kind

@@ -6,7 +6,9 @@ describes for its 56-event offline recording.
 """
 
 import csv
+import io
 
+from repro.atomicio import atomic_write_text
 from repro.cpu.pmu import EVENT_NAMES
 from repro.errors import HidError
 from repro.hid.dataset import Dataset, Sample
@@ -15,16 +17,45 @@ _META_COLUMNS = ("process_name", "label")
 
 
 def save_samples(samples, path):
-    """Write profiler samples to CSV (one row per window, 56 events)."""
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(list(_META_COLUMNS) + list(EVENT_NAMES))
-        for sample in samples:
-            writer.writerow(
-                [sample.process_name, sample.label]
-                + [sample.events.get(name, 0) for name in EVENT_NAMES]
-            )
+    """Write profiler samples to CSV (one row per window, 56 events).
+
+    The write is atomic (temp + rename): a killed profiling run never
+    leaves a truncated trace file.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(_META_COLUMNS) + list(EVENT_NAMES))
+    for sample in samples:
+        writer.writerow(
+            [sample.process_name, sample.label]
+            + [sample.events.get(name, 0) for name in EVENT_NAMES]
+        )
+    atomic_write_text(path, buffer.getvalue())
     return len(samples)
+
+
+def samples_to_records(samples):
+    """Profiler samples → plain JSON-serialisable dicts (checkpoints)."""
+    return [
+        {
+            "process_name": sample.process_name,
+            "label": int(sample.label),
+            "events": {k: float(v) for k, v in sample.events.items()},
+        }
+        for sample in samples
+    ]
+
+
+def samples_from_records(records):
+    """Inverse of :func:`samples_to_records`."""
+    return [
+        Sample(
+            process_name=record["process_name"],
+            label=int(record["label"]),
+            events=dict(record["events"]),
+        )
+        for record in records
+    ]
 
 
 def load_samples(path):
@@ -60,12 +91,13 @@ def load_samples(path):
 
 
 def save_dataset(dataset, path):
-    """Write a feature-selected Dataset to CSV."""
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["label"] + list(dataset.feature_names))
-        for row, label in zip(dataset.X, dataset.y):
-            writer.writerow([int(label)] + [float(v) for v in row])
+    """Write a feature-selected Dataset to CSV (atomically)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["label"] + list(dataset.feature_names))
+    for row, label in zip(dataset.X, dataset.y):
+        writer.writerow([int(label)] + [float(v) for v in row])
+    atomic_write_text(path, buffer.getvalue())
     return len(dataset)
 
 

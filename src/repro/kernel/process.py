@@ -2,7 +2,7 @@
 
 import enum
 
-from repro.errors import ReproError
+from repro.errors import BudgetExceededError, ReproError
 
 
 class ProcessState(enum.Enum):
@@ -45,13 +45,18 @@ class Process:
 
         Faults (segfault, DEP violation, shadow-stack trap, canary abort)
         terminate the process and are recorded rather than propagated, the
-        way a kernel would deliver SIGSEGV/SIGABRT.
+        way a kernel would deliver SIGSEGV/SIGABRT.  A blown watchdog
+        budget is *not* a process fault — it is the harness aborting a
+        runaway run — so :class:`BudgetExceededError` propagates.
         """
         if not self.alive:
             return 0
         self.state = ProcessState.RUNNING
         try:
             executed = self.cpu.run(max_instructions=instructions)
+        except BudgetExceededError:
+            self.state = ProcessState.READY
+            raise
         except ReproError as exc:
             self.state = ProcessState.FAULTED
             self.fault = exc
@@ -67,8 +72,21 @@ class Process:
             self.state = ProcessState.READY
         return executed
 
-    def run_to_completion(self, max_instructions=50_000_000):
-        """Run the process alone until it exits or faults."""
+    def run_to_completion(self, max_instructions=50_000_000, watchdog=None):
+        """Run the process alone until it exits or faults.
+
+        Without a *watchdog* an overrunning process is silently stopped
+        at *max_instructions* (legacy behaviour).  With one, the budget
+        is enforced by the CPU run loop and exhaustion raises
+        :class:`BudgetExceededError` instead — the resilient path.
+        """
+        if watchdog is not None:
+            previous = self.cpu.watchdog
+            self.cpu.watchdog = watchdog
+            try:
+                return self.run_to_completion(max_instructions)
+            finally:
+                self.cpu.watchdog = previous
         remaining = max_instructions
         while self.alive and remaining > 0:
             executed = self.step_quantum(min(remaining, 1_000_000))

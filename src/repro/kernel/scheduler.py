@@ -24,12 +24,17 @@ class Scheduler:
         self.context_switch_flush = context_switch_flush
         self._last_process = None
 
-    def run(self, processes, max_quanta=None, on_quantum=None):
+    def run(self, processes, max_quanta=None, on_quantum=None,
+            watchdog=None):
         """Slice *processes* round-robin until all have terminated.
 
         ``on_quantum(process, executed)`` fires after every slice that
         retired at least one instruction.  Returns the number of quanta
-        dispatched.
+        dispatched.  An optional *watchdog* is charged with every slice's
+        retired instructions, so a set of processes that never terminates
+        raises :class:`~repro.errors.BudgetExceededError` instead of
+        spinning past ``max_quanta`` silently (or forever, when
+        ``max_quanta`` is None).
         """
         quanta = 0
         pending = list(processes)
@@ -50,6 +55,8 @@ class Scheduler:
                     process.cpu.itlb.flush()
                 self._last_process = process
                 executed = process.step_quantum(self.quantum)
+                if watchdog is not None:
+                    watchdog.charge(executed)
                 quanta += 1
                 if executed and on_quantum is not None:
                     on_quantum(process, executed)

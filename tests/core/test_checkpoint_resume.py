@@ -1,0 +1,86 @@
+"""Kill a sweep mid-run, re-invoke it, and watch it resume.
+
+The contract: a sweep killed between cells loses nothing it completed;
+the re-run replays completed cells from the checkpoint file and only
+computes the rest.
+"""
+
+import json
+
+import pytest
+
+from repro.core.experiments import fig6, run_fig4, run_fig6
+
+FIG6_KNOBS = dict(
+    seed=8, attempts=2, detector_names=("lr",), training_benign=40,
+    training_attack=40, attempt_samples=12, attempt_benign=6,
+)
+
+
+class TestFig6KillAndResume:
+    def test_kill_after_training_then_resume(self, tmp_path, monkeypatch):
+        # ---- first invocation: dies (SIGINT) entering the spectre phase.
+        real_train_detectors = fig6.train_detectors
+
+        def killed(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(fig6, "train_detectors", killed)
+        with pytest.raises(KeyboardInterrupt):
+            run_fig6(checkpoint=tmp_path, **FIG6_KNOBS)
+
+        # The completed cell survived the kill, atomically.
+        payload = json.loads((tmp_path / "fig6.json").read_text())
+        assert set(payload["cells"]) == {"training"}
+        assert payload["cells"]["training"]["benign"]
+
+        # ---- second invocation: resumes from the checkpoint.
+        monkeypatch.setattr(fig6, "train_detectors", real_train_detectors)
+        result = run_fig6(checkpoint=tmp_path, **FIG6_KNOBS)
+        assert result.cell_status["training"]["status"] == "cached"
+        assert result.cell_status["spectre"]["status"] == "ok"
+        assert result.cell_status["crspectre"]["status"] == "ok"
+        assert not result.partial
+        assert len(result.crspectre["lr"]) == FIG6_KNOBS["attempts"]
+        assert len(result.attacker_history) == FIG6_KNOBS["attempts"]
+
+        # ---- third invocation: everything is served from the checkpoint.
+        rerun = run_fig6(checkpoint=tmp_path, **FIG6_KNOBS)
+        assert all(
+            cell["status"] == "cached"
+            for key, cell in rerun.cell_status.items()
+            if key != "detectors"  # models are rebuilt, never persisted
+        )
+        assert rerun.crspectre == result.crspectre
+        assert [r.params for r in rerun.attacker_history] == \
+            [r.params for r in result.attacker_history]
+
+    def test_different_knobs_discard_stale_cells(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setattr(
+            fig6, "train_detectors",
+            lambda *a, **k: (_ for _ in ()).throw(KeyboardInterrupt),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_fig6(checkpoint=tmp_path, **FIG6_KNOBS)
+        # Same directory, different seed: the stale training cell must
+        # not be replayed into the differently-configured sweep.
+        knobs = dict(FIG6_KNOBS, seed=9)
+        with pytest.raises(KeyboardInterrupt):
+            run_fig6(checkpoint=tmp_path, **knobs)
+        payload = json.loads((tmp_path / "fig6.json").read_text())
+        assert payload["meta"]["seed"] == 9
+
+
+class TestFig4Resume:
+    def test_cached_rerun_reproduces_accuracies(self, tmp_path):
+        knobs = dict(
+            seed=8, hosts=("basicmath",), feature_sizes=(4,),
+            classifier="lr", benign_per_host=30, attack_per_variant=10,
+            variants=("v1",),
+        )
+        first = run_fig4(checkpoint=tmp_path, **knobs)
+        assert first.cell_status["host/basicmath"]["status"] == "ok"
+        resumed = run_fig4(checkpoint=tmp_path, **knobs)
+        assert resumed.cell_status["host/basicmath"]["status"] == "cached"
+        assert resumed.accuracies == first.accuracies

@@ -68,3 +68,68 @@ class TestQuickExperiments:
         assert main(["fig4", "--quick", "--seed", "3"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 4" in out
+
+
+class TestExitCodes:
+    """The documented contract: 0 ok, 1 fatal, 2 usage, 3 budget, 4 partial."""
+
+    def test_usage_error_is_2(self):
+        with pytest.raises(SystemExit) as info:
+            main(["fig4", "--inject-faults", "gremlins=1.0"])
+        assert info.value.code == 2
+
+    def test_bad_fault_rate_is_2(self):
+        with pytest.raises(SystemExit) as info:
+            main(["fig4", "--inject-faults", "hpc_drop=lots"])
+        assert info.value.code == 2
+
+    def test_budget_exceeded_is_3(self, capsys):
+        assert main(["attack", "--secret", "short",
+                     "--budget", "5000"]) == 3
+        err = capsys.readouterr().err
+        assert "budget exceeded" in err
+        assert "consumed" in err
+
+    def test_partial_results_are_4(self, capsys):
+        assert main(["smoke", "--seed", "3", "--inject-faults",
+                     "classifier_divergence=1.0"]) == 4
+        out = capsys.readouterr().out
+        assert "WARNING: partial results" in out
+        assert "classifier_divergence" in out
+
+    def test_smoke_defaults_recover_to_0(self, capsys):
+        assert main(["smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration: threshold=" in out
+        assert "Fig. 4" in out
+
+
+class TestResilienceFlags:
+    def test_resume_and_fault_flags_parse(self):
+        args = build_parser().parse_args([
+            "fig6", "--resume", "ckpt", "--inject-faults", "hpc_drop=0.1",
+            "--inject-faults", "hpc_garble=0.2", "--max-fault-fires", "3",
+        ])
+        assert args.resume == "ckpt"
+        assert dict(args.inject_faults) == \
+            {"hpc_drop": 0.1, "hpc_garble": 0.2}
+        assert args.max_fault_fires == 3
+
+    def test_resume_skips_completed_cells(self, tmp_path, capsys):
+        argv = ["fig4", "--quick", "--seed", "3",
+                "--resume", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        # Same accuracies, now served from the checkpoint.
+        assert first.splitlines()[:8] == second.splitlines()[:8]
+        assert "[cached]" in second
+
+    def test_same_seed_same_report(self, capsys):
+        argv = ["fig4", "--quick", "--seed", "3",
+                "--inject-faults", "hpc_garble=0.2"]
+        assert main(argv) in (0, 4)
+        first = capsys.readouterr().out
+        assert main(argv) in (0, 4)
+        assert first == capsys.readouterr().out
