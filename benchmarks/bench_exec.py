@@ -1,0 +1,104 @@
+"""Benchmark the exec subsystem: serial vs parallel sweep wall-clock.
+
+Times a reduced Figure-5 sweep (the widest plan: training → 2×attempts
++ search cells) at ``jobs=1`` against ``jobs=2`` and ``jobs=4``,
+asserts the parallel reports are byte-identical to the serial
+reference, and records the baseline to ``BENCH_exec.json`` at the repo
+root (wall-clock, cells/second, speedup, and the host's CPU count —
+speedups are only meaningful relative to it; a 1-core CI runner
+honestly reports ~1x or below, the determinism assertions still bite).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.atomicio import atomic_write_text
+from repro.core.experiments import run_fig5
+from repro.core.experiments.fig5 import plan_fig5
+
+BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_exec.json"
+
+#: Reduced fig5: full cell topology, ~quarter-scale sampling.
+KNOBS = dict(
+    seed=42, attempts=6, detector_names=("lr", "nn"),
+    training_benign=120, training_attack=120,
+    attempt_samples=30, attempt_benign=10,
+)
+
+JOB_COUNTS = (1, 2, 4)
+
+
+def _timed_run(jobs):
+    started = time.perf_counter()
+    result = run_fig5(jobs=jobs, **KNOBS)
+    return result, time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def sweep_timings():
+    reports = {}
+    timings = {}
+    for jobs in JOB_COUNTS:
+        result, elapsed = _timed_run(jobs)
+        reports[jobs] = result.format()
+        timings[jobs] = elapsed
+    return reports, timings
+
+
+def test_exec_parallel_baseline(benchmark, sweep_timings):
+    cells = len(plan_fig5(**KNOBS))
+    reports, timings = benchmark.pedantic(
+        lambda: sweep_timings, rounds=1, iterations=1
+    )
+
+    # Determinism is the contract; speed is the baseline being recorded.
+    for jobs in JOB_COUNTS[1:]:
+        assert reports[jobs] == reports[1], f"jobs={jobs} diverged"
+
+    baseline = {
+        "experiment": "fig5-reduced",
+        "knobs": {k: list(v) if isinstance(v, tuple) else v
+                  for k, v in KNOBS.items()},
+        "cells": cells,
+        "cpu_count": os.cpu_count(),
+        "runs": {
+            str(jobs): {
+                "wall_s": round(timings[jobs], 3),
+                "cells_per_s": round(cells / timings[jobs], 3),
+            }
+            for jobs in JOB_COUNTS
+        },
+        "speedup_vs_serial": {
+            str(jobs): round(timings[1] / timings[jobs], 3)
+            for jobs in JOB_COUNTS[1:]
+        },
+        "identical_output": True,
+    }
+    atomic_write_text(
+        BASELINE_PATH, json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [f"exec baseline — reduced fig5, {cells} cells, "
+             f"{os.cpu_count()} CPU(s)"]
+    for jobs in JOB_COUNTS:
+        speedup = timings[1] / timings[jobs]
+        lines.append(
+            f"  jobs={jobs}: {timings[jobs]:6.2f}s "
+            f"({cells / timings[jobs]:.2f} cells/s, {speedup:.2f}x)"
+        )
+    publish("exec", "\n".join(lines))
+
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    for jobs in JOB_COUNTS[1:]:
+        benchmark.extra_info[f"speedup_jobs{jobs}"] = round(
+            timings[1] / timings[jobs], 3
+        )
+    # The tentpole's acceptance bar is conditional on real parallel
+    # hardware; on fewer cores the honest baseline is the deliverable.
+    if os.cpu_count() >= 4:
+        assert timings[1] / timings[4] >= 1.5

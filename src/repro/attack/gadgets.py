@@ -140,8 +140,39 @@ class GadgetScanner:
     def gadget_count(self):
         return len(self.scan())
 
-    def report(self, limit=None):
-        """Printable gadget catalogue (analysis/debugging aid)."""
+    def unique_gadgets(self):
+        """Gadgets grouped by instruction sequence: ``[(gadget, count)]``.
+
+        Shared epilogues make the raw scan repetitive — every function
+        tail contributes the same ``pop fp; ret`` (and its suffixes) at
+        a different address.  The chain builder only needs *one* address
+        per sequence; this keeps the lowest-addressed occurrence and the
+        occurrence count, in first-seen (address) order.
+        """
+        grouped = {}
+        for gadget in self.scan():
+            key = gadget.to_assembly()
+            if key in grouped:
+                grouped[key][1] += 1
+            else:
+                grouped[key] = [gadget, 1]
+        return [(gadget, count) for gadget, count in grouped.values()]
+
+    def report(self, limit=None, unique=False):
+        """Printable gadget catalogue (analysis/debugging aid).
+
+        ``unique=True`` dedupes identical instruction sequences found at
+        different addresses, annotating each line with how many sites
+        decode to it.
+        """
+        if unique:
+            groups = self.unique_gadgets()
+            if limit is not None:
+                groups = groups[:limit]
+            return "\n".join(
+                f"{gadget}  (x{count})" if count > 1 else str(gadget)
+                for gadget, count in groups
+            )
         gadgets = self.scan()
         if limit is not None:
             gadgets = gadgets[:limit]

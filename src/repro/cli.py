@@ -79,6 +79,50 @@ def _add_resilience(parser):
     )
 
 
+def _add_exec(parser):
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan the sweep's cells over N worker processes "
+             "(default 1 = serial; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--list-cells", action="store_true",
+        help="print the sweep's cell plan (key, derived seed, "
+             "dependencies, cached/pending) without executing it",
+    )
+
+
+def _plan_and_store(command, kwargs):
+    """Build the experiment's plan + checkpoint store without running it.
+
+    Fills every knob the runner would default, then calls the module's
+    ``plan_<command>``/``<command>_meta`` with the knobs each accepts —
+    so the described plan and the opened store match exactly what
+    ``run_<command>`` would execute and persist.
+    """
+    import importlib
+    import inspect
+
+    from repro.exec import open_store
+
+    module = importlib.import_module(f"repro.core.experiments.{command}")
+    run_fn = getattr(module, f"run_{command}")
+    values = {
+        name: parameter.default
+        for name, parameter in inspect.signature(run_fn).parameters.items()
+        if parameter.default is not inspect.Parameter.empty
+    }
+    values.update(kwargs)
+
+    def call(fn):
+        accepted = inspect.signature(fn).parameters
+        return fn(**{k: v for k, v in values.items() if k in accepted})
+
+    store = open_store(values.get("checkpoint"), command,
+                       call(getattr(module, f"{command}_meta")))
+    return call(getattr(module, f"plan_{command}")), store
+
+
 def _build_faults(args):
     """FaultInjector from --inject-faults/--seed, or None if unarmed."""
     specs = getattr(args, "inject_faults", None)
@@ -137,6 +181,7 @@ def build_parser():
                        help="scaled-down run (~10x faster, same shapes)")
         _add_seed(p)
         _add_resilience(p)
+        _add_exec(p)
         if name == "table1":
             p.add_argument(
                 "--budget", type=int, default=None, metavar="INSNS",
@@ -156,6 +201,10 @@ def build_parser():
     )
     _add_seed(p)
     _add_resilience(p)
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the smoke sweep (default 1)",
+    )
 
     return parser
 
@@ -202,9 +251,11 @@ def cmd_gadgets(args):
     host = get_workload(args.host).build(iterations=100, hosted=True)
     scanner = scan_program(host, AddressSpaceLayout().text_base)
     gadgets = scanner.scan()
-    print(f"{len(gadgets)} gadgets in {args.host!r} "
-          f"(showing {min(args.limit, len(gadgets))}):")
-    print(scanner.report(limit=args.limit))
+    unique = scanner.unique_gadgets()
+    print(f"{len(gadgets)} gadget sites, {len(unique)} unique sequences "
+          f"in {args.host!r} "
+          f"(showing {min(args.limit, len(unique))}):")
+    print(scanner.report(limit=args.limit, unique=True))
     return 0
 
 
@@ -266,6 +317,21 @@ def cmd_experiment(args):
         kwargs["faults"] = faults
     if args.command == "table1" and args.budget is not None:
         kwargs["measurement_budget"] = args.budget
+    if getattr(args, "list_cells", False):
+        from repro.exec import describe_plan
+
+        plan, store = _plan_and_store(args.command, kwargs)
+        print(describe_plan(plan, store))
+        return EXIT_OK
+    jobs = getattr(args, "jobs", 1) or 1
+    if jobs > 1:
+        from repro.exec import SweepProgress
+
+        plan, _ = _plan_and_store(args.command, kwargs)
+        kwargs["jobs"] = jobs
+        kwargs["progress"] = SweepProgress(
+            args.command, total=sum(1 for _ in plan), jobs=jobs,
+        )
     result = runner(**kwargs)
     print(result.format())
     if faults is not None:
@@ -322,6 +388,7 @@ def cmd_smoke(args):
         seed=args.seed, hosts=("basicmath",), classifier="lr",
         benign_per_host=40, attack_per_variant=16, variants=("v1",),
         checkpoint=args.resume, faults=faults,
+        jobs=getattr(args, "jobs", 1) or 1,
     )
     print(result.format())
     print(f"\n{faults.summary()}")

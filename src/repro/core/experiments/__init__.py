@@ -10,19 +10,21 @@ from repro.core.experiments.common import (
     split_training,
     train_detectors,
 )
-from repro.core.experiments.fig4 import Fig4Result, run_fig4
+from repro.core.experiments.fig4 import Fig4Result, plan_fig4, run_fig4
 from repro.core.experiments.hardening import (
     HardeningResult,
+    plan_hardening,
     run_hardening,
 )
-from repro.core.experiments.fig5 import Fig5Result, run_fig5
-from repro.core.experiments.fig6 import Fig6Result, run_fig6
+from repro.core.experiments.fig5 import Fig5Result, plan_fig5, run_fig5
+from repro.core.experiments.fig6 import Fig6Result, plan_fig6, run_fig6
 from repro.core.experiments.table1 import (
     ONLINE_PERTURB,
     OFFLINE_PERTURB,
     TABLE1_ROWS,
     Table1Result,
     Table1Row,
+    plan_table1,
     run_table1,
 )
 
@@ -36,13 +38,18 @@ __all__ = [
     "split_training",
     "train_detectors",
     "Fig4Result",
+    "plan_fig4",
     "run_fig4",
     "HardeningResult",
+    "plan_hardening",
     "run_hardening",
     "Fig5Result",
+    "plan_fig5",
     "run_fig5",
     "Fig6Result",
+    "plan_fig6",
     "run_fig6",
+    "plan_table1",
     "ONLINE_PERTURB",
     "OFFLINE_PERTURB",
     "TABLE1_ROWS",

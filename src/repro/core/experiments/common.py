@@ -21,6 +21,31 @@ def open_checkpoint(checkpoint, experiment, meta):
     path = os.path.join(os.fspath(checkpoint), f"{experiment}.json")
     return CheckpointStore(path, meta={"experiment": experiment, **meta})
 
+
+def sample_training_records(host, training_benign, training_attack,
+                            cell_seed=0, faults=None, scenario=None):
+    """The ``training`` cell body shared by the fig5/fig6 plans.
+
+    Samples a labelled corpus and returns it as JSON-serialisable
+    records.  With no *scenario* injected, the campaign is staged from
+    the cell's derived seed, so the corpus does not depend on what other
+    cells ran before (or concurrently with) this one.
+    """
+    from repro.core.scenario import Scenario, ScenarioConfig
+    from repro.hid.io import samples_to_records
+
+    if scenario is None:
+        scenario = Scenario(ScenarioConfig(host=host, seed=cell_seed),
+                            faults=faults)
+    return {
+        "benign": samples_to_records(
+            scenario.benign_samples(training_benign)
+        ),
+        "attack": samples_to_records(
+            scenario.attack_samples_mixed_variants(training_attack)
+        ),
+    }
+
 #: The paper's four detector models (Section III-A).
 DETECTOR_NAMES = ("mlp", "nn", "lr", "svm")
 

@@ -5,18 +5,22 @@ each of four MiBench hosts from (variant-averaged) standalone Spectre,
 for feature sizes 16, 8, 4, 2 and 1.  Expected shape: >80 % for sizes
 >= 2, a collapse at size 1, and >90 % at the chosen size 4.
 
-Each host is one sweep *cell*: with ``checkpoint`` set, completed hosts
-are persisted atomically and a re-run resumes with the remaining hosts;
-with ``faults`` set, injected failures degrade single cells into a
-partial report instead of crashing the sweep.
+Each host is one sweep *cell* of the declared :class:`SweepPlan`
+(``repro.exec``): cells are mutually independent, seeded from their
+cell key, and may run serially or fanned out over a process pool with
+identical results; with ``checkpoint`` set, completed hosts persist
+atomically and a re-run resumes with the remaining hosts; with
+``faults`` set, injected failures degrade single cells into a partial
+report instead of crashing the sweep.
 """
 
 import dataclasses
 
 from repro.core.experiments.common import open_checkpoint
 from repro.core.reporting import append_status_section, format_table
-from repro.core.resilience import run_cell, sweep_partial
+from repro.core.resilience import sweep_partial
 from repro.core.scenario import Scenario, ScenarioConfig
+from repro.exec import SweepPlan, backend_for, execute_plan
 from repro.hid import feature_set, make_detector, samples_to_dataset
 from repro.hid.features import FEATURE_SIZES
 from repro.workloads import FIG4_HOSTS
@@ -60,7 +64,9 @@ class Fig4Result:
         )
 
     def _noteworthy_status(self):
-        if any(cell.get("status") != "ok"
+        # "cached" is unremarkable: a resumed sweep must render the same
+        # report an uninterrupted one did.
+        if any(cell.get("status") not in ("ok", "cached")
                for cell in self.cell_status.values()):
             return self.cell_status
         return {}
@@ -74,11 +80,11 @@ class Fig4Result:
         return sum(values) / len(values)
 
 
-def _host_cell(host, seed, feature_sizes, classifier, benign_per_host,
-               attack_per_variant, variants, faults):
+def _host_cell(host, feature_sizes, classifier, benign_per_host,
+               attack_per_variant, variants, cell_seed=0, faults=None):
     """One host's accuracy-by-size dict (JSON-serialisable)."""
     scenario = Scenario(ScenarioConfig(
-        host=host, seed=seed, spectre_variants=tuple(variants),
+        host=host, seed=cell_seed, spectre_variants=tuple(variants),
     ), faults=faults)
     # The paper's profiling scope "also includes the host and other
     # benign applications like browsers, text editors" — without the
@@ -96,13 +102,13 @@ def _host_cell(host, seed, feature_sizes, classifier, benign_per_host,
         variant_accuracies = []
         for variant, attack in per_variant_samples.items():
             dataset = samples_to_dataset(benign, attack, features)
-            train, test = dataset.split(0.7, seed=seed)
+            train, test = dataset.split(0.7, seed=cell_seed)
             if faults is not None:
                 faults.check_convergence(
                     classifier, context=f"fig4:{host}:{size}"
                 )
             detector = make_detector(
-                classifier, features=features, seed=seed
+                classifier, features=features, seed=cell_seed
             )
             detector.fit(train)
             variant_accuracies.append(detector.accuracy_on(test))
@@ -112,11 +118,28 @@ def _host_cell(host, seed, feature_sizes, classifier, benign_per_host,
     return by_size
 
 
-def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
-             classifier="mlp", benign_per_host=150, attack_per_variant=50,
-             variants=("v1", "rsb", "sbo"), checkpoint=None, faults=None):
-    """Regenerate Figure 4.  Returns a :class:`Fig4Result`."""
-    store = open_checkpoint(checkpoint, "fig4", {
+def plan_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
+              classifier="mlp", benign_per_host=150, attack_per_variant=50,
+              variants=("v1", "rsb", "sbo"), faults=None):
+    """Declare the Figure-4 cell grid: one independent cell per host."""
+    plan = SweepPlan("fig4", seed, faults=faults)
+    for host in hosts:
+        plan.add(
+            f"host/{host}", _host_cell,
+            kwargs=dict(
+                host=host, feature_sizes=list(feature_sizes),
+                classifier=classifier, benign_per_host=benign_per_host,
+                attack_per_variant=attack_per_variant,
+                variants=list(variants),
+            ),
+            seed_kw="cell_seed", faults_kw="faults",
+        )
+    return plan
+
+
+def fig4_meta(seed, hosts, feature_sizes, classifier, benign_per_host,
+              attack_per_variant, variants):
+    return {
         "seed": seed,
         "hosts": list(hosts),
         "feature_sizes": list(feature_sizes),
@@ -124,18 +147,27 @@ def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
         "benign_per_host": benign_per_host,
         "attack_per_variant": attack_per_variant,
         "variants": list(variants),
-    })
+    }
+
+
+def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
+             classifier="mlp", benign_per_host=150, attack_per_variant=50,
+             variants=("v1", "rsb", "sbo"), checkpoint=None, faults=None,
+             jobs=1, progress=None):
+    """Regenerate Figure 4.  Returns a :class:`Fig4Result`."""
+    store = open_checkpoint(checkpoint, "fig4", fig4_meta(
+        seed, hosts, feature_sizes, classifier, benign_per_host,
+        attack_per_variant, variants,
+    ))
+    plan = plan_fig4(seed, hosts, feature_sizes, classifier,
+                     benign_per_host, attack_per_variant, variants,
+                     faults=faults)
     statuses = {}
+    results = execute_plan(plan, store=store, statuses=statuses,
+                           backend=backend_for(jobs), progress=progress)
     accuracies = {}
     for host in hosts:
-        value = run_cell(
-            f"host/{host}",
-            lambda host=host: _host_cell(
-                host, seed, feature_sizes, classifier, benign_per_host,
-                attack_per_variant, variants, faults,
-            ),
-            store=store, statuses=statuses,
-        )
+        value = results.get(f"host/{host}")
         if value is not None:
             accuracies[host] = {int(k): v for k, v in value.items()}
     return Fig4Result(

@@ -6,11 +6,18 @@
     one variation of perturbation" because a static HID never relearns)
     and replays it; detection collapses below the 55 % evasion line.
 
-Sweep cells (checkpoint/resume granularity): ``training`` (the sampled
-corpus), ``spectre`` (phase a) and ``crspectre`` (phase b).  A resumed
-run replays completed cells from the checkpoint and recomputes only the
-rest; an injected fault degrades the affected cell into a partial
-report.
+Cell grid (the declared :class:`~repro.exec.SweepPlan`)::
+
+    training ──┬── spectre/attempt/<i>      (phase a, one cell each)
+               ├── search                   (offline pre-tuning, phase b)
+               └──── crspectre/attempt/<i>  (phase b, depends on search)
+
+Every attempt is its own cell: it stages a fresh campaign from its
+derived seed and re-fits the (deterministic) detectors from the shared
+training corpus, so cells are order-independent and a ``--jobs N`` run
+is bit-identical to a serial one.  A resumed run replays completed
+cells from the checkpoint and recomputes only the rest; an injected
+fault degrades the affected cell into a partial report.
 """
 
 import dataclasses
@@ -20,6 +27,7 @@ from repro.core.experiments.common import (
     DETECTOR_NAMES,
     attempt_dataset,
     open_checkpoint,
+    sample_training_records,
     search_evading_params,
     split_training,
     train_detectors,
@@ -29,8 +37,9 @@ from repro.core.reporting import (
     format_series,
     sparkline,
 )
-from repro.core.resilience import run_cell, sweep_partial
+from repro.core.resilience import sweep_partial
 from repro.core.scenario import Scenario, ScenarioConfig
+from repro.exec import SweepPlan, backend_for, execute_plan
 from repro.hid.io import samples_from_records, samples_to_records
 
 
@@ -69,7 +78,7 @@ class Fig5Result:
         text = "\n".join(lines)
         noteworthy = {
             key: cell for key, cell in self.cell_status.items()
-            if cell.get("status") != "ok"
+            if cell.get("status") not in ("ok", "cached")
         }
         return append_status_section(
             text, self.cell_status if noteworthy else {}, self.partial
@@ -81,123 +90,192 @@ class Fig5Result:
         return sum(values) / len(values)
 
 
-def run_fig5(seed=0, host="basicmath", attempts=10,
-             detector_names=DETECTOR_NAMES, training_benign=240,
-             training_attack=240, attempt_samples=60, attempt_benign=20,
-             scenario=None, training=None, checkpoint=None, faults=None):
-    """Regenerate Figure 5.  Returns a :class:`Fig5Result`.
+def _fit_detectors(records, root_seed, detector_names, faults=None):
+    """The static detectors, re-fit deterministically from the corpus.
+
+    Fitting is a pure function of (corpus, root seed), so every attempt
+    cell reconstructs the *same* detectors the deployed HID would run —
+    the price of order-independent cells is refitting, not divergence.
+    """
+    benign = samples_from_records(records["benign"])
+    attack = samples_from_records(records["attack"])
+    train, _ = split_training(benign, attack, seed=root_seed)
+    detectors = train_detectors(train, detector_names, seed=root_seed,
+                                faults=faults)
+    return benign, detectors
+
+
+def _attempt_cell(records, root_seed, host, detector_names,
+                  attempt_samples, attempt_benign, perturb_fields=None,
+                  search=None, cell_seed=0, faults=None, scenario=None):
+    """One attack attempt: fresh campaign, fixed detectors.
+
+    Returns ``{detector name: accuracy}``.  ``search`` (the search
+    cell's value) supplies the pre-tuned perturbation for phase (b);
+    ``perturb_fields`` pins one explicitly instead.
+    """
+    _, detectors = _fit_detectors(records, root_seed, detector_names,
+                                  faults=faults)
+    if scenario is None:
+        scenario = Scenario(ScenarioConfig(host=host, seed=cell_seed),
+                            faults=faults)
+    perturb = None
+    if search is not None:
+        perturb_fields = search["params"]
+    if perturb_fields is not None:
+        perturb = PerturbParams(**perturb_fields)
+    fresh_attack = scenario.attack_samples_mixed_variants(
+        attempt_samples, perturb=perturb
+    )
+    fresh_benign = scenario.benign_samples(
+        attempt_benign, include_extras=False
+    )
+    dataset = attempt_dataset(fresh_benign, fresh_attack)
+    return {
+        name: detector.accuracy_on(dataset)
+        for name, detector in detectors.items()
+    }
+
+
+def _search_cell(records, root_seed, host, detector_names,
+                 cell_seed=0, faults=None, scenario=None):
+    """Offline pre-tuning of the single perturbation variant (Fig. 5b).
+
+    The attacker probes the deployed (static) HID with candidate
+    perturbations until the detectors' mean accuracy drops to the
+    evasion threshold.
+    """
+    import random
+
+    benign, detectors = _fit_detectors(records, root_seed, detector_names,
+                                       faults=faults)
+    if scenario is None:
+        scenario = Scenario(ScenarioConfig(host=host, seed=cell_seed),
+                            faults=faults)
+    params, history = search_evading_params(
+        scenario, detectors, benign, rng=random.Random(root_seed + 77),
+    )
+    return {
+        "params": dataclasses.asdict(params),
+        "history": [
+            [dataclasses.asdict(p), accuracy] for p, accuracy in history
+        ],
+    }
+
+
+def plan_fig5(seed=0, host="basicmath", attempts=10,
+              detector_names=DETECTOR_NAMES, training_benign=240,
+              training_attack=240, attempt_samples=60, attempt_benign=20,
+              scenario=None, training=None, faults=None):
+    """Declare the Figure-5 cell grid (see the module docstring).
 
     ``scenario``/``training`` allow reuse of an already-staged campaign
-    (the fig5+fig6 benches share the expensive sampling phase).
+    (the fig5+fig6 benches share the expensive sampling phase); cells
+    then close over live state, which pins the plan to the serial
+    backend.
     """
-    store = open_checkpoint(checkpoint, "fig5", {
+    plan = SweepPlan("fig5", seed, faults=faults)
+    local = scenario is not None
+    shared = {"scenario": scenario} if local else {}
+    if training is not None:
+        benign, attack = training
+        plan.preset("training", {
+            "benign": samples_to_records(benign),
+            "attack": samples_to_records(attack),
+        })
+    else:
+        plan.add(
+            "training", sample_training_records,
+            kwargs=dict(host=host, training_benign=training_benign,
+                        training_attack=training_attack, **shared),
+            seed_kw="cell_seed", faults_kw="faults", local=local,
+        )
+    attempt_kwargs = dict(
+        root_seed=seed, host=host, detector_names=tuple(detector_names),
+        attempt_samples=attempt_samples, attempt_benign=attempt_benign,
+    )
+    for attempt in range(attempts):
+        plan.add(
+            f"spectre/attempt/{attempt}", _attempt_cell,
+            kwargs=dict(attempt_kwargs, **shared),
+            deps={"records": "training"},
+            seed_kw="cell_seed", faults_kw="faults", local=local,
+        )
+    plan.add(
+        "search", _search_cell,
+        kwargs=dict(root_seed=seed, host=host,
+                    detector_names=tuple(detector_names), **shared),
+        deps={"records": "training"},
+        seed_kw="cell_seed", faults_kw="faults", local=local,
+    )
+    for attempt in range(attempts):
+        plan.add(
+            f"crspectre/attempt/{attempt}", _attempt_cell,
+            kwargs=dict(attempt_kwargs, **shared),
+            deps={"records": "training", "search": "search"},
+            seed_kw="cell_seed", faults_kw="faults", local=local,
+        )
+    return plan
+
+
+def fig5_meta(seed, host, attempts, detector_names, training_benign,
+              training_attack, attempt_samples, attempt_benign):
+    return {
         "seed": seed, "host": host, "attempts": attempts,
         "detector_names": list(detector_names),
         "training_benign": training_benign,
         "training_attack": training_attack,
         "attempt_samples": attempt_samples,
         "attempt_benign": attempt_benign,
-    })
+    }
+
+
+def _collect_series(results, phase, attempts, detector_names):
+    """Per-detector accuracy series from the completed attempt cells."""
+    series = {name: [] for name in detector_names}
+    seen = False
+    for attempt in range(attempts):
+        value = results.get(f"{phase}/attempt/{attempt}")
+        if value is None:
+            continue
+        seen = True
+        for name in detector_names:
+            series[name].append(value[name])
+    return series if seen else {}
+
+
+def run_fig5(seed=0, host="basicmath", attempts=10,
+             detector_names=DETECTOR_NAMES, training_benign=240,
+             training_attack=240, attempt_samples=60, attempt_benign=20,
+             scenario=None, training=None, checkpoint=None, faults=None,
+             jobs=1, progress=None):
+    """Regenerate Figure 5.  Returns a :class:`Fig5Result`."""
+    store = open_checkpoint(checkpoint, "fig5", fig5_meta(
+        seed, host, attempts, detector_names, training_benign,
+        training_attack, attempt_samples, attempt_benign,
+    ))
+    plan = plan_fig5(seed, host, attempts, detector_names,
+                     training_benign, training_attack, attempt_samples,
+                     attempt_benign, scenario=scenario, training=training,
+                     faults=faults)
     statuses = {}
-    if scenario is None:
-        scenario = Scenario(ScenarioConfig(host=host, seed=seed),
-                            faults=faults)
+    results = execute_plan(plan, store=store, statuses=statuses,
+                           backend=backend_for(jobs), progress=progress)
 
-    if training is None:
-        records = run_cell(
-            "training",
-            lambda: {
-                "benign": samples_to_records(
-                    scenario.benign_samples(training_benign)
-                ),
-                "attack": samples_to_records(
-                    scenario.attack_samples_mixed_variants(training_attack)
-                ),
-            },
-            store=store, statuses=statuses,
-        )
-        if records is None:
-            return Fig5Result(
-                spectre={}, crspectre={}, chosen_params=None,
-                search_history=[], attempts=attempts, cell_status=statuses,
-            )
-        training = (samples_from_records(records["benign"]),
-                    samples_from_records(records["attack"]))
-    benign, attack = training
-
-    detectors = run_cell(
-        "detectors",
-        lambda: train_detectors(
-            split_training(benign, attack, seed=seed)[0],
-            detector_names, seed=seed, faults=faults,
-        ),
-        store=None, statuses=statuses,  # models are not serialisable
-    )
-    if detectors is None:
-        return Fig5Result(
-            spectre={}, crspectre={}, chosen_params=None,
-            search_history=[], attempts=attempts, cell_status=statuses,
-        )
-
-    # ---- (a) plain Spectre --------------------------------------------
-    def phase_a():
-        series = {name: [] for name in detector_names}
-        for _attempt in range(attempts):
-            fresh_attack = scenario.attack_samples_mixed_variants(
-                attempt_samples
-            )
-            fresh_benign = scenario.benign_samples(
-                attempt_benign, include_extras=False
-            )
-            dataset = attempt_dataset(fresh_benign, fresh_attack)
-            for name, detector in detectors.items():
-                series[name].append(detector.accuracy_on(dataset))
-        return series
-
-    spectre_series = run_cell("spectre", phase_a,
-                              store=store, statuses=statuses) or {}
-
-    # ---- (b) CR-Spectre with one pre-tuned variant ----------------------
-    def phase_b():
-        import random
-        params, history = search_evading_params(
-            scenario, detectors, benign, rng=random.Random(seed + 77),
-        )
-        series = {name: [] for name in detector_names}
-        for _attempt in range(attempts):
-            fresh_attack = scenario.attack_samples_mixed_variants(
-                attempt_samples, perturb=params
-            )
-            fresh_benign = scenario.benign_samples(
-                attempt_benign, include_extras=False
-            )
-            dataset = attempt_dataset(fresh_benign, fresh_attack)
-            for name, detector in detectors.items():
-                series[name].append(detector.accuracy_on(dataset))
-        return {
-            "series": series,
-            "params": dataclasses.asdict(params),
-            "history": [
-                [dataclasses.asdict(p), accuracy]
-                for p, accuracy in history
-            ],
-        }
-
-    phase_b_value = run_cell("crspectre", phase_b,
-                             store=store, statuses=statuses)
-    if phase_b_value is None:
-        crspectre_series, chosen_params, search_history = {}, None, []
+    search = results.get("search")
+    if search is None:
+        chosen_params, search_history = None, []
     else:
-        crspectre_series = phase_b_value["series"]
-        chosen_params = PerturbParams(**phase_b_value["params"])
+        chosen_params = PerturbParams(**search["params"])
         search_history = [
             (PerturbParams(**fields), accuracy)
-            for fields, accuracy in phase_b_value["history"]
+            for fields, accuracy in search["history"]
         ]
-
     return Fig5Result(
-        spectre=spectre_series,
-        crspectre=crspectre_series,
+        spectre=_collect_series(results, "spectre", attempts,
+                                detector_names),
+        crspectre=_collect_series(results, "crspectre", attempts,
+                                  detector_names),
         chosen_params=chosen_params,
         search_history=search_history,
         attempts=attempts,

@@ -8,11 +8,17 @@
     reports a degrading trend with partial recoveries, crossing the 55 %
     evasion threshold, with a minimum of 16 %.
 
-Sweep cells (checkpoint/resume granularity): ``training`` (the sampled
-corpus), ``spectre`` (phase a, detectors retrained inside the cell) and
-``crspectre`` (phase b, including the serialised attacker history).  A
-killed sweep resumes from the last completed cell; an injected fault
-degrades its cell into a partial report.
+Cell grid (the declared :class:`~repro.exec.SweepPlan`)::
+
+    training ──┬── spectre      (phase a)
+               └── crspectre    (phase b)
+
+Unlike Fig. 5, the attempts *inside* a phase cannot be split into
+cells: the online detectors carry state from attempt to attempt (that
+coupling is the entire point of the figure), so each phase is one cell
+and the two phases fan out after training.  A killed sweep resumes from
+the last completed cell; an injected fault degrades its cell into a
+partial report.
 """
 
 import dataclasses
@@ -23,6 +29,7 @@ from repro.core.experiments.common import (
     DETECTOR_NAMES,
     attempt_dataset,
     open_checkpoint,
+    sample_training_records,
     split_training,
     train_detectors,
 )
@@ -31,8 +38,9 @@ from repro.core.reporting import (
     format_series,
     sparkline,
 )
-from repro.core.resilience import run_cell, sweep_partial
+from repro.core.resilience import sweep_partial
 from repro.core.scenario import Scenario, ScenarioConfig
+from repro.exec import SweepPlan, backend_for, execute_plan
 from repro.hid.dataset import Dataset
 from repro.hid.io import samples_from_records, samples_to_records
 
@@ -89,7 +97,7 @@ class Fig6Result:
             )
         text = "\n".join(lines)
         noteworthy = any(
-            cell.get("status") != "ok"
+            cell.get("status") not in ("ok", "cached")
             for cell in self.cell_status.values()
         )
         return append_status_section(
@@ -100,19 +108,130 @@ class Fig6Result:
         return min(v for s in self.crspectre.values() for v in s)
 
 
-def run_fig6(seed=0, host="basicmath", attempts=10,
-             detector_names=DETECTOR_NAMES, training_benign=240,
-             training_attack=240, attempt_samples=60, attempt_benign=15,
-             audit_every=3, scenario=None, training=None, checkpoint=None,
-             faults=None):
-    """Regenerate Figure 6.  Returns a :class:`Fig6Result`.
+def _online_detectors(records, root_seed, detector_names, faults=None):
+    """Deterministic re-fit of the retraining detectors from the corpus."""
+    benign = samples_from_records(records["benign"])
+    attack = samples_from_records(records["attack"])
+    train, _ = split_training(benign, attack, seed=root_seed)
+    return train_detectors(train, detector_names, seed=root_seed,
+                           online=True, faults=faults)
 
-    ``audit_every``: every k-th attempt the defender's analysts audit
-    the window labels (the paper's human-in-the-loop), so that attempt
-    is learned with ground truth — the source of the partial recoveries
-    in Fig. 6(b); all other attempts retrain self-labeled.
-    """
-    store = open_checkpoint(checkpoint, "fig6", {
+
+def _spectre_cell(records, root_seed, host, attempts, detector_names,
+                  attempt_samples, attempt_benign, audit_every,
+                  cell_seed=0, faults=None, scenario=None):
+    """Phase (a): plain Spectre vs retraining detectors (one cell)."""
+    detectors = _online_detectors(records, root_seed, detector_names,
+                                  faults=faults)
+    if scenario is None:
+        scenario = Scenario(ScenarioConfig(host=host, seed=cell_seed),
+                            faults=faults)
+    series = {name: [] for name in detector_names}
+    for attempt in range(attempts):
+        fresh_attack = scenario.attack_samples_mixed_variants(
+            attempt_samples
+        )
+        fresh_benign = scenario.benign_samples(
+            attempt_benign, include_extras=False
+        )
+        dataset = attempt_dataset(fresh_benign, fresh_attack)
+        audited = audit_every and (attempt + 1) % audit_every == 0
+        for name, detector in detectors.items():
+            series[name].append(detector.accuracy_on(dataset))
+            if audited:
+                detector.observe(dataset)
+            else:
+                observe_self_labeled(detector, dataset)
+    return series
+
+
+def _crspectre_cell(records, root_seed, host, attempts, detector_names,
+                    attempt_samples, attempt_benign, audit_every,
+                    cell_seed=0, faults=None, scenario=None):
+    """Phase (b): dynamic CR-Spectre vs retraining detectors (one cell)."""
+    detectors = _online_detectors(records, root_seed, detector_names,
+                                  faults=faults)
+    if scenario is None:
+        scenario = Scenario(ScenarioConfig(host=host, seed=cell_seed),
+                            faults=faults)
+    attacker = AdaptiveAttacker(seed=root_seed + 13)
+    series = {name: [] for name in detector_names}
+    for attempt in range(attempts):
+        params = attacker.propose()
+        fresh_attack = scenario.attack_samples_mixed_variants(
+            attempt_samples, perturb=params
+        )
+        fresh_benign = scenario.benign_samples(
+            attempt_benign, include_extras=False
+        )
+        dataset = attempt_dataset(fresh_benign, fresh_attack)
+        audited = audit_every and (attempt + 1) % audit_every == 0
+        accuracies = []
+        for name, detector in detectors.items():
+            accuracy = detector.accuracy_on(dataset)
+            series[name].append(accuracy)
+            accuracies.append(accuracy)
+            if audited:
+                detector.observe(dataset)
+            else:
+                observe_self_labeled(detector, dataset)
+        # The attacker only sees the (averaged) detector verdicts.
+        attacker.feedback(sum(accuracies) / len(accuracies))
+    return {
+        "series": series,
+        "history": [
+            {
+                "attempt": record.attempt,
+                "accuracy": record.accuracy,
+                "params": dataclasses.asdict(record.params),
+            }
+            for record in attacker.history
+        ],
+    }
+
+
+def plan_fig6(seed=0, host="basicmath", attempts=10,
+              detector_names=DETECTOR_NAMES, training_benign=240,
+              training_attack=240, attempt_samples=60, attempt_benign=15,
+              audit_every=3, scenario=None, training=None, faults=None):
+    """Declare the Figure-6 cell grid (see the module docstring)."""
+    plan = SweepPlan("fig6", seed, faults=faults)
+    local = scenario is not None
+    shared = {"scenario": scenario} if local else {}
+    if training is not None:
+        benign, attack = training
+        plan.preset("training", {
+            "benign": samples_to_records(benign),
+            "attack": samples_to_records(attack),
+        })
+    else:
+        plan.add(
+            "training", sample_training_records,
+            kwargs=dict(host=host, training_benign=training_benign,
+                        training_attack=training_attack, **shared),
+            seed_kw="cell_seed", faults_kw="faults", local=local,
+        )
+    phase_kwargs = dict(
+        root_seed=seed, host=host, attempts=attempts,
+        detector_names=tuple(detector_names),
+        attempt_samples=attempt_samples, attempt_benign=attempt_benign,
+        audit_every=audit_every,
+    )
+    plan.add("spectre", _spectre_cell,
+             kwargs=dict(phase_kwargs, **shared),
+             deps={"records": "training"},
+             seed_kw="cell_seed", faults_kw="faults", local=local)
+    plan.add("crspectre", _crspectre_cell,
+             kwargs=dict(phase_kwargs, **shared),
+             deps={"records": "training"},
+             seed_kw="cell_seed", faults_kw="faults", local=local)
+    return plan
+
+
+def fig6_meta(seed, host, attempts, detector_names, training_benign,
+              training_attack, attempt_samples, attempt_benign,
+              audit_every):
+    return {
         "seed": seed, "host": host, "attempts": attempts,
         "detector_names": list(detector_names),
         "training_benign": training_benign,
@@ -120,100 +239,34 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
         "attempt_samples": attempt_samples,
         "attempt_benign": attempt_benign,
         "audit_every": audit_every,
-    })
+    }
+
+
+def run_fig6(seed=0, host="basicmath", attempts=10,
+             detector_names=DETECTOR_NAMES, training_benign=240,
+             training_attack=240, attempt_samples=60, attempt_benign=15,
+             audit_every=3, scenario=None, training=None, checkpoint=None,
+             faults=None, jobs=1, progress=None):
+    """Regenerate Figure 6.  Returns a :class:`Fig6Result`.
+
+    ``audit_every``: every k-th attempt the defender's analysts audit
+    the window labels (the paper's human-in-the-loop), so that attempt
+    is learned with ground truth — the source of the partial recoveries
+    in Fig. 6(b); all other attempts retrain self-labeled.
+    """
+    store = open_checkpoint(checkpoint, "fig6", fig6_meta(
+        seed, host, attempts, detector_names, training_benign,
+        training_attack, attempt_samples, attempt_benign, audit_every,
+    ))
+    plan = plan_fig6(seed, host, attempts, detector_names,
+                     training_benign, training_attack, attempt_samples,
+                     attempt_benign, audit_every, scenario=scenario,
+                     training=training, faults=faults)
     statuses = {}
-    if scenario is None:
-        scenario = Scenario(ScenarioConfig(host=host, seed=seed),
-                            faults=faults)
-    if training is None:
-        records = run_cell(
-            "training",
-            lambda: {
-                "benign": samples_to_records(
-                    scenario.benign_samples(training_benign)
-                ),
-                "attack": samples_to_records(
-                    scenario.attack_samples_mixed_variants(training_attack)
-                ),
-            },
-            store=store, statuses=statuses,
-        )
-        if records is None:
-            return Fig6Result(
-                spectre={}, crspectre={}, attacker_history=[],
-                attempts=attempts, cell_status=statuses,
-            )
-        training = (samples_from_records(records["benign"]),
-                    samples_from_records(records["attack"]))
-    benign, attack = training
-    train, _ = split_training(benign, attack, seed=seed)
+    results = execute_plan(plan, store=store, statuses=statuses,
+                           backend=backend_for(jobs), progress=progress)
 
-    # ---- (a) plain Spectre vs retraining detectors ---------------------
-    def phase_a():
-        detectors = train_detectors(train, detector_names, seed=seed,
-                                    online=True, faults=faults)
-        series = {name: [] for name in detector_names}
-        for attempt in range(attempts):
-            fresh_attack = scenario.attack_samples_mixed_variants(
-                attempt_samples
-            )
-            fresh_benign = scenario.benign_samples(
-                attempt_benign, include_extras=False
-            )
-            dataset = attempt_dataset(fresh_benign, fresh_attack)
-            audited = audit_every and (attempt + 1) % audit_every == 0
-            for name, detector in detectors.items():
-                series[name].append(detector.accuracy_on(dataset))
-                if audited:
-                    detector.observe(dataset)
-                else:
-                    observe_self_labeled(detector, dataset)
-        return series
-
-    spectre_series = run_cell("spectre", phase_a,
-                              store=store, statuses=statuses) or {}
-
-    # ---- (b) dynamic CR-Spectre vs retraining detectors ------------------
-    def phase_b():
-        detectors = train_detectors(train, detector_names, seed=seed,
-                                    online=True, faults=faults)
-        attacker = AdaptiveAttacker(seed=seed + 13)
-        series = {name: [] for name in detector_names}
-        for attempt in range(attempts):
-            params = attacker.propose()
-            fresh_attack = scenario.attack_samples_mixed_variants(
-                attempt_samples, perturb=params
-            )
-            fresh_benign = scenario.benign_samples(
-                attempt_benign, include_extras=False
-            )
-            dataset = attempt_dataset(fresh_benign, fresh_attack)
-            audited = audit_every and (attempt + 1) % audit_every == 0
-            accuracies = []
-            for name, detector in detectors.items():
-                accuracy = detector.accuracy_on(dataset)
-                series[name].append(accuracy)
-                accuracies.append(accuracy)
-                if audited:
-                    detector.observe(dataset)
-                else:
-                    observe_self_labeled(detector, dataset)
-            # The attacker only sees the (averaged) detector verdicts.
-            attacker.feedback(sum(accuracies) / len(accuracies))
-        return {
-            "series": series,
-            "history": [
-                {
-                    "attempt": record.attempt,
-                    "accuracy": record.accuracy,
-                    "params": dataclasses.asdict(record.params),
-                }
-                for record in attacker.history
-            ],
-        }
-
-    phase_b_value = run_cell("crspectre", phase_b,
-                             store=store, statuses=statuses)
+    phase_b_value = results.get("crspectre")
     if phase_b_value is None:
         crspectre_series, attacker_history = {}, []
     else:
@@ -228,7 +281,7 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
         ]
 
     return Fig6Result(
-        spectre=spectre_series,
+        spectre=results.get("spectre") or {},
         crspectre=crspectre_series,
         attacker_history=attacker_history,
         attempts=attempts,

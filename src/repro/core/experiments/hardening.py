@@ -11,11 +11,15 @@ interesting shape is diminishing returns — each disguise style must be
 represented, and variants inside a known style stop evading, while a
 style absent from training remains open.
 
-Sweep cells (checkpoint/resume granularity): ``corpus`` (every sampled
-pool — benign, plain attack, K train variants, holdout variants) and
-one ``k/<K>`` cell per ablation point.  A killed sweep resumes with the
-corpus replayed from the checkpoint and only the missing K points
-recomputed.
+Cell grid (the declared :class:`~repro.exec.SweepPlan`)::
+
+    corpus ──┬── k/<K>   (one ablation point per K, fan-out)
+
+``corpus`` samples every pool once (benign, plain attack, the K train
+variants, holdout variants); each ``k/<K>`` cell trains its hardened
+detector from the shared corpus, so the points are order-independent
+and parallelise.  A killed sweep resumes with the corpus replayed from
+the checkpoint and only the missing K points recomputed.
 """
 
 import dataclasses
@@ -24,8 +28,9 @@ import random
 from repro.attack.perturb import random_params
 from repro.core.experiments.common import attempt_dataset, open_checkpoint
 from repro.core.reporting import append_status_section, format_table
-from repro.core.resilience import run_cell, sweep_partial
+from repro.core.resilience import sweep_partial
 from repro.core.scenario import Scenario, ScenarioConfig
+from repro.exec import SweepPlan, backend_for, execute_plan
 from repro.hid import make_detector, samples_to_dataset
 from repro.hid.features import DEFAULT_FEATURES
 from repro.hid.io import samples_from_records, samples_to_records
@@ -57,7 +62,7 @@ class HardeningResult:
                    f"held-out CR-Spectre variants"),
         )
         noteworthy = any(
-            cell.get("status") != "ok"
+            cell.get("status") not in ("ok", "cached")
             for cell in self.cell_status.values()
         )
         return append_status_section(
@@ -69,18 +74,109 @@ class HardeningResult:
         return self.accuracy_by_k[ks[-1]] - self.accuracy_by_k[ks[0]]
 
 
-def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
-                  holdout_variants=4, samples_per_variant=40,
-                  training_benign=200, training_attack=120,
-                  attempt_benign=15, scenario=None, checkpoint=None,
-                  faults=None):
-    """Run the adversarial-training ablation.
+def _corpus_cell(root_seed, max_k, holdout_variants, samples_per_variant,
+                 training_benign, training_attack, attempt_benign,
+                 cell_seed=0, faults=None, scenario=None):
+    """Every sampled pool, as JSON records (shared by all ``k/<K>`` cells).
 
-    For each K in *train_variant_counts*: train on benign + plain
-    Spectre + K random perturbation variants, then evaluate on
-    *holdout_variants* fresh random variants (disjoint RNG stream).
+    The train/holdout perturbation draws come from two disjoint RNG
+    streams keyed off the *root* seed, exactly as the serial sweep drew
+    them, so the ablation's variants do not depend on cell scheduling.
     """
-    store = open_checkpoint(checkpoint, "hardening", {
+    rng_train = random.Random(root_seed + 1)
+    rng_holdout = random.Random(root_seed + 999)
+    if scenario is None:
+        scenario = Scenario(ScenarioConfig(seed=cell_seed), faults=faults)
+    benign = scenario.benign_samples(training_benign)
+    plain = scenario.attack_samples_mixed_variants(training_attack)
+    train_variants = [
+        scenario.attack_samples(
+            samples_per_variant, variant="v1",
+            perturb=random_params(rng_train),
+        )
+        for _ in range(max_k)
+    ]
+    holdouts = [
+        scenario.attack_samples(
+            samples_per_variant, variant="v1",
+            perturb=random_params(rng_holdout),
+        )
+        for _ in range(holdout_variants)
+    ]
+    eval_benign = scenario.benign_samples(
+        attempt_benign * holdout_variants, include_extras=False
+    )
+    return {
+        "benign": samples_to_records(benign),
+        "plain_attack": samples_to_records(plain),
+        "train_variants": [samples_to_records(s)
+                           for s in train_variants],
+        "holdouts": [samples_to_records(s) for s in holdouts],
+        "eval_benign": samples_to_records(eval_benign),
+    }
+
+
+def _k_cell(corpus, k, root_seed, classifier, attempt_benign,
+            cell_seed=0, faults=None):
+    """One ablation point: hardened on K variants, scored on holdouts."""
+    benign = samples_from_records(corpus["benign"])
+    attack_pool = list(samples_from_records(corpus["plain_attack"]))
+    for records in corpus["train_variants"][:k]:
+        attack_pool.extend(samples_from_records(records))
+    dataset = samples_to_dataset(benign, attack_pool, DEFAULT_FEATURES)
+    if faults is not None:
+        faults.check_convergence(classifier, context=f"hardening:k={k}")
+    detector = make_detector(classifier, seed=root_seed)
+    detector.fit(dataset)
+
+    holdout_benign = samples_from_records(corpus["eval_benign"])
+    accuracies = []
+    for index, records in enumerate(corpus["holdouts"]):
+        holdout = samples_from_records(records)
+        eval_benign = holdout_benign[
+            index * attempt_benign:(index + 1) * attempt_benign
+        ]
+        accuracies.append(detector.accuracy_on(
+            attempt_dataset(eval_benign, holdout)
+        ))
+    return sum(accuracies) / len(accuracies)
+
+
+def plan_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
+                   holdout_variants=4, samples_per_variant=40,
+                   training_benign=200, training_attack=120,
+                   attempt_benign=15, scenario=None, faults=None):
+    """Declare the hardening-ablation cell grid (see module docstring)."""
+    plan = SweepPlan("hardening", seed, faults=faults)
+    local = scenario is not None
+    shared = {"scenario": scenario} if local else {}
+    plan.add(
+        "corpus", _corpus_cell,
+        kwargs=dict(
+            root_seed=seed, max_k=max(train_variant_counts),
+            holdout_variants=holdout_variants,
+            samples_per_variant=samples_per_variant,
+            training_benign=training_benign,
+            training_attack=training_attack,
+            attempt_benign=attempt_benign, **shared,
+        ),
+        seed_kw="cell_seed", faults_kw="faults", local=local,
+    )
+    for k in train_variant_counts:
+        plan.add(
+            f"k/{k}", _k_cell,
+            kwargs=dict(k=k, root_seed=seed, classifier=classifier,
+                        attempt_benign=attempt_benign),
+            deps={"corpus": "corpus"},
+            seed_kw="cell_seed", faults_kw="faults", local=local,
+        )
+    return plan
+
+
+def hardening_meta(seed, classifier, train_variant_counts, holdout_variants,
+                   samples_per_variant, training_benign, training_attack,
+                   attempt_benign):
+    return {
         "seed": seed,
         "classifier": classifier,
         "train_variant_counts": list(train_variant_counts),
@@ -89,88 +185,37 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
         "training_benign": training_benign,
         "training_attack": training_attack,
         "attempt_benign": attempt_benign,
-    })
+    }
+
+
+def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
+                  holdout_variants=4, samples_per_variant=40,
+                  training_benign=200, training_attack=120,
+                  attempt_benign=15, scenario=None, checkpoint=None,
+                  faults=None, jobs=1, progress=None):
+    """Run the adversarial-training ablation.
+
+    For each K in *train_variant_counts*: train on benign + plain
+    Spectre + K random perturbation variants, then evaluate on
+    *holdout_variants* fresh random variants (disjoint RNG stream).
+    """
+    store = open_checkpoint(checkpoint, "hardening", hardening_meta(
+        seed, classifier, train_variant_counts, holdout_variants,
+        samples_per_variant, training_benign, training_attack,
+        attempt_benign,
+    ))
+    plan = plan_hardening(seed, classifier, train_variant_counts,
+                          holdout_variants, samples_per_variant,
+                          training_benign, training_attack, attempt_benign,
+                          scenario=scenario, faults=faults)
     statuses = {}
-    rng_train = random.Random(seed + 1)
-    rng_holdout = random.Random(seed + 999)
-    scenario = scenario or Scenario(ScenarioConfig(seed=seed), faults=faults)
-
-    max_k = max(train_variant_counts)
-
-    def corpus_cell():
-        benign = scenario.benign_samples(training_benign)
-        plain = scenario.attack_samples_mixed_variants(training_attack)
-        train_variants = [
-            scenario.attack_samples(
-                samples_per_variant, variant="v1",
-                perturb=random_params(rng_train),
-            )
-            for _ in range(max_k)
-        ]
-        holdouts = [
-            scenario.attack_samples(
-                samples_per_variant, variant="v1",
-                perturb=random_params(rng_holdout),
-            )
-            for _ in range(holdout_variants)
-        ]
-        eval_benign = scenario.benign_samples(
-            attempt_benign * holdout_variants, include_extras=False
-        )
-        return {
-            "benign": samples_to_records(benign),
-            "plain_attack": samples_to_records(plain),
-            "train_variants": [samples_to_records(s)
-                               for s in train_variants],
-            "holdouts": [samples_to_records(s) for s in holdouts],
-            "eval_benign": samples_to_records(eval_benign),
-        }
-
-    corpus = run_cell("corpus", corpus_cell, store=store, statuses=statuses)
-    if corpus is None:
-        return HardeningResult(
-            accuracy_by_k={}, holdout_variants=holdout_variants,
-            classifier=classifier, cell_status=statuses,
-        )
-    benign = samples_from_records(corpus["benign"])
-    plain_attack = samples_from_records(corpus["plain_attack"])
-    train_variant_samples = [
-        samples_from_records(records)
-        for records in corpus["train_variants"]
-    ]
-    holdout_sets = [
-        samples_from_records(records) for records in corpus["holdouts"]
-    ]
-    holdout_benign = samples_from_records(corpus["eval_benign"])
-
-    def k_cell(k):
-        attack_pool = list(plain_attack)
-        for variant_samples in train_variant_samples[:k]:
-            attack_pool.extend(variant_samples)
-        dataset = samples_to_dataset(benign, attack_pool,
-                                     DEFAULT_FEATURES)
-        if faults is not None:
-            faults.check_convergence(classifier, context=f"hardening:k={k}")
-        detector = make_detector(classifier, seed=seed)
-        detector.fit(dataset)
-
-        accuracies = []
-        for index, holdout in enumerate(holdout_sets):
-            eval_benign = holdout_benign[
-                index * attempt_benign:(index + 1) * attempt_benign
-            ]
-            accuracies.append(detector.accuracy_on(
-                attempt_dataset(eval_benign, holdout)
-            ))
-        return sum(accuracies) / len(accuracies)
-
+    results = execute_plan(plan, store=store, statuses=statuses,
+                           backend=backend_for(jobs), progress=progress)
     accuracy_by_k = {}
     for k in train_variant_counts:
-        value = run_cell(f"k/{k}", lambda k=k: k_cell(k),
-                         store=store, statuses=statuses)
+        value = results.get(f"k/{k}")
         if value is not None:
             accuracy_by_k[k] = value
-
     return HardeningResult(
         accuracy_by_k=accuracy_by_k,
         holdout_variants=holdout_variants,

@@ -12,6 +12,11 @@ machine with a shared L2 and context-switch costs:
 
 The overhead is the host's IPC drop; the paper's headline is that it is
 negligible (<~1 %).
+
+Each benchmark row is one cell of the declared
+:class:`~repro.exec.SweepPlan` — rows build their own simulated
+:class:`~repro.kernel.system.System` instances, so they are mutually
+independent and fan out cleanly over a process pool (``jobs=N``).
 """
 
 import dataclasses
@@ -24,9 +29,10 @@ from repro.attack import (
 )
 from repro.core.experiments.common import co_run, open_checkpoint
 from repro.core.reporting import append_status_section, format_table
-from repro.core.resilience import Watchdog, run_cell, sweep_partial
+from repro.core.resilience import Watchdog, sweep_partial
 from repro.core.scenario import PROFILE_REPEATS
 from repro.errors import BudgetExceededError
+from repro.exec import SweepPlan, backend_for, execute_plan
 from repro.kernel.system import System
 from repro.workloads import get_workload
 
@@ -91,7 +97,7 @@ class Table1Result:
             title="Table I — performance overhead in evaluated benchmarks",
         )
         noteworthy = any(
-            cell.get("status") != "ok"
+            cell.get("status") not in ("ok", "cached")
             for cell in self.cell_status.values()
         )
         return append_status_section(
@@ -183,9 +189,87 @@ def _measure_host_ipc(seed, workload_name, iterations, secret,
     return host.pmu.ipc
 
 
+def _row_cell(label, workload_name, iteration_choices, root_seed, secret,
+              repetitions, quantum, measurement_budget, cell_seed=0,
+              faults=None):
+    """One benchmark row: original/offline/online IPC, averaged.
+
+    The System seeds derive from the *root* seed (``seed + 1000 * rep``,
+    as the serial sweep always did) so the measured IPCs are a function
+    of the row alone — the cell's derived seed only drives its fault
+    stream.
+    """
+    if faults is not None and faults.runaway_fired(f"table1:{label}"):
+        limit = measurement_budget or 5_000_000
+        raise BudgetExceededError(
+            f"injected runaway speculation in row {label!r}",
+            consumed=limit, budget=limit, label=f"table1:{label}",
+        )
+    secret = secret.encode("latin-1")
+    original, offline, online = [], [], []
+    for repetition in range(repetitions):
+        rep_seed = root_seed + 1000 * repetition
+        for iterations in iteration_choices:
+            def budget():
+                if measurement_budget is None:
+                    return None
+                return Watchdog(measurement_budget,
+                                label=f"table1:{label}")
+            original.append(_measure_host_ipc(
+                rep_seed, workload_name, iterations, secret,
+                perturb=None, quantum=quantum, watchdog=budget(),
+            ))
+            offline.append(_measure_host_ipc(
+                rep_seed, workload_name, iterations, secret,
+                perturb=OFFLINE_PERTURB, quantum=quantum,
+                watchdog=budget(),
+            ))
+            online.append(_measure_host_ipc(
+                rep_seed, workload_name, iterations, secret,
+                perturb=ONLINE_PERTURB, dynamic=True, quantum=quantum,
+                watchdog=budget(),
+            ))
+    return {
+        "original": sum(original) / len(original),
+        "offline": sum(offline) / len(offline),
+        "online": sum(online) / len(online),
+    }
+
+
+def plan_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
+                repetitions=3, quantum=10_000, measurement_budget=None,
+                faults=None):
+    """Declare the Table-I cell grid: one independent cell per row."""
+    plan = SweepPlan("table1", seed, faults=faults)
+    for label, workload_name, iteration_choices in rows:
+        plan.add(
+            f"row/{label}", _row_cell,
+            kwargs=dict(
+                label=label, workload_name=workload_name,
+                iteration_choices=list(iteration_choices),
+                root_seed=seed, secret=secret.decode("latin-1"),
+                repetitions=repetitions, quantum=quantum,
+                measurement_budget=measurement_budget,
+            ),
+            seed_kw="cell_seed", faults_kw="faults",
+        )
+    return plan
+
+
+def table1_meta(seed, rows, secret, repetitions, quantum):
+    return {
+        "seed": seed,
+        "rows": [list(row[:2]) + [list(row[2])] for row in rows],
+        "secret": secret.decode("latin-1"),
+        "repetitions": repetitions,
+        "quantum": quantum,
+    }
+
+
 def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
                repetitions=3, quantum=10_000, checkpoint=None,
-               measurement_budget=None, faults=None):
+               measurement_budget=None, faults=None, jobs=1,
+               progress=None):
     """Regenerate Table I.  Returns a :class:`Table1Result`.
 
     ``repetitions`` mirrors the paper's averaging over repeated runs
@@ -196,61 +280,18 @@ def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
     the affected row trips its (real or implied) budget and degrades
     into a failed cell rather than spinning forever.
     """
-    store = open_checkpoint(checkpoint, "table1", {
-        "seed": seed,
-        "rows": [list(row[:2]) + [list(row[2])] for row in rows],
-        "secret": secret.decode("latin-1"),
-        "repetitions": repetitions,
-        "quantum": quantum,
-    })
+    store = open_checkpoint(checkpoint, "table1", table1_meta(
+        seed, rows, secret, repetitions, quantum,
+    ))
+    plan = plan_table1(seed, rows, secret, repetitions, quantum,
+                       measurement_budget=measurement_budget,
+                       faults=faults)
     statuses = {}
-
-    def row_cell(label, workload_name, iteration_choices):
-        if faults is not None and faults.runaway_fired(f"table1:{label}"):
-            limit = measurement_budget or 5_000_000
-            raise BudgetExceededError(
-                f"injected runaway speculation in row {label!r}",
-                consumed=limit, budget=limit, label=f"table1:{label}",
-            )
-        original, offline, online = [], [], []
-        for repetition in range(repetitions):
-            rep_seed = seed + 1000 * repetition
-            for iterations in iteration_choices:
-                def budget():
-                    if measurement_budget is None:
-                        return None
-                    return Watchdog(measurement_budget,
-                                    label=f"table1:{label}")
-                original.append(_measure_host_ipc(
-                    rep_seed, workload_name, iterations, secret,
-                    perturb=None, quantum=quantum, watchdog=budget(),
-                ))
-                offline.append(_measure_host_ipc(
-                    rep_seed, workload_name, iterations, secret,
-                    perturb=OFFLINE_PERTURB, quantum=quantum,
-                    watchdog=budget(),
-                ))
-                online.append(_measure_host_ipc(
-                    rep_seed, workload_name, iterations, secret,
-                    perturb=ONLINE_PERTURB, dynamic=True, quantum=quantum,
-                    watchdog=budget(),
-                ))
-        return {
-            "original": sum(original) / len(original),
-            "offline": sum(offline) / len(offline),
-            "online": sum(online) / len(online),
-        }
-
+    results = execute_plan(plan, store=store, statuses=statuses,
+                           backend=backend_for(jobs), progress=progress)
     result_rows = []
-    for label, workload_name, iteration_choices in rows:
-        value = run_cell(
-            f"row/{label}",
-            lambda label=label, workload_name=workload_name,
-            iteration_choices=iteration_choices: row_cell(
-                label, workload_name, iteration_choices
-            ),
-            store=store, statuses=statuses,
-        )
+    for label, _workload, _iterations in rows:
+        value = results.get(f"row/{label}")
         if value is not None:
             result_rows.append(Table1Row(
                 benchmark=label,

@@ -69,6 +69,26 @@ def append_status_section(text, statuses, partial):
     return f"{text}\n{block}"
 
 
+def format_duration(seconds):
+    """Compact human wall-clock rendering (``850ms``, ``12.3s``, ``2m05s``)."""
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, rest = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rest:02.0f}s"
+
+
+def format_progress(experiment, done, total, key, status, elapsed,
+                    eta_seconds=None):
+    """One live sweep-progress line (``repro.exec`` cell completions)."""
+    line = (f"[{experiment} {done}/{total}] {status:>6} {key} "
+            f"({format_duration(elapsed)})")
+    if eta_seconds is not None and done < total:
+        line += f"  eta ~{format_duration(eta_seconds)}"
+    return line
+
+
 def sparkline(values, lo=None, hi=None):
     """Tiny unicode trend strip for accuracy-vs-attempt series."""
     blocks = "▁▂▃▄▅▆▇█"

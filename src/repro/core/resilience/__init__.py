@@ -14,6 +14,7 @@ from repro.core.resilience.checkpoint import (
     CELL_OK,
     RECOVERABLE,
     CheckpointStore,
+    error_chain,
     run_cell,
     sweep_partial,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "CELL_OK",
     "RECOVERABLE",
     "CheckpointStore",
+    "error_chain",
     "run_cell",
     "sweep_partial",
     "FAULT_KINDS",

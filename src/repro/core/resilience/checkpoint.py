@@ -12,10 +12,23 @@ The store is one JSON file::
 ``meta`` binds the checkpoint to its sweep configuration (experiment
 name, seed, scale knobs); resuming with different meta discards the
 stale cells rather than silently mixing two configurations.
+
+Parallel sweeps (``repro.exec``) additionally persist each completed
+cell as its own *shard* file under ``<path>.d/`` — an O_EXCL-created,
+atomically-linked JSON file per cell.  Shards make concurrent
+checkpointing safe without a lock: two writers racing on the same cell
+resolve to first-writer-wins (both computed the same deterministic
+value), and a parallel run killed mid-sweep resumes exactly like a
+serial one because :meth:`CheckpointStore._load` merges shards back in
+(*merge-on-read*).  :meth:`CheckpointStore.consolidate` folds surviving
+shards into the monolithic file at the end of a sweep, so the final
+on-disk artefact is byte-identical to what a serial run leaves behind.
 """
 
+import hashlib
 import json
 import os
+import tempfile
 
 from repro.atomicio import atomic_write_json
 from repro.errors import (
@@ -41,24 +54,66 @@ class CheckpointStore:
         self._cells = {}
         self._load()
 
+    @property
+    def shard_dir(self):
+        return self.path + ".d"
+
     def _load(self):
-        if not os.path.exists(self.path):
+        stored_meta = None
+        if os.path.exists(self.path):
+            try:
+                with open(self.path, encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                cells = payload["cells"]
+                stored_meta = payload.get("meta", {})
+            except (OSError, ValueError, KeyError) as exc:
+                raise CheckpointError(
+                    f"unreadable checkpoint {self.path!r}: {exc}"
+                ) from exc
+            if self.meta and stored_meta != self.meta:
+                # A different sweep configuration wrote this file: its
+                # cells would be wrong answers here.  Start fresh.
+                self.discarded = True
+            else:
+                self._cells = dict(cells)
+        self._merge_shards()
+
+    def _meta_fingerprint(self):
+        """Stable digest binding shard files to this sweep configuration."""
+        material = json.dumps(self.meta, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(material).hexdigest()[:16]
+
+    def _shard_path(self, key):
+        key_digest = hashlib.sha256(
+            str(key).encode("utf-8")
+        ).hexdigest()[:16]
+        return os.path.join(
+            self.shard_dir, f"{self._meta_fingerprint()}-{key_digest}.json"
+        )
+
+    def _merge_shards(self):
+        """Fold per-cell shard files into the in-memory cell map.
+
+        Only shards whose filename carries this store's meta fingerprint
+        are read — a stale shard from a differently-configured sweep can
+        never leak cells in (the monolith's discard rule, per shard).
+        Unreadable shards are ignored: shards are only ever *created*
+        atomically, so a bad one is a foreign file, not a torn write.
+        """
+        if not os.path.isdir(self.shard_dir):
             return
-        try:
-            with open(self.path, encoding="utf-8") as handle:
-                payload = json.load(handle)
-            cells = payload["cells"]
-            stored_meta = payload.get("meta", {})
-        except (OSError, ValueError, KeyError) as exc:
-            raise CheckpointError(
-                f"unreadable checkpoint {self.path!r}: {exc}"
-            ) from exc
-        if self.meta and stored_meta != self.meta:
-            # A different sweep configuration wrote this file: its cells
-            # would be wrong answers here.  Start fresh.
-            self.discarded = True
-            return
-        self._cells = dict(cells)
+        prefix = self._meta_fingerprint() + "-"
+        for name in sorted(os.listdir(self.shard_dir)):
+            if not (name.startswith(prefix) and name.endswith(".json")):
+                continue
+            try:
+                with open(os.path.join(self.shard_dir, name),
+                          encoding="utf-8") as handle:
+                    shard = json.load(handle)
+                key, value = shard["key"], shard["value"]
+            except (OSError, ValueError, KeyError):
+                continue
+            self._cells.setdefault(str(key), value)
 
     def _flush(self):
         directory = os.path.dirname(self.path)
@@ -96,6 +151,65 @@ class CheckpointStore:
         self._cells[str(key)] = value
         self._flush()
 
+    def put_shard(self, key, value):
+        """Record a completed cell as its own shard file (no monolith I/O).
+
+        The shard is written to a temp file and *linked* into place —
+        ``os.link`` fails with ``EEXIST`` when the shard already exists
+        (O_EXCL semantics), which is exactly right: a concurrent writer
+        completed the same deterministic cell first, so this value is a
+        duplicate and is dropped.  Returns True when this call created
+        the shard.  Used by parallel backends: per-cell O(1) writes
+        instead of rewriting an O(cells) monolith under contention.
+        """
+        key = str(key)
+        try:
+            data = json.dumps({"key": key, "value": value})
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"cell {key!r} value is not JSON-serialisable: {exc}"
+            ) from exc
+        os.makedirs(self.shard_dir, exist_ok=True)
+        final = self._shard_path(key)
+        fd, tmp_path = tempfile.mkstemp(dir=self.shard_dir, suffix=".tmp")
+        created = False
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(data + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            try:
+                os.link(tmp_path, final)
+                created = True
+            except FileExistsError:
+                pass
+        finally:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+        self._cells[key] = value
+        return created
+
+    def consolidate(self):
+        """Fold shards into the monolithic file and delete the shard dir.
+
+        Called at the end of a parallel sweep so the surviving artefact
+        is the same single JSON file a serial sweep leaves behind.
+        """
+        self._flush()
+        if not os.path.isdir(self.shard_dir):
+            return
+        for name in os.listdir(self.shard_dir):
+            try:
+                os.unlink(os.path.join(self.shard_dir, name))
+            except OSError:
+                pass
+        try:
+            os.rmdir(self.shard_dir)
+        except OSError:
+            pass
+
     def clear(self):
         self._cells = {}
         self._flush()
@@ -104,6 +218,16 @@ class CheckpointStore:
 #: Error classes a sweep cell may absorb into a partial report; anything
 #: else (programming errors, fatal configuration errors) propagates.
 RECOVERABLE = (TransientError, RetryExhaustedError, BudgetExceededError)
+
+
+def error_chain(exc):
+    """Render an exception's ``__cause__`` chain as one status string."""
+    chain = []
+    cursor = exc
+    while cursor is not None:
+        chain.append(f"{type(cursor).__name__}: {cursor}")
+        cursor = cursor.__cause__
+    return " <- ".join(chain)
 
 
 def run_cell(key, compute, store=None, statuses=None):
@@ -125,12 +249,7 @@ def run_cell(key, compute, store=None, statuses=None):
     try:
         value = compute()
     except RECOVERABLE as exc:
-        chain = []
-        cursor = exc
-        while cursor is not None:
-            chain.append(f"{type(cursor).__name__}: {cursor}")
-            cursor = cursor.__cause__
-        statuses[key] = {"status": CELL_FAILED, "error": " <- ".join(chain)}
+        statuses[key] = {"status": CELL_FAILED, "error": error_chain(exc)}
         return None
     if store is not None:
         store.put(key, value)

@@ -87,6 +87,24 @@ class FaultInjector:
         self.fired = {kind: 0 for kind in FAULT_KINDS}
         self.log = []
 
+    # ---- derivation (parallel sweeps) -----------------------------------
+    def derive(self, seed):
+        """A fresh injector with this one's rates/caps and a new seed.
+
+        Parallel sweeps give every cell its own derived injector (seeded
+        from the cell key, see ``repro.exec.seeds``) so fault streams do
+        not depend on execution order or worker assignment.  ``max_fires``
+        therefore caps fires *per cell* in a planned sweep, not per run.
+        """
+        return FaultInjector(
+            seed=seed, rates=self.rates, max_fires=self.max_fires
+        )
+
+    def absorb(self, fired):
+        """Fold a derived injector's fired counts into this telemetry."""
+        for kind, count in fired.items():
+            self.fired[kind] = self.fired.get(kind, 0) + count
+
     # ---- firing decisions ------------------------------------------------
     def armed(self, kind):
         return self.rates.get(kind, 0.0) > 0.0

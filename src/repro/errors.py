@@ -149,6 +149,16 @@ class CheckpointError(ReproError):
     """A sweep checkpoint file is unreadable or structurally invalid."""
 
 
+class WorkerCrashError(TransientError):
+    """A sweep worker process died mid-cell (crash, OOM-kill, _exit).
+
+    Transient by design: the cell itself is deterministic, so a retry on
+    a fresh worker can succeed; if the crash reproduces, the pool
+    backend converts the cell into a failed-cell outcome after its
+    retry budget and the sweep degrades into a partial report.
+    """
+
+
 class RetryExhaustedError(ReproError):
     """All retry attempts failed; ``__cause__`` holds the last error."""
 

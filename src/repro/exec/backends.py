@@ -1,0 +1,173 @@
+"""Execution backends: where a plan's cells actually run.
+
+``SerialBackend`` runs cells in declaration order in the driver process
+— the zero-dependency fallback, and the reference a parallel run must
+match byte-for-byte.  ``ProcessPoolBackend`` fans a wave's cells out
+over a spawn-based process pool with a bounded number of in-flight
+cells; a crashed worker surfaces as a typed transient
+:class:`~repro.errors.WorkerCrashError` (absorbed into a partial report
+by the same machinery that absorbs injected faults), never as a hung
+pool.
+
+Both backends speak the same outcome protocol, produced by
+:func:`invoke_cell`::
+
+    {"status": "ok",  "value": ..., "elapsed": s, "fired": {...}}
+    {"status": "err", "chain": "...", "recoverable": bool, ...}
+
+so the runner upstream cannot tell them apart — which is the point.
+"""
+
+import time
+
+from repro.core.resilience import RECOVERABLE
+from repro.core.resilience.checkpoint import error_chain
+from repro.errors import WorkerCrashError
+
+
+def invoke_cell(fn, kwargs, faults_kw=None):
+    """Run one cell body and normalise the outcome (worker entry point).
+
+    Runs in the worker process under ``ProcessPoolBackend`` — the
+    reason errors come back as data: a reconstructed exception would
+    have to survive pickling, a chain string always does.  The derived
+    fault injector's fired counts ride along so the driver can fold
+    them into the root injector's telemetry.
+    """
+    injector = kwargs.get(faults_kw) if faults_kw else None
+    started = time.monotonic()
+    try:
+        value = fn(**kwargs)
+        outcome = {"status": "ok", "value": value}
+    except Exception as exc:
+        outcome = {
+            "status": "err",
+            "chain": error_chain(exc),
+            "recoverable": isinstance(exc, RECOVERABLE),
+            "type": type(exc).__name__,
+        }
+    outcome["elapsed"] = time.monotonic() - started
+    if injector is not None:
+        outcome["fired"] = {
+            kind: count for kind, count in injector.fired.items() if count
+        }
+    return outcome
+
+
+class SerialBackend:
+    """Run every cell in the driver process, in declaration order."""
+
+    #: Parallel backends persist through per-cell shards; serial ones
+    #: write the monolithic checkpoint directly.
+    concurrent = False
+    jobs = 1
+
+    def run_wave(self, jobs):
+        """Yield ``(key, outcome)`` for each ``(key, fn, kwargs,
+        faults_kw)`` job, in order."""
+        for key, fn, kwargs, faults_kw in jobs:
+            yield key, invoke_cell(fn, kwargs, faults_kw)
+
+    def close(self):
+        pass
+
+
+class ProcessPoolBackend:
+    """Fan cells out over ``jobs`` spawn-safe worker processes.
+
+    ``spawn`` (not ``fork``) so workers start from a clean interpreter —
+    no inherited locks, no shared numpy state — and behave identically
+    on every platform.  At most ``2 * jobs`` cells are in flight at
+    once, so a thousand-cell wave never materialises a thousand pickled
+    payloads.  A worker that dies mid-cell (segfault, OOM-kill,
+    ``os._exit``) breaks the pool: the pool is rebuilt and the affected
+    cells retried up to ``crash_retries`` times, after which they yield
+    a recoverable-error outcome.
+    """
+
+    concurrent = True
+
+    def __init__(self, jobs, crash_retries=2):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.crash_retries = crash_retries
+        self._executor = None
+
+    def _pool(self):
+        if self._executor is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._executor
+
+    def _discard_pool(self):
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def close(self):
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def run_wave(self, jobs):
+        """Yield ``(key, outcome)`` as cells complete (arrival order).
+
+        The caller must not depend on the order — the runner reorders
+        statuses and results into declaration order afterwards.
+        """
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        queue = list(jobs)
+        crashes = {}
+        in_flight = {}
+        window = 2 * self.jobs
+
+        def submit_next():
+            while queue and len(in_flight) < window:
+                job = queue.pop(0)
+                key, fn, kwargs, faults_kw = job
+                future = self._pool().submit(
+                    invoke_cell, fn, kwargs, faults_kw
+                )
+                in_flight[future] = job
+
+        submit_next()
+        while in_flight:
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                job = in_flight.pop(future)
+                key = job[0]
+                try:
+                    yield key, future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    crashes[key] = crashes.get(key, 0) + 1
+                    if crashes[key] > self.crash_retries:
+                        chain = error_chain(WorkerCrashError(
+                            f"worker process died running cell {key!r} "
+                            f"({crashes[key]} attempts)"
+                        ))
+                        yield key, {
+                            "status": "err", "chain": chain,
+                            "recoverable": True, "elapsed": 0.0,
+                            "type": WorkerCrashError.__name__,
+                        }
+                    else:
+                        queue.insert(0, job)
+            if broken:
+                # Every other in-flight future is poisoned too; retry
+                # those cells on a fresh pool without charging them a
+                # crash (their worker may have been healthy).
+                for future, job in in_flight.items():
+                    queue.insert(0, job)
+                in_flight.clear()
+                self._discard_pool()
+            submit_next()

@@ -1,0 +1,51 @@
+"""Live progress/ETA for long sweeps.
+
+A :class:`SweepProgress` is handed to :func:`repro.exec.runner.
+execute_plan`; it prints one line per completed cell (to stderr by
+default, so report artefacts on stdout stay byte-identical across
+backends) with a wall-clock ETA extrapolated from the mean cell time
+and the backend's parallel width.
+"""
+
+import sys
+import time
+
+from repro.core.reporting import format_progress
+
+
+class SweepProgress:
+    """Per-cell completion lines with a running ETA."""
+
+    def __init__(self, experiment, total, jobs=1, stream=None):
+        self.experiment = experiment
+        self.total = total
+        self.jobs = max(1, jobs)
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.started = time.monotonic()
+        self._computed = 0
+        self._computed_seconds = 0.0
+
+    def eta_seconds(self):
+        """Remaining wall-clock, from mean computed-cell time ÷ width.
+
+        Cached cells are excluded from the mean (they replay in
+        microseconds and would wreck the estimate for the cells that
+        actually have to run).
+        """
+        if self._computed == 0:
+            return None
+        remaining = self.total - self.done
+        mean = self._computed_seconds / self._computed
+        return remaining * mean / self.jobs
+
+    def update(self, key, status, elapsed):
+        self.done += 1
+        if status != "cached":
+            self._computed += 1
+            self._computed_seconds += elapsed
+        line = format_progress(
+            self.experiment, self.done, self.total, key, status,
+            elapsed, self.eta_seconds(),
+        )
+        print(line, file=self.stream, flush=True)

@@ -1,0 +1,179 @@
+"""Plan execution: cache, fan out, absorb failures, merge, persist.
+
+:func:`execute_plan` is the single entry point every experiment runner
+uses.  It resolves checkpoint-cached cells, hands the rest to a backend
+wave by wave (a wave = cells whose dependencies are all satisfied),
+absorbs recoverable failures into per-cell statuses exactly like
+:func:`repro.core.resilience.run_cell` does, and persists completed
+cells — monolithically when serial, as O_EXCL shards when concurrent
+(consolidated back into the monolith at the end, so the final artefact
+is identical either way).
+
+Determinism contract: a plan's results depend only on (experiment,
+knobs, root seed).  Each cell runs with a derived seed and a derived
+fault injector, every value is round-tripped through JSON (so a fresh
+value and a checkpoint-replayed value are indistinguishable), and
+statuses/results are emitted in declaration order regardless of the
+order cells actually finished in.
+"""
+
+import json
+
+from repro.core.resilience import (
+    CELL_CACHED,
+    CELL_FAILED,
+    CELL_OK,
+    CheckpointStore,
+)
+from repro.core.reporting import format_table
+from repro.errors import FatalError
+from repro.exec.backends import SerialBackend
+
+
+class CellExecutionError(FatalError):
+    """A cell raised a non-recoverable error; the sweep must not go on.
+
+    The original exception may have been raised in a worker process;
+    its type and cause chain survive in the message.
+    """
+
+    def __init__(self, key, chain):
+        super().__init__(f"cell {key!r} failed fatally: {chain}")
+        self.key = key
+        self.chain = chain
+
+
+def _roundtrip(value):
+    """Normalise a fresh cell value through JSON.
+
+    A resumed sweep replays values that went to disk and back; a fresh
+    sweep must see the identical representation (tuples already lists,
+    int keys already strings), or resumed and uninterrupted runs could
+    render differently.
+    """
+    return json.loads(json.dumps(value))
+
+
+def open_store(checkpoint, experiment, meta):
+    """Resolve a checkpoint directory into a store (or None).
+
+    The sweep persists to ``<checkpoint>/<experiment>.json``; ``meta``
+    must hold every knob that changes the plan's cells, so a stored
+    checkpoint with different meta is discarded, never mixed in.
+    """
+    if checkpoint is None:
+        return None
+    import os
+
+    path = os.path.join(os.fspath(checkpoint), f"{experiment}.json")
+    return CheckpointStore(path, meta={"experiment": experiment, **meta})
+
+
+def execute_plan(plan, store=None, statuses=None, backend=None,
+                 progress=None):
+    """Run every cell of *plan*; returns ``{cell key: value-or-None}``.
+
+    *statuses* (dict) receives ``key -> {"status": ..., "error": ...}``
+    in declaration order: ``cached`` (checkpoint hit), ``ok`` or
+    ``failed`` (recoverable error, chain attached).  Cells whose
+    dependency failed are skipped silently — their value is ``None`` and
+    they get no status, matching the historical early-return behaviour
+    of the serial runners.
+    """
+    backend = backend or SerialBackend()
+    if plan.has_local_cells and backend.concurrent:
+        # Local cells close over live shared state (an injected
+        # Scenario); they cannot be shipped to a worker.  Fall back to
+        # the reference backend rather than silently running a subset.
+        backend = SerialBackend()
+    if statuses is None:
+        statuses = {}
+    results = dict(plan.presets)
+    recorded = {}
+
+    def persist(key, value):
+        if store is None:
+            return
+        if backend.concurrent:
+            store.put_shard(key, value)
+        else:
+            store.put(key, value)
+
+    try:
+        for wave in plan.waves():
+            jobs = []
+            for cell in wave:
+                # A failed or skipped dependency (None sentinel) skips
+                # this cell too; presets are always satisfied.
+                if any(dep not in plan.presets and results.get(dep) is None
+                       for dep in cell.deps.values()):
+                    results[cell.key] = None
+                    continue
+                if store is not None and cell.key in store:
+                    results[cell.key] = store.get(cell.key)
+                    recorded[cell.key] = {"status": CELL_CACHED}
+                    if progress is not None:
+                        progress.update(cell.key, CELL_CACHED, 0.0)
+                    continue
+                kwargs = dict(cell.kwargs)
+                for kwarg, dep_key in cell.deps.items():
+                    kwargs[kwarg] = results[dep_key]
+                if cell.seed_kw is not None:
+                    kwargs.setdefault(cell.seed_kw, cell.seed)
+                if cell.faults_kw is not None and plan.faults is not None:
+                    kwargs.setdefault(
+                        cell.faults_kw, plan.faults.derive(cell.seed)
+                    )
+                jobs.append((cell.key, cell.fn, kwargs, cell.faults_kw))
+
+            persist_flags = {cell.key: cell.persist for cell in wave}
+            for key, outcome in backend.run_wave(jobs):
+                if plan.faults is not None and outcome.get("fired"):
+                    plan.faults.absorb(outcome["fired"])
+                if outcome["status"] == "ok":
+                    value = _roundtrip(outcome["value"])
+                    results[key] = value
+                    recorded[key] = {"status": CELL_OK}
+                    if persist_flags.get(key, True):
+                        persist(key, value)
+                elif outcome["recoverable"]:
+                    results[key] = None
+                    recorded[key] = {
+                        "status": CELL_FAILED, "error": outcome["chain"],
+                    }
+                else:
+                    raise CellExecutionError(key, outcome["chain"])
+                if progress is not None:
+                    progress.update(
+                        key, recorded[key]["status"],
+                        outcome.get("elapsed", 0.0),
+                    )
+    finally:
+        backend.close()
+        if store is not None and backend.concurrent:
+            store.consolidate()
+
+    for cell in plan:
+        if cell.key in recorded:
+            statuses[cell.key] = recorded[cell.key]
+    return results
+
+
+def describe_plan(plan, store=None):
+    """Render the cell grid without executing it (``--list-cells``).
+
+    One row per cell: key, derived seed, dependencies, and whether the
+    checkpoint already holds its value.
+    """
+    rows = []
+    for cell in plan:
+        status = "cached" if (store is not None and cell.key in store) \
+            else "pending"
+        deps = ", ".join(sorted(set(cell.deps.values()))) or "-"
+        rows.append([cell.key, f"{cell.seed:#018x}", deps, status])
+    cached = sum(1 for row in rows if row[3] == "cached")
+    title = (f"{plan.experiment}: {len(rows)} cells "
+             f"({cached} cached, {len(rows) - cached} pending), "
+             f"root seed {plan.root_seed}")
+    return format_table(["cell", "derived seed", "depends on", "status"],
+                        rows, title=title)

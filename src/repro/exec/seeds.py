@@ -1,0 +1,39 @@
+"""Deterministic per-cell seed derivation.
+
+A sweep cell must produce the same value no matter which worker runs it,
+in which order, on which backend — so every cell draws its randomness
+from a seed derived *only* from (experiment name, cell key, root seed).
+The derivation is a stable cryptographic hash, never Python's builtin
+``hash()`` (salted per interpreter via ``PYTHONHASHSEED``): two
+interpreters, or the same interpreter on different days, always agree.
+
+Scheme (documented contract, see ``docs/PARALLELISM.md``)::
+
+    material = "<experiment>\\x00<cell key>\\x00<root seed>"  (UTF-8)
+    seed     = int.from_bytes(sha256(material)[:8], "big")
+
+The 64-bit truncation keeps seeds inside the range every consumer
+(``random.Random``, numpy generators, the simulated ``System``) accepts
+while preserving effectively-zero collision probability across a sweep.
+"""
+
+import hashlib
+
+#: Number of sha256 bytes folded into a seed (64 bits).
+_SEED_BYTES = 8
+
+
+def stable_hash(*parts):
+    """64-bit integer digest of the parts, stable across interpreters.
+
+    Each part is rendered with ``str()`` and joined with NUL separators,
+    so ``("a", "bc")`` and ``("ab", "c")`` hash differently.
+    """
+    material = "\x00".join(str(part) for part in parts).encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:_SEED_BYTES], "big")
+
+
+def derive_seed(experiment, cell_key, root_seed):
+    """The seed one cell of one experiment draws its randomness from."""
+    return stable_hash(experiment, cell_key, root_seed)

@@ -1,0 +1,103 @@
+"""Concurrent-safe checkpointing: shards, merge-on-read, consolidation."""
+
+import json
+import os
+
+from repro.core.resilience import CheckpointStore
+
+
+def _store(tmp_path, meta=None):
+    return CheckpointStore(
+        tmp_path / "sweep.json", meta=meta or {"experiment": "toy"}
+    )
+
+
+class TestPutShard:
+    def test_shard_is_its_own_file(self, tmp_path):
+        store = _store(tmp_path)
+        assert store.put_shard("a", {"v": 1})
+        assert os.path.isdir(store.shard_dir)
+        [shard] = os.listdir(store.shard_dir)
+        payload = json.loads(
+            (tmp_path / "sweep.json.d" / shard).read_text()
+        )
+        assert payload == {"key": "a", "value": {"v": 1}}
+        # The monolith is NOT rewritten per shard (that's the point).
+        assert not os.path.exists(tmp_path / "sweep.json")
+
+    def test_o_excl_duplicate_dropped(self, tmp_path):
+        # Two workers completing the same deterministic cell race on the
+        # link; the loser's write must be a no-op, not a torn file.
+        store = _store(tmp_path)
+        assert store.put_shard("a", {"v": 1})
+        assert not store.put_shard("a", {"v": 1})
+        assert len(os.listdir(store.shard_dir)) == 1
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = _store(tmp_path)
+        store.put_shard("a", 1)
+        store.put_shard("a", 1)
+        assert not [name for name in os.listdir(store.shard_dir)
+                    if name.endswith(".tmp")]
+
+
+class TestMergeOnRead:
+    def test_killed_parallel_run_resumes_from_shards(self, tmp_path):
+        # A parallel run killed before consolidation leaves only shards;
+        # a fresh store (the resumed run) must see their cells.
+        writer = _store(tmp_path)
+        writer.put_shard("a", {"v": 1})
+        writer.put_shard("b", {"v": 2})
+
+        resumed = _store(tmp_path)
+        assert "a" in resumed and "b" in resumed
+        assert resumed.get("b") == {"v": 2}
+
+    def test_monolith_wins_over_shard(self, tmp_path):
+        writer = _store(tmp_path)
+        writer.put("a", "from-monolith")
+        writer.put_shard("a", "from-shard")
+        assert _store(tmp_path).get("a") == "from-monolith"
+
+    def test_foreign_meta_shards_ignored(self, tmp_path):
+        # Shard filenames embed a fingerprint of the sweep meta; a shard
+        # from a differently-configured sweep must never leak cells in —
+        # the per-shard analogue of the monolith's discard rule.
+        stale = _store(tmp_path, meta={"experiment": "toy", "seed": 1})
+        stale.put_shard("a", "stale")
+        fresh = _store(tmp_path, meta={"experiment": "toy", "seed": 2})
+        assert "a" not in fresh
+
+    def test_garbage_shard_file_ignored(self, tmp_path):
+        store = _store(tmp_path)
+        store.put_shard("a", 1)
+        [shard] = os.listdir(store.shard_dir)
+        (tmp_path / "sweep.json.d" / shard).write_text("{not json")
+        resumed = _store(tmp_path)
+        assert "a" not in resumed
+
+
+class TestConsolidate:
+    def test_folds_shards_into_monolith(self, tmp_path):
+        store = _store(tmp_path)
+        store.put_shard("a", {"v": 1})
+        store.put_shard("b", {"v": 2})
+        store.consolidate()
+        assert not os.path.exists(store.shard_dir)
+        payload = json.loads((tmp_path / "sweep.json").read_text())
+        assert payload["cells"] == {"a": {"v": 1}, "b": {"v": 2}}
+
+    def test_consolidated_file_identical_to_serial_puts(self, tmp_path):
+        serial = CheckpointStore(tmp_path / "serial.json",
+                                 meta={"experiment": "toy"})
+        serial.put("a", {"v": 1})
+        serial.put("b", {"v": 2})
+
+        parallel = CheckpointStore(tmp_path / "parallel.json",
+                                   meta={"experiment": "toy"})
+        parallel.put_shard("b", {"v": 2})  # arrival order differs
+        parallel.put_shard("a", {"v": 1})
+        parallel.consolidate()
+
+        assert (tmp_path / "serial.json").read_bytes() == \
+            (tmp_path / "parallel.json").read_bytes()

@@ -1,0 +1,124 @@
+"""End-to-end determinism: parallel sweeps match the serial reference.
+
+These are the tentpole's acceptance tests: same root seed → the
+``--jobs N`` run renders the same report and leaves the same checkpoint
+file as the serial run, even when the parallel run was killed mid-sweep
+and resumed.
+"""
+
+import pytest
+
+from repro.core.experiments import run_fig4, run_fig5
+from repro.core.experiments.fig5 import fig5_meta, plan_fig5
+from repro.exec import (
+    ProcessPoolBackend,
+    SweepProgress,
+    execute_plan,
+    open_store,
+)
+
+#: Small enough for CI, wide enough (6 cells, 3 waves) to exercise
+#: cross-wave scheduling.
+FIG5_KNOBS = dict(
+    seed=8, attempts=2, detector_names=("lr", "nn"), training_benign=40,
+    training_attack=40, attempt_samples=12, attempt_benign=6,
+)
+
+
+def _fig5_store(tmp_path):
+    return open_store(tmp_path, "fig5", fig5_meta(
+        FIG5_KNOBS["seed"], "basicmath", FIG5_KNOBS["attempts"],
+        FIG5_KNOBS["detector_names"], FIG5_KNOBS["training_benign"],
+        FIG5_KNOBS["training_attack"], FIG5_KNOBS["attempt_samples"],
+        FIG5_KNOBS["attempt_benign"],
+    ))
+
+
+class TestSerialParallelParity:
+    def test_fig5_report_and_checkpoint_byte_identical(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial_dir.mkdir()
+        parallel_dir.mkdir()
+
+        serial = run_fig5(checkpoint=serial_dir, **FIG5_KNOBS)
+        parallel = run_fig5(checkpoint=parallel_dir, jobs=2,
+                            **FIG5_KNOBS)
+
+        assert parallel.format() == serial.format()
+        assert parallel.cell_status == serial.cell_status
+        assert (parallel_dir / "fig5.json").read_bytes() == \
+            (serial_dir / "fig5.json").read_bytes()
+        # Shards were consolidated away: one artefact, same as serial.
+        assert not (parallel_dir / "fig5.json.d").exists()
+
+    def test_fig4_accuracies_identical(self):
+        knobs = dict(seed=8, hosts=("basicmath", "sha"),
+                     feature_sizes=(4,), classifier="lr",
+                     benign_per_host=30, attack_per_variant=10,
+                     variants=("v1",))
+        assert run_fig4(**knobs, jobs=2).accuracies == \
+            run_fig4(**knobs).accuracies
+
+
+class TestKillMidSweepResume:
+    def test_parallel_kill_then_resume_matches_uninterrupted(
+            self, tmp_path):
+        # Reference: one uninterrupted serial run.
+        reference_dir = tmp_path / "reference"
+        reference_dir.mkdir()
+        reference = run_fig5(checkpoint=reference_dir, **FIG5_KNOBS)
+
+        # Run 1: parallel, killed (^C) while the attempt wave runs —
+        # after the training cell completed and persisted its shard.
+        killed_dir = tmp_path / "killed"
+        killed_dir.mkdir()
+        plan = plan_fig5(**FIG5_KNOBS)
+        for cell in plan:
+            if cell.key.startswith("spectre/"):
+                cell.fn = _interrupt
+        with pytest.raises(KeyboardInterrupt):
+            execute_plan(plan, store=_fig5_store(killed_dir),
+                         backend=ProcessPoolBackend(2))
+
+        # The kill lost nothing completed: the training cell survived.
+        resumed_store = _fig5_store(killed_dir)
+        assert "training" in resumed_store
+
+        # Run 2: resume in parallel; must match the uninterrupted run.
+        resumed = run_fig5(checkpoint=killed_dir, jobs=2, **FIG5_KNOBS)
+        assert resumed.cell_status["training"]["status"] == "cached"
+        assert resumed.format() == reference.format()
+        assert (killed_dir / "fig5.json").read_bytes() == \
+            (reference_dir / "fig5.json").read_bytes()
+
+
+def _interrupt(**kwargs):
+    raise KeyboardInterrupt
+
+
+class TestProgress:
+    def test_progress_lines_and_eta(self):
+        import io
+
+        stream = io.StringIO()
+        progress = SweepProgress("toy", total=3, jobs=1, stream=stream)
+        progress.update("a", "ok", 2.0)
+        progress.update("b", "cached", 0.0)
+        progress.update("c", "ok", 4.0)
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "[toy 1/3]     ok a (2.0s)  eta ~4.0s"
+        assert "cached" in lines[1]
+        assert "eta" not in lines[2]  # final line: nothing remaining
+
+    def test_eta_divides_by_parallel_width(self):
+        progress = SweepProgress("toy", total=5, jobs=4)
+        progress.update("a", "ok", 8.0)
+        assert progress.eta_seconds() == pytest.approx(8.0)  # 4*8/4
+
+    def test_cached_cells_excluded_from_estimate(self):
+        progress = SweepProgress("toy", total=4, jobs=1)
+        progress.update("a", "cached", 0.0)
+        assert progress.eta_seconds() is None
+        progress.update("b", "ok", 6.0)
+        assert progress.eta_seconds() == pytest.approx(12.0)

@@ -1,0 +1,87 @@
+"""SweepPlan declaration semantics: validation, ordering, waves."""
+
+import pytest
+
+from repro.exec import SweepPlan, derive_seed
+
+from tests.exec.cells import seeded_value, summed
+
+
+def _plan():
+    return SweepPlan("toy", root_seed=7)
+
+
+class TestAdd:
+    def test_returns_derived_seed(self):
+        plan = _plan()
+        seed = plan.add("a", seeded_value, kwargs={"tag": "a"})
+        assert seed == derive_seed("toy", "a", 7)
+        [cell] = list(plan)
+        assert cell.seed == seed
+
+    def test_duplicate_key_rejected(self):
+        plan = _plan()
+        plan.add("a", seeded_value, kwargs={"tag": "a"})
+        with pytest.raises(ValueError, match="duplicate"):
+            plan.add("a", seeded_value, kwargs={"tag": "a"})
+
+    def test_unknown_dependency_rejected(self):
+        plan = _plan()
+        with pytest.raises(ValueError, match="unknown cell"):
+            plan.add("b", summed, kwargs={"factor": 2},
+                     deps={"values": "a"})
+
+    def test_dependency_must_be_declared_first(self):
+        # Declaration order IS execution order for the serial reference
+        # backend; forward references would break that contract.
+        plan = _plan()
+        with pytest.raises(ValueError):
+            plan.add("b", summed, deps={"values": "a"})
+        plan.add("a", seeded_value, kwargs={"tag": "a"})
+        plan.add("b", summed, kwargs={"factor": 2}, deps={"values": "a"})
+
+    def test_kwarg_dependency_collision_rejected(self):
+        plan = _plan()
+        plan.add("a", seeded_value, kwargs={"tag": "a"})
+        with pytest.raises(ValueError, match="dependency-injected"):
+            plan.add("b", summed, kwargs={"factor": 2, "values": 1},
+                     deps={"values": "a"})
+
+
+class TestPreset:
+    def test_preset_satisfies_dependency(self):
+        plan = _plan()
+        plan.preset("a", {"draw": 0.5})
+        plan.add("b", summed, kwargs={"factor": 2}, deps={"values": "a"})
+        assert len(plan) == 1  # presets are not cells
+
+    def test_preset_key_collision_rejected(self):
+        plan = _plan()
+        plan.add("a", seeded_value, kwargs={"tag": "a"})
+        with pytest.raises(ValueError):
+            plan.preset("a", 1)
+
+
+class TestWaves:
+    def test_levels_follow_dependencies(self):
+        plan = _plan()
+        plan.add("a", seeded_value, kwargs={"tag": "a"})
+        plan.add("b", seeded_value, kwargs={"tag": "b"})
+        plan.add("c", summed, kwargs={"factor": 2}, deps={"values": "a"})
+        plan.add("d", summed, kwargs={"factor": 3}, deps={"values": "c"})
+        waves = plan.waves()
+        assert [[cell.key for cell in wave] for wave in waves] == \
+            [["a", "b"], ["c"], ["d"]]
+
+    def test_preset_dependencies_live_in_wave_zero(self):
+        plan = _plan()
+        plan.preset("a", {"draw": 1.0})
+        plan.add("b", summed, kwargs={"factor": 2}, deps={"values": "a"})
+        waves = plan.waves()
+        assert [[cell.key for cell in wave] for wave in waves] == [["b"]]
+
+    def test_local_cells_flagged(self):
+        plan = _plan()
+        assert not plan.has_local_cells
+        plan.add("a", seeded_value, kwargs={"tag": "a"}, local=True)
+        assert plan.has_local_cells
