@@ -1,0 +1,136 @@
+"""Benchmark the observability layer: tracing overhead on the CPU loop.
+
+Times a fixed workload (basicmath to completion on a fresh simulated
+System) three ways:
+
+* ``off``      — no tracer active (the NULL path every normal run takes),
+* ``filtered`` — a Tracer is active but every category is filtered out
+  (channels unbound; measures pure bookkeeping: the acceptance bar),
+* ``full``     — all categories recorded (the honest cost of ``--trace``).
+
+Records the baseline to ``BENCH_obs.json`` at the repo root.  Like
+``BENCH_exec.json``, the numbers are per-host honest: ``cpu_count``
+rides along, and the ≤5 % disabled-overhead assertion is checked on
+the *median* of repeated runs so one scheduler hiccup cannot fail CI.
+"""
+
+import json
+import os
+import pathlib
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.atomicio import atomic_write_text
+from repro.kernel.system import System
+from repro.obs.tracer import TraceConfig, Tracer, activate
+from repro.workloads import get_workload
+
+BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_obs.json"
+
+#: Workload knobs: long enough that per-step cost dominates Tracer
+#: construction, short enough to keep the bench under a minute.
+ITERATIONS = 400
+ROUNDS = 5
+
+MODES = ("off", "filtered", "full")
+
+
+def _run_workload():
+    system = System(seed=0)
+    system.install_binary(
+        "/bin/w", get_workload("basicmath").build(iterations=ITERATIONS)
+    )
+    process = system.spawn("/bin/w")
+    process.run_to_completion(max_instructions=50_000_000)
+    return int(process.cpu.cycles)
+
+
+def _timed(mode):
+    started = time.perf_counter()
+    if mode == "off":
+        cycles = _run_workload()
+        records = 0
+    else:
+        config = (TraceConfig(categories=())
+                  if mode == "filtered" else TraceConfig())
+        tracer = Tracer(config)
+        with activate(tracer):
+            cycles = _run_workload()
+        tracer.finalize()
+        records = len(tracer.records)
+    return time.perf_counter() - started, cycles, records
+
+
+@pytest.fixture(scope="module")
+def obs_timings():
+    timings = {mode: [] for mode in MODES}
+    cycles = {}
+    records = {}
+    # Interleave the modes so drift hits all of them equally.
+    for _ in range(ROUNDS):
+        for mode in MODES:
+            elapsed, mode_cycles, mode_records = _timed(mode)
+            timings[mode].append(elapsed)
+            cycles[mode] = mode_cycles
+            records[mode] = mode_records
+    return timings, cycles, records
+
+
+def test_obs_overhead_baseline(benchmark, obs_timings):
+    timings, cycles, records = benchmark.pedantic(
+        lambda: obs_timings, rounds=1, iterations=1
+    )
+    medians = {mode: statistics.median(timings[mode]) for mode in MODES}
+
+    # Virtual time is mode-independent: tracing must not change the
+    # simulation, only observe it.
+    assert cycles["off"] == cycles["filtered"] == cycles["full"]
+    assert records["filtered"] == 0
+    assert records["full"] > 0
+
+    overhead = {
+        mode: medians[mode] / medians["off"] - 1.0 for mode in MODES[1:]
+    }
+    baseline = {
+        "workload": f"basicmath x{ITERATIONS}",
+        "cycles": cycles["off"],
+        "records_full": records["full"],
+        "rounds": ROUNDS,
+        "cpu_count": os.cpu_count(),
+        "runs": {
+            mode: {
+                "median_s": round(medians[mode], 4),
+                "overhead_vs_off": round(overhead.get(mode, 0.0), 4),
+            }
+            for mode in MODES
+        },
+    }
+    atomic_write_text(
+        BASELINE_PATH, json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [f"obs baseline — basicmath x{ITERATIONS}, "
+             f"{cycles['off']} virtual cycles, {os.cpu_count()} CPU(s)"]
+    for mode in MODES:
+        suffix = ""
+        if mode != "off":
+            suffix = f" ({100 * overhead[mode]:+.1f}%)"
+        if mode == "full":
+            suffix += f", {records['full']} records"
+        lines.append(f"  {mode:>8}: {medians[mode]:.3f}s{suffix}")
+    publish("obs", "\n".join(lines))
+
+    benchmark.extra_info["overhead_filtered"] = round(
+        overhead["filtered"], 4
+    )
+    benchmark.extra_info["overhead_full"] = round(overhead["full"], 4)
+
+    # The acceptance bar: tracing *disabled-in-practice* (active tracer,
+    # nothing recorded) costs at most 5% on the CPU step loop.
+    assert overhead["filtered"] <= 0.05, (
+        f"filtered tracing overhead {100 * overhead['filtered']:.1f}% "
+        f"exceeds the 5% budget"
+    )

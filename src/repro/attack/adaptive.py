@@ -19,6 +19,7 @@ import dataclasses
 import random
 
 from repro.attack.perturb import PerturbParams, mutate, random_params
+from repro.obs.tracer import current_tracer
 
 EVADE_THRESHOLD = 0.55
 DETECT_THRESHOLD = 0.80
@@ -66,6 +67,10 @@ class AdaptiveAttacker:
 
         if accuracy <= self.evade_threshold:
             # Evading: stand still; moving could re-expose us.
+            current_tracer().event(
+                "attack.adapt.decision", "attack", attempt=record.attempt,
+                accuracy=accuracy, action="hold",
+            )
             return record
 
         base = self._best[1] if self._best[0] < accuracy else self.current
@@ -77,11 +82,20 @@ class AdaptiveAttacker:
                 (accuracy - self.evade_threshold) / span
             )
         self.current = mutate(base, self.rng, aggressiveness=aggressiveness)
+        current_tracer().event(
+            "attack.adapt.decision", "attack", attempt=record.attempt,
+            accuracy=accuracy, action="mutate",
+            aggressiveness=round(aggressiveness, 6),
+        )
         return record
 
     def restart_random(self):
         """Abandon the lineage and draw a fresh random variant."""
         self.current = random_params(self.rng)
+        current_tracer().event(
+            "attack.adapt.decision", "attack",
+            attempt=len(self.history), action="restart",
+        )
         return self.current
 
     @property

@@ -142,12 +142,21 @@ def _calibrate_once(system_factory, seed, faults, attempt_counter):
     system.install_binary("/bin/.calibrate", program)
     process = system.spawn("/bin/.calibrate")
     watchdog = Watchdog(CALIBRATION_BUDGET, label=f"calibrate:{attempt}")
+    from repro.obs.tracer import current_tracer
+    tracer = current_tracer()
+    trace = (tracer.channel("attack", getattr(process.cpu, "trace_clk", 0))
+             if tracer.enabled else None)
+    ts0 = trace.now() if trace is not None else 0
     try:
         # The instruction cap gets headroom so the watchdog (the typed
         # path) always trips before the silent run-loop cut-off.
         process.run_to_completion(
             max_instructions=2 * CALIBRATION_BUDGET, watchdog=watchdog
         )
+        if trace is not None:
+            # Covert-channel probe rounds: 2 * _ROUNDS timed reloads.
+            trace.complete("attack.calibrate", ts0,
+                           attempt=attempt, rounds=2 * _ROUNDS)
     except BudgetExceededError as exc:
         # Per-attempt budget: a fresh attempt gets a fresh image and a
         # fresh budget, so this one is worth retrying (unlike sweep-level

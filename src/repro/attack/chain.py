@@ -12,6 +12,7 @@ import dataclasses
 
 from repro.errors import GadgetNotFoundError
 from repro.isa.opcodes import Opcode
+from repro.obs.tracer import current_tracer
 
 _JUNK_WORD = 0x4B4E554A  # "JUNK"
 
@@ -44,6 +45,7 @@ class ChainBuilder:
         self.scanner = scanner
         self._words = []
         self._gadgets = []
+        self._trace = current_tracer().channel("attack")
 
     def set_registers(self, assignments):
         """Load several registers, preferring one multi-pop gadget.
@@ -62,6 +64,9 @@ class ChainBuilder:
         self._words.append(gadget.address)
         self._words.extend(value for _, value in assignments)
         self._gadgets.append(gadget)
+        if self._trace is not None:
+            self._trace.event("attack.rop.step", op="pop_multi",
+                              gadget=gadget.address, regs=len(registers))
         return self
 
     def set_register(self, register, value):
@@ -76,11 +81,16 @@ class ChainBuilder:
         self._words.extend([_JUNK_WORD] * (len(pops) - 1))
         self._words.append(value)
         self._gadgets.append(gadget)
+        if self._trace is not None:
+            self._trace.event("attack.rop.step", op="pop",
+                              gadget=gadget.address, register=register)
         return self
 
     def call(self, address):
         """Transfer control to *address* (a function entry or gadget)."""
         self._words.append(address)
+        if self._trace is not None:
+            self._trace.event("attack.rop.step", op="call", target=address)
         return self
 
     def build(self):

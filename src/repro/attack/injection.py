@@ -24,6 +24,7 @@ from repro.attack.payload import (
 )
 from repro.kernel.loader import compute_initial_sp
 from repro.mem.layout import AddressSpaceLayout
+from repro.obs.tracer import current_tracer
 
 #: Distance from the initial stack pointer down to the overflow buffer:
 #: main pushes s0+s1 (8), call pushes ra (4), victim pushes fp (4),
@@ -102,6 +103,11 @@ def plan_execve_injection(host_program, host_path, attack_path,
         chain.words, buffer_address, fill_bytes=fill_bytes,
         strings=strings, canary=canary_value,
         canary_offset=CANARY_FILL_OFFSET,
+    )
+    current_tracer().event(
+        "attack.inject.plan", "attack", host=host_path, attack=attack_path,
+        words=chain.num_words, gadgets=len(chain.gadgets),
+        payload_bytes=payload.length,
     )
     return InjectionPlan(
         host_path=host_path,

@@ -75,6 +75,15 @@ def perturb_source(params, prefix="pt"):
     delay_block = ""
     if params.delay > 0:
         delay_block = _delay_block_source(params, prefix)
+    from repro.obs.tracer import current_tracer
+    current_tracer().event(
+        "attack.perturb.emit", "attack", prefix=prefix,
+        a=params.a, b=params.b, a_step=params.a_step, b_step=params.b_step,
+        loop_count=params.loop_count, extra_loops=params.extra_loops,
+        delay=params.delay, style=params.style,
+        calls_per_byte=params.calls_per_byte,
+        burst=params.cache_burst_estimate(),
+    )
     return f"""
 ; ---- Algorithm 2: dynamic perturbation ({params.describe()}) ----
 .data

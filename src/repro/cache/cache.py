@@ -55,6 +55,9 @@ class Cache:
         self._dirty = [[False] * ways for _ in range(self.num_sets)]
         self._policies = [make_policy(policy, ways) for _ in range(self.num_sets)]
         self.stats = CacheStats()
+        #: trace channel, bound by CacheHierarchy.bind_tracer; the hit
+        #: path never consults it — only evictions and invalidations do.
+        self._trace = None
 
     # ---- address helpers ----------------------------------------------
     def line_address(self, address):
@@ -107,6 +110,9 @@ class Cache:
                 stats.writebacks += 1
             evicted_line = (tags[way] * self.num_sets + index) << self._line_shift
             evicted = evicted_line
+            if self._trace is not None:
+                self._trace.event("cache.evict", cache=self.name,
+                                  set=index, way=way, line=evicted_line)
         tags[way] = tag
         self._dirty[index][way] = is_write
         policy.on_access(way)
@@ -129,6 +135,10 @@ class Cache:
                     self.stats.writebacks += 1
                     self._dirty[index][way] = False
                 self._policies[index].on_invalidate(way)
+                if self._trace is not None:
+                    self._trace.event("cache.flush", cache=self.name,
+                                      set=index, way=way,
+                                      line=self.line_address(address))
                 return True
         return False
 

@@ -74,6 +74,21 @@ class CacheHierarchy:
         self.l2_stats = CacheStats()
         self.memory_reads = 0
         self.memory_writes = 0
+        #: trace channel (see repro.obs); None keeps every path free of
+        #: tracing work except a single check on the full-miss branches.
+        self._trace = None
+
+    def bind_tracer(self, channel):
+        """Attach one cache trace channel to this hierarchy's levels.
+
+        A shared L2 ends up bound to the channel of the last hierarchy
+        constructed around it — spawn order is deterministic, so the
+        trace is too.
+        """
+        self._trace = channel
+        self.l1d._trace = channel
+        self.l1i._trace = channel
+        self.l2._trace = channel
 
     def _l2_access(self, address, is_write):
         hit, _ = self.l2.access(address | self._asid_tag, is_write)
@@ -103,6 +118,9 @@ class CacheHierarchy:
             self.memory_writes += 1
         else:
             self.memory_reads += 1
+        if self._trace is not None:
+            self._trace.event("cache.miss", line=self.l2.line_address(address),
+                              path="d", write=is_write)
         return AccessResult(
             cfg.l1_latency + cfg.l2_latency + cfg.memory_latency,
             False,
@@ -119,6 +137,9 @@ class CacheHierarchy:
         if l2_hit:
             return AccessResult(cfg.l1_latency + cfg.l2_latency, False, True)
         self.memory_reads += 1
+        if self._trace is not None:
+            self._trace.event("cache.miss", line=self.l2.line_address(address),
+                              path="i", write=False)
         return AccessResult(
             cfg.l1_latency + cfg.l2_latency + cfg.memory_latency,
             False,

@@ -9,6 +9,7 @@ Commands
 ``fig4/fig5/fig6/table1/hardening``  regenerate one paper artefact
 ``profile``     profile a workload and dump HPC windows to CSV
 ``smoke``       fast resilience smoke run (CI): faults + retries
+``trace``       summarise a recorded trace (see ``--trace`` above)
 
 Exit codes
 ----------
@@ -92,6 +93,26 @@ def _add_exec(parser):
     )
 
 
+def _add_trace(parser):
+    from repro.obs import CATEGORIES
+
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record deterministic virtual-time spans per sweep cell "
+             "(JSONL + Perfetto-loadable Chrome trace; see "
+             "docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--trace-filter", metavar="CATS", default=None,
+        help="comma-separated categories to record (subset of "
+             f"{','.join(CATEGORIES)}; default: all)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="DIR", default="traces",
+        help="directory for the trace sinks (default: traces/)",
+    )
+
+
 def _plan_and_store(command, kwargs):
     """Build the experiment's plan + checkpoint store without running it.
 
@@ -119,7 +140,8 @@ def _plan_and_store(command, kwargs):
         return fn(**{k: v for k, v in values.items() if k in accepted})
 
     store = open_store(values.get("checkpoint"), command,
-                       call(getattr(module, f"{command}_meta")))
+                       call(getattr(module, f"{command}_meta")),
+                       trace=values.get("trace"))
     return call(getattr(module, f"plan_{command}")), store
 
 
@@ -182,6 +204,7 @@ def build_parser():
         _add_seed(p)
         _add_resilience(p)
         _add_exec(p)
+        _add_trace(p)
         if name == "table1":
             p.add_argument(
                 "--budget", type=int, default=None, metavar="INSNS",
@@ -193,6 +216,15 @@ def build_parser():
     p.add_argument("--samples", type=int, default=50)
     p.add_argument("--output", default="traces.csv")
     _add_seed(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="summarise a recorded trace JSONL (top spans by virtual "
+             "time, event counts)",
+    )
+    p.add_argument("file", help="a <experiment>.trace.jsonl sink")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="rows per summary table (default 10)")
 
     p = sub.add_parser(
         "smoke",
@@ -317,6 +349,19 @@ def cmd_experiment(args):
         kwargs["faults"] = faults
     if args.command == "table1" and args.budget is not None:
         kwargs["measurement_budget"] = args.budget
+    trace_config = None
+    traces = {}
+    if getattr(args, "trace", False):
+        from repro.obs import TraceConfig, parse_filter
+
+        try:
+            categories = parse_filter(getattr(args, "trace_filter", None))
+        except ValueError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        trace_config = TraceConfig(categories=categories)
+        kwargs["trace"] = trace_config
+        kwargs["traces"] = traces
     if getattr(args, "list_cells", False):
         from repro.exec import describe_plan
 
@@ -334,6 +379,14 @@ def cmd_experiment(args):
         )
     result = runner(**kwargs)
     print(result.format())
+    if trace_config is not None:
+        from repro.obs import write_trace_files
+
+        jsonl_path, chrome_path = write_trace_files(
+            args.trace_out, args.command, traces
+        )
+        print(f"trace: {jsonl_path} ({len(traces)} cell(s)); "
+              f"perfetto: {chrome_path}", file=sys.stderr)
     if faults is not None:
         print(f"\n{faults.summary()}")
     return EXIT_PARTIAL if getattr(result, "partial", False) else EXIT_OK
@@ -354,6 +407,22 @@ def cmd_profile(args):
     count = save_samples(samples, args.output)
     print(f"wrote {count} windows x 56 events to {args.output}")
     return 0
+
+
+def cmd_trace(args):
+    """Summarise one JSONL trace sink (``repro trace FILE``)."""
+    from repro.obs import TraceSchemaError, format_summary, read_jsonl
+
+    try:
+        header, records = read_jsonl(args.file)
+    except OSError as exc:
+        print(f"repro: cannot read trace: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    except (TraceSchemaError, ValueError) as exc:
+        print(f"repro: invalid trace: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    print(format_summary(header, records, top=args.top))
+    return EXIT_OK
 
 
 def cmd_smoke(args):
@@ -409,6 +478,7 @@ def main(argv=None):
         "hardening": cmd_experiment,
         "profile": cmd_profile,
         "smoke": cmd_smoke,
+        "trace": cmd_trace,
     }
     from repro.errors import BudgetExceededError, ReproError, is_transient
 

@@ -6,20 +6,31 @@ from repro.attack import PerturbParams
 from repro.core.resilience import CheckpointStore
 from repro.hid import DEFAULT_FEATURES, make_detector, samples_to_dataset
 from repro.hid.dataset import Dataset
+from repro.obs.tracer import current_tracer
 
 
-def open_checkpoint(checkpoint, experiment, meta):
+def open_checkpoint(checkpoint, experiment, meta, trace=None):
     """Resolve a runner's ``checkpoint`` argument into a store (or None).
 
     ``checkpoint`` is a directory: the sweep persists to
     ``<checkpoint>/<experiment>.json``.  ``meta`` must hold every knob
     that changes the sweep's cells (seed, scale, hosts...) — a stored
-    checkpoint with different meta is discarded, never mixed in.
+    checkpoint with different meta is discarded, never mixed in.  A
+    :class:`~repro.obs.TraceConfig` is part of that identity: traced
+    shards carry trace+metrics payloads an untraced run would not
+    replay, so the two never share a checkpoint.
     """
     if checkpoint is None:
         return None
     path = os.path.join(os.fspath(checkpoint), f"{experiment}.json")
-    return CheckpointStore(path, meta={"experiment": experiment, **meta})
+    meta = {"experiment": experiment, **meta}
+    if trace is not None:
+        meta["trace"] = {
+            "categories": (None if trace.categories is None
+                           else sorted(trace.categories)),
+            "max_records": trace.max_records,
+        }
+    return CheckpointStore(path, meta=meta)
 
 
 def sample_training_records(host, training_benign, training_attack,
@@ -67,6 +78,7 @@ def train_detectors(train_dataset, names=DETECTOR_NAMES, seed=0,
     :class:`~repro.errors.ClassifierConvergenceError`, which sweep cells
     absorb into a partial report.
     """
+    tracer = current_tracer()
     detectors = {}
     for name in names:
         if faults is not None:
@@ -74,7 +86,9 @@ def train_detectors(train_dataset, names=DETECTOR_NAMES, seed=0,
         detector = make_detector(
             name, features=features, seed=seed, online=online
         )
-        detector.fit(train_dataset)
+        with tracer.span("hid.train", "hid", model=name, online=online,
+                         rows=len(train_dataset.y)):
+            detector.fit(train_dataset)
         detectors[name] = detector
     return detectors
 
@@ -156,13 +170,17 @@ def co_run(processes, quantum=10_000, context_switch_flush=True,
         for process in processes:
             if not process.alive:
                 continue
-            if (context_switch_flush and last is not None
-                    and last is not process):
-                caches = process.cpu.caches
-                caches.l1d.flush_all()
-                caches.l1i.flush_all()
-                process.cpu.dtlb.flush()
-                process.cpu.itlb.flush()
+            if last is not None and last is not process:
+                if context_switch_flush:
+                    caches = process.cpu.caches
+                    caches.l1d.flush_all()
+                    caches.l1i.flush_all()
+                    process.cpu.dtlb.flush()
+                    process.cpu.itlb.flush()
+                if process.cpu._tr_kernel is not None:
+                    process.cpu._tr_kernel.event(
+                        "kernel.context_switch", pid=process.pid
+                    )
             last = process
             executed = process.step_quantum(quantum)
             if executed:

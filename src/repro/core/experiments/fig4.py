@@ -17,7 +17,11 @@ report instead of crashing the sweep.
 import dataclasses
 
 from repro.core.experiments.common import open_checkpoint
-from repro.core.reporting import append_status_section, format_table
+from repro.core.reporting import (
+    append_metrics_section,
+    append_status_section,
+    format_table,
+)
 from repro.core.resilience import sweep_partial
 from repro.core.scenario import Scenario, ScenarioConfig
 from repro.exec import SweepPlan, backend_for, execute_plan
@@ -35,6 +39,7 @@ class Fig4Result:
     feature_sizes: tuple
     classifier: str
     cell_status: dict = dataclasses.field(default_factory=dict)
+    cell_metrics: dict = dataclasses.field(default_factory=dict)
 
     @property
     def partial(self):
@@ -59,9 +64,10 @@ class Fig4Result:
             title=(f"Fig. 4 — HID ({self.classifier}) accuracy vs feature "
                    f"size (Spectre variants averaged)"),
         )
-        return append_status_section(
+        text = append_status_section(
             text, self._noteworthy_status(), self.partial
         )
+        return append_metrics_section(text, self.cell_metrics)
 
     def _noteworthy_status(self):
         # "cached" is unremarkable: a resumed sweep must render the same
@@ -153,18 +159,20 @@ def fig4_meta(seed, hosts, feature_sizes, classifier, benign_per_host,
 def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
              classifier="mlp", benign_per_host=150, attack_per_variant=50,
              variants=("v1", "rsb", "sbo"), checkpoint=None, faults=None,
-             jobs=1, progress=None):
+             jobs=1, progress=None, trace=None, traces=None):
     """Regenerate Figure 4.  Returns a :class:`Fig4Result`."""
     store = open_checkpoint(checkpoint, "fig4", fig4_meta(
         seed, hosts, feature_sizes, classifier, benign_per_host,
         attack_per_variant, variants,
-    ))
+    ), trace=trace)
     plan = plan_fig4(seed, hosts, feature_sizes, classifier,
                      benign_per_host, attack_per_variant, variants,
                      faults=faults)
     statuses = {}
+    metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
-                           backend=backend_for(jobs), progress=progress)
+                           backend=backend_for(jobs), progress=progress,
+                           trace=trace, traces=traces, metrics=metrics)
     accuracies = {}
     for host in hosts:
         value = results.get(f"host/{host}")
@@ -176,4 +184,5 @@ def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
         feature_sizes=tuple(feature_sizes),
         classifier=classifier,
         cell_status=statuses,
+        cell_metrics=metrics,
     )

@@ -33,6 +33,7 @@ from repro.core.experiments.common import (
     train_detectors,
 )
 from repro.core.reporting import (
+    append_metrics_section,
     append_status_section,
     format_series,
     sparkline,
@@ -51,6 +52,7 @@ class Fig5Result:
     search_history: list
     attempts: int
     cell_status: dict = dataclasses.field(default_factory=dict)
+    cell_metrics: dict = dataclasses.field(default_factory=dict)
 
     @property
     def partial(self):
@@ -80,9 +82,10 @@ class Fig5Result:
             key: cell for key, cell in self.cell_status.items()
             if cell.get("status") not in ("ok", "cached")
         }
-        return append_status_section(
+        text = append_status_section(
             text, self.cell_status if noteworthy else {}, self.partial
         )
+        return append_metrics_section(text, self.cell_metrics)
 
     def mean_accuracy(self, which="crspectre"):
         series = getattr(self, which)
@@ -248,19 +251,21 @@ def run_fig5(seed=0, host="basicmath", attempts=10,
              detector_names=DETECTOR_NAMES, training_benign=240,
              training_attack=240, attempt_samples=60, attempt_benign=20,
              scenario=None, training=None, checkpoint=None, faults=None,
-             jobs=1, progress=None):
+             jobs=1, progress=None, trace=None, traces=None):
     """Regenerate Figure 5.  Returns a :class:`Fig5Result`."""
     store = open_checkpoint(checkpoint, "fig5", fig5_meta(
         seed, host, attempts, detector_names, training_benign,
         training_attack, attempt_samples, attempt_benign,
-    ))
+    ), trace=trace)
     plan = plan_fig5(seed, host, attempts, detector_names,
                      training_benign, training_attack, attempt_samples,
                      attempt_benign, scenario=scenario, training=training,
                      faults=faults)
     statuses = {}
+    metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
-                           backend=backend_for(jobs), progress=progress)
+                           backend=backend_for(jobs), progress=progress,
+                           trace=trace, traces=traces, metrics=metrics)
 
     search = results.get("search")
     if search is None:
@@ -280,4 +285,5 @@ def run_fig5(seed=0, host="basicmath", attempts=10,
         search_history=search_history,
         attempts=attempts,
         cell_status=statuses,
+        cell_metrics=metrics,
     )

@@ -34,6 +34,7 @@ from repro.core.experiments.common import (
     train_detectors,
 )
 from repro.core.reporting import (
+    append_metrics_section,
     append_status_section,
     format_series,
     sparkline,
@@ -67,6 +68,7 @@ class Fig6Result:
     attacker_history: list  # AttemptRecord per attempt
     attempts: int
     cell_status: dict = dataclasses.field(default_factory=dict)
+    cell_metrics: dict = dataclasses.field(default_factory=dict)
 
     @property
     def partial(self):
@@ -100,9 +102,10 @@ class Fig6Result:
             cell.get("status") not in ("ok", "cached")
             for cell in self.cell_status.values()
         )
-        return append_status_section(
+        text = append_status_section(
             text, self.cell_status if noteworthy else {}, self.partial
         )
+        return append_metrics_section(text, self.cell_metrics)
 
     def min_accuracy(self):
         return min(v for s in self.crspectre.values() for v in s)
@@ -246,7 +249,7 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
              detector_names=DETECTOR_NAMES, training_benign=240,
              training_attack=240, attempt_samples=60, attempt_benign=15,
              audit_every=3, scenario=None, training=None, checkpoint=None,
-             faults=None, jobs=1, progress=None):
+             faults=None, jobs=1, progress=None, trace=None, traces=None):
     """Regenerate Figure 6.  Returns a :class:`Fig6Result`.
 
     ``audit_every``: every k-th attempt the defender's analysts audit
@@ -257,14 +260,16 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
     store = open_checkpoint(checkpoint, "fig6", fig6_meta(
         seed, host, attempts, detector_names, training_benign,
         training_attack, attempt_samples, attempt_benign, audit_every,
-    ))
+    ), trace=trace)
     plan = plan_fig6(seed, host, attempts, detector_names,
                      training_benign, training_attack, attempt_samples,
                      attempt_benign, audit_every, scenario=scenario,
                      training=training, faults=faults)
     statuses = {}
+    metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
-                           backend=backend_for(jobs), progress=progress)
+                           backend=backend_for(jobs), progress=progress,
+                           trace=trace, traces=traces, metrics=metrics)
 
     phase_b_value = results.get("crspectre")
     if phase_b_value is None:
@@ -286,4 +291,5 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
         attacker_history=attacker_history,
         attempts=attempts,
         cell_status=statuses,
+        cell_metrics=metrics,
     )

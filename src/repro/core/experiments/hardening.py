@@ -27,7 +27,11 @@ import random
 
 from repro.attack.perturb import random_params
 from repro.core.experiments.common import attempt_dataset, open_checkpoint
-from repro.core.reporting import append_status_section, format_table
+from repro.core.reporting import (
+    append_metrics_section,
+    append_status_section,
+    format_table,
+)
 from repro.core.resilience import sweep_partial
 from repro.core.scenario import Scenario, ScenarioConfig
 from repro.exec import SweepPlan, backend_for, execute_plan
@@ -44,6 +48,7 @@ class HardeningResult:
     holdout_variants: int
     classifier: str
     cell_status: dict = dataclasses.field(default_factory=dict)
+    cell_metrics: dict = dataclasses.field(default_factory=dict)
 
     @property
     def partial(self):
@@ -65,9 +70,10 @@ class HardeningResult:
             cell.get("status") not in ("ok", "cached")
             for cell in self.cell_status.values()
         )
-        return append_status_section(
+        text = append_status_section(
             text, self.cell_status if noteworthy else {}, self.partial
         )
+        return append_metrics_section(text, self.cell_metrics)
 
     def improvement(self):
         ks = sorted(self.accuracy_by_k)
@@ -192,7 +198,8 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
                   holdout_variants=4, samples_per_variant=40,
                   training_benign=200, training_attack=120,
                   attempt_benign=15, scenario=None, checkpoint=None,
-                  faults=None, jobs=1, progress=None):
+                  faults=None, jobs=1, progress=None, trace=None,
+                  traces=None):
     """Run the adversarial-training ablation.
 
     For each K in *train_variant_counts*: train on benign + plain
@@ -203,14 +210,16 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
         seed, classifier, train_variant_counts, holdout_variants,
         samples_per_variant, training_benign, training_attack,
         attempt_benign,
-    ))
+    ), trace=trace)
     plan = plan_hardening(seed, classifier, train_variant_counts,
                           holdout_variants, samples_per_variant,
                           training_benign, training_attack, attempt_benign,
                           scenario=scenario, faults=faults)
     statuses = {}
+    metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
-                           backend=backend_for(jobs), progress=progress)
+                           backend=backend_for(jobs), progress=progress,
+                           trace=trace, traces=traces, metrics=metrics)
     accuracy_by_k = {}
     for k in train_variant_counts:
         value = results.get(f"k/{k}")
@@ -221,4 +230,5 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
         holdout_variants=holdout_variants,
         classifier=classifier,
         cell_status=statuses,
+        cell_metrics=metrics,
     )

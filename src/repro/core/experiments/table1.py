@@ -28,7 +28,11 @@ from repro.attack import (
     plan_execve_injection,
 )
 from repro.core.experiments.common import co_run, open_checkpoint
-from repro.core.reporting import append_status_section, format_table
+from repro.core.reporting import (
+    append_metrics_section,
+    append_status_section,
+    format_table,
+)
 from repro.core.resilience import Watchdog, sweep_partial
 from repro.core.scenario import PROFILE_REPEATS
 from repro.errors import BudgetExceededError
@@ -74,6 +78,7 @@ class Table1Row:
 class Table1Result:
     rows: list
     cell_status: dict = dataclasses.field(default_factory=dict)
+    cell_metrics: dict = dataclasses.field(default_factory=dict)
 
     @property
     def partial(self):
@@ -100,9 +105,10 @@ class Table1Result:
             cell.get("status") not in ("ok", "cached")
             for cell in self.cell_status.values()
         )
-        return append_status_section(
+        text = append_status_section(
             text, self.cell_status if noteworthy else {}, self.partial
         )
+        return append_metrics_section(text, self.cell_metrics)
 
     def average_overheads(self):
         offline = sum(r.offline_overhead for r in self.rows) / len(self.rows)
@@ -269,7 +275,7 @@ def table1_meta(seed, rows, secret, repetitions, quantum):
 def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
                repetitions=3, quantum=10_000, checkpoint=None,
                measurement_budget=None, faults=None, jobs=1,
-               progress=None):
+               progress=None, trace=None, traces=None):
     """Regenerate Table I.  Returns a :class:`Table1Result`.
 
     ``repetitions`` mirrors the paper's averaging over repeated runs
@@ -282,13 +288,15 @@ def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
     """
     store = open_checkpoint(checkpoint, "table1", table1_meta(
         seed, rows, secret, repetitions, quantum,
-    ))
+    ), trace=trace)
     plan = plan_table1(seed, rows, secret, repetitions, quantum,
                        measurement_budget=measurement_budget,
                        faults=faults)
     statuses = {}
+    metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
-                           backend=backend_for(jobs), progress=progress)
+                           backend=backend_for(jobs), progress=progress,
+                           trace=trace, traces=traces, metrics=metrics)
     result_rows = []
     for label, _workload, _iterations in rows:
         value = results.get(f"row/{label}")
@@ -299,4 +307,5 @@ def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
                 offline_ipc=value["offline"],
                 online_ipc=value["online"],
             ))
-    return Table1Result(rows=result_rows, cell_status=statuses)
+    return Table1Result(rows=result_rows, cell_status=statuses,
+                        cell_metrics=metrics)

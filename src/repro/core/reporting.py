@@ -69,6 +69,25 @@ def append_status_section(text, statuses, partial):
     return f"{text}\n{block}"
 
 
+def append_metrics_section(text, cell_metrics, title="cell metrics"):
+    """Attach per-cell metric headlines to a report (``--trace`` runs).
+
+    ``cell_metrics`` maps cell key → a metrics snapshot as produced by
+    :meth:`repro.obs.MetricsRegistry.snapshot`.  Untraced runs pass an
+    empty dict and the report is returned unchanged, byte-identical to
+    historical output.
+    """
+    from repro.obs.metrics import format_metrics_line
+
+    if not cell_metrics:
+        return text
+    lines = [f"{title}:"]
+    for key in sorted(cell_metrics):
+        rendered = format_metrics_line(cell_metrics[key]) or "-"
+        lines.append(f"  {key}: {rendered}")
+    return f"{text}\n" + "\n".join(lines)
+
+
 def format_duration(seconds):
     """Compact human wall-clock rendering (``850ms``, ``12.3s``, ``2m05s``)."""
     if seconds < 1.0:
@@ -80,10 +99,17 @@ def format_duration(seconds):
 
 
 def format_progress(experiment, done, total, key, status, elapsed,
-                    eta_seconds=None):
-    """One live sweep-progress line (``repro.exec`` cell completions)."""
+                    eta_seconds=None, metrics=None):
+    """One live sweep-progress line (``repro.exec`` cell completions).
+
+    *metrics* (a pre-rendered ``cycles=… miss=…`` string) rides along
+    when the sweep traces, so the stderr stream doubles as a coarse
+    per-cell cost profile.
+    """
     line = (f"[{experiment} {done}/{total}] {status:>6} {key} "
             f"({format_duration(elapsed)})")
+    if metrics:
+        line += f"  [{metrics}]"
     if eta_seconds is not None and done < total:
         line += f"  eta ~{format_duration(eta_seconds)}"
     return line

@@ -8,6 +8,7 @@ so the low layers never import this (higher-layer) module.
 """
 
 from repro.errors import BudgetExceededError
+from repro.obs.tracer import current_tracer
 
 
 class Watchdog:
@@ -41,6 +42,10 @@ class Watchdog:
             self.consumed += int(instructions)
         if self.consumed > self.budget:
             self.trips += 1
+            current_tracer().event(
+                "kernel.watchdog_trip", "kernel", label=self.label,
+                consumed=self.consumed, budget=self.budget,
+            )
             raise BudgetExceededError(
                 "instruction budget exhausted",
                 consumed=self.consumed,

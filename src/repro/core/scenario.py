@@ -141,6 +141,11 @@ class Scenario:
         windows profile the (possibly perturbed) Spectre binary executing
         under the host's PID.
         """
+        from repro.obs.tracer import current_tracer
+        current_tracer().event(
+            "attack.samples", "attack", variant=variant,
+            perturbed=perturb is not None, samples=num_samples,
+        )
         attack_path = self.install_attack(variant, perturb)
         plan = plan_execve_injection(
             self.host_program, self.host_path, attack_path

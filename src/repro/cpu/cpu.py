@@ -32,10 +32,12 @@ from repro.errors import (
     EncodingError,
     MemoryFault,
     PrivilegeFault,
+    ShadowStackViolation,
 )
 from repro.isa.encoding import INSTRUCTION_SIZE, decode
 from repro.isa.opcodes import Opcode
 from repro.mem.tlb import Tlb
+from repro.obs.tracer import current_tracer
 
 MASK32 = 0xFFFFFFFF
 
@@ -175,6 +177,28 @@ class Cpu:
         self._l1_latency = self.caches.config.l1_latency
         self._last_iline = -1
         self._last_ipage = -1
+        # Tracing: channels bind once, here; every emission site below
+        # guards with ``is not None`` and all of those sites sit on cold
+        # sub-paths (mispredict, violation), so the disabled default
+        # adds nothing to the hot step loop.
+        tracer = current_tracer()
+        if tracer.enabled:
+            self._tracer = tracer
+            self.trace_clk = tracer.register_clock(self._cycles_now)
+            self._tr_cpu = tracer.channel("cpu", self.trace_clk)
+            self._tr_kernel = tracer.channel("kernel", self.trace_clk)
+            cache_channel = tracer.channel("cache", self.trace_clk)
+            if cache_channel is not None:
+                self.caches.bind_tracer(cache_channel)
+        else:
+            self._tracer = None
+            self.trace_clk = 0
+            self._tr_cpu = None
+            self._tr_kernel = None
+
+    def _cycles_now(self):
+        """This CPU's virtual clock, as read by its trace channels."""
+        return int(self.cycles)
 
     # ------------------------------------------------------------------
     # helpers
@@ -238,11 +262,24 @@ class Cpu:
 
     def _mispredict(self, wrong_path_pc):
         """Charge the penalty and run the wrong path speculatively."""
+        trace = self._tr_cpu
+        ts0 = trace.now() if trace is not None else 0
         penalty = self.config.mispredict_penalty
         self.cycles += penalty
         self.pmu.counters["mispredict_penalty_cycles"] += int(penalty)
         if wrong_path_pc is not None:
-            self._speculate(wrong_path_pc)
+            executed = self._speculate(wrong_path_pc)
+            if trace is not None:
+                # One span per speculative window: enter at the branch,
+                # squash after *executed* wrong-path instructions.
+                trace.complete("cpu.speculate", ts0,
+                               pc=self.state.pc, target=wrong_path_pc,
+                               squashed=executed)
+                self._tracer.metrics.observe(
+                    "cpu.speculate.squashed", executed
+                )
+        elif trace is not None:
+            trace.event("cpu.mispredict", pc=self.state.pc)
 
     # ------------------------------------------------------------------
     # wrong-path (speculative) execution
@@ -393,6 +430,7 @@ class Cpu:
             pc = next_pc
 
         counters["squashed_instructions"] += executed
+        return executed
 
     # ------------------------------------------------------------------
     # architectural execution
@@ -529,7 +567,13 @@ class Cpu:
             counters["ret_instructions"] += 1
             target = self._pop_word()
             if self.shadow_stack is not None:
-                self.shadow_stack.on_return(target)
+                try:
+                    self.shadow_stack.on_return(target)
+                except ShadowStackViolation:
+                    if self._tr_cpu is not None:
+                        self._tr_cpu.event("cpu.shadow_divergence",
+                                           pc=pc, target=target)
+                    raise
             predicted = predictor.predict_return()
             mispredicted = predictor.resolve_return(predicted, target)
             if mispredicted:

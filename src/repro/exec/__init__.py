@@ -19,6 +19,7 @@ from repro.exec.backends import (
 from repro.exec.plan import Cell, SweepPlan
 from repro.exec.progress import SweepProgress
 from repro.exec.runner import (
+    TRACED_VALUE,
     CellExecutionError,
     describe_plan,
     execute_plan,
@@ -33,6 +34,7 @@ __all__ = [
     "SerialBackend",
     "SweepPlan",
     "SweepProgress",
+    "TRACED_VALUE",
     "derive_seed",
     "describe_plan",
     "execute_plan",

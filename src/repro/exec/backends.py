@@ -23,9 +23,10 @@ import time
 from repro.core.resilience import RECOVERABLE
 from repro.core.resilience.checkpoint import error_chain
 from repro.errors import WorkerCrashError
+from repro.obs.tracer import Tracer, activate
 
 
-def invoke_cell(fn, kwargs, faults_kw=None):
+def invoke_cell(fn, kwargs, faults_kw=None, trace=None):
     """Run one cell body and normalise the outcome (worker entry point).
 
     Runs in the worker process under ``ProcessPoolBackend`` — the
@@ -33,11 +34,26 @@ def invoke_cell(fn, kwargs, faults_kw=None):
     have to survive pickling, a chain string always does.  The derived
     fault injector's fired counts ride along so the driver can fold
     them into the root injector's telemetry.
+
+    *trace* (``{"config": TraceConfig, "key": ..., "seed": ...}``)
+    activates a per-cell :class:`~repro.obs.Tracer` around the body;
+    the recorded spans and the metrics snapshot travel back in the
+    outcome — they are virtual-timed, so the driver merges identical
+    traces whether the cell ran here or in a pool worker.
     """
     injector = kwargs.get(faults_kw) if faults_kw else None
+    tracer = None
+    if trace is not None:
+        tracer = Tracer(trace["config"])
+        tracer.begin("exec.cell", "exec", key=trace["key"],
+                     seed=f"{trace['seed']:016x}")
     started = time.monotonic()
     try:
-        value = fn(**kwargs)
+        if tracer is None:
+            value = fn(**kwargs)
+        else:
+            with activate(tracer):
+                value = fn(**kwargs)
         outcome = {"status": "ok", "value": value}
     except Exception as exc:
         outcome = {
@@ -51,6 +67,11 @@ def invoke_cell(fn, kwargs, faults_kw=None):
         outcome["fired"] = {
             kind: count for kind, count in injector.fired.items() if count
         }
+    if tracer is not None:
+        tracer.end("exec.cell", "exec", status=outcome["status"])
+        tracer.finalize()
+        outcome["trace"] = tracer.records
+        outcome["metrics"] = tracer.metrics.snapshot()
     return outcome
 
 
@@ -64,9 +85,10 @@ class SerialBackend:
 
     def run_wave(self, jobs):
         """Yield ``(key, outcome)`` for each ``(key, fn, kwargs,
-        faults_kw)`` job, in order."""
-        for key, fn, kwargs, faults_kw in jobs:
-            yield key, invoke_cell(fn, kwargs, faults_kw)
+        faults_kw[, trace])`` job, in order."""
+        for key, fn, kwargs, faults_kw, *rest in jobs:
+            trace = rest[0] if rest else None
+            yield key, invoke_cell(fn, kwargs, faults_kw, trace)
 
     def close(self):
         pass
@@ -132,9 +154,10 @@ class ProcessPoolBackend:
         def submit_next():
             while queue and len(in_flight) < window:
                 job = queue.pop(0)
-                key, fn, kwargs, faults_kw = job
+                key, fn, kwargs, faults_kw, *rest = job
+                trace = rest[0] if rest else None
                 future = self._pool().submit(
-                    invoke_cell, fn, kwargs, faults_kw
+                    invoke_cell, fn, kwargs, faults_kw, trace
                 )
                 in_flight[future] = job
 

@@ -11,10 +11,16 @@ import sys
 import time
 
 from repro.core.reporting import format_progress
+from repro.obs.metrics import format_metrics_line
 
 
 class SweepProgress:
-    """Per-cell completion lines with a running ETA."""
+    """Per-cell completion lines with a running ETA.
+
+    When the sweep traces (``--trace``), each line also carries the
+    cell's headline metrics — virtual cycles, cache misses, record
+    count — pulled from the per-cell snapshot the runner hands over.
+    """
 
     def __init__(self, experiment, total, jobs=1, stream=None):
         self.experiment = experiment
@@ -39,7 +45,7 @@ class SweepProgress:
         mean = self._computed_seconds / self._computed
         return remaining * mean / self.jobs
 
-    def update(self, key, status, elapsed):
+    def update(self, key, status, elapsed, metrics=None):
         self.done += 1
         if status != "cached":
             self._computed += 1
@@ -47,5 +53,6 @@ class SweepProgress:
         line = format_progress(
             self.experiment, self.done, self.total, key, status,
             elapsed, self.eta_seconds(),
+            metrics=format_metrics_line(metrics) if metrics else None,
         )
         print(line, file=self.stream, flush=True)

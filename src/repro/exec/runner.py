@@ -54,23 +54,54 @@ def _roundtrip(value):
     return json.loads(json.dumps(value))
 
 
-def open_store(checkpoint, experiment, meta):
+def open_store(checkpoint, experiment, meta, trace=None):
     """Resolve a checkpoint directory into a store (or None).
 
     The sweep persists to ``<checkpoint>/<experiment>.json``; ``meta``
     must hold every knob that changes the plan's cells, so a stored
-    checkpoint with different meta is discarded, never mixed in.
+    checkpoint with different meta is discarded, never mixed in.  A
+    :class:`~repro.obs.TraceConfig` joins the meta: traced checkpoints
+    carry trace/metrics envelopes an untraced run has no use for (and
+    vice versa), so the two must not resume each other.
     """
     if checkpoint is None:
         return None
     import os
 
     path = os.path.join(os.fspath(checkpoint), f"{experiment}.json")
-    return CheckpointStore(path, meta={"experiment": experiment, **meta})
+    meta = {"experiment": experiment, **meta}
+    if trace is not None:
+        meta["trace"] = {
+            "categories": (None if trace.categories is None
+                           else sorted(trace.categories)),
+            "max_records": trace.max_records,
+        }
+    return CheckpointStore(path, meta=meta)
+
+
+#: Marker key of a checkpoint value that carries its cell's trace.
+TRACED_VALUE = "__traced_cell__"
+
+
+def _wrap_traced(value, records, metrics):
+    return {TRACED_VALUE: 1, "value": value,
+            "trace": records, "metrics": metrics}
+
+
+def _unwrap(stored):
+    """Split a checkpoint value into (value, trace, metrics).
+
+    Untraced checkpoints store the bare value; traced ones store the
+    envelope.  Reading tolerates both, so the envelope never leaks into
+    experiment results.
+    """
+    if isinstance(stored, dict) and stored.get(TRACED_VALUE) == 1:
+        return stored["value"], stored.get("trace"), stored.get("metrics")
+    return stored, None, None
 
 
 def execute_plan(plan, store=None, statuses=None, backend=None,
-                 progress=None):
+                 progress=None, trace=None, traces=None, metrics=None):
     """Run every cell of *plan*; returns ``{cell key: value-or-None}``.
 
     *statuses* (dict) receives ``key -> {"status": ..., "error": ...}``
@@ -79,6 +110,14 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
     dependency failed are skipped silently — their value is ``None`` and
     they get no status, matching the historical early-return behaviour
     of the serial runners.
+
+    *trace* (a :class:`~repro.obs.TraceConfig`) arms per-cell tracing:
+    each cell body runs under its own :class:`~repro.obs.Tracer`, and
+    the caller-supplied *traces* / *metrics* dicts receive
+    ``key -> record list`` / ``key -> metrics snapshot`` in declaration
+    order.  Trace records are virtual-timed and checkpointed alongside
+    the value, so the filled dicts are byte-equal whether the cells ran
+    serially, in a pool, or were replayed from a checkpoint.
     """
     backend = backend or SerialBackend()
     if plan.has_local_cells and backend.concurrent:
@@ -90,14 +129,27 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
         statuses = {}
     results = dict(plan.presets)
     recorded = {}
+    cell_traces = {}
+    cell_metrics = {}
+    tracing = trace is not None
 
-    def persist(key, value):
+    def persist(key, payload):
         if store is None:
             return
         if backend.concurrent:
-            store.put_shard(key, value)
+            store.put_shard(key, payload)
         else:
-            store.put(key, value)
+            store.put(key, payload)
+
+    def note(key, status, elapsed, snapshot):
+        if progress is None:
+            return
+        if tracing:
+            # The metrics kwarg is only offered when tracing is on, so
+            # three-positional custom progress objects keep working.
+            progress.update(key, status, elapsed, metrics=snapshot)
+        else:
+            progress.update(key, status, elapsed)
 
     try:
         for wave in plan.waves():
@@ -110,10 +162,13 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
                     results[cell.key] = None
                     continue
                 if store is not None and cell.key in store:
-                    results[cell.key] = store.get(cell.key)
+                    value, replayed, snapshot = _unwrap(store.get(cell.key))
+                    results[cell.key] = value
+                    if replayed is not None:
+                        cell_traces[cell.key] = replayed
+                        cell_metrics[cell.key] = snapshot
                     recorded[cell.key] = {"status": CELL_CACHED}
-                    if progress is not None:
-                        progress.update(cell.key, CELL_CACHED, 0.0)
+                    note(cell.key, CELL_CACHED, 0.0, snapshot)
                     continue
                 kwargs = dict(cell.kwargs)
                 for kwarg, dep_key in cell.deps.items():
@@ -124,18 +179,35 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
                     kwargs.setdefault(
                         cell.faults_kw, plan.faults.derive(cell.seed)
                     )
-                jobs.append((cell.key, cell.fn, kwargs, cell.faults_kw))
+                cell_trace = None
+                if tracing:
+                    cell_trace = {"config": trace, "key": cell.key,
+                                  "seed": cell.seed}
+                jobs.append((cell.key, cell.fn, kwargs, cell.faults_kw,
+                             cell_trace))
 
             persist_flags = {cell.key: cell.persist for cell in wave}
             for key, outcome in backend.run_wave(jobs):
                 if plan.faults is not None and outcome.get("fired"):
                     plan.faults.absorb(outcome["fired"])
+                snapshot = None
+                if "trace" in outcome:
+                    # Round-trip like the value: a fresh trace and a
+                    # checkpoint-replayed trace must be byte-identical.
+                    cell_traces[key] = _roundtrip(outcome["trace"])
+                    snapshot = _roundtrip(outcome["metrics"])
+                    cell_metrics[key] = snapshot
                 if outcome["status"] == "ok":
                     value = _roundtrip(outcome["value"])
                     results[key] = value
                     recorded[key] = {"status": CELL_OK}
                     if persist_flags.get(key, True):
-                        persist(key, value)
+                        if tracing:
+                            persist(key, _wrap_traced(
+                                value, cell_traces.get(key), snapshot
+                            ))
+                        else:
+                            persist(key, value)
                 elif outcome["recoverable"]:
                     results[key] = None
                     recorded[key] = {
@@ -143,11 +215,8 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
                     }
                 else:
                     raise CellExecutionError(key, outcome["chain"])
-                if progress is not None:
-                    progress.update(
-                        key, recorded[key]["status"],
-                        outcome.get("elapsed", 0.0),
-                    )
+                note(key, recorded[key]["status"],
+                     outcome.get("elapsed", 0.0), snapshot)
     finally:
         backend.close()
         if store is not None and backend.concurrent:
@@ -156,6 +225,10 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
     for cell in plan:
         if cell.key in recorded:
             statuses[cell.key] = recorded[cell.key]
+        if traces is not None and cell.key in cell_traces:
+            traces[cell.key] = cell_traces[cell.key]
+        if metrics is not None and cell.key in cell_metrics:
+            metrics[cell.key] = cell_metrics[cell.key]
     return results
 
 

@@ -16,6 +16,7 @@ from repro.hid.dataset import Dataset
 from repro.hid.features import DEFAULT_FEATURES
 from repro.hid.metrics import compute_metrics
 from repro.hid.scaler import StandardScaler
+from repro.obs.tracer import current_tracer
 
 
 class HidDetector:
@@ -62,7 +63,12 @@ class HidDetector:
         return compute_metrics(dataset.y, predictions)
 
     def accuracy_on(self, dataset):
-        return self.metrics_on(dataset).accuracy
+        accuracy = self.metrics_on(dataset).accuracy
+        current_tracer().event(
+            "hid.eval", "hid", model=self.name,
+            accuracy=float(accuracy), windows=int(len(dataset.y)),
+        )
+        return accuracy
 
     def accuracy_on_samples(self, samples):
         dataset = Dataset.from_samples(samples, self.features)

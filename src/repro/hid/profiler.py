@@ -8,6 +8,7 @@ event *deltas* form one sample; the HID never sees anything else.
 import random
 
 from repro.hid.dataset import ATTACK, BENIGN, Sample
+from repro.obs.tracer import current_tracer
 
 #: Event deltas one OS timer tick / interrupt contributes to a window.
 #: Real PAPI sampling cannot exclude kernel activity; the paper's
@@ -88,6 +89,10 @@ class Profiler:
         Returns fewer samples if the process terminates first — callers
         size workload iterations generously.
         """
+        tracer = current_tracer()
+        trace = (tracer.channel("hid", getattr(process.cpu, "trace_clk", 0))
+                 if tracer.enabled else None)
+        ts0 = trace.now() if trace is not None else 0
         samples = []
         windows_seen = 0
         snapshot = process.pmu.snapshot()
@@ -100,11 +105,23 @@ class Profiler:
             windows_seen += 1
             if windows_seen <= self.warmup_windows:
                 continue
+            if trace is not None:
+                # Raw (pre-noise) integer deltas: the trace stays
+                # byte-stable even when the noise model is armed.
+                trace.event(
+                    "hid.window", n=len(samples),
+                    instructions=int(delta.get("instructions", 0)),
+                    misses=int(delta.get("total_cache_misses", 0)),
+                )
             samples.append(Sample(
                 process_name=name or process.name,
                 label=label,
                 events=self._measure(delta),
             ))
+        if trace is not None:
+            trace.complete("hid.profile", ts0,
+                           process=name or process.name,
+                           label=int(label), windows=len(samples))
         return samples
 
     def profile_concurrent(self, system, labelled_processes, num_samples):
@@ -142,6 +159,10 @@ class Profiler:
         max_quanta = needed * len(processes) * 4
         system.scheduler.quantum = self.quantum
         system.run(processes, max_quanta=max_quanta, on_quantum=on_quantum)
+        current_tracer().event(
+            "hid.profile_concurrent", "hid",
+            processes=len(processes), windows=len(collected),
+        )
         return collected
 
 

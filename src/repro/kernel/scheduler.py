@@ -45,14 +45,18 @@ class Scheduler:
             for process in pending:
                 if not process.alive:
                     continue
-                if (self.context_switch_flush
-                        and self._last_process is not None
+                if (self._last_process is not None
                         and self._last_process is not process):
-                    caches = process.cpu.caches
-                    caches.l1d.flush_all()
-                    caches.l1i.flush_all()
-                    process.cpu.dtlb.flush()
-                    process.cpu.itlb.flush()
+                    if self.context_switch_flush:
+                        caches = process.cpu.caches
+                        caches.l1d.flush_all()
+                        caches.l1i.flush_all()
+                        process.cpu.dtlb.flush()
+                        process.cpu.itlb.flush()
+                    if process.cpu._tr_kernel is not None:
+                        process.cpu._tr_kernel.event(
+                            "kernel.context_switch", pid=process.pid
+                        )
                 self._last_process = process
                 executed = process.step_quantum(self.quantum)
                 if watchdog is not None:

@@ -39,6 +39,10 @@ class SyscallInterface:
         args = (regs[A1], regs[A2], regs[A3])
         name = SYSCALL_NAMES.get(number)
         self.log.append((name or f"unknown({number})", args))
+        if cpu._tr_kernel is not None:
+            cpu._tr_kernel.event("kernel.syscall",
+                                 syscall=name or f"unknown({number})",
+                                 pid=self._process.pid)
         if name is None:
             raise KernelError(f"unknown syscall number {number}")
         handler = getattr(self, "_sys_" + name)

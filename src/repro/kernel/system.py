@@ -98,6 +98,8 @@ class System:
         program = self.lookup_binary(path)
         cpu = process.cpu
         memory = process.memory
+        if cpu._tr_kernel is not None:
+            cpu._tr_kernel.event("kernel.execve", path=path, pid=process.pid)
 
         memory.unmap_all()
         layout = self._make_layout()

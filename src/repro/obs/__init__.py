@@ -1,0 +1,58 @@
+"""repro.obs — deterministic tracing & metrics for the whole stack.
+
+See docs/OBSERVABILITY.md for the span taxonomy, the virtual-time
+guarantees, and the Perfetto workflow.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    format_count,
+    format_metrics_line,
+    headline,
+)
+from repro.obs.sinks import (
+    TRACE_FORMAT,
+    TraceSchemaError,
+    chrome_trace,
+    read_jsonl,
+    trace_jsonl,
+    validate_record,
+    write_trace_files,
+)
+from repro.obs.summary import format_summary, summarize
+from repro.obs.tracer import (
+    CATEGORIES,
+    NULL,
+    NullTracer,
+    TraceChannel,
+    TraceConfig,
+    Tracer,
+    activate,
+    current_tracer,
+    parse_filter,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "MetricsRegistry",
+    "NULL",
+    "NullTracer",
+    "TRACE_FORMAT",
+    "TraceChannel",
+    "TraceConfig",
+    "TraceSchemaError",
+    "Tracer",
+    "activate",
+    "chrome_trace",
+    "current_tracer",
+    "format_count",
+    "format_metrics_line",
+    "format_summary",
+    "headline",
+    "parse_filter",
+    "read_jsonl",
+    "summarize",
+    "trace_jsonl",
+    "validate_record",
+    "write_trace_files",
+]

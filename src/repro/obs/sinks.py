@@ -1,0 +1,128 @@
+"""Trace sinks: deterministic JSONL files and Chrome trace-event JSON.
+
+Both sinks serialise with sorted keys and fixed separators, so two
+traces with equal records produce byte-identical files — the property
+the golden-trace tests (and the ``--jobs N`` / resume acceptance
+criteria) assert on the *files*, not just the in-memory lists.
+
+The Chrome export follows the Trace Event Format understood by
+Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``: one
+``pid`` per experiment cell (named via ``M`` metadata records), one
+``tid`` per virtual clock, ``B``/``E``/``X``/``i`` phases carried over
+verbatim.
+"""
+
+import json
+import os
+
+from repro.atomicio import atomic_write_text
+
+#: JSONL header tag; bump on incompatible record-shape changes.
+TRACE_FORMAT = "repro-trace/1"
+
+_REQUIRED = (("ph", str), ("name", str), ("cat", str),
+             ("ts", int), ("clk", int), ("seq", int))
+_PHASES = ("B", "E", "X", "i")
+_OPTIONAL = ("dur", "args", "cell")
+
+
+class TraceSchemaError(ValueError):
+    """A JSONL line that is not a valid repro-trace record."""
+
+
+def _dumps(obj):
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def validate_record(record, line=None):
+    """Raise :class:`TraceSchemaError` unless *record* is well-formed."""
+    where = f" (line {line})" if line is not None else ""
+    if not isinstance(record, dict):
+        raise TraceSchemaError(f"record is not an object{where}")
+    for field, kind in _REQUIRED:
+        if field not in record:
+            raise TraceSchemaError(f"missing field {field!r}{where}")
+        if not isinstance(record[field], kind):
+            raise TraceSchemaError(
+                f"field {field!r} is {type(record[field]).__name__}, "
+                f"expected {kind.__name__}{where}"
+            )
+    if record["ph"] not in _PHASES:
+        raise TraceSchemaError(f"unknown phase {record['ph']!r}{where}")
+    if record["ph"] == "X" and not isinstance(record.get("dur"), int):
+        raise TraceSchemaError(f"X record without integer dur{where}")
+    extra = set(record) - {f for f, _ in _REQUIRED} - set(_OPTIONAL)
+    if extra:
+        raise TraceSchemaError(f"unknown fields {sorted(extra)}{where}")
+
+
+def trace_jsonl(experiment, cell_traces):
+    """The JSONL sink text: one header line, then one line per record.
+
+    *cell_traces* maps cell key -> record list, in declaration order
+    (the order :func:`repro.exec.execute_plan` fills it in).
+    """
+    lines = [_dumps({
+        "format": TRACE_FORMAT,
+        "experiment": experiment,
+        "cells": list(cell_traces),
+    })]
+    for key, records in cell_traces.items():
+        for record in records:
+            lines.append(_dumps({**record, "cell": key}))
+    return "\n".join(lines) + "\n"
+
+
+def read_jsonl(path):
+    """Parse + schema-check a JSONL sink; returns (header, records)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise TraceSchemaError(f"{path}: empty trace file")
+    header = json.loads(lines[0])
+    if header.get("format") != TRACE_FORMAT:
+        raise TraceSchemaError(
+            f"{path}: unknown format {header.get('format')!r}"
+        )
+    records = []
+    for number, line in enumerate(lines[1:], start=2):
+        record = json.loads(line)
+        validate_record(record, line=number)
+        records.append(record)
+    return header, records
+
+
+def chrome_trace(cell_traces):
+    """Records -> Chrome trace-event JSON object (Perfetto-loadable)."""
+    events = []
+    for pid, (key, records) in enumerate(cell_traces.items(), start=1):
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": key}})
+        for record in records:
+            event = {
+                "name": record["name"], "cat": record["cat"],
+                "ph": record["ph"], "pid": pid, "tid": record["clk"],
+                "ts": record["ts"],
+            }
+            if record["ph"] == "X":
+                event["dur"] = record.get("dur", 0)
+            elif record["ph"] == "i":
+                event["s"] = "t"
+            if "args" in record:
+                event["args"] = record["args"]
+            events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"generator": "repro.obs", "format": TRACE_FORMAT},
+    }
+
+
+def write_trace_files(out_dir, experiment, cell_traces):
+    """Write both sinks atomically; returns (jsonl_path, chrome_path)."""
+    os.makedirs(out_dir, exist_ok=True)
+    jsonl_path = os.path.join(out_dir, f"{experiment}.trace.jsonl")
+    chrome_path = os.path.join(out_dir, f"{experiment}.chrome.json")
+    atomic_write_text(jsonl_path, trace_jsonl(experiment, cell_traces))
+    atomic_write_text(chrome_path, _dumps(chrome_trace(cell_traces)) + "\n")
+    return jsonl_path, chrome_path

@@ -1,0 +1,99 @@
+"""Trace summary: top spans by virtual time, event counts.
+
+Powers ``repro trace FILE``: a quick aggregate view of a JSONL sink so
+a surprising cell can be triaged without loading Perfetto.  Durations
+are *virtual* (cycles on clk>=1 channels, record ordinals on the
+sequence clock), so summaries are as deterministic as the traces.
+"""
+
+from repro.core.reporting import format_table
+from repro.obs.metrics import format_count
+
+
+def summarize(records):
+    """Aggregate a record list; returns a plain dict.
+
+    ``spans`` maps span name -> {count, total, max} virtual duration,
+    from ``X`` records and matched ``B``/``E`` pairs (matched per
+    (cell, clk) stack, so interleaved cells never cross-link).
+    ``events`` maps point-event name -> count.
+    """
+    spans = {}
+    events = {}
+    stacks = {}
+    dangling = 0
+
+    def span(name, dur):
+        entry = spans.setdefault(name, {"count": 0, "total": 0, "max": 0})
+        entry["count"] += 1
+        entry["total"] += dur
+        entry["max"] = max(entry["max"], dur)
+
+    for record in records:
+        ph = record["ph"]
+        if ph == "X":
+            span(record["name"], record.get("dur", 0))
+        elif ph == "B":
+            stacks.setdefault(
+                (record.get("cell"), record["clk"]), []
+            ).append(record)
+        elif ph == "E":
+            stack = stacks.get((record.get("cell"), record["clk"]))
+            if stack:
+                opened = stack.pop()
+                span(opened["name"], record["ts"] - opened["ts"])
+            else:
+                dangling += 1
+        elif ph == "i":
+            events[record["name"]] = events.get(record["name"], 0) + 1
+    dangling += sum(len(stack) for stack in stacks.values())
+
+    cells = []
+    for record in records:
+        cell = record.get("cell")
+        if cell is not None and cell not in cells:
+            cells.append(cell)
+    return {
+        "records": len(records),
+        "cells": cells,
+        "spans": spans,
+        "events": events,
+        "unmatched": dangling,
+    }
+
+
+def format_summary(header, records, top=10):
+    """Render the aggregate view of one JSONL sink as text."""
+    stats = summarize(records)
+    lines = [
+        f"trace: {header.get('experiment', '?')} — "
+        f"{stats['records']} records, {len(stats['cells'])} cell(s)"
+    ]
+
+    ranked = sorted(
+        stats["spans"].items(),
+        key=lambda item: (-item[1]["total"], item[0]),
+    )[:top]
+    if ranked:
+        lines.append(format_table(
+            ["span", "count", "total vt", "mean vt", "max vt"],
+            [
+                [name, str(entry["count"]),
+                 format_count(entry["total"]),
+                 format_count(entry["total"] / entry["count"]),
+                 format_count(entry["max"])]
+                for name, entry in ranked
+            ],
+            title=f"top {len(ranked)} spans by virtual time",
+        ))
+    counted = sorted(stats["events"].items(),
+                     key=lambda item: (-item[1], item[0]))[:top]
+    if counted:
+        lines.append(format_table(
+            ["event", "count"],
+            [[name, str(count)] for name, count in counted],
+            title="event counts",
+        ))
+    if stats["unmatched"]:
+        lines.append(f"warning: {stats['unmatched']} unmatched B/E record(s)")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Module-level cell bodies for the observability tests.
+
+Like ``tests/exec/cells.py``: cells must be importable top-level
+functions so ``ProcessPoolBackend`` can pickle them into spawn-started
+workers — the golden-trace test runs the same cells on both backends.
+"""
+
+
+def spectre_cell(samples=3, cell_seed=0):
+    """A tiny spectre_v1 campaign: one injection, a few HPC windows.
+
+    Touches every instrumented layer — ROP chain build, injection,
+    execve, speculation, cache misses, profiler windows — so its trace
+    exercises the full span taxonomy.
+    """
+    from repro.core.scenario import Scenario, ScenarioConfig
+
+    scenario = Scenario(ScenarioConfig(
+        seed=cell_seed, spectre_variants=("v1",),
+    ))
+    windows = scenario.attack_samples(samples, variant="v1")
+    return {"windows": len(windows)}
+
+
+def cpu_cell(iterations=20, cell_seed=0):
+    """A bare workload run: CPU/cache/kernel spans, no attack."""
+    from repro.kernel.system import System
+    from repro.workloads import get_workload
+
+    system = System(seed=cell_seed)
+    system.install_binary(
+        "/bin/w", get_workload("basicmath").build(iterations=iterations)
+    )
+    process = system.spawn("/bin/w")
+    process.run_to_completion(max_instructions=5_000_000)
+    return {"cycles": int(process.cpu.cycles)}

@@ -1,0 +1,62 @@
+"""CLI coverage: ``repro trace`` and the ``--trace*`` flags."""
+
+from repro.cli import EXIT_FATAL, EXIT_OK, EXIT_USAGE, main
+from repro.obs import write_trace_files
+
+SAMPLE_TRACES = {
+    "host/a": [
+        {"ph": "B", "name": "exec.cell", "cat": "exec",
+         "ts": 0, "clk": 0, "seq": 0},
+        {"ph": "X", "name": "hid.profile", "cat": "hid",
+         "ts": 1, "clk": 1, "seq": 1, "dur": 900},
+        {"ph": "i", "name": "cache.miss", "cat": "cache",
+         "ts": 3, "clk": 1, "seq": 2},
+        {"ph": "E", "name": "exec.cell", "cat": "exec",
+         "ts": 3, "clk": 0, "seq": 3},
+    ],
+}
+
+
+class TestTraceCommand:
+    def test_summarises_sink(self, tmp_path, capsys):
+        jsonl_path, _ = write_trace_files(tmp_path, "fig4", SAMPLE_TRACES)
+        assert main(["trace", str(jsonl_path)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "trace: fig4" in out
+        assert "hid.profile" in out
+        assert "cache.miss" in out
+
+    def test_top_limits_rows(self, tmp_path, capsys):
+        jsonl_path, _ = write_trace_files(tmp_path, "fig4", SAMPLE_TRACES)
+        assert main(["trace", str(jsonl_path), "--top", "1"]) == EXIT_OK
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "nope.jsonl"
+        assert main(["trace", str(path)]) == EXIT_FATAL
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_trace_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format":"wrong/0"}\n')
+        assert main(["trace", str(path)]) == EXIT_FATAL
+        assert "invalid trace" in capsys.readouterr().err
+
+
+class TestTraceFlags:
+    def test_unknown_filter_is_usage_error(self, capsys):
+        code = main(["fig4", "--quick", "--trace",
+                     "--trace-filter", "bogus"])
+        assert code == EXIT_USAGE
+        assert "unknown trace categories" in capsys.readouterr().err
+
+    def test_flags_present_on_every_experiment(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for name in ("fig4", "fig5", "fig6", "table1", "hardening"):
+            args = parser.parse_args([name, "--trace",
+                                      "--trace-filter", "cpu,cache",
+                                      "--trace-out", "/tmp/x"])
+            assert args.trace is True
+            assert args.trace_filter == "cpu,cache"
+            assert args.trace_out == "/tmp/x"

@@ -1,0 +1,83 @@
+"""Overhead guards: disabled tracing must stay off the hot path.
+
+Two layers of defence: a *structural* check that no channel is bound
+(so the step loop cannot even reach an emission site), and a *timing*
+guard comparing an untraced run against an enabled-but-fully-filtered
+tracer — the configuration whose cost is pure bookkeeping.  The real
+numbers live in ``benchmarks/bench_obs.py``; the guard here only
+catches accidental hot-path instrumentation.
+"""
+
+import time
+
+from repro.kernel.system import System
+from repro.obs.tracer import NULL, TraceConfig, Tracer, activate, \
+    current_tracer
+from repro.workloads import get_workload
+
+
+def _run_workload(iterations=30):
+    system = System(seed=0)
+    system.install_binary(
+        "/bin/w", get_workload("basicmath").build(iterations=iterations)
+    )
+    process = system.spawn("/bin/w")
+    process.run_to_completion(max_instructions=5_000_000)
+    return process
+
+
+class TestStructure:
+    def test_default_cpu_binds_no_channels(self):
+        assert current_tracer() is NULL
+        process = _run_workload(iterations=5)
+        cpu = process.cpu
+        assert cpu._tracer is None
+        assert cpu._tr_cpu is None
+        assert cpu._tr_kernel is None
+        assert cpu.trace_clk == 0
+        assert cpu.caches._trace is None
+        assert cpu.caches.l1d._trace is None
+
+    def test_filtered_tracer_binds_no_channels(self):
+        tracer = Tracer(TraceConfig(categories=()))
+        with activate(tracer):
+            process = _run_workload(iterations=5)
+        assert process.cpu._tr_cpu is None
+        assert process.cpu.caches._trace is None
+        assert tracer.records == []
+        # The clock still registered: finalize can report cycles.
+        assert process.cpu.trace_clk == 1
+
+    def test_full_tracer_records_something(self):
+        tracer = Tracer()
+        with activate(tracer):
+            _run_workload(iterations=5)
+        tracer.finalize()
+        assert len(tracer.records) > 0
+        assert tracer.metrics.gauges["cpu.cycles"] > 0
+
+
+class TestTimingGuard:
+    def test_disabled_tracing_overhead_is_small(self):
+        """NULL vs enabled-but-filtered: both bind nothing, so the only
+        admissible cost is Tracer construction — not per-instruction
+        work.  Generous factor: this is a regression tripwire, not a
+        benchmark."""
+        def timed(tracer):
+            best = float("inf")
+            for _ in range(3):
+                started = time.perf_counter()
+                if tracer is None:
+                    _run_workload()
+                else:
+                    with activate(Tracer(TraceConfig(categories=()))):
+                        _run_workload()
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        untraced = timed(None)
+        filtered = timed(Tracer)
+        assert filtered <= untraced * 2.0, (
+            f"filtered tracing cost {filtered / untraced:.2f}x the "
+            f"untraced run — something instruments the hot path"
+        )

@@ -1,0 +1,56 @@
+"""Profiler determinism audit (observability satellite).
+
+The profiler's noise model draws from a per-instance
+``random.Random(seed)`` — never the global RNG — so two profiles with
+the same seed are sample-for-sample equal *and* their traces are
+record-for-record equal.  This test pins that contract: if anyone
+reintroduces module-level randomness, the same-seed traces diverge.
+"""
+
+import random
+
+from repro.hid.io import samples_to_records
+from repro.hid.profiler import Profiler
+from repro.kernel.system import System
+from repro.obs.tracer import TraceConfig, Tracer, activate
+from repro.workloads import get_workload
+
+
+def _profile_once(seed):
+    tracer = Tracer(TraceConfig(categories=("hid",)))
+    with activate(tracer):
+        system = System(seed=seed)
+        system.install_binary(
+            "/bin/w",
+            get_workload("basicmath").build(iterations=1 << 28),
+        )
+        process = system.spawn("/bin/w")
+        profiler = Profiler(quantum=2000, noise=0.05, seed=seed)
+        samples = profiler.profile(process, 4)
+    return samples_to_records(samples), tracer.records
+
+
+class TestProfilerDeterminism:
+    def test_same_seed_same_samples_and_trace(self):
+        first_samples, first_trace = _profile_once(seed=3)
+        second_samples, second_trace = _profile_once(seed=3)
+        assert first_samples == second_samples
+        assert first_trace == second_trace
+        names = [r["name"] for r in first_trace]
+        assert names.count("hid.window") == 4
+        assert names[-1] == "hid.profile"
+
+    def test_profiler_ignores_global_rng_state(self):
+        first_samples, first_trace = _profile_once(seed=3)
+        random.seed(999999)  # would perturb module-level randomness
+        second_samples, second_trace = _profile_once(seed=3)
+        assert first_samples == second_samples
+        assert first_trace == second_trace
+
+    def test_window_events_are_pre_noise_integers(self):
+        _, trace = _profile_once(seed=3)
+        windows = [r for r in trace if r["name"] == "hid.window"]
+        for record in windows:
+            args = record["args"]
+            assert isinstance(args["instructions"], int)
+            assert isinstance(args["misses"], int)

@@ -1,0 +1,132 @@
+"""Unit tests for the JSONL and Chrome trace sinks."""
+
+import json
+
+import pytest
+
+from repro.obs.sinks import (
+    TRACE_FORMAT,
+    TraceSchemaError,
+    chrome_trace,
+    read_jsonl,
+    trace_jsonl,
+    validate_record,
+    write_trace_files,
+)
+
+
+def _record(**overrides):
+    record = {"ph": "i", "name": "cache.miss", "cat": "cache",
+              "ts": 10, "clk": 1, "seq": 0}
+    record.update(overrides)
+    return record
+
+
+SAMPLE_TRACES = {
+    "cell/a": [
+        {"ph": "B", "name": "exec.cell", "cat": "exec",
+         "ts": 0, "clk": 0, "seq": 0, "args": {"key": "cell/a"}},
+        {"ph": "X", "name": "cpu.speculate", "cat": "cpu",
+         "ts": 5, "clk": 1, "seq": 1, "dur": 14},
+        {"ph": "E", "name": "exec.cell", "cat": "exec",
+         "ts": 2, "clk": 0, "seq": 2},
+    ],
+    "cell/b": [
+        {"ph": "i", "name": "cache.miss", "cat": "cache",
+         "ts": 7, "clk": 1, "seq": 0},
+    ],
+}
+
+
+class TestValidateRecord:
+    def test_accepts_well_formed(self):
+        validate_record(_record())
+        validate_record(_record(ph="X", dur=3))
+
+    def test_missing_field(self):
+        record = _record()
+        del record["ts"]
+        with pytest.raises(TraceSchemaError, match="ts"):
+            validate_record(record)
+
+    def test_wrong_type(self):
+        with pytest.raises(TraceSchemaError, match="expected int"):
+            validate_record(_record(ts=1.5))
+
+    def test_unknown_phase(self):
+        with pytest.raises(TraceSchemaError, match="phase"):
+            validate_record(_record(ph="Q"))
+
+    def test_x_without_dur(self):
+        with pytest.raises(TraceSchemaError, match="dur"):
+            validate_record(_record(ph="X"))
+
+    def test_unknown_field(self):
+        with pytest.raises(TraceSchemaError, match="wallclock"):
+            validate_record(_record(wallclock=123))
+
+
+class TestJsonlSink:
+    def test_header_and_cell_stamp(self):
+        text = trace_jsonl("fig4", SAMPLE_TRACES)
+        lines = text.splitlines()
+        header = json.loads(lines[0])
+        assert header == {"format": TRACE_FORMAT, "experiment": "fig4",
+                          "cells": ["cell/a", "cell/b"]}
+        assert len(lines) == 1 + 4
+        assert json.loads(lines[1])["cell"] == "cell/a"
+        assert json.loads(lines[-1])["cell"] == "cell/b"
+
+    def test_deterministic_bytes(self):
+        assert (trace_jsonl("fig4", SAMPLE_TRACES)
+                == trace_jsonl("fig4", SAMPLE_TRACES))
+
+    def test_read_roundtrip(self, tmp_path):
+        path = tmp_path / "fig4.trace.jsonl"
+        path.write_text(trace_jsonl("fig4", SAMPLE_TRACES))
+        header, records = read_jsonl(path)
+        assert header["experiment"] == "fig4"
+        assert len(records) == 4
+        assert records[0]["name"] == "exec.cell"
+
+    def test_read_rejects_bad_format(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format":"something-else/9"}\n')
+        with pytest.raises(TraceSchemaError, match="unknown format"):
+            read_jsonl(path)
+
+    def test_read_rejects_bad_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        header = json.dumps({"format": TRACE_FORMAT,
+                             "experiment": "x", "cells": []})
+        path.write_text(header + '\n{"ph":"i"}\n')
+        with pytest.raises(TraceSchemaError, match="line 2"):
+            read_jsonl(path)
+
+
+class TestChromeSink:
+    def test_structure(self):
+        doc = chrome_trace(SAMPLE_TRACES)
+        events = doc["traceEvents"]
+        # One process_name metadata record per cell, pids 1-based.
+        meta = [e for e in events if e["ph"] == "M"]
+        assert [(e["pid"], e["args"]["name"]) for e in meta] == [
+            (1, "cell/a"), (2, "cell/b"),
+        ]
+        complete = next(e for e in events if e["ph"] == "X")
+        assert complete["dur"] == 14
+        assert complete["tid"] == 1
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["s"] == "t"
+        assert doc["otherData"]["format"] == TRACE_FORMAT
+
+    def test_write_trace_files(self, tmp_path):
+        out = tmp_path / "traces"
+        jsonl_path, chrome_path = write_trace_files(
+            out, "fig4", SAMPLE_TRACES
+        )
+        header, records = read_jsonl(jsonl_path)
+        assert len(records) == 4
+        with open(chrome_path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc["traceEvents"]

@@ -1,0 +1,74 @@
+"""Unit tests for the trace summary view (``repro trace``)."""
+
+from repro.obs.summary import format_summary, summarize
+
+
+def _rec(ph, name, ts, cell="c", clk=1, **extra):
+    record = {"ph": ph, "name": name, "cat": "cpu",
+              "ts": ts, "clk": clk, "seq": ts, "cell": cell}
+    record.update(extra)
+    return record
+
+
+class TestSummarize:
+    def test_x_records(self):
+        stats = summarize([
+            _rec("X", "cpu.speculate", 0, dur=10),
+            _rec("X", "cpu.speculate", 20, dur=30),
+        ])
+        entry = stats["spans"]["cpu.speculate"]
+        assert entry == {"count": 2, "total": 40, "max": 30}
+
+    def test_matched_begin_end(self):
+        stats = summarize([
+            _rec("B", "exec.cell", 100),
+            _rec("E", "exec.cell", 175),
+        ])
+        assert stats["spans"]["exec.cell"]["total"] == 75
+        assert stats["unmatched"] == 0
+
+    def test_interleaved_cells_do_not_cross_link(self):
+        stats = summarize([
+            _rec("B", "exec.cell", 0, cell="a"),
+            _rec("B", "exec.cell", 0, cell="b"),
+            _rec("E", "exec.cell", 10, cell="a"),
+            _rec("E", "exec.cell", 99, cell="b"),
+        ])
+        entry = stats["spans"]["exec.cell"]
+        assert entry["count"] == 2
+        assert entry["total"] == 10 + 99
+
+    def test_unmatched_records_counted(self):
+        stats = summarize([
+            _rec("E", "exec.cell", 5),       # dangling E
+            _rec("B", "hid.train", 0),       # dangling B
+        ])
+        assert stats["unmatched"] == 2
+
+    def test_events_and_cells(self):
+        stats = summarize([
+            _rec("i", "cache.miss", 1, cell="a"),
+            _rec("i", "cache.miss", 2, cell="b"),
+        ])
+        assert stats["events"] == {"cache.miss": 2}
+        assert stats["cells"] == ["a", "b"]
+
+
+class TestFormatSummary:
+    def test_renders_tables(self):
+        records = [
+            _rec("X", "hid.profile", 0, dur=500),
+            _rec("i", "cache.miss", 1),
+            _rec("i", "cache.miss", 2),
+        ]
+        text = format_summary({"experiment": "fig4"}, records)
+        assert "trace: fig4" in text
+        assert "top 1 spans by virtual time" in text
+        assert "hid.profile" in text
+        assert "event counts" in text
+        assert "cache.miss" in text
+        assert "warning" not in text
+
+    def test_warns_on_unmatched(self):
+        text = format_summary({}, [_rec("B", "exec.cell", 0)])
+        assert "1 unmatched" in text

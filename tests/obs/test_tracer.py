@@ -1,0 +1,139 @@
+"""Unit tests for the virtual-time tracer core."""
+
+import pytest
+
+from repro.obs.tracer import (
+    CATEGORIES,
+    NULL,
+    TraceConfig,
+    Tracer,
+    activate,
+    current_tracer,
+    parse_filter,
+)
+
+
+class TestParseFilter:
+    def test_none_and_empty_mean_all(self):
+        assert parse_filter(None) is None
+        assert parse_filter("") is None
+
+    def test_splits_and_strips(self):
+        assert parse_filter(" cpu, cache ") == ("cpu", "cache")
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(ValueError, match="bogus"):
+            parse_filter("cpu,bogus")
+
+
+class TestTraceConfig:
+    def test_default_wants_everything(self):
+        config = TraceConfig()
+        assert all(config.wants(cat) for cat in CATEGORIES)
+
+    def test_subset(self):
+        config = TraceConfig(categories=("cpu",))
+        assert config.wants("cpu")
+        assert not config.wants("cache")
+
+    def test_empty_tuple_wants_nothing(self):
+        config = TraceConfig(categories=())
+        assert not any(config.wants(cat) for cat in CATEGORIES)
+
+
+class TestTracer:
+    def test_disabled_category_yields_no_channel(self):
+        tracer = Tracer(TraceConfig(categories=("cpu",)))
+        assert tracer.channel("cache") is None
+        assert tracer.channel("cpu") is not None
+
+    def test_channel_event_record_shape(self):
+        tracer = Tracer()
+        clk = tracer.register_clock(lambda: 42)
+        channel = tracer.channel("cpu", clk)
+        channel.event("cpu.mispredict", pc=4096)
+        assert tracer.records == [{
+            "ph": "i", "name": "cpu.mispredict", "cat": "cpu",
+            "ts": 42, "clk": 1, "seq": 0, "args": {"pc": 4096},
+        }]
+
+    def test_complete_span_duration(self):
+        ticks = iter((100, 150))
+        tracer = Tracer()
+        clk = tracer.register_clock(lambda: next(ticks))
+        channel = tracer.channel("cache", clk)
+        ts0 = channel.now()
+        channel.complete("cache.fill", ts0)
+        (record,) = tracer.records
+        assert record["ph"] == "X"
+        assert record["ts"] == 100
+        assert record["dur"] == 50
+
+    def test_sequence_clock_channel(self):
+        tracer = Tracer()
+        channel = tracer.channel("attack")
+        channel.event("attack.step")
+        channel.event("attack.step")
+        first, second = tracer.records
+        assert (first["clk"], second["clk"]) == (0, 0)
+        assert second["seq"] == first["seq"] + 1
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("exec.cell", "exec"):
+                raise RuntimeError("boom")
+        phases = [record["ph"] for record in tracer.records]
+        assert phases == ["B", "E"]
+
+    def test_max_records_cap_counts_drops(self):
+        tracer = Tracer(TraceConfig(max_records=2))
+        channel = tracer.channel("hid")
+        for _ in range(5):
+            channel.event("hid.window")
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 3
+        # The event counter survives the cap.
+        assert tracer.metrics.counters["events.hid.window"] == 5
+
+    def test_finalize_gauges(self):
+        tracer = Tracer()
+        tracer.register_clock(lambda: 1000)
+        tracer.register_clock(lambda: 234)
+        tracer.channel("cpu", 1).event("cpu.speculate")
+        tracer.finalize()
+        gauges = tracer.metrics.gauges
+        assert gauges["cpu.cycles"] == 1234
+        assert gauges["trace.records"] == 1
+        assert gauges["trace.dropped"] == 0
+
+    def test_unwanted_tracer_level_events_not_recorded(self):
+        tracer = Tracer(TraceConfig(categories=("cpu",)))
+        tracer.event("attack.samples", "attack")
+        with tracer.span("exec.cell", "exec"):
+            pass
+        assert tracer.records == []
+
+
+class TestAmbientStack:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL
+        assert not NULL.enabled
+
+    def test_activate_and_restore(self):
+        tracer = Tracer()
+        with activate(tracer):
+            assert current_tracer() is tracer
+            inner = Tracer()
+            with activate(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL
+
+    def test_null_tracer_is_inert(self):
+        assert NULL.channel("cpu") is None
+        assert NULL.register_clock(lambda: 0) == 0
+        with NULL.span("exec.cell", "exec"):
+            pass
+        NULL.event("x", "cpu")
+        assert NULL.records == ()
