@@ -9,19 +9,15 @@ speedups are only meaningful relative to it; a 1-core CI runner
 honestly reports ~1x or below, the determinism assertions still bite).
 """
 
-import json
 import os
-import pathlib
 import time
 
 import pytest
 
 from benchmarks.conftest import publish
-from repro.atomicio import atomic_write_text
+from benchmarks.schema import write_bench_json
 from repro.core.experiments import run_fig5
 from repro.core.experiments.fig5 import plan_fig5
-
-BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_exec.json"
 
 #: Reduced fig5: full cell topology, ~quarter-scale sampling.
 KNOBS = dict(
@@ -60,27 +56,24 @@ def test_exec_parallel_baseline(benchmark, sweep_timings):
     for jobs in JOB_COUNTS[1:]:
         assert reports[jobs] == reports[1], f"jobs={jobs} diverged"
 
-    baseline = {
-        "experiment": "fig5-reduced",
-        "knobs": {k: list(v) if isinstance(v, tuple) else v
-                  for k, v in KNOBS.items()},
-        "cells": cells,
-        "cpu_count": os.cpu_count(),
-        "runs": {
+    write_bench_json(
+        "exec",
+        knobs={k: list(v) if isinstance(v, tuple) else v
+               for k, v in KNOBS.items()},
+        runs={
             str(jobs): {
                 "wall_s": round(timings[jobs], 3),
                 "cells_per_s": round(cells / timings[jobs], 3),
             }
             for jobs in JOB_COUNTS
         },
-        "speedup_vs_serial": {
+        experiment="fig5-reduced",
+        cells=cells,
+        speedup_vs_serial={
             str(jobs): round(timings[1] / timings[jobs], 3)
             for jobs in JOB_COUNTS[1:]
         },
-        "identical_output": True,
-    }
-    atomic_write_text(
-        BASELINE_PATH, json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        identical_output=True,
     )
 
     lines = [f"exec baseline — reduced fig5, {cells} cells, "

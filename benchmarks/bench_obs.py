@@ -14,21 +14,17 @@ rides along, and the ≤5 % disabled-overhead assertion is checked on
 the *median* of repeated runs so one scheduler hiccup cannot fail CI.
 """
 
-import json
 import os
-import pathlib
 import statistics
 import time
 
 import pytest
 
 from benchmarks.conftest import publish
-from repro.atomicio import atomic_write_text
+from benchmarks.schema import write_bench_json
 from repro.kernel.system import System
 from repro.obs.tracer import TraceConfig, Tracer, activate
 from repro.workloads import get_workload
-
-BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_obs.json"
 
 #: Workload knobs: long enough that per-step cost dominates Tracer
 #: construction, short enough to keep the bench under a minute.
@@ -94,22 +90,19 @@ def test_obs_overhead_baseline(benchmark, obs_timings):
     overhead = {
         mode: medians[mode] / medians["off"] - 1.0 for mode in MODES[1:]
     }
-    baseline = {
-        "workload": f"basicmath x{ITERATIONS}",
-        "cycles": cycles["off"],
-        "records_full": records["full"],
-        "rounds": ROUNDS,
-        "cpu_count": os.cpu_count(),
-        "runs": {
+    write_bench_json(
+        "obs",
+        knobs={"workload": "basicmath", "iterations": ITERATIONS,
+               "rounds": ROUNDS},
+        runs={
             mode: {
                 "median_s": round(medians[mode], 4),
                 "overhead_vs_off": round(overhead.get(mode, 0.0), 4),
             }
             for mode in MODES
         },
-    }
-    atomic_write_text(
-        BASELINE_PATH, json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        cycles=cycles["off"],
+        records_full=records["full"],
     )
 
     lines = [f"obs baseline — basicmath x{ITERATIONS}, "

@@ -1,0 +1,95 @@
+"""Shared schema for the committed ``BENCH_*.json`` baselines.
+
+Every benchmark that persists numbers to the repo root goes through
+:func:`write_bench_json`, so all baselines share one shape — ``format``
+tag, ``bench`` name, host ``cpu_count``, the resolved ``knobs``, and a
+``runs`` mapping of mode/jobs -> measurement dict — and
+``tests/test_bench_schema.py`` can hold every committed file to it.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.atomicio import atomic_write_text
+
+#: Baseline format tag; bump on incompatible shape changes.
+BENCH_FORMAT = "repro-bench/1"
+
+#: Keys every baseline must carry.
+REQUIRED_KEYS = ("format", "bench", "cpu_count", "knobs", "runs")
+
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+class BenchSchemaError(ValueError):
+    """A baseline payload that does not match the shared schema."""
+
+
+def bench_path(bench):
+    """Repo-root path of one benchmark's committed baseline."""
+    return _REPO_ROOT / f"BENCH_{bench}.json"
+
+
+def build_bench_json(bench, knobs, runs, cpu_count=None, **extra):
+    """Assemble a schema-conforming baseline payload.
+
+    *knobs* is the benchmark's resolved parameter dict, *runs* maps a
+    run label (mode name, job count) to its measurement dict.  Extra
+    benchmark-specific keys ride along at the top level.
+    """
+    payload = {
+        "format": BENCH_FORMAT,
+        "bench": bench,
+        "cpu_count": os.cpu_count() if cpu_count is None else cpu_count,
+        "knobs": knobs,
+        "runs": runs,
+    }
+    payload.update(extra)
+    validate_bench(payload)
+    return payload
+
+
+def validate_bench(payload):
+    """Raise :class:`BenchSchemaError` unless *payload* conforms."""
+    if not isinstance(payload, dict):
+        raise BenchSchemaError("baseline is not an object")
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            raise BenchSchemaError(f"missing required key {key!r}")
+    if payload["format"] != BENCH_FORMAT:
+        raise BenchSchemaError(
+            f"unknown format {payload['format']!r} "
+            f"(expected {BENCH_FORMAT})"
+        )
+    if not isinstance(payload["bench"], str) or not payload["bench"]:
+        raise BenchSchemaError("'bench' must be a non-empty string")
+    if not isinstance(payload["cpu_count"], int):
+        raise BenchSchemaError("'cpu_count' must be an integer")
+    if not isinstance(payload["knobs"], dict):
+        raise BenchSchemaError("'knobs' must be an object")
+    runs = payload["runs"]
+    if not isinstance(runs, dict) or not runs:
+        raise BenchSchemaError("'runs' must be a non-empty object")
+    for label, measurements in runs.items():
+        if not isinstance(measurements, dict):
+            raise BenchSchemaError(
+                f"runs[{label!r}] must be an object of measurements"
+            )
+        for metric, value in measurements.items():
+            if not isinstance(value, (int, float)):
+                raise BenchSchemaError(
+                    f"runs[{label!r}][{metric!r}] must be numeric, "
+                    f"got {type(value).__name__}"
+                )
+
+
+def write_bench_json(bench, knobs, runs, cpu_count=None, **extra):
+    """Validate and atomically persist one baseline; returns its path."""
+    payload = build_bench_json(bench, knobs, runs,
+                               cpu_count=cpu_count, **extra)
+    path = bench_path(bench)
+    atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    return path

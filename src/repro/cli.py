@@ -10,6 +10,12 @@ Commands
 ``profile``     profile a workload and dump HPC windows to CSV
 ``smoke``       fast resilience smoke run (CI): faults + retries
 ``trace``       summarise a recorded trace (see ``--trace`` above)
+``compare``     diff two ledger runs knob-by-knob / span-by-span
+``gate``        check a run's headlines against expectations.json
+``report``      render a run manifest as a static HTML dashboard
+
+Experiment runs record a manifest in the run ledger (``runs/`` by
+default; ``--no-ledger`` opts out) — see docs/LEDGER.md.
 
 Exit codes
 ----------
@@ -18,9 +24,11 @@ Exit codes
 2  usage error (bad arguments; argparse convention)
 3  instruction budget / watchdog exceeded
 4  partial results (some sweep cells degraded by faults)
+5  regression gate failed / compared runs differ
 """
 
 import argparse
+import os
 import sys
 
 EXIT_OK = 0
@@ -28,6 +36,7 @@ EXIT_FATAL = 1
 EXIT_USAGE = 2
 EXIT_BUDGET = 3
 EXIT_PARTIAL = 4
+EXIT_GATE = 5
 
 
 def _add_seed(parser):
@@ -108,9 +117,52 @@ def _add_trace(parser):
              f"{','.join(CATEGORIES)}; default: all)",
     )
     parser.add_argument(
-        "--trace-out", metavar="DIR", default="traces",
-        help="directory for the trace sinks (default: traces/)",
+        "--trace-out", metavar="DIR", default=None,
+        help="directory for the trace sinks (default: the run's ledger "
+             "directory, or traces/ when the ledger is disabled)",
     )
+
+
+def _add_ledger(parser):
+    parser.add_argument(
+        "--ledger", metavar="DIR", default="runs",
+        help="run-ledger root: record a run manifest under "
+             "DIR/<run-id>/ and index it in DIR/ledger.jsonl "
+             "(default: runs/; see docs/LEDGER.md)",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not record a run manifest",
+    )
+
+
+def _resolve(command, kwargs):
+    """(module, resolved knob dict) for one experiment command.
+
+    Fills every knob the runner would default from ``run_<command>``'s
+    signature, then overlays *kwargs* — so plan/meta helpers called via
+    :func:`_call_accepted` see exactly what ``run_<command>`` would.
+    """
+    import importlib
+    import inspect
+
+    module = importlib.import_module(f"repro.core.experiments.{command}")
+    run_fn = getattr(module, f"run_{command}")
+    values = {
+        name: parameter.default
+        for name, parameter in inspect.signature(run_fn).parameters.items()
+        if parameter.default is not inspect.Parameter.empty
+    }
+    values.update(kwargs)
+    return module, values
+
+
+def _call_accepted(fn, values):
+    """Call *fn* with the subset of *values* its signature accepts."""
+    import inspect
+
+    accepted = inspect.signature(fn).parameters
+    return fn(**{k: v for k, v in values.items() if k in accepted})
 
 
 def _plan_and_store(command, kwargs):
@@ -121,28 +173,15 @@ def _plan_and_store(command, kwargs):
     so the described plan and the opened store match exactly what
     ``run_<command>`` would execute and persist.
     """
-    import importlib
-    import inspect
-
     from repro.exec import open_store
 
-    module = importlib.import_module(f"repro.core.experiments.{command}")
-    run_fn = getattr(module, f"run_{command}")
-    values = {
-        name: parameter.default
-        for name, parameter in inspect.signature(run_fn).parameters.items()
-        if parameter.default is not inspect.Parameter.empty
-    }
-    values.update(kwargs)
-
-    def call(fn):
-        accepted = inspect.signature(fn).parameters
-        return fn(**{k: v for k, v in values.items() if k in accepted})
-
+    module, values = _resolve(command, kwargs)
     store = open_store(values.get("checkpoint"), command,
-                       call(getattr(module, f"{command}_meta")),
+                       _call_accepted(getattr(module, f"{command}_meta"),
+                                      values),
                        trace=values.get("trace"))
-    return call(getattr(module, f"plan_{command}")), store
+    plan = _call_accepted(getattr(module, f"plan_{command}"), values)
+    return plan, store
 
 
 def _build_faults(args):
@@ -205,6 +244,7 @@ def build_parser():
         _add_resilience(p)
         _add_exec(p)
         _add_trace(p)
+        _add_ledger(p)
         if name == "table1":
             p.add_argument(
                 "--budget", type=int, default=None, metavar="INSNS",
@@ -222,9 +262,60 @@ def build_parser():
         help="summarise a recorded trace JSONL (top spans by virtual "
              "time, event counts)",
     )
-    p.add_argument("file", help="a <experiment>.trace.jsonl sink")
+    p.add_argument("file",
+                   help="a <experiment>.trace.jsonl sink, or a "
+                        "*.chrome.json Perfetto export")
     p.add_argument("--top", type=int, default=10, metavar="N",
                    help="rows per summary table (default 10)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary as JSON instead of tables")
+
+    p = sub.add_parser(
+        "compare",
+        help="diff two ledger runs: knobs, headlines, cell statuses, "
+             "metrics — and the first divergent trace span per cell",
+    )
+    p.add_argument("run_a", help="run id / run dir / manifest path")
+    p.add_argument("run_b", help="run id / run dir / manifest path")
+    p.add_argument("--ledger", metavar="DIR", default="runs",
+                   help="ledger root for bare run ids (default: runs/)")
+    p.add_argument("--no-traces", action="store_true",
+                   help="skip trace-level divergence localisation")
+    p.add_argument("--max-rows", type=int, default=20, metavar="N",
+                   help="rows per diff section before eliding "
+                        "(default 20)")
+
+    p = sub.add_parser(
+        "gate",
+        help="check a run's recorded headlines against the committed "
+             "expectation bands; exit 5 on regression",
+    )
+    p.add_argument("run", help="run id / run dir / manifest path")
+    p.add_argument("--ledger", metavar="DIR", default="runs",
+                   help="ledger root for bare run ids (default: runs/)")
+    p.add_argument("--expectations", metavar="FILE",
+                   default="expectations.json",
+                   help="expectation bands (default: expectations.json)")
+    p.add_argument("--profile", default="quick",
+                   help="band profile: 'quick' for scaled-down CI runs, "
+                        "'full' for paper-scale runs (default: quick)")
+
+    p = sub.add_parser(
+        "report",
+        help="render a run manifest as a self-contained static HTML "
+             "dashboard (headline tiles, sparklines, cell tables)",
+    )
+    p.add_argument("run", help="run id / run dir / manifest path")
+    p.add_argument("--ledger", metavar="DIR", default="runs",
+                   help="ledger root for bare run ids (default: runs/)")
+    p.add_argument("--html", metavar="OUT", default=None,
+                   help="output path (default: <run dir>/report.html)")
+    p.add_argument("--expectations", metavar="FILE", default=None,
+                   help="colour headline tiles with gate verdicts from "
+                        "this expectations file (default: "
+                        "expectations.json when present)")
+    p.add_argument("--profile", default="quick",
+                   help="band profile for tile verdicts (default: quick)")
 
     p = sub.add_parser(
         "smoke",
@@ -368,6 +459,20 @@ def cmd_experiment(args):
         plan, store = _plan_and_store(args.command, kwargs)
         print(describe_plan(plan, store))
         return EXIT_OK
+
+    ledger_dir = None
+    if not getattr(args, "no_ledger", False):
+        ledger_dir = getattr(args, "ledger", None)
+    run_id = None
+    if ledger_dir is not None:
+        from repro.obs import run_id_for
+
+        module, values = _resolve(args.command, kwargs)
+        config = _call_accepted(getattr(module, f"{args.command}_meta"),
+                                values)
+        run_id = run_id_for(args.command, config)
+        kwargs["timings"] = {}
+
     jobs = getattr(args, "jobs", 1) or 1
     if jobs > 1:
         from repro.exec import SweepProgress
@@ -377,16 +482,51 @@ def cmd_experiment(args):
         kwargs["progress"] = SweepProgress(
             args.command, total=sum(1 for _ in plan), jobs=jobs,
         )
+
+    import time
+
+    started_at = time.time()
+    tick = time.monotonic()
     result = runner(**kwargs)
+    wall_s = time.monotonic() - tick
     print(result.format())
+
+    trace_files = None
     if trace_config is not None:
         from repro.obs import write_trace_files
 
+        trace_dir = args.trace_out
+        if trace_dir is None:
+            trace_dir = (os.path.join(ledger_dir, run_id)
+                         if ledger_dir is not None else "traces")
         jsonl_path, chrome_path = write_trace_files(
-            args.trace_out, args.command, traces
+            trace_dir, args.command, traces
         )
+        trace_files = {"jsonl": jsonl_path, "chrome": chrome_path}
         print(f"trace: {jsonl_path} ({len(traces)} cell(s)); "
               f"perfetto: {chrome_path}", file=sys.stderr)
+
+    if ledger_dir is not None:
+        from repro.obs import build_manifest, write_manifest
+
+        plan = _call_accepted(getattr(module, f"plan_{args.command}"),
+                              values)
+        manifest = build_manifest(
+            args.command, config, result, plan=plan,
+            statuses=getattr(result, "cell_status", None),
+            trace_files=trace_files,
+            trace_root=os.path.join(ledger_dir, run_id),
+            timing={
+                "wall_s": round(wall_s, 3),
+                "started_at": round(started_at, 3),
+                "cells": {key: round(value, 6) for key, value
+                          in kwargs["timings"].items()},
+            },
+        )
+        manifest_path = write_manifest(ledger_dir, manifest)
+        print(f"ledger: {manifest_path} (run {manifest['run_id']})",
+              file=sys.stderr)
+
     if faults is not None:
         print(f"\n{faults.summary()}")
     return EXIT_PARTIAL if getattr(result, "partial", False) else EXIT_OK
@@ -410,18 +550,179 @@ def cmd_profile(args):
 
 
 def cmd_trace(args):
-    """Summarise one JSONL trace sink (``repro trace FILE``)."""
-    from repro.obs import TraceSchemaError, format_summary, read_jsonl
+    """Summarise one trace sink (``repro trace FILE``).
+
+    Accepts the JSONL sink or the ``*.chrome.json`` Perfetto export
+    (round-tripped back into records); ``--json`` emits the summary as
+    machine-readable JSON.
+    """
+    from repro.obs import (
+        TraceSchemaError,
+        format_summary,
+        read_trace,
+        summarize,
+    )
 
     try:
-        header, records = read_jsonl(args.file)
+        header, records = read_trace(args.file)
     except OSError as exc:
         print(f"repro: cannot read trace: {exc}", file=sys.stderr)
         return EXIT_FATAL
     except (TraceSchemaError, ValueError) as exc:
         print(f"repro: invalid trace: {exc}", file=sys.stderr)
         return EXIT_FATAL
-    print(format_summary(header, records, top=args.top))
+    if args.json:
+        import json
+
+        stats = summarize(records)
+        payload = {
+            "experiment": header.get("experiment"),
+            "records": stats["records"],
+            "cells": stats["cells"],
+            "spans": stats["spans"],
+            "events": stats["events"],
+            "dangling": stats["dangling"],
+        }
+        print(json.dumps(payload, sort_keys=True, indent=1))
+    else:
+        print(format_summary(header, records, top=args.top))
+    return EXIT_OK
+
+
+def _resolve_trace_path(manifest, label="jsonl"):
+    """Locate one of a manifest's recorded trace sinks on disk.
+
+    Tries the recorded path first (relative to the cwd the run used),
+    then next to the manifest itself (the default layout).
+    """
+    info = (manifest.get("traces") or {}).get(label)
+    if not info:
+        return None
+    path = info.get("path")
+    if not path:
+        return None
+    base = os.path.dirname(manifest.get("__path__") or "")
+    for candidate in (os.path.join(base, path), path,
+                      os.path.join(base, os.path.basename(path))):
+        if os.path.isfile(candidate):
+            return candidate
+    return None
+
+
+def cmd_compare(args):
+    """Diff two ledger runs (``repro compare RUN_A RUN_B``)."""
+    from repro.obs import (
+        TraceSchemaError,
+        diff_count,
+        diff_manifests,
+        format_compare,
+        load_manifest,
+        localize_trace_divergence,
+        read_jsonl,
+    )
+
+    try:
+        manifest_a = load_manifest(args.run_a, ledger_dir=args.ledger)
+        manifest_b = load_manifest(args.run_b, ledger_dir=args.ledger)
+    except (OSError, ValueError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+
+    sections = diff_manifests(manifest_a, manifest_b)
+    trace_findings = None
+    if not args.no_traces:
+        path_a = _resolve_trace_path(manifest_a)
+        path_b = _resolve_trace_path(manifest_b)
+        if path_a and path_b:
+            try:
+                header_a, records_a = read_jsonl(path_a)
+                header_b, records_b = read_jsonl(path_b)
+            except (OSError, TraceSchemaError, ValueError) as exc:
+                print(f"repro: skipping trace localisation: {exc}",
+                      file=sys.stderr)
+            else:
+                trace_findings = localize_trace_divergence(
+                    header_a, records_a, header_b, records_b
+                )
+    print(format_compare(manifest_a["run_id"], manifest_b["run_id"],
+                         sections, trace_findings,
+                         max_rows=args.max_rows))
+    differs = diff_count(sections) > 0 or bool(trace_findings)
+    return EXIT_GATE if differs else EXIT_OK
+
+
+def cmd_gate(args):
+    """Gate a run's headlines against expectation bands (exit 5 on
+    regression)."""
+    from repro.obs import (
+        ExpectationsError,
+        bands_for,
+        check_headlines,
+        format_gate,
+        gate_passed,
+        load_expectations,
+        load_manifest,
+    )
+
+    try:
+        manifest = load_manifest(args.run, ledger_dir=args.ledger)
+        expectations = load_expectations(args.expectations)
+        bands = bands_for(expectations, manifest["experiment"],
+                          profile=args.profile)
+    except (OSError, ValueError) as exc:
+        # ExpectationsError is a ValueError: missing profile/experiment
+        # coverage is a configuration fault, not a regression.
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    checks = check_headlines(manifest.get("headlines") or {}, bands)
+    print(format_gate(manifest, args.profile, checks))
+    return EXIT_OK if gate_passed(checks) else EXIT_GATE
+
+
+def cmd_report(args):
+    """Render a run manifest as a static HTML dashboard."""
+    from repro.atomicio import atomic_write_text
+    from repro.obs import (
+        ExpectationsError,
+        bands_for,
+        check_headlines,
+        load_expectations,
+        load_manifest,
+        render_html,
+    )
+
+    try:
+        manifest = load_manifest(args.run, ledger_dir=args.ledger)
+    except (OSError, ValueError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+
+    checks = None
+    profile = None
+    expectations_path = args.expectations
+    if expectations_path is None and os.path.isfile("expectations.json"):
+        expectations_path = "expectations.json"
+    if expectations_path is not None:
+        try:
+            expectations = load_expectations(expectations_path)
+            bands = bands_for(expectations, manifest["experiment"],
+                              profile=args.profile)
+            checks = check_headlines(
+                manifest.get("headlines") or {}, bands
+            )
+            profile = args.profile
+        except (OSError, ExpectationsError) as exc:
+            print(f"repro: report renders ungated: {exc}",
+                  file=sys.stderr)
+
+    out = args.html
+    if out is None:
+        out = os.path.join(
+            os.path.dirname(manifest["__path__"]), "report.html"
+        )
+    atomic_write_text(out, render_html(manifest, checks=checks,
+                                       profile=profile))
+    print(f"report: {out}")
     return EXIT_OK
 
 
@@ -479,6 +780,9 @@ def main(argv=None):
         "profile": cmd_profile,
         "smoke": cmd_smoke,
         "trace": cmd_trace,
+        "compare": cmd_compare,
+        "gate": cmd_gate,
+        "report": cmd_report,
     }
     from repro.errors import BudgetExceededError, ReproError, is_transient
 

@@ -85,6 +85,30 @@ class Fig4Result:
         ]
         return sum(values) / len(values)
 
+    def headlines(self):
+        """The run-ledger headline numbers (see docs/LEDGER.md).
+
+        The paper's chosen operating point is feature size 4 (">90 %");
+        size 1 records the collapse the figure exists to show.
+        """
+        if not self.accuracies:
+            return {}
+        out = {}
+        for size in (4, 1):
+            if size in self.feature_sizes:
+                out[f"hid_accuracy_size{size}"] = self.accuracy_at(size)
+        return out
+
+    def series(self):
+        """Accuracy-vs-feature-size series, one per completed host."""
+        return {
+            f"accuracy_by_size/{host}": [
+                self.accuracies[host][size]
+                for size in self.feature_sizes
+            ]
+            for host in self.hosts if host in self.accuracies
+        }
+
 
 def _host_cell(host, feature_sizes, classifier, benign_per_host,
                attack_per_variant, variants, cell_seed=0, faults=None):
@@ -159,7 +183,8 @@ def fig4_meta(seed, hosts, feature_sizes, classifier, benign_per_host,
 def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
              classifier="mlp", benign_per_host=150, attack_per_variant=50,
              variants=("v1", "rsb", "sbo"), checkpoint=None, faults=None,
-             jobs=1, progress=None, trace=None, traces=None):
+             jobs=1, progress=None, trace=None, traces=None,
+             timings=None):
     """Regenerate Figure 4.  Returns a :class:`Fig4Result`."""
     store = open_checkpoint(checkpoint, "fig4", fig4_meta(
         seed, hosts, feature_sizes, classifier, benign_per_host,
@@ -172,7 +197,8 @@ def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
                            backend=backend_for(jobs), progress=progress,
-                           trace=trace, traces=traces, metrics=metrics)
+                           trace=trace, traces=traces, metrics=metrics,
+                           timings=timings)
     accuracies = {}
     for host in hosts:
         value = results.get(f"host/{host}")

@@ -92,6 +92,27 @@ class Fig5Result:
         values = [v for s in series.values() for v in s]
         return sum(values) / len(values)
 
+    def headlines(self):
+        """Ledger headlines: the offline-evasion claim (paper ≤ 55 %)."""
+        out = {}
+        if self.spectre:
+            out["spectre_mean_accuracy"] = self.mean_accuracy("spectre")
+        if self.crspectre:
+            out["crspectre_mean_accuracy"] = \
+                self.mean_accuracy("crspectre")
+            out["crspectre_min_accuracy"] = min(
+                v for s in self.crspectre.values() for v in s
+            )
+        return out
+
+    def series(self):
+        """Per-detector accuracy-vs-attempt series for both phases."""
+        out = {}
+        for phase in ("spectre", "crspectre"):
+            for name, values in getattr(self, phase).items():
+                out[f"{phase}/{name}"] = list(values)
+        return out
+
 
 def _fit_detectors(records, root_seed, detector_names, faults=None):
     """The static detectors, re-fit deterministically from the corpus.
@@ -251,7 +272,8 @@ def run_fig5(seed=0, host="basicmath", attempts=10,
              detector_names=DETECTOR_NAMES, training_benign=240,
              training_attack=240, attempt_samples=60, attempt_benign=20,
              scenario=None, training=None, checkpoint=None, faults=None,
-             jobs=1, progress=None, trace=None, traces=None):
+             jobs=1, progress=None, trace=None, traces=None,
+             timings=None):
     """Regenerate Figure 5.  Returns a :class:`Fig5Result`."""
     store = open_checkpoint(checkpoint, "fig5", fig5_meta(
         seed, host, attempts, detector_names, training_benign,
@@ -265,7 +287,8 @@ def run_fig5(seed=0, host="basicmath", attempts=10,
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
                            backend=backend_for(jobs), progress=progress,
-                           trace=trace, traces=traces, metrics=metrics)
+                           trace=trace, traces=traces, metrics=metrics,
+                           timings=timings)
 
     search = results.get("search")
     if search is None:

@@ -110,6 +110,31 @@ class Fig6Result:
     def min_accuracy(self):
         return min(v for s in self.crspectre.values() for v in s)
 
+    def headlines(self):
+        """Ledger headlines: the dynamic-evasion claim (paper min 16 %)."""
+        out = {}
+        if self.spectre:
+            values = [v for s in self.spectre.values() for v in s]
+            out["spectre_mean_accuracy"] = sum(values) / len(values)
+        if self.crspectre:
+            values = [v for s in self.crspectre.values() for v in s]
+            out["crspectre_mean_accuracy"] = sum(values) / len(values)
+            out["crspectre_min_accuracy"] = self.min_accuracy()
+        return out
+
+    def series(self):
+        """Per-detector accuracy-vs-attempt series, plus the attacker's
+        own (averaged) feedback series."""
+        out = {}
+        for phase in ("spectre", "crspectre"):
+            for name, values in getattr(self, phase).items():
+                out[f"{phase}/{name}"] = list(values)
+        if self.attacker_history:
+            out["attacker/feedback"] = [
+                record.accuracy for record in self.attacker_history
+            ]
+        return out
+
 
 def _online_detectors(records, root_seed, detector_names, faults=None):
     """Deterministic re-fit of the retraining detectors from the corpus."""
@@ -249,7 +274,8 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
              detector_names=DETECTOR_NAMES, training_benign=240,
              training_attack=240, attempt_samples=60, attempt_benign=15,
              audit_every=3, scenario=None, training=None, checkpoint=None,
-             faults=None, jobs=1, progress=None, trace=None, traces=None):
+             faults=None, jobs=1, progress=None, trace=None, traces=None,
+             timings=None):
     """Regenerate Figure 6.  Returns a :class:`Fig6Result`.
 
     ``audit_every``: every k-th attempt the defender's analysts audit
@@ -269,7 +295,8 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
                            backend=backend_for(jobs), progress=progress,
-                           trace=trace, traces=traces, metrics=metrics)
+                           trace=trace, traces=traces, metrics=metrics,
+                           timings=timings)
 
     phase_b_value = results.get("crspectre")
     if phase_b_value is None:

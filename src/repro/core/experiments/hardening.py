@@ -79,6 +79,26 @@ class HardeningResult:
         ks = sorted(self.accuracy_by_k)
         return self.accuracy_by_k[ks[-1]] - self.accuracy_by_k[ks[0]]
 
+    def headlines(self):
+        """Ledger headlines: accuracy recovered by adversarial training."""
+        if not self.accuracy_by_k:
+            return {}
+        ks = sorted(self.accuracy_by_k)
+        return {
+            "unhardened_accuracy": self.accuracy_by_k[ks[0]],
+            "hardened_accuracy": self.accuracy_by_k[ks[-1]],
+            "hardening_improvement": self.improvement(),
+        }
+
+    def series(self):
+        if not self.accuracy_by_k:
+            return {}
+        return {
+            "accuracy_by_k": [
+                self.accuracy_by_k[k] for k in sorted(self.accuracy_by_k)
+            ],
+        }
+
 
 def _corpus_cell(root_seed, max_k, holdout_variants, samples_per_variant,
                  training_benign, training_attack, attempt_benign,
@@ -199,7 +219,7 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
                   training_benign=200, training_attack=120,
                   attempt_benign=15, scenario=None, checkpoint=None,
                   faults=None, jobs=1, progress=None, trace=None,
-                  traces=None):
+                  traces=None, timings=None):
     """Run the adversarial-training ablation.
 
     For each K in *train_variant_counts*: train on benign + plain
@@ -219,7 +239,8 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
                            backend=backend_for(jobs), progress=progress,
-                           trace=trace, traces=traces, metrics=metrics)
+                           trace=trace, traces=traces, metrics=metrics,
+                           timings=timings)
     accuracy_by_k = {}
     for k in train_variant_counts:
         value = results.get(f"k/{k}")

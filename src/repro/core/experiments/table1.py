@@ -115,6 +115,33 @@ class Table1Result:
         online = sum(r.online_overhead for r in self.rows) / len(self.rows)
         return offline, online
 
+    def headlines(self):
+        """Ledger headlines: the paper's 0.6 % / 1.1 % IPC overheads."""
+        if not self.rows:
+            return {}
+        offline, online = self.average_overheads()
+        return {
+            "offline_ipc_overhead": offline,
+            "online_ipc_overhead": online,
+            "max_ipc_overhead": max(
+                max(r.offline_overhead, r.online_overhead)
+                for r in self.rows
+            ),
+        }
+
+    def series(self):
+        """Per-row overhead series, in table order."""
+        if not self.rows:
+            return {}
+        return {
+            "offline_overhead_by_row": [
+                r.offline_overhead for r in self.rows
+            ],
+            "online_overhead_by_row": [
+                r.online_overhead for r in self.rows
+            ],
+        }
+
 
 def _inject_attack(system, host_program, host_path, secret, perturb, tag):
     """Spawn a host instance and ROP-inject a CR-Spectre variant into it."""
@@ -275,7 +302,7 @@ def table1_meta(seed, rows, secret, repetitions, quantum):
 def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
                repetitions=3, quantum=10_000, checkpoint=None,
                measurement_budget=None, faults=None, jobs=1,
-               progress=None, trace=None, traces=None):
+               progress=None, trace=None, traces=None, timings=None):
     """Regenerate Table I.  Returns a :class:`Table1Result`.
 
     ``repetitions`` mirrors the paper's averaging over repeated runs
@@ -296,7 +323,8 @@ def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
                            backend=backend_for(jobs), progress=progress,
-                           trace=trace, traces=traces, metrics=metrics)
+                           trace=trace, traces=traces, metrics=metrics,
+                           timings=timings)
     result_rows = []
     for label, _workload, _iterations in rows:
         value = results.get(f"row/{label}")

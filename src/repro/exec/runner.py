@@ -101,7 +101,8 @@ def _unwrap(stored):
 
 
 def execute_plan(plan, store=None, statuses=None, backend=None,
-                 progress=None, trace=None, traces=None, metrics=None):
+                 progress=None, trace=None, traces=None, metrics=None,
+                 timings=None):
     """Run every cell of *plan*; returns ``{cell key: value-or-None}``.
 
     *statuses* (dict) receives ``key -> {"status": ..., "error": ...}``
@@ -118,6 +119,11 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
     order.  Trace records are virtual-timed and checkpointed alongside
     the value, so the filled dicts are byte-equal whether the cells ran
     serially, in a pool, or were replayed from a checkpoint.
+
+    *timings* (dict) receives ``key -> wall-clock seconds`` per executed
+    cell (0.0 for checkpoint replays).  Wall clock is *not* part of the
+    determinism contract — the run ledger keeps it in the manifest's
+    volatile section.
     """
     backend = backend or SerialBackend()
     if plan.has_local_cells and backend.concurrent:
@@ -131,6 +137,7 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
     recorded = {}
     cell_traces = {}
     cell_metrics = {}
+    cell_elapsed = {}
     tracing = trace is not None
 
     def persist(key, payload):
@@ -168,6 +175,7 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
                         cell_traces[cell.key] = replayed
                         cell_metrics[cell.key] = snapshot
                     recorded[cell.key] = {"status": CELL_CACHED}
+                    cell_elapsed[cell.key] = 0.0
                     note(cell.key, CELL_CACHED, 0.0, snapshot)
                     continue
                 kwargs = dict(cell.kwargs)
@@ -215,8 +223,9 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
                     }
                 else:
                     raise CellExecutionError(key, outcome["chain"])
+                cell_elapsed[key] = outcome.get("elapsed", 0.0)
                 note(key, recorded[key]["status"],
-                     outcome.get("elapsed", 0.0), snapshot)
+                     cell_elapsed[key], snapshot)
     finally:
         backend.close()
         if store is not None and backend.concurrent:
@@ -229,6 +238,8 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
             traces[cell.key] = cell_traces[cell.key]
         if metrics is not None and cell.key in cell_metrics:
             metrics[cell.key] = cell_metrics[cell.key]
+        if timings is not None and cell.key in cell_elapsed:
+            timings[cell.key] = cell_elapsed[cell.key]
     return results
 
 

@@ -1,20 +1,56 @@
-"""repro.obs — deterministic tracing & metrics for the whole stack.
+"""repro.obs — deterministic tracing, metrics, and the run ledger.
 
 See docs/OBSERVABILITY.md for the span taxonomy, the virtual-time
-guarantees, and the Perfetto workflow.
+guarantees, and the Perfetto workflow; docs/LEDGER.md for the run
+manifest schema and the compare/gate/report workflow built on it.
 """
 
+from repro.obs.compare import (
+    diff_count,
+    diff_manifests,
+    first_divergence,
+    format_compare,
+    localize_trace_divergence,
+)
+from repro.obs.gate import (
+    DEFAULT_EXPECTATIONS,
+    DEFAULT_PROFILE,
+    EXPECTATIONS_FORMAT,
+    ExpectationsError,
+    bands_for,
+    check_headlines,
+    format_gate,
+    gate_passed,
+    load_expectations,
+)
+from repro.obs.ledger import (
+    LEDGER_FORMAT,
+    LEDGER_INDEX,
+    build_manifest,
+    file_digest,
+    git_sha,
+    load_manifest,
+    manifest_bytes,
+    read_index,
+    run_id_for,
+    stable_hash,
+    strip_volatile,
+    write_manifest,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     format_count,
     format_metrics_line,
     headline,
 )
+from repro.obs.report import render_html
 from repro.obs.sinks import (
     TRACE_FORMAT,
     TraceSchemaError,
     chrome_trace,
+    read_chrome,
     read_jsonl,
+    read_trace,
     trace_jsonl,
     validate_record,
     write_trace_files,
@@ -34,6 +70,12 @@ from repro.obs.tracer import (
 
 __all__ = [
     "CATEGORIES",
+    "DEFAULT_EXPECTATIONS",
+    "DEFAULT_PROFILE",
+    "EXPECTATIONS_FORMAT",
+    "ExpectationsError",
+    "LEDGER_FORMAT",
+    "LEDGER_INDEX",
     "MetricsRegistry",
     "NULL",
     "NullTracer",
@@ -43,16 +85,39 @@ __all__ = [
     "TraceSchemaError",
     "Tracer",
     "activate",
+    "bands_for",
+    "build_manifest",
+    "check_headlines",
     "chrome_trace",
     "current_tracer",
+    "diff_count",
+    "diff_manifests",
+    "file_digest",
+    "first_divergence",
+    "format_compare",
     "format_count",
+    "format_gate",
     "format_metrics_line",
     "format_summary",
+    "gate_passed",
+    "git_sha",
     "headline",
+    "load_expectations",
+    "load_manifest",
+    "localize_trace_divergence",
+    "manifest_bytes",
     "parse_filter",
+    "read_chrome",
+    "read_index",
     "read_jsonl",
+    "read_trace",
+    "render_html",
+    "run_id_for",
+    "stable_hash",
+    "strip_volatile",
     "summarize",
     "trace_jsonl",
     "validate_record",
+    "write_manifest",
     "write_trace_files",
 ]

@@ -1,0 +1,231 @@
+"""Cross-run diffing: knob-by-knob, metric-by-metric, span-by-span.
+
+Powers ``repro compare RUN_A RUN_B``.  Two run manifests are diffed on
+their non-volatile sections (config, headlines, cell statuses, per-cell
+metrics, trace digests); when both runs also have their JSONL trace
+sinks on disk, the **first divergent span** of each differing cell is
+localised by walking the two record streams in ``seq`` order — pinning
+a behavioural change to a subsystem (``cpu``/``cache``/``attack``/
+``hid``/...) instead of "the figure's numbers moved".
+
+Two same-config, same-seed runs diff empty by construction (the
+determinism contract of ``repro.exec`` + ``repro.obs``); anything that
+shows up here is a real behavioural or configuration change.
+"""
+
+from repro.core.reporting import format_table
+from repro.obs.ledger import strip_volatile
+
+
+def _flatten(value, prefix=""):
+    """Flatten nested dicts/lists into dotted leaf paths."""
+    if isinstance(value, dict):
+        out = {}
+        for key in sorted(value):
+            out.update(_flatten(value[key], f"{prefix}{key}."))
+        return out
+    if isinstance(value, (list, tuple)):
+        out = {}
+        for index, item in enumerate(value):
+            out.update(_flatten(item, f"{prefix}{index}."))
+        return out
+    return {prefix[:-1]: value}
+
+
+def _diff_flat(a, b):
+    """Sorted (path, a-value, b-value) triples where the leaves differ.
+
+    Missing leaves render as the sentinel string ``"<absent>"``.
+    """
+    flat_a, flat_b = _flatten(a), _flatten(b)
+    rows = []
+    for path in sorted(set(flat_a) | set(flat_b)):
+        va = flat_a.get(path, "<absent>")
+        vb = flat_b.get(path, "<absent>")
+        if va != vb:
+            rows.append((path, va, vb))
+    return rows
+
+
+def diff_manifests(a, b):
+    """Structured diff of two manifests' non-volatile sections.
+
+    Returns a dict of section name -> list of (path, a, b) rows; empty
+    lists mean the section matches.  The ``identity`` section flags
+    cross-experiment compares (legal, but every knob will differ).
+    """
+    a, b = strip_volatile(a), strip_volatile(b)
+    sections = {}
+    sections["identity"] = _diff_flat(
+        {"experiment": a.get("experiment"),
+         "format": a.get("format")},
+        {"experiment": b.get("experiment"),
+         "format": b.get("format")},
+    )
+    sections["config"] = _diff_flat(a.get("config", {}),
+                                    b.get("config", {}))
+    sections["headlines"] = _diff_flat(a.get("headlines", {}),
+                                       b.get("headlines", {}))
+    cells_a = {cell["key"]: {k: v for k, v in cell.items() if k != "key"}
+               for cell in a.get("cells", [])}
+    cells_b = {cell["key"]: {k: v for k, v in cell.items() if k != "key"}
+               for cell in b.get("cells", [])}
+    sections["cells"] = _diff_flat(cells_a, cells_b)
+    sections["metrics"] = _diff_flat(a.get("metrics", {}),
+                                     b.get("metrics", {}))
+    # Trace identity is the *digest*; the sink's on-disk location is a
+    # property of where the ledger lives, not of the run.
+    sections["traces"] = _diff_flat(
+        {label: info.get("sha256")
+         for label, info in (a.get("traces") or {}).items()},
+        {label: info.get("sha256")
+         for label, info in (b.get("traces") or {}).items()},
+    )
+    sections["git"] = _diff_flat({"sha": a.get("git_sha")},
+                                 {"sha": b.get("git_sha")})
+    return sections
+
+
+def diff_count(sections):
+    """Total differing leaves across every section."""
+    return sum(len(rows) for rows in sections.values())
+
+
+def first_divergence(records_a, records_b):
+    """The first position where two record streams disagree.
+
+    Records are compared whole (they are deterministic dicts); returns
+    ``None`` for identical streams, else a dict naming the divergent
+    record's subsystem (its trace category), name, and seq — plus which
+    side is longer when one stream is a strict prefix of the other.
+    """
+    for index, (ra, rb) in enumerate(zip(records_a, records_b)):
+        if ra != rb:
+            desc_a, desc_b = _describe(ra), _describe(rb)
+            if desc_a == desc_b:
+                # The headline fields match; the divergence is in the
+                # span payload — show it, or the records look equal.
+                desc_a += f" args={ra.get('args')}"
+                desc_b += f" args={rb.get('args')}"
+            return {
+                "index": index,
+                "seq": ra.get("seq", index),
+                "subsystem": ra.get("cat", "?"),
+                "name": ra.get("name", "?"),
+                "a": desc_a,
+                "b": desc_b,
+            }
+    if len(records_a) != len(records_b):
+        longer = records_a if len(records_a) > len(records_b) else records_b
+        index = min(len(records_a), len(records_b))
+        record = longer[index]
+        return {
+            "index": index,
+            "seq": record.get("seq", index),
+            "subsystem": record.get("cat", "?"),
+            "name": record.get("name", "?"),
+            "a": (_describe(record)
+                  if longer is records_a else "<end of trace>"),
+            "b": (_describe(record)
+                  if longer is records_b else "<end of trace>"),
+        }
+    return None
+
+
+def _describe(record):
+    text = (f"{record.get('ph')} {record.get('name')} "
+            f"ts={record.get('ts')} clk={record.get('clk')}")
+    if "dur" in record:
+        text += f" dur={record['dur']}"
+    return text
+
+
+def _by_cell(records):
+    out = {}
+    for record in records:
+        out.setdefault(record.get("cell"), []).append(record)
+    for cell_records in out.values():
+        cell_records.sort(key=lambda r: r.get("seq", 0))
+    return out
+
+
+def localize_trace_divergence(header_a, records_a, header_b, records_b):
+    """Per-cell first-divergent-span report for two JSONL traces.
+
+    Walks each cell's record stream (in global ``seq`` order) and
+    reports the earliest divergence; cells present in only one trace
+    are reported structurally.  Returns a list of dicts, one per
+    divergent cell, in trace-A declaration order.
+    """
+    cells_a = _by_cell(records_a)
+    cells_b = _by_cell(records_b)
+    order = list(header_a.get("cells", [])) or list(cells_a)
+    for key in header_b.get("cells", []) or list(cells_b):
+        if key not in order:
+            order.append(key)
+
+    findings = []
+    for key in order:
+        in_a, in_b = key in cells_a, key in cells_b
+        if not (in_a and in_b):
+            findings.append({
+                "cell": key,
+                "missing_from": "A" if not in_a else "B",
+            })
+            continue
+        divergence = first_divergence(cells_a[key], cells_b[key])
+        if divergence is not None:
+            findings.append({"cell": key, **divergence})
+    return findings
+
+
+def format_compare(label_a, label_b, sections, trace_findings=None,
+                   max_rows=20):
+    """Render a compare report; empty diff renders a single line.
+
+    Each section's table is capped at *max_rows* rows (a different-seed
+    compare differs in every histogram bucket; the count line stays
+    honest about what was elided).
+    """
+    total = diff_count(sections)
+    lines = [f"compare: {label_a} vs {label_b} — "
+             f"{total} differing field(s)"]
+    if total == 0:
+        lines.append("runs are identical (non-volatile sections)")
+    for section in ("identity", "config", "headlines", "cells",
+                    "metrics", "traces", "git"):
+        rows = sections.get(section) or []
+        if not rows:
+            continue
+        rendered = [
+            [path, _short(va), _short(vb)]
+            for path, va, vb in rows[:max_rows]
+        ]
+        lines.append(format_table(
+            ["field", "A", "B"], rendered,
+            title=f"{section}: {len(rows)} difference(s)",
+        ))
+        if len(rows) > max_rows:
+            lines.append(f"  … {len(rows) - max_rows} more "
+                         f"{section} difference(s) elided")
+    for finding in trace_findings or []:
+        if "missing_from" in finding:
+            lines.append(
+                f"trace: cell {finding['cell']!r} is missing from run "
+                f"{finding['missing_from']}"
+            )
+        else:
+            lines.append(
+                f"trace: cell {finding['cell']!r} first diverges in "
+                f"subsystem [{finding['subsystem']}] at span "
+                f"{finding['name']!r} (seq {finding['seq']}):\n"
+                f"  A: {finding['a']}\n  B: {finding['b']}"
+            )
+    return "\n".join(lines)
+
+
+def _short(value, limit=48):
+    text = str(value)
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    return text if len(text) <= limit else text[:limit - 1] + "…"

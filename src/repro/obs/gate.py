@@ -1,0 +1,137 @@
+"""Headline regression gate: manifest vs committed expectation bands.
+
+``expectations.json`` (repo root) commits the paper's headline bands —
+offline-HID post-evasion accuracy ≤ 55 %, benign-vs-attack baseline
+≥ 80 %, IPC overhead ≤ a few percent — per *profile*: the ``quick``
+profile holds for the scaled-down CI runs, ``full`` for the paper-scale
+reproductions.  ``repro gate RUN`` checks a run manifest's recorded
+headlines against its experiment's bands and exits non-zero on any
+regression, so CI fails the moment a change silently drifts a number
+the paper's claims live on.
+"""
+
+import json
+
+from repro.core.reporting import format_table
+
+#: Expectation-file format tag; bump on incompatible shape changes.
+EXPECTATIONS_FORMAT = "repro-expectations/1"
+
+#: Default expectations file, resolved relative to the working dir.
+DEFAULT_EXPECTATIONS = "expectations.json"
+
+#: Default profile: the bands CI's quick runs are gated against.
+DEFAULT_PROFILE = "quick"
+
+
+class ExpectationsError(ValueError):
+    """An expectations file that cannot gate anything."""
+
+
+def load_expectations(path):
+    """Parse + sanity-check an expectations file."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != EXPECTATIONS_FORMAT:
+        raise ExpectationsError(
+            f"{path}: unknown format {payload.get('format')!r} "
+            f"(expected {EXPECTATIONS_FORMAT})"
+        )
+    profiles = payload.get("profiles")
+    if not isinstance(profiles, dict) or not profiles:
+        raise ExpectationsError(f"{path}: no profiles defined")
+    for profile_name, experiments in profiles.items():
+        for experiment, bands in experiments.items():
+            for headline, band in bands.items():
+                if not isinstance(band, dict) or not (
+                    "min" in band or "max" in band
+                ):
+                    raise ExpectationsError(
+                        f"{path}: band {profile_name}/{experiment}/"
+                        f"{headline} needs a 'min' and/or 'max'"
+                    )
+    return payload
+
+
+def bands_for(expectations, experiment, profile=DEFAULT_PROFILE):
+    """The experiment's band dict for one profile.
+
+    Raises :class:`ExpectationsError` when the profile or experiment is
+    not covered — a gate with nothing to check must fail loudly, not
+    silently pass a typo.
+    """
+    profiles = expectations["profiles"]
+    if profile not in profiles:
+        raise ExpectationsError(
+            f"no profile {profile!r} (have {sorted(profiles)})"
+        )
+    experiments = profiles[profile]
+    if experiment not in experiments:
+        raise ExpectationsError(
+            f"profile {profile!r} has no bands for experiment "
+            f"{experiment!r} (have {sorted(experiments)})"
+        )
+    return experiments[experiment]
+
+
+def check_headlines(headlines, bands):
+    """Evaluate every band; returns a list of check dicts.
+
+    A check fails when the headline is outside its band *or* missing
+    from the manifest (an experiment that stopped producing a gated
+    number is itself a regression).
+    """
+    checks = []
+    for headline in sorted(bands):
+        band = bands[headline]
+        value = headlines.get(headline)
+        check = {"headline": headline, "value": value, "band": band}
+        if value is None:
+            check["ok"] = False
+            check["reason"] = "headline missing from manifest"
+        else:
+            failures = []
+            if "min" in band and value < band["min"]:
+                failures.append(f"{value:.4f} < min {band['min']}")
+            if "max" in band and value > band["max"]:
+                failures.append(f"{value:.4f} > max {band['max']}")
+            check["ok"] = not failures
+            if failures:
+                check["reason"] = "; ".join(failures)
+        checks.append(check)
+    return checks
+
+
+def gate_passed(checks):
+    return all(check["ok"] for check in checks)
+
+
+def _band_text(band):
+    parts = []
+    if "min" in band:
+        parts.append(f">= {band['min']}")
+    if "max" in band:
+        parts.append(f"<= {band['max']}")
+    return " and ".join(parts)
+
+
+def format_gate(manifest, profile, checks):
+    """Render the gate verdict table."""
+    rows = []
+    for check in checks:
+        value = check["value"]
+        rows.append([
+            check["headline"],
+            "n/a" if value is None else f"{value:.4f}",
+            _band_text(check["band"]),
+            "ok" if check["ok"] else f"FAIL ({check['reason']})",
+        ])
+    verdict = "PASS" if gate_passed(checks) else "REGRESSION"
+    title = (f"gate [{verdict}] — {manifest['experiment']} run "
+             f"{manifest['run_id']} vs profile {profile!r}")
+    lines = [format_table(["headline", "value", "band", "status"],
+                          rows, title=title)]
+    if manifest.get("partial"):
+        lines.append("note: manifest records a PARTIAL run — gated "
+                     "headlines cover completed cells only")
+    return "\n".join(lines)

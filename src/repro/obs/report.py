@@ -1,0 +1,256 @@
+"""Static HTML dashboard for one ledger run (``repro report --html``).
+
+Renders a run manifest as a single self-contained HTML file — inline
+CSS, inline SVG sparklines, **no JavaScript and no external assets** —
+so the artifact can be archived from CI and opened anywhere:
+
+* headline tiles (the paper-claim numbers, colour-coded by gate verdict
+  when an expectations file is supplied),
+* accuracy-vs-attempt sparklines from the manifest's series section,
+  with the paper's 80 % detection and 55 % evasion reference lines,
+* per-cell status + metric tables,
+* the resolved config and provenance block (git SHA, config hash,
+  trace digests).
+"""
+
+import html
+
+from repro.obs.metrics import format_count, headline as metric_headline
+
+#: Reference lines drawn on accuracy sparklines (paper Sections III/IV).
+DETECTION_LINE = 0.80
+EVASION_LINE = 0.55
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2e;
+       background: #fafafa; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.meta { color: #555; font-size: .85rem; }
+.meta code { background: #eee; padding: 0 .3em; border-radius: 3px; }
+.tiles { display: flex; flex-wrap: wrap; gap: .8rem; margin: 1rem 0; }
+.tile { background: #fff; border: 1px solid #ddd; border-radius: 8px;
+        padding: .8rem 1.2rem; min-width: 11rem; }
+.tile .value { font-size: 1.6rem; font-weight: 600; }
+.tile .label { color: #666; font-size: .8rem; }
+.tile.pass { border-left: 5px solid #2e8540; }
+.tile.fail { border-left: 5px solid #c0392b; background: #fdf0ee; }
+.tile .band { font-size: .75rem; color: #888; }
+table { border-collapse: collapse; background: #fff; font-size: .85rem; }
+th, td { border: 1px solid #ddd; padding: .35rem .7rem;
+         text-align: left; }
+th { background: #f0f0f5; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.status-ok { color: #2e8540; } .status-failed { color: #c0392b; }
+.status-skipped { color: #888; }
+.partial { background: #fdf0ee; border: 1px solid #c0392b;
+           padding: .6rem 1rem; border-radius: 6px; }
+.spark { margin: .4rem 0; }
+.spark .name { display: inline-block; width: 16rem; font-size: .85rem; }
+"""
+
+
+def _esc(value):
+    return html.escape(str(value), quote=True)
+
+
+def format_headline_value(name, value):
+    """Human rendering of a headline number.
+
+    Ratio-style headlines (accuracies, overheads, improvements) render
+    as percentages; everything else as a compact count.
+    """
+    if not isinstance(value, (int, float)):
+        return _esc(value)
+    ratioish = any(tag in name for tag in
+                   ("accuracy", "overhead", "improvement", "rate"))
+    if ratioish and -1.0 <= value <= 1.0:
+        return f"{100.0 * value:.1f}%"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return format_count(value)
+
+
+def _sparkline_svg(values, width=260, height=44, pad=3):
+    """Inline SVG polyline; fixed 0..1 domain for ratio series (with
+    the detection/evasion reference lines), min..max otherwise."""
+    if not values:
+        return ""
+    ratioish = all(0.0 <= v <= 1.0 for v in values)
+    lo, hi = (0.0, 1.0) if ratioish else (min(values), max(values))
+    span = (hi - lo) or 1.0
+
+    def x(i):
+        if len(values) == 1:
+            return width / 2
+        return pad + i * (width - 2 * pad) / (len(values) - 1)
+
+    def y(v):
+        return height - pad - (v - lo) / span * (height - 2 * pad)
+
+    points = " ".join(f"{x(i):.1f},{y(v):.1f}"
+                      for i, v in enumerate(values))
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'viewBox="0 0 {width} {height}" role="img">']
+    if ratioish:
+        for level, colour in ((DETECTION_LINE, "#2e8540"),
+                              (EVASION_LINE, "#c0392b")):
+            parts.append(
+                f'<line x1="0" y1="{y(level):.1f}" x2="{width}" '
+                f'y2="{y(level):.1f}" stroke="{colour}" '
+                f'stroke-dasharray="4 3" stroke-width="1" '
+                f'opacity="0.6"/>'
+            )
+    parts.append(f'<polyline points="{points}" fill="none" '
+                 f'stroke="#30506e" stroke-width="1.8"/>')
+    for i, v in enumerate(values):
+        parts.append(f'<circle cx="{x(i):.1f}" cy="{y(v):.1f}" '
+                     f'r="2.2" fill="#30506e"/>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _tiles(manifest, checks_by_headline):
+    parts = ['<div class="tiles">']
+    headlines = manifest.get("headlines") or {}
+    for name in sorted(headlines):
+        value = headlines[name]
+        check = checks_by_headline.get(name)
+        css = "tile"
+        band = ""
+        if check is not None:
+            css += " pass" if check["ok"] else " fail"
+            band = f'<div class="band">band: {_esc(_band(check))}</div>'
+        parts.append(
+            f'<div class="{css}">'
+            f'<div class="value">'
+            f'{format_headline_value(name, value)}</div>'
+            f'<div class="label">{_esc(name)}</div>{band}</div>'
+        )
+    if not headlines:
+        parts.append("<p class='meta'>no headlines recorded</p>")
+    parts.append("</div>")
+    return parts
+
+
+def _band(check):
+    band = check["band"]
+    bits = []
+    if "min" in band:
+        bits.append(f"≥ {band['min']}")
+    if "max" in band:
+        bits.append(f"≤ {band['max']}")
+    return " and ".join(bits)
+
+
+def _series_section(manifest):
+    series = manifest.get("series") or {}
+    if not series:
+        return []
+    parts = ["<h2>Series</h2>"]
+    for name in sorted(series):
+        values = series[name]
+        if not values:
+            continue
+        tail = format_headline_value(name, values[-1])
+        parts.append(
+            f'<div class="spark"><span class="name">{_esc(name)} '
+            f'({len(values)} pts, last {tail})</span>'
+            f'{_sparkline_svg(values)}</div>'
+        )
+    return parts
+
+
+def _cells_table(manifest):
+    cells = manifest.get("cells") or []
+    if not cells:
+        return []
+    metrics = manifest.get("metrics") or {}
+    parts = ["<h2>Cells</h2>", "<table>",
+             "<tr><th>cell</th><th>seed</th><th>status</th>"
+             "<th>metrics</th></tr>"]
+    for cell in cells:
+        status = cell.get("status", "?")
+        snapshot = metrics.get(cell["key"])
+        picks = metric_headline(snapshot) if snapshot else []
+        rendered = " ".join(f"{label}={text}" for label, text in picks) \
+            or "—"
+        error = cell.get("error")
+        if error:
+            rendered = _esc(error)
+        parts.append(
+            f'<tr><td>{_esc(cell["key"])}</td>'
+            f'<td><code>{_esc(cell.get("seed") or "—")}</code></td>'
+            f'<td class="status-{_esc(status)}">{_esc(status)}</td>'
+            f'<td>{rendered}</td></tr>'
+        )
+    parts.append("</table>")
+    return parts
+
+
+def _config_table(manifest):
+    config = manifest.get("config") or {}
+    parts = ["<h2>Config</h2>", "<table>",
+             "<tr><th>knob</th><th>value</th></tr>"]
+    for knob in sorted(config):
+        parts.append(f"<tr><td>{_esc(knob)}</td>"
+                     f"<td><code>{_esc(config[knob])}</code></td></tr>")
+    parts.append("</table>")
+    return parts
+
+
+def _provenance(manifest):
+    traces = manifest.get("traces") or {}
+    timing = manifest.get("timing") or {}
+    rows = [
+        ("run id", manifest.get("run_id")),
+        ("config hash", manifest.get("config_hash")),
+        ("git sha", manifest.get("git_sha") or "n/a"),
+        ("wall time", f"{timing.get('wall_s', 'n/a')} s"),
+    ]
+    for label in sorted(traces):
+        info = traces[label]
+        rows.append((f"trace [{label}]",
+                     f"{info.get('path')} sha256={info.get('sha256')}"))
+    parts = ["<h2>Provenance</h2>", "<table>",
+             "<tr><th>field</th><th>value</th></tr>"]
+    for field, value in rows:
+        parts.append(f"<tr><td>{_esc(field)}</td>"
+                     f"<td><code>{_esc(value)}</code></td></tr>")
+    parts.append("</table>")
+    return parts
+
+
+def render_html(manifest, checks=None, profile=None):
+    """One run manifest -> a complete standalone HTML document.
+
+    *checks* (from :func:`repro.obs.gate.check_headlines`) colours the
+    headline tiles with their band verdicts when provided.
+    """
+    checks_by_headline = {c["headline"]: c for c in checks or []}
+    title = (f"{manifest.get('experiment', '?')} — "
+             f"{manifest.get('run_id', '?')}")
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>repro run {_esc(manifest.get('run_id', '?'))}</h1>",
+        f'<p class="meta">experiment <code>'
+        f'{_esc(manifest.get("experiment"))}</code> · seed '
+        f'<code>{_esc(manifest.get("seed"))}</code>'
+        + (f' · gated against profile <code>{_esc(profile)}</code>'
+           if profile else "") + "</p>",
+    ]
+    if manifest.get("partial"):
+        parts.append('<p class="partial">partial run — one or more '
+                     "cells failed; numbers cover completed cells "
+                     "only</p>")
+    parts.append("<h2>Headlines</h2>")
+    parts.extend(_tiles(manifest, checks_by_headline))
+    parts.extend(_series_section(manifest))
+    parts.extend(_cells_table(manifest))
+    parts.extend(_config_table(manifest))
+    parts.extend(_provenance(manifest))
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

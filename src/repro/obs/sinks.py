@@ -92,7 +92,7 @@ def read_jsonl(path):
     return header, records
 
 
-def chrome_trace(cell_traces):
+def chrome_trace(cell_traces, experiment=None):
     """Records -> Chrome trace-event JSON object (Perfetto-loadable)."""
     events = []
     for pid, (key, records) in enumerate(cell_traces.items(), start=1):
@@ -111,11 +111,72 @@ def chrome_trace(cell_traces):
             if "args" in record:
                 event["args"] = record["args"]
             events.append(event)
+    other = {"generator": "repro.obs", "format": TRACE_FORMAT}
+    if experiment is not None:
+        other["experiment"] = experiment
     return {
         "traceEvents": events,
         "displayTimeUnit": "ns",
-        "otherData": {"generator": "repro.obs", "format": TRACE_FORMAT},
+        "otherData": other,
     }
+
+
+def read_chrome(path):
+    """Parse a Chrome trace-event export back into (header, records).
+
+    The chrome sink drops the global ``seq`` counter, so record order is
+    only meaningful *within* a cell; ``seq`` is re-synthesised from file
+    order.  Summaries over the round-tripped records match the JSONL
+    originals (same spans, same virtual durations).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise TraceSchemaError(f"{path}: not a Chrome trace-event file")
+    other = payload.get("otherData") or {}
+    if other.get("format") not in (None, TRACE_FORMAT):
+        raise TraceSchemaError(
+            f"{path}: unknown format {other.get('format')!r}"
+        )
+    cell_by_pid = {}
+    records = []
+    for event in payload["traceEvents"]:
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") == "process_name":
+                cell_by_pid[event["pid"]] = event["args"]["name"]
+            continue
+        record = {
+            "ph": ph,
+            "name": event["name"],
+            "cat": event.get("cat", "?"),
+            "ts": event["ts"],
+            "clk": event.get("tid", 0),
+            "seq": len(records),
+        }
+        cell = cell_by_pid.get(event.get("pid"))
+        if cell is not None:
+            record["cell"] = cell
+        if ph == "X":
+            record["dur"] = event.get("dur", 0)
+        if "args" in event:
+            record["args"] = event["args"]
+        validate_record(record)
+        records.append(record)
+    header = {
+        "format": TRACE_FORMAT,
+        "experiment": other.get("experiment", "?"),
+        "cells": list(cell_by_pid.values()),
+    }
+    return header, records
+
+
+def read_trace(path):
+    """Read either sink flavour: ``*.chrome.json`` dispatches to
+    :func:`read_chrome`, anything else to :func:`read_jsonl`."""
+    if str(path).endswith(".chrome.json"):
+        return read_chrome(path)
+    return read_jsonl(path)
 
 
 def write_trace_files(out_dir, experiment, cell_traces):
@@ -124,5 +185,8 @@ def write_trace_files(out_dir, experiment, cell_traces):
     jsonl_path = os.path.join(out_dir, f"{experiment}.trace.jsonl")
     chrome_path = os.path.join(out_dir, f"{experiment}.chrome.json")
     atomic_write_text(jsonl_path, trace_jsonl(experiment, cell_traces))
-    atomic_write_text(chrome_path, _dumps(chrome_trace(cell_traces)) + "\n")
+    atomic_write_text(
+        chrome_path,
+        _dumps(chrome_trace(cell_traces, experiment=experiment)) + "\n",
+    )
     return jsonl_path, chrome_path

@@ -58,6 +58,10 @@ def summarize(records):
         "cells": cells,
         "spans": spans,
         "events": events,
+        # "unmatched" is the legacy alias; "dangling" is the canonical
+        # counter (B without E, or E without B — truncated traces and
+        # crashed cells both show up here).
+        "dangling": dangling,
         "unmatched": dangling,
     }
 
@@ -94,6 +98,9 @@ def format_summary(header, records, top=10):
             [[name, str(count)] for name, count in counted],
             title="event counts",
         ))
-    if stats["unmatched"]:
-        lines.append(f"warning: {stats['unmatched']} unmatched B/E record(s)")
+    if stats["dangling"]:
+        lines.append(
+            f"warning: {stats['dangling']} dangling span record(s) "
+            f"(unmatched B/E — truncated or crashed trace?)"
+        )
     return "\n".join(lines)

@@ -34,7 +34,7 @@ class TestListCells:
         assert "0x" in out
 
     def test_reflects_checkpoint_cache(self, tmp_path, capsys):
-        assert main(["fig4", "--quick", "--seed", "8",
+        assert main(["fig4", "--quick", "--seed", "8", "--no-ledger",
                      "--resume", str(tmp_path)]) == EXIT_OK
         capsys.readouterr()
         assert main(["fig4", "--quick", "--seed", "8", "--list-cells",
@@ -55,10 +55,11 @@ class TestJobsRun:
                                                   capsys):
         serial_dir = tmp_path / "serial"
         parallel_dir = tmp_path / "parallel"
-        assert main(["fig4", "--quick", "--seed", "8",
+        assert main(["fig4", "--quick", "--seed", "8", "--no-ledger",
                      "--resume", str(serial_dir)]) == EXIT_OK
         serial_out = capsys.readouterr().out
-        assert main(["fig4", "--quick", "--seed", "8", "--jobs", "2",
+        assert main(["fig4", "--quick", "--seed", "8", "--no-ledger",
+                     "--jobs", "2",
                      "--resume", str(parallel_dir)]) == EXIT_OK
         parallel_out = capsys.readouterr().out
         assert parallel_out == serial_out
@@ -66,7 +67,7 @@ class TestJobsRun:
             (serial_dir / "fig4.json").read_bytes()
 
     def test_progress_goes_to_stderr_not_stdout(self, capsys):
-        assert main(["fig4", "--quick", "--seed", "8",
+        assert main(["fig4", "--quick", "--seed", "8", "--no-ledger",
                      "--jobs", "2"]) == EXIT_OK
         captured = capsys.readouterr()
         # Progress lines must never contaminate the report artefact.
@@ -87,7 +88,8 @@ class TestJobsRun:
 class TestShardCleanup:
     def test_parallel_checkpoint_leaves_single_artefact(self, tmp_path,
                                                         capsys):
-        assert main(["fig4", "--quick", "--seed", "8", "--jobs", "2",
+        assert main(["fig4", "--quick", "--seed", "8", "--no-ledger",
+                     "--jobs", "2",
                      "--resume", str(tmp_path)]) == EXIT_OK
         assert not (tmp_path / "fig4.json.d").exists()
         payload = json.loads((tmp_path / "fig4.json").read_text())

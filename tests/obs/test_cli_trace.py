@@ -41,6 +41,40 @@ class TestTraceCommand:
         assert main(["trace", str(path)]) == EXIT_FATAL
         assert "invalid trace" in capsys.readouterr().err
 
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        jsonl_path, _ = write_trace_files(tmp_path, "fig4", SAMPLE_TRACES)
+        assert main(["trace", str(jsonl_path), "--json"]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "fig4"
+        assert payload["records"] == 4
+        assert payload["cells"] == ["host/a"]
+        assert payload["dangling"] == 0
+        assert payload["spans"]["hid.profile"]["total"] == 900
+
+    def test_chrome_input_round_trips(self, tmp_path, capsys):
+        jsonl_path, chrome_path = write_trace_files(
+            tmp_path, "fig4", SAMPLE_TRACES
+        )
+        assert main(["trace", str(jsonl_path)]) == EXIT_OK
+        from_jsonl = capsys.readouterr().out
+        assert main(["trace", str(chrome_path)]) == EXIT_OK
+        from_chrome = capsys.readouterr().out
+        # Same experiment name, same span tables either way.
+        assert from_chrome == from_jsonl
+
+    def test_warns_on_dangling_records(self, tmp_path, capsys):
+        truncated = {
+            "host/a": [
+                {"ph": "B", "name": "exec.cell", "cat": "exec",
+                 "ts": 0, "clk": 0, "seq": 0},
+            ],
+        }
+        jsonl_path, _ = write_trace_files(tmp_path, "fig4", truncated)
+        assert main(["trace", str(jsonl_path)]) == EXIT_OK
+        assert "1 dangling span record(s)" in capsys.readouterr().out
+
 
 class TestTraceFlags:
     def test_unknown_filter_is_usage_error(self, capsys):

@@ -1,0 +1,153 @@
+"""Unit tests for cross-run diffing (``repro compare``)."""
+
+from repro.obs.compare import (
+    diff_count,
+    diff_manifests,
+    first_divergence,
+    format_compare,
+    localize_trace_divergence,
+)
+from repro.obs.ledger import LEDGER_FORMAT
+
+
+def _manifest(**overrides):
+    base = {
+        "format": LEDGER_FORMAT,
+        "run_id": "fig4-abc",
+        "experiment": "fig4",
+        "seed": 0,
+        "config": {"seed": 0, "classifier": "mlp"},
+        "config_hash": "deadbeef",
+        "git_sha": "cafe",
+        "partial": False,
+        "cells": [{"key": "host/a", "seed": "0x1", "deps": [],
+                   "status": "ok"}],
+        "metrics": {"host/a": {"counters": {"cache.miss": 3}}},
+        "headlines": {"accuracy": 0.97},
+        "series": {},
+        "traces": {"jsonl": {"path": "t.jsonl", "sha256": "aa"}},
+        "timing": {"wall_s": 1.0},
+    }
+    base.update(overrides)
+    return base
+
+
+def _rec(name, ts, seq, cat="cpu", cell="host/a", ph="X", dur=1, **extra):
+    record = {"ph": ph, "name": name, "cat": cat, "ts": ts,
+              "clk": 1, "seq": seq, "cell": cell}
+    if ph == "X":
+        record["dur"] = dur
+    record.update(extra)
+    return record
+
+
+class TestDiffManifests:
+    def test_identical_runs_diff_empty(self):
+        a = _manifest()
+        b = _manifest(timing={"wall_s": 99.0})  # volatile only
+        sections = diff_manifests(a, b)
+        assert diff_count(sections) == 0
+
+    def test_trace_location_is_not_a_diff(self):
+        a = _manifest()
+        b = _manifest(traces={"jsonl": {"path": "/elsewhere/t.jsonl",
+                                        "sha256": "aa"}})
+        assert diff_count(diff_manifests(a, b)) == 0
+
+    def test_knob_and_headline_diffs_localised(self):
+        a = _manifest()
+        b = _manifest(config={"seed": 1, "classifier": "mlp"},
+                      headlines={"accuracy": 0.5})
+        sections = diff_manifests(a, b)
+        assert sections["config"] == [("seed", 0, 1)]
+        assert sections["headlines"] == [("accuracy", 0.97, 0.5)]
+        assert sections["cells"] == []
+
+    def test_absent_leaf_uses_sentinel(self):
+        a = _manifest(headlines={"accuracy": 0.97, "extra": 1.0})
+        b = _manifest()
+        sections = diff_manifests(a, b)
+        assert ("extra", 1.0, "<absent>") in sections["headlines"]
+
+    def test_cell_status_diff(self):
+        b = _manifest(cells=[{"key": "host/a", "seed": "0x1",
+                              "deps": [], "status": "failed",
+                              "error": "boom"}])
+        sections = diff_manifests(_manifest(), b)
+        paths = [path for path, _, _ in sections["cells"]]
+        assert "host/a.status" in paths
+        assert "host/a.error" in paths
+
+
+class TestFirstDivergence:
+    def test_identical_streams(self):
+        records = [_rec("cpu.run", 0, 0), _rec("cpu.run", 5, 1)]
+        assert first_divergence(records, list(records)) is None
+
+    def test_divergent_record_names_subsystem(self):
+        a = [_rec("cpu.run", 0, 0), _rec("cache.fill", 5, 1, cat="cache")]
+        b = [_rec("cpu.run", 0, 0), _rec("cache.fill", 9, 1, cat="cache")]
+        divergence = first_divergence(a, b)
+        assert divergence["index"] == 1
+        assert divergence["seq"] == 1
+        assert divergence["subsystem"] == "cache"
+        assert divergence["name"] == "cache.fill"
+
+    def test_prefix_stream_reports_tail(self):
+        a = [_rec("cpu.run", 0, 0)]
+        b = [_rec("cpu.run", 0, 0), _rec("hid.train", 5, 1, cat="hid")]
+        divergence = first_divergence(a, b)
+        assert divergence["index"] == 1
+        assert divergence["subsystem"] == "hid"
+        assert divergence["a"] == "<end of trace>"
+
+    def test_args_only_divergence_is_visible(self):
+        a = [_rec("exec.cell", 0, 0, args={"seed": 1})]
+        b = [_rec("exec.cell", 0, 0, args={"seed": 2})]
+        divergence = first_divergence(a, b)
+        assert "seed" in divergence["a"]
+        assert divergence["a"] != divergence["b"]
+
+
+class TestLocalize:
+    def test_per_cell_first_divergence(self):
+        header = {"cells": ["host/a", "host/b"]}
+        a = [_rec("cpu.run", 0, 0, cell="host/a"),
+             _rec("cpu.run", 0, 1, cell="host/b")]
+        b = [_rec("cpu.run", 0, 0, cell="host/a"),
+             _rec("cpu.run", 7, 1, cell="host/b")]
+        findings = localize_trace_divergence(header, a, header, b)
+        assert [f["cell"] for f in findings] == ["host/b"]
+
+    def test_missing_cell_reported_structurally(self):
+        a = [_rec("cpu.run", 0, 0, cell="host/a")]
+        findings = localize_trace_divergence(
+            {"cells": ["host/a"]}, a, {"cells": []}, []
+        )
+        assert findings == [{"cell": "host/a", "missing_from": "B"}]
+
+
+class TestFormatCompare:
+    def test_zero_diff_renders_identical_line(self):
+        text = format_compare("r1", "r2", diff_manifests(_manifest(),
+                                                         _manifest()))
+        assert "0 differing field(s)" in text
+        assert "identical" in text
+
+    def test_sections_capped_at_max_rows(self):
+        a = _manifest(metrics={f"cell/{i}": {"x": i} for i in range(30)})
+        b = _manifest(metrics={f"cell/{i}": {"x": i + 1}
+                               for i in range(30)})
+        text = format_compare("r1", "r2", diff_manifests(a, b),
+                              max_rows=5)
+        assert "25 more metrics difference(s) elided" in text
+
+    def test_trace_findings_name_subsystem(self):
+        finding = {"cell": "host/a", "index": 3, "seq": 3,
+                   "subsystem": "attack", "name": "attack.rop",
+                   "a": "X attack.rop ts=1", "b": "X attack.rop ts=2"}
+        text = format_compare("r1", "r2",
+                              diff_manifests(_manifest(), _manifest()),
+                              trace_findings=[finding])
+        assert "subsystem [attack]" in text
+        assert "'attack.rop'" in text

@@ -1,0 +1,138 @@
+"""Unit tests for the headline regression gate (``repro gate``)."""
+
+import json
+
+import pytest
+
+from repro.obs.gate import (
+    EXPECTATIONS_FORMAT,
+    ExpectationsError,
+    bands_for,
+    check_headlines,
+    format_gate,
+    gate_passed,
+    load_expectations,
+)
+
+BANDS = {"accuracy": {"min": 0.8}, "evasion": {"max": 0.55}}
+
+
+def _expectations_file(tmp_path, payload=None):
+    path = tmp_path / "expectations.json"
+    if payload is None:
+        payload = {"format": EXPECTATIONS_FORMAT,
+                   "profiles": {"quick": {"fig4": BANDS}}}
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestLoadExpectations:
+    def test_valid_file_loads(self, tmp_path):
+        expectations = load_expectations(_expectations_file(tmp_path))
+        assert "quick" in expectations["profiles"]
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = _expectations_file(tmp_path, {"format": "wrong/9",
+                                             "profiles": {"q": {}}})
+        with pytest.raises(ExpectationsError, match="unknown format"):
+            load_expectations(path)
+
+    def test_missing_profiles_rejected(self, tmp_path):
+        path = _expectations_file(
+            tmp_path, {"format": EXPECTATIONS_FORMAT, "profiles": {}}
+        )
+        with pytest.raises(ExpectationsError, match="no profiles"):
+            load_expectations(path)
+
+    def test_band_without_bound_rejected(self, tmp_path):
+        path = _expectations_file(tmp_path, {
+            "format": EXPECTATIONS_FORMAT,
+            "profiles": {"quick": {"fig4": {"accuracy": {}}}},
+        })
+        with pytest.raises(ExpectationsError, match="min.*max"):
+            load_expectations(path)
+
+    def test_committed_expectations_are_valid(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).parent.parent.parent
+        expectations = load_expectations(root / "expectations.json")
+        for profile in ("quick", "full"):
+            for experiment in ("fig4", "fig5", "fig6", "table1",
+                               "hardening"):
+                assert bands_for(expectations, experiment,
+                                 profile=profile)
+
+
+class TestBandsFor:
+    def test_resolves(self, tmp_path):
+        expectations = load_expectations(_expectations_file(tmp_path))
+        assert bands_for(expectations, "fig4", profile="quick") == BANDS
+
+    def test_unknown_profile_raises(self, tmp_path):
+        expectations = load_expectations(_expectations_file(tmp_path))
+        with pytest.raises(ExpectationsError, match="no profile"):
+            bands_for(expectations, "fig4", profile="nope")
+
+    def test_unknown_experiment_raises(self, tmp_path):
+        expectations = load_expectations(_expectations_file(tmp_path))
+        with pytest.raises(ExpectationsError, match="no bands"):
+            bands_for(expectations, "fig9", profile="quick")
+
+
+class TestCheckHeadlines:
+    def test_in_band_passes(self):
+        checks = check_headlines({"accuracy": 0.97, "evasion": 0.3},
+                                 BANDS)
+        assert gate_passed(checks)
+
+    def test_below_min_fails(self):
+        checks = check_headlines({"accuracy": 0.7, "evasion": 0.3},
+                                 BANDS)
+        assert not gate_passed(checks)
+        failed = next(c for c in checks if not c["ok"])
+        assert failed["headline"] == "accuracy"
+        assert "min" in failed["reason"]
+
+    def test_above_max_fails(self):
+        checks = check_headlines({"accuracy": 0.97, "evasion": 0.9},
+                                 BANDS)
+        assert not gate_passed(checks)
+
+    def test_missing_headline_is_a_regression(self):
+        checks = check_headlines({"accuracy": 0.97}, BANDS)
+        assert not gate_passed(checks)
+        failed = next(c for c in checks if not c["ok"])
+        assert failed["headline"] == "evasion"
+        assert "missing" in failed["reason"]
+
+    def test_tightened_band_flips_verdict(self):
+        headlines = {"accuracy": 0.85, "evasion": 0.3}
+        assert gate_passed(check_headlines(headlines, BANDS))
+        tightened = {"accuracy": {"min": 0.9}, "evasion": {"max": 0.55}}
+        assert not gate_passed(check_headlines(headlines, tightened))
+
+
+class TestFormatGate:
+    MANIFEST = {"experiment": "fig4", "run_id": "fig4-abc",
+                "partial": False}
+
+    def test_pass_verdict(self):
+        checks = check_headlines({"accuracy": 0.97, "evasion": 0.3},
+                                 BANDS)
+        text = format_gate(self.MANIFEST, "quick", checks)
+        assert "[PASS]" in text
+        assert "fig4-abc" in text
+
+    def test_regression_verdict_shows_reason(self):
+        checks = check_headlines({"accuracy": 0.5, "evasion": 0.3},
+                                 BANDS)
+        text = format_gate(self.MANIFEST, "quick", checks)
+        assert "[REGRESSION]" in text
+        assert "FAIL" in text
+
+    def test_partial_run_noted(self):
+        manifest = dict(self.MANIFEST, partial=True)
+        checks = check_headlines({"accuracy": 0.97, "evasion": 0.3},
+                                 BANDS)
+        assert "PARTIAL" in format_gate(manifest, "quick", checks)

@@ -1,0 +1,108 @@
+"""Unit tests for the static HTML dashboard (``repro report``)."""
+
+from repro.obs.gate import check_headlines
+from repro.obs.ledger import LEDGER_FORMAT
+from repro.obs.report import (
+    _sparkline_svg,
+    format_headline_value,
+    render_html,
+)
+
+MANIFEST = {
+    "format": LEDGER_FORMAT,
+    "run_id": "fig5-abc",
+    "experiment": "fig5",
+    "seed": 0,
+    "config": {"seed": 0, "classifier": "<mlp>"},
+    "config_hash": "deadbeef",
+    "git_sha": "cafe" * 10,
+    "partial": False,
+    "cells": [
+        {"key": "training", "seed": "0x1", "deps": [], "status": "ok"},
+        {"key": "spectre/attempt/0", "seed": "0x2", "deps": [],
+         "status": "failed", "error": "boom & bust"},
+    ],
+    "metrics": {"training": {"counters": {"events.cache.miss": 1234},
+                             "gauges": {"cpu.cycles": 5000,
+                                        "trace.records": 42}}},
+    "headlines": {"spectre_mean_accuracy": 1.0,
+                  "crspectre_mean_accuracy": 0.2857},
+    "series": {"offline/lr": [1.0, 0.4, 0.2, 0.3]},
+    "traces": {"jsonl": {"path": "fig5.trace.jsonl", "sha256": "aa"}},
+    "timing": {"wall_s": 14.2},
+}
+
+
+class TestFormatHeadlineValue:
+    def test_ratio_headline_renders_percent(self):
+        assert format_headline_value("spectre_mean_accuracy",
+                                     0.2857) == "28.6%"
+        assert format_headline_value("max_ipc_overhead",
+                                     0.011) == "1.1%"
+
+    def test_non_ratio_float(self):
+        assert format_headline_value("threshold", 123.456) == "123.5"
+
+    def test_count(self):
+        assert format_headline_value("records", 5000) == "5.0k"
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert _sparkline_svg([]) == ""
+
+    def test_ratio_series_draws_reference_lines(self):
+        svg = _sparkline_svg([1.0, 0.4, 0.2])
+        assert svg.startswith("<svg")
+        assert svg.count("<line") == 2  # detection + evasion
+        assert "<polyline" in svg
+
+    def test_unbounded_series_has_no_reference_lines(self):
+        svg = _sparkline_svg([10.0, 20.0, 15.0])
+        assert "<line" not in svg
+
+    def test_single_point(self):
+        assert "<circle" in _sparkline_svg([0.5])
+
+
+class TestRenderHtml:
+    def test_self_contained_document(self):
+        html_text = render_html(MANIFEST)
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<script" not in html_text
+        assert "http://" not in html_text
+        assert "https://" not in html_text
+
+    def test_headline_tiles_and_sparkline(self):
+        html_text = render_html(MANIFEST)
+        assert "28.6%" in html_text
+        assert "spectre_mean_accuracy" in html_text
+        assert "<svg" in html_text
+        assert "offline/lr" in html_text
+
+    def test_cell_table_rows(self):
+        html_text = render_html(MANIFEST)
+        assert "training" in html_text
+        assert "cycles=5.0k" in html_text
+        assert "status-failed" in html_text
+
+    def test_everything_escaped(self):
+        html_text = render_html(MANIFEST)
+        assert "<mlp>" not in html_text
+        assert "&lt;mlp&gt;" in html_text
+        assert "boom &amp; bust" in html_text
+
+    def test_gate_checks_colour_tiles(self):
+        checks = check_headlines(
+            MANIFEST["headlines"],
+            {"spectre_mean_accuracy": {"min": 0.8},
+             "crspectre_mean_accuracy": {"max": 0.1}},
+        )
+        html_text = render_html(MANIFEST, checks=checks, profile="quick")
+        assert 'class="tile pass"' in html_text
+        assert 'class="tile fail"' in html_text
+        assert "profile" in html_text
+
+    def test_partial_banner(self):
+        html_text = render_html(dict(MANIFEST, partial=True))
+        assert "partial run" in html_text

@@ -43,7 +43,9 @@ class TestSummarize:
             _rec("E", "exec.cell", 5),       # dangling E
             _rec("B", "hid.train", 0),       # dangling B
         ])
-        assert stats["unmatched"] == 2
+        assert stats["dangling"] == 2
+        # Legacy alias stays in lockstep.
+        assert stats["unmatched"] == stats["dangling"]
 
     def test_events_and_cells(self):
         stats = summarize([
@@ -52,6 +54,41 @@ class TestSummarize:
         ])
         assert stats["events"] == {"cache.miss": 2}
         assert stats["cells"] == ["a", "b"]
+
+    def test_empty_trace(self):
+        stats = summarize([])
+        assert stats == {"records": 0, "cells": [], "spans": {},
+                         "events": {}, "dangling": 0, "unmatched": 0}
+
+    def test_interleaved_cells_with_dangling_b_per_cell(self):
+        # Cell "a" closes cleanly; cell "b" was truncated mid-span.
+        stats = summarize([
+            _rec("B", "exec.cell", 0, cell="a"),
+            _rec("B", "exec.cell", 0, cell="b"),
+            _rec("B", "hid.train", 2, cell="b"),
+            _rec("E", "exec.cell", 10, cell="a"),
+        ])
+        assert stats["spans"]["exec.cell"]["count"] == 1
+        assert stats["dangling"] == 2
+
+    def test_max_records_truncated_trace_counts_dangling(self):
+        """A Tracer hitting its max_records cap drops the tail: the
+        open B records it already emitted go unmatched, and the summary
+        must surface that instead of silently under-reporting spans."""
+        from repro.obs.tracer import TraceConfig, Tracer
+
+        tracer = Tracer(TraceConfig(max_records=3))
+        tracer.begin("cpu.run", "cpu")
+        tracer.begin("cpu.speculate", "cpu")
+        tracer.event("cache.miss", "cache")
+        tracer.end("cpu.speculate", "cpu")   # dropped: over the cap
+        tracer.end("cpu.run", "cpu")         # dropped: over the cap
+        tracer.finalize()
+        assert tracer.dropped == 2
+        stats = summarize(tracer.records)
+        assert stats["records"] == 3
+        assert stats["dangling"] == 2
+        assert stats["spans"] == {}
 
 
 class TestFormatSummary:
@@ -69,6 +106,6 @@ class TestFormatSummary:
         assert "cache.miss" in text
         assert "warning" not in text
 
-    def test_warns_on_unmatched(self):
+    def test_warns_on_dangling(self):
         text = format_summary({}, [_rec("B", "exec.cell", 0)])
-        assert "1 unmatched" in text
+        assert "1 dangling span record(s)" in text

@@ -1,0 +1,63 @@
+"""The committed BENCH_*.json baselines conform to the shared schema."""
+
+import json
+import pathlib
+
+import pytest
+
+from benchmarks.schema import (
+    BENCH_FORMAT,
+    BenchSchemaError,
+    bench_path,
+    build_bench_json,
+    validate_bench,
+)
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+class TestCommittedBaselines:
+    @pytest.mark.parametrize("name", ["exec", "obs"])
+    def test_baseline_conforms(self, name):
+        path = bench_path(name)
+        assert path.is_file(), f"missing committed baseline {path}"
+        payload = json.loads(path.read_text())
+        validate_bench(payload)
+        assert payload["bench"] == name
+
+    def test_every_bench_json_at_root_is_validated(self):
+        # A new BENCH_*.json must conform too — no schema stragglers.
+        for path in REPO_ROOT.glob("BENCH_*.json"):
+            validate_bench(json.loads(path.read_text()))
+
+
+class TestBuildAndValidate:
+    def test_build_fills_required_keys(self):
+        payload = build_bench_json(
+            "demo", knobs={"seed": 0}, runs={"1": {"wall_s": 1.5}},
+            cpu_count=4, extra_key="ok",
+        )
+        assert payload["format"] == BENCH_FORMAT
+        assert payload["bench"] == "demo"
+        assert payload["cpu_count"] == 4
+        assert payload["extra_key"] == "ok"
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(BenchSchemaError, match="missing required"):
+            validate_bench({"format": BENCH_FORMAT, "bench": "x",
+                            "cpu_count": 1, "knobs": {}})
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(BenchSchemaError, match="unknown format"):
+            validate_bench({"format": "old/0", "bench": "x",
+                            "cpu_count": 1, "knobs": {},
+                            "runs": {"1": {"s": 1}}})
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(BenchSchemaError, match="non-empty"):
+            build_bench_json("demo", knobs={}, runs={})
+
+    def test_non_numeric_measurement_rejected(self):
+        with pytest.raises(BenchSchemaError, match="numeric"):
+            build_bench_json("demo", knobs={},
+                             runs={"1": {"wall_s": "fast"}})

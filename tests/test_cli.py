@@ -65,7 +65,8 @@ class TestQuickExperiments:
         assert args.quick is True
 
     def test_fig4_quick_runs(self, capsys):
-        assert main(["fig4", "--quick", "--seed", "3"]) == 0
+        assert main(["fig4", "--quick", "--seed", "3",
+                     "--no-ledger"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 4" in out
 
@@ -116,7 +117,7 @@ class TestResilienceFlags:
         assert args.max_fault_fires == 3
 
     def test_resume_skips_completed_cells(self, tmp_path, capsys):
-        argv = ["fig4", "--quick", "--seed", "3",
+        argv = ["fig4", "--quick", "--seed", "3", "--no-ledger",
                 "--resume", str(tmp_path)]
         assert main(argv) == 0
         first = capsys.readouterr().out
@@ -129,7 +130,7 @@ class TestResilienceFlags:
         assert "(4 cached, 0 pending)" in capsys.readouterr().out
 
     def test_same_seed_same_report(self, capsys):
-        argv = ["fig4", "--quick", "--seed", "3",
+        argv = ["fig4", "--quick", "--seed", "3", "--no-ledger",
                 "--inject-faults", "hpc_garble=0.2"]
         assert main(argv) in (0, 4)
         first = capsys.readouterr().out
