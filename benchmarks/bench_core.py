@@ -1,0 +1,133 @@
+"""Benchmark the simulation core: single-core interpreter throughput.
+
+Times the fast ``Cpu.run`` dispatch loop on two MiBench kernels
+(basicmath: ALU/branch heavy; sha: load/store heavy) and records
+instructions/second and cache accesses/second to ``BENCH_core.json``
+at the repo root.
+
+The committed ``pre_change`` numbers are the step()-driven loop's
+throughput measured on the same 1-core host immediately before the
+fast path landed; the regression gate asserts the current loop stays
+at least 2x above them.  ``identical_output`` is not taken on faith:
+this bench re-runs a reduced kernel through both the fast loop and the
+step() reference and diffs the full architectural state (all 56 PMU
+events, registers, exit code) before publishing any number.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import publish
+from benchmarks.schema import write_bench_json
+from repro.kernel import System
+from repro.workloads import get_workload
+
+#: step()-loop throughput on the reference 1-core host, captured before
+#: the fast dispatch loop replaced it (see docs/PARALLELISM.md).
+PRE_CHANGE = {
+    "instructions_per_s": 65_593,
+    "cache_accesses_per_s": 172_555,
+}
+
+#: The regression bar: the fast loop must hold at least this multiple
+#: of the pre-change throughput.
+MIN_SPEEDUP = 2.0
+
+KERNELS = (("basicmath", 2000), ("sha", 60))
+
+#: Reduced iteration counts for the fast-vs-step equivalence diff
+#: (step() is the slow reference; the diff only needs coverage).
+VERIFY_KERNELS = (("basicmath", 20), ("sha", 2))
+
+
+def _spawn(name, iterations):
+    system = System(seed=7)
+    workload = get_workload(name)
+    system.install_binary("/bin/bench", workload.build(iterations=iterations))
+    return system, system.spawn("/bin/bench")
+
+
+def _measure(name, iterations):
+    system, process = _spawn(name, iterations)
+    started = time.perf_counter()
+    system.run()
+    elapsed = time.perf_counter() - started
+    counters = process.cpu.pmu.read()
+    return {
+        "wall_s": round(elapsed, 3),
+        "instructions": counters["instructions"],
+        "instructions_per_s": round(counters["instructions"] / elapsed),
+        "cache_accesses_per_s": round(
+            counters["total_cache_accesses"] / elapsed
+        ),
+    }
+
+
+def _snapshot(process):
+    cpu = process.cpu
+    return {
+        "regs": list(cpu.state.regs),
+        "pc": cpu.state.pc,
+        "exit_code": cpu.state.exit_code,
+        "cycles": cpu.cycles,
+        "events": cpu.pmu.read(),
+        "stdout": bytes(process.stdout),
+    }
+
+
+def _identical_output():
+    for name, iterations in VERIFY_KERNELS:
+        fast_system, fast = _spawn(name, iterations)
+        fast_system.run()
+        _, reference = _spawn(name, iterations)
+        while not reference.cpu.state.halted:
+            reference.cpu.step()
+        if _snapshot(fast) != _snapshot(reference):
+            return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def core_runs():
+    assert _identical_output(), "fast loop diverged from step() reference"
+    return {name: _measure(name, iterations) for name, iterations in KERNELS}
+
+
+def test_core_throughput_baseline(benchmark, core_runs):
+    runs = benchmark.pedantic(lambda: core_runs, rounds=1, iterations=1)
+
+    speedups = {
+        name: round(
+            run["instructions_per_s"] / PRE_CHANGE["instructions_per_s"], 2
+        )
+        for name, run in runs.items()
+    }
+    write_bench_json(
+        "core",
+        knobs=dict(KERNELS),
+        runs=runs,
+        pre_change=PRE_CHANGE,
+        speedup_vs_pre_change=speedups,
+        identical_output=True,  # asserted in the core_runs fixture
+    )
+
+    lines = [f"core baseline — fast run() loop vs pre-change "
+             f"{PRE_CHANGE['instructions_per_s']:,} instr/s"]
+    for name, run in runs.items():
+        lines.append(
+            f"  {name:10s}: {run['instructions_per_s']:>9,} instr/s, "
+            f"{run['cache_accesses_per_s']:>9,} cache acc/s "
+            f"({speedups[name]:.1f}x)"
+        )
+    publish("core", "\n".join(lines))
+
+    for name, run in runs.items():
+        benchmark.extra_info[f"{name}_instructions_per_s"] = \
+            run["instructions_per_s"]
+        # Regression gate: the fast path must not decay back toward the
+        # step()-loop era.  2x is deliberately far below the measured
+        # ~9x so host jitter cannot flake it, while still catching any
+        # real regression of the dispatch loop.
+        assert run["instructions_per_s"] >= \
+            MIN_SPEEDUP * PRE_CHANGE["instructions_per_s"], name

@@ -1,12 +1,24 @@
-"""Benchmark the exec subsystem: serial vs parallel sweep wall-clock.
+"""Benchmark the exec subsystem: serial vs warm-pool sweep wall-clock.
 
 Times a reduced Figure-5 sweep (the widest plan: training → 2×attempts
-+ search cells) at ``jobs=1`` against ``jobs=2`` and ``jobs=4``,
-asserts the parallel reports are byte-identical to the serial
-reference, and records the baseline to ``BENCH_exec.json`` at the repo
-root (wall-clock, cells/second, speedup, and the host's CPU count —
-speedups are only meaningful relative to it; a 1-core CI runner
-honestly reports ~1x or below, the determinism assertions still bite).
++ search cells) at ``jobs=1`` against the warm worker pool at
+``jobs=2`` and ``jobs=4``, asserts the parallel reports are
+byte-identical to the serial reference, and records the baseline to
+``BENCH_exec.json`` at the repo root.
+
+Honesty rules for the recorded numbers:
+
+* **Warmup is priced separately.**  Spawning workers and importing
+  numpy + the simulator costs seconds; the steady state is what sweeps
+  actually experience (pools persist across plans for the driver's
+  lifetime).  Each parallel run records ``warmup_s`` (pool spin-up,
+  forced via :func:`repro.exec.warmup`) and ``wall_s`` (post-warmup
+  compute) side by side, and the baseline carries speedups both
+  including and excluding warmup so neither story can hide the other.
+* **Speedups are relative to the host's CPU count**, which is recorded.
+  A 1-core CI runner honestly reports ~1x or below; the acceptance
+  assertion only bites on real parallel hardware.  The determinism
+  assertions bite everywhere.
 """
 
 import os
@@ -18,6 +30,7 @@ from benchmarks.conftest import publish
 from benchmarks.schema import write_bench_json
 from repro.core.experiments import run_fig5
 from repro.core.experiments.fig5 import plan_fig5
+from repro.exec import warmup
 
 #: Reduced fig5: full cell topology, ~quarter-scale sampling.
 KNOBS = dict(
@@ -37,18 +50,24 @@ def _timed_run(jobs):
 
 @pytest.fixture(scope="module")
 def sweep_timings():
-    reports = {}
-    timings = {}
+    reports, timings, warmups = {}, {}, {}
     for jobs in JOB_COUNTS:
+        if jobs > 1:
+            # Pools are keyed by worker count, so this prices a cold
+            # spin-up for each jobs value even though pools persist.
+            warmups[jobs], workers = warmup(jobs)
+            assert workers == jobs
+        else:
+            warmups[jobs] = 0.0
         result, elapsed = _timed_run(jobs)
         reports[jobs] = result.format()
         timings[jobs] = elapsed
-    return reports, timings
+    return reports, timings, warmups
 
 
 def test_exec_parallel_baseline(benchmark, sweep_timings):
     cells = len(plan_fig5(**KNOBS))
-    reports, timings = benchmark.pedantic(
+    reports, timings, warmups = benchmark.pedantic(
         lambda: sweep_timings, rounds=1, iterations=1
     )
 
@@ -62,6 +81,7 @@ def test_exec_parallel_baseline(benchmark, sweep_timings):
                for k, v in KNOBS.items()},
         runs={
             str(jobs): {
+                "warmup_s": round(warmups[jobs], 3),
                 "wall_s": round(timings[jobs], 3),
                 "cells_per_s": round(cells / timings[jobs], 3),
             }
@@ -73,6 +93,12 @@ def test_exec_parallel_baseline(benchmark, sweep_timings):
             str(jobs): round(timings[1] / timings[jobs], 3)
             for jobs in JOB_COUNTS[1:]
         },
+        speedup_vs_serial_incl_warmup={
+            str(jobs): round(
+                timings[1] / (warmups[jobs] + timings[jobs]), 3
+            )
+            for jobs in JOB_COUNTS[1:]
+        },
         identical_output=True,
     )
 
@@ -81,8 +107,10 @@ def test_exec_parallel_baseline(benchmark, sweep_timings):
     for jobs in JOB_COUNTS:
         speedup = timings[1] / timings[jobs]
         lines.append(
-            f"  jobs={jobs}: {timings[jobs]:6.2f}s "
-            f"({cells / timings[jobs]:.2f} cells/s, {speedup:.2f}x)"
+            f"  jobs={jobs}: warmup {warmups[jobs]:5.2f}s + "
+            f"compute {timings[jobs]:6.2f}s "
+            f"({cells / timings[jobs]:.2f} cells/s, {speedup:.2f}x "
+            f"steady-state)"
         )
     publish("exec", "\n".join(lines))
 
@@ -91,7 +119,11 @@ def test_exec_parallel_baseline(benchmark, sweep_timings):
         benchmark.extra_info[f"speedup_jobs{jobs}"] = round(
             timings[1] / timings[jobs], 3
         )
-    # The tentpole's acceptance bar is conditional on real parallel
-    # hardware; on fewer cores the honest baseline is the deliverable.
+        benchmark.extra_info[f"warmup_jobs{jobs}_s"] = round(
+            warmups[jobs], 3
+        )
+    # The tentpole's acceptance bar (steady-state >1.3x at jobs=4) is
+    # conditional on real parallel hardware; on fewer cores the honest
+    # baseline is the deliverable.
     if os.cpu_count() >= 4:
-        assert timings[1] / timings[4] >= 1.5
+        assert timings[1] / timings[4] > 1.3

@@ -5,6 +5,17 @@ covert channel, so the model stores tags and dirty bits but not data.
 ``clflush`` (line invalidation from user code) and persistent fills from
 squashed speculative loads — the two mechanisms CR-Spectre lives on — are
 first-class operations.
+
+Hot-path layout
+---------------
+``access`` is the single hottest call in the whole simulator (every
+fetch, load and store funnels through it), so each set keeps a
+``tag → way`` dict alongside the per-way tag list: a hit is one dict
+lookup instead of a linear way scan.  For the default LRU policy the
+per-set replacement state (clock + stamps) is inlined here as plain
+lists — semantically identical to :class:`~repro.cache.replacement.
+LruPolicy`, just without a method call per access.  Non-LRU policies
+keep their policy objects and take the slow path.
 """
 
 import dataclasses
@@ -50,10 +61,26 @@ class Cache:
         self._line_shift = line_size.bit_length() - 1
         if 1 << self._line_shift != line_size:
             raise ValueError(f"{name}: line size must be a power of two")
+        self._index_shift = self.num_sets.bit_length() - 1
         self.policy_name = policy
         self._tags = [[None] * ways for _ in range(self.num_sets)]
         self._dirty = [[False] * ways for _ in range(self.num_sets)]
-        self._policies = [make_policy(policy, ways) for _ in range(self.num_sets)]
+        #: per-set ``tag -> way`` index; the source of truth stays
+        #: ``_tags`` (eviction-address reconstruction, occupancy), the
+        #: maps are kept exactly in sync by access/invalidate/flush_all.
+        self._maps = [{} for _ in range(self.num_sets)]
+        self._lru = policy == "lru"
+        if self._lru:
+            # Inlined LruPolicy state: one clock and one stamp list per
+            # set.  flush_all leaves both alone, matching the policy
+            # objects (which a flush never resets either).
+            self._clocks = [0] * self.num_sets
+            self._stamps = [[0] * ways for _ in range(self.num_sets)]
+            self._policies = None
+        else:
+            self._policies = [
+                make_policy(policy, ways) for _ in range(self.num_sets)
+            ]
         self.stats = CacheStats()
         #: trace channel, bound by CacheHierarchy.bind_tracer; the hit
         #: path never consults it — only evictions and invalidations do.
@@ -66,9 +93,7 @@ class Cache:
 
     def _index_tag(self, address):
         line = address >> self._line_shift
-        return line & self._set_mask, line >> (
-            self.num_sets.bit_length() - 1
-        )
+        return line & self._set_mask, line >> self._index_shift
 
     # ---- operations ----------------------------------------------------
     def access(self, address, is_write=False):
@@ -77,9 +102,10 @@ class Cache:
         Returns ``(hit, evicted_line_address_or_none)``.  The evicted line
         address lets the hierarchy model writebacks / back-invalidations.
         """
-        index, tag = self._index_tag(address)
-        tags = self._tags[index]
-        policy = self._policies[index]
+        line = address >> self._line_shift
+        index = line & self._set_mask
+        tag = line >> self._index_shift
+        cmap = self._maps[index]
         stats = self.stats
         stats.accesses += 1
         if is_write:
@@ -87,13 +113,18 @@ class Cache:
         else:
             stats.read_accesses += 1
 
-        for way in range(self.ways):
-            if tags[way] == tag:
-                policy.on_access(way)
-                if is_write:
-                    self._dirty[index][way] = True
-                stats.hits += 1
-                return True, None
+        way = cmap.get(tag)
+        if way is not None:
+            if self._lru:
+                clock = self._clocks[index] + 1
+                self._clocks[index] = clock
+                self._stamps[index][way] = clock
+            else:
+                self._policies[index].on_access(way)
+            if is_write:
+                self._dirty[index][way] = True
+            stats.hits += 1
+            return True, None
 
         stats.misses += 1
         if is_write:
@@ -101,63 +132,90 @@ class Cache:
         else:
             stats.read_misses += 1
 
-        valid = [t is not None for t in tags]
-        way = policy.victim(valid)
+        tags = self._tags[index]
+        if self._lru:
+            # Victim selection, verbatim LruPolicy semantics: first
+            # invalid way, else the lowest stamp (first index on ties).
+            way = None
+            for candidate in range(self.ways):
+                if tags[candidate] is None:
+                    way = candidate
+                    break
+            if way is None:
+                stamps = self._stamps[index]
+                way = 0
+                best = stamps[0]
+                for candidate in range(1, self.ways):
+                    if stamps[candidate] < best:
+                        best = stamps[candidate]
+                        way = candidate
+        else:
+            valid = [t is not None for t in tags]
+            way = self._policies[index].victim(valid)
         evicted = None
-        if tags[way] is not None:
+        old_tag = tags[way]
+        if old_tag is not None:
             stats.evictions += 1
             if self._dirty[index][way]:
                 stats.writebacks += 1
-            evicted_line = (tags[way] * self.num_sets + index) << self._line_shift
-            evicted = evicted_line
+            evicted = (old_tag * self.num_sets + index) << self._line_shift
+            del cmap[old_tag]
             if self._trace is not None:
                 self._trace.event("cache.evict", cache=self.name,
-                                  set=index, way=way, line=evicted_line)
+                                  set=index, way=way, line=evicted)
         tags[way] = tag
+        cmap[tag] = way
         self._dirty[index][way] = is_write
-        policy.on_access(way)
+        if self._lru:
+            clock = self._clocks[index] + 1
+            self._clocks[index] = clock
+            self._stamps[index][way] = clock
+        else:
+            self._policies[index].on_access(way)
         return False, evicted
 
     def probe(self, address):
         """Non-destructive presence check (no fill, no stats)."""
-        index, tag = self._index_tag(address)
-        return tag in self._tags[index]
+        line = address >> self._line_shift
+        return (line >> self._index_shift) in self._maps[line & self._set_mask]
 
     def invalidate(self, address):
         """clflush semantics: drop the line if present; True if it was."""
         index, tag = self._index_tag(address)
-        tags = self._tags[index]
         self.stats.flushes += 1
-        for way in range(self.ways):
-            if tags[way] == tag:
-                tags[way] = None
-                if self._dirty[index][way]:
-                    self.stats.writebacks += 1
-                    self._dirty[index][way] = False
-                self._policies[index].on_invalidate(way)
-                if self._trace is not None:
-                    self._trace.event("cache.flush", cache=self.name,
-                                      set=index, way=way,
-                                      line=self.line_address(address))
-                return True
-        return False
+        cmap = self._maps[index]
+        way = cmap.get(tag)
+        if way is None:
+            return False
+        self._tags[index][way] = None
+        del cmap[tag]
+        if self._dirty[index][way]:
+            self.stats.writebacks += 1
+            self._dirty[index][way] = False
+        if self._lru:
+            self._stamps[index][way] = 0
+        else:
+            self._policies[index].on_invalidate(way)
+        if self._trace is not None:
+            self._trace.event("cache.flush", cache=self.name,
+                              set=index, way=way,
+                              line=self.line_address(address))
+        return True
 
     def flush_all(self):
         """Invalidate every line (context switch cost model)."""
         for index in range(self.num_sets):
+            tags = self._tags[index]
+            dirty = self._dirty[index]
             for way in range(self.ways):
-                self._tags[index][way] = None
-                self._dirty[index][way] = False
+                tags[way] = None
+                dirty[way] = False
+            self._maps[index].clear()
 
     @property
     def occupancy(self):
         """Number of valid lines currently cached."""
-        return sum(
-            1
-            for tags in self._tags
-            for tag in tags
-            if tag is not None
-        )
+        return sum(len(cmap) for cmap in self._maps)
 
     def __repr__(self):
         return (

@@ -74,6 +74,12 @@ class CacheHierarchy:
         self.l2_stats = CacheStats()
         self.memory_reads = 0
         self.memory_writes = 0
+        #: precomputed per-level latency sums for the fast accessors
+        self._latencies = (
+            cfg.l1_latency,
+            cfg.l1_latency + cfg.l2_latency,
+            cfg.l1_latency + cfg.l2_latency + cfg.memory_latency,
+        )
         #: trace channel (see repro.obs); None keeps every path free of
         #: tracing work except a single check on the full-miss branches.
         self._trace = None
@@ -105,15 +111,21 @@ class CacheHierarchy:
         return hit
 
     # ---- accesses ------------------------------------------------------
-    def data_access(self, address, is_write=False):
-        """Access the data path; returns an :class:`AccessResult`."""
-        cfg = self.config
+    #
+    # The ``*_fast`` variants are the hot path: they return a bare
+    # ``(latency, level)`` tuple (level 1 = L1 hit, 2 = L2 hit,
+    # 3 = memory) instead of allocating an :class:`AccessResult`.  The
+    # public methods wrap them so every existing caller keeps its
+    # dataclass API; the interpreter loop calls the fast variants
+    # directly.
+    def data_access_fast(self, address, is_write=False):
+        """Data-path access; returns ``(latency, level)``."""
+        latencies = self._latencies
         l1_hit, _ = self.l1d.access(address, is_write)
         if l1_hit:
-            return AccessResult(cfg.l1_latency, True, False)
-        l2_hit = self._l2_access(address, is_write)
-        if l2_hit:
-            return AccessResult(cfg.l1_latency + cfg.l2_latency, False, True)
+            return latencies[0], 1
+        if self._l2_access(address, is_write):
+            return latencies[1], 2
         if is_write:
             self.memory_writes += 1
         else:
@@ -121,30 +133,31 @@ class CacheHierarchy:
         if self._trace is not None:
             self._trace.event("cache.miss", line=self.l2.line_address(address),
                               path="d", write=is_write)
-        return AccessResult(
-            cfg.l1_latency + cfg.l2_latency + cfg.memory_latency,
-            False,
-            False,
-        )
+        return latencies[2], 3
 
-    def instruction_access(self, address):
-        """Access the instruction path; returns an :class:`AccessResult`."""
-        cfg = self.config
+    def instruction_access_fast(self, address):
+        """Instruction-path access; returns ``(latency, level)``."""
+        latencies = self._latencies
         l1_hit, _ = self.l1i.access(address)
         if l1_hit:
-            return AccessResult(cfg.l1_latency, True, False)
-        l2_hit = self._l2_access(address, False)
-        if l2_hit:
-            return AccessResult(cfg.l1_latency + cfg.l2_latency, False, True)
+            return latencies[0], 1
+        if self._l2_access(address, False):
+            return latencies[1], 2
         self.memory_reads += 1
         if self._trace is not None:
             self._trace.event("cache.miss", line=self.l2.line_address(address),
                               path="i", write=False)
-        return AccessResult(
-            cfg.l1_latency + cfg.l2_latency + cfg.memory_latency,
-            False,
-            False,
-        )
+        return latencies[2], 3
+
+    def data_access(self, address, is_write=False):
+        """Access the data path; returns an :class:`AccessResult`."""
+        latency, level = self.data_access_fast(address, is_write)
+        return AccessResult(latency, level == 1, level == 2)
+
+    def instruction_access(self, address):
+        """Access the instruction path; returns an :class:`AccessResult`."""
+        latency, level = self.instruction_access_fast(address)
+        return AccessResult(latency, level == 1, level == 2)
 
     def flush_line(self, address):
         """``clflush``: evict the line from every level.

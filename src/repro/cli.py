@@ -100,6 +100,16 @@ def _add_exec(parser):
         help="print the sweep's cell plan (key, derived seed, "
              "dependencies, cached/pending) without executing it",
     )
+    parser.add_argument(
+        "--cell-cache", metavar="DIR", default=None,
+        help="content-addressed cell result cache root (default: "
+             "<ledger>/cellcache; disabled when the ledger is off "
+             "unless set explicitly)",
+    )
+    parser.add_argument(
+        "--no-cell-cache", action="store_true",
+        help="always compute cells, never replay memoized results",
+    )
 
 
 def _add_trace(parser):
@@ -473,6 +483,17 @@ def cmd_experiment(args):
         run_id = run_id_for(args.command, config)
         kwargs["timings"] = {}
 
+    cell_cache = None
+    if not getattr(args, "no_cell_cache", False):
+        cache_dir = getattr(args, "cell_cache", None)
+        if cache_dir is None and ledger_dir is not None:
+            cache_dir = os.path.join(ledger_dir, "cellcache")
+        if cache_dir is not None:
+            from repro.exec import CellCache
+
+            cell_cache = CellCache(cache_dir)
+            kwargs["cell_cache"] = cell_cache
+
     jobs = getattr(args, "jobs", 1) or 1
     if jobs > 1:
         from repro.exec import SweepProgress
@@ -481,6 +502,7 @@ def cmd_experiment(args):
         kwargs["jobs"] = jobs
         kwargs["progress"] = SweepProgress(
             args.command, total=sum(1 for _ in plan), jobs=jobs,
+            cell_cache=cell_cache,
         )
 
     import time
@@ -521,6 +543,12 @@ def cmd_experiment(args):
                 "started_at": round(started_at, 3),
                 "cells": {key: round(value, 6) for key, value
                           in kwargs["timings"].items()},
+                # Volatile by design: a warm (memoized) run and the
+                # cold run that fed it must still compare clean.
+                "cell_cache": (
+                    {"enabled": True, **cell_cache.stats()}
+                    if cell_cache is not None else {"enabled": False}
+                ),
             },
         )
         manifest_path = write_manifest(ledger_dir, manifest)

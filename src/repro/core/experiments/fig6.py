@@ -275,7 +275,7 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
              training_attack=240, attempt_samples=60, attempt_benign=15,
              audit_every=3, scenario=None, training=None, checkpoint=None,
              faults=None, jobs=1, progress=None, trace=None, traces=None,
-             timings=None):
+             timings=None, cell_cache=None):
     """Regenerate Figure 6.  Returns a :class:`Fig6Result`.
 
     ``audit_every``: every k-th attempt the defender's analysts audit
@@ -296,7 +296,7 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
     results = execute_plan(plan, store=store, statuses=statuses,
                            backend=backend_for(jobs), progress=progress,
                            trace=trace, traces=traces, metrics=metrics,
-                           timings=timings)
+                           timings=timings, cell_cache=cell_cache)
 
     phase_b_value = results.get("crspectre")
     if phase_b_value is None:

@@ -219,7 +219,7 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
                   training_benign=200, training_attack=120,
                   attempt_benign=15, scenario=None, checkpoint=None,
                   faults=None, jobs=1, progress=None, trace=None,
-                  traces=None, timings=None):
+                  traces=None, timings=None, cell_cache=None):
     """Run the adversarial-training ablation.
 
     For each K in *train_variant_counts*: train on benign + plain
@@ -240,7 +240,7 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
     results = execute_plan(plan, store=store, statuses=statuses,
                            backend=backend_for(jobs), progress=progress,
                            trace=trace, traces=traces, metrics=metrics,
-                           timings=timings)
+                           timings=timings, cell_cache=cell_cache)
     accuracy_by_k = {}
     for k in train_variant_counts:
         value = results.get(f"k/{k}")

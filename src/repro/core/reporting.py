@@ -99,17 +99,23 @@ def format_duration(seconds):
 
 
 def format_progress(experiment, done, total, key, status, elapsed,
-                    eta_seconds=None, metrics=None):
+                    eta_seconds=None, metrics=None, rate=None, cache=None):
     """One live sweep-progress line (``repro.exec`` cell completions).
 
     *metrics* (a pre-rendered ``cycles=… miss=…`` string) rides along
     when the sweep traces, so the stderr stream doubles as a coarse
-    per-cell cost profile.
+    per-cell cost profile.  *rate* is observed throughput in cells/s;
+    *cache* is a pre-rendered ``hits/lookups`` cell-cache ratio.
     """
     line = (f"[{experiment} {done}/{total}] {status:>6} {key} "
             f"({format_duration(elapsed)})")
     if metrics:
         line += f"  [{metrics}]"
+    if rate is not None:
+        line += f"  {rate:.0f} cells/s" if rate >= 10 \
+            else f"  {rate:.2f} cells/s"
+    if cache is not None:
+        line += f"  cache {cache}"
     if eta_seconds is not None and done < total:
         line += f"  eta ~{format_duration(eta_seconds)}"
     return line

@@ -18,6 +18,19 @@ A width-``issue_width`` superscalar is approximated by charging
 memory-hierarchy misses, branch mispredictions, fences, and long-latency
 arithmetic.  ``rdcycle`` exposes the cycle counter to software, which is
 what the covert channel's flush+reload timer reads.
+
+Interpreter layout
+------------------
+The decode cache stores flat ``(op, rd, rs1, rs2, imm)`` tuples with
+*op* a plain int, so dispatch compares ints and operand access is
+index-based — no dataclass or enum traffic per retired instruction.
+:meth:`Cpu.step` is the readable single-instruction reference;
+:meth:`Cpu.run` additionally has a *fast loop* that keeps the program
+counter, cycle count and fetch-locality state in locals and syncs them
+back on every exit path.  The fast loop is bit-exact with the step()
+loop — the differential test in ``tests/cpu/test_fast_loop.py`` pins
+that — and is only used when tracing is off (trace events must observe
+``self.cycles`` live, so traced runs take the step() loop).
 """
 
 import dataclasses
@@ -41,7 +54,25 @@ from repro.obs.tracer import current_tracer
 
 MASK32 = 0xFFFFFFFF
 
-_OP = Opcode  # local alias to shorten the dispatch code
+# Dispatch constants: plain ints.  ``Opcode`` members are IntEnum (int
+# comparisons work), but int literals keep the hot dispatch free of any
+# enum attribute traffic.  The assertion below pins every constant to
+# the ISA definition, so they cannot drift silently.
+_NOP, _HALT = 0x00, 0x01
+_ADD, _SUB, _MUL, _DIV, _MOD = 0x10, 0x11, 0x12, 0x13, 0x14
+_AND, _OR, _XOR, _SHL, _SHR, _SRA, _SLT, _SLTU = (
+    0x15, 0x16, 0x17, 0x18, 0x19, 0x1A, 0x1B, 0x1C)
+_ADDI, _MULI, _ANDI, _ORI, _XORI = 0x20, 0x21, 0x22, 0x23, 0x24
+_SHLI, _SHRI, _SRAI, _SLTI, _LI, _MOV = 0x25, 0x26, 0x27, 0x28, 0x29, 0x2A
+_LW, _LB, _SW, _SB, _PUSH, _POP = 0x30, 0x31, 0x32, 0x33, 0x34, 0x35
+_BEQ, _BNE, _BLT, _BGE, _BLTU, _BGEU = 0x40, 0x41, 0x42, 0x43, 0x44, 0x45
+_JMP, _JMPR, _CALL, _CALLR, _RET = 0x48, 0x49, 0x4A, 0x4B, 0x4C
+_SYSCALL, _CLFLUSH, _MFENCE, _RDCYCLE, _RDINSTRET = (
+    0x50, 0x51, 0x52, 0x53, 0x54)
+
+assert all(
+    globals()[f"_{member.name}"] == member.value for member in Opcode
+), "dispatch constants drifted from the ISA definition"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -78,79 +109,79 @@ def _truncdiv(numerator, denominator):
     return quotient
 
 
-def _alu_rrr(opcode, a, b):
+def _alu_rrr(op, a, b):
     """32-bit register-register ALU semantics."""
-    if opcode == _OP.ADD:
+    if op == _ADD:
         return (a + b) & MASK32
-    if opcode == _OP.SUB:
+    if op == _SUB:
         return (a - b) & MASK32
-    if opcode == _OP.MUL:
+    if op == _MUL:
         return (a * b) & MASK32
-    if opcode == _OP.DIV:
+    if op == _DIV:
         if b == 0:
             return MASK32
         return _truncdiv(to_signed(a), to_signed(b)) & MASK32
-    if opcode == _OP.MOD:
+    if op == _MOD:
         if b == 0:
             return a
         sa, sb = to_signed(a), to_signed(b)
         return (sa - sb * _truncdiv(sa, sb)) & MASK32
-    if opcode == _OP.AND:
+    if op == _AND:
         return a & b
-    if opcode == _OP.OR:
+    if op == _OR:
         return a | b
-    if opcode == _OP.XOR:
+    if op == _XOR:
         return a ^ b
-    if opcode == _OP.SHL:
+    if op == _SHL:
         return (a << (b & 31)) & MASK32
-    if opcode == _OP.SHR:
+    if op == _SHR:
         return a >> (b & 31)
-    if opcode == _OP.SRA:
+    if op == _SRA:
         return (to_signed(a) >> (b & 31)) & MASK32
-    if opcode == _OP.SLT:
+    if op == _SLT:
         return 1 if to_signed(a) < to_signed(b) else 0
-    if opcode == _OP.SLTU:
+    if op == _SLTU:
         return 1 if a < b else 0
-    raise AssertionError(f"not an RRR opcode: {opcode}")
+    raise AssertionError(f"not an RRR opcode: {op}")
 
 
-def _alu_rri(opcode, a, imm):
+def _alu_rri(op, a, imm):
     """32-bit register-immediate ALU semantics."""
-    if opcode == _OP.ADDI:
+    if op == _ADDI:
         return (a + imm) & MASK32
-    if opcode == _OP.MULI:
+    if op == _MULI:
         return (a * imm) & MASK32
-    if opcode == _OP.ANDI:
+    if op == _ANDI:
         return a & (imm & MASK32)
-    if opcode == _OP.ORI:
+    if op == _ORI:
         return a | (imm & MASK32)
-    if opcode == _OP.XORI:
+    if op == _XORI:
         return a ^ (imm & MASK32)
-    if opcode == _OP.SHLI:
+    if op == _SHLI:
         return (a << (imm & 31)) & MASK32
-    if opcode == _OP.SHRI:
+    if op == _SHRI:
         return a >> (imm & 31)
-    if opcode == _OP.SRAI:
+    if op == _SRAI:
         return (to_signed(a) >> (imm & 31)) & MASK32
-    if opcode == _OP.SLTI:
+    if op == _SLTI:
         return 1 if to_signed(a) < imm else 0
-    raise AssertionError(f"not an RRI opcode: {opcode}")
+    raise AssertionError(f"not an RRI opcode: {op}")
 
 
-def _branch_taken(opcode, a, b):
-    if opcode == _OP.BEQ:
+def _branch_taken(op, a, b):
+    if op == _BEQ:
         return a == b
-    if opcode == _OP.BNE:
+    if op == _BNE:
         return a != b
-    if opcode == _OP.BLT:
+    if op == _BLT:
         return to_signed(a) < to_signed(b)
-    if opcode == _OP.BGE:
+    if op == _BGE:
         return to_signed(a) >= to_signed(b)
-    if opcode == _OP.BLTU:
+    if op == _BLTU:
         return a < b
-    if opcode == _OP.BGEU:
+    if op == _BGEU:
         return a >= b
-    raise AssertionError(f"not a branch opcode: {opcode}")
+    raise AssertionError(f"not a branch opcode: {op}")
 
 
 class Cpu:
@@ -214,20 +245,32 @@ class Cpu:
             self.shadow_stack.reset()
         self.predictor.rsb.reset()
 
+    def _decode_entry(self, pc):
+        """Decode the instruction at *pc* into a flat dispatch tuple.
+
+        The decode cache stores ``(op, rd, rs1, rs2, imm)`` — *op* as a
+        plain int — so the interpreter never touches the Instruction
+        dataclass or the Opcode enum on the hot path.
+        """
+        blob = self.memory.fetch(pc, INSTRUCTION_SIZE)
+        try:
+            instruction = decode(blob)
+        except EncodingError as exc:
+            raise CpuFault(f"illegal instruction at {pc:#010x}: {exc}")
+        entry = (int(instruction.opcode), instruction.rd,
+                 instruction.rs1, instruction.rs2, instruction.imm)
+        self._decode_cache[pc] = entry
+        return entry
+
     def _fetch(self, pc):
-        instruction = self._decode_cache.get(pc)
-        if instruction is None:
-            blob = self.memory.fetch(pc, INSTRUCTION_SIZE)
-            try:
-                instruction = decode(blob)
-            except EncodingError as exc:
-                raise CpuFault(f"illegal instruction at {pc:#010x}: {exc}")
-            self._decode_cache[pc] = instruction
+        entry = self._decode_cache.get(pc)
+        if entry is None:
+            entry = self._decode_entry(pc)
         line = pc >> 6
         if line != self._last_iline:
             self._last_iline = line
-            result = self.caches.instruction_access(pc)
-            extra = result.latency - self._l1_latency
+            extra = (self.caches.instruction_access_fast(pc)[0]
+                     - self._l1_latency)
             if extra > 0:
                 self.cycles += extra
                 self.pmu.counters["memory_stall_cycles"] += extra
@@ -235,12 +278,12 @@ class Cpu:
         if page != self._last_ipage:
             self._last_ipage = page
             self.itlb.access(pc)
-        return instruction
+        return entry
 
     def _charge_data_access(self, address, is_write):
         self.dtlb.access(address)
-        result = self.caches.data_access(address, is_write)
-        extra = result.latency - self._l1_latency
+        extra = (self.caches.data_access_fast(address, is_write)[0]
+                 - self._l1_latency)
         if extra > 0:
             self.cycles += extra
             self.pmu.counters["memory_stall_cycles"] += extra
@@ -290,46 +333,53 @@ class Cpu:
         store_buffer = {}
         counters = self.pmu.counters
         memory = self.memory
-        caches = self.caches
+        dcache = self._decode_cache
+        data_fast = self.caches.data_access_fast
+        icache_fast = self.caches.instruction_access_fast
+        dtlb_access = self.dtlb.access
+        itlb_access = self.itlb.access
+        invisible = self.config.invisible_speculation
         pc = start_pc
         executed = 0
 
         for _ in range(self.config.spec_window):
-            try:
-                instruction = self._decode_cache.get(pc)
-                if instruction is None:
+            entry = dcache.get(pc)
+            if entry is None:
+                try:
                     blob = memory.fetch(pc, INSTRUCTION_SIZE)
                     instruction = decode(blob)
-                    self._decode_cache[pc] = instruction
-                # Wrong-path fetch fills the I-cache / ITLB too.
-                caches.instruction_access(pc)
-                self.itlb.access(pc)
-            except (MemoryFault, EncodingError):
-                break
+                except (MemoryFault, EncodingError):
+                    break
+                entry = (int(instruction.opcode), instruction.rd,
+                         instruction.rs1, instruction.rs2,
+                         instruction.imm)
+                dcache[pc] = entry
+            # Wrong-path fetch fills the I-cache / ITLB too.
+            icache_fast(pc)
+            itlb_access(pc)
 
             executed += 1
             counters["spec_instructions"] += 1
-            op = instruction.opcode
+            op, rd, rs1, rs2, imm = entry
             next_pc = (pc + INSTRUCTION_SIZE) & MASK32
 
-            if op == _OP.LW or op == _OP.LB:
-                address = (regs[instruction.rs1] + instruction.imm) & MASK32
+            if op == _LW or op == _LB:
+                address = (regs[rs1] + imm) & MASK32
                 counters["spec_loads"] += 1
-                if self.config.invisible_speculation:
+                if invisible:
                     # Serviced from the speculative buffer: data flows to
                     # the wrong path, but no cache line is installed.
                     pass
                 else:
-                    self.dtlb.access(address)
-                    result = caches.data_access(address, False)
-                    if not result.hit:
+                    dtlb_access(address)
+                    if data_fast(address, False)[1] == 3:
                         counters["spec_cache_fills"] += 1
-                key = (address, 4 if op == _OP.LW else 1)
+                key = (address, 4 if op == _LW else 1)
                 if key in store_buffer:
                     value = store_buffer[key]
                 else:
                     try:
-                        if op == _OP.LW:
+                        if op == _LW:
                             value = memory.load_word(address)
                         else:
                             value = memory.load_byte(address)
@@ -338,51 +388,46 @@ class Cpu:
                         # cache fill above already happened, as on real
                         # hardware with a physically-mapped probe array.
                         break
-                if instruction.rd != 0:
-                    regs[instruction.rd] = value & MASK32
-            elif op == _OP.SW or op == _OP.SB:
-                address = (regs[instruction.rs1] + instruction.imm) & MASK32
-                size = 4 if op == _OP.SW else 1
-                store_buffer[(address, size)] = regs[instruction.rs2] & (
+                if rd != 0:
+                    regs[rd] = value & MASK32
+            elif op == _SW or op == _SB:
+                address = (regs[rs1] + imm) & MASK32
+                size = 4 if op == _SW else 1
+                store_buffer[(address, size)] = regs[rs2] & (
                     MASK32 if size == 4 else 0xFF
                 )
-                self.dtlb.access(address)
-                caches.data_access(address, True)
-            elif _OP.ADD <= op <= _OP.SLTU:
-                if instruction.rd != 0:
-                    regs[instruction.rd] = _alu_rrr(
-                        op, regs[instruction.rs1], regs[instruction.rs2]
-                    )
-            elif _OP.ADDI <= op <= _OP.SLTI:
-                if instruction.rd != 0:
-                    regs[instruction.rd] = _alu_rri(
-                        op, regs[instruction.rs1], instruction.imm
-                    )
-            elif op == _OP.LI:
-                if instruction.rd != 0:
-                    regs[instruction.rd] = instruction.imm & MASK32
-            elif op == _OP.MOV:
-                if instruction.rd != 0:
-                    regs[instruction.rd] = regs[instruction.rs1]
-            elif _OP.BEQ <= op <= _OP.BGEU:
+                dtlb_access(address)
+                data_fast(address, True)
+            elif _ADD <= op <= _SLTU:
+                if rd != 0:
+                    regs[rd] = _alu_rrr(op, regs[rs1], regs[rs2])
+            elif _ADDI <= op <= _SLTI:
+                if rd != 0:
+                    regs[rd] = _alu_rri(op, regs[rs1], imm)
+            elif op == _LI:
+                if rd != 0:
+                    regs[rd] = imm & MASK32
+            elif op == _MOV:
+                if rd != 0:
+                    regs[rd] = regs[rs1]
+            elif _BEQ <= op <= _BGEU:
                 # Nested branches resolve immediately on the wrong path.
-                if _branch_taken(op, regs[instruction.rs1],
-                                 regs[instruction.rs2]):
-                    next_pc = (pc + instruction.imm) & MASK32
-            elif op == _OP.JMP:
-                next_pc = (pc + instruction.imm) & MASK32
-            elif op == _OP.JMPR:
-                next_pc = (regs[instruction.rs1] + instruction.imm) & MASK32
-            elif op == _OP.CALL or op == _OP.CALLR:
+                if _branch_taken(op, regs[rs1], regs[rs2]):
+                    next_pc = (pc + imm) & MASK32
+            elif op == _JMP:
+                next_pc = (pc + imm) & MASK32
+            elif op == _JMPR:
+                next_pc = (regs[rs1] + imm) & MASK32
+            elif op == _CALL or op == _CALLR:
                 return_address = next_pc
                 sp = (regs[13] - 4) & MASK32
                 regs[13] = sp
                 store_buffer[(sp, 4)] = return_address
-                if op == _OP.CALL:
-                    next_pc = (pc + instruction.imm) & MASK32
+                if op == _CALL:
+                    next_pc = (pc + imm) & MASK32
                 else:
-                    next_pc = (regs[instruction.rs1] + instruction.imm) & MASK32
-            elif op == _OP.RET:
+                    next_pc = (regs[rs1] + imm) & MASK32
+            elif op == _RET:
                 sp = regs[13]
                 key = (sp, 4)
                 if key in store_buffer:
@@ -394,12 +439,12 @@ class Cpu:
                         break
                 regs[13] = (sp + 4) & MASK32
                 next_pc = target & MASK32
-            elif op == _OP.PUSH:
+            elif op == _PUSH:
                 sp = (regs[13] - 4) & MASK32
                 regs[13] = sp
-                store_buffer[(sp, 4)] = regs[instruction.rs1]
-                caches.data_access(sp, True)
-            elif op == _OP.POP:
+                store_buffer[(sp, 4)] = regs[rs1]
+                data_fast(sp, True)
+            elif op == _POP:
                 sp = regs[13]
                 key = (sp, 4)
                 if key in store_buffer:
@@ -409,19 +454,17 @@ class Cpu:
                         value = memory.load_word(sp)
                     except MemoryFault:
                         break
-                caches.data_access(sp, False)
+                data_fast(sp, False)
                 regs[13] = (sp + 4) & MASK32
-                if instruction.rd != 0:
-                    regs[instruction.rd] = value
-            elif op == _OP.RDCYCLE:
-                if instruction.rd != 0:
-                    regs[instruction.rd] = int(self.cycles) & MASK32
-            elif op == _OP.RDINSTRET:
-                if instruction.rd != 0:
-                    regs[instruction.rd] = (
-                        self.pmu.counters["instructions"] & MASK32
-                    )
-            elif op == _OP.NOP:
+                if rd != 0:
+                    regs[rd] = value
+            elif op == _RDCYCLE:
+                if rd != 0:
+                    regs[rd] = int(self.cycles) & MASK32
+            elif op == _RDINSTRET:
+                if rd != 0:
+                    regs[rd] = counters["instructions"] & MASK32
+            elif op == _NOP:
                 pass
             else:
                 # HALT, SYSCALL, MFENCE, CLFLUSH: serialising — wrong-path
@@ -436,7 +479,12 @@ class Cpu:
     # architectural execution
     # ------------------------------------------------------------------
     def step(self):
-        """Execute one architectural instruction; returns False on halt."""
+        """Execute one architectural instruction; returns False on halt.
+
+        This is the single-instruction reference implementation; the
+        fast loop in :meth:`run` replicates it exactly (differential
+        test: ``tests/cpu/test_fast_loop.py``).
+        """
         state = self.state
         if state.halted:
             return False
@@ -444,91 +492,82 @@ class Cpu:
         counters = self.pmu.counters
         predictor = self.predictor
         pc = state.pc
-        instruction = self._fetch(pc)
-        op = instruction.opcode
+        op, rd, rs1, rs2, imm = self._fetch(pc)
         regs = state.regs
         next_pc = (pc + INSTRUCTION_SIZE) & MASK32
         self.cycles += self._base_cost
         counters["instructions"] += 1
 
-        if _OP.ADD <= op <= _OP.SLTU:
+        if _ADD <= op <= _SLTU:
             counters["alu_instructions"] += 1
-            if op in (_OP.MUL, _OP.DIV, _OP.MOD):
+            if _MUL <= op <= _MOD:
                 counters["mul_div_instructions"] += 1
                 self.cycles += (
-                    config.div_extra if op in (_OP.DIV, _OP.MOD)
-                    else config.mul_extra
+                    config.div_extra if op != _MUL else config.mul_extra
                 )
-            state.write_reg(
-                instruction.rd,
-                _alu_rrr(op, regs[instruction.rs1], regs[instruction.rs2]),
-            )
-        elif _OP.ADDI <= op <= _OP.SLTI:
+            state.write_reg(rd, _alu_rrr(op, regs[rs1], regs[rs2]))
+        elif _ADDI <= op <= _SLTI:
             counters["alu_instructions"] += 1
-            if op == _OP.MULI:
+            if op == _MULI:
                 counters["mul_div_instructions"] += 1
                 self.cycles += config.mul_extra
-            state.write_reg(
-                instruction.rd,
-                _alu_rri(op, regs[instruction.rs1], instruction.imm),
-            )
-        elif op == _OP.LI:
+            state.write_reg(rd, _alu_rri(op, regs[rs1], imm))
+        elif op == _LI:
             counters["alu_instructions"] += 1
-            state.write_reg(instruction.rd, instruction.imm & MASK32)
-        elif op == _OP.MOV:
+            state.write_reg(rd, imm & MASK32)
+        elif op == _MOV:
             counters["alu_instructions"] += 1
-            state.write_reg(instruction.rd, regs[instruction.rs1])
-        elif op == _OP.LW:
+            state.write_reg(rd, regs[rs1])
+        elif op == _LW:
             counters["load_instructions"] += 1
-            address = (regs[instruction.rs1] + instruction.imm) & MASK32
+            address = (regs[rs1] + imm) & MASK32
             value = self.memory.load_word(address)
             self._charge_data_access(address, False)
-            state.write_reg(instruction.rd, value)
-        elif op == _OP.LB:
+            state.write_reg(rd, value)
+        elif op == _LB:
             counters["load_instructions"] += 1
-            address = (regs[instruction.rs1] + instruction.imm) & MASK32
+            address = (regs[rs1] + imm) & MASK32
             value = self.memory.load_byte(address)
             self._charge_data_access(address, False)
-            state.write_reg(instruction.rd, value)
-        elif op == _OP.SW:
+            state.write_reg(rd, value)
+        elif op == _SW:
             counters["store_instructions"] += 1
-            address = (regs[instruction.rs1] + instruction.imm) & MASK32
-            self.memory.store_word(address, regs[instruction.rs2])
+            address = (regs[rs1] + imm) & MASK32
+            self.memory.store_word(address, regs[rs2])
             self._charge_data_access(address, True)
-        elif op == _OP.SB:
+        elif op == _SB:
             counters["store_instructions"] += 1
-            address = (regs[instruction.rs1] + instruction.imm) & MASK32
-            self.memory.store_byte(address, regs[instruction.rs2])
+            address = (regs[rs1] + imm) & MASK32
+            self.memory.store_byte(address, regs[rs2])
             self._charge_data_access(address, True)
-        elif op == _OP.PUSH:
+        elif op == _PUSH:
             counters["stack_instructions"] += 1
-            self._push_word(regs[instruction.rs1])
-        elif op == _OP.POP:
+            self._push_word(regs[rs1])
+        elif op == _POP:
             counters["stack_instructions"] += 1
-            state.write_reg(instruction.rd, self._pop_word())
-        elif _OP.BEQ <= op <= _OP.BGEU:
+            state.write_reg(rd, self._pop_word())
+        elif _BEQ <= op <= _BGEU:
             counters["branch_instructions"] += 1
             counters["cond_branch_instructions"] += 1
-            taken = _branch_taken(op, regs[instruction.rs1],
-                                  regs[instruction.rs2])
+            taken = _branch_taken(op, regs[rs1], regs[rs2])
             predicted = predictor.predict_conditional(pc)
             mispredicted = predictor.resolve_conditional(pc, predicted, taken)
             if taken:
                 counters["branches_taken"] += 1
-                next_pc = (pc + instruction.imm) & MASK32
+                next_pc = (pc + imm) & MASK32
             if mispredicted:
                 wrong_path = (
-                    (pc + instruction.imm) & MASK32 if predicted
+                    (pc + imm) & MASK32 if predicted
                     else (pc + INSTRUCTION_SIZE) & MASK32
                 )
                 self._mispredict(wrong_path)
-        elif op == _OP.JMP:
+        elif op == _JMP:
             counters["branch_instructions"] += 1
-            next_pc = (pc + instruction.imm) & MASK32
-        elif op == _OP.JMPR:
+            next_pc = (pc + imm) & MASK32
+        elif op == _JMPR:
             counters["branch_instructions"] += 1
             counters["indirect_jump_instructions"] += 1
-            target = (regs[instruction.rs1] + instruction.imm) & MASK32
+            target = (regs[rs1] + imm) & MASK32
             predicted = predictor.predict_indirect(pc)
             mispredicted = predictor.resolve_indirect(pc, predicted, target)
             if predicted is None:
@@ -536,7 +575,7 @@ class Cpu:
             elif mispredicted:
                 self._mispredict(predicted)
             next_pc = target
-        elif op == _OP.CALL:
+        elif op == _CALL:
             counters["branch_instructions"] += 1
             counters["call_instructions"] += 1
             return_address = next_pc
@@ -544,12 +583,12 @@ class Cpu:
             predictor.on_call(return_address)
             if self.shadow_stack is not None:
                 self.shadow_stack.on_call(return_address)
-            next_pc = (pc + instruction.imm) & MASK32
-        elif op == _OP.CALLR:
+            next_pc = (pc + imm) & MASK32
+        elif op == _CALLR:
             counters["branch_instructions"] += 1
             counters["call_instructions"] += 1
             counters["indirect_jump_instructions"] += 1
-            target = (regs[instruction.rs1] + instruction.imm) & MASK32
+            target = (regs[rs1] + imm) & MASK32
             predicted = predictor.predict_indirect(pc)
             mispredicted = predictor.resolve_indirect(pc, predicted, target)
             return_address = next_pc
@@ -562,7 +601,7 @@ class Cpu:
             elif mispredicted:
                 self._mispredict(predicted)
             next_pc = target
-        elif op == _OP.RET:
+        elif op == _RET:
             counters["branch_instructions"] += 1
             counters["ret_instructions"] += 1
             target = self._pop_word()
@@ -579,29 +618,27 @@ class Cpu:
             if mispredicted:
                 self._mispredict(predicted)
             next_pc = target
-        elif op == _OP.CLFLUSH:
+        elif op == _CLFLUSH:
             counters["clflush_instructions"] += 1
             if self.config.clflush_privileged and not self.kernel_mode:
                 raise PrivilegeFault(
                     "clflush is disabled for non-privileged code "
                     "(countermeasure active)"
                 )
-            address = (regs[instruction.rs1] + instruction.imm) & MASK32
+            address = (regs[rs1] + imm) & MASK32
             self.caches.flush_line(address)
             self.cycles += config.clflush_latency
-        elif op == _OP.MFENCE:
+        elif op == _MFENCE:
             counters["mfence_instructions"] += 1
             self.cycles += config.fence_latency
             counters["fence_stall_cycles"] += int(config.fence_latency)
-        elif op == _OP.RDCYCLE:
+        elif op == _RDCYCLE:
             counters["alu_instructions"] += 1
-            state.write_reg(instruction.rd, int(self.cycles) & MASK32)
-        elif op == _OP.RDINSTRET:
+            state.write_reg(rd, int(self.cycles) & MASK32)
+        elif op == _RDINSTRET:
             counters["alu_instructions"] += 1
-            state.write_reg(
-                instruction.rd, counters["instructions"] & MASK32
-            )
-        elif op == _OP.SYSCALL:
+            state.write_reg(rd, counters["instructions"] & MASK32)
+        elif op == _SYSCALL:
             counters["syscall_instructions"] += 1
             self.cycles += config.syscall_latency
             if self.syscall_handler is None:
@@ -609,13 +646,13 @@ class Cpu:
             state.pc = next_pc  # handlers (execve) may overwrite this
             self.syscall_handler(self)
             return not state.halted
-        elif op == _OP.NOP:
+        elif op == _NOP:
             pass
-        elif op == _OP.HALT:
+        elif op == _HALT:
             state.halted = True
             return False
         else:  # pragma: no cover - every opcode is handled above
-            raise CpuFault(f"unhandled opcode {op!r} at {pc:#010x}")
+            raise CpuFault(f"unhandled opcode {op:#04x} at {pc:#010x}")
 
         state.pc = next_pc
         return True
@@ -625,14 +662,12 @@ class Cpu:
     #: runaway chain is caught within one chunk of its budget.
     WATCHDOG_STRIDE = 1024
 
-    def run(self, max_instructions=None):
-        """Run until halt (or *max_instructions*); returns retired count.
+    def _run_traced(self, max_instructions=None):
+        """The step()-driven run loop (used whenever tracing is on).
 
-        When ``self.watchdog`` is set, the retired count is charged to it
-        in :data:`WATCHDOG_STRIDE` chunks; an exhausted budget raises
-        :class:`~repro.errors.BudgetExceededError` out of the loop — this
-        is what turns a never-halting injected chain into a typed error
-        instead of a hang.
+        Trace events sample ``self.cycles`` when they are emitted, so a
+        traced run must keep the architectural state live in the object
+        after every instruction — which is exactly what step() does.
         """
         executed = 0
         stride = self.WATCHDOG_STRIDE
@@ -644,6 +679,352 @@ class Cpu:
             executed += 1
             if watchdog is not None and executed % stride == 0:
                 watchdog.charge(stride)
+        if watchdog is not None and executed % stride:
+            watchdog.charge(executed % stride)
+        return executed
+
+    def run(self, max_instructions=None):
+        """Run until halt (or *max_instructions*); returns retired count.
+
+        When ``self.watchdog`` is set, the retired count is charged to it
+        in :data:`WATCHDOG_STRIDE` chunks; an exhausted budget raises
+        :class:`~repro.errors.BudgetExceededError` out of the loop — this
+        is what turns a never-halting injected chain into a typed error
+        instead of a hang.
+
+        Untraced runs (the default) execute in a loop that keeps the
+        hot interpreter state — pc, cycle count, fetch locality, the
+        register file — in locals, and dispatches on the decode cache's
+        int tuples.  All observable state (``self.cycles``,
+        ``state.pc``, PMU counters, caches, TLBs) is synchronised on
+        every path that leaves the loop: normal exit, faults, and
+        around every syscall (whose handler may remap the address space
+        and *replace* ``state.regs``, so the loop re-reads them after).
+        """
+        if self._tracer is not None:
+            return self._run_traced(max_instructions)
+
+        state = self.state
+        config = self.config
+        counters = self.pmu.counters
+        predictor = self.predictor
+        memory = self.memory
+        caches = self.caches
+        dcache_get = self._decode_cache.get
+        load_word = memory.load_word
+        load_byte = memory.load_byte
+        store_word = memory.store_word
+        store_byte = memory.store_byte
+        dtlb_access = self.dtlb.access
+        itlb_access = self.itlb.access
+        icache_fast = caches.instruction_access_fast
+        data_fast = caches.data_access_fast
+        predict_conditional = predictor.predict_conditional
+        resolve_conditional = predictor.resolve_conditional
+        predict_indirect = predictor.predict_indirect
+        resolve_indirect = predictor.resolve_indirect
+        on_call = predictor.on_call
+        shadow = self.shadow_stack
+        base_cost = self._base_cost
+        l1_latency = self._l1_latency
+        mul_extra = config.mul_extra
+        div_extra = config.div_extra
+        btb_miss_penalty = config.btb_miss_penalty
+        fence_latency = config.fence_latency
+        fence_stall = int(config.fence_latency)
+        clflush_latency = config.clflush_latency
+        syscall_latency = config.syscall_latency
+        clflush_privileged = config.clflush_privileged
+        size = INSTRUCTION_SIZE
+        watchdog = self.watchdog
+        stride = self.WATCHDOG_STRIDE
+        limit = -1 if max_instructions is None else max_instructions
+
+        regs = state.regs
+        pc = state.pc
+        cycles = self.cycles
+        last_iline = self._last_iline
+        last_ipage = self._last_ipage
+        halted = state.halted
+        executed = 0
+
+        try:
+            while not halted:
+                if executed == limit:
+                    break
+
+                entry = dcache_get(pc)
+                if entry is None:
+                    entry = self._decode_entry(pc)
+                line = pc >> 6
+                if line != last_iline:
+                    last_iline = line
+                    extra = icache_fast(pc)[0] - l1_latency
+                    if extra > 0:
+                        cycles += extra
+                        counters["memory_stall_cycles"] += extra
+                page = pc >> 12
+                if page != last_ipage:
+                    last_ipage = page
+                    itlb_access(pc)
+
+                op, rd, rs1, rs2, imm = entry
+                next_pc = (pc + size) & MASK32
+                cycles += base_cost
+                counters["instructions"] += 1
+
+                if _ADDI <= op <= _SLTI:
+                    counters["alu_instructions"] += 1
+                    if op == _ADDI:
+                        if rd:
+                            regs[rd] = (regs[rs1] + imm) & MASK32
+                    elif op == _MULI:
+                        counters["mul_div_instructions"] += 1
+                        cycles += mul_extra
+                        if rd:
+                            regs[rd] = (regs[rs1] * imm) & MASK32
+                    elif rd:
+                        regs[rd] = _alu_rri(op, regs[rs1], imm)
+                elif _ADD <= op <= _SLTU:
+                    counters["alu_instructions"] += 1
+                    if op == _ADD:
+                        if rd:
+                            regs[rd] = (regs[rs1] + regs[rs2]) & MASK32
+                    elif _MUL <= op <= _MOD:
+                        counters["mul_div_instructions"] += 1
+                        cycles += div_extra if op != _MUL else mul_extra
+                        if rd:
+                            regs[rd] = _alu_rrr(op, regs[rs1], regs[rs2])
+                    elif rd:
+                        regs[rd] = _alu_rrr(op, regs[rs1], regs[rs2])
+                elif op == _LI:
+                    counters["alu_instructions"] += 1
+                    if rd:
+                        regs[rd] = imm & MASK32
+                elif op == _MOV:
+                    counters["alu_instructions"] += 1
+                    if rd:
+                        regs[rd] = regs[rs1]
+                elif op == _LW or op == _LB:
+                    counters["load_instructions"] += 1
+                    address = (regs[rs1] + imm) & MASK32
+                    value = (load_word(address) if op == _LW
+                             else load_byte(address))
+                    dtlb_access(address)
+                    extra = data_fast(address, False)[0] - l1_latency
+                    if extra > 0:
+                        cycles += extra
+                        counters["memory_stall_cycles"] += extra
+                    if rd:
+                        regs[rd] = value & MASK32
+                elif op == _SW or op == _SB:
+                    counters["store_instructions"] += 1
+                    address = (regs[rs1] + imm) & MASK32
+                    if op == _SW:
+                        store_word(address, regs[rs2])
+                    else:
+                        store_byte(address, regs[rs2])
+                    dtlb_access(address)
+                    extra = data_fast(address, True)[0] - l1_latency
+                    if extra > 0:
+                        cycles += extra
+                        counters["memory_stall_cycles"] += extra
+                elif _BEQ <= op <= _BGEU:
+                    counters["branch_instructions"] += 1
+                    counters["cond_branch_instructions"] += 1
+                    a = regs[rs1]
+                    b = regs[rs2]
+                    if op == _BEQ:
+                        taken = a == b
+                    elif op == _BNE:
+                        taken = a != b
+                    else:
+                        taken = _branch_taken(op, a, b)
+                    predicted = predict_conditional(pc)
+                    mispredicted = resolve_conditional(pc, predicted, taken)
+                    if taken:
+                        counters["branches_taken"] += 1
+                        next_pc = (pc + imm) & MASK32
+                    if mispredicted:
+                        wrong_path = (
+                            (pc + imm) & MASK32 if predicted
+                            else (pc + size) & MASK32
+                        )
+                        self.cycles = cycles
+                        self._mispredict(wrong_path)
+                        cycles = self.cycles
+                elif op == _JMP:
+                    counters["branch_instructions"] += 1
+                    next_pc = (pc + imm) & MASK32
+                elif op == _JMPR:
+                    counters["branch_instructions"] += 1
+                    counters["indirect_jump_instructions"] += 1
+                    target = (regs[rs1] + imm) & MASK32
+                    predicted = predict_indirect(pc)
+                    mispredicted = resolve_indirect(pc, predicted, target)
+                    if predicted is None:
+                        cycles += btb_miss_penalty
+                    elif mispredicted:
+                        self.cycles = cycles
+                        self._mispredict(predicted)
+                        cycles = self.cycles
+                    next_pc = target
+                elif op == _PUSH:
+                    counters["stack_instructions"] += 1
+                    sp = (regs[13] - 4) & MASK32
+                    regs[13] = sp
+                    store_word(sp, regs[rs1])
+                    dtlb_access(sp)
+                    extra = data_fast(sp, True)[0] - l1_latency
+                    if extra > 0:
+                        cycles += extra
+                        counters["memory_stall_cycles"] += extra
+                elif op == _POP:
+                    counters["stack_instructions"] += 1
+                    sp = regs[13]
+                    value = load_word(sp)
+                    dtlb_access(sp)
+                    extra = data_fast(sp, False)[0] - l1_latency
+                    if extra > 0:
+                        cycles += extra
+                        counters["memory_stall_cycles"] += extra
+                    regs[13] = (sp + 4) & MASK32
+                    if rd:
+                        regs[rd] = value & MASK32
+                elif op == _CALL:
+                    counters["branch_instructions"] += 1
+                    counters["call_instructions"] += 1
+                    return_address = next_pc
+                    sp = (regs[13] - 4) & MASK32
+                    regs[13] = sp
+                    store_word(sp, return_address)
+                    dtlb_access(sp)
+                    extra = data_fast(sp, True)[0] - l1_latency
+                    if extra > 0:
+                        cycles += extra
+                        counters["memory_stall_cycles"] += extra
+                    on_call(return_address)
+                    if shadow is not None:
+                        shadow.on_call(return_address)
+                    next_pc = (pc + imm) & MASK32
+                elif op == _CALLR:
+                    counters["branch_instructions"] += 1
+                    counters["call_instructions"] += 1
+                    counters["indirect_jump_instructions"] += 1
+                    target = (regs[rs1] + imm) & MASK32
+                    predicted = predict_indirect(pc)
+                    mispredicted = resolve_indirect(pc, predicted, target)
+                    return_address = next_pc
+                    sp = (regs[13] - 4) & MASK32
+                    regs[13] = sp
+                    store_word(sp, return_address)
+                    dtlb_access(sp)
+                    extra = data_fast(sp, True)[0] - l1_latency
+                    if extra > 0:
+                        cycles += extra
+                        counters["memory_stall_cycles"] += extra
+                    on_call(return_address)
+                    if shadow is not None:
+                        shadow.on_call(return_address)
+                    if predicted is None:
+                        cycles += btb_miss_penalty
+                    elif mispredicted:
+                        self.cycles = cycles
+                        self._mispredict(predicted)
+                        cycles = self.cycles
+                    next_pc = target
+                elif op == _RET:
+                    counters["branch_instructions"] += 1
+                    counters["ret_instructions"] += 1
+                    sp = regs[13]
+                    target = load_word(sp)
+                    dtlb_access(sp)
+                    extra = data_fast(sp, False)[0] - l1_latency
+                    if extra > 0:
+                        cycles += extra
+                        counters["memory_stall_cycles"] += extra
+                    regs[13] = (sp + 4) & MASK32
+                    if shadow is not None:
+                        shadow.on_return(target)
+                    predicted = predictor.predict_return()
+                    mispredicted = predictor.resolve_return(predicted, target)
+                    if mispredicted:
+                        self.cycles = cycles
+                        self._mispredict(predicted)
+                        cycles = self.cycles
+                    next_pc = target
+                elif op == _CLFLUSH:
+                    counters["clflush_instructions"] += 1
+                    if clflush_privileged and not self.kernel_mode:
+                        raise PrivilegeFault(
+                            "clflush is disabled for non-privileged code "
+                            "(countermeasure active)"
+                        )
+                    address = (regs[rs1] + imm) & MASK32
+                    caches.flush_line(address)
+                    cycles += clflush_latency
+                elif op == _MFENCE:
+                    counters["mfence_instructions"] += 1
+                    cycles += fence_latency
+                    counters["fence_stall_cycles"] += fence_stall
+                elif op == _RDCYCLE:
+                    counters["alu_instructions"] += 1
+                    if rd:
+                        regs[rd] = int(cycles) & MASK32
+                elif op == _RDINSTRET:
+                    counters["alu_instructions"] += 1
+                    if rd:
+                        regs[rd] = counters["instructions"] & MASK32
+                elif op == _SYSCALL:
+                    counters["syscall_instructions"] += 1
+                    cycles += syscall_latency
+                    handler = self.syscall_handler
+                    if handler is None:
+                        raise CpuFault(
+                            f"syscall at {pc:#010x} with no handler"
+                        )
+                    # Sync the architectural state the handler sees —
+                    # then reload everything it may have changed.
+                    # ``execve`` remaps memory, flushes the decode/TLB
+                    # state and installs a *new* regs list.
+                    pc = next_pc
+                    state.pc = pc
+                    self.cycles = cycles
+                    self._last_iline = last_iline
+                    self._last_ipage = last_ipage
+                    handler(self)
+                    regs = state.regs
+                    pc = state.pc
+                    cycles = self.cycles
+                    last_iline = self._last_iline
+                    last_ipage = self._last_ipage
+                    halted = state.halted
+                    executed += 1
+                    if watchdog is not None and executed % stride == 0:
+                        watchdog.charge(stride)
+                    continue
+                elif op == _NOP:
+                    pass
+                elif op == _HALT:
+                    state.halted = True
+                    halted = True
+                    next_pc = pc
+                else:  # pragma: no cover - every opcode is handled above
+                    raise CpuFault(f"unhandled opcode {op:#04x} at {pc:#010x}")
+
+                pc = next_pc
+                executed += 1
+                if watchdog is not None and executed % stride == 0:
+                    watchdog.charge(stride)
+        finally:
+            # Every exit path — normal, halt, budget exhaustion, CPU or
+            # memory fault — leaves the object bit-identical to what the
+            # step() loop would have left.
+            state.pc = pc
+            self.cycles = cycles
+            self._last_iline = last_iline
+            self._last_ipage = last_ipage
+
         if watchdog is not None and executed % stride:
             watchdog.charge(executed % stride)
         return executed

@@ -16,7 +16,9 @@ from repro.exec.backends import (
     SerialBackend,
     invoke_cell,
 )
+from repro.exec.cellcache import CellCache
 from repro.exec.plan import Cell, SweepPlan
+from repro.exec.pool import shutdown_pools, warmup
 from repro.exec.progress import SweepProgress
 from repro.exec.runner import (
     TRACED_VALUE,
@@ -29,6 +31,7 @@ from repro.exec.seeds import derive_seed, stable_hash
 
 __all__ = [
     "Cell",
+    "CellCache",
     "CellExecutionError",
     "ProcessPoolBackend",
     "SerialBackend",
@@ -40,7 +43,9 @@ __all__ = [
     "execute_plan",
     "invoke_cell",
     "open_store",
+    "shutdown_pools",
     "stable_hash",
+    "warmup",
 ]
 
 

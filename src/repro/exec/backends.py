@@ -3,8 +3,9 @@
 ``SerialBackend`` runs cells in declaration order in the driver process
 — the zero-dependency fallback, and the reference a parallel run must
 match byte-for-byte.  ``ProcessPoolBackend`` fans a wave's cells out
-over a spawn-based process pool with a bounded number of in-flight
-cells; a crashed worker surfaces as a typed transient
+over the warm spawn-based pool in :mod:`repro.exec.pool`, batching
+cells per IPC round-trip with a bounded number of in-flight batches;
+a crashed worker surfaces as a typed transient
 :class:`~repro.errors.WorkerCrashError` (absorbed into a partial report
 by the same machinery that absorbs injected faults), never as a hung
 pool.
@@ -95,50 +96,66 @@ class SerialBackend:
 
 
 class ProcessPoolBackend:
-    """Fan cells out over ``jobs`` spawn-safe worker processes.
+    """Fan cells out over ``jobs`` warm, spawn-safe worker processes.
 
-    ``spawn`` (not ``fork``) so workers start from a clean interpreter —
-    no inherited locks, no shared numpy state — and behave identically
-    on every platform.  At most ``2 * jobs`` cells are in flight at
-    once, so a thousand-cell wave never materialises a thousand pickled
-    payloads.  A worker that dies mid-cell (segfault, OOM-kill,
-    ``os._exit``) breaks the pool: the pool is rebuilt and the affected
-    cells retried up to ``crash_retries`` times, after which they yield
-    a recoverable-error outcome.
+    Workers come from the module-shared pool in :mod:`repro.exec.pool`:
+    they import ``repro`` once and are reused across waves, plans and
+    experiments — ``close()`` is deliberately a no-op, so back-to-back
+    ``execute_plan`` calls never pay spawn cost twice.  A wave's cells
+    are partitioned into contiguous batches in declaration order (one
+    pickle and one IPC round-trip per batch, not per cell); at most
+    ``2 * jobs`` batches are in flight at once, so a thousand-cell wave
+    never materialises a thousand pickled payloads.
+
+    A worker that dies mid-batch (segfault, OOM-kill, ``os._exit``)
+    breaks the pool: the pool is rebuilt and the batch's cells retried
+    as singletons to isolate the crasher — healthy batchmates re-run
+    uncharged, the crashing cell is charged up to ``crash_retries``
+    attempts before yielding a recoverable-error outcome.
     """
 
     concurrent = True
 
-    def __init__(self, jobs, crash_retries=2):
+    def __init__(self, jobs, crash_retries=2, batch_size=None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.jobs = jobs
         self.crash_retries = crash_retries
-        self._executor = None
+        self.batch_size = batch_size
 
     def _pool(self):
-        if self._executor is None:
-            import multiprocessing
-            from concurrent.futures import ProcessPoolExecutor
+        from repro.exec.pool import shared_pool
 
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                mp_context=multiprocessing.get_context("spawn"),
-            )
-        return self._executor
+        return shared_pool(self.jobs)
 
     def _discard_pool(self):
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+        from repro.exec.pool import discard_pool
+
+        discard_pool(self.jobs)
 
     def close(self):
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """No-op: the shared pool stays warm for the next plan.
+
+        ``repro.exec.pool.shutdown_pools`` reaps it at interpreter
+        exit (or explicitly, in tests)."""
+
+    def _partition(self, jobs):
+        """Split a wave into contiguous declaration-order batches.
+
+        Auto sizing targets ``2 * jobs`` batches per wave: enough
+        slack for load balancing when cell durations vary, while a
+        14-cell ``--jobs 2`` wave still needs only 4 round-trips
+        instead of 14.
+        """
+        size = self.batch_size
+        if size is None:
+            size = max(1, -(-len(jobs) // (2 * self.jobs)))
+        return [jobs[i:i + size] for i in range(0, len(jobs), size)]
 
     def run_wave(self, jobs):
-        """Yield ``(key, outcome)`` as cells complete (arrival order).
+        """Yield ``(key, outcome)`` as batches complete (arrival order).
 
         The caller must not depend on the order — the runner reorders
         statuses and results into declaration order afterwards.
@@ -146,32 +163,41 @@ class ProcessPoolBackend:
         from concurrent.futures import FIRST_COMPLETED, wait
         from concurrent.futures.process import BrokenProcessPool
 
-        queue = list(jobs)
+        from repro.exec.pool import invoke_batch
+
+        jobs = list(jobs)
+        if not jobs:
+            return
+        queue = self._partition(jobs)
         crashes = {}
         in_flight = {}
         window = 2 * self.jobs
 
         def submit_next():
             while queue and len(in_flight) < window:
-                job = queue.pop(0)
-                key, fn, kwargs, faults_kw, *rest = job
-                trace = rest[0] if rest else None
-                future = self._pool().submit(
-                    invoke_cell, fn, kwargs, faults_kw, trace
-                )
-                in_flight[future] = job
+                batch = queue.pop(0)
+                future = self._pool().submit(invoke_batch, batch)
+                in_flight[future] = batch
 
         submit_next()
         while in_flight:
             done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
             broken = False
             for future in done:
-                job = in_flight.pop(future)
-                key = job[0]
+                batch = in_flight.pop(future)
                 try:
-                    yield key, future.result()
+                    for key, outcome in future.result():
+                        yield key, outcome
                 except BrokenProcessPool:
                     broken = True
+                    if len(batch) > 1:
+                        # Any cell in the batch may be the crasher;
+                        # retry them one per batch, uncharged, so the
+                        # next break names exactly one suspect.
+                        for job in reversed(batch):
+                            queue.insert(0, [job])
+                        continue
+                    key = batch[0][0]
                     crashes[key] = crashes.get(key, 0) + 1
                     if crashes[key] > self.crash_retries:
                         chain = error_chain(WorkerCrashError(
@@ -184,13 +210,13 @@ class ProcessPoolBackend:
                             "type": WorkerCrashError.__name__,
                         }
                     else:
-                        queue.insert(0, job)
+                        queue.insert(0, batch)
             if broken:
-                # Every other in-flight future is poisoned too; retry
+                # Every other in-flight batch is poisoned too; retry
                 # those cells on a fresh pool without charging them a
                 # crash (their worker may have been healthy).
-                for future, job in in_flight.items():
-                    queue.insert(0, job)
+                for future, batch in in_flight.items():
+                    queue.insert(0, batch)
                 in_flight.clear()
                 self._discard_pool()
             submit_next()

@@ -1,0 +1,167 @@
+"""Content-addressed cell memoization: never compute the same cell twice.
+
+fig5 re-plans its sweep per attempt and CI re-runs the same quick
+profiles on every push, so the same (experiment, cell, seed, resolved
+kwargs) tuple is computed over and over.  :class:`CellCache` keys a
+cell's *result* by a sha256 digest of everything that determines it —
+the same canonical-JSON hashing discipline the seed derivation and the
+run ledger already use — and stores the value (plus its trace/metrics
+envelope when tracing) under a two-level fan-out directory, one file
+per cell.
+
+Unlike a :class:`~repro.core.resilience.CheckpointStore`, which scopes
+replay to one sweep via a meta fingerprint, the cache is shared across
+runs and experiments: any cell whose digest matches is a hit, whether
+it was computed by a cold ``repro fig5`` an hour ago or by a CI job's
+previous step.  Safety comes from the digest (any knob, dep value,
+seed, code identity or trace-config change produces a different key)
+plus a stored *value digest* that is re-verified on every read — a
+corrupted or tampered entry is detected and recomputed, never trusted.
+
+What is deliberately *not* cached: cells of fault-armed plans (their
+outcome depends on injector state, which is the point of injecting
+faults), local cells (they close over live driver state), and cells
+whose kwargs do not survive canonical JSON (no stable identity, no
+cache).
+"""
+
+import hashlib
+import json
+import os
+
+from repro.atomicio import atomic_write_json
+
+#: Schema tag stored in every entry; bump to invalidate the world.
+CACHE_FORMAT = "repro-cellcache/1"
+
+
+def _canonical(obj):
+    """Canonical JSON bytes: the hashing discipline used everywhere."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _fn_identity(fn):
+    """A cell body's stable name; code moves → digests change → miss."""
+    return f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
+
+
+class CellCache:
+    """Content-addressed store of computed cell values.
+
+    Counters (``hits``/``misses``/``puts``/``poisoned``) accumulate
+    across every plan executed with this instance; the CLI surfaces
+    them on the progress line and in the manifest's volatile timing
+    section (wall-clock-adjacent bookkeeping — a warm run and a cold
+    run must still compare byte-identical).
+    """
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.poisoned = 0
+
+    # -- keying ---------------------------------------------------------
+
+    def digest(self, experiment, key, seed, fn, kwargs, trace=None):
+        """Digest of everything that determines a cell's value.
+
+        Returns ``None`` (uncacheable) when *kwargs* will not
+        canonicalise — an injector object, a live scenario — because a
+        key that silently dropped a kwarg would alias distinct cells.
+        The trace config joins the material for the same reason traced
+        and untraced checkpoints are incompatible: a traced entry
+        carries an envelope an untraced run has no use for.
+        """
+        material = {
+            "format": CACHE_FORMAT,
+            "experiment": experiment,
+            "key": key,
+            "seed": seed,
+            "fn": _fn_identity(fn),
+            "kwargs": kwargs,
+        }
+        if trace is not None:
+            material["trace"] = {
+                "categories": (None if trace.categories is None
+                               else sorted(trace.categories)),
+                "max_records": trace.max_records,
+            }
+        try:
+            return hashlib.sha256(_canonical(material)).hexdigest()
+        except (TypeError, ValueError):
+            return None
+
+    def _path(self, digest):
+        return os.path.join(self.root, digest[:2], f"{digest}.json")
+
+    # -- read/write -----------------------------------------------------
+
+    def lookup(self, digest):
+        """Return ``(value, trace, metrics)`` for a verified hit, else
+        ``None``.
+
+        The stored payload's sha256 is recomputed and checked against
+        the recorded ``value_digest``: a mismatch (bit rot, a truncated
+        or hand-edited file, a poisoning attempt) counts as
+        ``poisoned``, the entry is discarded, and the caller recomputes.
+        """
+        if digest is None:
+            return None
+        path = self._path(digest)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        payload = entry.get("payload")
+        expected = entry.get("value_digest")
+        if (entry.get("format") != CACHE_FORMAT or expected is None
+                or hashlib.sha256(_canonical(payload)).hexdigest() != expected):
+            self.poisoned += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload["value"], payload.get("trace"), payload.get("metrics")
+
+    def store(self, digest, experiment, key, value,
+              trace=None, metrics=None):
+        """Persist a freshly computed cell value under *digest*.
+
+        Atomic (temp + rename), so a killed run never leaves a
+        half-written entry — and a half-written entry would fail the
+        value-digest check anyway.
+        """
+        if digest is None:
+            return
+        payload = {"value": value}
+        if trace is not None:
+            payload["trace"] = trace
+            payload["metrics"] = metrics
+        entry = {
+            "format": CACHE_FORMAT,
+            "experiment": experiment,
+            "key": key,
+            "payload": payload,
+            "value_digest": hashlib.sha256(_canonical(payload)).hexdigest(),
+        }
+        path = self._path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write_json(path, entry)
+        self.puts += 1
+
+    # -- reporting ------------------------------------------------------
+
+    def stats(self):
+        """Counters for the manifest's volatile timing section."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "poisoned": self.poisoned,
+        }

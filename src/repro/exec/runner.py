@@ -102,7 +102,7 @@ def _unwrap(stored):
 
 def execute_plan(plan, store=None, statuses=None, backend=None,
                  progress=None, trace=None, traces=None, metrics=None,
-                 timings=None):
+                 timings=None, cell_cache=None):
     """Run every cell of *plan*; returns ``{cell key: value-or-None}``.
 
     *statuses* (dict) receives ``key -> {"status": ..., "error": ...}``
@@ -124,6 +124,16 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
     cell (0.0 for checkpoint replays).  Wall clock is *not* part of the
     determinism contract — the run ledger keeps it in the manifest's
     volatile section.
+
+    *cell_cache* (a :class:`~repro.exec.cellcache.CellCache`) memoizes
+    cell values across runs: a cell whose content digest is already in
+    the cache is replayed (status ``cached``, like a checkpoint hit)
+    instead of computed, and freshly computed values are stored for
+    the next run.  Replayed and computed cells are indistinguishable
+    downstream — same round-tripped value, same checkpoint bytes, same
+    trace records — so a warm run compares byte-identical to the cold
+    run that populated the cache.  Fault-armed plans bypass the cache
+    entirely.
     """
     backend = backend or SerialBackend()
     if plan.has_local_cells and backend.concurrent:
@@ -138,7 +148,9 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
     cell_traces = {}
     cell_metrics = {}
     cell_elapsed = {}
+    digests = {}
     tracing = trace is not None
+    memoizing = cell_cache is not None and plan.faults is None
 
     def persist(key, payload):
         if store is None:
@@ -183,6 +195,29 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
                     kwargs[kwarg] = results[dep_key]
                 if cell.seed_kw is not None:
                     kwargs.setdefault(cell.seed_kw, cell.seed)
+                if memoizing and cell.persist and not cell.local:
+                    digest = cell_cache.digest(
+                        plan.experiment, cell.key, cell.seed, cell.fn,
+                        kwargs, trace
+                    )
+                    memo = cell_cache.lookup(digest)
+                    if memo is not None:
+                        value, memo_trace, memo_metrics = memo
+                        results[cell.key] = value
+                        if tracing:
+                            cell_traces[cell.key] = memo_trace
+                            cell_metrics[cell.key] = memo_metrics
+                            persist(cell.key, _wrap_traced(
+                                value, memo_trace, memo_metrics
+                            ))
+                        else:
+                            persist(cell.key, value)
+                        recorded[cell.key] = {"status": CELL_CACHED}
+                        cell_elapsed[cell.key] = 0.0
+                        note(cell.key, CELL_CACHED, 0.0,
+                             memo_metrics if tracing else None)
+                        continue
+                    digests[cell.key] = digest
                 if cell.faults_kw is not None and plan.faults is not None:
                     kwargs.setdefault(
                         cell.faults_kw, plan.faults.derive(cell.seed)
@@ -216,6 +251,12 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
                             ))
                         else:
                             persist(key, value)
+                    if digests.get(key) is not None:
+                        cell_cache.store(
+                            digests[key], plan.experiment, key, value,
+                            trace=cell_traces.get(key) if tracing else None,
+                            metrics=snapshot if tracing else None,
+                        )
                 elif outcome["recoverable"]:
                     results[key] = None
                     recorded[key] = {

@@ -80,15 +80,15 @@ class MlpClassifier(BaseClassifier):
                         delta = delta @ weights[layer].T
                         delta *= (activations[layer] > 0.0)
 
+                # In-place momentum update: elementwise multiply then
+                # subtract, the same float ops in the same order as
+                # ``v = m*v - lr*g`` — bit-identical results, two fewer
+                # array allocations per layer per batch.
                 for layer in range(len(weights)):
-                    vel_w[layer] = (
-                        self.momentum * vel_w[layer]
-                        - self.learning_rate * grads_w[layer]
-                    )
-                    vel_b[layer] = (
-                        self.momentum * vel_b[layer]
-                        - self.learning_rate * grads_b[layer]
-                    )
+                    vel_w[layer] *= self.momentum
+                    vel_w[layer] -= self.learning_rate * grads_w[layer]
+                    vel_b[layer] *= self.momentum
+                    vel_b[layer] -= self.learning_rate * grads_b[layer]
                     weights[layer] += vel_w[layer]
                     biases[layer] += vel_b[layer]
 

@@ -19,18 +19,28 @@ class Tlb:
             raise ValueError("TLB needs at least one entry")
         self.entries = entries
         self._pages = OrderedDict()
+        #: most-recently-touched page: consecutive accesses to one page
+        #: (the overwhelmingly common case for the data stream) skip the
+        #: OrderedDict reorder entirely.  The MRU page can never be the
+        #: LRU eviction victim, so the shortcut cannot change contents.
+        self._last_page = -1
         self.hits = 0
         self.misses = 0
 
     def access(self, address):
         """Touch the page of *address*; returns True on a TLB hit."""
         page = address >> PAGE_SHIFT
+        if page == self._last_page:
+            self.hits += 1
+            return True
         if page in self._pages:
             self._pages.move_to_end(page)
+            self._last_page = page
             self.hits += 1
             return True
         self.misses += 1
         self._pages[page] = True
+        self._last_page = page
         if len(self._pages) > self.entries:
             self._pages.popitem(last=False)
         return False
@@ -38,6 +48,7 @@ class Tlb:
     def flush(self):
         """Drop all entries (context switch / execve)."""
         self._pages.clear()
+        self._last_page = -1
 
     @property
     def occupancy(self):

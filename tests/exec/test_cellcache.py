@@ -1,0 +1,145 @@
+"""Cell memoization: content-addressed hits, misses, and poison handling.
+
+The cache's safety argument has two legs — the *key* digest (any change
+to experiment, cell identity, seed, resolved kwargs or trace config
+produces a different key) and the *value* digest (a stored entry is
+re-verified on every read, so corruption is detected and recomputed,
+never trusted).  Both are pinned here, including end-to-end through
+:func:`execute_plan`.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.exec import CellCache, SweepPlan, execute_plan
+
+from tests.exec.cells import seeded_value, summed
+
+
+def _plan():
+    plan = SweepPlan("toy", root_seed=7)
+    plan.add("a", seeded_value, kwargs={"tag": "a"})
+    plan.add("b", summed, kwargs={"factor": 2}, deps={"values": "a"})
+    return plan
+
+
+def _entry_files(cache):
+    found = []
+    for root, _dirs, files in os.walk(cache.root):
+        found.extend(os.path.join(root, name) for name in files)
+    return found
+
+
+class TestDigest:
+    def test_stable_for_identical_material(self, tmp_path):
+        cache = CellCache(tmp_path)
+        args = ("toy", "a", 123, seeded_value, {"tag": "a"})
+        assert cache.digest(*args) == cache.digest(*args)
+
+    @pytest.mark.parametrize("mutation", [
+        {"experiment": "toy2"},
+        {"key": "a2"},
+        {"seed": 124},
+        {"fn": summed},
+        {"kwargs": {"tag": "b"}},
+    ])
+    def test_any_identity_change_changes_digest(self, tmp_path, mutation):
+        cache = CellCache(tmp_path)
+        base = dict(experiment="toy", key="a", seed=123,
+                    fn=seeded_value, kwargs={"tag": "a"})
+        baseline = cache.digest(**base)
+        assert cache.digest(**{**base, **mutation}) != baseline
+
+    def test_unserialisable_kwargs_are_uncacheable(self, tmp_path):
+        cache = CellCache(tmp_path)
+        digest = cache.digest("toy", "a", 1, seeded_value,
+                              {"scenario": object()})
+        assert digest is None
+        assert cache.lookup(digest) is None
+        cache.store(digest, "toy", "a", {"x": 1})  # silently skipped
+        assert not _entry_files(cache)
+
+
+class TestRoundTrip:
+    def test_store_then_lookup(self, tmp_path):
+        cache = CellCache(tmp_path)
+        digest = cache.digest("toy", "a", 1, seeded_value, {"tag": "a"})
+        assert cache.lookup(digest) is None  # cold
+        cache.store(digest, "toy", "a", {"x": 1}, trace=[{"e": 1}],
+                    metrics={"m": 2})
+        assert cache.lookup(digest) == ({"x": 1}, [{"e": 1}], {"m": 2})
+        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1,
+                                 "poisoned": 0}
+
+    def test_poisoned_entry_detected_and_discarded(self, tmp_path):
+        cache = CellCache(tmp_path)
+        digest = cache.digest("toy", "a", 1, seeded_value, {"tag": "a"})
+        cache.store(digest, "toy", "a", {"x": 1})
+        [path] = _entry_files(cache)
+        entry = json.load(open(path))
+        entry["payload"]["value"] = {"x": 999}  # tamper with the value
+        with open(path, "w") as handle:
+            json.dump(entry, handle)
+
+        assert cache.lookup(digest) is None
+        assert cache.poisoned == 1
+        assert not os.path.exists(path)  # discarded, not retried forever
+
+
+class TestExecutePlanMemoization:
+    def test_second_run_is_all_hits_with_identical_results(self, tmp_path):
+        cache = CellCache(tmp_path / "cc")
+        cold_status = {}
+        cold = execute_plan(_plan(), statuses=cold_status, cell_cache=cache)
+        assert cache.stats() == {"hits": 0, "misses": 2, "puts": 2,
+                                 "poisoned": 0}
+
+        warm_cache = CellCache(tmp_path / "cc")
+        warm_status = {}
+        warm = execute_plan(_plan(), statuses=warm_status,
+                            cell_cache=warm_cache)
+        assert warm == cold
+        assert warm_cache.stats() == {"hits": 2, "misses": 0, "puts": 0,
+                                      "poisoned": 0}
+        assert {k: v["status"] for k, v in warm_status.items()} == \
+            {"a": "cached", "b": "cached"}
+        assert {k: v["status"] for k, v in cold_status.items()} == \
+            {"a": "ok", "b": "ok"}
+
+    def test_poisoned_cell_recomputed_end_to_end(self, tmp_path):
+        cache = CellCache(tmp_path / "cc")
+        cold = execute_plan(_plan(), cell_cache=cache)
+
+        # Poison every stored entry the way bit rot / tampering would:
+        # valid JSON, wrong payload for the recorded value digest.
+        for path in _entry_files(cache):
+            entry = json.load(open(path))
+            entry["payload"]["value"] = "poison"
+            with open(path, "w") as handle:
+                json.dump(entry, handle)
+
+        warm_cache = CellCache(tmp_path / "cc")
+        warm = execute_plan(_plan(), cell_cache=warm_cache)
+        assert warm == cold  # recomputed, not trusted
+        assert warm_cache.poisoned == 2
+        assert warm_cache.hits == 0
+        assert warm_cache.puts == 2  # healthy entries written back
+
+        # And the heal sticks: the next run is clean hits.
+        healed = CellCache(tmp_path / "cc")
+        assert execute_plan(_plan(), cell_cache=healed) == cold
+        assert healed.stats() == {"hits": 2, "misses": 0, "puts": 0,
+                                  "poisoned": 0}
+
+    def test_fault_armed_plans_bypass_the_cache(self, tmp_path):
+        cache = CellCache(tmp_path / "cc")
+        execute_plan(_plan(), cell_cache=cache)
+
+        armed = _plan()
+        armed.faults = object()  # any armed injector disables memoization
+        armed_cache = CellCache(tmp_path / "cc")
+        execute_plan(armed, cell_cache=armed_cache)
+        assert armed_cache.stats() == {"hits": 0, "misses": 0, "puts": 0,
+                                       "poisoned": 0}

@@ -97,28 +97,69 @@ def _interrupt(**kwargs):
     raise KeyboardInterrupt
 
 
+class _FakeClock:
+    """Deterministic stand-in for time.monotonic."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
 class TestProgress:
     def test_progress_lines_and_eta(self):
         import io
 
         stream = io.StringIO()
-        progress = SweepProgress("toy", total=3, jobs=1, stream=stream)
+        clock = _FakeClock()
+        progress = SweepProgress("toy", total=3, jobs=1, stream=stream,
+                                 clock=clock)
+        clock.now = 2.0
         progress.update("a", "ok", 2.0)
+        clock.now = 2.1
         progress.update("b", "cached", 0.0)
+        clock.now = 6.1
         progress.update("c", "ok", 4.0)
         lines = stream.getvalue().splitlines()
-        assert lines[0] == "[toy 1/3]     ok a (2.0s)  eta ~4.0s"
+        assert lines[0] == \
+            "[toy 1/3]     ok a (2.0s)  0.50 cells/s  eta ~4.0s"
         assert "cached" in lines[1]
         assert "eta" not in lines[2]  # final line: nothing remaining
 
-    def test_eta_divides_by_parallel_width(self):
-        progress = SweepProgress("toy", total=5, jobs=4)
-        progress.update("a", "ok", 8.0)
-        assert progress.eta_seconds() == pytest.approx(8.0)  # 4*8/4
+    def test_eta_uses_observed_wall_clock_throughput(self):
+        # Batch-aware: four cells of 8s worker time landing together at
+        # wall 8s mean 0.5 cells/s of real throughput (4 workers), so
+        # the one remaining cell is ~2s out -- not 8s as a serial
+        # mean-cell-time model would claim.
+        clock = _FakeClock()
+        progress = SweepProgress("toy", total=5, jobs=4, clock=clock)
+        clock.now = 8.0
+        for key in ("a", "b", "c", "d"):
+            progress.update(key, "ok", 8.0)
+        assert progress.cells_per_second() == pytest.approx(0.5)
+        assert progress.eta_seconds() == pytest.approx(2.0)
 
     def test_cached_cells_excluded_from_estimate(self):
-        progress = SweepProgress("toy", total=4, jobs=1)
+        clock = _FakeClock()
+        progress = SweepProgress("toy", total=4, jobs=1, clock=clock)
         progress.update("a", "cached", 0.0)
         assert progress.eta_seconds() is None
+        clock.now = 6.0
         progress.update("b", "ok", 6.0)
         assert progress.eta_seconds() == pytest.approx(12.0)
+
+    def test_cache_ratio_on_line(self):
+        import io
+
+        from repro.exec import CellCache
+
+        stream = io.StringIO()
+        clock = _FakeClock()
+        cache = CellCache("unused")
+        cache.hits, cache.misses = 3, 1
+        progress = SweepProgress("toy", total=2, jobs=1, stream=stream,
+                                 cell_cache=cache, clock=clock)
+        clock.now = 1.0
+        progress.update("a", "ok", 1.0)
+        assert "cache 3/4" in stream.getvalue()
