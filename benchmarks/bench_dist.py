@@ -1,0 +1,141 @@
+"""Benchmark the distributed tier: protocol overhead and requeue cost.
+
+Times a reduced Figure-5 sweep serially, on the warm pool, and against
+an in-process dist deployment (a real ``DistServer`` on an asyncio
+thread, real workers over real sockets) — clean, and then with ~10%
+transport loss (seeded ``frame_drop`` chaos on every worker, so
+dropped result frames force lease expiry and requeue).  All four runs
+must produce byte-identical reports; the recorded numbers price what
+the fault tolerance costs.
+
+Honesty rules for the recorded numbers:
+
+* **In-process dist workers share the GIL.**  The dist rows measure
+  wire-protocol + lease bookkeeping overhead against the same compute,
+  *not* parallel speedup — that is exactly what makes them comparable
+  on a 1-core CI runner.  Real deployments run ``repro worker``
+  processes; their speedup story is the pool benchmark's.
+* **Requeue overhead is a ratio of dist to dist**, lossy wall over
+  clean wall on the same deployment shape, so protocol cost cancels
+  and the number isolates what re-leasing and recomputing lost work
+  costs under ~10% loss.
+"""
+
+import io
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import publish
+from benchmarks.schema import write_bench_json
+from repro.core.experiments import run_fig5
+from repro.core.experiments.fig5 import plan_fig5
+from repro.exec import warmup
+from repro.exec.dist import DistBackend
+
+from tests.exec.test_dist import _Cluster
+
+#: Reduced fig5 (the pool benchmark's knob set, quarter-scale sampling).
+KNOBS = dict(
+    seed=42, attempts=6, detector_names=("lr", "nn"),
+    training_benign=120, training_attack=120,
+    attempt_samples=30, attempt_benign=10,
+)
+
+#: Transport-loss rate for the lossy run: ~10% of worker frames
+#: (results included) vanish in flight.
+LOSS_RATE = 0.1
+
+WORKERS = 2
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def _dist_run(loss_rate=0.0):
+    cluster = _Cluster(lease_timeout=0.5)
+    chaos = ({"seed": KNOBS["seed"], "frame_drop": loss_rate}
+             if loss_rate else None)
+    for index in range(WORKERS):
+        cluster.start_worker(f"w{index}", chaos=chaos)
+    backend = DistBackend(cluster.address, seed=KNOBS["seed"],
+                          stream=io.StringIO())
+    try:
+        result, elapsed = _timed(
+            lambda: run_fig5(backend=backend, **KNOBS)
+        )
+    finally:
+        backend.close()
+        cluster.stop()
+    return result, elapsed, dict(cluster.server.stats)
+
+
+@pytest.fixture(scope="module")
+def dist_timings():
+    runs = {}
+    serial, runs["serial"] = _timed(lambda: run_fig5(**KNOBS))
+    warmup_s, _ = warmup(WORKERS)
+    pool, runs["pool"] = _timed(lambda: run_fig5(jobs=WORKERS, **KNOBS))
+    dist, runs["dist"], clean_stats = _dist_run()
+    lossy, runs["dist_lossy"], lossy_stats = _dist_run(LOSS_RATE)
+    reports = {"serial": serial.format(), "pool": pool.format(),
+               "dist": dist.format(), "dist_lossy": lossy.format()}
+    return reports, runs, warmup_s, clean_stats, lossy_stats
+
+
+def test_dist_baseline(benchmark, dist_timings):
+    cells = len(plan_fig5(**KNOBS))
+    reports, runs, warmup_s, clean_stats, lossy_stats = \
+        benchmark.pedantic(lambda: dist_timings, rounds=1, iterations=1)
+
+    # Determinism is the contract; the wall clock is the baseline.
+    for mode in ("pool", "dist", "dist_lossy"):
+        assert reports[mode] == reports["serial"], f"{mode} diverged"
+    # The lossy run's chaos was real: work actually requeued.
+    assert lossy_stats["requeues"] > 0
+
+    overhead = runs["dist_lossy"] / runs["dist"]
+    write_bench_json(
+        "dist",
+        knobs={k: list(v) if isinstance(v, tuple) else v
+               for k, v in KNOBS.items()},
+        runs={
+            mode: {
+                "wall_s": round(runs[mode], 3),
+                "cells_per_s": round(cells / runs[mode], 3),
+            }
+            for mode in ("serial", "pool", "dist")
+        } | {
+            "dist_lossy": {
+                "wall_s": round(runs["dist_lossy"], 3),
+                "cells_per_s": round(cells / runs["dist_lossy"], 3),
+                "loss_rate": LOSS_RATE,
+                "requeues": lossy_stats["requeues"],
+            },
+        },
+        experiment="fig5-reduced",
+        cells=cells,
+        workers=WORKERS,
+        pool_warmup_s=round(warmup_s, 3),
+        clean_requeues=clean_stats["requeues"],
+        requeue_overhead_x=round(overhead, 3),
+        identical_output=True,
+    )
+
+    lines = [f"dist baseline — reduced fig5, {cells} cells, "
+             f"{WORKERS} workers, {os.cpu_count()} CPU(s)"]
+    for mode in ("serial", "pool", "dist", "dist_lossy"):
+        lines.append(f"  {mode:<11}: {runs[mode]:6.2f}s "
+                     f"({cells / runs[mode]:.2f} cells/s)")
+    lines.append(f"  requeue overhead at {LOSS_RATE:.0%} frame loss: "
+                 f"{overhead:.2f}x ({lossy_stats['requeues']} "
+                 f"requeue(s))")
+    publish("dist", "\n".join(lines))
+
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["requeue_overhead_x"] = round(overhead, 3)
+    benchmark.extra_info["lossy_requeues"] = lossy_stats["requeues"]

@@ -183,8 +183,8 @@ def fig4_meta(seed, hosts, feature_sizes, classifier, benign_per_host,
 def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
              classifier="mlp", benign_per_host=150, attack_per_variant=50,
              variants=("v1", "rsb", "sbo"), checkpoint=None, faults=None,
-             jobs=1, progress=None, trace=None, traces=None,
-             timings=None, cell_cache=None):
+             jobs=1, backend=None, progress=None, trace=None,
+             traces=None, timings=None, cell_cache=None):
     """Regenerate Figure 4.  Returns a :class:`Fig4Result`."""
     store = open_checkpoint(checkpoint, "fig4", fig4_meta(
         seed, hosts, feature_sizes, classifier, benign_per_host,
@@ -196,7 +196,8 @@ def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
     statuses = {}
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
-                           backend=backend_for(jobs), progress=progress,
+                           backend=backend or backend_for(jobs),
+                           progress=progress,
                            trace=trace, traces=traces, metrics=metrics,
                            timings=timings, cell_cache=cell_cache)
     accuracies = {}

@@ -272,8 +272,8 @@ def run_fig5(seed=0, host="basicmath", attempts=10,
              detector_names=DETECTOR_NAMES, training_benign=240,
              training_attack=240, attempt_samples=60, attempt_benign=20,
              scenario=None, training=None, checkpoint=None, faults=None,
-             jobs=1, progress=None, trace=None, traces=None,
-             timings=None, cell_cache=None):
+             jobs=1, backend=None, progress=None, trace=None,
+             traces=None, timings=None, cell_cache=None):
     """Regenerate Figure 5.  Returns a :class:`Fig5Result`."""
     store = open_checkpoint(checkpoint, "fig5", fig5_meta(
         seed, host, attempts, detector_names, training_benign,
@@ -286,7 +286,8 @@ def run_fig5(seed=0, host="basicmath", attempts=10,
     statuses = {}
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
-                           backend=backend_for(jobs), progress=progress,
+                           backend=backend or backend_for(jobs),
+                           progress=progress,
                            trace=trace, traces=traces, metrics=metrics,
                            timings=timings, cell_cache=cell_cache)
 

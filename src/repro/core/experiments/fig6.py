@@ -274,8 +274,8 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
              detector_names=DETECTOR_NAMES, training_benign=240,
              training_attack=240, attempt_samples=60, attempt_benign=15,
              audit_every=3, scenario=None, training=None, checkpoint=None,
-             faults=None, jobs=1, progress=None, trace=None, traces=None,
-             timings=None, cell_cache=None):
+             faults=None, jobs=1, backend=None, progress=None, trace=None,
+             traces=None, timings=None, cell_cache=None):
     """Regenerate Figure 6.  Returns a :class:`Fig6Result`.
 
     ``audit_every``: every k-th attempt the defender's analysts audit
@@ -294,7 +294,8 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
     statuses = {}
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
-                           backend=backend_for(jobs), progress=progress,
+                           backend=backend or backend_for(jobs),
+                           progress=progress,
                            trace=trace, traces=traces, metrics=metrics,
                            timings=timings, cell_cache=cell_cache)
 

@@ -218,8 +218,8 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
                   holdout_variants=4, samples_per_variant=40,
                   training_benign=200, training_attack=120,
                   attempt_benign=15, scenario=None, checkpoint=None,
-                  faults=None, jobs=1, progress=None, trace=None,
-                  traces=None, timings=None, cell_cache=None):
+                  faults=None, jobs=1, backend=None, progress=None,
+                  trace=None, traces=None, timings=None, cell_cache=None):
     """Run the adversarial-training ablation.
 
     For each K in *train_variant_counts*: train on benign + plain
@@ -238,7 +238,8 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
     statuses = {}
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
-                           backend=backend_for(jobs), progress=progress,
+                           backend=backend or backend_for(jobs),
+                           progress=progress,
                            trace=trace, traces=traces, metrics=metrics,
                            timings=timings, cell_cache=cell_cache)
     accuracy_by_k = {}

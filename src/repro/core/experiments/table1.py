@@ -302,8 +302,8 @@ def table1_meta(seed, rows, secret, repetitions, quantum):
 def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
                repetitions=3, quantum=10_000, checkpoint=None,
                measurement_budget=None, faults=None, jobs=1,
-               progress=None, trace=None, traces=None, timings=None,
-               cell_cache=None):
+               backend=None, progress=None, trace=None, traces=None,
+               timings=None, cell_cache=None):
     """Regenerate Table I.  Returns a :class:`Table1Result`.
 
     ``repetitions`` mirrors the paper's averaging over repeated runs
@@ -323,7 +323,8 @@ def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
     statuses = {}
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,
-                           backend=backend_for(jobs), progress=progress,
+                           backend=backend or backend_for(jobs),
+                           progress=progress,
                            trace=trace, traces=traces, metrics=metrics,
                            timings=timings, cell_cache=cell_cache)
     result_rows = []

@@ -105,7 +105,9 @@ class CellCache:
         The stored payload's sha256 is recomputed and checked against
         the recorded ``value_digest``: a mismatch (bit rot, a truncated
         or hand-edited file, a poisoning attempt) counts as
-        ``poisoned``, the entry is discarded, and the caller recomputes.
+        ``poisoned``, the entry is treated as a miss, and the caller's
+        recompute heals it in place through :meth:`store`'s atomic
+        replace.
         """
         if digest is None:
             return None
@@ -120,11 +122,14 @@ class CellCache:
         expected = entry.get("value_digest")
         if (entry.get("format") != CACHE_FORMAT or expected is None
                 or hashlib.sha256(_canonical(payload)).hexdigest() != expected):
+            # Deliberately NOT deleted here: two processes can detect
+            # the same poisoned entry concurrently, and an unlink in
+            # that window can destroy the *healed* entry a faster rival
+            # already wrote.  Healing is write-only — the recompute
+            # lands through :meth:`store`'s atomic tmp+rename, so
+            # however many healers race, the entry converges to one
+            # valid (identical, deterministic) value.
             self.poisoned += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
             return None
         self.hits += 1
         return payload["value"], payload.get("trace"), payload.get("metrics")

@@ -1,0 +1,370 @@
+"""Chaos harness: prove the distributed tier survives sabotage.
+
+``repro chaos`` runs the same quick fig5 sweep twice — once serially
+(the reference), once on a real dist deployment (a ``repro serve``
+subprocess plus N ``repro worker`` subprocesses) while this module
+actively attacks it:
+
+* **worker_kill** — SIGKILL a worker mid-sweep (its leases expire and
+  requeue; optionally a replacement is spawned, demonstrating
+  self-healing fleet recovery);
+* **heartbeat_delay** — stretch a worker's heartbeat interval past the
+  lease timeout (the server revokes and requeues work the worker is
+  still computing — late results must not corrupt anything);
+* **frame_drop / frame_corrupt** — the worker's transport randomly
+  swallows or bit-flips outgoing frames (the server detects the digest
+  mismatch, drops the connection, and the lease machinery recovers);
+* **partition** — SIGSTOP the server process for a spell (every
+  heartbeat goes unanswered; on SIGCONT the reaper finds a world of
+  expired leases).
+
+All of it is seeded through the existing
+:class:`~repro.core.resilience.FaultInjector` (the chaos kinds are
+registered in ``FAULT_KINDS``), so a chaos run is *reproducible*: same
+seed, same kills, same dropped frames.
+
+The verdict is the strongest oracle the repo has: the dist run's ledger
+manifest must be **byte-identical** (modulo the volatile timing
+section) to the undisturbed serial run's.  Not "close", not "same
+headline" — the same bytes :func:`repro.obs.ledger.manifest_bytes`
+would write.  ``repro compare`` between the two manifests is the same
+check with a diff attached, which is what the CI ``dist-chaos-smoke``
+job runs.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+
+from repro.core.resilience import FaultInjector
+
+#: Quick fig5 knob set the harness sweeps — small enough for CI, large
+#: enough that batches span several leases and a mid-sweep kill always
+#: has victims in flight.
+CHAOS_KNOBS = dict(
+    host="basicmath", attempts=2, detector_names=("lr", "nn"),
+    training_benign=40, training_attack=40, attempt_samples=12,
+    attempt_benign=6,
+)
+
+_LISTENING = re.compile(r"listening on ([\w.\-]+):(\d+)")
+
+
+def _drain(pipe, stream, prefix):
+    """Forward a child's stderr lines onto ours, tagged."""
+    for line in iter(pipe.readline, ""):
+        print(f"{prefix}{line.rstrip()}", file=stream, flush=True)
+    pipe.close()
+
+
+def _child_env():
+    """Children must resolve ``repro`` exactly like this process."""
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    parts = [p for p in (env.get("PYTHONPATH") or "").split(os.pathsep)
+             if p]
+    if src not in parts:
+        parts.insert(0, src)
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    return env
+
+
+def launch_server(lease_timeout=1.0, attempt_budget=3, stream=None,
+                  startup_timeout=30.0):
+    """Spawn ``repro serve --port 0``; returns ``(proc, (host, port))``.
+
+    The harness learns the bound port by parsing the server's
+    "listening on HOST:PORT" line, then keeps draining its stderr in a
+    daemon thread so server logs interleave with the harness's own.
+    """
+    stream = stream if stream is not None else sys.stderr
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--lease-timeout", str(lease_timeout),
+         "--attempt-budget", str(attempt_budget)],
+        stderr=subprocess.PIPE, text=True, env=_child_env(),
+    )
+    deadline = time.monotonic() + startup_timeout
+    address = None
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        print(f"  [serve] {line.rstrip()}", file=stream, flush=True)
+        match = _LISTENING.search(line)
+        if match:
+            address = (match.group(1), int(match.group(2)))
+            break
+    if address is None:
+        proc.kill()
+        raise RuntimeError("dist server never reported its port")
+    threading.Thread(target=_drain, args=(proc.stderr, stream, "  [serve] "),
+                     daemon=True).start()
+    return proc, address
+
+
+def launch_worker(address, worker_id, chaos=None, stream=None):
+    """Spawn one ``repro worker --connect`` subprocess."""
+    stream = stream if stream is not None else sys.stderr
+    host, port = address
+    cmd = [sys.executable, "-m", "repro", "worker",
+           "--connect", f"{host}:{port}", "--id", worker_id]
+    if chaos:
+        cmd += ["--chaos", json.dumps(chaos, sort_keys=True)]
+    proc = subprocess.Popen(cmd, stderr=subprocess.PIPE, text=True,
+                            env=_child_env())
+    threading.Thread(target=_drain,
+                     args=(proc.stderr, stream, f"  [{worker_id}] "),
+                     daemon=True).start()
+    return proc
+
+
+def _fig5_manifest(knobs, seed, backend, timings=None):
+    """Run the quick fig5 sweep and build its (non-volatile) manifest."""
+    from repro.core.experiments.fig5 import (
+        fig5_meta,
+        plan_fig5,
+        run_fig5,
+    )
+    from repro.obs.ledger import build_manifest
+
+    result = run_fig5(seed=seed, backend=backend, timings=timings,
+                      **knobs)
+    config = fig5_meta(seed=seed, **knobs)
+    plan = plan_fig5(seed=seed, **knobs)
+    return build_manifest("fig5", config, result, plan=plan,
+                          statuses=getattr(result, "cell_status", None))
+
+
+class _ChaosDriver(threading.Thread):
+    """Background saboteur: kills workers and partitions the server on a
+    seeded schedule while the dist sweep runs."""
+
+    def __init__(self, harness, schedule):
+        super().__init__(daemon=True)
+        self.harness = harness
+        self.schedule = sorted(schedule)   # [(at_s, action, arg), ...]
+        self.stop_event = threading.Event()
+        self.actions = []
+
+    def run(self):
+        started = time.monotonic()
+        for at_s, action, arg in self.schedule:
+            delay = started + at_s - time.monotonic()
+            if delay > 0 and self.stop_event.wait(delay):
+                return
+            if self.stop_event.is_set():
+                return
+            try:
+                getattr(self.harness, f"_do_{action}")(arg)
+                self.actions.append((round(at_s, 3), action, arg))
+            except Exception as exc:  # pragma: no cover - best effort
+                self.harness._log(f"chaos action {action} failed: {exc}")
+
+
+class ChaosHarness:
+    """Orchestrate the full chaos experiment (see module docstring)."""
+
+    def __init__(self, seed=0, workers=3, kills=1, respawn=True,
+                 partition_s=0.0, heartbeat_delay_s=0.0,
+                 frame_drop=0.0, frame_corrupt=0.0, lease_timeout=1.0,
+                 knobs=None, ledger=None, stream=None):
+        self.seed = seed
+        self.workers = max(1, workers)
+        self.kills = min(kills, self.workers - 1) if self.workers > 1 \
+            else 0
+        self.respawn = respawn
+        self.partition_s = partition_s
+        self.heartbeat_delay_s = heartbeat_delay_s
+        self.frame_drop = frame_drop
+        self.frame_corrupt = frame_corrupt
+        self.lease_timeout = lease_timeout
+        self.knobs = dict(knobs or CHAOS_KNOBS)
+        self.ledger = ledger
+        self.stream = stream if stream is not None else sys.stderr
+        self.server = None
+        self.address = None
+        self.procs = {}
+        self._next_worker = self.workers
+        # The root injector seeds everything: per-worker transport
+        # chaos derives from it, and its own draws decide which worker
+        # dies and when the partition lands.
+        self.root = FaultInjector(seed=seed, rates={
+            "worker_kill": 1.0 if self.kills else 0.0,
+            "partition": 1.0 if partition_s else 0.0,
+            "heartbeat_delay": 1.0 if heartbeat_delay_s else 0.0,
+            "frame_drop": frame_drop,
+            "frame_corrupt": frame_corrupt,
+        })
+        import random
+        self._rng = random.Random(seed)
+
+    def _log(self, message):
+        print(f"repro-chaos: {message}", file=self.stream, flush=True)
+
+    # -- chaos actions (called from the driver thread) -------------------
+
+    def _do_kill(self, worker_id):
+        proc = self.procs.get(worker_id)
+        if proc is None or proc.poll() is not None:
+            return
+        proc.kill()
+        proc.wait(timeout=10)
+        self._log(f"SIGKILLed {worker_id}")
+        if self.respawn:
+            replacement = f"w{self._next_worker}"
+            self._next_worker += 1
+            self.procs[replacement] = launch_worker(
+                self.address, replacement,
+                chaos=self._worker_chaos(self._next_worker),
+                stream=self.stream,
+            )
+            self._log(f"respawned as {replacement}")
+
+    def _do_partition(self, duration_s):
+        import signal
+
+        if self.server is None or self.server.poll() is not None:
+            return
+        self._log(f"partitioning the server for {duration_s:.1f}s "
+                  f"(SIGSTOP)")
+        self.server.send_signal(signal.SIGSTOP)
+        time.sleep(duration_s)
+        self.server.send_signal(signal.SIGCONT)
+        self._log("partition healed (SIGCONT)")
+
+    # -- deployment ------------------------------------------------------
+
+    def _worker_chaos(self, index):
+        """Per-worker transport-chaos spec, derived from the root
+        injector so each worker's mishaps are independent of
+        scheduling."""
+        spec = {"seed": self.root.derive(index * 7919 + 13).seed}
+        if self.frame_drop:
+            spec["frame_drop"] = self.frame_drop
+        if self.frame_corrupt:
+            spec["frame_corrupt"] = self.frame_corrupt
+        if self.heartbeat_delay_s and index == 0:
+            # One slowpoke is enough to exercise expiry + requeue; a
+            # fleet of them would just serialise the sweep.
+            spec["heartbeat_delay_s"] = self.heartbeat_delay_s
+        return spec if len(spec) > 1 else None
+
+    def _deploy(self):
+        self.server, self.address = launch_server(
+            lease_timeout=self.lease_timeout, stream=self.stream,
+        )
+        for index in range(self.workers):
+            worker_id = f"w{index}"
+            self.procs[worker_id] = launch_worker(
+                self.address, worker_id,
+                chaos=self._worker_chaos(index), stream=self.stream,
+            )
+
+    def _schedule(self):
+        """Seeded (time offset, action, argument) list."""
+        schedule = []
+        victims = self._rng.sample(sorted(self.procs), k=self.kills) \
+            if self.kills else []
+        for victim in victims:
+            schedule.append((self._rng.uniform(0.5, 2.5), "kill",
+                             victim))
+        if self.partition_s:
+            schedule.append((self._rng.uniform(1.0, 3.0), "partition",
+                             self.partition_s))
+        return schedule
+
+    def _teardown(self):
+        import signal
+
+        for proc in self.procs.values():
+            if proc.poll() is None:
+                proc.kill()
+        if self.server is not None and self.server.poll() is None:
+            # Heal any live partition first or SIGTERM queues forever.
+            self.server.send_signal(signal.SIGCONT)
+            self.server.terminate()
+            try:
+                self.server.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                self.server.kill()
+        for proc in self.procs.values():
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+
+    # -- the experiment --------------------------------------------------
+
+    def run(self):
+        """Serial reference, sabotaged dist run, byte comparison.
+
+        Returns ``(identical, serial_manifest, dist_manifest)``.
+        """
+        from repro.exec.dist import DistBackend
+
+        self._log(f"serial reference sweep (seed {self.seed})")
+        serial_manifest = _fig5_manifest(self.knobs, self.seed,
+                                         backend=None)
+
+        self._log(f"deploying: 1 server + {self.workers} workers "
+                  f"(lease timeout {self.lease_timeout}s)")
+        self._deploy()
+        driver = _ChaosDriver(self, self._schedule())
+        events = []
+
+        def on_event(kind, **info):
+            events.append((kind, info))
+            self._log(f"backend event: {kind} "
+                      + ", ".join(f"{k}={v}" for k, v
+                                  in sorted(info.items())))
+
+        backend = DistBackend(self.address, seed=self.seed,
+                              fallback=True, events=on_event,
+                              stream=self.stream)
+        try:
+            driver.start()
+            self._log("dist sweep under chaos")
+            dist_manifest = _fig5_manifest(self.knobs, self.seed,
+                                           backend=backend)
+        finally:
+            driver.stop_event.set()
+            driver.join(timeout=30)
+            self._teardown()
+
+        from repro.obs.ledger import manifest_bytes
+
+        identical = (manifest_bytes(serial_manifest)
+                     == manifest_bytes(dist_manifest))
+        self._log(f"chaos actions applied: {driver.actions or 'none'}")
+        self._log(f"backend events: {len(events)} "
+                  f"({sum(1 for k, _ in events if k == 'requeue')} "
+                  f"requeue notification(s))")
+        self._log("verdict: manifests byte-identical"
+                  if identical else
+                  "verdict: MANIFESTS DIVERGE — determinism broken")
+
+        if self.ledger is not None:
+            from repro.obs.ledger import write_manifest
+
+            serial_path = write_manifest(
+                os.path.join(self.ledger, "serial"), serial_manifest
+            )
+            dist_path = write_manifest(
+                os.path.join(self.ledger, "dist"), dist_manifest
+            )
+            self._log(f"ledgers: {serial_path} vs {dist_path}")
+        return identical, serial_manifest, dist_manifest
+
+
+def run_chaos(**kwargs):
+    """CLI entry point; returns the process exit code (0 ok, 5 diverged
+    — the same code ``repro compare`` uses for divergent runs)."""
+    harness = ChaosHarness(**kwargs)
+    identical, _, _ = harness.run()
+    return 0 if identical else 5

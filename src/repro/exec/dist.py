@@ -1,0 +1,819 @@
+"""Distributed sweep tier: job server, workers, and the client backend.
+
+Three roles, one wire protocol (:mod:`repro.exec.proto`):
+
+``DistServer``
+    An asyncio job server that owns submitted waves of sweep cells.
+    Cells arrive as JSON job descriptions, are partitioned into
+    contiguous declaration-order batches, and handed to workers under
+    **leases** (:mod:`repro.exec.lease`): a lease that misses its
+    heartbeats — worker SIGKILLed, wedged, partitioned away — is
+    revoked and its batch requeued, bounded by a per-cell attempt
+    budget that degrades to the pool backend's ``WorkerCrashError``
+    taxonomy.  Idle workers hedge the stalest outstanding batch, so one
+    straggler cannot hold a wave's tail hostage.
+
+``run_worker``
+    The ``repro worker --connect HOST:PORT`` loop: pull a batch, renew
+    the lease from a heartbeat thread while computing, push outcomes,
+    repeat.  Cells run through the exact
+    :func:`~repro.exec.pool.invoke_batch` path the warm pool uses —
+    same derived seeds, same fault injectors, same tracers — which is
+    why dist results are byte-identical to serial ones.  A worker that
+    loses the server reconnects with seeded exponential backoff
+    (self-healing); one that cannot reconnect within its deadline
+    exits nonzero.
+
+``DistBackend``
+    The third :class:`Backend` implementation (``--backend dist``): it
+    ships each wave to the server and streams outcomes back.  A broken
+    connection mid-wave resubmits only the cells still missing; a
+    server unreachable past the connect deadline **degrades
+    gracefully** to the local warm-pool backend with a warning —
+    the sweep finishes either way — unless fallback is disabled, in
+    which case :class:`~repro.errors.ServerUnreachableError` maps to
+    its own CLI exit code.
+
+Determinism: the server moves work, never values.  Each cell's outcome
+is a pure function of its job description, so scheduling, requeues,
+hedge races and fallbacks are all invisible in the results — the
+golden-determinism tests and ``repro compare`` hold dist runs to the
+serial reference byte for byte.
+"""
+
+import itertools
+import os
+import socket
+import sys
+import time
+
+from repro.errors import (
+    FrameError,
+    ProtocolError,
+    ServerUnreachableError,
+)
+from repro.exec.lease import LeaseTable
+from repro.exec.proto import (
+    describe_job,
+    read_frame,
+    rebuild_job,
+    write_frame,
+)
+
+#: Defaults shared by the CLI and the test harnesses.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_LEASE_TIMEOUT = 5.0
+DEFAULT_CONNECT_DEADLINE = 10.0
+
+
+def parse_address(text):
+    """``HOST:PORT`` -> ``(host, port)`` (host may be omitted)."""
+    if isinstance(text, (tuple, list)):
+        host, port = text
+        return str(host), int(port)
+    host, sep, port_text = str(text).rpartition(":")
+    if not sep:
+        host, port_text = "", text
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad dist address {text!r} "
+                         f"(expected HOST:PORT)") from None
+    return host or DEFAULT_HOST, port
+
+
+# ======================================================================
+# Server
+# ======================================================================
+
+class _Wave:
+    """One submitted wave: its lease table and its owning client."""
+
+    def __init__(self, wave_id, table, client):
+        self.wave_id = wave_id
+        self.table = table
+        self.client = client
+        self.finished = False
+
+
+class DistServer:
+    """Asyncio job server for distributed sweeps (see module docstring).
+
+    *clock* is injectable for tests; everything time-based — lease
+    expiry, hedging eligibility — reads it through the lease tables.
+    """
+
+    def __init__(self, host=DEFAULT_HOST, port=0,
+                 lease_timeout=DEFAULT_LEASE_TIMEOUT,
+                 heartbeat_interval=None, attempt_budget=3,
+                 batch_size=None, hedge=True, clock=time.monotonic,
+                 stream=None):
+        self.host = host
+        self.port = port
+        self.lease_timeout = lease_timeout
+        self.heartbeat_interval = (heartbeat_interval
+                                   if heartbeat_interval is not None
+                                   else max(0.05, lease_timeout / 4.0))
+        self.attempt_budget = attempt_budget
+        self.batch_size = batch_size
+        self.hedge = hedge
+        self.clock = clock
+        self.stream = stream if stream is not None else sys.stderr
+        self._server = None
+        self._waves = {}
+        self._workers = {}
+        self._idle = []
+        self._reaper = None
+        self.stats = {"waves": 0, "batches": 0, "results": 0,
+                      "requeues": 0, "hedges": 0, "degraded": 0,
+                      "bad_frames": 0}
+
+    def _log(self, message):
+        print(f"repro-dist: {message}", file=self.stream, flush=True)
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self):
+        import asyncio
+
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._reaper = asyncio.ensure_future(self._reap_loop())
+        self._log(f"listening on {self.host}:{self.port}")
+        return self
+
+    async def serve_forever(self):
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self):
+        if self._reaper is not None:
+            self._reaper.cancel()
+        for session in list(self._workers.values()):
+            await self._send(session, {"type": "shutdown"})
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def run(self):
+        """Blocking entry point (``repro serve``)."""
+        import asyncio
+
+        async def main():
+            await self.start()
+            try:
+                await self.serve_forever()
+            except asyncio.CancelledError:  # pragma: no cover
+                pass
+
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            self._log("interrupted; shutting down")
+        return 0
+
+    # -- session plumbing -----------------------------------------------
+
+    async def _send(self, session, message):
+        import asyncio
+
+        try:
+            async with session["wlock"]:
+                from repro.exec.proto import awrite_frame
+
+                await awrite_frame(session["writer"], message)
+            return True
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            return False
+
+    async def _handle(self, reader, writer):
+        import asyncio
+
+        from repro.exec.proto import aread_frame
+
+        session = {"reader": reader, "writer": writer,
+                   "wlock": asyncio.Lock()}
+        try:
+            hello = await aread_frame(reader)
+        except FrameError:
+            self.stats["bad_frames"] += 1
+            hello = None
+        if not isinstance(hello, dict) or hello.get("type") != "hello":
+            writer.close()
+            return
+        await self._send(session, {"type": "welcome",
+                                   "server": "repro-dist",
+                                   "lease_timeout": self.lease_timeout})
+        role = hello.get("role")
+        try:
+            if role == "worker":
+                await self._serve_worker(session, hello)
+            elif role == "client":
+                await self._serve_client(session)
+            else:
+                writer.close()
+        except asyncio.CancelledError:
+            # Loop shutdown cancels live session tasks; that is an
+            # orderly end, not an error to surface.
+            pass
+
+    # -- worker side ----------------------------------------------------
+
+    async def _serve_worker(self, session, hello):
+        from repro.exec.proto import aread_frame
+
+        worker_id = str(hello.get("worker_id")
+                        or f"worker-{id(session) & 0xffff:04x}")
+        session["worker_id"] = worker_id
+        self._workers[worker_id] = session
+        self._log(f"worker {worker_id} joined "
+                  f"({len(self._workers)} connected)")
+        try:
+            while True:
+                try:
+                    message = await aread_frame(session["reader"])
+                except FrameError as exc:
+                    # A corrupted frame poisons the whole stream (we
+                    # cannot find the next frame boundary): drop the
+                    # connection; the worker reconnects, its leases
+                    # are revoked below and requeued.
+                    self.stats["bad_frames"] += 1
+                    self._log(f"worker {worker_id}: bad frame ({exc}); "
+                              f"dropping connection")
+                    break
+                if message is None:
+                    break
+                kind = message.get("type")
+                if kind == "ready":
+                    if session not in self._idle:
+                        self._idle.append(session)
+                    await self._pump()
+                elif kind == "heartbeat":
+                    self._renew(message.get("lease_id"))
+                elif kind == "result":
+                    await self._absorb_result(worker_id, message)
+                    await self._pump()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._workers.pop(worker_id, None)
+            if session in self._idle:
+                self._idle.remove(session)
+            await self._revoke_worker(worker_id)
+            self._log(f"worker {worker_id} left "
+                      f"({len(self._workers)} connected)")
+
+    def _renew(self, lease_id):
+        wave = self._wave_of(lease_id)
+        if wave is not None:
+            wave.table.renew(lease_id)
+
+    def _wave_of(self, lease_id):
+        if not isinstance(lease_id, str):
+            return None
+        wave_id = lease_id.rsplit("/", 1)[0]
+        return self._waves.get(wave_id)
+
+    async def _absorb_result(self, worker_id, message):
+        lease_id = message.get("lease_id")
+        wave = self._wave_of(lease_id)
+        if wave is None:
+            return
+        outcomes = {str(key): outcome
+                    for key, outcome in message.get("outcomes") or []}
+        fresh = wave.table.complete(lease_id, list(outcomes))
+        self.stats["results"] += len(fresh)
+        for key in fresh:
+            await self._send(wave.client, {
+                "type": "outcome", "wave_id": wave.wave_id, "key": key,
+                "outcome": outcomes[key], "worker_id": worker_id,
+            })
+        await self._maybe_finish(wave)
+
+    async def _revoke_worker(self, worker_id):
+        for wave in list(self._waves.values()):
+            requeued, degraded = wave.table.revoke_worker(
+                worker_id, reason=f"worker {worker_id} lost"
+            )
+            await self._after_revocation(wave, requeued, degraded,
+                                         f"worker {worker_id} lost")
+        await self._pump()
+
+    async def _after_revocation(self, wave, requeued, degraded, reason):
+        if requeued:
+            self.stats["requeues"] += len(requeued)
+            await self._send(wave.client, {
+                "type": "requeued", "wave_id": wave.wave_id,
+                "keys": requeued, "reason": reason,
+            })
+        for key, outcome in degraded:
+            self.stats["degraded"] += 1
+            await self._send(wave.client, {
+                "type": "outcome", "wave_id": wave.wave_id, "key": key,
+                "outcome": outcome, "worker_id": None,
+            })
+        await self._maybe_finish(wave)
+
+    # -- client side ----------------------------------------------------
+
+    async def _serve_client(self, session):
+        from repro.exec.proto import aread_frame
+
+        owned = []
+        try:
+            while True:
+                try:
+                    message = await aread_frame(session["reader"])
+                except FrameError as exc:
+                    self.stats["bad_frames"] += 1
+                    self._log(f"client: bad frame ({exc}); "
+                              f"dropping connection")
+                    break
+                if message is None:
+                    break
+                if message.get("type") != "submit":
+                    await self._send(session, {
+                        "type": "error",
+                        "error": f"unexpected {message.get('type')!r}",
+                    })
+                    continue
+                wave_id = str(message.get("wave_id"))
+                if wave_id in self._waves:
+                    await self._send(session, {
+                        "type": "error",
+                        "error": f"duplicate wave id {wave_id!r}",
+                    })
+                    continue
+                wave = self._admit(wave_id, message, session)
+                owned.append(wave)
+                await self._pump()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            # An orphaned wave has nobody to stream outcomes to; drop
+            # it.  Workers still computing its batches deliver results
+            # into the void, which is safe — cells are deterministic
+            # and the client recomputes on its next submission.
+            for wave in owned:
+                self._waves.pop(wave.wave_id, None)
+
+    def _admit(self, wave_id, message, session):
+        jobs = message.get("jobs") or []
+        batches = self._partition(jobs, message.get("batch_size"))
+        table = LeaseTable(
+            wave_id, batches, lease_timeout=self.lease_timeout,
+            attempt_budget=self.attempt_budget, clock=self.clock,
+        )
+        wave = _Wave(wave_id, table, session)
+        self._waves[wave_id] = wave
+        self.stats["waves"] += 1
+        self._log(f"wave {wave_id}: {len(jobs)} cells in "
+                  f"{len(batches)} batches")
+        return wave
+
+    def _partition(self, jobs, batch_size):
+        """Contiguous declaration-order batches (the pool's sizing rule,
+        against the live worker count)."""
+        size = batch_size or self.batch_size
+        if size is None:
+            width = max(1, len(self._workers))
+            size = max(1, -(-len(jobs) // (2 * width)))
+        return [jobs[i:i + size] for i in range(0, len(jobs), size)]
+
+    async def _maybe_finish(self, wave):
+        if wave.finished:
+            return
+        table = wave.table
+        if len(table.done) >= table.total and table.exhausted:
+            wave.finished = True
+            self._waves.pop(wave.wave_id, None)
+            await self._send(wave.client, {"type": "wave_done",
+                                           "wave_id": wave.wave_id})
+            self._log(f"wave {wave.wave_id}: done "
+                      f"({self.stats['requeues']} requeues, "
+                      f"{self.stats['hedges']} hedges so far)")
+
+    # -- scheduling -----------------------------------------------------
+
+    async def _pump(self):
+        """Match idle workers with queued (or hedgeable) batches."""
+        while self._idle:
+            session = self._idle[0]
+            lease = self._next_lease(session.get("worker_id", "?"))
+            if lease is None:
+                return
+            self._idle.pop(0)
+            self.stats["batches"] += 1
+            if lease.hedge_of is not None:
+                self.stats["hedges"] += 1
+            sent = await self._send(session, {
+                "type": "batch", "lease_id": lease.lease_id,
+                "jobs": lease.batch,
+                "heartbeat_interval": self.heartbeat_interval,
+            })
+            if not sent:
+                wave = self._wave_of(lease.lease_id)
+                if wave is not None:
+                    requeued, degraded = wave.table.revoke(
+                        lease.lease_id, reason="dispatch failed"
+                    )
+                    await self._after_revocation(
+                        wave, requeued, degraded, "dispatch failed"
+                    )
+
+    def _next_lease(self, worker_id):
+        for wave in self._waves.values():
+            lease = wave.table.grant(worker_id)
+            if lease is not None:
+                return lease
+        if self.hedge:
+            for wave in self._waves.values():
+                lease = wave.table.hedge_candidate(worker_id)
+                if lease is not None:
+                    return lease
+        return None
+
+    # -- lease reaping --------------------------------------------------
+
+    async def _reap_loop(self):
+        import asyncio
+
+        interval = max(0.02, self.lease_timeout / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            await self.reap()
+
+    async def reap(self):
+        """Revoke every lease whose heartbeat went stale; requeue."""
+        for wave in list(self._waves.values()):
+            for lease in wave.table.expired():
+                requeued, degraded = wave.table.revoke(
+                    lease.lease_id,
+                    reason=f"lease expired on {lease.worker_id}",
+                )
+                self._log(f"lease {lease.lease_id} expired on "
+                          f"{lease.worker_id}; requeued {requeued}")
+                await self._after_revocation(
+                    wave, requeued, degraded,
+                    f"lease expired on {lease.worker_id}",
+                )
+        await self._pump()
+
+
+# ======================================================================
+# Worker
+# ======================================================================
+
+def _chaos_injector(chaos):
+    """Build the worker's seeded chaos injector from its spec dict."""
+    if not chaos:
+        return None
+    from repro.core.resilience import FaultInjector
+
+    rates = {kind: chaos[kind] for kind in ("frame_drop", "frame_corrupt")
+             if chaos.get(kind)}
+    if not rates and not chaos.get("heartbeat_delay_s"):
+        return None
+    return FaultInjector(seed=chaos.get("seed", 0), rates=rates)
+
+
+def _chaos_send(sock, message, lock, injector, log=None):
+    """Send one frame through the (optional) chaos gauntlet.
+
+    ``frame_drop`` swallows the frame (the server sees silence — the
+    lease expiry path); ``frame_corrupt`` flips one payload byte (the
+    server sees a digest mismatch — the bad-frame path).  Both draw
+    from the worker's own derived injector, so a chaos run's mishaps
+    are a pure function of (worker id, seed).
+    """
+    if injector is None:
+        write_frame(sock, message, lock=lock)
+        return
+    context = message.get("type", "?")
+    if injector.should_fire("frame_drop", context):
+        if log:
+            log(f"chaos: dropped {context} frame")
+        return
+    from repro.exec.proto import encode_frame
+
+    data = encode_frame(message)
+    if injector.should_fire("frame_corrupt", context):
+        index = len(data) - 1 - (injector.fired["frame_corrupt"]
+                                 % max(1, len(data) // 2))
+        data = data[:index] + bytes([data[index] ^ 0xFF]) + data[index + 1:]
+        if log:
+            log(f"chaos: corrupted {context} frame")
+    with lock:
+        sock.sendall(data)
+
+
+def run_worker(address, worker_id=None, reconnect_deadline=30.0,
+               seed=0, chaos=None, stream=None):
+    """The ``repro worker`` loop: pull batches until shut down.
+
+    Returns 0 on an orderly shutdown, 1 when the server stayed
+    unreachable past *reconnect_deadline* (per outage; the clock
+    resets after every successful connection — that is what makes the
+    worker self-healing rather than merely retrying).
+    """
+    import threading
+
+    from repro.core.resilience.retry import RetryPolicy
+
+    stream = stream if stream is not None else sys.stderr
+    host, port = parse_address(address)
+    worker_id = worker_id or f"w{os.getpid()}"
+    injector = _chaos_injector(chaos)
+    heartbeat_delay = float((chaos or {}).get("heartbeat_delay_s") or 0.0)
+    policy = RetryPolicy(max_attempts=1_000_000, base_delay=0.1,
+                         multiplier=2.0, max_delay=2.0, jitter=0.25,
+                         seed=seed)
+    import random as _random
+    rng = _random.Random(seed)
+
+    def log(message):
+        print(f"repro-worker[{worker_id}]: {message}", file=stream,
+              flush=True)
+
+    outage_started = None
+    attempt = 0
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+        except OSError as exc:
+            now = time.monotonic()
+            outage_started = outage_started or now
+            if now - outage_started > reconnect_deadline:
+                log(f"server unreachable for "
+                    f"{now - outage_started:.1f}s; giving up ({exc})")
+                return 1
+            attempt += 1
+            time.sleep(policy.delay_for(min(attempt, 8), rng))
+            continue
+        outage_started = None
+        attempt = 0
+        sock.settimeout(None)
+        lock = threading.Lock()
+        try:
+            code = _worker_session(sock, worker_id, lock, injector,
+                                   heartbeat_delay, log)
+            if code is not None:
+                return code
+        except (ConnectionError, OSError, FrameError) as exc:
+            log(f"connection lost ({exc}); reconnecting")
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def _worker_session(sock, worker_id, lock, injector, heartbeat_delay,
+                    log):
+    """One connected stint; returns an exit code or None to reconnect."""
+    import threading
+
+    write_frame(sock, {"type": "hello", "role": "worker",
+                       "worker_id": worker_id, "pid": os.getpid()},
+                lock=lock)
+    welcome = read_frame(sock)
+    if welcome.get("type") != "welcome":
+        raise ProtocolError(f"expected welcome, got {welcome!r}")
+    log(f"connected (lease timeout "
+        f"{welcome.get('lease_timeout', '?')}s)")
+    while True:
+        write_frame(sock, {"type": "ready"}, lock=lock)
+        message = read_frame(sock)
+        kind = message.get("type")
+        if kind == "shutdown":
+            log("server shut down; exiting")
+            return 0
+        if kind != "batch":
+            raise ProtocolError(f"expected batch, got {kind!r}")
+        lease_id = message["lease_id"]
+        interval = float(message.get("heartbeat_interval") or 1.0)
+        jobs = [rebuild_job(described) for described in message["jobs"]]
+        stop = threading.Event()
+
+        def beat():
+            while not stop.wait(interval + heartbeat_delay):
+                try:
+                    _chaos_send(sock, {"type": "heartbeat",
+                                       "lease_id": lease_id},
+                                lock, injector, log=log)
+                except OSError:
+                    return
+
+        beater = threading.Thread(target=beat, daemon=True)
+        beater.start()
+        try:
+            from repro.exec.pool import invoke_batch
+
+            outcomes = invoke_batch(jobs)
+        finally:
+            stop.set()
+            beater.join(timeout=2.0)
+        _chaos_send(sock, {"type": "result", "lease_id": lease_id,
+                           "outcomes": [[key, outcome]
+                                        for key, outcome in outcomes]},
+                    lock, injector, log=log)
+
+
+# ======================================================================
+# Client backend
+# ======================================================================
+
+class DistBackend:
+    """Run waves on a remote dist server (``--backend dist``).
+
+    Satisfies the same backend contract as
+    :class:`~repro.exec.backends.ProcessPoolBackend`: ``run_wave``
+    yields ``(key, outcome)`` in arrival order, ``concurrent`` steers
+    the runner to per-cell checkpoint shards.  Resilience ladder, top
+    to bottom:
+
+    1. connection breaks mid-wave → reconnect (seeded exponential
+       backoff) and resubmit only the cells still missing;
+    2. server unreachable past ``connect_deadline`` → degrade to the
+       local warm-pool backend with a warning (sticky for the rest of
+       the sweep), so the sweep *finishes*;
+    3. fallback disabled → :class:`~repro.errors.
+       ServerUnreachableError`, CLI exit code 6.
+    """
+
+    concurrent = True
+
+    def __init__(self, address, seed=0, fallback=True, fallback_jobs=2,
+                 connect_deadline=DEFAULT_CONNECT_DEADLINE,
+                 batch_size=None, events=None, stream=None):
+        self.address = parse_address(address)
+        self.seed = seed
+        self.fallback = fallback
+        self.fallback_jobs = max(1, fallback_jobs)
+        self.jobs = self.fallback_jobs
+        self.connect_deadline = connect_deadline
+        self.batch_size = batch_size
+        self.events = events
+        self.stream = stream if stream is not None else sys.stderr
+        self._sock = None
+        self._fallback_backend = None
+        self._label = "sweep"
+        self._wave_counter = itertools.count(1)
+        from repro.core.resilience.retry import RetryPolicy
+        import random as _random
+
+        self._policy = RetryPolicy(max_attempts=1_000_000,
+                                   base_delay=0.1, multiplier=2.0,
+                                   max_delay=1.0, jitter=0.25, seed=seed)
+        self._rng = _random.Random(seed)
+
+    # -- runner hooks ---------------------------------------------------
+
+    def bind(self, plan):
+        """Label waves with the experiment (runner calls this)."""
+        self._label = plan.experiment
+
+    def close(self):
+        self._disconnect()
+        if self._fallback_backend is not None:
+            self._fallback_backend.close()
+
+    # -- events / logging -----------------------------------------------
+
+    def _event(self, kind, **info):
+        if self.events is not None:
+            self.events(kind, **info)
+
+    def _warn(self, message):
+        print(f"repro-dist: {message}", file=self.stream, flush=True)
+
+    # -- connection management ------------------------------------------
+
+    def _disconnect(self):
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _ensure_connected(self):
+        if self._sock is not None:
+            return self._sock
+        deadline = time.monotonic() + self.connect_deadline
+        attempt = 0
+        last_error = None
+        while True:
+            try:
+                sock = socket.create_connection(self.address,
+                                                timeout=5.0)
+            except OSError as exc:
+                last_error = exc
+            else:
+                try:
+                    sock.settimeout(None)
+                    write_frame(sock, {"type": "hello",
+                                       "role": "client",
+                                       "pid": os.getpid()})
+                    welcome = read_frame(sock)
+                    if welcome.get("type") != "welcome":
+                        raise ProtocolError(
+                            f"expected welcome, got {welcome!r}"
+                        )
+                except (OSError, FrameError, ProtocolError) as exc:
+                    last_error = exc
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                else:
+                    if attempt:
+                        self._event("reconnect", attempts=attempt + 1)
+                    self._sock = sock
+                    return sock
+            attempt += 1
+            delay = self._policy.delay_for(min(attempt, 8), self._rng)
+            if time.monotonic() + delay > deadline:
+                raise ServerUnreachableError(
+                    f"dist server {self.address[0]}:{self.address[1]} "
+                    f"unreachable within {self.connect_deadline:.1f}s "
+                    f"({last_error})"
+                )
+            time.sleep(delay)
+
+    # -- degradation -----------------------------------------------------
+
+    def _degrade(self, reason):
+        from repro.exec.backends import ProcessPoolBackend, SerialBackend
+
+        self._disconnect()
+        self._warn(f"degrading to the local "
+                   f"{'warm-pool' if self.fallback_jobs > 1 else 'serial'}"
+                   f" backend: {reason}")
+        self._event("fallback", reason=str(reason))
+        if self.fallback_jobs > 1:
+            self._fallback_backend = ProcessPoolBackend(self.fallback_jobs)
+        else:
+            self._fallback_backend = SerialBackend()
+        return self._fallback_backend
+
+    # -- the backend contract -------------------------------------------
+
+    def run_wave(self, jobs):
+        """Yield ``(key, outcome)`` as the server streams them back."""
+        jobs = list(jobs)
+        if not jobs:
+            return
+        if self._fallback_backend is not None:
+            yield from self._fallback_backend.run_wave(jobs)
+            return
+        original = {}
+        remaining = {}
+        for job in jobs:
+            described = describe_job(job)
+            original[described["key"]] = job
+            remaining[described["key"]] = described
+
+        while remaining:
+            try:
+                sock = self._ensure_connected()
+            except ServerUnreachableError as exc:
+                if not self.fallback:
+                    raise
+                backend = self._degrade(exc)
+                yield from backend.run_wave(
+                    [original[key] for key in remaining]
+                )
+                return
+            wave_id = (f"{self._label}-{os.getpid()}-"
+                       f"{next(self._wave_counter)}")
+            try:
+                write_frame(sock, {
+                    "type": "submit", "wave_id": wave_id,
+                    "jobs": list(remaining.values()),
+                    "batch_size": self.batch_size,
+                })
+                while remaining:
+                    message = read_frame(sock)
+                    kind = message.get("type")
+                    if kind == "outcome":
+                        key = message["key"]
+                        if key in remaining:
+                            del remaining[key]
+                            yield key, message["outcome"]
+                    elif kind == "requeued":
+                        self._event("requeue",
+                                    keys=message.get("keys") or [],
+                                    reason=message.get("reason"))
+                    elif kind == "wave_done":
+                        break
+                    elif kind == "error":
+                        raise ProtocolError(message.get("error")
+                                            or "server error")
+            except (ConnectionError, OSError, FrameError) as exc:
+                self._disconnect()
+                self._warn(f"connection lost mid-wave ({exc}); "
+                           f"resubmitting {len(remaining)} cell(s)")
+                self._event("resubmit", cells=len(remaining))

@@ -1,0 +1,263 @@
+"""Lease bookkeeping for the distributed sweep server.
+
+Every batch the server hands a worker is covered by a :class:`Lease`:
+a claim that expires unless the worker keeps renewing it with
+heartbeats.  The :class:`LeaseTable` is deliberately synchronous and
+clock-injected — the asyncio server drives it, but every policy
+decision (when a lease is stale, where a revoked batch re-enters the
+queue, when a cell's attempt budget is spent, which lease deserves a
+hedge) lives here where it can be unit-tested against a fake clock
+with zero concurrency.
+
+Determinism contract: given the same sequence of grant / renew /
+revoke calls at the same fake-clock times, the table produces the same
+requeue order and the same ``log`` — the property the chaos
+determinism tests pin down.  Revoked batches are requeued at the
+*head* of the queue, split into singletons when the batch had company
+(isolating a crasher without re-charging its healthy batchmates),
+exactly mirroring the warm-pool backend's crash taxonomy.
+"""
+
+import dataclasses
+import itertools
+import time
+
+from repro.core.resilience.checkpoint import error_chain
+from repro.errors import WorkerCrashError
+
+
+@dataclasses.dataclass
+class Lease:
+    """One outstanding claim of one batch by one worker."""
+
+    lease_id: str
+    worker_id: str
+    wave_id: str
+    batch: list                 # job descriptions, declaration order
+    granted_at: float
+    last_heartbeat: float
+    hedge_of: str = None        # lease_id this one duplicates, if any
+
+    def keys(self):
+        return [job["key"] for job in self.batch]
+
+
+def crash_outcome(key, attempts, reason="worker lease lost"):
+    """The failed-cell outcome a cell over its attempt budget degrades
+    to — same shape and taxonomy as the pool backend's crash path."""
+    chain = error_chain(WorkerCrashError(
+        f"{reason} running cell {key!r} ({attempts} attempts)"
+    ))
+    return {
+        "status": "err", "chain": chain, "recoverable": True,
+        "elapsed": 0.0, "type": WorkerCrashError.__name__,
+    }
+
+
+class LeaseTable:
+    """Grant, renew, expire and hedge batch leases for one wave queue.
+
+    The table owns the wave's pending-batch queue *and* its outstanding
+    leases, so requeue position is a table decision, not scattered
+    server logic.  ``attempt_budget`` caps how many times one cell may
+    be re-leased after revocations before it degrades to a
+    :func:`crash_outcome`; hedge leases never charge attempts (the
+    original may still land).
+    """
+
+    def __init__(self, wave_id, batches, lease_timeout=5.0,
+                 attempt_budget=3, clock=time.monotonic):
+        self.wave_id = wave_id
+        self.queue = [list(batch) for batch in batches if batch]
+        self.lease_timeout = lease_timeout
+        self.attempt_budget = attempt_budget
+        self.clock = clock
+        self.leases = {}
+        self.attempts = {}
+        self.done = set()
+        self.log = []           # ("grant"|"renew"|"revoke"|...) tuples
+        self._counter = itertools.count(1)
+        self.total = sum(len(batch) for batch in self.queue)
+
+    # -- queue state ----------------------------------------------------
+
+    @property
+    def outstanding(self):
+        return len(self.leases)
+
+    @property
+    def exhausted(self):
+        """True when nothing is queued or leased: the wave is settled."""
+        return not self.queue and not self.leases
+
+    def pending_keys(self):
+        return [job["key"] for batch in self.queue for job in batch]
+
+    # -- grant / renew / complete ---------------------------------------
+
+    def grant(self, worker_id):
+        """Lease the next queued batch to *worker_id* (or ``None``).
+
+        Completed keys are filtered out first — a batch whose cells all
+        landed through a hedge or a late revoked-lease result simply
+        evaporates.
+        """
+        while self.queue:
+            batch = [job for job in self.queue.pop(0)
+                     if job["key"] not in self.done]
+            if batch:
+                return self._issue(worker_id, batch, hedge_of=None)
+        return None
+
+    def _issue(self, worker_id, batch, hedge_of):
+        now = self.clock()
+        lease = Lease(
+            lease_id=f"{self.wave_id}/L{next(self._counter)}",
+            worker_id=worker_id, wave_id=self.wave_id, batch=batch,
+            granted_at=now, last_heartbeat=now, hedge_of=hedge_of,
+        )
+        self.leases[lease.lease_id] = lease
+        self.log.append(("hedge" if hedge_of else "grant",
+                         lease.lease_id, worker_id, lease.keys()))
+        return lease
+
+    def renew(self, lease_id):
+        """Record a heartbeat; unknown leases (already revoked) say so."""
+        lease = self.leases.get(lease_id)
+        if lease is None:
+            return False
+        lease.last_heartbeat = self.clock()
+        self.log.append(("renew", lease_id, lease.worker_id))
+        return True
+
+    def complete(self, lease_id, keys):
+        """Mark a lease's cells done and retire it.
+
+        Returns the subset of *keys* that were not already completed by
+        a rival (hedge or requeued) lease — the ones whose outcomes the
+        server should actually forward.  Unknown lease ids are
+        tolerated: a worker whose lease was revoked mid-cell may still
+        deliver a perfectly good (deterministic) result, and discarding
+        finished work would only add requeue churn.
+        """
+        fresh = [key for key in keys if key not in self.done]
+        self.done.update(fresh)
+        lease = self.leases.pop(lease_id, None)
+        self.log.append(("complete", lease_id,
+                         lease.worker_id if lease else None, fresh))
+        return fresh
+
+    # -- revocation / expiry --------------------------------------------
+
+    def revoke(self, lease_id, reason="revoked"):
+        """Revoke one lease and requeue its unfinished cells.
+
+        Returns ``(requeued keys, [(key, crash outcome), ...])`` — the
+        second list holds cells that spent their attempt budget and
+        degrade into failed-cell outcomes instead of requeuing.  Hedge
+        leases requeue nothing (their original is still live or was
+        completed) and charge nothing.
+        """
+        lease = self.leases.pop(lease_id, None)
+        if lease is None:
+            return [], []
+        if lease.hedge_of is not None:
+            self.log.append(("drop-hedge", lease_id, lease.worker_id,
+                             reason))
+            return [], []
+        remaining = [job for job in lease.batch
+                     if job["key"] not in self.done]
+        requeued, degraded = [], []
+        if len(remaining) > 1:
+            # Any cell may be the one that took the worker down; retry
+            # them one per batch, uncharged, so the next loss names
+            # exactly one suspect — the pool backend's discipline.
+            for job in reversed(remaining):
+                self.queue.insert(0, [job])
+                requeued.append(job["key"])
+            requeued.reverse()
+        elif remaining:
+            [job] = remaining
+            key = job["key"]
+            self.attempts[key] = self.attempts.get(key, 0) + 1
+            if self.attempts[key] > self.attempt_budget:
+                outcome = crash_outcome(key, self.attempts[key],
+                                        reason=reason)
+                self.done.add(key)
+                degraded.append((key, outcome))
+            else:
+                self.queue.insert(0, [job])
+                requeued.append(key)
+        self.log.append(("revoke", lease_id, lease.worker_id, reason,
+                         list(requeued)))
+        return requeued, degraded
+
+    def revoke_worker(self, worker_id, reason="worker lost"):
+        """Revoke every lease held by one (vanished) worker."""
+        requeued, degraded = [], []
+        for lease_id in [lease_id for lease_id, lease in self.leases.items()
+                         if lease.worker_id == worker_id]:
+            more_requeued, more_degraded = self.revoke(lease_id,
+                                                       reason=reason)
+            requeued.extend(more_requeued)
+            degraded.extend(more_degraded)
+        return requeued, degraded
+
+    def expired(self):
+        """Leases whose heartbeat is older than the timeout, oldest
+        first (stable order: the determinism tests replay this)."""
+        horizon = self.clock() - self.lease_timeout
+        stale = [lease for lease in self.leases.values()
+                 if lease.last_heartbeat < horizon]
+        stale.sort(key=lambda lease: (lease.last_heartbeat,
+                                      lease.lease_id))
+        return stale
+
+    # -- hedging ---------------------------------------------------------
+
+    def hedge_candidate(self, worker_id, hedge_after=None):
+        """A duplicate lease of the stalest outstanding batch, or
+        ``None``.
+
+        Only offered when the queue is empty (the idle worker has
+        nothing better to do), the candidate is not itself a hedge, is
+        not already hedged, belongs to another worker, and has been
+        outstanding longer than *hedge_after* (default: half the lease
+        timeout) — the tail the straggler mitigation targets.
+        """
+        if self.queue:
+            return None
+        if hedge_after is None:
+            hedge_after = self.lease_timeout / 2.0
+        now = self.clock()
+        already_hedged = {lease.hedge_of for lease in self.leases.values()
+                          if lease.hedge_of is not None}
+        candidates = [
+            lease for lease in self.leases.values()
+            if lease.hedge_of is None
+            and lease.lease_id not in already_hedged
+            and lease.worker_id != worker_id
+            and now - lease.granted_at >= hedge_after
+        ]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda lease: (lease.granted_at,
+                                           lease.lease_id))
+        original = candidates[0]
+        batch = [job for job in original.batch
+                 if job["key"] not in self.done]
+        if not batch:
+            return None
+        return self._issue(worker_id, batch, hedge_of=original.lease_id)
+
+    # -- telemetry -------------------------------------------------------
+
+    def requeue_order(self):
+        """Flat ``(lease_id, key)`` requeue history — the sequence the
+        chaos determinism test asserts is a pure function of (schedule,
+        seed)."""
+        out = []
+        for entry in self.log:
+            if entry[0] == "revoke":
+                out.extend((entry[1], key) for key in entry[4])
+        return out

@@ -65,14 +65,28 @@ def discard_pool(jobs):
         pool.shutdown(wait=False, cancel_futures=True)
 
 
-def shutdown_pools():
-    """Shut down every warm pool (atexit hook; idempotent)."""
+def shutdown_all(wait=True):
+    """Shut down every warm pool *now*; returns how many were reaped.
+
+    The explicit counterpart of the ``atexit`` hook: long-lived drivers
+    (the dist server's host, test suites, notebook sessions) call this
+    between workloads so no spawned worker process outlives its last
+    sweep.  Idempotent — a second call finds an empty registry.
+    """
+    count = 0
     while _SHARED:
         _, pool = _SHARED.popitem()
-        try:
-            pool.shutdown(wait=True, cancel_futures=True)
-        except Exception:  # pragma: no cover - interpreter teardown
-            pass
+        pool.shutdown(wait=wait, cancel_futures=True)
+        count += 1
+    return count
+
+
+def shutdown_pools():
+    """Shut down every warm pool (atexit hook; idempotent)."""
+    try:
+        shutdown_all(wait=True)
+    except Exception:  # pragma: no cover - interpreter teardown
+        pass
 
 
 atexit.register(shutdown_pools)

@@ -84,3 +84,17 @@ class SweepProgress:
             rate=self.cells_per_second(), cache=cache,
         )
         print(line, file=self.stream, flush=True)
+
+    def event(self, kind, **info):
+        """Out-of-band executor events on their own lines.
+
+        The dist backend reports lease requeues, reconnects and
+        fallbacks through this hook so a watching operator sees the
+        turbulence, while the per-cell completion lines stay a clean
+        record of forward progress.
+        """
+        detail = ", ".join(f"{key}={value}" for key, value
+                           in sorted(info.items()))
+        print(f"{self.experiment}: ! {kind}"
+              + (f" ({detail})" if detail else ""),
+              file=self.stream, flush=True)

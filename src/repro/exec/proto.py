@@ -1,0 +1,277 @@
+"""Wire protocol for the distributed sweep tier.
+
+Frames
+------
+Every message between the dist server, its workers and the client
+backend travels as one *frame*::
+
+    magic(2) | version(1) | length(4, big-endian) | sha256[:8] | payload
+
+The payload is canonical UTF-8 JSON.  The digest prefix makes
+corruption — bit rot, a chaos-injected byte flip, a truncated send —
+*detectable*: a receiver that cannot verify a frame raises
+:class:`~repro.errors.FrameError` and tears the connection down, which
+is exactly the failure the lease/requeue machinery already handles.
+Nothing in the system trusts a frame it cannot verify.
+
+Jobs over JSON
+--------------
+The pool backend ships cells by pickling ``(fn, kwargs)``; a network
+protocol must not (pickles execute code on load, and tie both ends to
+one interpreter).  Instead a job is *described*: the cell body by its
+``module:qualname`` (resolved by import on the worker — workers only
+run code they already ship), the derived fault injector by its
+``(seed, rates, max_fires)`` constructor spec, the trace config by its
+``(categories, max_records)`` knobs.  Cell kwargs are JSON by
+construction (the checkpoint and cell cache already require it), so
+the description round-trips losslessly and the worker rebuilds the
+exact job tuple :func:`repro.exec.backends.invoke_cell` expects.
+"""
+
+import hashlib
+import importlib
+import json
+import struct
+
+from repro.errors import FrameError, ProtocolError
+
+#: Frame magic + protocol version; bump the version on incompatible
+#: message-shape changes (peers refuse to talk across versions).
+MAGIC = b"rd"
+VERSION = 1
+
+#: Header layout: magic, version, payload length, digest prefix.
+_HEADER = struct.Struct("!2sBI8s")
+
+#: Hard ceiling on one frame's payload; a length beyond this is treated
+#: as corruption, not as a request to allocate gigabytes.
+MAX_FRAME = 64 * 1024 * 1024
+
+#: Digest prefix length carried in the header.
+_DIGEST_BYTES = 8
+
+
+def _digest(payload):
+    return hashlib.sha256(payload).digest()[:_DIGEST_BYTES]
+
+
+def encode_frame(message):
+    """Serialise one message dict into frame bytes."""
+    payload = json.dumps(message, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte ceiling"
+        )
+    return _HEADER.pack(MAGIC, VERSION, len(payload),
+                        _digest(payload)) + payload
+
+
+def decode_header(header):
+    """Validate a header; returns the expected (length, digest)."""
+    try:
+        magic, version, length, digest = _HEADER.unpack(header)
+    except struct.error as exc:
+        raise FrameError(f"short frame header: {exc}") from exc
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise FrameError(
+            f"protocol version mismatch: peer speaks {version}, "
+            f"this end speaks {VERSION}"
+        )
+    if length > MAX_FRAME:
+        raise FrameError(
+            f"frame length {length} exceeds the {MAX_FRAME}-byte ceiling"
+        )
+    return length, digest
+
+
+def decode_payload(payload, digest):
+    """Verify and parse one frame payload."""
+    if _digest(payload) != digest:
+        raise FrameError(
+            "frame digest mismatch (corrupted or tampered payload)"
+        )
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FrameError(f"undecodable frame payload: {exc}") from exc
+
+
+HEADER_SIZE = _HEADER.size
+
+
+# -- blocking-socket transport (workers, client backend) ----------------
+
+def write_frame(sock, message, lock=None):
+    """Send one frame on a blocking socket (optionally under *lock*).
+
+    The lock exists for the worker, whose heartbeat thread and compute
+    loop share one socket; interleaved ``send`` calls would shear
+    frames.
+    """
+    data = encode_frame(message)
+    if lock is not None:
+        with lock:
+            sock.sendall(data)
+    else:
+        sock.sendall(data)
+
+
+def _recv_exact(sock, count):
+    chunks = []
+    while count:
+        chunk = sock.recv(min(count, 1 << 16))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame"
+                                  if chunks else "peer closed the "
+                                  "connection")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock):
+    """Read one verified message from a blocking socket.
+
+    Raises :class:`ConnectionError` on EOF and
+    :class:`~repro.errors.FrameError` on a frame that fails
+    verification.
+    """
+    length, digest = decode_header(_recv_exact(sock, HEADER_SIZE))
+    return decode_payload(_recv_exact(sock, length), digest)
+
+
+# -- asyncio transport (the server) -------------------------------------
+
+async def aread_frame(reader):
+    """Read one verified message from an asyncio ``StreamReader``.
+
+    Returns ``None`` on clean EOF at a frame boundary (the peer hung
+    up between messages, which is how sessions end).
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("peer closed the connection mid-header") from exc
+    length, digest = decode_header(header)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("peer closed the connection mid-frame") from exc
+    return decode_payload(payload, digest)
+
+
+async def awrite_frame(writer, message):
+    """Send one frame on an asyncio ``StreamWriter`` and drain."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# -- job description ----------------------------------------------------
+
+def _fn_ref(fn):
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname:
+        raise ProtocolError(
+            f"cell body {fn!r} is not importable by name; distributed "
+            f"cells must be module-level functions"
+        )
+    return f"{module}:{qualname}"
+
+
+def resolve_fn(ref):
+    """Import a ``module:qualname`` cell-body reference."""
+    module_name, _, qualname = ref.partition(":")
+    try:
+        target = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            target = getattr(target, part)
+    except (ImportError, AttributeError) as exc:
+        raise ProtocolError(
+            f"cannot resolve cell body {ref!r}: {exc}"
+        ) from exc
+    return target
+
+
+def describe_job(job):
+    """One runner job tuple -> a JSON-safe job description.
+
+    *job* is ``(key, fn, kwargs, faults_kw[, trace])`` exactly as
+    :func:`repro.exec.runner.execute_plan` builds it; the derived
+    :class:`~repro.core.resilience.FaultInjector` (when armed) is
+    lifted out of the kwargs and sent as its constructor spec.
+    """
+    key, fn, kwargs, faults_kw, *rest = job
+    trace = rest[0] if rest else None
+    kwargs = dict(kwargs)
+    faults = None
+    if faults_kw is not None and faults_kw in kwargs:
+        injector = kwargs.pop(faults_kw)
+        if injector is not None:
+            faults = {
+                "seed": injector.seed,
+                "rates": dict(injector.rates),
+                "max_fires": injector.max_fires,
+            }
+    described = {
+        "key": key,
+        "fn": _fn_ref(fn),
+        "kwargs": kwargs,
+        "faults_kw": faults_kw,
+        "faults": faults,
+    }
+    if trace is not None:
+        config = trace["config"]
+        described["trace"] = {
+            "key": trace["key"],
+            "seed": trace["seed"],
+            "categories": (None if config.categories is None
+                           else sorted(config.categories)),
+            "max_records": config.max_records,
+        }
+    try:
+        json.dumps(described)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"cell {key!r} kwargs are not JSON-serialisable and cannot "
+            f"travel to a remote worker: {exc}"
+        ) from exc
+    return described
+
+
+def rebuild_job(described):
+    """A job description -> the runner job tuple a worker executes."""
+    kwargs = dict(described["kwargs"])
+    faults_kw = described.get("faults_kw")
+    spec = described.get("faults")
+    if faults_kw is not None and spec is not None:
+        from repro.core.resilience import FaultInjector
+
+        kwargs[faults_kw] = FaultInjector(
+            seed=spec["seed"], rates=spec["rates"],
+            max_fires=spec["max_fires"],
+        )
+    trace = None
+    spec = described.get("trace")
+    if spec is not None:
+        from repro.obs import TraceConfig
+
+        trace = {
+            "config": TraceConfig(
+                categories=(None if spec["categories"] is None
+                            else tuple(spec["categories"])),
+                max_records=spec["max_records"],
+            ),
+            "key": spec["key"],
+            "seed": spec["seed"],
+        }
+    return (described["key"], resolve_fn(described["fn"]), kwargs,
+            faults_kw, trace)

@@ -141,6 +141,11 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
         # Scenario); they cannot be shipped to a worker.  Fall back to
         # the reference backend rather than silently running a subset.
         backend = SerialBackend()
+    bind = getattr(backend, "bind", None)
+    if bind is not None:
+        # Backends that label remote work by experiment (DistBackend)
+        # get to see the plan before the first wave ships.
+        bind(plan)
     if statuses is None:
         statuses = {}
     results = dict(plan.presets)

@@ -85,7 +85,12 @@ class TestRoundTrip:
 
         assert cache.lookup(digest) is None
         assert cache.poisoned == 1
-        assert not os.path.exists(path)  # discarded, not retried forever
+        # The poisoned file is left in place: healing is write-only
+        # (an unlink could destroy a rival healer's fresh entry), so
+        # the entry is replaced by the recompute's store(), not here.
+        assert os.path.exists(path)
+        cache.store(digest, "toy", "a", {"x": 1})
+        assert cache.lookup(digest) == ({"x": 1}, None, None)
 
 
 class TestExecutePlanMemoization:
@@ -132,6 +137,56 @@ class TestExecutePlanMemoization:
         assert execute_plan(_plan(), cell_cache=healed) == cold
         assert healed.stats() == {"hits": 2, "misses": 0, "puts": 0,
                                   "poisoned": 0}
+
+    def test_concurrent_healers_converge(self, tmp_path):
+        """N threads all detect the same poisoned entry and heal it.
+
+        The race this pins: with unlink-on-detect, a slow healer's
+        delete could land *after* a fast healer's store and destroy
+        the healed entry.  With write-only healing every racer funnels
+        through store()'s unique-temp + rename, so whatever the
+        interleaving, the entry ends valid.
+        """
+        import threading
+
+        cache = CellCache(tmp_path)
+        digest = cache.digest("toy", "a", 1, seeded_value, {"tag": "a"})
+        cache.store(digest, "toy", "a", {"x": 1})
+        [path] = _entry_files(cache)
+        entry = json.load(open(path))
+        entry["payload"]["value"] = "poison"
+        with open(path, "w") as handle:
+            json.dump(entry, handle)
+
+        start = threading.Barrier(8)
+        outcomes = []
+
+        def heal(index):
+            healer = CellCache(tmp_path)
+            start.wait()
+            for _ in range(20):
+                if healer.lookup(digest) is None:
+                    # Recompute (deterministic) and write the heal.
+                    healer.store(digest, "toy", "a", {"x": 1})
+            outcomes.append(healer.stats())
+
+        threads = [threading.Thread(target=heal, args=(index,))
+                   for index in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(outcomes) == 8
+        assert CellCache(tmp_path).lookup(digest) == ({"x": 1}, None, None)
+        [final] = _entry_files(cache)
+        assert final == path
+        # Nobody can have read the poisoned payload as a hit value.
+        total_hits = sum(stats["hits"] for stats in outcomes)
+        total_poisoned = sum(stats["poisoned"] for stats in outcomes)
+        assert total_poisoned >= 1
+        assert total_hits + total_poisoned + \
+            sum(stats["misses"] for stats in outcomes) == 8 * 20
 
     def test_fault_armed_plans_bypass_the_cache(self, tmp_path):
         cache = CellCache(tmp_path / "cc")

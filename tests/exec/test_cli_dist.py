@@ -1,0 +1,103 @@
+"""CLI surface of the distributed tier: flags, exit codes, parity.
+
+``--connect`` implies ``--backend dist``; ``--backend dist`` without an
+address is a usage error; an unreachable server is exit 6 when fallback
+is off and a finished sweep when it is on.  The end-to-end test drives
+a real ``repro fig4 --connect`` against an in-process cluster and holds
+its stdout artefact to the serial run's, byte for byte.
+"""
+
+import socket
+
+import pytest
+
+from repro.cli import (
+    EXIT_OK,
+    EXIT_UNREACHABLE,
+    EXIT_USAGE,
+    build_parser,
+    main,
+)
+
+from tests.exec.test_dist import _Cluster
+
+
+def _dead_address():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return f"127.0.0.1:{port}"
+
+
+class TestParser:
+    def test_connect_and_backend_flags_on_experiments(self):
+        args = build_parser().parse_args(
+            ["fig4", "--connect", "127.0.0.1:9000"]
+        )
+        assert args.connect == "127.0.0.1:9000"
+        assert args.backend is None
+        args = build_parser().parse_args(["fig4", "--backend", "pool"])
+        assert args.backend == "pool"
+
+    def test_serve_worker_chaos_subcommands_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "7000", "--lease-timeout", "2"]
+        )
+        assert args.port == 7000 and args.lease_timeout == 2.0
+        args = build_parser().parse_args(
+            ["worker", "--connect", ":7000", "--id", "w9"]
+        )
+        assert args.connect == ":7000" and args.id == "w9"
+        args = build_parser().parse_args(["chaos", "--workers", "4",
+                                          "--kills", "2"])
+        assert args.workers == 4 and args.kills == 2
+
+    def test_backend_dist_without_connect_is_usage_error(self, capsys):
+        assert main(["fig4", "--quick", "--no-ledger",
+                     "--backend", "dist"]) == EXIT_USAGE
+        assert "--connect" in capsys.readouterr().err
+
+    def test_bad_worker_chaos_spec_is_usage_error(self, capsys):
+        assert main(["worker", "--connect", ":1", "--chaos",
+                     "{not json"]) == EXIT_USAGE
+        assert "--chaos" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    def test_unreachable_with_fallback_disabled_exits_6(self, capsys):
+        assert main(["fig4", "--quick", "--seed", "8", "--no-ledger",
+                     "--connect", _dead_address(),
+                     "--no-dist-fallback",
+                     "--dist-deadline", "0.3"]) == EXIT_UNREACHABLE
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_unreachable_with_fallback_finishes_the_sweep(self, capsys):
+        assert main(["fig4", "--quick", "--seed", "8",
+                     "--no-ledger"]) == EXIT_OK
+        serial_out = capsys.readouterr().out
+        assert main(["fig4", "--quick", "--seed", "8", "--no-ledger",
+                     "--connect", _dead_address(),
+                     "--dist-deadline", "0.3"]) == EXIT_OK
+        captured = capsys.readouterr()
+        assert captured.out == serial_out
+        assert "degrading" in captured.err
+
+
+class TestDistRunParity:
+    def test_connect_run_matches_serial_stdout(self, capsys):
+        assert main(["fig4", "--quick", "--seed", "8",
+                     "--no-ledger"]) == EXIT_OK
+        serial_out = capsys.readouterr().out
+
+        cluster = _Cluster()
+        cluster.start_worker("w0")
+        cluster.start_worker("w1")
+        host, port = cluster.address
+        try:
+            assert main(["fig4", "--quick", "--seed", "8", "--no-ledger",
+                         "--connect", f"{host}:{port}"]) == EXIT_OK
+        finally:
+            cluster.stop()
+        captured = capsys.readouterr()
+        assert captured.out == serial_out

@@ -1,0 +1,403 @@
+"""The distributed tier end to end, in one process.
+
+The real ``DistServer`` runs on an asyncio loop in a daemon thread,
+real ``run_worker`` loops run in further threads (cells execute
+through the same ``invoke_batch`` path the warm pool uses), and a real
+``DistBackend`` streams outcomes over real sockets.  What these tests
+pin down is the contract the chaos harness then stresses with
+processes and signals: dist outcomes are byte-identical to serial
+ones, a worker that stops heartbeating loses its lease and its cells
+land anyway, and an unreachable server degrades to a local backend —
+or to a typed error when fallback is off.
+"""
+
+import io
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.resilience import FaultInjector
+from repro.errors import FrameError, ServerUnreachableError
+from repro.exec.backends import SerialBackend, invoke_cell
+from repro.exec.dist import (
+    DistBackend,
+    DistServer,
+    _chaos_send,
+    parse_address,
+    run_worker,
+)
+from repro.exec.proto import read_frame, rebuild_job, write_frame
+
+from tests.exec.cells import seeded_value, summed, transient_boom
+
+
+def _jobs(count=6):
+    return [(f"cell/{index}", seeded_value,
+             {"tag": f"t{index}", "cell_seed": index}, None, None)
+            for index in range(count)]
+
+
+def _scrub(outcome):
+    """Outcomes minus wall-clock noise (what the ledger strips too)."""
+    return {key: value for key, value in outcome.items()
+            if key != "elapsed"}
+
+
+def _serial_reference(jobs):
+    return {key: _scrub(outcome)
+            for key, outcome in SerialBackend().run_wave(jobs)}
+
+
+class _Cluster:
+    """A live DistServer on a daemon thread plus worker threads."""
+
+    def __init__(self, **server_kwargs):
+        server_kwargs.setdefault("stream", io.StringIO())
+        self.server = DistServer(host="127.0.0.1", port=0,
+                                 **server_kwargs)
+        self._loop = {}
+        self.worker_codes = {}
+        self._threads = []
+        started = threading.Event()
+
+        def serve():
+            import asyncio
+
+            async def main():
+                await self.server.start()
+                self._loop["loop"] = asyncio.get_running_loop()
+                started.set()
+                try:
+                    await self.server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert started.wait(10.0), "dist server failed to start"
+        self._threads.append(thread)
+
+    @property
+    def address(self):
+        return ("127.0.0.1", self.server.port)
+
+    def start_worker(self, worker_id, **kwargs):
+        kwargs.setdefault("reconnect_deadline", 1.0)
+
+        def loop():
+            self.worker_codes[worker_id] = run_worker(
+                self.address, worker_id=worker_id,
+                stream=io.StringIO(), **kwargs
+            )
+
+        thread = threading.Thread(target=loop, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    def stop(self):
+        import asyncio
+
+        loop = self._loop.get("loop")
+        if loop is not None and loop.is_running():
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self.server.stop(), loop
+                ).result(5.0)
+            except Exception:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+
+@pytest.fixture
+def events():
+    seen = []
+
+    def record(kind, **info):
+        seen.append((kind, info))
+
+    record.seen = seen
+    return record
+
+
+def _kinds(events):
+    return [kind for kind, _ in events.seen]
+
+
+class TestParity:
+    def test_dist_outcomes_match_serial_byte_for_byte(self, events):
+        jobs = _jobs(9)
+        cluster = _Cluster(lease_timeout=5.0)
+        cluster.start_worker("w0")
+        cluster.start_worker("w1")
+        backend = DistBackend(cluster.address, events=events,
+                              stream=io.StringIO())
+        try:
+            got = {key: _scrub(outcome)
+                   for key, outcome in backend.run_wave(jobs)}
+        finally:
+            backend.close()
+            cluster.stop()
+        assert got == _serial_reference(jobs)
+        assert _kinds(events) == []     # no mishaps on the happy path
+
+    def test_error_outcomes_travel_like_values(self):
+        jobs = [("cell/ok", seeded_value, {"tag": "x"}, None, None),
+                ("cell/boom", transient_boom, {"cell_seed": 3},
+                 None, None)]
+        cluster = _Cluster()
+        cluster.start_worker("w0")
+        backend = DistBackend(cluster.address, stream=io.StringIO())
+        try:
+            got = {key: _scrub(outcome)
+                   for key, outcome in backend.run_wave(jobs)}
+        finally:
+            backend.close()
+            cluster.stop()
+        assert got == _serial_reference(jobs)
+        assert got["cell/boom"]["status"] == "err"
+        assert got["cell/boom"]["recoverable"] is True
+
+    def test_dependent_waves_run_back_to_back(self):
+        cluster = _Cluster()
+        cluster.start_worker("w0")
+        backend = DistBackend(cluster.address, stream=io.StringIO())
+        try:
+            first = dict(backend.run_wave(_jobs(3)))
+            second_jobs = [("cell/sum", summed,
+                            {"values": first["cell/0"]["value"],
+                             "factor": 2.0}, None, None)]
+            second = dict(backend.run_wave(second_jobs))
+        finally:
+            backend.close()
+            cluster.stop()
+        assert _scrub(second["cell/sum"]) == \
+            _serial_reference(second_jobs)["cell/sum"]
+
+
+def _stall_worker(address, grabbed):
+    """A worker that claims one batch and then goes silent — the shape
+    of a wedged process: connected, leased, never heartbeating."""
+    sock = socket.create_connection(address, timeout=10.0)
+    try:
+        write_frame(sock, {"type": "hello", "role": "worker",
+                           "worker_id": "stall"})
+        read_frame(sock)                        # welcome
+        write_frame(sock, {"type": "ready"})
+        read_frame(sock)                        # the batch: keep it
+        grabbed.set()
+        while True:
+            read_frame(sock)                    # ignore until torn down
+    except (ConnectionError, FrameError, OSError):
+        pass
+    finally:
+        sock.close()
+
+
+class TestLeaseRecovery:
+    def test_silent_worker_loses_its_lease_and_cells_land_anyway(
+            self, events):
+        jobs = _jobs(4)
+        cluster = _Cluster(lease_timeout=0.4, hedge=False)
+        grabbed = threading.Event()
+        staller = threading.Thread(
+            target=_stall_worker, args=(cluster.address, grabbed),
+            daemon=True,
+        )
+        staller.start()
+        time.sleep(0.2)                 # let the staller reach ready
+        cluster.start_worker("w0")
+        backend = DistBackend(cluster.address, events=events,
+                              stream=io.StringIO())
+        try:
+            got = {key: _scrub(outcome)
+                   for key, outcome in backend.run_wave(jobs)}
+        finally:
+            backend.close()
+            cluster.stop()
+        assert grabbed.is_set(), "staller never received a batch"
+        assert got == _serial_reference(jobs)
+        requeues = [info for kind, info in events.seen
+                    if kind == "requeue"]
+        assert requeues, "expected the stalled lease to be requeued"
+        assert any("lease expired on stall" in (info.get("reason") or "")
+                   for info in requeues)
+        assert cluster.server.stats["requeues"] >= 1
+
+    def test_hedging_covers_a_straggler_without_requeue_churn(self):
+        # Hedge eligibility opens at lease_timeout/2, well before the
+        # lease itself expires — the idle worker duplicates the
+        # straggler's batch instead of waiting for a revocation.
+        jobs = _jobs(4)
+        cluster = _Cluster(lease_timeout=1.0, hedge=True)
+        grabbed = threading.Event()
+        staller = threading.Thread(
+            target=_stall_worker, args=(cluster.address, grabbed),
+            daemon=True,
+        )
+        staller.start()
+        time.sleep(0.2)
+        cluster.start_worker("w0")
+        backend = DistBackend(cluster.address, stream=io.StringIO())
+        try:
+            got = {key: _scrub(outcome)
+                   for key, outcome in backend.run_wave(jobs)}
+        finally:
+            backend.close()
+            cluster.stop()
+        assert got == _serial_reference(jobs)
+        assert cluster.server.stats["hedges"] >= 1
+
+
+def _dead_address():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return ("127.0.0.1", port)
+
+
+class TestDegradation:
+    def test_unreachable_server_degrades_to_local_backend(self, events):
+        jobs = _jobs(4)
+        backend = DistBackend(_dead_address(), fallback_jobs=1,
+                              connect_deadline=0.3, events=events,
+                              stream=io.StringIO())
+        try:
+            got = {key: _scrub(outcome)
+                   for key, outcome in backend.run_wave(jobs)}
+            # Sticky: the next wave goes straight to the fallback.
+            again = dict(backend.run_wave(_jobs(2)))
+        finally:
+            backend.close()
+        assert got == _serial_reference(jobs)
+        assert len(again) == 2
+        assert _kinds(events).count("fallback") == 1
+        assert backend.jobs == 1    # runner sees the fallback width
+
+    def test_fallback_disabled_raises_the_typed_error(self):
+        backend = DistBackend(_dead_address(), fallback=False,
+                              connect_deadline=0.3,
+                              stream=io.StringIO())
+        with pytest.raises(ServerUnreachableError, match="unreachable"):
+            list(backend.run_wave(_jobs(2)))
+        backend.close()
+
+
+def _flaky_server(listener, drops=1):
+    """A stand-in server whose first *drops* connections die right
+    after the submit — exercising the client's resubmit path."""
+    state = {"drops": 0}
+
+    def serve():
+        while True:
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            try:
+                read_frame(conn)                        # hello
+                write_frame(conn, {"type": "welcome",
+                                   "lease_timeout": 5.0})
+                message = read_frame(conn)              # submit
+                if state["drops"] < drops:
+                    state["drops"] += 1
+                    conn.close()
+                    continue
+                for described in message["jobs"]:
+                    key, fn, kwargs, faults_kw, trace = \
+                        rebuild_job(described)
+                    write_frame(conn, {
+                        "type": "outcome",
+                        "wave_id": message["wave_id"], "key": key,
+                        "outcome": invoke_cell(fn, kwargs, faults_kw,
+                                               trace),
+                        "worker_id": "inline",
+                    })
+                write_frame(conn, {"type": "wave_done",
+                                   "wave_id": message["wave_id"]})
+                read_frame(conn)                        # until EOF
+            except (ConnectionError, FrameError, OSError):
+                pass
+            finally:
+                conn.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestReconnect:
+    def test_mid_wave_disconnect_resubmits_only_whats_missing(
+            self, events):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        _flaky_server(listener, drops=1)
+        jobs = _jobs(5)
+        backend = DistBackend(listener.getsockname(), events=events,
+                              stream=io.StringIO())
+        try:
+            got = {key: _scrub(outcome)
+                   for key, outcome in backend.run_wave(jobs)}
+        finally:
+            backend.close()
+            listener.close()
+        assert got == _serial_reference(jobs)
+        resubmits = [info for kind, info in events.seen
+                     if kind == "resubmit"]
+        assert resubmits == [{"cells": 5}]
+
+
+class _Sink:
+    """Collects sent bytes so chaos mishaps can be compared exactly."""
+
+    def __init__(self):
+        self.data = b""
+
+    def sendall(self, data):
+        self.data += data
+
+
+def _chaos_stream(seed, frames=40):
+    injector = FaultInjector(seed=seed, rates={"frame_drop": 0.2,
+                                               "frame_corrupt": 0.2})
+    sink = _Sink()
+    lock = threading.Lock()
+    for index in range(frames):
+        _chaos_send(sink, {"type": "heartbeat", "lease_id": f"L{index}"},
+                    lock, injector)
+    return sink.data, dict(injector.fired)
+
+
+class TestChaosDeterminism:
+    def test_same_seed_produces_the_same_mishaps(self):
+        first, fired = _chaos_stream(seed=11)
+        second, _ = _chaos_stream(seed=11)
+        assert first == second
+        assert fired.get("frame_drop", 0) > 0
+        assert fired.get("frame_corrupt", 0) > 0
+
+    def test_different_seed_produces_different_mishaps(self):
+        first, _ = _chaos_stream(seed=11)
+        second, _ = _chaos_stream(seed=12)
+        assert first != second
+
+
+class TestParseAddress:
+    @pytest.mark.parametrize("text, expected", [
+        ("127.0.0.1:9000", ("127.0.0.1", 9000)),
+        (":9000", ("127.0.0.1", 9000)),
+        ("9000", ("127.0.0.1", 9000)),
+        (("10.0.0.1", "8000"), ("10.0.0.1", 8000)),
+    ])
+    def test_accepts(self, text, expected):
+        assert parse_address(text) == expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            parse_address("localhost:http")

@@ -28,7 +28,7 @@ FIG5_CLI = ["fig5", "--quick", "--seed", "8"]
 
 def _run_dir(ledger):
     [run_dir] = [path for path in ledger.iterdir()
-                 if path.is_dir() and path.name != "cellcache"]
+                 if (path / "manifest.json").is_file()]
     return run_dir
 
 
@@ -115,3 +115,53 @@ class TestKillResumeWithCacheAndPool:
 
 def _interrupt(**kwargs):
     raise KeyboardInterrupt
+
+
+class TestDistGoldenDeterminism:
+    """Serial ≡ dist, including under lease-expiry chaos, twice.
+
+    The dist cluster runs in-process (a real ``DistServer`` on an
+    asyncio thread, real ``run_worker`` loops over real sockets) with
+    one deliberately sick worker whose heartbeats arrive far past the
+    lease timeout: its leases expire while it computes, the work
+    requeues onto the healthy worker, and its late results race the
+    retries.  None of that may be visible in the manifest — and a
+    second run with the same seed and the same chaos must produce the
+    same bytes again.
+    """
+
+    def test_requeue_chaos_is_invisible_and_repeatable(self):
+        import io
+        import time as _time
+
+        from repro.exec.dist import DistBackend
+        from repro.obs.ledger import manifest_bytes
+        from repro.exec.chaos import _fig5_manifest
+
+        from tests.exec.test_dist import _Cluster
+
+        knobs = {"host": "basicmath",
+                 **{k: v for k, v in FIG5_KNOBS.items() if k != "seed"}}
+        reference = manifest_bytes(_fig5_manifest(knobs, 8, backend=None))
+
+        requeues = []
+        for attempt in range(2):
+            cluster = _Cluster(lease_timeout=0.3, attempt_budget=6)
+            # The sick worker joins first and alone, so the opening
+            # wave lands on it and its expiring leases have victims.
+            cluster.start_worker("w-slow", chaos={
+                "seed": 8, "heartbeat_delay_s": 2.0,
+            })
+            _time.sleep(0.25)
+            cluster.start_worker("w-ok")
+            backend = DistBackend(cluster.address, seed=8,
+                                  stream=io.StringIO())
+            try:
+                chaotic = _fig5_manifest(knobs, 8, backend=backend)
+            finally:
+                backend.close()
+                cluster.stop()
+            requeues.append(cluster.server.stats["requeues"])
+            assert manifest_bytes(chaotic) == reference
+        # The chaos was real: leases actually expired and requeued.
+        assert sum(requeues) >= 1, requeues

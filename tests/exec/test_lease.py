@@ -1,0 +1,260 @@
+"""LeaseTable policy: grant, expiry, requeue, budgets, hedging.
+
+The table is clock-injected and synchronous precisely so these tests
+can drive it with a fake clock and zero concurrency.  The last class
+pins the determinism contract the chaos harness leans on: replaying
+the same scripted schedule of grants, heartbeats and revocations
+yields an identical requeue order and an identical event log.
+"""
+
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.exec.lease import LeaseTable, crash_outcome
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _job(key):
+    return {"key": key, "fn": "tests.exec.cells:seeded_value",
+            "kwargs": {"tag": key}, "faults_kw": None, "faults": None}
+
+
+def _table(batches, **kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("lease_timeout", 10.0)
+    table = LeaseTable("wave-1", [[_job(key) for key in batch]
+                                  for batch in batches],
+                       clock=clock, **kwargs)
+    return table, clock
+
+
+class TestGrantAndComplete:
+    def test_grants_batches_in_declaration_order(self):
+        table, _ = _table([["a", "b"], ["c"]])
+        assert table.total == 3
+        first = table.grant("w0")
+        second = table.grant("w1")
+        assert first.keys() == ["a", "b"]
+        assert second.keys() == ["c"]
+        assert table.grant("w0") is None
+        assert table.outstanding == 2
+
+    def test_complete_retires_the_lease_and_settles_the_wave(self):
+        table, _ = _table([["a", "b"]])
+        lease = table.grant("w0")
+        assert not table.exhausted
+        fresh = table.complete(lease.lease_id, ["a", "b"])
+        assert fresh == ["a", "b"]
+        assert table.exhausted
+
+    def test_complete_filters_keys_a_rival_already_landed(self):
+        table, _ = _table([["a"], ["b"]])
+        first = table.grant("w0")
+        table.complete(first.lease_id, ["a"])
+        # A revoked lease's late result for "a" arrives afterwards:
+        # tolerated, but not fresh.
+        assert table.complete("wave-1/Lghost", ["a", "b"]) == ["b"]
+
+    def test_grant_skips_cells_already_done(self):
+        table, _ = _table([["a"], ["a", "b"]])
+        lease = table.grant("w0")
+        table.complete(lease.lease_id, ["a"])
+        survivor = table.grant("w1")
+        assert survivor.keys() == ["b"]
+
+
+class TestExpiry:
+    def test_heartbeat_keeps_a_lease_alive(self):
+        table, clock = _table([["a"]], lease_timeout=10.0)
+        lease = table.grant("w0")
+        clock.advance(8.0)
+        assert table.renew(lease.lease_id)
+        clock.advance(8.0)
+        assert table.expired() == []
+        clock.advance(3.0)
+        assert [stale.lease_id for stale in table.expired()] == \
+            [lease.lease_id]
+
+    def test_renew_of_a_revoked_lease_reports_failure(self):
+        table, _ = _table([["a"]])
+        lease = table.grant("w0")
+        table.revoke(lease.lease_id)
+        assert not table.renew(lease.lease_id)
+
+    def test_expired_order_is_stale_first_and_stable(self):
+        table, clock = _table([["a"], ["b"]], lease_timeout=5.0)
+        first = table.grant("w0")
+        clock.advance(2.0)
+        second = table.grant("w1")
+        clock.advance(6.0)
+        assert [stale.lease_id for stale in table.expired()] == \
+            [first.lease_id, second.lease_id]
+
+
+class TestRevocation:
+    def test_multi_cell_batch_splits_into_singletons_at_head(self):
+        table, _ = _table([["a", "b", "c"], ["d"]])
+        lease = table.grant("w0")
+        requeued, degraded = table.revoke(lease.lease_id, "worker lost")
+        assert requeued == ["a", "b", "c"]
+        assert degraded == []
+        # Head of the queue, declaration order preserved, then "d".
+        assert table.pending_keys() == ["a", "b", "c", "d"]
+        assert [len(batch) for batch in table.queue] == [1, 1, 1, 1]
+        # The split charged nobody: no cell has an attempt on record.
+        assert table.attempts == {}
+
+    def test_singleton_revocation_charges_the_cell(self):
+        table, _ = _table([["a"]], attempt_budget=3)
+        for expected in (1, 2, 3):
+            lease = table.grant("w0")
+            requeued, degraded = table.revoke(lease.lease_id)
+            assert requeued == ["a"] and degraded == []
+            assert table.attempts["a"] == expected
+
+    def test_over_budget_degrades_to_the_pool_crash_taxonomy(self):
+        table, _ = _table([["a"]], attempt_budget=1)
+        table.revoke(table.grant("w0").lease_id)
+        requeued, degraded = table.revoke(table.grant("w1").lease_id,
+                                          reason="worker w1 lost")
+        assert requeued == []
+        [(key, outcome)] = degraded
+        assert key == "a"
+        assert outcome["status"] == "err"
+        assert outcome["recoverable"] is True
+        assert outcome["type"] == WorkerCrashError.__name__
+        assert "worker w1 lost" in outcome["chain"]
+        assert "2 attempts" in outcome["chain"]
+        # Degraded cells count as done: the wave can settle.
+        assert table.exhausted
+
+    def test_crash_outcome_matches_pool_shape(self):
+        outcome = crash_outcome("cell/x", 3, reason="lease expired")
+        assert set(outcome) == {"status", "chain", "recoverable",
+                                "elapsed", "type"}
+        assert outcome["type"] == "WorkerCrashError"
+
+    def test_revoke_worker_sweeps_every_lease_it_held(self):
+        table, _ = _table([["a"], ["b"], ["c"]])
+        table.grant("w0")
+        table.grant("w0")
+        keeper = table.grant("w1")
+        requeued, _ = table.revoke_worker("w0")
+        assert sorted(requeued) == ["a", "b"]
+        assert set(table.leases) == {keeper.lease_id}
+
+    def test_revoked_cells_already_done_do_not_requeue(self):
+        table, _ = _table([["a", "b"]])
+        lease = table.grant("w0")
+        hedge = table.hedge_candidate("w1", hedge_after=0.0)
+        table.complete(hedge.lease_id, ["a", "b"])
+        assert table.revoke(lease.lease_id) == ([], [])
+        assert table.exhausted
+
+
+class TestHedging:
+    def test_hedge_only_when_queue_is_empty(self):
+        table, clock = _table([["a"], ["b"]], lease_timeout=4.0)
+        table.grant("w0")
+        clock.advance(10.0)
+        assert table.hedge_candidate("w1") is None  # "b" still queued
+        table.grant("w1")
+        hedge = table.hedge_candidate("w1")
+        assert hedge is not None and hedge.keys() == ["a"]
+        assert hedge.hedge_of is not None
+
+    def test_hedge_never_duplicates_self_or_existing_hedge(self):
+        table, clock = _table([["a"]], lease_timeout=4.0)
+        original = table.grant("w0")
+        clock.advance(10.0)
+        assert table.hedge_candidate("w0") is None     # own lease
+        hedge = table.hedge_candidate("w1")
+        assert hedge.hedge_of == original.lease_id
+        assert table.hedge_candidate("w2") is None     # already hedged
+
+    def test_hedge_respects_hedge_after(self):
+        table, clock = _table([["a"]], lease_timeout=8.0)
+        table.grant("w0")
+        clock.advance(3.0)
+        assert table.hedge_candidate("w1") is None     # default: timeout/2
+        clock.advance(1.5)
+        assert table.hedge_candidate("w1") is not None
+
+    def test_dropping_a_hedge_requeues_and_charges_nothing(self):
+        table, clock = _table([["a"]], lease_timeout=4.0)
+        table.grant("w0")
+        clock.advance(10.0)
+        hedge = table.hedge_candidate("w1")
+        assert table.revoke(hedge.lease_id) == ([], [])
+        assert table.attempts == {}
+        assert table.pending_keys() == []
+
+    def test_original_completion_wins_over_late_hedge(self):
+        table, clock = _table([["a"]], lease_timeout=4.0)
+        original = table.grant("w0")
+        clock.advance(10.0)
+        hedge = table.hedge_candidate("w1")
+        assert table.complete(original.lease_id, ["a"]) == ["a"]
+        assert table.complete(hedge.lease_id, ["a"]) == []
+
+
+SCHEDULE = [
+    ("grant", "w0"), ("grant", "w1"), ("tick", 2.0),
+    ("beat", 1), ("tick", 4.0), ("reap",), ("grant", "w2"),
+    ("tick", 1.0), ("done", 2, ["c"]), ("grant", "w1"),
+    ("tick", 6.0), ("reap",), ("grant", "w0"), ("grant", "w0"),
+    ("done", 5, ["a"]), ("done", 6, ["b"]),
+]
+
+
+def _replay(schedule):
+    """Drive one table through a scripted schedule; return its story."""
+    table, clock = _table([["a", "b"], ["c"], ["d"]],
+                          lease_timeout=5.0, attempt_budget=3)
+    issued = {}
+    counter = 0
+    for step in schedule:
+        if step[0] == "grant":
+            lease = table.grant(step[1])
+            if lease is not None:
+                counter += 1
+                issued[counter] = lease.lease_id
+        elif step[0] == "tick":
+            clock.advance(step[1])
+        elif step[0] == "beat":
+            table.renew(issued[step[1]])
+        elif step[0] == "reap":
+            for stale in table.expired():
+                table.revoke(stale.lease_id, reason="lease expired")
+        elif step[0] == "done":
+            table.complete(issued[step[1]], step[2])
+    return table
+
+
+class TestDeterminism:
+    def test_same_schedule_replays_to_the_same_story(self):
+        first = _replay(SCHEDULE)
+        second = _replay(SCHEDULE)
+        assert first.requeue_order() == second.requeue_order()
+        assert first.log == second.log
+        assert first.attempts == second.attempts
+        assert first.done == second.done
+        # And the schedule genuinely exercised revocation.
+        assert first.requeue_order() != []
+
+    def test_requeue_order_is_flat_revoke_history(self):
+        table, _ = _table([["a", "b"]])
+        lease = table.grant("w0")
+        table.revoke(lease.lease_id)
+        assert table.requeue_order() == [(lease.lease_id, "a"),
+                                         (lease.lease_id, "b")]

@@ -1,0 +1,52 @@
+"""Warm-pool lifecycle: no spawned worker outlives an explicit reap.
+
+The shared pools are deliberately long-lived (that is the whole point
+of :mod:`repro.exec.pool`), which makes the shutdown path the one
+place a process leak could hide: a driver that finishes its sweeps
+must be able to reap every worker *now*, not at interpreter exit.
+"""
+
+import os
+import time
+
+from repro.exec.pool import shared_pool, shutdown_all, warmup
+
+
+def _alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+def _worker_pids(jobs):
+    pool = shared_pool(jobs)
+    from repro.exec.pool import _probe
+
+    return {future.result()
+            for future in [pool.submit(_probe, 0.05)
+                           for _ in range(jobs)]}
+
+
+class TestShutdownAll:
+    def test_no_worker_survives_an_explicit_shutdown(self):
+        warmup(2)
+        pids = _worker_pids(2)
+        assert pids and all(_alive(pid) for pid in pids)
+        assert shutdown_all(wait=True) >= 1
+        deadline = time.monotonic() + 10.0
+        while any(_alive(pid) for pid in pids):
+            assert time.monotonic() < deadline, \
+                f"pool workers survived shutdown_all: {pids}"
+            time.sleep(0.05)
+
+    def test_idempotent_and_recoverable(self):
+        shutdown_all()
+        assert shutdown_all() == 0
+        # The registry heals: the next request builds a fresh pool.
+        warmup(2)
+        assert _worker_pids(2)
+        assert shutdown_all() == 1

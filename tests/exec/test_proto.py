@@ -1,0 +1,158 @@
+"""Wire protocol: framing integrity and lossless job description.
+
+Two invariants are pinned: a frame that was corrupted, truncated or
+spoken by a different protocol version is *detected* (FrameError) and
+never silently parsed; and a runner job tuple survives the
+describe/rebuild round trip exactly — same fn, same kwargs, same
+derived fault injector stream, same trace config — because that is
+what makes a remotely computed cell byte-identical to a local one.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.resilience import FaultInjector
+from repro.errors import FrameError, ProtocolError
+from repro.exec.backends import invoke_cell
+from repro.exec.proto import (
+    HEADER_SIZE,
+    decode_header,
+    decode_payload,
+    describe_job,
+    encode_frame,
+    read_frame,
+    rebuild_job,
+    resolve_fn,
+    write_frame,
+)
+
+from tests.exec.cells import fault_probe, seeded_value
+
+
+def _roundtrip_bytes(data):
+    length, digest = decode_header(data[:HEADER_SIZE])
+    return decode_payload(data[HEADER_SIZE:HEADER_SIZE + length], digest)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"type": "result", "outcomes": [["k", {"v": 1}]],
+                   "unicode": "λ-лит"}
+        assert _roundtrip_bytes(encode_frame(message)) == message
+
+    def test_corrupted_payload_detected(self):
+        data = bytearray(encode_frame({"type": "ready", "pad": "x" * 64}))
+        data[-3] ^= 0xFF
+        with pytest.raises(FrameError, match="digest mismatch"):
+            _roundtrip_bytes(bytes(data))
+
+    def test_corrupted_header_detected(self):
+        data = bytearray(encode_frame({"type": "ready"}))
+        data[0] ^= 0xFF
+        with pytest.raises(FrameError, match="magic"):
+            decode_header(bytes(data[:HEADER_SIZE]))
+
+    def test_version_mismatch_detected(self):
+        data = bytearray(encode_frame({"type": "ready"}))
+        data[2] += 1
+        with pytest.raises(FrameError, match="version"):
+            decode_header(bytes(data[:HEADER_SIZE]))
+
+    def test_absurd_length_is_corruption_not_allocation(self):
+        data = bytearray(encode_frame({"type": "ready"}))
+        data[3:7] = (0xFF, 0xFF, 0xFF, 0xFF)
+        with pytest.raises(FrameError, match="ceiling"):
+            decode_header(bytes(data[:HEADER_SIZE]))
+
+    def test_short_header_detected(self):
+        with pytest.raises(FrameError, match="short"):
+            decode_header(b"rd\x01")
+
+
+class TestSocketTransport:
+    def test_write_read_over_a_real_socket(self):
+        server, client = socket.socketpair()
+        try:
+            messages = [{"n": index, "body": "x" * (index * 1000)}
+                        for index in range(4)]
+            writer = threading.Thread(
+                target=lambda: [write_frame(client, m) for m in messages]
+            )
+            writer.start()
+            received = [read_frame(server) for _ in messages]
+            writer.join()
+            assert received == messages
+        finally:
+            server.close()
+            client.close()
+
+    def test_eof_mid_frame_is_connection_error(self):
+        server, client = socket.socketpair()
+        try:
+            client.sendall(encode_frame({"type": "ready"})[:5])
+            client.close()
+            with pytest.raises(ConnectionError):
+                read_frame(server)
+        finally:
+            server.close()
+
+
+class TestJobDescription:
+    def test_plain_job_roundtrip(self):
+        job = ("cell/0", seeded_value, {"tag": "t", "cell_seed": 9},
+               None, None)
+        rebuilt = rebuild_job(describe_job(job))
+        assert rebuilt[0] == job[0]
+        assert rebuilt[1] is seeded_value
+        assert rebuilt[2] == job[2]
+        assert invoke_cell(rebuilt[1], rebuilt[2])["value"] == \
+            invoke_cell(job[1], job[2])["value"]
+
+    def test_fault_injector_spec_reproduces_the_stream(self):
+        injector = FaultInjector(seed=42, rates={"hpc_drop": 0.5},
+                                 max_fires=3)
+        job = ("cell/f", fault_probe,
+               {"kind": "hpc_drop", "faults": injector, "cell_seed": 1},
+               "faults", None)
+        described = describe_job(job)
+        assert described["faults"] == {"seed": 42,
+                                       "rates": {"hpc_drop": 0.5},
+                                       "max_fires": 3}
+        # The original injector must NOT travel (not JSON-safe).
+        assert "faults" not in described["kwargs"]
+        first = invoke_cell(*rebuild_job(described)[1:4])
+        second = invoke_cell(*rebuild_job(described)[1:4])
+        assert first["value"] == second["value"]
+        assert first.get("fired") == second.get("fired")
+
+    def test_trace_config_roundtrip(self):
+        from repro.obs import TraceConfig
+
+        trace = {"config": TraceConfig(categories=("exec",)),
+                 "key": "cell/0", "seed": 5}
+        job = ("cell/0", seeded_value, {"tag": "t"}, None, trace)
+        rebuilt = rebuild_job(describe_job(job))
+        assert rebuilt[4]["key"] == "cell/0"
+        assert rebuilt[4]["seed"] == 5
+        assert rebuilt[4]["config"].categories == ("exec",)
+        local = invoke_cell(job[1], job[2], trace=trace)
+        remote = invoke_cell(rebuilt[1], rebuilt[2], trace=rebuilt[4])
+        assert local["trace"] == remote["trace"]
+        assert local["metrics"] == remote["metrics"]
+
+    def test_unimportable_fn_rejected(self):
+        with pytest.raises(ProtocolError, match="importable"):
+            describe_job(("k", lambda: None, {}, None, None))
+
+    def test_unserialisable_kwargs_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON"):
+            describe_job(("k", seeded_value, {"tag": object()},
+                          None, None))
+
+    def test_resolve_fn_failure_is_typed(self):
+        with pytest.raises(ProtocolError, match="cannot resolve"):
+            resolve_fn("repro.no.such.module:fn")
+        with pytest.raises(ProtocolError, match="cannot resolve"):
+            resolve_fn("repro.exec.proto:no_such_function")

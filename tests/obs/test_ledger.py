@@ -9,7 +9,10 @@ import pytest
 from repro.core.experiments import run_fig4
 from repro.obs.ledger import (
     LEDGER_FORMAT,
+    LEDGER_INDEX,
+    LEDGER_SHARDS,
     build_manifest,
+    consolidate_index,
     file_digest,
     git_sha,
     load_manifest,
@@ -179,6 +182,100 @@ class TestWriteLoadIndex:
 
     def test_read_index_empty_ledger(self, tmp_path):
         assert read_index(tmp_path) == []
+
+
+def _record(ledger, seed, accuracy=0.97):
+    result = _fake_result()
+    result.headlines = lambda: {"accuracy": accuracy}
+    manifest = build_manifest("fig4", {"seed": seed}, result)
+    write_manifest(ledger, manifest)
+    return manifest["run_id"]
+
+
+class TestIndexShards:
+    """The shard-then-consolidate discipline behind concurrent writers."""
+
+    def _shard_files(self, ledger):
+        shard_dir = os.path.join(ledger, LEDGER_SHARDS)
+        if not os.path.isdir(shard_dir):
+            return []
+        return [name for name in os.listdir(shard_dir)
+                if name.endswith(".json")]
+
+    def test_write_consolidates_its_own_shard(self, tmp_path):
+        ledger = str(tmp_path)
+        run_id = _record(ledger, seed=1)
+        # The writer held the lock, so the shard was folded straight in.
+        assert self._shard_files(ledger) == []
+        assert [e["run_id"] for e in read_index(ledger)] == [run_id]
+
+    def test_unconsolidated_shard_is_still_visible(self, tmp_path):
+        ledger = str(tmp_path)
+        lock = tmp_path / (LEDGER_INDEX + ".lock")
+        lock.touch()                    # a rival holds the lock
+        run_id = _record(ledger, seed=1)
+        assert self._shard_files(ledger) == [f"{run_id}.json"]
+        # Merge-on-read: the entry is visible without the monolith.
+        assert [e["run_id"] for e in read_index(ledger)] == [run_id]
+
+        lock.unlink()
+        assert consolidate_index(ledger)
+        assert self._shard_files(ledger) == []
+        assert [e["run_id"] for e in read_index(ledger)] == [run_id]
+
+    def test_shard_supersedes_monolith_in_place(self, tmp_path):
+        ledger = str(tmp_path)
+        first = _record(ledger, seed=1)
+        second = _record(ledger, seed=2)
+        lock = tmp_path / (LEDGER_INDEX + ".lock")
+        lock.touch()
+        assert _record(ledger, seed=1, accuracy=0.5) == first
+        third = _record(ledger, seed=3)
+        entries = read_index(ledger)
+        # Order: monolith order with the re-recorded run replaced in
+        # place, then the genuinely new run.
+        assert [e["run_id"] for e in entries] == [first, second, third]
+        assert entries[0]["headlines"] == {"accuracy": 0.5}
+        lock.unlink()
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        ledger = str(tmp_path)
+        lock = tmp_path / (LEDGER_INDEX + ".lock")
+        lock.touch()
+        ancient = os.path.getmtime(lock) - 3600.0
+        os.utime(lock, (ancient, ancient))
+        run_id = _record(ledger, seed=4)
+        # The dead rival's lock did not wedge consolidation forever.
+        assert self._shard_files(ledger) == []
+        assert [e["run_id"] for e in read_index(ledger)] == [run_id]
+
+    def test_concurrent_recorders_lose_nothing(self, tmp_path):
+        """The race the shards exist for: N writers, one ledger, no
+        read-modify-write, every entry survives."""
+        import threading
+
+        ledger = str(tmp_path)
+        start = threading.Barrier(8)
+        recorded = []
+
+        def record(seed):
+            start.wait()
+            recorded.append(_record(ledger, seed=seed))
+
+        threads = [threading.Thread(target=record, args=(seed,))
+                   for seed in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        entries = read_index(ledger)
+        assert sorted(e["run_id"] for e in entries) == sorted(recorded)
+        assert len(entries) == 8
+        # A final consolidation folds any shards the racers left.
+        assert consolidate_index(ledger)
+        assert self._shard_files(ledger) == []
+        assert len(read_index(ledger)) == 8
 
 
 class TestResumeParity:
