@@ -40,16 +40,21 @@ KERNELS = (("basicmath", 2000), ("sha", 60))
 #: (step() is the slow reference; the diff only needs coverage).
 VERIFY_KERNELS = (("basicmath", 20), ("sha", 2))
 
+#: The out-of-order core's interpreter carries Tomasulo bookkeeping per
+#: instruction, so it is measured at reduced counts and reported for
+#: visibility only — the MIN_SPEEDUP gate stays on the in-order loop.
+OOO_KERNELS = (("basicmath", 500), ("sha", 15))
 
-def _spawn(name, iterations):
-    system = System(seed=7)
+
+def _spawn(name, iterations, uarch="inorder"):
+    system = System(seed=7, uarch=uarch)
     workload = get_workload(name)
     system.install_binary("/bin/bench", workload.build(iterations=iterations))
     return system, system.spawn("/bin/bench")
 
 
-def _measure(name, iterations):
-    system, process = _spawn(name, iterations)
+def _measure(name, iterations, uarch="inorder"):
+    system, process = _spawn(name, iterations, uarch=uarch)
     started = time.perf_counter()
     system.run()
     elapsed = time.perf_counter() - started
@@ -91,7 +96,12 @@ def _identical_output():
 @pytest.fixture(scope="module")
 def core_runs():
     assert _identical_output(), "fast loop diverged from step() reference"
-    return {name: _measure(name, iterations) for name, iterations in KERNELS}
+    runs = {name: _measure(name, iterations) for name, iterations in KERNELS}
+    runs.update({
+        f"ooo/{name}": _measure(name, iterations, uarch="ooo")
+        for name, iterations in OOO_KERNELS
+    })
+    return runs
 
 
 def test_core_throughput_baseline(benchmark, core_runs):
@@ -99,35 +109,51 @@ def test_core_throughput_baseline(benchmark, core_runs):
 
     speedups = {
         name: round(
-            run["instructions_per_s"] / PRE_CHANGE["instructions_per_s"], 2
+            runs[name]["instructions_per_s"]
+            / PRE_CHANGE["instructions_per_s"], 2
         )
-        for name, run in runs.items()
+        for name, _ in KERNELS
+    }
+    ooo_vs_inorder = {
+        name: round(
+            runs[f"ooo/{name}"]["instructions_per_s"]
+            / runs[name]["instructions_per_s"], 2
+        )
+        for name, _ in OOO_KERNELS
     }
     write_bench_json(
         "core",
-        knobs=dict(KERNELS),
+        knobs={**dict(KERNELS),
+               **{f"ooo/{name}": iterations
+                  for name, iterations in OOO_KERNELS}},
         runs=runs,
         pre_change=PRE_CHANGE,
         speedup_vs_pre_change=speedups,
+        ooo_vs_inorder_instr_per_s=ooo_vs_inorder,
         identical_output=True,  # asserted in the core_runs fixture
     )
 
     lines = [f"core baseline — fast run() loop vs pre-change "
              f"{PRE_CHANGE['instructions_per_s']:,} instr/s"]
     for name, run in runs.items():
+        note = (f"({speedups[name]:.1f}x)" if name in speedups
+                else f"({ooo_vs_inorder[name.split('/', 1)[1]]:.2f}x "
+                     f"of inorder)")
         lines.append(
-            f"  {name:10s}: {run['instructions_per_s']:>9,} instr/s, "
-            f"{run['cache_accesses_per_s']:>9,} cache acc/s "
-            f"({speedups[name]:.1f}x)"
+            f"  {name:14s}: {run['instructions_per_s']:>9,} instr/s, "
+            f"{run['cache_accesses_per_s']:>9,} cache acc/s {note}"
         )
     publish("core", "\n".join(lines))
 
     for name, run in runs.items():
         benchmark.extra_info[f"{name}_instructions_per_s"] = \
             run["instructions_per_s"]
-        # Regression gate: the fast path must not decay back toward the
-        # step()-loop era.  2x is deliberately far below the measured
-        # ~9x so host jitter cannot flake it, while still catching any
-        # real regression of the dispatch loop.
-        assert run["instructions_per_s"] >= \
+
+    # Regression gate: the fast in-order path must not decay back toward
+    # the step()-loop era.  2x is deliberately far below the measured
+    # ~9x so host jitter cannot flake it, while still catching any real
+    # regression of the dispatch loop.  The ooo/* runs are reported but
+    # not gated — the Tomasulo interpreter is a different machine.
+    for name, _ in KERNELS:
+        assert runs[name]["instructions_per_s"] >= \
             MIN_SPEEDUP * PRE_CHANGE["instructions_per_s"], name

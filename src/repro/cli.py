@@ -235,6 +235,8 @@ def _build_faults(args):
 
 
 def build_parser():
+    from repro.uarch import UARCHS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CR-Spectre (DATE 2022) reproduction toolkit",
@@ -276,6 +278,10 @@ def build_parser():
         p = sub.add_parser(name, help=f"regenerate {help_text}")
         p.add_argument("--quick", action="store_true",
                        help="scaled-down run (~10x faster, same shapes)")
+        p.add_argument("--uarch", default="inorder",
+                       choices=sorted(UARCHS),
+                       help="CPU microarchitecture every simulated "
+                            "machine runs on (default: inorder)")
         _add_seed(p)
         _add_resilience(p)
         _add_exec(p)
@@ -438,6 +444,9 @@ def build_parser():
         help="resilience smoke run for CI: quick fig4 sweep plus a "
              "calibration under injected faults and retries",
     )
+    p.add_argument("--uarch", default="inorder", choices=sorted(UARCHS),
+                   help="CPU microarchitecture for the smoke sweep "
+                        "(default: inorder)")
     _add_seed(p)
     _add_resilience(p)
     p.add_argument(
@@ -531,7 +540,8 @@ def cmd_experiment(args):
         "table1": run_table1,
         "hardening": run_hardening,
     }[args.command]
-    kwargs = {"seed": args.seed}
+    kwargs = {"seed": args.seed,
+              "uarch": getattr(args, "uarch", "inorder")}
     if getattr(args, "quick", False):
         kwargs.update({
             "fig4": dict(benign_per_host=60, attack_per_variant=20,
@@ -844,8 +854,10 @@ def cmd_gate(args):
     try:
         manifest = load_manifest(args.run, ledger_dir=args.ledger)
         expectations = load_expectations(args.expectations)
-        bands = bands_for(expectations, manifest["experiment"],
-                          profile=args.profile)
+        bands = bands_for(
+            expectations, manifest["experiment"], profile=args.profile,
+            uarch=(manifest.get("config") or {}).get("uarch"),
+        )
     except (OSError, ValueError) as exc:
         # ExpectationsError is a ValueError: missing profile/experiment
         # coverage is a configuration fault, not a regression.
@@ -882,8 +894,11 @@ def cmd_report(args):
     if expectations_path is not None:
         try:
             expectations = load_expectations(expectations_path)
-            bands = bands_for(expectations, manifest["experiment"],
-                              profile=args.profile)
+            bands = bands_for(
+                expectations, manifest["experiment"],
+                profile=args.profile,
+                uarch=(manifest.get("config") or {}).get("uarch"),
+            )
             checks = check_headlines(
                 manifest.get("headlines") or {}, bands
             )
@@ -982,6 +997,7 @@ def cmd_smoke(args):
         benign_per_host=40, attack_per_variant=16, variants=("v1",),
         checkpoint=args.resume, faults=faults,
         jobs=getattr(args, "jobs", 1) or 1,
+        uarch=getattr(args, "uarch", "inorder"),
     )
     print(result.format())
     print(f"\n{faults.summary()}")

@@ -34,7 +34,8 @@ def open_checkpoint(checkpoint, experiment, meta, trace=None):
 
 
 def sample_training_records(host, training_benign, training_attack,
-                            cell_seed=0, faults=None, scenario=None):
+                            cell_seed=0, faults=None, scenario=None,
+                            uarch="inorder"):
     """The ``training`` cell body shared by the fig5/fig6 plans.
 
     Samples a labelled corpus and returns it as JSON-serialisable
@@ -46,8 +47,10 @@ def sample_training_records(host, training_benign, training_attack,
     from repro.hid.io import samples_to_records
 
     if scenario is None:
-        scenario = Scenario(ScenarioConfig(host=host, seed=cell_seed),
-                            faults=faults)
+        scenario = Scenario(
+            ScenarioConfig(host=host, seed=cell_seed, uarch=uarch),
+            faults=faults,
+        )
     return {
         "benign": samples_to_records(
             scenario.benign_samples(training_benign)

@@ -111,10 +111,12 @@ class Fig4Result:
 
 
 def _host_cell(host, feature_sizes, classifier, benign_per_host,
-               attack_per_variant, variants, cell_seed=0, faults=None):
+               attack_per_variant, variants, cell_seed=0, faults=None,
+               uarch="inorder"):
     """One host's accuracy-by-size dict (JSON-serialisable)."""
     scenario = Scenario(ScenarioConfig(
         host=host, seed=cell_seed, spectre_variants=tuple(variants),
+        uarch=uarch,
     ), faults=faults)
     # The paper's profiling scope "also includes the host and other
     # benign applications like browsers, text editors" — without the
@@ -150,7 +152,8 @@ def _host_cell(host, feature_sizes, classifier, benign_per_host,
 
 def plan_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
               classifier="mlp", benign_per_host=150, attack_per_variant=50,
-              variants=("v1", "rsb", "sbo"), faults=None):
+              variants=("v1", "rsb", "sbo"), faults=None,
+              uarch="inorder"):
     """Declare the Figure-4 cell grid: one independent cell per host."""
     plan = SweepPlan("fig4", seed, faults=faults)
     for host in hosts:
@@ -160,7 +163,7 @@ def plan_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
                 host=host, feature_sizes=list(feature_sizes),
                 classifier=classifier, benign_per_host=benign_per_host,
                 attack_per_variant=attack_per_variant,
-                variants=list(variants),
+                variants=list(variants), uarch=uarch,
             ),
             seed_kw="cell_seed", faults_kw="faults",
         )
@@ -168,7 +171,7 @@ def plan_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
 
 
 def fig4_meta(seed, hosts, feature_sizes, classifier, benign_per_host,
-              attack_per_variant, variants):
+              attack_per_variant, variants, uarch="inorder"):
     return {
         "seed": seed,
         "hosts": list(hosts),
@@ -177,6 +180,7 @@ def fig4_meta(seed, hosts, feature_sizes, classifier, benign_per_host,
         "benign_per_host": benign_per_host,
         "attack_per_variant": attack_per_variant,
         "variants": list(variants),
+        "uarch": uarch,
     }
 
 
@@ -184,15 +188,16 @@ def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
              classifier="mlp", benign_per_host=150, attack_per_variant=50,
              variants=("v1", "rsb", "sbo"), checkpoint=None, faults=None,
              jobs=1, backend=None, progress=None, trace=None,
-             traces=None, timings=None, cell_cache=None):
+             traces=None, timings=None, cell_cache=None,
+             uarch="inorder"):
     """Regenerate Figure 4.  Returns a :class:`Fig4Result`."""
     store = open_checkpoint(checkpoint, "fig4", fig4_meta(
         seed, hosts, feature_sizes, classifier, benign_per_host,
-        attack_per_variant, variants,
+        attack_per_variant, variants, uarch,
     ), trace=trace)
     plan = plan_fig4(seed, hosts, feature_sizes, classifier,
                      benign_per_host, attack_per_variant, variants,
-                     faults=faults)
+                     faults=faults, uarch=uarch)
     statuses = {}
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,

@@ -131,7 +131,8 @@ def _fit_detectors(records, root_seed, detector_names, faults=None):
 
 def _attempt_cell(records, root_seed, host, detector_names,
                   attempt_samples, attempt_benign, perturb_fields=None,
-                  search=None, cell_seed=0, faults=None, scenario=None):
+                  search=None, cell_seed=0, faults=None, scenario=None,
+                  uarch="inorder"):
     """One attack attempt: fresh campaign, fixed detectors.
 
     Returns ``{detector name: accuracy}``.  ``search`` (the search
@@ -141,8 +142,10 @@ def _attempt_cell(records, root_seed, host, detector_names,
     _, detectors = _fit_detectors(records, root_seed, detector_names,
                                   faults=faults)
     if scenario is None:
-        scenario = Scenario(ScenarioConfig(host=host, seed=cell_seed),
-                            faults=faults)
+        scenario = Scenario(
+            ScenarioConfig(host=host, seed=cell_seed, uarch=uarch),
+            faults=faults,
+        )
     perturb = None
     if search is not None:
         perturb_fields = search["params"]
@@ -162,7 +165,8 @@ def _attempt_cell(records, root_seed, host, detector_names,
 
 
 def _search_cell(records, root_seed, host, detector_names,
-                 cell_seed=0, faults=None, scenario=None):
+                 cell_seed=0, faults=None, scenario=None,
+                 uarch="inorder"):
     """Offline pre-tuning of the single perturbation variant (Fig. 5b).
 
     The attacker probes the deployed (static) HID with candidate
@@ -174,8 +178,10 @@ def _search_cell(records, root_seed, host, detector_names,
     benign, detectors = _fit_detectors(records, root_seed, detector_names,
                                        faults=faults)
     if scenario is None:
-        scenario = Scenario(ScenarioConfig(host=host, seed=cell_seed),
-                            faults=faults)
+        scenario = Scenario(
+            ScenarioConfig(host=host, seed=cell_seed, uarch=uarch),
+            faults=faults,
+        )
     params, history = search_evading_params(
         scenario, detectors, benign, rng=random.Random(root_seed + 77),
     )
@@ -190,7 +196,8 @@ def _search_cell(records, root_seed, host, detector_names,
 def plan_fig5(seed=0, host="basicmath", attempts=10,
               detector_names=DETECTOR_NAMES, training_benign=240,
               training_attack=240, attempt_samples=60, attempt_benign=20,
-              scenario=None, training=None, faults=None):
+              scenario=None, training=None, faults=None,
+              uarch="inorder"):
     """Declare the Figure-5 cell grid (see the module docstring).
 
     ``scenario``/``training`` allow reuse of an already-staged campaign
@@ -201,6 +208,7 @@ def plan_fig5(seed=0, host="basicmath", attempts=10,
     plan = SweepPlan("fig5", seed, faults=faults)
     local = scenario is not None
     shared = {"scenario": scenario} if local else {}
+    shared["uarch"] = uarch
     if training is not None:
         benign, attack = training
         plan.preset("training", {
@@ -243,7 +251,8 @@ def plan_fig5(seed=0, host="basicmath", attempts=10,
 
 
 def fig5_meta(seed, host, attempts, detector_names, training_benign,
-              training_attack, attempt_samples, attempt_benign):
+              training_attack, attempt_samples, attempt_benign,
+              uarch="inorder"):
     return {
         "seed": seed, "host": host, "attempts": attempts,
         "detector_names": list(detector_names),
@@ -251,6 +260,7 @@ def fig5_meta(seed, host, attempts, detector_names, training_benign,
         "training_attack": training_attack,
         "attempt_samples": attempt_samples,
         "attempt_benign": attempt_benign,
+        "uarch": uarch,
     }
 
 
@@ -273,16 +283,17 @@ def run_fig5(seed=0, host="basicmath", attempts=10,
              training_attack=240, attempt_samples=60, attempt_benign=20,
              scenario=None, training=None, checkpoint=None, faults=None,
              jobs=1, backend=None, progress=None, trace=None,
-             traces=None, timings=None, cell_cache=None):
+             traces=None, timings=None, cell_cache=None,
+             uarch="inorder"):
     """Regenerate Figure 5.  Returns a :class:`Fig5Result`."""
     store = open_checkpoint(checkpoint, "fig5", fig5_meta(
         seed, host, attempts, detector_names, training_benign,
-        training_attack, attempt_samples, attempt_benign,
+        training_attack, attempt_samples, attempt_benign, uarch,
     ), trace=trace)
     plan = plan_fig5(seed, host, attempts, detector_names,
                      training_benign, training_attack, attempt_samples,
                      attempt_benign, scenario=scenario, training=training,
-                     faults=faults)
+                     faults=faults, uarch=uarch)
     statuses = {}
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,

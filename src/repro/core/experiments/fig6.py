@@ -147,13 +147,16 @@ def _online_detectors(records, root_seed, detector_names, faults=None):
 
 def _spectre_cell(records, root_seed, host, attempts, detector_names,
                   attempt_samples, attempt_benign, audit_every,
-                  cell_seed=0, faults=None, scenario=None):
+                  cell_seed=0, faults=None, scenario=None,
+                  uarch="inorder"):
     """Phase (a): plain Spectre vs retraining detectors (one cell)."""
     detectors = _online_detectors(records, root_seed, detector_names,
                                   faults=faults)
     if scenario is None:
-        scenario = Scenario(ScenarioConfig(host=host, seed=cell_seed),
-                            faults=faults)
+        scenario = Scenario(
+            ScenarioConfig(host=host, seed=cell_seed, uarch=uarch),
+            faults=faults,
+        )
     series = {name: [] for name in detector_names}
     for attempt in range(attempts):
         fresh_attack = scenario.attack_samples_mixed_variants(
@@ -175,13 +178,16 @@ def _spectre_cell(records, root_seed, host, attempts, detector_names,
 
 def _crspectre_cell(records, root_seed, host, attempts, detector_names,
                     attempt_samples, attempt_benign, audit_every,
-                    cell_seed=0, faults=None, scenario=None):
+                    cell_seed=0, faults=None, scenario=None,
+                    uarch="inorder"):
     """Phase (b): dynamic CR-Spectre vs retraining detectors (one cell)."""
     detectors = _online_detectors(records, root_seed, detector_names,
                                   faults=faults)
     if scenario is None:
-        scenario = Scenario(ScenarioConfig(host=host, seed=cell_seed),
-                            faults=faults)
+        scenario = Scenario(
+            ScenarioConfig(host=host, seed=cell_seed, uarch=uarch),
+            faults=faults,
+        )
     attacker = AdaptiveAttacker(seed=root_seed + 13)
     series = {name: [] for name in detector_names}
     for attempt in range(attempts):
@@ -221,11 +227,13 @@ def _crspectre_cell(records, root_seed, host, attempts, detector_names,
 def plan_fig6(seed=0, host="basicmath", attempts=10,
               detector_names=DETECTOR_NAMES, training_benign=240,
               training_attack=240, attempt_samples=60, attempt_benign=15,
-              audit_every=3, scenario=None, training=None, faults=None):
+              audit_every=3, scenario=None, training=None, faults=None,
+              uarch="inorder"):
     """Declare the Figure-6 cell grid (see the module docstring)."""
     plan = SweepPlan("fig6", seed, faults=faults)
     local = scenario is not None
     shared = {"scenario": scenario} if local else {}
+    shared["uarch"] = uarch
     if training is not None:
         benign, attack = training
         plan.preset("training", {
@@ -258,7 +266,7 @@ def plan_fig6(seed=0, host="basicmath", attempts=10,
 
 def fig6_meta(seed, host, attempts, detector_names, training_benign,
               training_attack, attempt_samples, attempt_benign,
-              audit_every):
+              audit_every, uarch="inorder"):
     return {
         "seed": seed, "host": host, "attempts": attempts,
         "detector_names": list(detector_names),
@@ -267,6 +275,7 @@ def fig6_meta(seed, host, attempts, detector_names, training_benign,
         "attempt_samples": attempt_samples,
         "attempt_benign": attempt_benign,
         "audit_every": audit_every,
+        "uarch": uarch,
     }
 
 
@@ -275,7 +284,8 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
              training_attack=240, attempt_samples=60, attempt_benign=15,
              audit_every=3, scenario=None, training=None, checkpoint=None,
              faults=None, jobs=1, backend=None, progress=None, trace=None,
-             traces=None, timings=None, cell_cache=None):
+             traces=None, timings=None, cell_cache=None,
+             uarch="inorder"):
     """Regenerate Figure 6.  Returns a :class:`Fig6Result`.
 
     ``audit_every``: every k-th attempt the defender's analysts audit
@@ -286,11 +296,12 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
     store = open_checkpoint(checkpoint, "fig6", fig6_meta(
         seed, host, attempts, detector_names, training_benign,
         training_attack, attempt_samples, attempt_benign, audit_every,
+        uarch,
     ), trace=trace)
     plan = plan_fig6(seed, host, attempts, detector_names,
                      training_benign, training_attack, attempt_samples,
                      attempt_benign, audit_every, scenario=scenario,
-                     training=training, faults=faults)
+                     training=training, faults=faults, uarch=uarch)
     statuses = {}
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,

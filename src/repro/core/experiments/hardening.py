@@ -102,7 +102,8 @@ class HardeningResult:
 
 def _corpus_cell(root_seed, max_k, holdout_variants, samples_per_variant,
                  training_benign, training_attack, attempt_benign,
-                 cell_seed=0, faults=None, scenario=None):
+                 cell_seed=0, faults=None, scenario=None,
+                 uarch="inorder"):
     """Every sampled pool, as JSON records (shared by all ``k/<K>`` cells).
 
     The train/holdout perturbation draws come from two disjoint RNG
@@ -112,7 +113,8 @@ def _corpus_cell(root_seed, max_k, holdout_variants, samples_per_variant,
     rng_train = random.Random(root_seed + 1)
     rng_holdout = random.Random(root_seed + 999)
     if scenario is None:
-        scenario = Scenario(ScenarioConfig(seed=cell_seed), faults=faults)
+        scenario = Scenario(ScenarioConfig(seed=cell_seed, uarch=uarch),
+                            faults=faults)
     benign = scenario.benign_samples(training_benign)
     plain = scenario.attack_samples_mixed_variants(training_attack)
     train_variants = [
@@ -171,7 +173,8 @@ def _k_cell(corpus, k, root_seed, classifier, attempt_benign,
 def plan_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
                    holdout_variants=4, samples_per_variant=40,
                    training_benign=200, training_attack=120,
-                   attempt_benign=15, scenario=None, faults=None):
+                   attempt_benign=15, scenario=None, faults=None,
+                   uarch="inorder"):
     """Declare the hardening-ablation cell grid (see module docstring)."""
     plan = SweepPlan("hardening", seed, faults=faults)
     local = scenario is not None
@@ -184,7 +187,7 @@ def plan_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
             samples_per_variant=samples_per_variant,
             training_benign=training_benign,
             training_attack=training_attack,
-            attempt_benign=attempt_benign, **shared,
+            attempt_benign=attempt_benign, uarch=uarch, **shared,
         ),
         seed_kw="cell_seed", faults_kw="faults", local=local,
     )
@@ -201,7 +204,7 @@ def plan_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
 
 def hardening_meta(seed, classifier, train_variant_counts, holdout_variants,
                    samples_per_variant, training_benign, training_attack,
-                   attempt_benign):
+                   attempt_benign, uarch="inorder"):
     return {
         "seed": seed,
         "classifier": classifier,
@@ -211,6 +214,7 @@ def hardening_meta(seed, classifier, train_variant_counts, holdout_variants,
         "training_benign": training_benign,
         "training_attack": training_attack,
         "attempt_benign": attempt_benign,
+        "uarch": uarch,
     }
 
 
@@ -219,7 +223,8 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
                   training_benign=200, training_attack=120,
                   attempt_benign=15, scenario=None, checkpoint=None,
                   faults=None, jobs=1, backend=None, progress=None,
-                  trace=None, traces=None, timings=None, cell_cache=None):
+                  trace=None, traces=None, timings=None, cell_cache=None,
+                  uarch="inorder"):
     """Run the adversarial-training ablation.
 
     For each K in *train_variant_counts*: train on benign + plain
@@ -229,12 +234,12 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
     store = open_checkpoint(checkpoint, "hardening", hardening_meta(
         seed, classifier, train_variant_counts, holdout_variants,
         samples_per_variant, training_benign, training_attack,
-        attempt_benign,
+        attempt_benign, uarch,
     ), trace=trace)
     plan = plan_hardening(seed, classifier, train_variant_counts,
                           holdout_variants, samples_per_variant,
                           training_benign, training_attack, attempt_benign,
-                          scenario=scenario, faults=faults)
+                          scenario=scenario, faults=faults, uarch=uarch)
     statuses = {}
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,

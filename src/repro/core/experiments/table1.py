@@ -158,7 +158,7 @@ def _inject_attack(system, host_program, host_path, secret, perturb, tag):
 
 def _measure_host_ipc(seed, workload_name, iterations, secret,
                       perturb=None, dynamic=False, quantum=10_000,
-                      rotate_quanta=40, watchdog=None):
+                      rotate_quanta=40, watchdog=None, uarch="inorder"):
     """Host IPC to completion, optionally next to an injected attack.
 
     ``dynamic=True`` models the *online-type* CR-Spectre campaign: the
@@ -174,7 +174,8 @@ def _measure_host_ipc(seed, workload_name, iterations, secret,
 
     from repro.attack.perturb import mutate
 
-    system = System(seed=seed, target_data=secret, shared_l2=True)
+    system = System(seed=seed, target_data=secret, shared_l2=True,
+                    uarch=uarch)
     workload = get_workload(workload_name)
     host_program = workload.build(iterations=iterations, hosted=True)
     host_path = f"/bin/{workload_name}"
@@ -224,7 +225,7 @@ def _measure_host_ipc(seed, workload_name, iterations, secret,
 
 def _row_cell(label, workload_name, iteration_choices, root_seed, secret,
               repetitions, quantum, measurement_budget, cell_seed=0,
-              faults=None):
+              faults=None, uarch="inorder"):
     """One benchmark row: original/offline/online IPC, averaged.
 
     The System seeds derive from the *root* seed (``seed + 1000 * rep``,
@@ -251,16 +252,17 @@ def _row_cell(label, workload_name, iteration_choices, root_seed, secret,
             original.append(_measure_host_ipc(
                 rep_seed, workload_name, iterations, secret,
                 perturb=None, quantum=quantum, watchdog=budget(),
+                uarch=uarch,
             ))
             offline.append(_measure_host_ipc(
                 rep_seed, workload_name, iterations, secret,
                 perturb=OFFLINE_PERTURB, quantum=quantum,
-                watchdog=budget(),
+                watchdog=budget(), uarch=uarch,
             ))
             online.append(_measure_host_ipc(
                 rep_seed, workload_name, iterations, secret,
                 perturb=ONLINE_PERTURB, dynamic=True, quantum=quantum,
-                watchdog=budget(),
+                watchdog=budget(), uarch=uarch,
             ))
     return {
         "original": sum(original) / len(original),
@@ -271,7 +273,7 @@ def _row_cell(label, workload_name, iteration_choices, root_seed, secret,
 
 def plan_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
                 repetitions=3, quantum=10_000, measurement_budget=None,
-                faults=None):
+                faults=None, uarch="inorder"):
     """Declare the Table-I cell grid: one independent cell per row."""
     plan = SweepPlan("table1", seed, faults=faults)
     for label, workload_name, iteration_choices in rows:
@@ -283,19 +285,22 @@ def plan_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
                 root_seed=seed, secret=secret.decode("latin-1"),
                 repetitions=repetitions, quantum=quantum,
                 measurement_budget=measurement_budget,
+                uarch=uarch,
             ),
             seed_kw="cell_seed", faults_kw="faults",
         )
     return plan
 
 
-def table1_meta(seed, rows, secret, repetitions, quantum):
+def table1_meta(seed, rows, secret, repetitions, quantum,
+                uarch="inorder"):
     return {
         "seed": seed,
         "rows": [list(row[:2]) + [list(row[2])] for row in rows],
         "secret": secret.decode("latin-1"),
         "repetitions": repetitions,
         "quantum": quantum,
+        "uarch": uarch,
     }
 
 
@@ -303,7 +308,7 @@ def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
                repetitions=3, quantum=10_000, checkpoint=None,
                measurement_budget=None, faults=None, jobs=1,
                backend=None, progress=None, trace=None, traces=None,
-               timings=None, cell_cache=None):
+               timings=None, cell_cache=None, uarch="inorder"):
     """Regenerate Table I.  Returns a :class:`Table1Result`.
 
     ``repetitions`` mirrors the paper's averaging over repeated runs
@@ -315,11 +320,11 @@ def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
     into a failed cell rather than spinning forever.
     """
     store = open_checkpoint(checkpoint, "table1", table1_meta(
-        seed, rows, secret, repetitions, quantum,
+        seed, rows, secret, repetitions, quantum, uarch,
     ), trace=trace)
     plan = plan_table1(seed, rows, secret, repetitions, quantum,
                        measurement_budget=measurement_budget,
-                       faults=faults)
+                       faults=faults, uarch=uarch)
     statuses = {}
     metrics = {}
     results = execute_plan(plan, store=store, statuses=statuses,

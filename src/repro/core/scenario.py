@@ -41,6 +41,9 @@ class ScenarioConfig:
     spectre_variants: tuple = ("v1", "rsb", "sbo")
     training_rounds: int = 6
     stride: int = 64
+    #: Microarchitecture of every machine this campaign stages
+    #: (``repro.uarch`` registry name: "inorder" or "ooo").
+    uarch: str = "inorder"
 
 
 class Scenario:
@@ -61,6 +64,7 @@ class Scenario:
             seed=cfg.seed,
             target_data=cfg.secret,
             quantum=cfg.quantum,
+            uarch=cfg.uarch,
         )
         self.profiler = Profiler(
             quantum=cfg.quantum,

@@ -10,7 +10,7 @@ import random
 
 from repro.cache.cache import Cache
 from repro.cache.hierarchy import CacheConfig, CacheHierarchy
-from repro.cpu.cpu import Cpu, CpuConfig
+from repro.cpu.cpu import CpuConfig
 from repro.errors import KernelError
 from repro.kernel.loader import load_image
 from repro.kernel.process import Process
@@ -18,6 +18,7 @@ from repro.kernel.scheduler import Scheduler
 from repro.kernel.syscalls import SyscallInterface
 from repro.mem.layout import AddressSpaceLayout, randomized_layout
 from repro.mem.memory import Memory
+from repro.uarch import DEFAULT_UARCH, make_core
 
 
 class System:
@@ -25,8 +26,11 @@ class System:
 
     def __init__(self, seed=0, cpu_config=None, cache_config=None,
                  aslr=False, aslr_entropy_bits=12, target_data=None,
-                 quantum=2000, shared_l2=False):
+                 quantum=2000, shared_l2=False, uarch=DEFAULT_UARCH,
+                 uarch_params=None):
         self.seed = seed
+        self.uarch = uarch
+        self.uarch_params = uarch_params
         self.rng = random.Random(seed)
         self.cpu_config = cpu_config or CpuConfig()
         self.cache_config = cache_config or CacheConfig()
@@ -68,7 +72,8 @@ class System:
         memory = Memory()
         caches = CacheHierarchy(self.cache_config, shared_l2=self.shared_l2,
                                 asid=self._next_pid)
-        cpu = Cpu(memory, caches=caches, config=self.cpu_config)
+        cpu = make_core(self.uarch, memory, caches=caches,
+                        config=self.cpu_config, params=self.uarch_params)
         layout = self._make_layout()
         full_argv = [path] + list(argv or ())
         image, initial_regs = load_image(

@@ -28,8 +28,27 @@ class ExpectationsError(ValueError):
     """An expectations file that cannot gate anything."""
 
 
+#: Reserved key inside an experiment section: per-microarchitecture
+#: band overlays, ``{"uarch": {"ooo": {headline: band, ...}}}``.
+UARCH_KEY = "uarch"
+
+
+def _check_band(path, where, headline, band):
+    if not isinstance(band, dict) or not ("min" in band or "max" in band):
+        raise ExpectationsError(
+            f"{path}: band {where}/{headline} needs a 'min' and/or 'max'"
+        )
+
+
 def load_expectations(path):
-    """Parse + sanity-check an expectations file."""
+    """Parse + sanity-check an expectations file.
+
+    Two shapes per experiment section are accepted: the flat (legacy)
+    ``{headline: band}`` dict, optionally carrying a reserved ``uarch``
+    key with per-microarchitecture overlays —
+    ``{"uarch": {"ooo": {headline: band}}}``.  Validation errors name
+    the offending key path.
+    """
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
     if payload.get("format") != EXPECTATIONS_FORMAT:
@@ -42,19 +61,41 @@ def load_expectations(path):
         raise ExpectationsError(f"{path}: no profiles defined")
     for profile_name, experiments in profiles.items():
         for experiment, bands in experiments.items():
+            where = f"{profile_name}/{experiment}"
             for headline, band in bands.items():
-                if not isinstance(band, dict) or not (
-                    "min" in band or "max" in band
-                ):
-                    raise ExpectationsError(
-                        f"{path}: band {profile_name}/{experiment}/"
-                        f"{headline} needs a 'min' and/or 'max'"
-                    )
+                if headline == UARCH_KEY:
+                    if not isinstance(band, dict):
+                        raise ExpectationsError(
+                            f"{path}: {where}/{UARCH_KEY} must map "
+                            f"microarchitecture names to band dicts"
+                        )
+                    for uarch_name, overlay in band.items():
+                        if not isinstance(overlay, dict):
+                            raise ExpectationsError(
+                                f"{path}: {where}/{UARCH_KEY}/"
+                                f"{uarch_name} must be a "
+                                f"{{headline: band}} dict"
+                            )
+                        for name, uarch_band in overlay.items():
+                            _check_band(
+                                path,
+                                f"{where}/{UARCH_KEY}/{uarch_name}",
+                                name, uarch_band,
+                            )
+                    continue
+                _check_band(path, where, headline, band)
     return payload
 
 
-def bands_for(expectations, experiment, profile=DEFAULT_PROFILE):
-    """The experiment's band dict for one profile.
+def bands_for(expectations, experiment, profile=DEFAULT_PROFILE,
+              uarch=None):
+    """The experiment's band dict for one profile (and microarch).
+
+    The flat section is the baseline; when *uarch* names an entry in the
+    section's ``uarch`` overlay, those bands replace the flat ones key
+    by key — so a legacy flat file gates every microarchitecture the
+    same way, and a per-uarch file overrides only the headlines whose
+    expected numbers genuinely differ per core.
 
     Raises :class:`ExpectationsError` when the profile or experiment is
     not covered — a gate with nothing to check must fail loudly, not
@@ -71,7 +112,13 @@ def bands_for(expectations, experiment, profile=DEFAULT_PROFILE):
             f"profile {profile!r} has no bands for experiment "
             f"{experiment!r} (have {sorted(experiments)})"
         )
-    return experiments[experiment]
+    section = experiments[experiment]
+    bands = {name: band for name, band in section.items()
+             if name != UARCH_KEY}
+    overlays = section.get(UARCH_KEY) or {}
+    if uarch is not None and uarch in overlays:
+        bands.update(overlays[uarch])
+    return bands
 
 
 def check_headlines(headlines, bands):

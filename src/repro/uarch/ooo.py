@@ -1,0 +1,1071 @@
+"""The out-of-order (Tomasulo) core: same ISA contract, OoO timing.
+
+Execution model
+---------------
+Instructions dispatch in program order into a reorder buffer and
+reservation stations, execute as their operands become ready, and
+commit strictly in order at ``commit_width`` per cycle.  The functional
+(rename-file) state executes eagerly at dispatch — the register file
+``state.regs`` always holds the newest speculative values, while
+``arch_regs`` tracks the committed view the ROB writes back to — so the
+architectural results are instruction-for-instruction identical to the
+in-order core.  What differs is *time*: per-register ready times, ROB /
+reservation-station / LSQ occupancy and the commit stream produce the
+cycle counter, so load misses overlap with independent work, long
+dividers hide behind ALU chains, and ``rdcycle`` (a serialising read,
+as on real hardware) observes the drained machine.
+
+Speculation
+-----------
+On a branch misprediction the wrong path executes in the ROB's *free
+slots* — reorder-buffer depth, not a fixed window, bounds transient
+execution, which is the microarchitectural knob Spectre exploits on
+real OoO hardware (Kocher et al.).  Wrong-path uops allocate tail ROB
+entries, rename into the register-status table, read through a store
+buffer (their stores never reach memory), and are squashed by restoring
+the checkpointed rename map taken at the branch.  Their instruction and
+data fetches still fill the caches and TLBs — the covert channel — and
+they account the same ``spec_*`` / ``squashed_instructions`` PMU events
+the in-order core does, with a genuinely different signature (the
+window breathes with ROB occupancy instead of being a constant).
+
+Serialising instructions (``rdcycle``, ``mfence``, ``clflush``,
+``syscall``, ``halt``) drain the ROB and retire immediately; the fast
+quantum loop also drains at every exit path, so cross-quantum state is
+always architectural and a run is bit-deterministic regardless of how
+``run()`` calls slice it.
+"""
+
+import dataclasses
+
+from repro.branch.predictor import BranchPredictor
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cpu.cpu import (
+    MASK32,
+    CpuConfig,
+    _alu_rri,
+    _alu_rrr,
+    _branch_taken,
+    _ADD,
+    _ADDI,
+    _BEQ,
+    _BGEU,
+    _CALL,
+    _CALLR,
+    _CLFLUSH,
+    _HALT,
+    _JMP,
+    _JMPR,
+    _LB,
+    _LI,
+    _LW,
+    _MFENCE,
+    _MOD,
+    _MOV,
+    _MUL,
+    _MULI,
+    _NOP,
+    _POP,
+    _PUSH,
+    _RDCYCLE,
+    _RDINSTRET,
+    _RET,
+    _SB,
+    _SLTI,
+    _SLTU,
+    _SW,
+    _SYSCALL,
+)
+from repro.cpu.pmu import Pmu
+from repro.cpu.shadow_stack import ShadowStack
+from repro.cpu.state import CpuState
+from repro.errors import (
+    CpuFault,
+    EncodingError,
+    MemoryFault,
+    PrivilegeFault,
+    ShadowStackViolation,
+)
+from repro.isa.encoding import INSTRUCTION_SIZE, decode
+from repro.mem.tlb import Tlb
+from repro.obs.tracer import current_tracer
+from repro.uarch.core import register_uarch
+from repro.uarch.structures import (
+    LoadStoreQueue,
+    RegisterStatus,
+    ReorderBuffer,
+    ReservationStations,
+    RobEntry,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class OooParams:
+    """Out-of-order core knobs.
+
+    ``rob_depth`` is the speculation budget: free ROB slots bound how
+    far a mispredicted branch executes down the wrong path, the way
+    ``CpuConfig.spec_window`` does for the in-order core.  The default
+    matches that window so the two cores expose comparably-sized covert
+    channels out of the box.
+    """
+
+    rob_depth: int = 48
+    rs_alu: int = 8
+    rs_mem: int = 6
+    rs_branch: int = 4
+    lsq_depth: int = 12
+    commit_width: int = 4
+
+
+class OooCore:
+    """One simulated out-of-order hardware thread."""
+
+    #: Same watchdog-charging contract as the in-order core.
+    WATCHDOG_STRIDE = 1024
+
+    def __init__(self, memory, caches=None, predictor=None, config=None,
+                 params=None):
+        self.memory = memory
+        self.caches = caches or CacheHierarchy()
+        self.predictor = predictor or BranchPredictor()
+        self.config = config or CpuConfig()
+        self.params = params or OooParams()
+        self.state = CpuState()
+        self.dtlb = Tlb()
+        self.itlb = Tlb()
+        self.pmu = Pmu(self)
+        self.cycles = 0.0
+        self.shadow_stack = (ShadowStack() if self.config.shadow_stack
+                             else None)
+        self.kernel_mode = False
+        self.syscall_handler = None
+        self.watchdog = None
+        self._decode_cache = {}
+        self._base_cost = 1.0 / self.config.issue_width
+        self._l1_latency = self.caches.config.l1_latency
+        self._last_iline = -1
+        self._last_ipage = -1
+
+        # Tomasulo structures.
+        p = self.params
+        num_regs = len(self.state.regs)
+        self.rob = ReorderBuffer(p.rob_depth)
+        self.rat = RegisterStatus(num_regs)
+        self.rs = ReservationStations(
+            {"alu": p.rs_alu, "mem": p.rs_mem, "br": p.rs_branch}
+        )
+        self.lsq = LoadStoreQueue(p.lsq_depth)
+        #: Committed register file (the ROB writes back here); converges
+        #: with the rename file ``state.regs`` whenever the ROB drains.
+        self.arch_regs = list(self.state.regs)
+        #: Per-register result-ready times (the scheduling half of the
+        #: rename table; values live in ``state.regs``).
+        self._ready = [0.0] * num_regs
+        self._fetch_clock = 0.0
+        self._last_commit = 0.0
+        self._inv_commit = 1.0 / p.commit_width
+        self._seq = 0
+        #: Tests may set this to a list to record (seq, pc, wrong_path)
+        #: per commit and pin the in-order-commit invariant.
+        self.commit_log = None
+
+        tracer = current_tracer()
+        if tracer.enabled:
+            self._tracer = tracer
+            self.trace_clk = tracer.register_clock(self._cycles_now)
+            self._tr_cpu = tracer.channel("cpu", self.trace_clk)
+            self._tr_kernel = tracer.channel("kernel", self.trace_clk)
+            cache_channel = tracer.channel("cache", self.trace_clk)
+            if cache_channel is not None:
+                self.caches.bind_tracer(cache_channel)
+        else:
+            self._tracer = None
+            self.trace_clk = 0
+            self._tr_cpu = None
+            self._tr_kernel = None
+
+    def _cycles_now(self):
+        return int(self.cycles)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def reset_for_exec(self):
+        """Flush decode/translation + pipeline state after ``execve``."""
+        self._decode_cache.clear()
+        self._last_iline = -1
+        self._last_ipage = -1
+        self.dtlb.flush()
+        self.itlb.flush()
+        if self.shadow_stack is not None:
+            self.shadow_stack.reset()
+        self.predictor.rsb.reset()
+        self.rob.clear()
+        self.rat.clear()
+        self.rs.clear()
+        self.lsq.clear()
+        self._ready = [self.cycles] * len(self._ready)
+
+    def _decode_entry(self, pc):
+        blob = self.memory.fetch(pc, INSTRUCTION_SIZE)
+        try:
+            instruction = decode(blob)
+        except EncodingError as exc:
+            raise CpuFault(f"illegal instruction at {pc:#010x}: {exc}")
+        entry = (int(instruction.opcode), instruction.rd,
+                 instruction.rs1, instruction.rs2, instruction.imm)
+        self._decode_cache[pc] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # commit port
+    # ------------------------------------------------------------------
+    def _commit_head(self):
+        """Retire the ROB head; returns its commit time."""
+        entry = self.rob.pop_head()
+        slot = self._last_commit + self._inv_commit
+        if entry.completion > slot:
+            slot = entry.completion
+        self._last_commit = slot
+        if slot > self.cycles:
+            self.cycles = slot
+        arch = self.arch_regs
+        rat = self.rat
+        for register, value in entry.writes:
+            arch[register] = value
+            rat.retire(register, entry)
+        if entry.kind == "mem":
+            self.lsq.release(entry.seq)
+        log = self.commit_log
+        if log is not None:
+            log.append((entry.seq, entry.pc, entry.wrong_path))
+        return slot
+
+    def _commit_until(self, now):
+        """Retire every head entry whose commit slot is due by *now*."""
+        entries = self.rob.entries
+        inv_commit = self._inv_commit
+        while entries:
+            head = entries[0]
+            slot = self._last_commit + inv_commit
+            if head.completion > slot:
+                slot = head.completion
+            if slot > now:
+                break
+            self._commit_head()
+
+    def _drain(self):
+        """Retire the whole ROB (quantum boundary, fault, serialise)."""
+        while self.rob.entries:
+            self._commit_head()
+
+    def _serialize(self, fclock, extra=0.0):
+        """Drain, then retire a serialising op; returns the new fetch
+        clock (== ``self.cycles``: the machine is momentarily in-order).
+        """
+        self._drain()
+        t = self.cycles
+        if fclock > t:
+            t = fclock
+        t += extra
+        self.cycles = t
+        self._last_commit = t
+        return t
+
+    # ------------------------------------------------------------------
+    # misprediction recovery + wrong-path execution
+    # ------------------------------------------------------------------
+    def _recover(self, pc, wrong_path_pc, resolve_time, fclock):
+        """Mispredict: transient wrong path, squash, redirect fetch."""
+        trace = self._tr_cpu
+        ts0 = trace.now() if trace is not None else 0
+        penalty = self.config.mispredict_penalty
+        self.pmu.counters["mispredict_penalty_cycles"] += int(penalty)
+        if fclock < resolve_time:
+            fclock = resolve_time
+        fclock += penalty
+        if wrong_path_pc is not None:
+            executed = self._speculate(wrong_path_pc)
+            if trace is not None:
+                trace.complete("cpu.speculate", ts0, pc=pc,
+                               target=wrong_path_pc, squashed=executed)
+                self._tracer.metrics.observe(
+                    "cpu.speculate.squashed", executed
+                )
+        elif trace is not None:
+            trace.event("cpu.mispredict", pc=pc)
+        return fclock
+
+    def _speculate(self, start_pc):
+        """Execute the wrong path in the ROB's free slots.
+
+        Wrong-path uops allocate tail ROB entries and rename into the
+        register-status table; stores stay in a store buffer.  The
+        squash pops the tail and restores the rename-map checkpoint —
+        only cache/TLB fills (and the ``spec_*`` counters) persist.
+        """
+        window = self.rob.free_slots()
+        if window <= 0:
+            return 0
+        regs = self.state.regs
+        checkpoint_regs = list(regs)
+        checkpoint_rat = self.rat.checkpoint()
+        rat_set = self.rat.set
+        rob_entries = self.rob.entries
+        store_buffer = {}
+        counters = self.pmu.counters
+        memory = self.memory
+        dcache = self._decode_cache
+        data_fast = self.caches.data_access_fast
+        icache_fast = self.caches.instruction_access_fast
+        dtlb_access = self.dtlb.access
+        itlb_access = self.itlb.access
+        invisible = self.config.invisible_speculation
+        seq = self._seq
+        pc = start_pc
+        executed = 0
+
+        for _ in range(window):
+            entry = dcache.get(pc)
+            if entry is None:
+                try:
+                    blob = memory.fetch(pc, INSTRUCTION_SIZE)
+                    instruction = decode(blob)
+                except (MemoryFault, EncodingError):
+                    break
+                entry = (int(instruction.opcode), instruction.rd,
+                         instruction.rs1, instruction.rs2,
+                         instruction.imm)
+                dcache[pc] = entry
+            # Wrong-path fetch fills the I-cache / ITLB too.
+            icache_fast(pc)
+            itlb_access(pc)
+
+            executed += 1
+            counters["spec_instructions"] += 1
+            op, rd, rs1, rs2, imm = entry
+            next_pc = (pc + INSTRUCTION_SIZE) & MASK32
+            node = RobEntry(seq, pc, op, "spec", 0.0, wrong_path=True)
+            seq += 1
+            rob_entries.append(node)
+
+            if op == _LW or op == _LB:
+                address = (regs[rs1] + imm) & MASK32
+                counters["spec_loads"] += 1
+                if invisible:
+                    # Serviced from the speculative buffer: data flows
+                    # to the wrong path, but no cache line is installed.
+                    pass
+                else:
+                    dtlb_access(address)
+                    if data_fast(address, False)[1] == 3:
+                        counters["spec_cache_fills"] += 1
+                key = (address, 4 if op == _LW else 1)
+                if key in store_buffer:
+                    value = store_buffer[key]
+                else:
+                    try:
+                        if op == _LW:
+                            value = memory.load_word(address)
+                        else:
+                            value = memory.load_byte(address)
+                    except MemoryFault:
+                        # Faulting wrong-path loads are suppressed; the
+                        # cache fill above already happened.
+                        break
+                if rd != 0:
+                    regs[rd] = value & MASK32
+                    rat_set(rd, node)
+            elif op == _SW or op == _SB:
+                address = (regs[rs1] + imm) & MASK32
+                size = 4 if op == _SW else 1
+                store_buffer[(address, size)] = regs[rs2] & (
+                    MASK32 if size == 4 else 0xFF
+                )
+                dtlb_access(address)
+                data_fast(address, True)
+            elif _ADD <= op <= _SLTU:
+                if rd != 0:
+                    regs[rd] = _alu_rrr(op, regs[rs1], regs[rs2])
+                    rat_set(rd, node)
+            elif _ADDI <= op <= _SLTI:
+                if rd != 0:
+                    regs[rd] = _alu_rri(op, regs[rs1], imm)
+                    rat_set(rd, node)
+            elif op == _LI:
+                if rd != 0:
+                    regs[rd] = imm & MASK32
+                    rat_set(rd, node)
+            elif op == _MOV:
+                if rd != 0:
+                    regs[rd] = regs[rs1]
+                    rat_set(rd, node)
+            elif _BEQ <= op <= _BGEU:
+                # Nested branches resolve immediately on the wrong path.
+                if _branch_taken(op, regs[rs1], regs[rs2]):
+                    next_pc = (pc + imm) & MASK32
+            elif op == _JMP:
+                next_pc = (pc + imm) & MASK32
+            elif op == _JMPR:
+                next_pc = (regs[rs1] + imm) & MASK32
+            elif op == _CALL or op == _CALLR:
+                return_address = next_pc
+                sp = (regs[13] - 4) & MASK32
+                regs[13] = sp
+                rat_set(13, node)
+                store_buffer[(sp, 4)] = return_address
+                if op == _CALL:
+                    next_pc = (pc + imm) & MASK32
+                else:
+                    next_pc = (regs[rs1] + imm) & MASK32
+            elif op == _RET:
+                sp = regs[13]
+                key = (sp, 4)
+                if key in store_buffer:
+                    target = store_buffer[key]
+                else:
+                    try:
+                        target = memory.load_word(sp)
+                    except MemoryFault:
+                        break
+                regs[13] = (sp + 4) & MASK32
+                rat_set(13, node)
+                next_pc = target & MASK32
+            elif op == _PUSH:
+                sp = (regs[13] - 4) & MASK32
+                regs[13] = sp
+                rat_set(13, node)
+                store_buffer[(sp, 4)] = regs[rs1]
+                data_fast(sp, True)
+            elif op == _POP:
+                sp = regs[13]
+                key = (sp, 4)
+                if key in store_buffer:
+                    value = store_buffer[key]
+                else:
+                    try:
+                        value = memory.load_word(sp)
+                    except MemoryFault:
+                        break
+                data_fast(sp, False)
+                regs[13] = (sp + 4) & MASK32
+                rat_set(13, node)
+                if rd != 0:
+                    regs[rd] = value
+                    rat_set(rd, node)
+            elif op == _RDCYCLE:
+                if rd != 0:
+                    regs[rd] = int(self.cycles) & MASK32
+                    rat_set(rd, node)
+            elif op == _RDINSTRET:
+                if rd != 0:
+                    regs[rd] = counters["instructions"] & MASK32
+                    rat_set(rd, node)
+            elif op == _NOP:
+                pass
+            else:
+                # HALT, SYSCALL, MFENCE, CLFLUSH: serialising —
+                # wrong-path execution stops here.
+                break
+            pc = next_pc
+
+        counters["squashed_instructions"] += executed
+        self._seq = seq
+        squashed = self.rob.squash_tail()
+        assert squashed == executed, "squash missed wrong-path uops"
+        regs[:] = checkpoint_regs
+        self.rat.restore(checkpoint_rat)
+        return executed
+
+    # ------------------------------------------------------------------
+    # architectural execution
+    # ------------------------------------------------------------------
+    def step(self):
+        """Retire one architectural instruction; ``False`` on halt."""
+        if self.state.halted:
+            return False
+        self.run(max_instructions=1)
+        return not self.state.halted
+
+    def run(self, max_instructions=None):
+        """Dispatch/commit until halt (or budget); returns retired count.
+
+        One loop serves traced and untraced runs: ``self.cycles`` only
+        moves at commit/serialise points, which is where every trace
+        emission happens, so the channels always observe a live clock.
+        All observable state is synchronised — and the ROB drained — on
+        every exit path, including faults (precise exceptions: older
+        work commits, the faulting instruction never allocates).
+        """
+        state = self.state
+        if state.halted:
+            return 0
+        config = self.config
+        counters = self.pmu.counters
+        predictor = self.predictor
+        memory = self.memory
+        caches = self.caches
+        rob_entries = self.rob.entries
+        rob_depth = self.rob.depth
+        rat_set = self.rat.set
+        rs_acquire = self.rs.acquire
+        rs_issue = self.rs.issue
+        lsq = self.lsq
+        lsq_entries = lsq.entries
+        lsq_depth = lsq.depth
+        dcache_get = self._decode_cache.get
+        load_word = memory.load_word
+        load_byte = memory.load_byte
+        store_word = memory.store_word
+        store_byte = memory.store_byte
+        dtlb_access = self.dtlb.access
+        itlb_access = self.itlb.access
+        icache_fast = caches.instruction_access_fast
+        data_fast = caches.data_access_fast
+        predict_conditional = predictor.predict_conditional
+        resolve_conditional = predictor.resolve_conditional
+        predict_indirect = predictor.predict_indirect
+        resolve_indirect = predictor.resolve_indirect
+        on_call = predictor.on_call
+        shadow = self.shadow_stack
+        base_cost = self._base_cost
+        l1_latency = self._l1_latency
+        mul_extra = config.mul_extra
+        div_extra = config.div_extra
+        btb_miss_penalty = config.btb_miss_penalty
+        fence_latency = config.fence_latency
+        fence_stall = int(config.fence_latency)
+        clflush_latency = config.clflush_latency
+        syscall_latency = config.syscall_latency
+        clflush_privileged = config.clflush_privileged
+        size = INSTRUCTION_SIZE
+        watchdog = self.watchdog
+        stride = self.WATCHDOG_STRIDE
+        limit = -1 if max_instructions is None else max_instructions
+
+        # The ROB is empty between run() calls, so the rename file is
+        # architectural here: re-seat the committed view on it (spawn
+        # and syscall handlers write registers between quanta).
+        self.arch_regs = list(state.regs)
+
+        regs = state.regs
+        ready = self._ready
+        pc = state.pc
+        fclock = self._fetch_clock
+        last_iline = self._last_iline
+        last_ipage = self._last_ipage
+        executed = 0
+
+        try:
+            while not state.halted:
+                if executed == limit:
+                    break
+
+                entry = dcache_get(pc)
+                if entry is None:
+                    entry = self._decode_entry(pc)
+                line = pc >> 6
+                if line != last_iline:
+                    last_iline = line
+                    extra = icache_fast(pc)[0] - l1_latency
+                    if extra > 0:
+                        fclock += extra
+                        counters["memory_stall_cycles"] += extra
+                page = pc >> 12
+                if page != last_ipage:
+                    last_ipage = page
+                    itlb_access(pc)
+
+                op, rd, rs1, rs2, imm = entry
+                next_pc = (pc + size) & MASK32
+                counters["instructions"] += 1
+                seq = self._seq
+                self._seq = seq + 1
+
+                # Dispatch: retire whatever is due, then stall on
+                # structural hazards (full ROB / stations / LSQ).
+                dispatch = fclock
+                self._commit_until(dispatch)
+                while len(rob_entries) >= rob_depth:
+                    slot = self._commit_head()
+                    if slot > dispatch:
+                        dispatch = slot
+                if op >= _ADD:
+                    if op < _LW:
+                        kind = "alu"
+                    elif op < _BEQ:
+                        kind = "mem"
+                    elif op < _SYSCALL:
+                        kind = "br"
+                    elif op == _RDINSTRET:
+                        kind = "alu"
+                    else:
+                        kind = None     # serialising
+                else:
+                    kind = None         # nop / halt
+                if kind is not None:
+                    stalled = rs_acquire(kind, dispatch)
+                    if stalled > dispatch:
+                        dispatch = stalled
+                    if kind == "mem":
+                        while len(lsq_entries) >= lsq_depth:
+                            slot = self._commit_head()
+                            if slot > dispatch:
+                                dispatch = slot
+                fclock = dispatch + base_cost
+
+                if _ADDI <= op <= _SLTI:
+                    counters["alu_instructions"] += 1
+                    latency = 1.0
+                    if op == _MULI:
+                        counters["mul_div_instructions"] += 1
+                        latency += mul_extra
+                    start = dispatch
+                    t = ready[rs1]
+                    if t > start:
+                        start = t
+                    done = start + latency
+                    rs_issue("alu", done)
+                    writes = ()
+                    if rd:
+                        value = _alu_rri(op, regs[rs1], imm)
+                        regs[rd] = value
+                        ready[rd] = done
+                        writes = ((rd, value),)
+                    node = RobEntry(seq, pc, op, "alu", done, writes)
+                    if writes:
+                        rat_set(rd, node)
+                    rob_entries.append(node)
+                elif _ADD <= op <= _SLTU:
+                    counters["alu_instructions"] += 1
+                    latency = 1.0
+                    if _MUL <= op <= _MOD:
+                        counters["mul_div_instructions"] += 1
+                        latency += (div_extra if op != _MUL
+                                    else mul_extra)
+                    start = dispatch
+                    t = ready[rs1]
+                    if t > start:
+                        start = t
+                    t = ready[rs2]
+                    if t > start:
+                        start = t
+                    done = start + latency
+                    rs_issue("alu", done)
+                    writes = ()
+                    if rd:
+                        value = _alu_rrr(op, regs[rs1], regs[rs2])
+                        regs[rd] = value
+                        ready[rd] = done
+                        writes = ((rd, value),)
+                    node = RobEntry(seq, pc, op, "alu", done, writes)
+                    if writes:
+                        rat_set(rd, node)
+                    rob_entries.append(node)
+                elif op == _LI:
+                    counters["alu_instructions"] += 1
+                    done = dispatch + 1.0
+                    rs_issue("alu", done)
+                    writes = ()
+                    if rd:
+                        value = imm & MASK32
+                        regs[rd] = value
+                        ready[rd] = done
+                        writes = ((rd, value),)
+                    node = RobEntry(seq, pc, op, "alu", done, writes)
+                    if writes:
+                        rat_set(rd, node)
+                    rob_entries.append(node)
+                elif op == _MOV:
+                    counters["alu_instructions"] += 1
+                    start = dispatch
+                    t = ready[rs1]
+                    if t > start:
+                        start = t
+                    done = start + 1.0
+                    rs_issue("alu", done)
+                    writes = ()
+                    if rd:
+                        value = regs[rs1]
+                        regs[rd] = value
+                        ready[rd] = done
+                        writes = ((rd, value),)
+                    node = RobEntry(seq, pc, op, "alu", done, writes)
+                    if writes:
+                        rat_set(rd, node)
+                    rob_entries.append(node)
+                elif op == _LW or op == _LB:
+                    counters["load_instructions"] += 1
+                    address = (regs[rs1] + imm) & MASK32
+                    value = (load_word(address) if op == _LW
+                             else load_byte(address))
+                    dtlb_access(address)
+                    latency = data_fast(address, False)[0]
+                    extra = latency - l1_latency
+                    if extra > 0:
+                        counters["memory_stall_cycles"] += extra
+                    start = dispatch
+                    t = ready[rs1]
+                    if t > start:
+                        start = t
+                    done = start + latency
+                    rs_issue("mem", done)
+                    lsq_entries.append((seq, done))
+                    writes = ()
+                    if rd:
+                        value &= MASK32
+                        regs[rd] = value
+                        ready[rd] = done
+                        writes = ((rd, value),)
+                    node = RobEntry(seq, pc, op, "mem", done, writes)
+                    if writes:
+                        rat_set(rd, node)
+                    rob_entries.append(node)
+                elif op == _SW or op == _SB:
+                    counters["store_instructions"] += 1
+                    address = (regs[rs1] + imm) & MASK32
+                    if op == _SW:
+                        store_word(address, regs[rs2])
+                    else:
+                        store_byte(address, regs[rs2])
+                    dtlb_access(address)
+                    extra = data_fast(address, True)[0] - l1_latency
+                    if extra > 0:
+                        counters["memory_stall_cycles"] += extra
+                    start = dispatch
+                    t = ready[rs1]
+                    if t > start:
+                        start = t
+                    t = ready[rs2]
+                    if t > start:
+                        start = t
+                    # Stores retire from the store queue off the
+                    # critical path: the miss latency is not serialised
+                    # into the dependency chain.
+                    done = start + 1.0
+                    rs_issue("mem", done)
+                    lsq_entries.append((seq, done))
+                    rob_entries.append(
+                        RobEntry(seq, pc, op, "mem", done)
+                    )
+                elif op == _PUSH:
+                    counters["stack_instructions"] += 1
+                    sp = (regs[13] - 4) & MASK32
+                    regs[13] = sp
+                    store_word(sp, regs[rs1])
+                    dtlb_access(sp)
+                    extra = data_fast(sp, True)[0] - l1_latency
+                    if extra > 0:
+                        counters["memory_stall_cycles"] += extra
+                    start = dispatch
+                    t = ready[13]
+                    if t > start:
+                        start = t
+                    t = ready[rs1]
+                    if t > start:
+                        start = t
+                    done = start + 1.0
+                    ready[13] = done
+                    rs_issue("mem", done)
+                    lsq_entries.append((seq, done))
+                    node = RobEntry(seq, pc, op, "mem", done,
+                                    ((13, sp),))
+                    rat_set(13, node)
+                    rob_entries.append(node)
+                elif op == _POP:
+                    counters["stack_instructions"] += 1
+                    sp = regs[13]
+                    value = load_word(sp)
+                    dtlb_access(sp)
+                    latency = data_fast(sp, False)[0]
+                    extra = latency - l1_latency
+                    if extra > 0:
+                        counters["memory_stall_cycles"] += extra
+                    new_sp = (sp + 4) & MASK32
+                    regs[13] = new_sp
+                    start = dispatch
+                    t = ready[13]
+                    if t > start:
+                        start = t
+                    done = start + latency
+                    ready[13] = done
+                    rs_issue("mem", done)
+                    lsq_entries.append((seq, done))
+                    writes = ((13, new_sp),)
+                    if rd:
+                        value &= MASK32
+                        regs[rd] = value
+                        ready[rd] = done
+                        writes = ((13, new_sp), (rd, value))
+                    node = RobEntry(seq, pc, op, "mem", done, writes)
+                    for register, _ in writes:
+                        rat_set(register, node)
+                    rob_entries.append(node)
+                elif _BEQ <= op <= _BGEU:
+                    counters["branch_instructions"] += 1
+                    counters["cond_branch_instructions"] += 1
+                    taken = _branch_taken(op, regs[rs1], regs[rs2])
+                    predicted = predict_conditional(pc)
+                    mispredicted = resolve_conditional(pc, predicted,
+                                                       taken)
+                    if taken:
+                        counters["branches_taken"] += 1
+                        next_pc = (pc + imm) & MASK32
+                    start = dispatch
+                    t = ready[rs1]
+                    if t > start:
+                        start = t
+                    t = ready[rs2]
+                    if t > start:
+                        start = t
+                    done = start + 1.0
+                    rs_issue("br", done)
+                    rob_entries.append(
+                        RobEntry(seq, pc, op, "br", done)
+                    )
+                    if mispredicted:
+                        wrong_path = (
+                            (pc + imm) & MASK32 if predicted
+                            else (pc + size) & MASK32
+                        )
+                        fclock = self._recover(pc, wrong_path, done,
+                                               fclock)
+                elif op == _JMP:
+                    counters["branch_instructions"] += 1
+                    rs_issue("br", dispatch)
+                    rob_entries.append(
+                        RobEntry(seq, pc, op, "br", dispatch)
+                    )
+                    next_pc = (pc + imm) & MASK32
+                elif op == _JMPR:
+                    counters["branch_instructions"] += 1
+                    counters["indirect_jump_instructions"] += 1
+                    target = (regs[rs1] + imm) & MASK32
+                    predicted = predict_indirect(pc)
+                    mispredicted = resolve_indirect(pc, predicted,
+                                                    target)
+                    start = dispatch
+                    t = ready[rs1]
+                    if t > start:
+                        start = t
+                    done = start + 1.0
+                    rs_issue("br", done)
+                    rob_entries.append(
+                        RobEntry(seq, pc, op, "br", done)
+                    )
+                    if predicted is None:
+                        if fclock < done:
+                            fclock = done
+                        fclock += btb_miss_penalty
+                    elif mispredicted:
+                        fclock = self._recover(pc, predicted, done,
+                                               fclock)
+                    next_pc = target
+                elif op == _CALL:
+                    counters["branch_instructions"] += 1
+                    counters["call_instructions"] += 1
+                    return_address = next_pc
+                    sp = (regs[13] - 4) & MASK32
+                    regs[13] = sp
+                    store_word(sp, return_address)
+                    dtlb_access(sp)
+                    extra = data_fast(sp, True)[0] - l1_latency
+                    if extra > 0:
+                        counters["memory_stall_cycles"] += extra
+                    on_call(return_address)
+                    if shadow is not None:
+                        shadow.on_call(return_address)
+                    start = dispatch
+                    t = ready[13]
+                    if t > start:
+                        start = t
+                    done = start + 1.0
+                    ready[13] = done
+                    rs_issue("br", done)
+                    node = RobEntry(seq, pc, op, "br", done,
+                                    ((13, sp),))
+                    rat_set(13, node)
+                    rob_entries.append(node)
+                    next_pc = (pc + imm) & MASK32
+                elif op == _CALLR:
+                    counters["branch_instructions"] += 1
+                    counters["call_instructions"] += 1
+                    counters["indirect_jump_instructions"] += 1
+                    target = (regs[rs1] + imm) & MASK32
+                    predicted = predict_indirect(pc)
+                    mispredicted = resolve_indirect(pc, predicted,
+                                                    target)
+                    return_address = next_pc
+                    sp = (regs[13] - 4) & MASK32
+                    regs[13] = sp
+                    store_word(sp, return_address)
+                    dtlb_access(sp)
+                    extra = data_fast(sp, True)[0] - l1_latency
+                    if extra > 0:
+                        counters["memory_stall_cycles"] += extra
+                    on_call(return_address)
+                    if shadow is not None:
+                        shadow.on_call(return_address)
+                    start = dispatch
+                    t = ready[13]
+                    if t > start:
+                        start = t
+                    t = ready[rs1]
+                    if t > start:
+                        start = t
+                    done = start + 1.0
+                    ready[13] = done
+                    rs_issue("br", done)
+                    node = RobEntry(seq, pc, op, "br", done,
+                                    ((13, sp),))
+                    rat_set(13, node)
+                    rob_entries.append(node)
+                    if predicted is None:
+                        if fclock < done:
+                            fclock = done
+                        fclock += btb_miss_penalty
+                    elif mispredicted:
+                        fclock = self._recover(pc, predicted, done,
+                                               fclock)
+                    next_pc = target
+                elif op == _RET:
+                    counters["branch_instructions"] += 1
+                    counters["ret_instructions"] += 1
+                    sp = regs[13]
+                    target = load_word(sp)
+                    dtlb_access(sp)
+                    latency = data_fast(sp, False)[0]
+                    extra = latency - l1_latency
+                    if extra > 0:
+                        counters["memory_stall_cycles"] += extra
+                    new_sp = (sp + 4) & MASK32
+                    regs[13] = new_sp
+                    if shadow is not None:
+                        try:
+                            shadow.on_return(target)
+                        except ShadowStackViolation:
+                            if self._tr_cpu is not None:
+                                self._tr_cpu.event(
+                                    "cpu.shadow_divergence",
+                                    pc=pc, target=target,
+                                )
+                            raise
+                    predicted = predictor.predict_return()
+                    mispredicted = predictor.resolve_return(predicted,
+                                                            target)
+                    start = dispatch
+                    t = ready[13]
+                    if t > start:
+                        start = t
+                    done = start + latency
+                    ready[13] = done
+                    rs_issue("br", done)
+                    node = RobEntry(seq, pc, op, "br", done,
+                                    ((13, new_sp),))
+                    rat_set(13, node)
+                    rob_entries.append(node)
+                    if mispredicted:
+                        fclock = self._recover(pc, predicted, done,
+                                               fclock)
+                    next_pc = target
+                elif op == _CLFLUSH:
+                    counters["clflush_instructions"] += 1
+                    if clflush_privileged and not self.kernel_mode:
+                        raise PrivilegeFault(
+                            "clflush is disabled for non-privileged "
+                            "code (countermeasure active)"
+                        )
+                    address = (regs[rs1] + imm) & MASK32
+                    caches.flush_line(address)
+                    fclock = self._serialize(fclock, clflush_latency)
+                elif op == _MFENCE:
+                    counters["mfence_instructions"] += 1
+                    fclock = self._serialize(fclock, fence_latency)
+                    counters["fence_stall_cycles"] += fence_stall
+                elif op == _RDCYCLE:
+                    counters["alu_instructions"] += 1
+                    fclock = self._serialize(fclock)
+                    if rd:
+                        value = int(fclock) & MASK32
+                        regs[rd] = value
+                        self.arch_regs[rd] = value
+                        ready[rd] = fclock
+                elif op == _RDINSTRET:
+                    counters["alu_instructions"] += 1
+                    done = dispatch + 1.0
+                    rs_issue("alu", done)
+                    writes = ()
+                    if rd:
+                        value = counters["instructions"] & MASK32
+                        regs[rd] = value
+                        ready[rd] = done
+                        writes = ((rd, value),)
+                    node = RobEntry(seq, pc, op, "alu", done, writes)
+                    if writes:
+                        rat_set(rd, node)
+                    rob_entries.append(node)
+                elif op == _SYSCALL:
+                    counters["syscall_instructions"] += 1
+                    fclock = self._serialize(fclock, syscall_latency)
+                    handler = self.syscall_handler
+                    if handler is None:
+                        raise CpuFault(
+                            f"syscall at {pc:#010x} with no handler"
+                        )
+                    # Sync the architectural state the handler sees —
+                    # then reload everything it may have changed
+                    # (``execve`` remaps memory, resets the pipeline
+                    # and installs a *new* regs list).
+                    pc = next_pc
+                    state.pc = pc
+                    self._fetch_clock = fclock
+                    self._last_iline = last_iline
+                    self._last_ipage = last_ipage
+                    handler(self)
+                    regs = state.regs
+                    ready = self._ready
+                    pc = state.pc
+                    fclock = self._fetch_clock
+                    if fclock < self.cycles:
+                        fclock = self.cycles
+                    last_iline = self._last_iline
+                    last_ipage = self._last_ipage
+                    self.arch_regs = list(regs)
+                    executed += 1
+                    if watchdog is not None and executed % stride == 0:
+                        watchdog.charge(stride)
+                    continue
+                elif op == _NOP:
+                    rob_entries.append(
+                        RobEntry(seq, pc, op, "nop", dispatch)
+                    )
+                elif op == _HALT:
+                    state.halted = True
+                    next_pc = pc
+                else:  # pragma: no cover - every opcode handled above
+                    raise CpuFault(
+                        f"unhandled opcode {op:#04x} at {pc:#010x}"
+                    )
+
+                pc = next_pc
+                executed += 1
+                if watchdog is not None and executed % stride == 0:
+                    watchdog.charge(stride)
+        finally:
+            # Every exit path — normal, halt, budget exhaustion, CPU or
+            # memory fault — drains the ROB (older work commits; the
+            # faulting instruction never allocated) and leaves every
+            # observable in the object.
+            state.pc = pc
+            self._fetch_clock = fclock
+            self._last_iline = last_iline
+            self._last_ipage = last_ipage
+            self._drain()
+
+        if watchdog is not None and executed % stride:
+            watchdog.charge(executed % stride)
+        return executed
+
+
+register_uarch("ooo", OooCore)

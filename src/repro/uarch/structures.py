@@ -1,0 +1,185 @@
+"""Tomasulo bookkeeping structures for the out-of-order core.
+
+These are the textbook pieces — reorder buffer, reservation stations,
+register-status (rename) table, load/store queue — kept as small,
+separately-testable classes.  :class:`~repro.uarch.ooo.OooCore` drives
+them: the ROB bounds transient execution (its free slots *are* the
+speculation window), the reservation stations and the LSQ model issue
+back-pressure, and the register-status table is what a misprediction
+checkpoint restores.
+
+The functional register values live in the core's rename file
+(``state.regs``); the structures here carry the *schedule* — who
+produces each register, when results complete, what is still in
+flight.  ``Pmu``-visible time falls out of the commit stream.
+"""
+
+from collections import deque
+
+
+class RobEntry:
+    """One in-flight instruction, allocated at dispatch in program order."""
+
+    __slots__ = ("seq", "pc", "op", "kind", "completion", "writes",
+                 "wrong_path")
+
+    def __init__(self, seq, pc, op, kind, completion, writes=(),
+                 wrong_path=False):
+        self.seq = seq
+        self.pc = pc
+        self.op = op
+        self.kind = kind                  # "alu" | "mem" | "br"
+        self.completion = completion      # result-ready time (cycles)
+        self.writes = writes              # ((reg, value), ...) at commit
+        self.wrong_path = wrong_path
+
+    def __repr__(self):
+        tag = " WRONG-PATH" if self.wrong_path else ""
+        return (f"<RobEntry #{self.seq} pc={self.pc:#x} kind={self.kind}"
+                f" done={self.completion:.2f}{tag}>")
+
+
+class ReorderBuffer:
+    """Program-ordered window of in-flight instructions.
+
+    Entries enter at the tail at dispatch and leave at the head at
+    commit — strictly in order.  Wrong-path entries may only ever be
+    removed from the *tail* (a squash), never committed.
+    """
+
+    def __init__(self, depth):
+        self.depth = depth
+        self.entries = deque()
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def full(self):
+        return len(self.entries) >= self.depth
+
+    def free_slots(self):
+        """Unallocated entries — the transient-execution window."""
+        return max(0, self.depth - len(self.entries))
+
+    def append(self, entry):
+        self.entries.append(entry)
+        return entry
+
+    def head(self):
+        return self.entries[0]
+
+    def pop_head(self):
+        entry = self.entries.popleft()
+        assert not entry.wrong_path, \
+            "wrong-path uop reached the commit port"
+        return entry
+
+    def squash_tail(self):
+        """Drop every wrong-path entry off the tail; returns the count."""
+        squashed = 0
+        while self.entries and self.entries[-1].wrong_path:
+            self.entries.pop()
+            squashed += 1
+        return squashed
+
+    def clear(self):
+        self.entries.clear()
+
+
+class RegisterStatus:
+    """The rename table: architectural register -> producing ROB entry.
+
+    ``None`` means the committed register file holds the value.  A
+    branch checkpoints the whole table; recovery restores it, which —
+    together with restoring the rename file values — is the "squash to
+    the checkpointed rename map" step.
+    """
+
+    def __init__(self, num_registers):
+        self.producers = [None] * num_registers
+
+    def checkpoint(self):
+        return list(self.producers)
+
+    def restore(self, snapshot):
+        self.producers[:] = snapshot
+
+    def set(self, register, entry):
+        self.producers[register] = entry
+
+    def retire(self, register, entry):
+        """Clear the mapping at commit if *entry* is still the producer."""
+        if self.producers[register] is entry:
+            self.producers[register] = None
+
+    def clear(self):
+        for index in range(len(self.producers)):
+            self.producers[index] = None
+
+
+class ReservationStations:
+    """One bounded issue pool per functional-unit kind.
+
+    Modelled as the completion times of the occupying instructions: an
+    entry frees once its instruction's result is ready.  ``acquire``
+    returns the (possibly stalled) dispatch time — structural hazards
+    push fetch, exactly like a full ROB does.
+    """
+
+    def __init__(self, capacities):
+        self.pools = {kind: [] for kind in capacities}
+        self.capacities = dict(capacities)
+
+    def acquire(self, kind, now):
+        pool = self.pools[kind]
+        capacity = self.capacities[kind]
+        if len(pool) >= capacity:
+            pool[:] = [t for t in pool if t > now]
+            while len(pool) >= capacity:
+                now = min(pool)
+                pool[:] = [t for t in pool if t > now]
+        return now
+
+    def issue(self, kind, completion):
+        self.pools[kind].append(completion)
+
+    def clear(self):
+        for pool in self.pools.values():
+            pool.clear()
+
+
+class LoadStoreQueue:
+    """Bounded window of in-flight memory operations.
+
+    Functional memory effects happen at dispatch (the rename file is
+    eager), so the queue models *capacity*: a full LSQ stalls dispatch
+    of the next memory op until the oldest in-flight one commits.
+    Entries are (seq, completion) pairs; the core releases them as
+    their instructions commit.
+    """
+
+    def __init__(self, depth):
+        self.depth = depth
+        self.entries = deque()
+
+    def __len__(self):
+        return len(self.entries)
+
+    @property
+    def full(self):
+        return len(self.entries) >= self.depth
+
+    def push(self, seq, completion):
+        self.entries.append((seq, completion))
+
+    def release(self, seq):
+        """Retire the queue entry for a committing instruction."""
+        if self.entries and self.entries[0][0] == seq:
+            self.entries.popleft()
+
+    def clear(self):
+        self.entries.clear()

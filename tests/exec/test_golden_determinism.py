@@ -165,3 +165,54 @@ class TestDistGoldenDeterminism:
             assert manifest_bytes(chaotic) == reference
         # The chaos was real: leases actually expired and requeued.
         assert sum(requeues) >= 1, requeues
+
+
+class TestOooGoldenDeterminism:
+    """The out-of-order core's sweeps are as deterministic as the
+    in-order core's: the same ``--uarch ooo`` fig5 run is byte-identical
+    whether it executes serially, on the warm worker pool, or across a
+    real dist cluster."""
+
+    KNOBS = {"host": "basicmath", "uarch": "ooo",
+             **{k: v for k, v in FIG5_KNOBS.items() if k != "seed"}}
+
+    def test_serial_pool_dist_byte_identical(self):
+        import io
+
+        from repro.exec.chaos import _fig5_manifest
+        from repro.exec.dist import DistBackend
+        from repro.obs.ledger import manifest_bytes
+
+        from tests.exec.test_dist import _Cluster
+
+        reference = manifest_bytes(
+            _fig5_manifest(self.KNOBS, 8, backend=None)
+        )
+
+        pooled = _fig5_manifest(self.KNOBS, 8,
+                                backend=ProcessPoolBackend(2))
+        assert manifest_bytes(pooled) == reference
+
+        cluster = _Cluster()
+        cluster.start_worker("w-1")
+        cluster.start_worker("w-2")
+        backend = DistBackend(cluster.address, seed=8,
+                              stream=io.StringIO())
+        try:
+            dist = _fig5_manifest(self.KNOBS, 8, backend=backend)
+        finally:
+            backend.close()
+            cluster.stop()
+        assert manifest_bytes(dist) == reference
+
+    def test_uarch_is_part_of_the_run_identity(self):
+        """inorder and ooo runs of the same knobs land under different
+        run_ids (and genuinely different headline numbers may follow)."""
+        from repro.exec.chaos import _fig5_manifest
+
+        inorder_knobs = dict(self.KNOBS, uarch="inorder")
+        ooo = _fig5_manifest(self.KNOBS, 8, backend=None)
+        inorder = _fig5_manifest(inorder_knobs, 8, backend=None)
+        assert ooo["run_id"] != inorder["run_id"]
+        assert ooo["config"]["uarch"] == "ooo"
+        assert inorder["config"]["uarch"] == "inorder"

@@ -16,6 +16,9 @@ from repro.obs.gate import (
 
 BANDS = {"accuracy": {"min": 0.8}, "evasion": {"max": 0.55}}
 
+#: Flat bands plus a per-microarchitecture overlay (docs/MICROARCH.md).
+UARCH_BANDS = dict(BANDS, uarch={"ooo": {"accuracy": {"min": 0.9}}})
+
 
 def _expectations_file(tmp_path, payload=None):
     path = tmp_path / "expectations.json"
@@ -60,8 +63,56 @@ class TestLoadExpectations:
         for profile in ("quick", "full"):
             for experiment in ("fig4", "fig5", "fig6", "table1",
                                "hardening"):
-                assert bands_for(expectations, experiment,
-                                 profile=profile)
+                for uarch in (None, "inorder", "ooo"):
+                    assert bands_for(expectations, experiment,
+                                     profile=profile, uarch=uarch)
+
+    def test_committed_ooo_overlays_resolve(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).parent.parent.parent
+        expectations = load_expectations(root / "expectations.json")
+        flat = bands_for(expectations, "fig5", profile="quick")
+        ooo = bands_for(expectations, "fig5", profile="quick",
+                        uarch="ooo")
+        assert set(ooo) == set(flat)        # overlays override, not add
+        assert ooo != flat                  # and genuinely differ
+
+    def test_uarch_overlay_accepted(self, tmp_path):
+        path = _expectations_file(tmp_path, {
+            "format": EXPECTATIONS_FORMAT,
+            "profiles": {"quick": {"fig4": UARCH_BANDS}},
+        })
+        assert load_expectations(path)
+
+    def test_uarch_section_must_be_a_dict(self, tmp_path):
+        path = _expectations_file(tmp_path, {
+            "format": EXPECTATIONS_FORMAT,
+            "profiles": {"quick": {"fig4": dict(BANDS, uarch="ooo")}},
+        })
+        with pytest.raises(ExpectationsError,
+                           match="quick/fig4/uarch.*microarchitecture"):
+            load_expectations(path)
+
+    def test_uarch_overlay_must_be_a_band_dict(self, tmp_path):
+        path = _expectations_file(tmp_path, {
+            "format": EXPECTATIONS_FORMAT,
+            "profiles": {"quick": {"fig4": dict(BANDS,
+                                                uarch={"ooo": 0.9})}},
+        })
+        with pytest.raises(ExpectationsError, match="uarch/ooo"):
+            load_expectations(path)
+
+    def test_uarch_overlay_band_without_bound_rejected(self, tmp_path):
+        path = _expectations_file(tmp_path, {
+            "format": EXPECTATIONS_FORMAT,
+            "profiles": {"quick": {"fig4": dict(
+                BANDS, uarch={"ooo": {"accuracy": {}}}
+            )}},
+        })
+        with pytest.raises(ExpectationsError,
+                           match="quick/fig4/uarch/ooo/accuracy"):
+            load_expectations(path)
 
 
 class TestBandsFor:
@@ -78,6 +129,42 @@ class TestBandsFor:
         expectations = load_expectations(_expectations_file(tmp_path))
         with pytest.raises(ExpectationsError, match="no bands"):
             bands_for(expectations, "fig9", profile="quick")
+
+    def _uarch_expectations(self, tmp_path):
+        return load_expectations(_expectations_file(tmp_path, {
+            "format": EXPECTATIONS_FORMAT,
+            "profiles": {"quick": {"fig4": UARCH_BANDS}},
+        }))
+
+    def test_uarch_overlay_replaces_flat_bands_key_by_key(self, tmp_path):
+        expectations = self._uarch_expectations(tmp_path)
+        bands = bands_for(expectations, "fig4", profile="quick",
+                          uarch="ooo")
+        assert bands == {"accuracy": {"min": 0.9},
+                         "evasion": {"max": 0.55}}
+
+    def test_no_uarch_falls_back_to_flat(self, tmp_path):
+        expectations = self._uarch_expectations(tmp_path)
+        assert bands_for(expectations, "fig4", profile="quick") == BANDS
+        assert bands_for(expectations, "fig4", profile="quick",
+                         uarch=None) == BANDS
+
+    def test_uarch_without_overlay_falls_back_to_flat(self, tmp_path):
+        """A microarchitecture with no dedicated bands (or a legacy flat
+        file) is gated against the flat section."""
+        expectations = self._uarch_expectations(tmp_path)
+        assert bands_for(expectations, "fig4", profile="quick",
+                         uarch="inorder") == BANDS
+        legacy = load_expectations(_expectations_file(tmp_path))
+        assert bands_for(legacy, "fig4", profile="quick",
+                         uarch="ooo") == BANDS
+
+    def test_reserved_key_never_leaks_into_bands(self, tmp_path):
+        expectations = self._uarch_expectations(tmp_path)
+        for uarch in (None, "inorder", "ooo"):
+            assert "uarch" not in bands_for(
+                expectations, "fig4", profile="quick", uarch=uarch
+            )
 
 
 class TestCheckHeadlines:

@@ -71,6 +71,23 @@ class TestQuickExperiments:
         assert "Fig. 4" in out
 
 
+class TestUarchFlag:
+    def test_defaults_to_inorder(self):
+        for command in ("fig4", "fig5", "fig6", "table1", "hardening",
+                        "smoke"):
+            assert build_parser().parse_args([command]).uarch == "inorder"
+
+    def test_ooo_accepted(self):
+        args = build_parser().parse_args(["fig5", "--quick",
+                                          "--uarch", "ooo"])
+        assert args.uarch == "ooo"
+
+    def test_unknown_uarch_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as info:
+            build_parser().parse_args(["fig5", "--uarch", "tomasulo9000"])
+        assert info.value.code == 2
+
+
 class TestExitCodes:
     """The documented contract: 0 ok, 1 fatal, 2 usage, 3 budget, 4 partial."""
 

@@ -1,0 +1,264 @@
+"""The out-of-order core: architectural equivalence, ROB invariants,
+and the transient covert channel.
+
+The OoO core must be *architecturally* indistinguishable from the
+in-order reference (same registers, memory effects, instruction counts,
+program output for the same binary) while telling a genuinely different
+*timing* story — and its speculation window must be bounded by reorder-
+buffer depth, not by the in-order core's fixed ``spec_window``.
+"""
+
+import pytest
+
+from repro.attack import SPECTRE_VARIANTS, SpectreConfig, build_spectre
+from repro.kernel import System, build_binary
+from repro.uarch import OooParams
+from repro.workloads import get_workload
+from tests.conftest import SECRET, run_source
+
+VARIANTS = sorted(SPECTRE_VARIANTS)
+
+#: Short MiBench kernels, long enough to exercise branches, the divider,
+#: memory traffic and syscalls on both cores.
+KERNELS = (("basicmath", 30), ("sha", 4))
+
+
+def _run_kernel(name, iterations, uarch, uarch_params=None):
+    system = System(seed=7, uarch=uarch, uarch_params=uarch_params)
+    workload = get_workload(name)
+    system.install_binary("/bin/w", workload.build(iterations=iterations))
+    process = system.spawn("/bin/w")
+    process.run_to_completion()
+    return process
+
+
+@pytest.fixture(scope="module", params=KERNELS, ids=lambda k: k[0])
+def kernel_pair(request):
+    name, iterations = request.param
+    return (name,
+            _run_kernel(name, iterations, "inorder"),
+            _run_kernel(name, iterations, "ooo"))
+
+
+class TestArchitecturalEquivalence:
+    def test_same_architectural_outcome(self, kernel_pair):
+        name, inorder, ooo = kernel_pair
+        assert ooo.exit_code == inorder.exit_code, name
+        assert bytes(ooo.stdout) == bytes(inorder.stdout), name
+        assert ooo.cpu.state.regs == inorder.cpu.state.regs, name
+
+    def test_same_instruction_counts(self, kernel_pair):
+        name, inorder, ooo = kernel_pair
+        ooo_pmu = ooo.cpu.pmu.read()
+        inorder_pmu = inorder.cpu.pmu.read()
+        assert ooo_pmu["instructions"] == inorder_pmu["instructions"], name
+
+    def test_committed_state_drained(self, kernel_pair):
+        """After a run every uop has committed: the architectural view
+        equals the rename file and the ROB is empty."""
+        name, _, ooo = kernel_pair
+        assert ooo.cpu.arch_regs == ooo.cpu.state.regs, name
+        assert len(ooo.cpu.rob) == 0, name
+
+
+class TestTimingDiverges:
+    def test_ooo_overlaps_memory_latency(self):
+        """sha is load/store heavy: dataflow scheduling must beat the
+        in-order core's serial stall accounting by a wide margin."""
+        name, iterations = "sha", 4
+        inorder = _run_kernel(name, iterations, "inorder")
+        ooo = _run_kernel(name, iterations, "ooo")
+        assert ooo.cpu.cycles < inorder.cpu.cycles
+
+    def test_cycles_deterministic(self):
+        first = _run_kernel("basicmath", 10, "ooo")
+        second = _run_kernel("basicmath", 10, "ooo")
+        assert first.cpu.cycles == second.cpu.cycles
+        assert first.cpu.pmu.read() == second.cpu.pmu.read()
+
+
+SPEC_LOOP = """
+main:
+    li   t0, 0
+loop:
+    slti t1, t0, 6
+    beq  t1, zero, done   ; mispredicts at loop exit
+    addi t0, t0, 1
+    jmp  loop
+done:
+    halt
+"""
+
+
+def _run_ooo(source, uarch_params=None, commit_log=None,
+             max_instructions=5_000_000):
+    system = System(seed=9, target_data=SECRET, uarch="ooo",
+                    uarch_params=uarch_params)
+    program = build_binary("testprog", source)
+    system.install_binary("/bin/testprog", program)
+    process = system.spawn("/bin/testprog")
+    if commit_log is not None:
+        process.cpu.commit_log = commit_log
+    process.run_to_completion(max_instructions=max_instructions)
+    return process
+
+
+class TestRobInvariants:
+    def test_commit_is_in_order_and_never_wrong_path(self):
+        log = []
+        process = _run_ooo(SPEC_LOOP, commit_log=log)
+        assert process.cpu.pmu.read()["spec_instructions"] > 0
+        assert log, "nothing committed"
+        seqs = [seq for seq, _pc, _wrong in log]
+        assert seqs == sorted(seqs)
+        assert len(seqs) == len(set(seqs))
+        assert not any(wrong for _seq, _pc, wrong in log), \
+            "a wrong-path uop reached the commit port"
+
+    def test_rob_drains_at_halt(self):
+        process = _run_ooo(SPEC_LOOP)
+        assert len(process.cpu.rob) == 0
+        assert process.cpu.arch_regs == process.cpu.state.regs
+
+    def test_every_wrong_path_uop_is_squashed(self):
+        snap = _run_ooo(SPEC_LOOP).pmu.read()
+        assert snap["spec_instructions"] > 0
+        assert snap["squashed_instructions"] == snap["spec_instructions"]
+
+
+class TestSquash:
+    def test_wrong_path_stores_squashed(self):
+        process = _run_ooo("""
+        main:
+            li   t0, 0
+        mistrain:
+            slti t1, t0, 4
+            beq  t1, zero, strike
+            addi t0, t0, 1
+            jmp  mistrain
+        strike:
+            li   t2, 5
+            slti t1, t0, 4
+            bne  t1, zero, poison     ; never architecturally taken
+            jmp  check
+        poison:
+            la   t3, cell
+            li   t1, 666
+            sw   t1, 0(t3)
+            jmp  check
+        check:
+            la   t3, cell
+            lw   a0, 0(t3)
+            call libc_exit
+        .data
+        cell: .word 42
+        """)
+        assert process.exit_code == 42  # the poison store never commits
+
+    def test_wrong_path_register_writes_squashed(self):
+        """After the mispredicted loop exit the wrong path would run
+        ``addi t0``: the committed value must be the trained count."""
+        process = _run_ooo("""
+        main:
+            li   t0, 0
+        loop:
+            slti t1, t0, 6
+            beq  t1, zero, done
+            addi t0, t0, 1
+            jmp  loop
+        done:
+            mov  a0, t0
+            call libc_exit
+        """)
+        assert process.exit_code == 6
+
+
+PROBE_SOURCE = r"""
+main:
+    li   a2, 6
+train:
+    beq  a2, zero, flush
+    li   a0, 1
+    call victim
+    addi a2, a2, -1
+    jmp  train
+flush:
+    la   t1, probe
+    clflush 0(t1)
+    mfence
+    li   a0, 1000          ; out of bounds
+    call victim
+    la   t1, probe
+    mfence
+    rdcycle gp
+    lw   t2, 0(t1)
+    rdcycle lr
+    sub  a0, lr, gp
+    call libc_exit
+
+victim:
+    la   t0, size
+    lw   t0, 0(t0)
+    bgeu a0, t0, victim_ret
+    la   t1, probe         ; wrong-path load fills the probe line
+    lw   t2, 0(t1)
+victim_ret:
+    ret
+
+.data
+size: .word 8
+    .align 6
+probe: .word 0
+"""
+
+
+class TestCovertChannel:
+    def test_wrong_path_fill_persists(self):
+        process = _run_ooo(PROBE_SOURCE)
+        latency = process.exit_code
+        assert latency < 50, (
+            f"probe reload took {latency} cycles; the speculative fill "
+            f"did not persist"
+        )
+        assert process.pmu.read()["spec_cache_fills"] > 0
+
+    def test_rob_depth_one_disables_the_channel(self):
+        """With a single ROB slot there are no free slots at the branch
+        — the transient window is gone, exactly like spec_window=0 on
+        the in-order core."""
+        process = _run_ooo(PROBE_SOURCE,
+                           uarch_params=OooParams(rob_depth=1))
+        assert process.exit_code > 50
+
+
+class TestSpectreOnOoo:
+    def _leak(self, variant, uarch_params=None):
+        system = System(seed=21, target_data=SECRET, uarch="ooo",
+                        uarch_params=uarch_params)
+        config = SpectreConfig(secret_length=len(SECRET), repeats=1)
+        system.install_binary("/bin/a", build_spectre(variant, config))
+        process = system.spawn("/bin/a")
+        process.run_to_completion(max_instructions=60_000_000)
+        return bytes(process.stdout), process
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_full_secret_recovered(self, variant):
+        leaked, process = self._leak(variant)
+        assert leaked == SECRET, (variant, leaked, process.fault)
+
+    def test_rob_depth_is_the_speculation_budget(self):
+        leaked, _ = self._leak("v1", uarch_params=OooParams(rob_depth=1))
+        assert leaked != SECRET
+
+
+class TestSpecCountersMatchInOrder:
+    def test_squash_accounting_identical_semantics(self):
+        """Both cores account the same speculation events for the same
+        program; the *counts* may differ (window shape differs), but the
+        squash invariant holds on each."""
+        reference = run_source(SPEC_LOOP, target_data=SECRET).pmu.read()
+        ooo = _run_ooo(SPEC_LOOP).pmu.read()
+        for snap in (reference, ooo):
+            assert snap["spec_instructions"] > 0
+            assert snap["squashed_instructions"] == \
+                snap["spec_instructions"]
