@@ -1,19 +1,30 @@
-"""Benchmark the observability layer: tracing overhead on the CPU loop.
+"""Benchmark the observability layer: tracing overhead on both cores.
 
 Times a fixed workload (basicmath to completion on a fresh simulated
-System) three ways:
+System) three ways per microarchitecture:
 
 * ``off``      — no tracer active (the NULL path every normal run takes),
 * ``filtered`` — a Tracer is active but every category is filtered out
   (channels unbound; measures pure bookkeeping: the acceptance bar),
 * ``full``     — all categories recorded (the honest cost of ``--trace``).
 
+The in-order core keeps its original row names (``off``/``filtered``/
+``full``); the Tomasulo core's rows are prefixed ``ooo_``.  The OoO
+rows exist because its pipeline counters (ROB occupancy, squashes,
+stall tallies) ride the same registry — the ≤5 % disabled-overhead
+budget must hold *per core*, not just on the cheap one.
+
 Records the baseline to ``BENCH_obs.json`` at the repo root.  Like
 ``BENCH_exec.json``, the numbers are per-host honest: ``cpu_count``
 rides along, and the ≤5 % disabled-overhead assertion is checked on
-the *median* of repeated runs so one scheduler hiccup cannot fail CI.
+the *minimum* of repeated interleaved runs: timing noise on a shared
+host is strictly one-sided (preemption only ever adds time), so the
+per-mode minimum is the estimator of intrinsic cost least coupled to
+scheduler weather — exactly ``timeit``'s rationale.  The medians ride
+along in the baseline for context.
 """
 
+import gc
 import os
 import statistics
 import time
@@ -27,34 +38,48 @@ from repro.obs.tracer import TraceConfig, Tracer, activate
 from repro.workloads import get_workload
 
 #: Workload knobs: long enough that per-step cost dominates Tracer
-#: construction, short enough to keep the bench under a minute.
-ITERATIONS = 400
-ROUNDS = 5
+#: construction *and* host jitter (each timed run lands near 0.3s),
+#: short enough to keep the bench under a minute.  The slower Tomasulo
+#: core needs fewer iterations for the same wall time.
+ITERATIONS = {"inorder": 1200, "ooo": 400}
+ROUNDS = 9
 
 MODES = ("off", "filtered", "full")
+UARCHS = ("inorder", "ooo")
 
 
-def _run_workload():
-    system = System(seed=0)
+def _row(uarch, mode):
+    """Baseline row label: legacy bare names for inorder, ``ooo_``
+    prefix for the Tomasulo core."""
+    return mode if uarch == "inorder" else f"{uarch}_{mode}"
+
+
+def _run_workload(uarch):
+    system = System(seed=0, uarch=uarch)
     system.install_binary(
-        "/bin/w", get_workload("basicmath").build(iterations=ITERATIONS)
+        "/bin/w",
+        get_workload("basicmath").build(iterations=ITERATIONS[uarch])
     )
     process = system.spawn("/bin/w")
     process.run_to_completion(max_instructions=50_000_000)
     return int(process.cpu.cycles)
 
 
-def _timed(mode):
+def _timed(uarch, mode):
+    # Settle the heap first: a ``full`` run leaves ~10^5 trace records
+    # behind, and collecting them inside the *next* timed run would
+    # bill one mode for another's garbage.
+    gc.collect()
     started = time.perf_counter()
     if mode == "off":
-        cycles = _run_workload()
+        cycles = _run_workload(uarch)
         records = 0
     else:
         config = (TraceConfig(categories=())
                   if mode == "filtered" else TraceConfig())
         tracer = Tracer(config)
         with activate(tracer):
-            cycles = _run_workload()
+            cycles = _run_workload(uarch)
         tracer.finalize()
         records = len(tracer.records)
     return time.perf_counter() - started, cycles, records
@@ -62,16 +87,21 @@ def _timed(mode):
 
 @pytest.fixture(scope="module")
 def obs_timings():
-    timings = {mode: [] for mode in MODES}
+    timings = {(uarch, mode): [] for uarch in UARCHS for mode in MODES}
     cycles = {}
     records = {}
-    # Interleave the modes so drift hits all of them equally.
-    for _ in range(ROUNDS):
-        for mode in MODES:
-            elapsed, mode_cycles, mode_records = _timed(mode)
-            timings[mode].append(elapsed)
-            cycles[mode] = mode_cycles
-            records[mode] = mode_records
+    # Interleave the modes so drift hits all of them equally, rotating
+    # the order each round so no mode always occupies the same (warm or
+    # cold) slot within a round.
+    for round_index in range(ROUNDS):
+        shift = round_index % len(MODES)
+        rotated = MODES[shift:] + MODES[:shift]
+        for uarch in UARCHS:
+            for mode in rotated:
+                elapsed, run_cycles, run_records = _timed(uarch, mode)
+                timings[uarch, mode].append(elapsed)
+                cycles[uarch, mode] = run_cycles
+                records[uarch, mode] = run_records
     return timings, cycles, records
 
 
@@ -79,51 +109,72 @@ def test_obs_overhead_baseline(benchmark, obs_timings):
     timings, cycles, records = benchmark.pedantic(
         lambda: obs_timings, rounds=1, iterations=1
     )
-    medians = {mode: statistics.median(timings[mode]) for mode in MODES}
+    medians = {key: statistics.median(times)
+               for key, times in timings.items()}
+    floors = {key: min(times) for key, times in timings.items()}
 
-    # Virtual time is mode-independent: tracing must not change the
-    # simulation, only observe it.
-    assert cycles["off"] == cycles["filtered"] == cycles["full"]
-    assert records["filtered"] == 0
-    assert records["full"] > 0
+    overhead = {}
+    for uarch in UARCHS:
+        # Virtual time is mode-independent: tracing must not change the
+        # simulation, only observe it.  The OoO rows additionally pin
+        # that the pipeline counters never perturb scheduling.
+        assert cycles[uarch, "off"] == cycles[uarch, "filtered"] \
+            == cycles[uarch, "full"], uarch
+        assert records[uarch, "filtered"] == 0, uarch
+        assert records[uarch, "full"] > 0, uarch
+        for mode in MODES[1:]:
+            overhead[uarch, mode] = (
+                floors[uarch, mode] / floors[uarch, "off"] - 1.0
+            )
 
-    overhead = {
-        mode: medians[mode] / medians["off"] - 1.0 for mode in MODES[1:]
-    }
     write_bench_json(
         "obs",
-        knobs={"workload": "basicmath", "iterations": ITERATIONS,
-               "rounds": ROUNDS},
+        knobs={"workload": "basicmath", "iterations": dict(ITERATIONS),
+               "rounds": ROUNDS, "uarchs": list(UARCHS)},
         runs={
-            mode: {
-                "median_s": round(medians[mode], 4),
-                "overhead_vs_off": round(overhead.get(mode, 0.0), 4),
+            _row(uarch, mode): {
+                "median_s": round(medians[uarch, mode], 4),
+                "min_s": round(floors[uarch, mode], 4),
+                "overhead_vs_off": round(
+                    overhead.get((uarch, mode), 0.0), 4
+                ),
             }
-            for mode in MODES
+            for uarch in UARCHS for mode in MODES
         },
-        cycles=cycles["off"],
-        records_full=records["full"],
+        cycles={uarch: cycles[uarch, "off"] for uarch in UARCHS},
+        records_full={uarch: records[uarch, "full"]
+                      for uarch in UARCHS},
     )
 
-    lines = [f"obs baseline — basicmath x{ITERATIONS}, "
-             f"{cycles['off']} virtual cycles, {os.cpu_count()} CPU(s)"]
-    for mode in MODES:
-        suffix = ""
-        if mode != "off":
-            suffix = f" ({100 * overhead[mode]:+.1f}%)"
-        if mode == "full":
-            suffix += f", {records['full']} records"
-        lines.append(f"  {mode:>8}: {medians[mode]:.3f}s{suffix}")
+    lines = [f"obs baseline — basicmath, {os.cpu_count()} CPU(s)"]
+    for uarch in UARCHS:
+        lines.append(f"  {uarch}: x{ITERATIONS[uarch]}, "
+                     f"{cycles[uarch, 'off']} virtual cycles")
+        for mode in MODES:
+            suffix = ""
+            if mode != "off":
+                suffix = f" ({100 * overhead[uarch, mode]:+.1f}%)"
+            if mode == "full":
+                suffix += f", {records[uarch, 'full']} records"
+            lines.append(
+                f"    {mode:>8}: {floors[uarch, mode]:.3f}s min "
+                f"({medians[uarch, mode]:.3f}s median){suffix}"
+            )
     publish("obs", "\n".join(lines))
 
-    benchmark.extra_info["overhead_filtered"] = round(
-        overhead["filtered"], 4
-    )
-    benchmark.extra_info["overhead_full"] = round(overhead["full"], 4)
+    for uarch in UARCHS:
+        benchmark.extra_info[f"overhead_filtered_{uarch}"] = round(
+            overhead[uarch, "filtered"], 4
+        )
+        benchmark.extra_info[f"overhead_full_{uarch}"] = round(
+            overhead[uarch, "full"], 4
+        )
 
-    # The acceptance bar: tracing *disabled-in-practice* (active tracer,
-    # nothing recorded) costs at most 5% on the CPU step loop.
-    assert overhead["filtered"] <= 0.05, (
-        f"filtered tracing overhead {100 * overhead['filtered']:.1f}% "
-        f"exceeds the 5% budget"
-    )
+        # The acceptance bar, per core: tracing *disabled-in-practice*
+        # (active tracer, nothing recorded) costs at most 5% on the
+        # step loop.
+        assert overhead[uarch, "filtered"] <= 0.05, (
+            f"{uarch}: filtered tracing overhead "
+            f"{100 * overhead[uarch, 'filtered']:.1f}% exceeds the "
+            f"5% budget"
+        )

@@ -15,6 +15,7 @@ Commands
 ``report``      render a run manifest as a static HTML dashboard
 ``serve``       run the distributed sweep job server
 ``worker``      run one self-healing sweep worker (``--connect``)
+``status``      live fleet view of a running job server
 ``chaos``       sabotage a dist sweep, assert byte-parity vs serial
 
 Experiment runs record a manifest in the run ledger (``runs/`` by
@@ -384,6 +385,33 @@ def build_parser():
     p.add_argument("--no-hedge", action="store_true",
                    help="disable hedged re-dispatch of stale tail "
                         "batches to idle workers")
+    p.add_argument("--journal", metavar="FILE", default=None,
+                   help="append fleet lifecycle events (worker joins, "
+                        "lease expiries, requeues, stat samples) to this "
+                        "JSONL journal (see docs/OBSERVABILITY.md)")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="atomically rewrite a Prometheus text "
+                        "exposition of the fleet here (scrape it with a "
+                        "textfile collector)")
+    p.add_argument("--stats-interval", type=float, default=1.0,
+                   metavar="S",
+                   help="minimum seconds between journalled stat "
+                        "samples / metrics-out rewrites (default 1)")
+
+    p = sub.add_parser(
+        "status",
+        help="live fleet view of a running repro serve job server "
+             "(workers, waves, leases, requeue/expiry counters)",
+    )
+    p.add_argument("--connect", metavar="HOST:PORT", required=True,
+                   help="job server address")
+    p.add_argument("--json", action="store_true",
+                   help="emit one snapshot as JSON and exit")
+    p.add_argument("--watch", type=float, default=None, metavar="S",
+                   help="refresh the table view every S seconds until "
+                        "interrupted")
+    p.add_argument("--timeout", type=float, default=5.0, metavar="S",
+                   help="per-request connect/answer timeout (default 5)")
 
     p = sub.add_parser(
         "worker",
@@ -438,6 +466,10 @@ def build_parser():
     p.add_argument("--ledger", metavar="DIR", default=None,
                    help="also record both manifests under DIR/serial "
                         "and DIR/dist for repro compare")
+    p.add_argument("--journal", metavar="FILE", default=None,
+                   help="fleet event journal: the server logs joins/"
+                        "expiries/requeues and the harness logs its "
+                        "kills and partitions into the same JSONL file")
 
     p = sub.add_parser(
         "smoke",
@@ -639,6 +671,8 @@ def cmd_experiment(args):
             fallback=not getattr(args, "no_dist_fallback", False),
             fallback_jobs=max(2, jobs),
             connect_deadline=getattr(args, "dist_deadline", 10.0),
+            cache_stats=(cell_cache.stats
+                         if cell_cache is not None else None),
         )
         kwargs["backend"] = dist_backend
 
@@ -750,6 +784,17 @@ def cmd_trace(args):
         summarize,
     )
 
+    if args.json and (not os.path.exists(args.file)
+                      or os.path.getsize(args.file) == 0):
+        # An untraced or not-yet-flushed run is an answerable question
+        # in machine-readable mode, not an error: report zero records
+        # so scripted callers can branch on the count.
+        import json
+
+        print(json.dumps({"experiment": None, "records": 0,
+                          "cells": [], "spans": {}, "events": {},
+                          "dangling": 0}, sort_keys=True, indent=1))
+        return EXIT_OK
     try:
         header, records = read_trace(args.file)
     except OSError as exc:
@@ -928,8 +973,41 @@ def cmd_serve(args):
         attempt_budget=args.attempt_budget,
         batch_size=args.batch_size,
         hedge=not args.no_hedge,
+        journal=args.journal,
+        metrics_out=args.metrics_out,
+        stats_interval=args.stats_interval,
     )
     return server.run()
+
+
+def cmd_status(args):
+    """Live fleet view of a running job server (``repro status``)."""
+    from repro.exec import fleet_status
+    from repro.obs.fleet import format_fleet_table
+
+    if args.json:
+        import json
+
+        snapshot = fleet_status(args.connect, timeout=args.timeout)
+        print(json.dumps(snapshot, sort_keys=True, indent=1))
+        return EXIT_OK
+    if args.watch is None:
+        print(format_fleet_table(
+            fleet_status(args.connect, timeout=args.timeout)
+        ))
+        return EXIT_OK
+    import time as _time
+
+    interval = max(0.1, args.watch)
+    try:
+        while True:
+            snapshot = fleet_status(args.connect, timeout=args.timeout)
+            if sys.stdout.isatty():     # pragma: no cover - interactive
+                print("\x1b[2J\x1b[H", end="")
+            print(format_fleet_table(snapshot), flush=True)
+            _time.sleep(interval)
+    except KeyboardInterrupt:           # pragma: no cover - interactive
+        return EXIT_OK
 
 
 def cmd_worker(args):
@@ -961,6 +1039,7 @@ def cmd_chaos(args):
         heartbeat_delay_s=args.heartbeat_delay,
         frame_drop=args.frame_drop, frame_corrupt=args.frame_corrupt,
         lease_timeout=args.lease_timeout, ledger=args.ledger,
+        journal=args.journal,
     )
 
 
@@ -1023,6 +1102,7 @@ def main(argv=None):
         "gate": cmd_gate,
         "report": cmd_report,
         "serve": cmd_serve,
+        "status": cmd_status,
         "worker": cmd_worker,
         "chaos": cmd_chaos,
     }

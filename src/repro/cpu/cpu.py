@@ -221,11 +221,21 @@ class Cpu:
             cache_channel = tracer.channel("cache", self.trace_clk)
             if cache_channel is not None:
                 self.caches.bind_tracer(cache_channel)
+            # A tracer whose filter excludes every CPU-side category
+            # binds no channels here; nothing inside the run loop can
+            # emit, so the fast interpreter loop is observationally
+            # identical and the step loop would be pure overhead.  This
+            # is what keeps fully-filtered tracing within the disabled-
+            # overhead budget BENCH_obs.json gates.
+            self._step_trace = (self._tr_cpu is not None
+                                or self._tr_kernel is not None
+                                or cache_channel is not None)
         else:
             self._tracer = None
             self.trace_clk = 0
             self._tr_cpu = None
             self._tr_kernel = None
+            self._step_trace = False
 
     def _cycles_now(self):
         """This CPU's virtual clock, as read by its trace channels."""
@@ -701,7 +711,7 @@ class Cpu:
         around every syscall (whose handler may remap the address space
         and *replace* ``state.regs``, so the loop re-reads them after).
         """
-        if self._tracer is not None:
+        if self._step_trace:
             return self._run_traced(max_instructions)
 
         state = self.state

@@ -19,7 +19,12 @@ from repro.exec.backends import (
     invoke_cell,
 )
 from repro.exec.cellcache import CellCache
-from repro.exec.dist import DistBackend, DistServer, run_worker
+from repro.exec.dist import (
+    DistBackend,
+    DistServer,
+    fleet_status,
+    run_worker,
+)
 from repro.exec.lease import Lease, LeaseTable
 from repro.exec.plan import Cell, SweepPlan
 from repro.exec.pool import shutdown_all, shutdown_pools, warmup
@@ -49,6 +54,7 @@ __all__ = [
     "derive_seed",
     "describe_plan",
     "execute_plan",
+    "fleet_status",
     "invoke_cell",
     "open_store",
     "run_worker",

@@ -75,7 +75,7 @@ def _child_env():
 
 
 def launch_server(lease_timeout=1.0, attempt_budget=3, stream=None,
-                  startup_timeout=30.0):
+                  startup_timeout=30.0, journal=None):
     """Spawn ``repro serve --port 0``; returns ``(proc, (host, port))``.
 
     The harness learns the bound port by parsing the server's
@@ -83,11 +83,13 @@ def launch_server(lease_timeout=1.0, attempt_budget=3, stream=None,
     daemon thread so server logs interleave with the harness's own.
     """
     stream = stream if stream is not None else sys.stderr
+    cmd = [sys.executable, "-m", "repro", "serve", "--port", "0",
+           "--lease-timeout", str(lease_timeout),
+           "--attempt-budget", str(attempt_budget)]
+    if journal:
+        cmd += ["--journal", str(journal)]
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--lease-timeout", str(lease_timeout),
-         "--attempt-budget", str(attempt_budget)],
-        stderr=subprocess.PIPE, text=True, env=_child_env(),
+        cmd, stderr=subprocess.PIPE, text=True, env=_child_env(),
     )
     deadline = time.monotonic() + startup_timeout
     address = None
@@ -173,7 +175,7 @@ class ChaosHarness:
     def __init__(self, seed=0, workers=3, kills=1, respawn=True,
                  partition_s=0.0, heartbeat_delay_s=0.0,
                  frame_drop=0.0, frame_corrupt=0.0, lease_timeout=1.0,
-                 knobs=None, ledger=None, stream=None):
+                 knobs=None, ledger=None, stream=None, journal=None):
         self.seed = seed
         self.workers = max(1, workers)
         self.kills = min(kills, self.workers - 1) if self.workers > 1 \
@@ -186,6 +188,8 @@ class ChaosHarness:
         self.lease_timeout = lease_timeout
         self.knobs = dict(knobs or CHAOS_KNOBS)
         self.ledger = ledger
+        self.journal_path = journal
+        self._journal_writer = None
         self.stream = stream if stream is not None else sys.stderr
         self.server = None
         self.address = None
@@ -207,6 +211,24 @@ class ChaosHarness:
     def _log(self, message):
         print(f"repro-chaos: {message}", file=self.stream, flush=True)
 
+    def _journal(self, kind, **fields):
+        """Append one harness event to the shared fleet journal.
+
+        The server (launched with the same ``--journal`` path) writes
+        the header and its own lifecycle events; the harness appends
+        its sabotage under ``source="chaos"`` — O_APPEND keeps the two
+        writers' records whole, so the merged file reads as one
+        timeline of cause (kill) and effect (expiry, requeue).
+        """
+        if self.journal_path is None:
+            return
+        if self._journal_writer is None:
+            from repro.obs.fleet import FleetJournal
+
+            self._journal_writer = FleetJournal(self.journal_path,
+                                                source="chaos")
+        self._journal_writer.append(kind, **fields)
+
     # -- chaos actions (called from the driver thread) -------------------
 
     def _do_kill(self, worker_id):
@@ -216,6 +238,7 @@ class ChaosHarness:
         proc.kill()
         proc.wait(timeout=10)
         self._log(f"SIGKILLed {worker_id}")
+        self._journal("chaos.kill", worker=worker_id, signal="SIGKILL")
         if self.respawn:
             replacement = f"w{self._next_worker}"
             self._next_worker += 1
@@ -225,6 +248,8 @@ class ChaosHarness:
                 stream=self.stream,
             )
             self._log(f"respawned as {replacement}")
+            self._journal("chaos.respawn", worker=replacement,
+                          replaces=worker_id)
 
     def _do_partition(self, duration_s):
         import signal
@@ -233,10 +258,13 @@ class ChaosHarness:
             return
         self._log(f"partitioning the server for {duration_s:.1f}s "
                   f"(SIGSTOP)")
+        self._journal("chaos.partition", duration_s=duration_s,
+                      signal="SIGSTOP")
         self.server.send_signal(signal.SIGSTOP)
         time.sleep(duration_s)
         self.server.send_signal(signal.SIGCONT)
         self._log("partition healed (SIGCONT)")
+        self._journal("chaos.heal", signal="SIGCONT")
 
     # -- deployment ------------------------------------------------------
 
@@ -258,6 +286,7 @@ class ChaosHarness:
     def _deploy(self):
         self.server, self.address = launch_server(
             lease_timeout=self.lease_timeout, stream=self.stream,
+            journal=self.journal_path,
         )
         for index in range(self.workers):
             worker_id = f"w{index}"
@@ -298,6 +327,9 @@ class ChaosHarness:
                 proc.wait(timeout=10)
             except subprocess.TimeoutExpired:  # pragma: no cover
                 proc.kill()
+        if self._journal_writer is not None:
+            self._journal_writer.close()
+            self._journal_writer = None
 
     # -- the experiment --------------------------------------------------
 

@@ -39,6 +39,16 @@ is a pure function of its job description, so scheduling, requeues,
 hedge races and fallbacks are all invisible in the results — the
 golden-determinism tests and ``repro compare`` hold dist runs to the
 serial reference byte for byte.
+
+Fleet telemetry (:mod:`repro.obs.fleet`) rides on top of all three
+roles without touching any of that: workers push periodic ``stats``
+frames over the same sha256-verified protocol, the server journals
+lifecycle events (joins, waves, expiries, requeues, chaos) into an
+append-only JSONL file and rewrites a Prometheus text exposition
+atomically, and a fourth hello role — ``status`` — serves the live
+fleet snapshot that powers ``repro status``.  Telemetry frames are
+deliberately exempt from the worker's chaos injector: they observe
+the run, so they must not perturb the seeded mishap sequence.
 """
 
 import itertools
@@ -107,7 +117,8 @@ class DistServer:
                  lease_timeout=DEFAULT_LEASE_TIMEOUT,
                  heartbeat_interval=None, attempt_budget=3,
                  batch_size=None, hedge=True, clock=time.monotonic,
-                 stream=None):
+                 stream=None, journal=None, metrics_out=None,
+                 stats_interval=1.0):
         self.host = host
         self.port = port
         self.lease_timeout = lease_timeout
@@ -125,11 +136,28 @@ class DistServer:
         self._idle = []
         self._reaper = None
         self.stats = {"waves": 0, "batches": 0, "results": 0,
-                      "requeues": 0, "hedges": 0, "degraded": 0,
-                      "bad_frames": 0}
+                      "requeues": 0, "expiries": 0, "hedges": 0,
+                      "degraded": 0, "bad_frames": 0}
+        # Fleet telemetry (all optional; None everywhere = PR 6 server).
+        self.metrics_out = metrics_out
+        self.stats_interval = max(0.05, float(stats_interval))
+        self._started_at = self.clock()
+        self._worker_stats = {}     # worker_id -> latest stats frame
+        self._cache_stats = None    # latest client-reported cache dict
+        self._last_sample = None
+        self.journal = None
+        if journal is not None:
+            from repro.obs.fleet import FleetJournal
+
+            self.journal = FleetJournal(journal, clock=self.clock,
+                                        source="server")
 
     def _log(self, message):
         print(f"repro-dist: {message}", file=self.stream, flush=True)
+
+    def _journal(self, kind, **fields):
+        if self.journal is not None:
+            self.journal.append(kind, **fields)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -142,6 +170,10 @@ class DistServer:
         self.port = self._server.sockets[0].getsockname()[1]
         self._reaper = asyncio.ensure_future(self._reap_loop())
         self._log(f"listening on {self.host}:{self.port}")
+        self._started_at = self.clock()
+        self._journal("server.listening", host=self.host, port=self.port,
+                      lease_timeout=self.lease_timeout, pid=os.getpid())
+        self._write_metrics()
         return self
 
     async def serve_forever(self):
@@ -199,6 +231,7 @@ class DistServer:
             hello = await aread_frame(reader)
         except FrameError:
             self.stats["bad_frames"] += 1
+            self._journal("frame.bad", role="hello")
             hello = None
         if not isinstance(hello, dict) or hello.get("type") != "hello":
             writer.close()
@@ -212,6 +245,8 @@ class DistServer:
                 await self._serve_worker(session, hello)
             elif role == "client":
                 await self._serve_client(session)
+            elif role == "status":
+                await self._serve_status(session)
             else:
                 writer.close()
         except asyncio.CancelledError:
@@ -228,8 +263,17 @@ class DistServer:
                         or f"worker-{id(session) & 0xffff:04x}")
         session["worker_id"] = worker_id
         self._workers[worker_id] = session
+        stats = self._worker_stats.setdefault(worker_id, {
+            "cells": 0, "batches": 0, "cells_per_s": None,
+        })
+        stats["last_seen"] = self.clock()
+        stats["pid"] = hello.get("pid")
+        stats["_journaled_at"] = None
         self._log(f"worker {worker_id} joined "
                   f"({len(self._workers)} connected)")
+        self._journal("worker.join", worker=worker_id,
+                      pid=hello.get("pid"),
+                      connected=len(self._workers))
         try:
             while True:
                 try:
@@ -240,11 +284,14 @@ class DistServer:
                     # connection; the worker reconnects, its leases
                     # are revoked below and requeued.
                     self.stats["bad_frames"] += 1
+                    self._journal("frame.bad", role="worker",
+                                  worker=worker_id, error=str(exc))
                     self._log(f"worker {worker_id}: bad frame ({exc}); "
                               f"dropping connection")
                     break
                 if message is None:
                     break
+                stats["last_seen"] = self.clock()
                 kind = message.get("type")
                 if kind == "ready":
                     if session not in self._idle:
@@ -252,6 +299,8 @@ class DistServer:
                     await self._pump()
                 elif kind == "heartbeat":
                     self._renew(message.get("lease_id"))
+                elif kind == "stats":
+                    self._absorb_stats(worker_id, message)
                 elif kind == "result":
                     await self._absorb_result(worker_id, message)
                     await self._pump()
@@ -264,6 +313,24 @@ class DistServer:
             await self._revoke_worker(worker_id)
             self._log(f"worker {worker_id} left "
                       f"({len(self._workers)} connected)")
+            self._journal("worker.leave", worker=worker_id,
+                          connected=len(self._workers))
+
+    def _absorb_stats(self, worker_id, message):
+        """Fold one worker ``stats`` frame into the fleet view; journal
+        it at most once per ``stats_interval`` per worker."""
+        stats = self._worker_stats.setdefault(worker_id, {})
+        for field in ("cells", "batches", "cells_per_s", "pid"):
+            if field in message:
+                stats[field] = message[field]
+        now = self.clock()
+        last = stats.get("_journaled_at")
+        if last is None or now - last >= self.stats_interval:
+            stats["_journaled_at"] = now
+            self._journal("worker.stats", worker=worker_id,
+                          cells=stats.get("cells", 0),
+                          batches=stats.get("batches", 0),
+                          cells_per_s=stats.get("cells_per_s"))
 
     def _renew(self, lease_id):
         wave = self._wave_of(lease_id)
@@ -293,23 +360,39 @@ class DistServer:
         await self._maybe_finish(wave)
 
     async def _revoke_worker(self, worker_id):
+        reason = f"worker {worker_id} lost"
         for wave in list(self._waves.values()):
+            held = [lease.lease_id
+                    for lease in wave.table.leases.values()
+                    if lease.worker_id == worker_id]
+            if held:
+                # A vanished worker expires its leases exactly like a
+                # missed heartbeat would have — journal it under the
+                # same kind so the chaos timeline reads uniformly.
+                self.stats["expiries"] += len(held)
+                self._journal("lease.expired", wave=wave.wave_id,
+                              worker=worker_id, leases=held,
+                              reason=reason)
             requeued, degraded = wave.table.revoke_worker(
-                worker_id, reason=f"worker {worker_id} lost"
+                worker_id, reason=reason
             )
             await self._after_revocation(wave, requeued, degraded,
-                                         f"worker {worker_id} lost")
+                                         reason)
         await self._pump()
 
     async def _after_revocation(self, wave, requeued, degraded, reason):
         if requeued:
             self.stats["requeues"] += len(requeued)
+            self._journal("lease.requeue", wave=wave.wave_id,
+                          keys=list(requeued), reason=reason)
             await self._send(wave.client, {
                 "type": "requeued", "wave_id": wave.wave_id,
                 "keys": requeued, "reason": reason,
             })
         for key, outcome in degraded:
             self.stats["degraded"] += 1
+            self._journal("cell.degraded", wave=wave.wave_id, key=key,
+                          reason=reason)
             await self._send(wave.client, {
                 "type": "outcome", "wave_id": wave.wave_id, "key": key,
                 "outcome": outcome, "worker_id": None,
@@ -328,6 +411,8 @@ class DistServer:
                     message = await aread_frame(session["reader"])
                 except FrameError as exc:
                     self.stats["bad_frames"] += 1
+                    self._journal("frame.bad", role="client",
+                                  error=str(exc))
                     self._log(f"client: bad frame ({exc}); "
                               f"dropping connection")
                     break
@@ -369,8 +454,15 @@ class DistServer:
         wave = _Wave(wave_id, table, session)
         self._waves[wave_id] = wave
         self.stats["waves"] += 1
+        cache = message.get("cache")
+        if isinstance(cache, dict):
+            self._cache_stats = cache
         self._log(f"wave {wave_id}: {len(jobs)} cells in "
                   f"{len(batches)} batches")
+        self._journal("wave.submit", wave=wave_id, cells=len(jobs),
+                      batches=len(batches),
+                      **({"cache": cache} if isinstance(cache, dict)
+                         else {}))
         return wave
 
     def _partition(self, jobs, batch_size):
@@ -394,6 +486,9 @@ class DistServer:
             self._log(f"wave {wave.wave_id}: done "
                       f"({self.stats['requeues']} requeues, "
                       f"{self.stats['hedges']} hedges so far)")
+            self._journal("wave.done", wave=wave.wave_id,
+                          cells=table.total,
+                          counters=dict(table.counters))
 
     # -- scheduling -----------------------------------------------------
 
@@ -408,6 +503,9 @@ class DistServer:
             self.stats["batches"] += 1
             if lease.hedge_of is not None:
                 self.stats["hedges"] += 1
+                self._journal("lease.hedge", lease=lease.lease_id,
+                              of=lease.hedge_of,
+                              worker=lease.worker_id)
             sent = await self._send(session, {
                 "type": "batch", "lease_id": lease.lease_id,
                 "jobs": lease.batch,
@@ -444,22 +542,116 @@ class DistServer:
         while True:
             await asyncio.sleep(interval)
             await self.reap()
+            self._sample()
 
     async def reap(self):
         """Revoke every lease whose heartbeat went stale; requeue."""
         for wave in list(self._waves.values()):
             for lease in wave.table.expired():
+                reason = f"lease expired on {lease.worker_id}"
+                self.stats["expiries"] += 1
+                self._journal("lease.expired", wave=wave.wave_id,
+                              worker=lease.worker_id,
+                              leases=[lease.lease_id], reason=reason)
                 requeued, degraded = wave.table.revoke(
-                    lease.lease_id,
-                    reason=f"lease expired on {lease.worker_id}",
+                    lease.lease_id, reason=reason,
                 )
                 self._log(f"lease {lease.lease_id} expired on "
                           f"{lease.worker_id}; requeued {requeued}")
-                await self._after_revocation(
-                    wave, requeued, degraded,
-                    f"lease expired on {lease.worker_id}",
-                )
+                await self._after_revocation(wave, requeued, degraded,
+                                             reason)
         await self._pump()
+
+    # -- fleet telemetry ------------------------------------------------
+
+    def fleet_snapshot(self):
+        """The live fleet view ``repro status`` renders (JSON-safe)."""
+        now = self.clock()
+        workers = {}
+        for worker_id, stats in self._worker_stats.items():
+            if worker_id not in self._workers:
+                continue        # disconnected; leases already revoked
+            last_seen = stats.get("last_seen")
+            workers[worker_id] = {
+                "cells": stats.get("cells", 0),
+                "batches": stats.get("batches", 0),
+                "cells_per_s": stats.get("cells_per_s"),
+                "pid": stats.get("pid"),
+                "heartbeat_age_s": (round(now - last_seen, 6)
+                                    if last_seen is not None else None),
+                "idle": self._workers[worker_id] in self._idle,
+            }
+        waves = {wave_id: wave.table.snapshot()
+                 for wave_id, wave in self._waves.items()}
+        snapshot = {
+            "server": {
+                "host": self.host,
+                "port": self.port,
+                "lease_timeout": self.lease_timeout,
+                "uptime_s": round(now - self._started_at, 6),
+                "workers": len(self._workers),
+                "waves": len(self._waves),
+                "queued_cells": sum(info["queued_cells"]
+                                    for info in waves.values()),
+                "outstanding_leases": sum(info["outstanding"]
+                                          for info in waves.values()),
+            },
+            "stats": dict(self.stats),
+            "workers": workers,
+            "waves": waves,
+        }
+        if self._cache_stats is not None:
+            snapshot["cache"] = dict(self._cache_stats)
+        return snapshot
+
+    def _write_metrics(self):
+        """Atomically rewrite the Prometheus exposition file."""
+        if self.metrics_out is None:
+            return
+        from repro.atomicio import atomic_write_text
+        from repro.obs.fleet import render_prometheus
+
+        atomic_write_text(self.metrics_out,
+                          render_prometheus(self.fleet_snapshot()))
+
+    def _sample(self):
+        """Journal one ``fleet.sample`` + refresh metrics-out, at most
+        once per ``stats_interval`` (piggybacks on the reap loop)."""
+        if self.journal is None and self.metrics_out is None:
+            return
+        now = self.clock()
+        if (self._last_sample is not None
+                and now - self._last_sample < self.stats_interval):
+            return
+        self._last_sample = now
+        snapshot = self.fleet_snapshot()
+        self._journal("fleet.sample", server=snapshot["server"],
+                      stats=snapshot["stats"])
+        self._write_metrics()
+
+    # -- status side ----------------------------------------------------
+
+    async def _serve_status(self, session):
+        """Answer ``status`` requests with live fleet snapshots
+        (``repro status`` polls this; one request per frame)."""
+        from repro.exec.proto import aread_frame
+
+        while True:
+            try:
+                message = await aread_frame(session["reader"])
+            except FrameError:
+                self.stats["bad_frames"] += 1
+                break
+            if message is None:
+                break
+            if message.get("type") != "status":
+                await self._send(session, {
+                    "type": "error",
+                    "error": f"unexpected {message.get('type')!r}",
+                })
+                continue
+            await self._send(session, {"type": "fleet",
+                                       "snapshot": self.fleet_snapshot()})
 
 
 # ======================================================================
@@ -537,6 +729,9 @@ def run_worker(address, worker_id=None, reconnect_deadline=30.0,
         print(f"repro-worker[{worker_id}]: {message}", file=stream,
               flush=True)
 
+    # Lifetime work totals; survive reconnects so the fleet view shows
+    # cumulative cells/s per worker identity, not per connection.
+    totals = {"cells": 0, "batches": 0, "busy_s": 0.0}
     outage_started = None
     attempt = 0
     while True:
@@ -558,7 +753,7 @@ def run_worker(address, worker_id=None, reconnect_deadline=30.0,
         lock = threading.Lock()
         try:
             code = _worker_session(sock, worker_id, lock, injector,
-                                   heartbeat_delay, log)
+                                   heartbeat_delay, log, totals)
             if code is not None:
                 return code
         except (ConnectionError, OSError, FrameError) as exc:
@@ -571,10 +766,12 @@ def run_worker(address, worker_id=None, reconnect_deadline=30.0,
 
 
 def _worker_session(sock, worker_id, lock, injector, heartbeat_delay,
-                    log):
+                    log, totals=None):
     """One connected stint; returns an exit code or None to reconnect."""
     import threading
 
+    totals = totals if totals is not None else {"cells": 0, "batches": 0,
+                                                "busy_s": 0.0}
     write_frame(sock, {"type": "hello", "role": "worker",
                        "worker_id": worker_id, "pid": os.getpid()},
                 lock=lock)
@@ -583,6 +780,25 @@ def _worker_session(sock, worker_id, lock, injector, heartbeat_delay,
         raise ProtocolError(f"expected welcome, got {welcome!r}")
     log(f"connected (lease timeout "
         f"{welcome.get('lease_timeout', '?')}s)")
+
+    def send_stats():
+        # Telemetry frames bypass the chaos injector on purpose: they
+        # observe the run and must not shift the seeded sequence of
+        # dropped/corrupted work frames.  Best-effort; a dead socket
+        # surfaces on the next work frame anyway.
+        busy = totals["busy_s"]
+        rate = round(totals["cells"] / busy, 6) if busy > 0 else None
+        try:
+            write_frame(sock, {"type": "stats",
+                               "worker_id": worker_id,
+                               "cells": totals["cells"],
+                               "batches": totals["batches"],
+                               "cells_per_s": rate,
+                               "pid": os.getpid()}, lock=lock)
+        except OSError:
+            pass
+
+    send_stats()
     while True:
         write_frame(sock, {"type": "ready"}, lock=lock)
         message = read_frame(sock)
@@ -605,9 +821,11 @@ def _worker_session(sock, worker_id, lock, injector, heartbeat_delay,
                                 lock, injector, log=log)
                 except OSError:
                     return
+                send_stats()
 
         beater = threading.Thread(target=beat, daemon=True)
         beater.start()
+        started = time.monotonic()
         try:
             from repro.exec.pool import invoke_batch
 
@@ -615,10 +833,14 @@ def _worker_session(sock, worker_id, lock, injector, heartbeat_delay,
         finally:
             stop.set()
             beater.join(timeout=2.0)
+        totals["busy_s"] += time.monotonic() - started
+        totals["cells"] += len(outcomes)
+        totals["batches"] += 1
         _chaos_send(sock, {"type": "result", "lease_id": lease_id,
                            "outcomes": [[key, outcome]
                                         for key, outcome in outcomes]},
                     lock, injector, log=log)
+        send_stats()
 
 
 # ======================================================================
@@ -647,8 +869,13 @@ class DistBackend:
 
     def __init__(self, address, seed=0, fallback=True, fallback_jobs=2,
                  connect_deadline=DEFAULT_CONNECT_DEADLINE,
-                 batch_size=None, events=None, stream=None):
+                 batch_size=None, events=None, stream=None,
+                 cache_stats=None):
         self.address = parse_address(address)
+        # Optional zero-arg callable returning the client's cell-cache
+        # counters ({hits, misses, puts, poisoned}); shipped with each
+        # submit so the server journal sees cache behaviour too.
+        self.cache_stats = cache_stats
         self.seed = seed
         self.fallback = fallback
         self.fallback_jobs = max(1, fallback_jobs)
@@ -789,12 +1016,18 @@ class DistBackend:
                 return
             wave_id = (f"{self._label}-{os.getpid()}-"
                        f"{next(self._wave_counter)}")
+            submit = {
+                "type": "submit", "wave_id": wave_id,
+                "jobs": list(remaining.values()),
+                "batch_size": self.batch_size,
+            }
+            if self.cache_stats is not None:
+                try:
+                    submit["cache"] = dict(self.cache_stats())
+                except Exception:       # telemetry must never sink a wave
+                    pass
             try:
-                write_frame(sock, {
-                    "type": "submit", "wave_id": wave_id,
-                    "jobs": list(remaining.values()),
-                    "batch_size": self.batch_size,
-                })
+                write_frame(sock, submit)
                 while remaining:
                     message = read_frame(sock)
                     kind = message.get("type")
@@ -817,3 +1050,46 @@ class DistBackend:
                 self._warn(f"connection lost mid-wave ({exc}); "
                            f"resubmitting {len(remaining)} cell(s)")
                 self._event("resubmit", cells=len(remaining))
+
+
+# ======================================================================
+# Status client
+# ======================================================================
+
+def fleet_status(address, timeout=5.0):
+    """Fetch one live fleet snapshot from a dist server.
+
+    The ``repro status`` primitive: connect with the ``status`` hello
+    role, ask once, return the snapshot dict.  Raises
+    :class:`~repro.errors.ServerUnreachableError` when the server
+    cannot be reached or does not answer in *timeout* seconds.
+    """
+    host, port = parse_address(address)
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise ServerUnreachableError(
+            f"dist server {host}:{port} unreachable ({exc})"
+        ) from exc
+    try:
+        sock.settimeout(timeout)
+        write_frame(sock, {"type": "hello", "role": "status",
+                           "pid": os.getpid()})
+        welcome = read_frame(sock)
+        if welcome.get("type") != "welcome":
+            raise ProtocolError(f"expected welcome, got {welcome!r}")
+        write_frame(sock, {"type": "status"})
+        message = read_frame(sock)
+        if message.get("type") != "fleet":
+            raise ProtocolError(f"expected fleet, got {message!r}")
+        return message["snapshot"]
+    except (OSError, FrameError) as exc:
+        raise ServerUnreachableError(
+            f"dist server {host}:{port} did not answer a status "
+            f"request ({exc})"
+        ) from exc
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass

@@ -78,6 +78,9 @@ class LeaseTable:
         self.log = []           # ("grant"|"renew"|"revoke"|...) tuples
         self._counter = itertools.count(1)
         self.total = sum(len(batch) for batch in self.queue)
+        # Lifetime telemetry counters; fleet snapshots read these.
+        self.counters = {"grants": 0, "requeues": 0, "degraded": 0,
+                         "hedges": 0}
 
     # -- queue state ----------------------------------------------------
 
@@ -117,6 +120,7 @@ class LeaseTable:
             granted_at=now, last_heartbeat=now, hedge_of=hedge_of,
         )
         self.leases[lease.lease_id] = lease
+        self.counters["hedges" if hedge_of else "grants"] += 1
         self.log.append(("hedge" if hedge_of else "grant",
                          lease.lease_id, worker_id, lease.keys()))
         return lease
@@ -188,6 +192,8 @@ class LeaseTable:
             else:
                 self.queue.insert(0, [job])
                 requeued.append(key)
+        self.counters["requeues"] += len(requeued)
+        self.counters["degraded"] += len(degraded)
         self.log.append(("revoke", lease_id, lease.worker_id, reason,
                          list(requeued)))
         return requeued, degraded
@@ -251,6 +257,26 @@ class LeaseTable:
         return self._issue(worker_id, batch, hedge_of=original.lease_id)
 
     # -- telemetry -------------------------------------------------------
+
+    def snapshot(self):
+        """JSON-safe fleet-telemetry view of this wave's lease state.
+
+        Pure read (no log entry, no clock side effects beyond one
+        ``clock()`` call for heartbeat ages) so the server can sample it
+        on every status request without perturbing determinism.
+        """
+        now = self.clock()
+        ages = [round(now - lease.last_heartbeat, 6)
+                for lease in self.leases.values()]
+        return {
+            "total": self.total,
+            "done": len(self.done),
+            "queued_batches": len(self.queue),
+            "queued_cells": sum(len(batch) for batch in self.queue),
+            "outstanding": len(self.leases),
+            "oldest_heartbeat_age_s": max(ages) if ages else None,
+            "counters": dict(self.counters),
+        }
 
     def requeue_order(self):
         """Flat ``(lease_id, key)`` requeue history — the sequence the

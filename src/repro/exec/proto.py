@@ -26,6 +26,15 @@ run code they already ship), the derived fault injector by its
 construction (the checkpoint and cell cache already require it), so
 the description round-trips losslessly and the worker rebuilds the
 exact job tuple :func:`repro.exec.backends.invoke_cell` expects.
+
+Telemetry messages
+------------------
+Fleet telemetry reuses the same frames, not a side channel: workers
+push ``stats`` frames (cumulative cells/batches/cells-per-second),
+clients attach a ``cache`` counter dict to their ``submit``, and a
+``status`` hello role asks the server for ``fleet`` snapshot frames
+(see :mod:`repro.obs.fleet`).  All of it is additive — a PR 6 peer
+that never sends them talks to this server unchanged.
 """
 
 import hashlib

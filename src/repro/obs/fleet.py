@@ -1,0 +1,366 @@
+"""Fleet telemetry: the dist tier's event journal and live status view.
+
+Three pieces, all dependency-free (stdlib only, like the rest of
+``repro.obs``):
+
+**The event journal** — an append-only JSONL file the dist server (and
+the chaos harness) write fleet lifecycle events into: workers joining
+and leaving, waves submitted and finished, leases expiring and their
+cells requeueing, periodic worker/fleet stat samples, chaos kills and
+partitions.  Every record is **virtual-time-stamped like the tracer**:
+the writer stamps a monotonic ``vt`` (seconds since that writer's
+journal opened, read through an injectable clock) plus a per-writer
+``seq`` ordinal, so a journal replays in order per source even when
+several processes append to the same file.  Appends are single
+``os.write`` calls on an ``O_APPEND`` descriptor — whole lines land
+atomically, which is what makes the multi-process chaos-harness +
+server sharing safe without locks.
+
+**The fleet snapshot** — a plain JSON-safe dict the server assembles on
+demand (queue depth, in-flight leases, heartbeat ages, requeue/expiry
+counters, cell-cache hit/miss/poisoned, cells/s per worker).
+:func:`format_fleet_table` renders it for the ``repro status`` TTY
+view; ``repro status --json`` prints it raw.
+
+**The Prometheus exposition** — :func:`render_prometheus` turns a
+snapshot into the text format external scrapers understand
+(``# TYPE``-annotated ``repro_dist_*`` families), which the server
+rewrites atomically to its ``--metrics-out`` file so a node_exporter
+textfile collector or any file-scraping agent works with no new
+dependencies.
+"""
+
+import json
+import os
+import time
+
+from repro.core.reporting import format_table
+
+#: Journal header tag; bump on incompatible record-shape changes.
+JOURNAL_FORMAT = "repro-fleet/1"
+
+#: Fields every journal event must carry (beyond kind-specific ones).
+_REQUIRED = (("kind", str), ("vt", (int, float)), ("seq", int),
+             ("source", str))
+
+#: Prometheus metric family prefix.
+METRICS_PREFIX = "repro_dist"
+
+
+class JournalSchemaError(ValueError):
+    """A journal line that is not a valid repro-fleet record."""
+
+
+def _dumps(obj):
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class FleetJournal:
+    """Append-only JSONL event journal (one writer instance per source).
+
+    The first writer to touch the file writes the header line; later
+    writers (the chaos harness appending kills into the server's
+    journal) detect the non-empty file and skip it.  ``vt`` is seconds
+    since this writer opened the journal, read from *clock* — the dist
+    server passes the same injectable clock its lease tables use, so a
+    fake-clock test journals deterministic timestamps.
+    """
+
+    def __init__(self, path, clock=time.monotonic, source="server"):
+        self.path = str(path)
+        self.clock = clock
+        self.source = source
+        self._origin = clock()
+        self._seq = 0
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._fd = os.open(self.path,
+                           os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        if os.fstat(self._fd).st_size == 0:
+            header = {"format": JOURNAL_FORMAT, "source": source,
+                      "pid": os.getpid()}
+            os.write(self._fd, (_dumps(header) + "\n").encode("utf-8"))
+
+    def vt(self):
+        """Seconds of virtual time since this writer opened the file."""
+        return round(self.clock() - self._origin, 6)
+
+    def append(self, kind, **fields):
+        """Append one event; returns the record written."""
+        record = {"kind": str(kind), "vt": self.vt(), "seq": self._seq,
+                  "source": self.source}
+        record.update(fields)
+        self._seq += 1
+        # One write() per line: O_APPEND makes concurrent appenders
+        # (server + chaos harness) interleave whole records, never
+        # torn halves.
+        os.write(self._fd, (_dumps(record) + "\n").encode("utf-8"))
+        return record
+
+    def close(self):
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def validate_event(record, line=None):
+    """Raise :class:`JournalSchemaError` unless *record* is well-formed."""
+    where = f" (line {line})" if line is not None else ""
+    if not isinstance(record, dict):
+        raise JournalSchemaError(f"event is not an object{where}")
+    for field, kind in _REQUIRED:
+        if field not in record:
+            raise JournalSchemaError(f"missing field {field!r}{where}")
+        if not isinstance(record[field], kind) \
+                or isinstance(record[field], bool):
+            raise JournalSchemaError(
+                f"field {field!r} is {type(record[field]).__name__}"
+                f"{where}"
+            )
+    if not record["kind"]:
+        raise JournalSchemaError(f"empty event kind{where}")
+    if record["vt"] < 0 or record["seq"] < 0:
+        raise JournalSchemaError(f"negative vt/seq{where}")
+
+
+def read_journal(path):
+    """Parse + schema-check a journal; returns ``(header, events)``.
+
+    Events keep file order (the interleaved multi-writer order); use
+    :func:`journal_totals` for per-kind counts.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise JournalSchemaError(f"{path}: empty journal")
+    header = json.loads(lines[0])
+    if header.get("format") != JOURNAL_FORMAT:
+        raise JournalSchemaError(
+            f"{path}: unknown format {header.get('format')!r}"
+        )
+    events = []
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        validate_event(record, line=number)
+        events.append(record)
+    return header, events
+
+
+def journal_totals(events):
+    """Per-kind event counts, plus requeued-cell and expiry totals.
+
+    ``counts`` maps event kind -> occurrences; ``requeued_cells`` sums
+    the ``keys`` lists of ``lease.requeue`` events (the number the
+    client-side progress stream counts too, which is what the dist
+    progress tests reconcile against).
+    """
+    counts = {}
+    requeued_cells = 0
+    for event in events:
+        kind = event["kind"]
+        counts[kind] = counts.get(kind, 0) + 1
+        if kind == "lease.requeue":
+            requeued_cells += len(event.get("keys") or [])
+    return {
+        "counts": counts,
+        "requeued_cells": requeued_cells,
+        "expiries": counts.get("lease.expired", 0),
+    }
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text exposition
+# ----------------------------------------------------------------------
+
+def _metric_lines(name, kind, help_text, samples):
+    """One metric family: HELP/TYPE annotations plus its samples.
+
+    *samples* is ``[(labels_dict_or_None, value), ...]``; ``None``
+    values are skipped (absent heartbeat ages and the like).
+    """
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} {kind}"]
+    emitted = False
+    for labels, value in samples:
+        if value is None:
+            continue
+        label_text = ""
+        if labels:
+            inner = ",".join(
+                f'{key}="{str(val).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+                for key, val in sorted(labels.items())
+            )
+            label_text = "{" + inner + "}"
+        if isinstance(value, bool):
+            value = int(value)
+        lines.append(f"{name}{label_text} {value}")
+        emitted = True
+    if not emitted:
+        return []
+    return lines
+
+
+def render_prometheus(snapshot):
+    """Fleet snapshot -> Prometheus text exposition (one string).
+
+    Counter families come from the server's lifetime ``stats`` dict
+    (requeues, expiries, hedges, degraded cells, bad frames, results),
+    gauges from the live topology (workers, waves, queue depth,
+    outstanding leases, heartbeat ages) and the per-wave cell-cache
+    counters the submitting client reported.
+    """
+    server = snapshot.get("server") or {}
+    stats = snapshot.get("stats") or {}
+    workers = snapshot.get("workers") or {}
+    waves = snapshot.get("waves") or {}
+    cache = snapshot.get("cache") or {}
+    p = METRICS_PREFIX
+    parts = []
+
+    for stat, help_text in (
+        ("waves", "waves admitted since the server started"),
+        ("batches", "batch leases dispatched"),
+        ("results", "cell outcomes delivered to clients"),
+        ("requeues", "cells requeued after lease revocations"),
+        ("expiries", "leases revoked for missing heartbeats or lost workers"),
+        ("hedges", "duplicate leases issued against stragglers"),
+        ("degraded", "cells degraded to failed outcomes over budget"),
+        ("bad_frames", "frames dropped for digest or header corruption"),
+    ):
+        parts.extend(_metric_lines(
+            f"{p}_{stat}_total", "counter", help_text,
+            [(None, stats.get(stat))],
+        ))
+    parts.extend(_metric_lines(
+        f"{p}_workers", "gauge", "connected workers",
+        [(None, server.get("workers"))],
+    ))
+    parts.extend(_metric_lines(
+        f"{p}_waves_active", "gauge", "waves currently owned",
+        [(None, server.get("waves"))],
+    ))
+    parts.extend(_metric_lines(
+        f"{p}_queue_cells", "gauge", "cells queued across live waves",
+        [(None, server.get("queued_cells"))],
+    ))
+    parts.extend(_metric_lines(
+        f"{p}_leases_outstanding", "gauge",
+        "batch leases currently held by workers",
+        [(None, server.get("outstanding_leases"))],
+    ))
+    parts.extend(_metric_lines(
+        f"{p}_uptime_seconds", "gauge", "server uptime",
+        [(None, server.get("uptime_s"))],
+    ))
+    parts.extend(_metric_lines(
+        f"{p}_worker_heartbeat_age_seconds", "gauge",
+        "seconds since each worker's last heartbeat or message",
+        [({"worker": wid}, info.get("heartbeat_age_s"))
+         for wid, info in sorted(workers.items())],
+    ))
+    parts.extend(_metric_lines(
+        f"{p}_worker_cells_total", "counter",
+        "cells each worker reported computing",
+        [({"worker": wid}, info.get("cells"))
+         for wid, info in sorted(workers.items())],
+    ))
+    parts.extend(_metric_lines(
+        f"{p}_worker_cells_per_second", "gauge",
+        "per-worker observed throughput",
+        [({"worker": wid}, info.get("cells_per_s"))
+         for wid, info in sorted(workers.items())],
+    ))
+    parts.extend(_metric_lines(
+        f"{p}_wave_done_cells", "gauge", "completed cells per live wave",
+        [({"wave": wid}, info.get("done"))
+         for wid, info in sorted(waves.items())],
+    ))
+    parts.extend(_metric_lines(
+        f"{p}_cell_cache_events_total", "counter",
+        "client-reported cell-cache counters",
+        [({"event": event}, cache.get(event))
+         for event in ("hits", "misses", "puts", "poisoned")],
+    ))
+    return "\n".join(parts) + "\n"
+
+
+# ----------------------------------------------------------------------
+# TTY rendering (repro status)
+# ----------------------------------------------------------------------
+
+def _age(value):
+    return "—" if value is None else f"{value:.1f}s"
+
+
+def format_fleet_table(snapshot):
+    """Render one fleet snapshot as the ``repro status`` text view."""
+    server = snapshot.get("server") or {}
+    stats = snapshot.get("stats") or {}
+    workers = snapshot.get("workers") or {}
+    waves = snapshot.get("waves") or {}
+    cache = snapshot.get("cache") or {}
+    lines = [
+        f"repro-dist {server.get('host', '?')}:{server.get('port', '?')}"
+        f" — up {server.get('uptime_s', 0.0):.1f}s, "
+        f"{server.get('workers', 0)} worker(s), "
+        f"{server.get('waves', 0)} live wave(s)",
+        f"  queue {server.get('queued_cells', 0)} cell(s), "
+        f"{server.get('outstanding_leases', 0)} lease(s) in flight; "
+        f"lifetime: {stats.get('results', 0)} results, "
+        f"{stats.get('requeues', 0)} requeues, "
+        f"{stats.get('expiries', 0)} expiries, "
+        f"{stats.get('hedges', 0)} hedges, "
+        f"{stats.get('degraded', 0)} degraded, "
+        f"{stats.get('bad_frames', 0)} bad frame(s)",
+    ]
+    if cache:
+        lines.append(
+            f"  cell cache: {cache.get('hits', 0)} hit(s), "
+            f"{cache.get('misses', 0)} miss(es), "
+            f"{cache.get('poisoned', 0)} poisoned"
+        )
+    if workers:
+        rows = []
+        for wid in sorted(workers):
+            info = workers[wid]
+            rate = info.get("cells_per_s")
+            rows.append([
+                wid,
+                "idle" if info.get("idle") else "busy",
+                str(info.get("cells", 0)),
+                str(info.get("batches", 0)),
+                "—" if rate is None else f"{rate:.2f}",
+                _age(info.get("heartbeat_age_s")),
+            ])
+        lines.append(format_table(
+            ["worker", "state", "cells", "batches", "cells/s",
+             "hb age"],
+            rows, title="workers",
+        ))
+    if waves:
+        rows = []
+        for wid in sorted(waves):
+            info = waves[wid]
+            counters = info.get("counters") or {}
+            rows.append([
+                wid,
+                f"{info.get('done', 0)}/{info.get('total', 0)}",
+                str(info.get("queued_cells", 0)),
+                str(info.get("outstanding", 0)),
+                str(counters.get("requeues", 0)),
+                _age(info.get("oldest_heartbeat_age_s")),
+            ])
+        lines.append(format_table(
+            ["wave", "done", "queued", "leased", "requeues",
+             "stalest hb"],
+            rows, title="waves",
+        ))
+    return "\n".join(lines)

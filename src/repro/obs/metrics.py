@@ -90,6 +90,8 @@ def headline(snapshot):
         ("cycles", gauges.get("cpu.cycles")),
         ("miss", counters.get("events.cache.miss")),
         ("spec", counters.get("events.cpu.speculate")),
+        ("squash", counters.get("ooo.squashes")),
+        ("stall", counters.get("ooo.dispatch_stalls")),
         ("rec", gauges.get("trace.records")),
         ("drop", gauges.get("trace.dropped") or None),
     )

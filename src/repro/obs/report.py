@@ -161,6 +161,81 @@ def _series_section(manifest):
     return parts
 
 
+def _pipeline_section(manifest):
+    """Aggregate OoO pipeline-pressure telemetry across the run's cells.
+
+    Rendered only when at least one cell snapshot carries an
+    ``ooo.rob.occupancy`` histogram (i.e. a traced ``--uarch ooo``
+    run): a summed power-of-two ROB-occupancy histogram as SVG bars,
+    plus the summed squash/wrong-path/stall counters — the
+    speculation-pressure view fig5 rows are read against.
+    """
+    from repro.obs.metrics import DEFAULT_BUCKETS
+
+    metrics = manifest.get("metrics") or {}
+    buckets = None
+    count = 0
+    total = 0
+    counters = {}
+    for snapshot in metrics.values():
+        if not isinstance(snapshot, dict):
+            continue
+        hist = (snapshot.get("histograms") or {}).get(
+            "ooo.rob.occupancy")
+        if hist:
+            if buckets is None:
+                buckets = [0] * len(hist["buckets"])
+            for index, value in enumerate(hist["buckets"]):
+                buckets[index] += value
+            count += hist.get("count", 0)
+            total += hist.get("sum", 0)
+        for name, value in (snapshot.get("counters") or {}).items():
+            if name.startswith("ooo."):
+                counters[name] = counters.get(name, 0) + value
+    if buckets is None:
+        return []
+    parts = ["<h2>Pipeline (out-of-order)</h2>"]
+    mean = total / count if count else 0.0
+    parts.append(
+        f'<p class="meta">ROB occupancy: {count} samples, '
+        f'mean {mean:.1f} entries</p>'
+    )
+    # Horizontal bar chart of the pow2 histogram, empty tail elided.
+    last = max((i for i, v in enumerate(buckets) if v), default=0)
+    shown = buckets[:last + 1]
+    peak = max(shown) or 1
+    bar_w, bar_h, gap = 18, 60, 2
+    width = len(shown) * (bar_w + gap)
+    svg = [f'<svg width="{width}" height="{bar_h + 14}" '
+           f'viewBox="0 0 {width} {bar_h + 14}" role="img">']
+    for index, value in enumerate(shown):
+        h = value / peak * bar_h
+        x0 = index * (bar_w + gap)
+        label = (format_count(DEFAULT_BUCKETS[index])
+                 if index < len(DEFAULT_BUCKETS) else "inf")
+        svg.append(f'<rect x="{x0}" y="{bar_h - h:.1f}" '
+                   f'width="{bar_w}" height="{h:.1f}" fill="#30506e">'
+                   f'<title>&le;{label}: {value}</title></rect>')
+        svg.append(f'<text x="{x0 + bar_w / 2:.1f}" y="{bar_h + 11}" '
+                   f'font-size="7" text-anchor="middle" '
+                   f'fill="#666">{label}</text>')
+    svg.append("</svg>")
+    parts.append('<div class="spark"><span class="name">'
+                 'ROB occupancy (pow2 buckets)</span>'
+                 + "".join(svg) + "</div>")
+    if counters:
+        parts.extend(["<table>",
+                      "<tr><th>counter</th><th>total</th></tr>"])
+        for name in sorted(counters):
+            parts.append(
+                f'<tr><td>{_esc(name)}</td>'
+                f'<td class="num">{format_count(counters[name])}'
+                f'</td></tr>'
+            )
+        parts.append("</table>")
+    return parts
+
+
 def _cells_table(manifest):
     cells = manifest.get("cells") or []
     if not cells:
@@ -249,6 +324,7 @@ def render_html(manifest, checks=None, profile=None):
     parts.append("<h2>Headlines</h2>")
     parts.extend(_tiles(manifest, checks_by_headline))
     parts.extend(_series_section(manifest))
+    parts.extend(_pipeline_section(manifest))
     parts.extend(_cells_table(manifest))
     parts.extend(_config_table(manifest))
     parts.extend(_provenance(manifest))

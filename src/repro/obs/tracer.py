@@ -33,8 +33,12 @@ import dataclasses
 
 from repro.obs.metrics import MetricsRegistry
 
-#: Every category an instrumentation site may use.
-CATEGORIES = ("cpu", "cache", "kernel", "attack", "hid", "exec")
+#: Every category an instrumentation site may use.  The ``ooo.*``
+#: categories carry the Tomasulo core's pipeline spans (dispatch/commit
+#: stalls, squash recoveries, LSQ pressure) and are off unless asked
+#: for — they are chatty at paper scale.
+CATEGORIES = ("cpu", "cache", "kernel", "attack", "hid", "exec",
+              "ooo.dispatch", "ooo.commit", "ooo.squash", "ooo.lsq")
 
 #: Default per-cell record cap; excess emissions are counted, not kept.
 DEFAULT_MAX_RECORDS = 200_000

@@ -173,17 +173,30 @@ class OooCore:
         tracer = current_tracer()
         if tracer.enabled:
             self._tracer = tracer
+            self._metrics = tracer.metrics
             self.trace_clk = tracer.register_clock(self._cycles_now)
             self._tr_cpu = tracer.channel("cpu", self.trace_clk)
             self._tr_kernel = tracer.channel("kernel", self.trace_clk)
+            self._tr_dispatch = tracer.channel("ooo.dispatch",
+                                               self.trace_clk)
+            self._tr_commit = tracer.channel("ooo.commit",
+                                             self.trace_clk)
+            self._tr_squash = tracer.channel("ooo.squash",
+                                             self.trace_clk)
+            self._tr_lsq = tracer.channel("ooo.lsq", self.trace_clk)
             cache_channel = tracer.channel("cache", self.trace_clk)
             if cache_channel is not None:
                 self.caches.bind_tracer(cache_channel)
         else:
             self._tracer = None
+            self._metrics = None
             self.trace_clk = 0
             self._tr_cpu = None
             self._tr_kernel = None
+            self._tr_dispatch = None
+            self._tr_commit = None
+            self._tr_squash = None
+            self._tr_lsq = None
 
     def _cycles_now(self):
         return int(self.cycles)
@@ -264,7 +277,22 @@ class OooCore:
         """Drain, then retire a serialising op; returns the new fetch
         clock (== ``self.cycles``: the machine is momentarily in-order).
         """
-        self._drain()
+        metrics = self._metrics
+        if metrics is not None and self.rob.entries:
+            # Commit-stall bookkeeping: a serialising op forces the
+            # whole ROB to retire before it may even dispatch.
+            metrics.inc("ooo.commit_stalls")
+            metrics.observe("ooo.rob.occupancy", len(self.rob.entries))
+            trace = self._tr_commit
+            if trace is not None:
+                ts0 = trace.now()
+                occupancy = len(self.rob.entries)
+                self._drain()
+                trace.complete("ooo.commit.drain", ts0, rob=occupancy)
+            else:
+                self._drain()
+        else:
+            self._drain()
         t = self.cycles
         if fclock > t:
             t = fclock
@@ -280,19 +308,37 @@ class OooCore:
         """Mispredict: transient wrong path, squash, redirect fetch."""
         trace = self._tr_cpu
         ts0 = trace.now() if trace is not None else 0
+        metrics = self._metrics
+        squash_trace = self._tr_squash
+        sq_ts0 = squash_trace.now() if squash_trace is not None else 0
         penalty = self.config.mispredict_penalty
         self.pmu.counters["mispredict_penalty_cycles"] += int(penalty)
         if fclock < resolve_time:
             fclock = resolve_time
         fclock += penalty
         if wrong_path_pc is not None:
+            if metrics is not None:
+                # Speculation-window depth: how many ROB slots the
+                # wrong path may fill before the squash bounds it.
+                metrics.observe("ooo.spec.window",
+                                self.rob.free_slots())
+                metrics.observe("ooo.rob.occupancy",
+                                len(self.rob.entries))
             executed = self._speculate(wrong_path_pc)
+            if metrics is not None:
+                metrics.inc("ooo.squashes")
+                if executed:
+                    metrics.inc("ooo.wrong_path_uops", executed)
             if trace is not None:
                 trace.complete("cpu.speculate", ts0, pc=pc,
                                target=wrong_path_pc, squashed=executed)
                 self._tracer.metrics.observe(
                     "cpu.speculate.squashed", executed
                 )
+            if squash_trace is not None:
+                squash_trace.complete("ooo.squash", sq_ts0, pc=pc,
+                                      target=wrong_path_pc,
+                                      uops=executed)
         elif trace is not None:
             trace.event("cpu.mispredict", pc=pc)
         return fclock
@@ -543,6 +589,14 @@ class OooCore:
         watchdog = self.watchdog
         stride = self.WATCHDOG_STRIDE
         limit = -1 if max_instructions is None else max_instructions
+        tr_dispatch = self._tr_dispatch
+        tr_lsq = self._tr_lsq
+        # Pipeline-pressure tallies: plain locals on the hot path,
+        # flushed to the metrics registry once per quantum (so a
+        # telemetry-off run pays one integer add per stalled dispatch
+        # and nothing else).
+        dispatch_stalls = 0
+        lsq_stalls = 0
 
         # The ROB is empty between run() calls, so the rename file is
         # architectural here: re-seat the committed view on it (spawn
@@ -587,10 +641,19 @@ class OooCore:
                 # structural hazards (full ROB / stations / LSQ).
                 dispatch = fclock
                 self._commit_until(dispatch)
-                while len(rob_entries) >= rob_depth:
-                    slot = self._commit_head()
-                    if slot > dispatch:
-                        dispatch = slot
+                if len(rob_entries) >= rob_depth:
+                    if tr_dispatch is not None:
+                        stall_ts = tr_dispatch.now()
+                        stall_occ = len(rob_entries)
+                    while len(rob_entries) >= rob_depth:
+                        slot = self._commit_head()
+                        dispatch_stalls += 1
+                        if slot > dispatch:
+                            dispatch = slot
+                    if tr_dispatch is not None:
+                        tr_dispatch.complete("ooo.dispatch.stall",
+                                             stall_ts, pc=pc,
+                                             rob=stall_occ)
                 if op >= _ADD:
                     if op < _LW:
                         kind = "alu"
@@ -609,10 +672,17 @@ class OooCore:
                     if stalled > dispatch:
                         dispatch = stalled
                     if kind == "mem":
-                        while len(lsq_entries) >= lsq_depth:
-                            slot = self._commit_head()
-                            if slot > dispatch:
-                                dispatch = slot
+                        if len(lsq_entries) >= lsq_depth:
+                            if tr_lsq is not None:
+                                stall_ts = tr_lsq.now()
+                            while len(lsq_entries) >= lsq_depth:
+                                slot = self._commit_head()
+                                lsq_stalls += 1
+                                if slot > dispatch:
+                                    dispatch = slot
+                            if tr_lsq is not None:
+                                tr_lsq.complete("ooo.lsq.stall",
+                                                stall_ts, pc=pc)
                 fclock = dispatch + base_cost
 
                 if _ADDI <= op <= _SLTI:
@@ -1061,6 +1131,15 @@ class OooCore:
             self._fetch_clock = fclock
             self._last_iline = last_iline
             self._last_ipage = last_ipage
+            metrics = self._metrics
+            if metrics is not None:
+                # One ROB-occupancy sample per quantum (pre-drain) plus
+                # the accumulated stall tallies.
+                metrics.observe("ooo.rob.occupancy", len(rob_entries))
+                if dispatch_stalls:
+                    metrics.inc("ooo.dispatch_stalls", dispatch_stalls)
+                if lsq_stalls:
+                    metrics.inc("ooo.lsq_stalls", lsq_stalls)
             self._drain()
 
         if watchdog is not None and executed % stride:

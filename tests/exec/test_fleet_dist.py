@@ -1,0 +1,225 @@
+"""Fleet telemetry on the live dist tier, in one process.
+
+Reuses the daemon-thread cluster shape from ``test_dist.py`` and pins
+the observability contract on top of it: the server journals the
+lifecycle (joins, waves, expiries, requeues) into a schema-valid JSONL
+file, worker ``stats`` frames surface in the fleet snapshot a
+``status``-role connection fetches, the Prometheus exposition file is
+rewritten with live counters, and after a lost worker the client-side
+``SweepProgress`` requeue tally reconciles exactly with the journal.
+"""
+
+import io
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import FrameError, ServerUnreachableError
+from repro.exec.dist import DistBackend, fleet_status
+from repro.exec.progress import SweepProgress
+from repro.exec.proto import read_frame, write_frame
+from repro.obs.fleet import journal_totals, read_journal
+
+from tests.exec.cells import seeded_value
+from tests.exec.test_dist import _Cluster, _jobs, _scrub, _serial_reference
+
+
+def _wait_for(predicate, timeout=5.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def _stall_worker(address, grabbed):
+    """Claim one batch, then go silent (from ``test_dist.py``)."""
+    sock = socket.create_connection(address, timeout=10.0)
+    try:
+        write_frame(sock, {"type": "hello", "role": "worker",
+                           "worker_id": "stall"})
+        read_frame(sock)                        # welcome
+        write_frame(sock, {"type": "ready"})
+        read_frame(sock)                        # the batch: keep it
+        grabbed.set()
+        while True:
+            read_frame(sock)                    # ignore until torn down
+    except (ConnectionError, FrameError, OSError):
+        pass
+    finally:
+        sock.close()
+
+
+class TestJournalledWave:
+    def test_happy_path_wave_journals_its_lifecycle(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        cluster = _Cluster(journal=str(journal_path))
+        cluster.start_worker("w0")
+        backend = DistBackend(cluster.address, stream=io.StringIO())
+        jobs = _jobs(6)
+        try:
+            got = {key: _scrub(outcome)
+                   for key, outcome in backend.run_wave(jobs)}
+        finally:
+            backend.close()
+            cluster.stop()
+        assert got == _serial_reference(jobs)
+        header, events = read_journal(journal_path)
+        assert header["source"] == "server"
+        kinds = [event["kind"] for event in events]
+        assert "server.listening" in kinds
+        assert "worker.join" in kinds
+        assert "wave.submit" in kinds
+        assert "wave.done" in kinds
+        submit = next(e for e in events if e["kind"] == "wave.submit")
+        assert submit["cells"] == 6
+        done = next(e for e in events if e["kind"] == "wave.done")
+        assert done["cells"] == 6
+        assert done["counters"]["requeues"] == 0
+
+    def test_cache_counters_ride_the_submit_into_the_journal(
+            self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        cluster = _Cluster(journal=str(journal_path))
+        cluster.start_worker("w0")
+        backend = DistBackend(
+            cluster.address, stream=io.StringIO(),
+            cache_stats=lambda: {"hits": 3, "misses": 5, "puts": 5,
+                                 "poisoned": 1},
+        )
+        try:
+            dict(backend.run_wave(_jobs(2)))
+        finally:
+            backend.close()
+            cluster.stop()
+        _, events = read_journal(journal_path)
+        submit = next(e for e in events if e["kind"] == "wave.submit")
+        assert submit["cache"] == {"hits": 3, "misses": 5, "puts": 5,
+                                   "poisoned": 1}
+
+
+class TestStatusEndpoint:
+    def test_snapshot_reflects_worker_stats_frames(self):
+        cluster = _Cluster()
+        cluster.start_worker("w0")
+        backend = DistBackend(cluster.address, stream=io.StringIO())
+        try:
+            dict(backend.run_wave(_jobs(4)))
+            # The worker's final stats frame races the last outcome;
+            # poll the live view until it lands.
+            assert _wait_for(lambda: (
+                fleet_status(cluster.address)
+                .get("workers", {}).get("w0", {}).get("cells", 0) >= 4
+            )), "worker stats never reached the fleet snapshot"
+            snapshot = fleet_status(cluster.address)
+        finally:
+            backend.close()
+            cluster.stop()
+        assert snapshot["server"]["workers"] == 1
+        assert snapshot["stats"]["results"] == 4
+        worker = snapshot["workers"]["w0"]
+        assert worker["batches"] >= 1
+        assert worker["heartbeat_age_s"] is not None
+
+    def test_unreachable_server_raises_typed_error(self):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        with pytest.raises(ServerUnreachableError, match="unreachable"):
+            fleet_status(("127.0.0.1", port), timeout=0.3)
+
+
+class TestMetricsOut:
+    def test_exposition_file_rewritten_with_live_counters(self, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        cluster = _Cluster(lease_timeout=0.4, stats_interval=0.05,
+                           metrics_out=str(metrics_path))
+        cluster.start_worker("w0")
+        backend = DistBackend(cluster.address, stream=io.StringIO())
+        try:
+            dict(backend.run_wave(_jobs(4)))
+            assert _wait_for(lambda: (
+                metrics_path.exists()
+                and "repro_dist_results_total 4"
+                in metrics_path.read_text()
+            )), "metrics file never showed the finished wave"
+        finally:
+            backend.close()
+            cluster.stop()
+        text = metrics_path.read_text()
+        assert "# TYPE repro_dist_results_total counter" in text
+        assert "repro_dist_requeues_total 0" in text
+        assert "repro_dist_expiries_total 0" in text
+
+
+class TestRequeueReconciliation:
+    def test_progress_tally_matches_journal_after_a_lost_worker(
+            self, tmp_path):
+        """Satellite: a stalled worker's lease expiry must show up in
+        the client progress stream (``req N`` suffix + requeue event)
+        with the exact cell count the server journalled."""
+        journal_path = tmp_path / "journal.jsonl"
+        metrics_path = tmp_path / "metrics.prom"
+        jobs = _jobs(4)
+        cluster = _Cluster(lease_timeout=0.4, hedge=False,
+                           stats_interval=0.05,
+                           journal=str(journal_path),
+                           metrics_out=str(metrics_path))
+        grabbed = threading.Event()
+        staller = threading.Thread(
+            target=_stall_worker, args=(cluster.address, grabbed),
+            daemon=True,
+        )
+        staller.start()
+        time.sleep(0.2)                 # let the staller reach ready
+        cluster.start_worker("w0")
+        stream = io.StringIO()
+        progress = SweepProgress("fig5", total=len(jobs), jobs=2,
+                                 stream=stream)
+        backend = DistBackend(cluster.address, events=progress.event,
+                              stream=io.StringIO())
+        try:
+            got = {}
+            for key, outcome in backend.run_wave(jobs):
+                got[key] = _scrub(outcome)
+                progress.update(key, outcome.get("status", "ok"),
+                                outcome.get("elapsed", 0.0))
+            assert _wait_for(lambda: (
+                "repro_dist_requeues_total" in metrics_path.read_text()
+                and "repro_dist_requeues_total 0"
+                not in metrics_path.read_text()
+            )), "requeue counter never reached the metrics file"
+        finally:
+            backend.close()
+            cluster.stop()
+        assert grabbed.is_set(), "staller never received a batch"
+        assert got == _serial_reference(jobs)
+
+        # Client-side view: the requeue event fired and the running
+        # ``req N`` suffix reached the progress lines.
+        assert progress.events.get("requeue", 0) >= 1
+        assert progress.requeued_cells >= 1
+        out = stream.getvalue()
+        assert "! requeue" in out
+        assert f"req {progress.requeued_cells}" in out
+
+        # Server-side view: the journal recorded the expiry and the
+        # requeue, and its cell total reconciles with the client tally.
+        _, events = read_journal(journal_path)
+        totals = journal_totals(events)
+        assert totals["expiries"] >= 1
+        assert totals["counts"].get("lease.requeue", 0) >= 1
+        assert totals["requeued_cells"] == progress.requeued_cells
+        assert cluster.server.stats["requeues"] == \
+            progress.requeued_cells
+        expired = next(e for e in events if e["kind"] == "lease.expired")
+        assert expired["worker"] == "stall"
+
+        # The lost worker's stats row drops out of the live snapshot
+        # shape entirely (dead workers are not "stale rows").
+        metrics_text = metrics_path.read_text()
+        assert "repro_dist_expiries_total" in metrics_text

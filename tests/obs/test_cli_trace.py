@@ -53,6 +53,31 @@ class TestTraceCommand:
         assert payload["dangling"] == 0
         assert payload["spans"]["hid.profile"]["total"] == 900
 
+    def test_json_on_absent_file_reports_zero_records(self, tmp_path,
+                                                      capsys):
+        """Scripted callers poll ``trace --json`` before the sweep has
+        written anything: that is an empty summary, not a failure."""
+        import json
+
+        path = tmp_path / "not-yet.jsonl"
+        assert main(["trace", str(path), "--json"]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 0
+        assert payload["cells"] == []
+        assert payload["spans"] == {}
+        assert payload["experiment"] is None
+
+    def test_json_on_empty_file_reports_zero_records(self, tmp_path,
+                                                     capsys):
+        import json
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace", str(path), "--json"]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 0
+        assert payload["dangling"] == 0
+
     def test_chrome_input_round_trips(self, tmp_path, capsys):
         jsonl_path, chrome_path = write_trace_files(
             tmp_path, "fig4", SAMPLE_TRACES

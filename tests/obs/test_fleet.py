@@ -1,0 +1,191 @@
+"""The fleet journal and its renderings: schema, multi-writer appends,
+virtual timestamps, totals, Prometheus exposition, the status table."""
+
+import json
+
+import pytest
+
+from repro.obs.fleet import (
+    JOURNAL_FORMAT,
+    FleetJournal,
+    JournalSchemaError,
+    format_fleet_table,
+    journal_totals,
+    read_journal,
+    render_prometheus,
+    validate_event,
+)
+
+
+class _FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+SNAPSHOT = {
+    "server": {"host": "127.0.0.1", "port": 9000, "lease_timeout": 5.0,
+               "uptime_s": 12.5, "workers": 2, "waves": 1,
+               "queued_cells": 3, "outstanding_leases": 2},
+    "stats": {"waves": 4, "batches": 9, "results": 40, "requeues": 2,
+              "expiries": 1, "hedges": 1, "degraded": 0, "bad_frames": 0},
+    "workers": {
+        "w0": {"cells": 20, "batches": 5, "cells_per_s": 8.25,
+               "heartbeat_age_s": 0.4, "idle": False},
+        "w1": {"cells": 20, "batches": 4, "cells_per_s": None,
+               "heartbeat_age_s": None, "idle": True},
+    },
+    "waves": {
+        "fig5-1": {"total": 12, "done": 9, "queued_batches": 1,
+                   "queued_cells": 3, "outstanding": 2,
+                   "oldest_heartbeat_age_s": 0.7,
+                   "counters": {"grants": 9, "requeues": 2,
+                                "degraded": 0, "hedges": 1}},
+    },
+    "cache": {"hits": 5, "misses": 7, "puts": 7, "poisoned": 1},
+}
+
+
+class TestJournal:
+    def test_header_then_events_round_trip(self, tmp_path):
+        clock = _FakeClock()
+        path = tmp_path / "journal.jsonl"
+        with FleetJournal(path, clock=clock) as journal:
+            journal.append("server.listening", port=9000)
+            clock.advance(1.5)
+            journal.append("worker.join", worker="w0")
+        header, events = read_journal(path)
+        assert header["format"] == JOURNAL_FORMAT
+        assert header["source"] == "server"
+        assert [event["kind"] for event in events] == \
+            ["server.listening", "worker.join"]
+        assert [event["seq"] for event in events] == [0, 1]
+        assert events[0]["vt"] == 0.0
+        assert events[1]["vt"] == 1.5
+        assert events[1]["worker"] == "w0"
+
+    def test_second_writer_appends_without_a_second_header(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with FleetJournal(path, source="server") as server:
+            server.append("server.listening")
+        with FleetJournal(path, source="chaos") as chaos:
+            chaos.append("chaos.kill", worker="w0")
+        header, events = read_journal(path)
+        assert header["source"] == "server"
+        assert [event["source"] for event in events] == ["server", "chaos"]
+        # Each writer numbers its own records from zero.
+        assert [event["seq"] for event in events] == [0, 0]
+
+    def test_lines_are_single_json_objects(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with FleetJournal(path) as journal:
+            journal.append("wave.submit", wave="fig5-1", cells=4)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+    def test_totals_count_requeued_cells_and_expiries(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with FleetJournal(path) as journal:
+            journal.append("lease.expired", leases=["w/1"],
+                           reason="lease expired on stall")
+            journal.append("lease.requeue", keys=["cell/0", "cell/1"])
+            journal.append("lease.requeue", keys=["cell/2"])
+        _, events = read_journal(path)
+        totals = journal_totals(events)
+        assert totals["counts"]["lease.requeue"] == 2
+        assert totals["requeued_cells"] == 3
+        assert totals["expiries"] == 1
+
+
+class TestSchema:
+    def test_missing_field_rejected(self):
+        with pytest.raises(JournalSchemaError, match="seq"):
+            validate_event({"kind": "x", "vt": 0.0, "source": "server"})
+
+    def test_bool_vt_rejected(self):
+        with pytest.raises(JournalSchemaError, match="vt"):
+            validate_event({"kind": "x", "vt": True, "seq": 0,
+                            "source": "server"})
+
+    def test_negative_vt_rejected(self):
+        with pytest.raises(JournalSchemaError, match="negative"):
+            validate_event({"kind": "x", "vt": -1.0, "seq": 0,
+                            "source": "server"})
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(JournalSchemaError, match="empty"):
+            validate_event({"kind": "", "vt": 0.0, "seq": 0,
+                            "source": "server"})
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "wrong/0"}\n')
+        with pytest.raises(JournalSchemaError, match="unknown format"):
+            read_journal(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(JournalSchemaError, match="empty journal"):
+            read_journal(path)
+
+    def test_bad_line_is_located(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with FleetJournal(path) as journal:
+            journal.append("ok")
+        with open(path, "a") as handle:
+            handle.write('{"kind": "broken"}\n')
+        with pytest.raises(JournalSchemaError, match="line 3"):
+            read_journal(path)
+
+
+class TestPrometheus:
+    def test_families_annotated_and_labelled(self):
+        text = render_prometheus(SNAPSHOT)
+        assert text.endswith("\n")
+        assert "# TYPE repro_dist_requeues_total counter" in text
+        assert "repro_dist_requeues_total 2" in text
+        assert "repro_dist_expiries_total 1" in text
+        assert "# TYPE repro_dist_workers gauge" in text
+        assert "repro_dist_workers 2" in text
+        assert 'repro_dist_worker_cells_total{worker="w0"} 20' in text
+        assert 'repro_dist_worker_cells_per_second{worker="w0"} 8.25' \
+            in text
+        assert 'repro_dist_wave_done_cells{wave="fig5-1"} 9' in text
+        assert 'repro_dist_cell_cache_events_total{event="poisoned"} 1' \
+            in text
+
+    def test_none_samples_are_skipped(self):
+        text = render_prometheus(SNAPSHOT)
+        # w1 has no throughput or heartbeat age yet: no sample, but w0's
+        # is still there so the family survives.
+        assert 'worker_cells_per_second{worker="w1"}' not in text
+        assert 'worker_heartbeat_age_seconds{worker="w1"}' not in text
+        assert 'worker_heartbeat_age_seconds{worker="w0"} 0.4' in text
+
+    def test_empty_snapshot_renders(self):
+        text = render_prometheus({})
+        assert "repro_dist" not in text or text == "\n"
+
+
+class TestStatusTable:
+    def test_renders_topology_and_counters(self):
+        text = format_fleet_table(SNAPSHOT)
+        assert "repro-dist 127.0.0.1:9000" in text
+        assert "2 worker(s), 1 live wave(s)" in text
+        assert "2 requeues, 1 expiries" in text
+        assert "cell cache: 5 hit(s), 7 miss(es), 1 poisoned" in text
+        assert "w0" in text and "busy" in text
+        assert "w1" in text and "idle" in text
+        assert "9/12" in text            # wave progress column
+
+    def test_empty_snapshot_renders(self):
+        text = format_fleet_table({})
+        assert "repro-dist" in text

@@ -106,3 +106,34 @@ class TestRenderHtml:
     def test_partial_banner(self):
         html_text = render_html(dict(MANIFEST, partial=True))
         assert "partial run" in html_text
+
+    def test_no_pipeline_section_without_ooo_metrics(self):
+        html_text = render_html(MANIFEST)
+        assert "Pipeline (out-of-order)" not in html_text
+
+    def test_pipeline_section_aggregates_ooo_cells(self):
+        buckets_a = [0] * 22
+        buckets_a[2] = 5            # 5 samples at occupancy <= 4
+        buckets_b = [0] * 22
+        buckets_b[2] = 1
+        buckets_b[4] = 3            # 3 samples at occupancy <= 16
+        manifest = dict(MANIFEST, metrics={
+            "fig5/a": {
+                "counters": {"ooo.squashes": 7,
+                             "ooo.dispatch_stalls": 100},
+                "histograms": {"ooo.rob.occupancy": {
+                    "buckets": buckets_a, "count": 5, "sum": 15}},
+            },
+            "fig5/b": {
+                "counters": {"ooo.squashes": 3},
+                "histograms": {"ooo.rob.occupancy": {
+                    "buckets": buckets_b, "count": 4, "sum": 40}},
+            },
+        })
+        html_text = render_html(manifest)
+        assert "Pipeline (out-of-order)" in html_text
+        assert "9 samples" in html_text         # 5 + 4 pooled
+        assert "ooo.squashes" in html_text      # 7 + 3 summed
+        assert ">10<" in html_text
+        assert "ooo.dispatch_stalls" in html_text
+        assert "&le;4: 6" in html_text          # bucket sum in the bar

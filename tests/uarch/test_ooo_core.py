@@ -251,6 +251,75 @@ class TestSpectreOnOoo:
         assert leaked != SECRET
 
 
+class TestPipelineCounters:
+    """The ``ooo.*`` telemetry: cheap counters behind the metrics
+    registry, spans behind their own trace categories."""
+
+    def _traced(self, source, categories=None, **kwargs):
+        from repro.obs.tracer import TraceConfig, Tracer, activate
+
+        tracer = Tracer(TraceConfig(categories=categories))
+        with activate(tracer):
+            process = _run_ooo(source, **kwargs)
+        tracer.finalize()
+        return process, tracer
+
+    def test_rob_occupancy_histogram_and_squash_counters(self):
+        _, tracer = self._traced(SPEC_LOOP)
+        snapshot = tracer.metrics.snapshot()
+        hist = snapshot["histograms"]["ooo.rob.occupancy"]
+        assert hist["count"] > 0
+        assert sum(hist["buckets"]) == hist["count"]
+        counters = snapshot["counters"]
+        assert counters["ooo.squashes"] > 0
+        assert counters["ooo.wrong_path_uops"] > 0
+        # The squash counter agrees with the PMU's own accounting.
+        process, tracer = self._traced(SPEC_LOOP)
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["ooo.wrong_path_uops"] == \
+            process.cpu.pmu.read()["squashed_instructions"]
+
+    def test_spec_window_depth_observed_per_squash(self):
+        _, tracer = self._traced(SPEC_LOOP)
+        snapshot = tracer.metrics.snapshot()
+        window = snapshot["histograms"]["ooo.spec.window"]
+        assert window["count"] == \
+            snapshot["counters"]["ooo.squashes"]
+
+    def test_ooo_spans_only_with_their_categories(self):
+        _, full = self._traced(SPEC_LOOP)
+        squashes = [r for r in full.records
+                    if r["cat"] == "ooo.squash"]
+        assert squashes, "no squash spans on a mispredicting loop"
+        for record in squashes:
+            assert record["ph"] == "X"
+            assert record["args"]["uops"] > 0
+        # Filtered down to cpu-only: counters still collected, spans
+        # suppressed — the cheap/chatty split the categories exist for.
+        _, filtered = self._traced(SPEC_LOOP, categories=("cpu",))
+        assert not [r for r in filtered.records
+                    if r["cat"].startswith("ooo.")]
+        counters = filtered.metrics.snapshot()["counters"]
+        assert counters["ooo.squashes"] > 0
+
+    def test_dispatch_stalls_counted_when_rob_saturates(self):
+        _, tracer = self._traced(SPEC_LOOP,
+                                 uarch_params=OooParams(rob_depth=2))
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters.get("ooo.dispatch_stalls", 0) > 0
+        stalls = [r for r in tracer.records
+                  if r["name"] == "ooo.dispatch.stall"]
+        assert stalls
+        assert all(r["args"]["rob"] >= 2 for r in stalls)
+
+    def test_untraced_run_is_bitwise_unchanged(self):
+        plain = _run_ooo(SPEC_LOOP)
+        traced, _ = self._traced(SPEC_LOOP)
+        assert traced.cpu.cycles == plain.cpu.cycles
+        assert traced.cpu.pmu.read() == plain.cpu.pmu.read()
+        assert plain.cpu._metrics is None
+
+
 class TestSpecCountersMatchInOrder:
     def test_squash_accounting_identical_semantics(self):
         """Both cores account the same speculation events for the same
