@@ -7,7 +7,11 @@ Commands
 ``disasm``      disassemble a workload or attack binary
 ``workloads``   list available workloads
 ``fig4/fig5/fig6/table1/hardening``  regenerate one paper artefact
-``profile``     profile a workload and dump HPC windows to CSV
+``profile``     profile a *simulated workload*: dump HPC windows to CSV
+``hotspots``    profile the *simulator itself*: cycle attribution by
+                subsystem / opcode / basic block (see docs/PROFILING.md)
+``bench``       unified bench runner + perf-trend ledger (``--trend``
+                renders sparklines and the regression verdict)
 ``smoke``       fast resilience smoke run (CI): faults + retries
 ``trace``       summarise a recorded trace (see ``--trace`` above)
 ``compare``     diff two ledger runs knob-by-knob / span-by-span
@@ -43,6 +47,28 @@ EXIT_BUDGET = 3
 EXIT_PARTIAL = 4
 EXIT_GATE = 5
 EXIT_UNREACHABLE = 6
+
+
+#: Scaled-down knob overlays: ``--quick`` runs and every profiled
+#: ``repro hotspots --experiment`` run (the instrumented step loop pays
+#: an order of magnitude per instruction, so hotspot attribution always
+#: samples at quick scale — the *shape* of the profile is what matters).
+QUICK_KNOBS = {
+    "fig4": dict(benign_per_host=60, attack_per_variant=20,
+                 variants=("v1",)),
+    "fig5": dict(attempts=3, training_benign=90,
+                 training_attack=90, attempt_samples=24,
+                 attempt_benign=8),
+    "fig6": dict(attempts=3, training_benign=90,
+                 training_attack=90, attempt_samples=24,
+                 attempt_benign=8),
+    "table1": dict(repetitions=1,
+                   rows=(("Math", "basicmath", (60,)),
+                         ("SHA 1", "sha", (10,)))),
+    "hardening": dict(train_variant_counts=(0, 2),
+                      holdout_variants=2, samples_per_variant=20,
+                      training_benign=80, training_attack=60),
+}
 
 
 def _add_seed(parser):
@@ -136,6 +162,24 @@ def _add_exec(parser):
         "--dist-deadline", type=float, default=10.0, metavar="S",
         help="seconds to keep retrying an unreachable dist server "
              "before degrading (or failing; default 10)",
+    )
+
+
+def _add_hotspots(parser):
+    from repro.obs import SUBSYSTEMS
+
+    parser.add_argument(
+        "--hotspots", action="store_true",
+        help="self-profile the simulator while it runs this "
+             "experiment: per-subsystem cycle attribution, opcode and "
+             "basic-block hotness, summarised after the run and "
+             "recorded in the manifest (instrumented loop; see "
+             "docs/PROFILING.md)",
+    )
+    parser.add_argument(
+        "--hotspots-filter", metavar="SUBSYSTEMS", default=None,
+        help="comma-separated subsystems to export (subset of "
+             f"{','.join(SUBSYSTEMS)}; default: all)",
     )
 
 
@@ -287,6 +331,7 @@ def build_parser():
         _add_resilience(p)
         _add_exec(p)
         _add_trace(p)
+        _add_hotspots(p)
         _add_ledger(p)
         if name == "table1":
             p.add_argument(
@@ -294,11 +339,81 @@ def build_parser():
                 help="per-measurement instruction watchdog",
             )
 
-    p = sub.add_parser("profile", help="dump a workload's HPC windows")
+    p = sub.add_parser(
+        "profile",
+        help="profile a simulated workload: dump its HPC windows to "
+             "CSV (the HID feature pipeline's input; to profile the "
+             "simulator itself, see 'repro hotspots')",
+    )
     p.add_argument("--workload", default="basicmath")
     p.add_argument("--samples", type=int, default=50)
     p.add_argument("--output", default="traces.csv")
     _add_seed(p)
+
+    p = sub.add_parser(
+        "hotspots",
+        help="profile the simulator itself: virtual-cycle attribution "
+             "by subsystem, per-opcode tables and basic-block hotness "
+             "(the simulated workload's profiler is 'repro profile')",
+    )
+    p.add_argument("--workload", default="basicmath",
+                   help="workload to simulate under the profiler "
+                        "(default: basicmath)")
+    p.add_argument("--iterations", type=int, default=2000, metavar="N",
+                   help="workload iterations (default 2000; the "
+                        "instrumented loop is slow by design)")
+    p.add_argument("--experiment", default=None,
+                   choices=("fig4", "fig5", "fig6", "table1",
+                            "hardening"),
+                   help="profile a whole experiment sweep (at --quick "
+                        "scale) instead of one workload")
+    p.add_argument("--uarch", default="inorder", choices=sorted(UARCHS),
+                   help="CPU microarchitecture (default: inorder)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for --experiment sweeps "
+                        "(profiles are bit-identical either way)")
+    p.add_argument("--top", type=int, default=15, metavar="N",
+                   help="rows per hotspot table (default 15)")
+    p.add_argument("--filter", metavar="SUBSYSTEMS", default=None,
+                   help="comma-separated subsystems to export "
+                        "(default: all)")
+    p.add_argument("--collapsed", action="store_true",
+                   help="emit flamegraph.pl collapsed-stack lines "
+                        "instead of tables")
+    p.add_argument("--by", default="subsystem",
+                   choices=("subsystem", "opcode", "block"),
+                   help="leaf frame dimension for --collapsed "
+                        "(default: subsystem)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the merged profile snapshot as JSON")
+    _add_seed(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="unified bench runner + perf-trend ledger: run a suite "
+             "and append one row to benchmarks/history.jsonl; --trend "
+             "renders per-metric sparklines and the regression verdict "
+             "(exit 5 on regression, like 'repro gate')",
+    )
+    from repro.obs.bench import SUITES as _BENCH_SUITES
+
+    p.add_argument("--suite", default="core",
+                   choices=(*_BENCH_SUITES, "all"),
+                   help="bench suite to run (default: core)")
+    p.add_argument("--quick", action="store_true",
+                   help="scaled-down measurement (noisier; recorded "
+                        "as quick=true in the history row)")
+    p.add_argument("--history", metavar="FILE", default=None,
+                   help="history ledger path (default: "
+                        "benchmarks/history.jsonl in the checkout)")
+    p.add_argument("--trend", action="store_true",
+                   help="render the trend from the history and check "
+                        "the latest rows against the committed "
+                        "baselines instead of running a suite")
+    p.add_argument("--last", type=int, default=20, metavar="N",
+                   help="history rows per sparkline (default 20)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the appended row(s) as JSON")
 
     p = sub.add_parser(
         "trace",
@@ -575,22 +690,7 @@ def cmd_experiment(args):
     kwargs = {"seed": args.seed,
               "uarch": getattr(args, "uarch", "inorder")}
     if getattr(args, "quick", False):
-        kwargs.update({
-            "fig4": dict(benign_per_host=60, attack_per_variant=20,
-                         variants=("v1",)),
-            "fig5": dict(attempts=3, training_benign=90,
-                         training_attack=90, attempt_samples=24,
-                         attempt_benign=8),
-            "fig6": dict(attempts=3, training_benign=90,
-                         training_attack=90, attempt_samples=24,
-                         attempt_benign=8),
-            "table1": dict(repetitions=1,
-                           rows=(("Math", "basicmath", (60,)),
-                                 ("SHA 1", "sha", (10,)))),
-            "hardening": dict(train_variant_counts=(0, 2),
-                              holdout_variants=2, samples_per_variant=20,
-                              training_benign=80, training_attack=60),
-        }[args.command])
+        kwargs.update(QUICK_KNOBS[args.command])
     if args.resume is not None:
         kwargs["checkpoint"] = args.resume
     faults = _build_faults(args)
@@ -611,6 +711,23 @@ def cmd_experiment(args):
         trace_config = TraceConfig(categories=categories)
         kwargs["trace"] = trace_config
         kwargs["traces"] = traces
+    profile_config = None
+    profiles = {}
+    if getattr(args, "hotspots", False):
+        from repro.obs import ProfileConfig, parse_profile_filter
+
+        try:
+            subsystems = parse_profile_filter(
+                getattr(args, "hotspots_filter", None)
+            )
+        except ValueError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        profile_config = ProfileConfig(subsystems=subsystems)
+        kwargs["profile"] = profile_config
+        kwargs["profiles"] = profiles
+    phases = {}
+    kwargs["phases"] = phases
     if getattr(args, "list_cells", False):
         from repro.exec import describe_plan
 
@@ -701,6 +818,14 @@ def cmd_experiment(args):
     wall_s = time.monotonic() - tick
     print(result.format())
 
+    merged_profile = None
+    if profile_config is not None:
+        from repro.obs import format_hotspots, merge_profiles
+
+        merged_profile = merge_profiles(profiles)
+        print()
+        print(format_hotspots(merged_profile, top=10))
+
     trace_files = None
     if trace_config is not None:
         from repro.obs import write_trace_files
@@ -726,9 +851,14 @@ def cmd_experiment(args):
             statuses=getattr(result, "cell_status", None),
             trace_files=trace_files,
             trace_root=os.path.join(ledger_dir, run_id),
+            profile=merged_profile,
             timing={
                 "wall_s": round(wall_s, 3),
                 "started_at": round(started_at, 3),
+                # Per-phase executor breakdown (schedule / ipc /
+                # compute / cache_lookup / merge) — wall clock, so
+                # volatile like the rest of this section.
+                "phases": dict(phases),
                 # Volatile by design (like everything in timing): a
                 # dist run and the serial reference must compare clean,
                 # whichever backend did the work and however many
@@ -768,6 +898,139 @@ def cmd_profile(args):
     count = save_samples(samples, args.output)
     print(f"wrote {count} windows x 56 events to {args.output}")
     return 0
+
+
+def cmd_hotspots(args):
+    """Self-profile the simulator (``repro hotspots``).
+
+    Two modes: one workload under the ambient profiler (default), or a
+    whole experiment sweep at quick scale with ``--experiment`` (each
+    cell profiles itself; the per-cell snapshots merge
+    deterministically).  Tables by default; ``--collapsed`` emits
+    flamegraph.pl input, ``--json`` the merged snapshot.
+    """
+    from repro.obs import (
+        ProfileConfig,
+        Profiler,
+        activate_profile,
+        collapsed_stack,
+        format_hotspots,
+        merge_profiles,
+        parse_profile_filter,
+    )
+    from repro.obs.prof import DEFAULT_TOP_BLOCKS
+
+    try:
+        subsystems = parse_profile_filter(args.filter)
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    config = ProfileConfig(
+        subsystems=subsystems,
+        top_blocks=max(args.top, DEFAULT_TOP_BLOCKS),
+    )
+
+    if args.experiment:
+        from repro.core.experiments import run_fig4, run_fig5, \
+            run_fig6, run_hardening, run_table1
+
+        runner = {
+            "fig4": run_fig4,
+            "fig5": run_fig5,
+            "fig6": run_fig6,
+            "table1": run_table1,
+            "hardening": run_hardening,
+        }[args.experiment]
+        profiles = {}
+        kwargs = {"seed": args.seed, "uarch": args.uarch,
+                  "profile": config, "profiles": profiles}
+        kwargs.update(QUICK_KNOBS[args.experiment])
+        jobs = args.jobs or 1
+        if jobs > 1:
+            from repro.exec import ProcessPoolBackend
+
+            jobs = max(2, jobs)
+            kwargs["backend"] = ProcessPoolBackend(jobs)
+            kwargs["jobs"] = jobs
+        result = runner(**kwargs)
+        # The experiment's own summary goes to stderr so stdout stays
+        # clean for --collapsed / --json pipelines.
+        print(result.format(), file=sys.stderr)
+    else:
+        from repro.kernel import System
+        from repro.workloads import get_workload
+
+        profiler = Profiler(config)
+        with activate_profile(profiler):
+            system = System(seed=args.seed, uarch=args.uarch)
+            system.install_binary(
+                "/bin/w",
+                get_workload(args.workload).build(
+                    iterations=args.iterations
+                ),
+            )
+            system.spawn("/bin/w")
+            system.run()
+        profiles = {args.workload: profiler.snapshot()}
+
+    if args.collapsed:
+        sys.stdout.write(collapsed_stack(profiles, by=args.by))
+        return EXIT_OK
+    merged = merge_profiles(profiles)
+    if args.json:
+        import json
+
+        print(json.dumps(merged, sort_keys=True, indent=1))
+        return EXIT_OK
+    print(format_hotspots(merged, top=args.top))
+    return EXIT_OK
+
+
+def cmd_bench(args):
+    """Unified bench runner and perf-trend ledger (``repro bench``)."""
+    from repro.obs.bench import (
+        SUITES,
+        append_history,
+        build_row,
+        check_regression,
+        default_history_path,
+        format_metrics,
+        read_history,
+        render_trend,
+        run_suite,
+    )
+
+    history = args.history or default_history_path()
+    if args.trend:
+        rows = read_history(history)
+        print(render_trend(rows, last=args.last))
+        failures = check_regression(rows)
+        if failures:
+            print()
+            for failure in failures:
+                print(f"regression: {failure}")
+            return EXIT_GATE
+        if rows:
+            print("\nverdict: no regressions vs committed baselines")
+        return EXIT_OK
+
+    suites = SUITES if args.suite == "all" else (args.suite,)
+    rows = []
+    for suite in suites:
+        knobs, metrics = run_suite(suite, quick=args.quick)
+        row = build_row(suite, knobs, metrics, quick=args.quick)
+        append_history(history, row)
+        rows.append(row)
+        if not args.json:
+            print(format_metrics(suite, knobs, metrics))
+            print()
+    if args.json:
+        import json
+
+        print(json.dumps(rows if len(rows) > 1 else rows[0],
+                         sort_keys=True, indent=1))
+    print(f"history: {history} (+{len(rows)} row(s))", file=sys.stderr)
+    return EXIT_OK
 
 
 def cmd_trace(args):
@@ -1096,6 +1359,8 @@ def main(argv=None):
         "table1": cmd_experiment,
         "hardening": cmd_experiment,
         "profile": cmd_profile,
+        "hotspots": cmd_hotspots,
+        "bench": cmd_bench,
         "smoke": cmd_smoke,
         "trace": cmd_trace,
         "compare": cmd_compare,

@@ -188,13 +188,13 @@ def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
              classifier="mlp", benign_per_host=150, attack_per_variant=50,
              variants=("v1", "rsb", "sbo"), checkpoint=None, faults=None,
              jobs=1, backend=None, progress=None, trace=None,
-             traces=None, timings=None, cell_cache=None,
-             uarch="inorder"):
+             traces=None, timings=None, cell_cache=None, profile=None,
+             profiles=None, phases=None, uarch="inorder"):
     """Regenerate Figure 4.  Returns a :class:`Fig4Result`."""
     store = open_checkpoint(checkpoint, "fig4", fig4_meta(
         seed, hosts, feature_sizes, classifier, benign_per_host,
         attack_per_variant, variants, uarch,
-    ), trace=trace)
+    ), trace=trace, profile=profile)
     plan = plan_fig4(seed, hosts, feature_sizes, classifier,
                      benign_per_host, attack_per_variant, variants,
                      faults=faults, uarch=uarch)
@@ -204,7 +204,9 @@ def run_fig4(seed=0, hosts=FIG4_HOSTS, feature_sizes=FEATURE_SIZES,
                            backend=backend or backend_for(jobs),
                            progress=progress,
                            trace=trace, traces=traces, metrics=metrics,
-                           timings=timings, cell_cache=cell_cache)
+                           timings=timings, cell_cache=cell_cache,
+                           profile=profile, profiles=profiles,
+                           phases=phases)
     accuracies = {}
     for host in hosts:
         value = results.get(f"host/{host}")

@@ -283,13 +283,13 @@ def run_fig5(seed=0, host="basicmath", attempts=10,
              training_attack=240, attempt_samples=60, attempt_benign=20,
              scenario=None, training=None, checkpoint=None, faults=None,
              jobs=1, backend=None, progress=None, trace=None,
-             traces=None, timings=None, cell_cache=None,
-             uarch="inorder"):
+             traces=None, timings=None, cell_cache=None, profile=None,
+             profiles=None, phases=None, uarch="inorder"):
     """Regenerate Figure 5.  Returns a :class:`Fig5Result`."""
     store = open_checkpoint(checkpoint, "fig5", fig5_meta(
         seed, host, attempts, detector_names, training_benign,
         training_attack, attempt_samples, attempt_benign, uarch,
-    ), trace=trace)
+    ), trace=trace, profile=profile)
     plan = plan_fig5(seed, host, attempts, detector_names,
                      training_benign, training_attack, attempt_samples,
                      attempt_benign, scenario=scenario, training=training,
@@ -300,7 +300,9 @@ def run_fig5(seed=0, host="basicmath", attempts=10,
                            backend=backend or backend_for(jobs),
                            progress=progress,
                            trace=trace, traces=traces, metrics=metrics,
-                           timings=timings, cell_cache=cell_cache)
+                           timings=timings, cell_cache=cell_cache,
+                           profile=profile, profiles=profiles,
+                           phases=phases)
 
     search = results.get("search")
     if search is None:

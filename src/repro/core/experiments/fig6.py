@@ -284,8 +284,8 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
              training_attack=240, attempt_samples=60, attempt_benign=15,
              audit_every=3, scenario=None, training=None, checkpoint=None,
              faults=None, jobs=1, backend=None, progress=None, trace=None,
-             traces=None, timings=None, cell_cache=None,
-             uarch="inorder"):
+             traces=None, timings=None, cell_cache=None, profile=None,
+             profiles=None, phases=None, uarch="inorder"):
     """Regenerate Figure 6.  Returns a :class:`Fig6Result`.
 
     ``audit_every``: every k-th attempt the defender's analysts audit
@@ -297,7 +297,7 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
         seed, host, attempts, detector_names, training_benign,
         training_attack, attempt_samples, attempt_benign, audit_every,
         uarch,
-    ), trace=trace)
+    ), trace=trace, profile=profile)
     plan = plan_fig6(seed, host, attempts, detector_names,
                      training_benign, training_attack, attempt_samples,
                      attempt_benign, audit_every, scenario=scenario,
@@ -308,7 +308,9 @@ def run_fig6(seed=0, host="basicmath", attempts=10,
                            backend=backend or backend_for(jobs),
                            progress=progress,
                            trace=trace, traces=traces, metrics=metrics,
-                           timings=timings, cell_cache=cell_cache)
+                           timings=timings, cell_cache=cell_cache,
+                           profile=profile, profiles=profiles,
+                           phases=phases)
 
     phase_b_value = results.get("crspectre")
     if phase_b_value is None:

@@ -224,6 +224,7 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
                   attempt_benign=15, scenario=None, checkpoint=None,
                   faults=None, jobs=1, backend=None, progress=None,
                   trace=None, traces=None, timings=None, cell_cache=None,
+                  profile=None, profiles=None, phases=None,
                   uarch="inorder"):
     """Run the adversarial-training ablation.
 
@@ -235,7 +236,7 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
         seed, classifier, train_variant_counts, holdout_variants,
         samples_per_variant, training_benign, training_attack,
         attempt_benign, uarch,
-    ), trace=trace)
+    ), trace=trace, profile=profile)
     plan = plan_hardening(seed, classifier, train_variant_counts,
                           holdout_variants, samples_per_variant,
                           training_benign, training_attack, attempt_benign,
@@ -246,7 +247,9 @@ def run_hardening(seed=0, classifier="mlp", train_variant_counts=(0, 2, 4, 8),
                            backend=backend or backend_for(jobs),
                            progress=progress,
                            trace=trace, traces=traces, metrics=metrics,
-                           timings=timings, cell_cache=cell_cache)
+                           timings=timings, cell_cache=cell_cache,
+                           profile=profile, profiles=profiles,
+                           phases=phases)
     accuracy_by_k = {}
     for k in train_variant_counts:
         value = results.get(f"k/{k}")

@@ -308,7 +308,8 @@ def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
                repetitions=3, quantum=10_000, checkpoint=None,
                measurement_budget=None, faults=None, jobs=1,
                backend=None, progress=None, trace=None, traces=None,
-               timings=None, cell_cache=None, uarch="inorder"):
+               timings=None, cell_cache=None, profile=None,
+               profiles=None, phases=None, uarch="inorder"):
     """Regenerate Table I.  Returns a :class:`Table1Result`.
 
     ``repetitions`` mirrors the paper's averaging over repeated runs
@@ -321,7 +322,7 @@ def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
     """
     store = open_checkpoint(checkpoint, "table1", table1_meta(
         seed, rows, secret, repetitions, quantum, uarch,
-    ), trace=trace)
+    ), trace=trace, profile=profile)
     plan = plan_table1(seed, rows, secret, repetitions, quantum,
                        measurement_budget=measurement_budget,
                        faults=faults, uarch=uarch)
@@ -331,7 +332,9 @@ def run_table1(seed=0, rows=TABLE1_ROWS, secret=b"TheMagicWords!!!",
                            backend=backend or backend_for(jobs),
                            progress=progress,
                            trace=trace, traces=traces, metrics=metrics,
-                           timings=timings, cell_cache=cell_cache)
+                           timings=timings, cell_cache=cell_cache,
+                           profile=profile, profiles=profiles,
+                           phases=phases)
     result_rows = []
     for label, _workload, _iterations in rows:
         value = results.get(f"row/{label}")

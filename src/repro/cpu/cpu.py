@@ -50,7 +50,9 @@ from repro.errors import (
 from repro.isa.encoding import INSTRUCTION_SIZE, decode
 from repro.isa.opcodes import Opcode
 from repro.mem.tlb import Tlb
+from repro.obs.prof import current_profiler
 from repro.obs.tracer import current_tracer
+from time import perf_counter
 
 MASK32 = 0xFFFFFFFF
 
@@ -236,6 +238,13 @@ class Cpu:
             self._tr_cpu = None
             self._tr_kernel = None
             self._step_trace = False
+        # Profiling binds the same way: resolved once here, and only an
+        # enabled *and active* profiler diverts run() off the fast loop.
+        # The disabled default (and the fully-filtered config) leaves
+        # self._prof None, so the fast path is untouched.
+        profiler = current_profiler()
+        self._prof = (profiler if profiler.enabled
+                      and profiler.config.active else None)
 
     def _cycles_now(self):
         """This CPU's virtual clock, as read by its trace channels."""
@@ -693,6 +702,78 @@ class Cpu:
             watchdog.charge(executed % stride)
         return executed
 
+    def _run_profiled(self, max_instructions=None):
+        """The step()-driven run loop with per-instruction attribution.
+
+        Like :meth:`_run_traced`, this keeps architectural state live in
+        the object after every instruction — run ≡ step bit-exactness
+        means profiling observes the run without perturbing it.  Around
+        each step() we snapshot the virtual clock, the memory-stall and
+        mispredict-penalty counters, the decode cache and the tracer's
+        emission ordinal; the deltas feed the ambient profiler's
+        subsystem buckets, opcode table and basic-block runs.
+        """
+        prof = self._prof
+        state = self.state
+        counters = self.pmu.counters
+        dcache = self._decode_cache
+        tracer = self._tracer
+        size = INSTRUCTION_SIZE
+        stride = self.WATCHDOG_STRIDE
+        watchdog = self.watchdog
+        executed = 0
+        blk_start = -1
+        blk_instr = 0
+        blk_cycles = 0.0
+        prev_pc = -1
+        try:
+            while not state.halted:
+                if (max_instructions is not None
+                        and executed >= max_instructions):
+                    break
+                pc = state.pc
+                entry = dcache.get(pc)
+                missed = entry is None
+                cycles0 = self.cycles
+                mem0 = counters["memory_stall_cycles"]
+                br0 = counters["mispredict_penalty_cycles"]
+                seq0 = tracer._seq if tracer is not None else 0
+                wall0 = perf_counter()
+                self.step()
+                wall = perf_counter() - wall0
+                if entry is None:
+                    # decoded during the step (and still cached unless
+                    # an execve flushed it mid-instruction)
+                    entry = dcache.get(pc)
+                op = entry[0] if entry is not None else -1
+                delta = self.cycles - cycles0
+                prof.instruction(
+                    op, delta,
+                    counters["memory_stall_cycles"] - mem0,
+                    counters["mispredict_penalty_cycles"] - br0,
+                    missed, wall,
+                    (tracer._seq - seq0) if tracer is not None else 0,
+                )
+                if blk_start < 0:
+                    blk_start = pc
+                elif pc != (prev_pc + size) & MASK32:
+                    prof.block(blk_start, prev_pc, blk_instr, blk_cycles)
+                    blk_start = pc
+                    blk_instr = 0
+                    blk_cycles = 0.0
+                blk_instr += 1
+                blk_cycles += delta
+                prev_pc = pc
+                executed += 1
+                if watchdog is not None and executed % stride == 0:
+                    watchdog.charge(stride)
+        finally:
+            if blk_start >= 0 and blk_instr:
+                prof.block(blk_start, prev_pc, blk_instr, blk_cycles)
+        if watchdog is not None and executed % stride:
+            watchdog.charge(executed % stride)
+        return executed
+
     def run(self, max_instructions=None):
         """Run until halt (or *max_instructions*); returns retired count.
 
@@ -711,6 +792,8 @@ class Cpu:
         around every syscall (whose handler may remap the address space
         and *replace* ``state.regs``, so the loop re-reads them after).
         """
+        if self._prof is not None:
+            return self._run_profiled(max_instructions)
         if self._step_trace:
             return self._run_traced(max_instructions)
 

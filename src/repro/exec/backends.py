@@ -19,11 +19,13 @@ Both backends speak the same outcome protocol, produced by
 so the runner upstream cannot tell them apart — which is the point.
 """
 
+import contextlib
 import time
 
 from repro.core.resilience import RECOVERABLE
 from repro.core.resilience.checkpoint import error_chain
 from repro.errors import WorkerCrashError
+from repro.obs.prof import Profiler, activate_profile
 from repro.obs.tracer import Tracer, activate
 
 
@@ -36,25 +38,33 @@ def invoke_cell(fn, kwargs, faults_kw=None, trace=None):
     fault injector's fired counts ride along so the driver can fold
     them into the root injector's telemetry.
 
-    *trace* (``{"config": TraceConfig, "key": ..., "seed": ...}``)
-    activates a per-cell :class:`~repro.obs.Tracer` around the body;
-    the recorded spans and the metrics snapshot travel back in the
-    outcome — they are virtual-timed, so the driver merges identical
-    traces whether the cell ran here or in a pool worker.
+    *trace* (``{"config": TraceConfig | None, "key": ..., "seed": ...,
+    "profile": ProfileConfig | None}``) activates a per-cell
+    :class:`~repro.obs.Tracer` and/or :class:`~repro.obs.prof.Profiler`
+    around the body; recorded spans, the metrics snapshot and the
+    profile travel back in the outcome — all virtual-timed (the
+    profile's wall section aside), so the driver merges identical
+    payloads whether the cell ran here, in a pool worker, or on a dist
+    worker.
     """
     injector = kwargs.get(faults_kw) if faults_kw else None
     tracer = None
+    profiler = None
     if trace is not None:
-        tracer = Tracer(trace["config"])
-        tracer.begin("exec.cell", "exec", key=trace["key"],
-                     seed=f"{trace['seed']:016x}")
+        if trace.get("config") is not None:
+            tracer = Tracer(trace["config"])
+            tracer.begin("exec.cell", "exec", key=trace["key"],
+                         seed=f"{trace['seed']:016x}")
+        if trace.get("profile") is not None:
+            profiler = Profiler(trace["profile"])
     started = time.monotonic()
     try:
-        if tracer is None:
+        with contextlib.ExitStack() as stack:
+            if tracer is not None:
+                stack.enter_context(activate(tracer))
+            if profiler is not None:
+                stack.enter_context(activate_profile(profiler))
             value = fn(**kwargs)
-        else:
-            with activate(tracer):
-                value = fn(**kwargs)
         outcome = {"status": "ok", "value": value}
     except Exception as exc:
         outcome = {
@@ -73,6 +83,8 @@ def invoke_cell(fn, kwargs, faults_kw=None, trace=None):
         tracer.finalize()
         outcome["trace"] = tracer.records
         outcome["metrics"] = tracer.metrics.snapshot()
+    if profiler is not None:
+        outcome["profile"] = profiler.snapshot()
     return outcome
 
 

@@ -91,6 +91,21 @@ class SweepProgress:
         )
         print(line, file=self.stream, flush=True)
 
+    def phases(self, breakdown):
+        """One end-of-sweep line: where execute_plan's wall time went.
+
+        *breakdown* maps phase name (schedule / cache_lookup / compute /
+        ipc / merge) to seconds; zero phases are elided so a serial
+        untraced sweep prints a short line.
+        """
+        parts = [f"{name} {seconds:.2f}s"
+                 for name, seconds in breakdown.items()
+                 if seconds >= 0.005]
+        if not parts:
+            return
+        print(f"{self.experiment}: phases: " + ", ".join(parts),
+              file=self.stream, flush=True)
+
     def event(self, kind, **info):
         """Out-of-band executor events on their own lines.
 

@@ -238,14 +238,26 @@ def describe_job(job):
         "faults": faults,
     }
     if trace is not None:
-        config = trace["config"]
-        described["trace"] = {
+        config = trace.get("config")
+        spec = {
             "key": trace["key"],
             "seed": trace["seed"],
-            "categories": (None if config.categories is None
-                           else sorted(config.categories)),
-            "max_records": config.max_records,
+            "categories": None,
+            "max_records": None,
+            "traced": config is not None,
         }
+        if config is not None:
+            spec["categories"] = (None if config.categories is None
+                                  else sorted(config.categories))
+            spec["max_records"] = config.max_records
+        prof = trace.get("profile")
+        if prof is not None:
+            spec["profile"] = {
+                "subsystems": (None if prof.subsystems is None
+                               else sorted(prof.subsystems)),
+                "top_blocks": prof.top_blocks,
+            }
+        described["trace"] = spec
     try:
         json.dumps(described)
     except (TypeError, ValueError) as exc:
@@ -271,16 +283,30 @@ def rebuild_job(described):
     trace = None
     spec = described.get("trace")
     if spec is not None:
-        from repro.obs import TraceConfig
+        config = None
+        # Envelopes from pre-profile peers have no "traced" flag but
+        # always carried a live config; default accordingly.
+        if spec.get("traced", True):
+            from repro.obs import TraceConfig
 
-        trace = {
-            "config": TraceConfig(
+            config = TraceConfig(
                 categories=(None if spec["categories"] is None
                             else tuple(spec["categories"])),
                 max_records=spec["max_records"],
-            ),
+            )
+        trace = {
+            "config": config,
             "key": spec["key"],
             "seed": spec["seed"],
         }
+        prof = spec.get("profile")
+        if prof is not None:
+            from repro.obs.prof import ProfileConfig
+
+            trace["profile"] = ProfileConfig(
+                subsystems=(None if prof["subsystems"] is None
+                            else tuple(prof["subsystems"])),
+                top_blocks=prof["top_blocks"],
+            )
     return (described["key"], resolve_fn(described["fn"]), kwargs,
             faults_kw, trace)

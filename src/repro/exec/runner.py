@@ -18,6 +18,7 @@ order cells actually finished in.
 """
 
 import json
+import time
 
 from repro.core.resilience import (
     CELL_CACHED,
@@ -102,7 +103,8 @@ def _unwrap(stored):
 
 def execute_plan(plan, store=None, statuses=None, backend=None,
                  progress=None, trace=None, traces=None, metrics=None,
-                 timings=None, cell_cache=None):
+                 timings=None, cell_cache=None, profile=None,
+                 profiles=None, phases=None):
     """Run every cell of *plan*; returns ``{cell key: value-or-None}``.
 
     *statuses* (dict) receives ``key -> {"status": ..., "error": ...}``
@@ -134,6 +136,22 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
     trace records — so a warm run compares byte-identical to the cold
     run that populated the cache.  Fault-armed plans bypass the cache
     entirely.
+
+    *profile* (a :class:`~repro.obs.prof.ProfileConfig`) arms per-cell
+    self-profiling: each cell body runs under its own
+    :class:`~repro.obs.prof.Profiler` and the caller-supplied
+    *profiles* dict receives ``key -> snapshot`` in declaration order.
+    Everything but the snapshot's ``wall`` section is deterministic
+    across backends.  Profiled runs bypass the cell cache (a memoized
+    value has no profile to replay) and profiles are not checkpointed.
+
+    *phases* (dict) receives a wall-clock breakdown of where
+    ``execute_plan`` itself spent its time — ``schedule`` (building
+    waves/jobs), ``cache_lookup`` (cell-cache digests + lookups),
+    ``compute`` (summed cell bodies), ``ipc`` (backend round-trip
+    residue; approximate under parallelism, where compute overlaps),
+    ``merge`` (absorbing outcomes, persisting, final distribution).
+    Volatile by nature — manifests keep it under ``timing``.
     """
     backend = backend or SerialBackend()
     if plan.has_local_cells and backend.concurrent:
@@ -153,9 +171,14 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
     cell_traces = {}
     cell_metrics = {}
     cell_elapsed = {}
+    cell_profiles = {}
     digests = {}
     tracing = trace is not None
-    memoizing = cell_cache is not None and plan.faults is None
+    profiling = profile is not None and profile.active
+    memoizing = (cell_cache is not None and plan.faults is None
+                 and not profiling)
+    phase_acc = {"schedule": 0.0, "cache_lookup": 0.0, "compute": 0.0,
+                 "ipc": 0.0, "merge": 0.0}
 
     def persist(key, payload):
         if store is None:
@@ -177,6 +200,8 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
 
     try:
         for wave in plan.waves():
+            build0 = time.monotonic()
+            cache0 = phase_acc["cache_lookup"]
             jobs = []
             for cell in wave:
                 # A failed or skipped dependency (None sentinel) skips
@@ -201,11 +226,14 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
                 if cell.seed_kw is not None:
                     kwargs.setdefault(cell.seed_kw, cell.seed)
                 if memoizing and cell.persist and not cell.local:
+                    lookup0 = time.monotonic()
                     digest = cell_cache.digest(
                         plan.experiment, cell.key, cell.seed, cell.fn,
                         kwargs, trace
                     )
                     memo = cell_cache.lookup(digest)
+                    phase_acc["cache_lookup"] += (time.monotonic()
+                                                  - lookup0)
                     if memo is not None:
                         value, memo_trace, memo_metrics = memo
                         results[cell.key] = value
@@ -228,14 +256,25 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
                         cell.faults_kw, plan.faults.derive(cell.seed)
                     )
                 cell_trace = None
-                if tracing:
+                if tracing or profiling:
                     cell_trace = {"config": trace, "key": cell.key,
-                                  "seed": cell.seed}
+                                  "seed": cell.seed,
+                                  "profile": profile if profiling
+                                  else None}
                 jobs.append((cell.key, cell.fn, kwargs, cell.faults_kw,
                              cell_trace))
 
+            phase_acc["schedule"] += (
+                time.monotonic() - build0
+                - (phase_acc["cache_lookup"] - cache0)
+            )
             persist_flags = {cell.key: cell.persist for cell in wave}
+            wave0 = time.monotonic()
+            merge_wave = 0.0
+            compute_wave = 0.0
             for key, outcome in backend.run_wave(jobs):
+                merge0 = time.monotonic()
+                compute_wave += outcome.get("elapsed", 0.0)
                 if plan.faults is not None and outcome.get("fired"):
                     plan.faults.absorb(outcome["fired"])
                 snapshot = None
@@ -245,6 +284,10 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
                     cell_traces[key] = _roundtrip(outcome["trace"])
                     snapshot = _roundtrip(outcome["metrics"])
                     cell_metrics[key] = snapshot
+                if "profile" in outcome:
+                    # Same round-trip discipline: a serial profile and a
+                    # dist-frame profile must compare byte-identical.
+                    cell_profiles[key] = _roundtrip(outcome["profile"])
                 if outcome["status"] == "ok":
                     value = _roundtrip(outcome["value"])
                     results[key] = value
@@ -272,11 +315,19 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
                 cell_elapsed[key] = outcome.get("elapsed", 0.0)
                 note(key, recorded[key]["status"],
                      cell_elapsed[key], snapshot)
+                merge_wave += time.monotonic() - merge0
+            wave_wall = time.monotonic() - wave0
+            phase_acc["merge"] += merge_wave
+            residue = wave_wall - merge_wave - compute_wave
+            if residue > 0:
+                phase_acc["ipc"] += residue
+            phase_acc["compute"] += compute_wave
     finally:
         backend.close()
         if store is not None and backend.concurrent:
             store.consolidate()
 
+    merge0 = time.monotonic()
     for cell in plan:
         if cell.key in recorded:
             statuses[cell.key] = recorded[cell.key]
@@ -286,6 +337,18 @@ def execute_plan(plan, store=None, statuses=None, backend=None,
             metrics[cell.key] = cell_metrics[cell.key]
         if timings is not None and cell.key in cell_elapsed:
             timings[cell.key] = cell_elapsed[cell.key]
+        if profiles is not None and cell.key in cell_profiles:
+            profiles[cell.key] = cell_profiles[cell.key]
+    phase_acc["merge"] += time.monotonic() - merge0
+    if phases is not None:
+        phases.update(
+            {name: round(seconds, 6)
+             for name, seconds in phase_acc.items()}
+        )
+    if progress is not None:
+        phases_cb = getattr(progress, "phases", None)
+        if phases_cb is not None:
+            phases_cb(phase_acc)
     return results
 
 

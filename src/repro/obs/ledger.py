@@ -146,7 +146,7 @@ def _result_section(result, method):
 
 def build_manifest(experiment, config, result, plan=None, statuses=None,
                    trace_files=None, trace_root=None, timing=None,
-                   repo_root="."):
+                   repo_root=".", profile=None):
     """Assemble one run's manifest dict (see the module docstring).
 
     *config* is the resolved knob dict (the checkpoint ``meta``),
@@ -157,6 +157,12 @@ def build_manifest(experiment, config, result, plan=None, statuses=None,
     volatile section).  Sink paths under *trace_root* (normally the
     run's ledger directory) are recorded relative to it, so manifests
     do not depend on where the ledger lives on disk.
+
+    *profile* is a merged self-profiler snapshot
+    (:func:`repro.obs.prof.merge_profiles`); only its deterministic
+    sections are stored — the wall-clock part belongs in *timing* —
+    so a profiled manifest still compares byte-identical across
+    backends.
     """
     statuses = statuses if statuses is not None else getattr(
         result, "cell_status", {}
@@ -204,6 +210,10 @@ def build_manifest(experiment, config, result, plan=None, statuses=None,
         "traces": traces,
         "timing": dict(timing or {}),
     }
+    if profile is not None:
+        from repro.obs.prof import strip_profile_volatile
+
+        manifest["profile"] = strip_profile_volatile(profile)
     return manifest
 
 

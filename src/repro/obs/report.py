@@ -236,6 +236,104 @@ def _pipeline_section(manifest):
     return parts
 
 
+#: Stable subsystem colours for the hotspots flame bar.
+_PROF_COLOURS = {
+    "decode": "#8e6fae", "execute": "#30506e", "cache_tlb": "#2e8540",
+    "branch": "#c0392b", "pmu": "#b8860b", "tracer": "#5b8fa8",
+    "syscall": "#777777",
+}
+
+
+def _hotspots_section(manifest):
+    """Self-profiler attribution for a ``--hotspots`` run.
+
+    Rendered only when the manifest carries a merged profile
+    (:func:`repro.obs.prof.merge_profiles` output, volatile section
+    stripped): a one-level flame bar of virtual cycles by subsystem,
+    the top opcodes, and the hottest basic blocks — the ranking the
+    ROADMAP item-2 superblock translator reads.
+    """
+    prof = manifest.get("profile")
+    if not prof:
+        return []
+    total = prof.get("cycles") or 0.0
+    parts = ["<h2>Hotspots</h2>"]
+    parts.append(
+        f'<p class="meta">{prof.get("instructions", 0):,} simulated '
+        f'instructions, {total:,.0f} virtual cycles attributed by the '
+        f'self-profiler (deterministic sections only)</p>'
+    )
+    subsystems = prof.get("subsystems") or {}
+    ranked = sorted(subsystems.items(),
+                    key=lambda item: -item[1]["cycles"])
+    if ranked and total > 0:
+        # One-level flame bar: each subsystem a proportional segment.
+        width, height = 640, 34
+        svg = [f'<svg width="{width}" height="{height + 14}" '
+               f'viewBox="0 0 {width} {height + 14}" role="img">']
+        x0 = 0.0
+        for name, row in ranked:
+            share = row["cycles"] / total
+            w = share * width
+            if w < 0.5:
+                continue
+            colour = _PROF_COLOURS.get(name, "#999999")
+            svg.append(
+                f'<rect x="{x0:.1f}" y="0" width="{w:.1f}" '
+                f'height="{height}" fill="{colour}">'
+                f'<title>{_esc(name)}: {row["cycles"]:,.0f} cycles '
+                f'({100 * share:.1f}%), {row["events"]:,} events'
+                f'</title></rect>'
+            )
+            if w > 48:
+                svg.append(
+                    f'<text x="{x0 + w / 2:.1f}" y="{height - 12}" '
+                    f'font-size="10" text-anchor="middle" fill="#fff">'
+                    f'{_esc(name)}</text>'
+                )
+                svg.append(
+                    f'<text x="{x0 + w / 2:.1f}" y="{height + 11}" '
+                    f'font-size="8" text-anchor="middle" fill="#666">'
+                    f'{100 * share:.1f}%</text>'
+                )
+            x0 += w
+        svg.append("</svg>")
+        parts.append('<div class="spark"><span class="name">virtual '
+                     'cycles by subsystem</span>' + "".join(svg)
+                     + "</div>")
+    opcodes = sorted((prof.get("opcodes") or {}).items(),
+                     key=lambda item: -item[1]["cycles"])[:12]
+    if opcodes:
+        parts.extend(["<table>", "<tr><th>opcode</th><th>count</th>"
+                      "<th>cycles</th><th>share</th></tr>"])
+        for name, row in opcodes:
+            share = 100 * row["cycles"] / total if total else 0.0
+            parts.append(
+                f'<tr><td><code>{_esc(name)}</code></td>'
+                f'<td class="num">{row["count"]:,}</td>'
+                f'<td class="num">{row["cycles"]:,.0f}</td>'
+                f'<td class="num">{share:.1f}%</td></tr>'
+            )
+        parts.append("</table>")
+    blocks = (prof.get("blocks") or [])[:12]
+    if blocks:
+        parts.extend(["<table>", "<tr><th>basic block</th>"
+                      "<th>runs</th><th>instructions</th>"
+                      "<th>cycles</th><th>share</th></tr>"])
+        for row in blocks:
+            share = 100 * row["cycles"] / total if total else 0.0
+            parts.append(
+                f'<tr><td><code>{_esc(row["start"])}–'
+                f'{_esc(row["end"])}</code></td>'
+                f'<td class="num">{row["count"]:,}</td>'
+                f'<td class="num">{row["instructions"]:,}</td>'
+                f'<td class="num">{row["cycles"]:,.0f}</td>'
+                f'<td class="num">{share:.1f}%</td></tr>'
+            )
+        parts.append("</table>")
+    return parts
+
+
 def _cells_table(manifest):
     cells = manifest.get("cells") or []
     if not cells:
@@ -325,6 +423,7 @@ def render_html(manifest, checks=None, profile=None):
     parts.extend(_tiles(manifest, checks_by_headline))
     parts.extend(_series_section(manifest))
     parts.extend(_pipeline_section(manifest))
+    parts.extend(_hotspots_section(manifest))
     parts.extend(_cells_table(manifest))
     parts.extend(_config_table(manifest))
     parts.extend(_provenance(manifest))

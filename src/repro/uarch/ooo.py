@@ -88,7 +88,9 @@ from repro.errors import (
 )
 from repro.isa.encoding import INSTRUCTION_SIZE, decode
 from repro.mem.tlb import Tlb
+from repro.obs.prof import current_profiler
 from repro.obs.tracer import current_tracer
+from time import perf_counter
 from repro.uarch.core import register_uarch
 from repro.uarch.structures import (
     LoadStoreQueue,
@@ -197,6 +199,13 @@ class OooCore:
             self._tr_commit = None
             self._tr_squash = None
             self._tr_lsq = None
+        # Profiler: bound once, like the tracer.  The OoO loop cannot be
+        # single-stepped without serialising the ROB (that would change
+        # the timing being measured), so an active profiler attaches a
+        # read-only cursor inside run() instead of diverting to step().
+        profiler = current_profiler()
+        self._prof = (profiler if profiler.enabled
+                      and profiler.config.active else None)
 
     def _cycles_now(self):
         return int(self.cycles)
@@ -597,6 +606,13 @@ class OooCore:
         # and nothing else).
         dispatch_stalls = 0
         lsq_stalls = 0
+        # Profiling cursor: read-only sequential accounting.  One
+        # ``is not None`` guard per instruction (the tr_dispatch idiom);
+        # cost attribution is by dispatch-clock progression, with the
+        # final instruction closed against the committed clock so
+        # ROB-drain cycles land where they were caused.
+        cursor = self._prof.cursor() if self._prof is not None else None
+        run_wall0 = perf_counter() if cursor is not None else 0.0
 
         # The ROB is empty between run() calls, so the rename file is
         # architectural here: re-seat the committed view on it (spawn
@@ -619,6 +635,8 @@ class OooCore:
                 entry = dcache_get(pc)
                 if entry is None:
                     entry = self._decode_entry(pc)
+                    if cursor is not None:
+                        cursor.decode_miss()
                 line = pc >> 6
                 if line != last_iline:
                     last_iline = line
@@ -636,6 +654,12 @@ class OooCore:
                 counters["instructions"] += 1
                 seq = self._seq
                 self._seq = seq + 1
+                if cursor is not None:
+                    # Finalises the *previous* instruction with this
+                    # one's fetch clock; this one stays pending.
+                    cursor.note(pc, op, fclock,
+                                counters["memory_stall_cycles"],
+                                counters["mispredict_penalty_cycles"])
 
                 # Dispatch: retire whatever is due, then stall on
                 # structural hazards (full ROB / stations / LSQ).
@@ -1141,6 +1165,13 @@ class OooCore:
                 if lsq_stalls:
                     metrics.inc("ooo.lsq_stalls", lsq_stalls)
             self._drain()
+            if cursor is not None:
+                final = self.cycles if self.cycles > fclock else fclock
+                cursor.finish(final,
+                              counters["memory_stall_cycles"],
+                              counters["mispredict_penalty_cycles"])
+                self._prof.add_wall("execute",
+                                    perf_counter() - run_wall0)
 
         if watchdog is not None and executed % stride:
             watchdog.charge(executed % stride)

@@ -137,3 +137,33 @@ class TestRenderHtml:
         assert ">10<" in html_text
         assert "ooo.dispatch_stalls" in html_text
         assert "&le;4: 6" in html_text          # bucket sum in the bar
+
+
+class TestHotspotsSection:
+    PROFILE = {
+        "format": "repro-prof/1",
+        "instructions": 1000,
+        "cycles": 800.0,
+        "subsystems": {
+            "execute": {"cycles": 500.0, "events": 700},
+            "branch": {"cycles": 250.0, "events": 200},
+            "cache_tlb": {"cycles": 50.0, "events": 10},
+        },
+        "opcodes": {"BEQ": {"count": 200, "cycles": 250.0},
+                    "ADD": {"count": 500, "cycles": 400.0}},
+        "blocks": [{"start": "0x00400070", "end": "0x00400098",
+                    "count": 90, "instructions": 540,
+                    "cycles": 600.0}],
+    }
+
+    def test_no_section_without_profile(self):
+        assert "Hotspots" not in render_html(MANIFEST)
+
+    def test_section_renders_flame_bar_and_tables(self):
+        html_text = render_html(dict(MANIFEST, profile=self.PROFILE))
+        assert "Hotspots" in html_text
+        assert "<svg" in html_text
+        assert "<rect" in html_text
+        assert "execute" in html_text
+        assert "BEQ" in html_text
+        assert "0x00400070" in html_text
