@@ -42,6 +42,12 @@ KNOBS = dict(
 
 JOB_COUNTS = (1, 2, 4)
 
+#: Resolved once: every scaling gate below is conditional on this.  A
+#: single-core host measures scheduling overhead, not parallelism, so
+#: no ``--jobs N`` speedup assertion may bite there (the determinism
+#: assertions still do).
+CPU_COUNT = os.cpu_count()
+
 
 def _timed_run(jobs):
     started = time.perf_counter()
@@ -76,7 +82,7 @@ def test_exec_parallel_baseline(benchmark, sweep_timings):
     for jobs in JOB_COUNTS[1:]:
         assert reports[jobs] == reports[1], f"jobs={jobs} diverged"
 
-    cpu_count = os.cpu_count()
+    cpu_count = CPU_COUNT
     if cpu_count < max(JOB_COUNTS):
         # Say it out loud, not just in a JSON field: on an undersized
         # box the jobs>cpu_count "speedups" measure scheduling overhead,
@@ -140,8 +146,14 @@ def test_exec_parallel_baseline(benchmark, sweep_timings):
         benchmark.extra_info[f"warmup_jobs{jobs}_s"] = round(
             warmups[jobs], 3
         )
-    # The tentpole's acceptance bar (steady-state >1.3x at jobs=4) is
-    # conditional on real parallel hardware; on fewer cores the honest
-    # baseline is the deliverable.
-    if os.cpu_count() >= 4:
+    # Scaling gates, strictly conditional on real parallel hardware:
+    # any speedup at all from the second worker once there are two
+    # cores, and the original >1.3x bar at jobs=4 once there are four.
+    # On a 1-CPU host neither fires — the honest (sub-1x) baseline is
+    # the deliverable there, recorded with speedups_meaningful=false.
+    if CPU_COUNT > 1:
+        assert timings[1] / timings[2] > 1.05, (
+            f"jobs=2 gained nothing on a {CPU_COUNT}-CPU host"
+        )
+    if CPU_COUNT >= 4:
         assert timings[1] / timings[4] > 1.3

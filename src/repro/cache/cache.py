@@ -95,6 +95,36 @@ class Cache:
         line = address >> self._line_shift
         return line & self._set_mask, line >> self._index_shift
 
+    def inline_state(self):
+        """The hit-path state an external translator may bind directly.
+
+        The superblock engine compiles the :meth:`access` hit arm into
+        generated code, so it needs the same per-set structures this
+        class mutates.  Handing them out through one accessor keeps the
+        contract explicit: the dict values are the **live** objects
+        (mutated in place, never replaced — ``flush_all`` and
+        ``invalidate`` edit the maps they return), and a caller
+        replicating the hit path must bump the set clock, stamp the way,
+        mark dirty on writes and count hits exactly like :meth:`access`.
+
+        Returns ``None`` when the hit path cannot be inlined: a non-LRU
+        replacement policy (policy objects carry their own state) or a
+        bound trace channel (eviction/invalidation events must observe
+        every access through the slow path).
+        """
+        if not self._lru or self._trace is not None:
+            return None
+        return {
+            "line_shift": self._line_shift,
+            "set_mask": self._set_mask,
+            "index_shift": self._index_shift,
+            "maps": self._maps,
+            "clocks": self._clocks,
+            "stamps": self._stamps,
+            "dirty": self._dirty,
+            "stats": self.stats,
+        }
+
     # ---- operations ----------------------------------------------------
     def access(self, address, is_write=False):
         """Look up *address*; fill on miss.

@@ -282,9 +282,20 @@ def _build_faults(args):
 def build_parser():
     from repro.uarch import UARCHS
 
+    from repro.cpu.engine import DEFAULT_ENGINE, ENGINE_MODES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CR-Spectre (DATE 2022) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINE_MODES, default=None,
+        help="execution engine for every simulated CPU: 'step' (the "
+             "single-instruction reference), 'fast' (the locals-bound "
+             "interpreter loop) or 'sb' (the superblock translator, "
+             f"default {DEFAULT_ENGINE}). Ambient only — never part of "
+             "manifests or run ids, so the same experiment run under "
+             "different engines compares byte-identical",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -1348,6 +1359,13 @@ def cmd_smoke(args):
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if getattr(args, "engine", None):
+        # Ambient, like the tracer: binds every Cpu constructed from
+        # here on (and, via REPRO_ENGINE, every spawned worker), but
+        # never enters a manifest or run id.
+        from repro.cpu import set_engine_mode
+
+        set_engine_mode(args.engine)
     handlers = {
         "attack": cmd_attack,
         "gadgets": cmd_gadgets,

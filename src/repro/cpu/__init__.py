@@ -1,19 +1,31 @@
 """CPU: speculative interpreter, PMU, architectural state, shadow stack."""
 
 from repro.cpu.cpu import Cpu, CpuConfig
+from repro.cpu.engine import (
+    ENGINE_MODES,
+    engine_mode,
+    engine_override,
+    set_engine_mode,
+)
 from repro.cpu.pmu import EVENT_NAMES, NUM_EVENTS, PAPER_FEATURES, Pmu
 from repro.cpu.shadow_stack import ShadowStack
 from repro.cpu.state import CpuState, to_signed, to_unsigned
+from repro.cpu.superblock import SuperblockEngine
 
 __all__ = [
     "Cpu",
     "CpuConfig",
+    "ENGINE_MODES",
     "EVENT_NAMES",
     "NUM_EVENTS",
     "PAPER_FEATURES",
     "Pmu",
     "ShadowStack",
+    "SuperblockEngine",
     "CpuState",
+    "engine_mode",
+    "engine_override",
+    "set_engine_mode",
     "to_signed",
     "to_unsigned",
 ]

@@ -37,6 +37,7 @@ import dataclasses
 
 from repro.branch.predictor import BranchPredictor
 from repro.cache.hierarchy import CacheHierarchy
+from repro.cpu.engine import engine_mode
 from repro.cpu.pmu import Pmu
 from repro.cpu.shadow_stack import ShadowStack
 from repro.cpu.state import CpuState, to_signed
@@ -47,6 +48,7 @@ from repro.errors import (
     PrivilegeFault,
     ShadowStackViolation,
 )
+from repro.cpu.superblock import SuperblockEngine
 from repro.isa.encoding import INSTRUCTION_SIZE, decode
 from repro.isa.opcodes import Opcode
 from repro.mem.tlb import Tlb
@@ -210,6 +212,16 @@ class Cpu:
         self._l1_latency = self.caches.config.l1_latency
         self._last_iline = -1
         self._last_ipage = -1
+        # Engine selection binds once, like the tracer/profiler below:
+        # "sb" (default) builds the superblock engine lazily on the
+        # first untraced run(); "fast"/"step" never do.  The mode is
+        # ambient and non-architectural — it never enters manifests.
+        self._engine = engine_mode()
+        self._sb = None
+        # Stores into executable segments (self-modifying code) must
+        # drop stale decode entries and compiled superblocks before the
+        # next fetch.  W^X layouts never trigger this.
+        memory.add_code_listener(self._on_code_write)
         # Tracing: channels bind once, here; every emission site below
         # guards with ``is not None`` and all of those sites sit on cold
         # sub-paths (mispredict, violation), so the disabled default
@@ -256,6 +268,8 @@ class Cpu:
     def reset_for_exec(self):
         """Flush decode/translation state after ``execve`` remaps memory."""
         self._decode_cache.clear()
+        if self._sb is not None:
+            self._sb.flush()
         self._last_iline = -1
         self._last_ipage = -1
         self.dtlb.flush()
@@ -263,6 +277,36 @@ class Cpu:
         if self.shadow_stack is not None:
             self.shadow_stack.reset()
         self.predictor.rsb.reset()
+
+    def _on_code_write(self, address, size):
+        """Memory store landed in an executable segment (SMC).
+
+        Invalidate everything derived from the old bytes: the decode
+        cache wholesale (self-modifying code is rare enough that
+        precision is not worth the bookkeeping) and every compiled
+        superblock.  A closure that is *currently executing* notices
+        the generation bump at its next store and deoptimises.
+        """
+        self._decode_cache.clear()
+        if self._sb is not None:
+            self._sb.on_code_write(address, size)
+
+    def _flush_code_line(self, address):
+        """``clflush`` hit a line inside an executable segment.
+
+        Architecturally a no-op (decode is a pure function of the
+        bytes, which clflush does not change), but the decode entries
+        and superblocks covering the line are dropped anyway so the
+        translation caches track the modelled I-cache: the refill path
+        is exercised, never trusted stale.
+        """
+        line_size = self.caches.line_size
+        base = address - (address % line_size)
+        dcache = self._decode_cache
+        for pc in range(base, base + line_size, INSTRUCTION_SIZE):
+            dcache.pop(pc, None)
+        if self._sb is not None:
+            self._sb.flush()
 
     def _decode_entry(self, pc):
         """Decode the instruction at *pc* into a flat dispatch tuple.
@@ -347,17 +391,61 @@ class Cpu:
     # wrong-path (speculative) execution
     # ------------------------------------------------------------------
     def _speculate(self, start_pc):
-        """Execute the wrong path; only cache/TLB fills persist."""
+        """Execute the wrong path; only cache/TLB fills persist.
+
+        This walk dominates wall time on mispredict-heavy workloads
+        (one window is up to ``spec_window`` instructions), so — like
+        the fast commit loop and the superblock closures — it inlines
+        the L1I/L1D LRU hit paths and the TLB MRU shortcut, and
+        batches the commutative integer tallies (PMU ``spec_*``
+        counters, cache/TLB hit statistics) into locals flushed once
+        at squash.  Every *stateful* mutation (LRU clocks and stamps,
+        dirty bits, miss-path fills, replacement) still happens on the
+        live objects in exact program order — the cache disturbance
+        *is* the Spectre side channel, so only counts that commute may
+        be deferred.
+        """
         regs = self.state.copy_regs()
         store_buffer = {}
         counters = self.pmu.counters
         memory = self.memory
         dcache = self._decode_cache
-        data_fast = self.caches.data_access_fast
-        icache_fast = self.caches.instruction_access_fast
-        dtlb_access = self.dtlb.access
-        itlb_access = self.itlb.access
+        caches = self.caches
+        data_fast = caches.data_access_fast
+        icache_fast = caches.instruction_access_fast
+        dtlb = self.dtlb
+        itlb = self.itlb
+        dtlb_access = dtlb.access
+        itlb_access = itlb.access
         invisible = self.config.invisible_speculation
+        l1i = caches.l1i
+        l1d = caches.l1d
+        inline_i = l1i._lru and l1i._trace is None
+        if inline_i:
+            ii_shift = l1i._line_shift
+            ii_mask = l1i._set_mask
+            ii_ishift = l1i._index_shift
+            ii_maps = l1i._maps
+            ii_clocks = l1i._clocks
+            ii_stamps = l1i._stamps
+        inline_d = l1d._lru and l1d._trace is None
+        if inline_d:
+            dd_shift = l1d._line_shift
+            dd_mask = l1d._set_mask
+            dd_ishift = l1d._index_shift
+            dd_maps = l1d._maps
+            dd_clocks = l1d._clocks
+            dd_stamps = l1d._stamps
+            dd_dirty = l1d._dirty
+        itlb_last = itlb._last_page
+        dtlb_last = dtlb._last_page
+        n_loads = n_fills = 0
+        n_ihit = n_itlb = n_dtlb = n_dhit_r = n_dhit_w = 0
+        #: last I-line probed with a hit — sequential fetches in the
+        #: same line skip the set/tag recompute and the dict probe and
+        #: go straight to the (mandatory, per-access) LRU bump.
+        ii_last_ln = -1
+        ii_last_si = ii_last_way = 0
         pc = start_pc
         executed = 0
 
@@ -374,25 +462,101 @@ class Cpu:
                          instruction.imm)
                 dcache[pc] = entry
             # Wrong-path fetch fills the I-cache / ITLB too.
-            icache_fast(pc)
-            itlb_access(pc)
+            if inline_i:
+                ln = pc >> ii_shift
+                if ln == ii_last_ln:
+                    si = ii_last_si
+                    clock = ii_clocks[si] + 1
+                    ii_clocks[si] = clock
+                    ii_stamps[si][ii_last_way] = clock
+                    n_ihit += 1
+                else:
+                    si = ln & ii_mask
+                    way = ii_maps[si].get(ln >> ii_ishift)
+                    if way is not None:
+                        clock = ii_clocks[si] + 1
+                        ii_clocks[si] = clock
+                        ii_stamps[si][way] = clock
+                        n_ihit += 1
+                        ii_last_ln = ln
+                        ii_last_si = si
+                        ii_last_way = way
+                    else:
+                        icache_fast(pc)
+                        ii_last_ln = -1
+            else:
+                icache_fast(pc)
+            page = pc >> 12
+            if page == itlb_last:
+                n_itlb += 1
+            else:
+                itlb_access(pc)
+                itlb_last = page
 
             executed += 1
-            counters["spec_instructions"] += 1
             op, rd, rs1, rs2, imm = entry
             next_pc = (pc + INSTRUCTION_SIZE) & MASK32
 
-            if op == _LW or op == _LB:
+            # ALU ranges lead the dispatch (they dominate wrong-path
+            # mixes), with the hottest opcodes decoded inline instead
+            # of through the _alu_* helpers.
+            if _ADD <= op <= _SLTU:
+                if rd != 0:
+                    if op == _ADD:
+                        regs[rd] = (regs[rs1] + regs[rs2]) & MASK32
+                    elif op == _SUB:
+                        regs[rd] = (regs[rs1] - regs[rs2]) & MASK32
+                    elif op == _AND:
+                        regs[rd] = regs[rs1] & regs[rs2]
+                    elif op == _OR:
+                        regs[rd] = regs[rs1] | regs[rs2]
+                    elif op == _XOR:
+                        regs[rd] = regs[rs1] ^ regs[rs2]
+                    else:
+                        regs[rd] = _alu_rrr(op, regs[rs1], regs[rs2])
+            elif _ADDI <= op <= _SLTI:
+                if rd != 0:
+                    if op == _ADDI:
+                        regs[rd] = (regs[rs1] + imm) & MASK32
+                    elif op == _SHLI:
+                        regs[rd] = (regs[rs1] << (imm & 31)) & MASK32
+                    elif op == _SHRI:
+                        regs[rd] = regs[rs1] >> (imm & 31)
+                    else:
+                        regs[rd] = _alu_rri(op, regs[rs1], imm)
+            elif op == _LI:
+                if rd != 0:
+                    regs[rd] = imm & MASK32
+            elif op == _MOV:
+                if rd != 0:
+                    regs[rd] = regs[rs1]
+            elif op == _LW or op == _LB:
                 address = (regs[rs1] + imm) & MASK32
-                counters["spec_loads"] += 1
+                n_loads += 1
                 if invisible:
                     # Serviced from the speculative buffer: data flows to
                     # the wrong path, but no cache line is installed.
                     pass
                 else:
-                    dtlb_access(address)
-                    if data_fast(address, False)[1] == 3:
-                        counters["spec_cache_fills"] += 1
+                    page = address >> 12
+                    if page == dtlb_last:
+                        n_dtlb += 1
+                    else:
+                        dtlb_access(address)
+                        dtlb_last = page
+                    hit = False
+                    if inline_d:
+                        ln = address >> dd_shift
+                        si = ln & dd_mask
+                        way = dd_maps[si].get(ln >> dd_ishift)
+                        if way is not None:
+                            clock = dd_clocks[si] + 1
+                            dd_clocks[si] = clock
+                            dd_stamps[si][way] = clock
+                            n_dhit_r += 1
+                            hit = True
+                    if not hit and data_fast(address, False)[1] == 3:
+                        n_fills += 1
                 key = (address, 4 if op == _LW else 1)
                 if key in store_buffer:
                     value = store_buffer[key]
@@ -415,20 +579,26 @@ class Cpu:
                 store_buffer[(address, size)] = regs[rs2] & (
                     MASK32 if size == 4 else 0xFF
                 )
-                dtlb_access(address)
-                data_fast(address, True)
-            elif _ADD <= op <= _SLTU:
-                if rd != 0:
-                    regs[rd] = _alu_rrr(op, regs[rs1], regs[rs2])
-            elif _ADDI <= op <= _SLTI:
-                if rd != 0:
-                    regs[rd] = _alu_rri(op, regs[rs1], imm)
-            elif op == _LI:
-                if rd != 0:
-                    regs[rd] = imm & MASK32
-            elif op == _MOV:
-                if rd != 0:
-                    regs[rd] = regs[rs1]
+                page = address >> 12
+                if page == dtlb_last:
+                    n_dtlb += 1
+                else:
+                    dtlb_access(address)
+                    dtlb_last = page
+                hit = False
+                if inline_d:
+                    ln = address >> dd_shift
+                    si = ln & dd_mask
+                    way = dd_maps[si].get(ln >> dd_ishift)
+                    if way is not None:
+                        clock = dd_clocks[si] + 1
+                        dd_clocks[si] = clock
+                        dd_stamps[si][way] = clock
+                        dd_dirty[si][way] = True
+                        n_dhit_w += 1
+                        hit = True
+                if not hit:
+                    data_fast(address, True)
             elif _BEQ <= op <= _BGEU:
                 # Nested branches resolve immediately on the wrong path.
                 if _branch_taken(op, regs[rs1], regs[rs2]):
@@ -462,7 +632,20 @@ class Cpu:
                 sp = (regs[13] - 4) & MASK32
                 regs[13] = sp
                 store_buffer[(sp, 4)] = regs[rs1]
-                data_fast(sp, True)
+                hit = False
+                if inline_d:
+                    ln = sp >> dd_shift
+                    si = ln & dd_mask
+                    way = dd_maps[si].get(ln >> dd_ishift)
+                    if way is not None:
+                        clock = dd_clocks[si] + 1
+                        dd_clocks[si] = clock
+                        dd_stamps[si][way] = clock
+                        dd_dirty[si][way] = True
+                        n_dhit_w += 1
+                        hit = True
+                if not hit:
+                    data_fast(sp, True)
             elif op == _POP:
                 sp = regs[13]
                 key = (sp, 4)
@@ -473,7 +656,19 @@ class Cpu:
                         value = memory.load_word(sp)
                     except MemoryFault:
                         break
-                data_fast(sp, False)
+                hit = False
+                if inline_d:
+                    ln = sp >> dd_shift
+                    si = ln & dd_mask
+                    way = dd_maps[si].get(ln >> dd_ishift)
+                    if way is not None:
+                        clock = dd_clocks[si] + 1
+                        dd_clocks[si] = clock
+                        dd_stamps[si][way] = clock
+                        n_dhit_r += 1
+                        hit = True
+                if not hit:
+                    data_fast(sp, False)
                 regs[13] = (sp + 4) & MASK32
                 if rd != 0:
                     regs[rd] = value
@@ -491,6 +686,32 @@ class Cpu:
                 break
             pc = next_pc
 
+        # Batched tallies (all plain integer adds, so deferring them
+        # to squash time is exact).
+        if executed:
+            counters["spec_instructions"] += executed
+        if n_loads:
+            counters["spec_loads"] += n_loads
+        if n_fills:
+            counters["spec_cache_fills"] += n_fills
+        if n_ihit:
+            stats = l1i.stats
+            stats.accesses += n_ihit
+            stats.read_accesses += n_ihit
+            stats.hits += n_ihit
+        if n_dhit_r or n_dhit_w:
+            stats = l1d.stats
+            hits = n_dhit_r + n_dhit_w
+            stats.accesses += hits
+            stats.hits += hits
+            if n_dhit_r:
+                stats.read_accesses += n_dhit_r
+            if n_dhit_w:
+                stats.write_accesses += n_dhit_w
+        if n_itlb:
+            itlb.hits += n_itlb
+        if n_dtlb:
+            dtlb.hits += n_dtlb
         counters["squashed_instructions"] += executed
         return executed
 
@@ -646,6 +867,8 @@ class Cpu:
                 )
             address = (regs[rs1] + imm) & MASK32
             self.caches.flush_line(address)
+            if self.memory.executable_at(address):
+                self._flush_code_line(address)
             self.cycles += config.clflush_latency
         elif op == _MFENCE:
             counters["mfence_instructions"] += 1
@@ -721,6 +944,19 @@ class Cpu:
         size = INSTRUCTION_SIZE
         stride = self.WATCHDOG_STRIDE
         watchdog = self.watchdog
+        # Under the sb engine, translation still happens (and is timed
+        # into the ``translate`` bucket) so its cost is attributed
+        # honestly — but the compiled closures are never *executed*
+        # here: profiling observes the run step by step.  Translation
+        # decisions are heat-count driven, hence deterministic.
+        sb = sb_blocks = sb_heat = sb_threshold = None
+        if self._engine == "sb":
+            sb = self._sb
+            if sb is None:
+                sb = self._sb = SuperblockEngine(self)
+            sb_blocks = sb.blocks
+            sb_heat = sb.heat
+            sb_threshold = sb.HOT_THRESHOLD
         executed = 0
         blk_start = -1
         blk_instr = 0
@@ -734,6 +970,14 @@ class Cpu:
                 pc = state.pc
                 entry = dcache.get(pc)
                 missed = entry is None
+                if sb is not None and sb_blocks.get(pc) is None:
+                    heat = sb_heat.get(pc, 0) + 1
+                    if heat >= sb_threshold:
+                        wall0 = perf_counter()
+                        sb.translate(pc)
+                        prof.translation(perf_counter() - wall0)
+                    else:
+                        sb_heat[pc] = heat
                 cycles0 = self.cycles
                 mem0 = counters["memory_stall_cycles"]
                 br0 = counters["mispredict_penalty_cycles"]
@@ -796,6 +1040,24 @@ class Cpu:
             return self._run_profiled(max_instructions)
         if self._step_trace:
             return self._run_traced(max_instructions)
+        if self._engine == "step":
+            # Forced step engine: the step()-driven loop, untraced.
+            return self._run_traced(max_instructions)
+        if self._engine == "sb":
+            sb = self._sb
+            if sb is None:
+                sb = self._sb = SuperblockEngine(self)
+            # Live references: flush() clears these dicts in place, so
+            # an invalidation fired from inside a closure (SMC) is
+            # visible to this very loop immediately.
+            sb_blocks = sb.blocks
+            sb_heat = sb.heat
+            sb_translate = sb.translate
+            sb_threshold = sb.HOT_THRESHOLD
+            sb_wp = sb.wp
+        else:
+            sb_blocks = None
+            sb_heat = sb_translate = sb_threshold = sb_wp = None
 
         state = self.state
         config = self.config
@@ -845,6 +1107,56 @@ class Cpu:
             while not halted:
                 if executed == limit:
                     break
+
+                if sb_blocks is not None:
+                    block = sb_blocks.get(pc)
+                    if block is None:
+                        heat = sb_heat.get(pc, 0) + 1
+                        if heat >= sb_threshold:
+                            block = sb_translate(pc)
+                        else:
+                            sb_heat[pc] = heat
+                    if block:
+                        fn, length, _exit = block
+                        # Enter only when the whole block fits before
+                        # the next pause/watchdog boundary — blocks
+                        # never straddle a charge stride or a chunked
+                        # run()'s instruction limit; otherwise fall
+                        # through and single-step this instruction.
+                        if ((limit < 0 or executed + length <= limit)
+                                and (watchdog is None
+                                     or executed % stride + length
+                                     <= stride)):
+                            try:
+                                (pc, done, cycles, last_iline,
+                                 last_ipage) = fn(regs, counters, cycles,
+                                                  last_iline, last_ipage)
+                            except BaseException:
+                                # The closure synced the object on its
+                                # fault path; re-read so the outer
+                                # finally writes those same values.
+                                pc = state.pc
+                                cycles = self.cycles
+                                last_iline = self._last_iline
+                                last_ipage = self._last_ipage
+                                raise
+                            executed += done
+                            wp = sb_wp[0]
+                            if wp is not None:
+                                # A compiled side exit resolved a
+                                # mispredicted branch; the closure has
+                                # fully committed, so the speculative
+                                # wrong-path walk sees exactly the
+                                # machine the fast loop would have
+                                # mid-iteration.
+                                sb_wp[0] = None
+                                self.cycles = cycles
+                                self._mispredict(wp)
+                                cycles = self.cycles
+                            if (watchdog is not None
+                                    and executed % stride == 0):
+                                watchdog.charge(stride)
+                            continue
 
                 entry = dcache_get(pc)
                 if entry is None:
@@ -1055,6 +1367,8 @@ class Cpu:
                         )
                     address = (regs[rs1] + imm) & MASK32
                     caches.flush_line(address)
+                    if memory.executable_at(address):
+                        self._flush_code_line(address)
                     cycles += clflush_latency
                 elif op == _MFENCE:
                     counters["mfence_instructions"] += 1

@@ -73,6 +73,16 @@ class Memory:
     def __init__(self):
         self.segments = []
         self._last = None
+        #: callbacks fired after a store lands in an executable
+        #: segment (self-modifying code): the cores drop decode caches
+        #: and compiled superblocks.  Under W^X (every standard image)
+        #: no store can reach an X segment, so the notification path
+        #: costs one permission-bit test per store.
+        self._code_listeners = []
+
+    def add_code_listener(self, callback):
+        """Register ``callback(address, size)`` for executable writes."""
+        self._code_listeners.append(callback)
 
     # ---- mapping ------------------------------------------------------
     def map_segment(self, name, base, size, perms):
@@ -121,6 +131,22 @@ class Memory:
             return False
         return True
 
+    def executable_at(self, address):
+        """True when *address* lies in an executable segment.
+
+        Non-raising (unmapped -> False) and side-effect free apart from
+        the shared one-entry segment cache; used by ``clflush`` to
+        decide whether a flushed line carries code.
+        """
+        last = self._last
+        if last is not None and last.contains(address):
+            return bool(last.perms & PERM_X)
+        for segment in self.segments:
+            if segment.contains(address):
+                self._last = segment
+                return bool(segment.perms & PERM_X)
+        return False
+
     # ---- typed access -------------------------------------------------
     def _checked(self, address, size, perm):
         segment = self.find_segment(address)
@@ -142,6 +168,9 @@ class Memory:
     def store_byte(self, address, value):
         segment = self._checked(address, 1, PERM_W)
         segment.buffer[address - segment.base] = value & 0xFF
+        if segment.perms & PERM_X:
+            for listener in self._code_listeners:
+                listener(address, 1)
 
     def load_word(self, address):
         if address & 3:
@@ -156,6 +185,9 @@ class Memory:
         segment = self._checked(address, 4, PERM_W)
         offset = address - segment.base
         struct.pack_into("<I", segment.buffer, offset, value & 0xFFFFFFFF)
+        if segment.perms & PERM_X:
+            for listener in self._code_listeners:
+                listener(address, 4)
 
     def fetch(self, address, size):
         """Instruction fetch: *size* bytes with execute permission."""
@@ -179,6 +211,9 @@ class Memory:
             offset = address - segment.base
             chunk = min(len(remaining), segment.size - offset)
             segment.buffer[offset:offset + chunk] = remaining[:chunk]
+            if segment.perms & PERM_X:
+                for listener in self._code_listeners:
+                    listener(address, chunk)
             remaining = remaining[chunk:]
             address += chunk
 

@@ -63,7 +63,7 @@ def _ensure_benchmarks_importable():
 # -- suite drivers ----------------------------------------------------
 
 def _suite_core(quick):
-    """Interpreter throughput: instr/s per kernel, both stock knobs."""
+    """Interpreter throughput: instr/s per kernel, both engines."""
     from benchmarks.bench_core import KERNELS, _measure
 
     kernels = (tuple((name, max(1, iters // 5))
@@ -73,12 +73,14 @@ def _suite_core(quick):
              "uarch": "inorder"}
     metrics = {}
     for name, iterations in kernels:
-        measured = _measure(name, iterations)
-        metrics[f"{name}.instructions_per_s"] = \
-            measured["instructions_per_s"]
-        metrics[f"{name}.cache_accesses_per_s"] = \
-            measured["cache_accesses_per_s"]
-        metrics[f"{name}.wall_s"] = measured["wall_s"]
+        for engine in ("fast", "sb"):
+            prefix = name if engine == "fast" else f"sb/{name}"
+            measured = _measure(name, iterations, engine=engine)
+            metrics[f"{prefix}.instructions_per_s"] = \
+                measured["instructions_per_s"]
+            metrics[f"{prefix}.cache_accesses_per_s"] = \
+                measured["cache_accesses_per_s"]
+            metrics[f"{prefix}.wall_s"] = measured["wall_s"]
     return knobs, metrics
 
 
@@ -279,6 +281,19 @@ def regression_floors():
         floors[("core", "instructions_per_s")] = (
             MIN_SPEEDUP * PRE_CHANGE["instructions_per_s"]
         )
+    try:
+        from benchmarks.bench_core import FAST_COMMITTED, SB_MIN_SPEEDUP
+    except ImportError:
+        FAST_COMMITTED = None
+    if FAST_COMMITTED is not None:
+        # The superblock engine's bar, keyed exactly per kernel so the
+        # bare-suffix fallback above never mixes the two gates: sb/*
+        # must hold SB_MIN_SPEEDUP × the fast-loop rows committed to
+        # BENCH_core.json when the translator landed.
+        for name, committed in FAST_COMMITTED.items():
+            floors[("core", f"sb/{name}.instructions_per_s")] = (
+                SB_MIN_SPEEDUP * committed
+            )
     baseline = _load_baseline("exec")
     if baseline is not None:
         serial = (baseline.get("runs") or {}).get("1") or {}
@@ -310,23 +325,25 @@ def check_regression(rows, floors=None):
             in floors.items() if floor_bench == bench
         )
         for metric, floor in bench_floors:
-            suffix = metric.rsplit(".", 1)[-1]
             observed = latest["metrics"].get(metric)
-            if observed is None:
-                # Core floors are keyed by bare counter name; match any
-                # per-kernel metric ending in it.
+            if observed is None and "." not in metric:
+                # Bare-counter floors (e.g. ``instructions_per_s``)
+                # match any per-kernel metric ending in them; dotted
+                # floors (``sb/sha.instructions_per_s``) are exact-keyed
+                # and must never fall back onto another engine's rows.
                 candidates = [
                     value for name, value in latest["metrics"].items()
-                    if name.rsplit(".", 1)[-1] == suffix
+                    if name.rsplit(".", 1)[-1] == metric
                     and isinstance(value, (int, float))
                 ]
-                if not candidates:
-                    failures.append(
-                        f"{bench}: metric {metric!r} missing from the "
-                        f"latest history row ({latest['ts']})"
-                    )
-                    continue
-                observed = min(candidates)
+                if candidates:
+                    observed = min(candidates)
+            if observed is None:
+                failures.append(
+                    f"{bench}: metric {metric!r} missing from the "
+                    f"latest history row ({latest['ts']})"
+                )
+                continue
             if observed < floor:
                 failures.append(
                     f"{bench}: {metric} regressed — latest "

@@ -38,10 +38,12 @@ from repro.isa.opcodes import Opcode
 #: Attribution buckets.  ``decode`` counts decode-cache misses (decode
 #: costs no *virtual* cycles — its price is wall clock); ``tracer``
 #: counts trace-record emissions during a profiled+traced run;
-#: ``pmu`` is the cost of RDCYCLE/RDINSTRET reads; everything not
+#: ``pmu`` is the cost of RDCYCLE/RDINSTRET reads; ``translate``
+#: counts superblock translation attempts (wall-only, like decode:
+#: compiling a block costs no virtual cycles); everything not
 #: otherwise attributable lands in ``execute``.
 SUBSYSTEMS = ("decode", "execute", "cache_tlb", "branch", "pmu",
-              "tracer", "syscall")
+              "tracer", "syscall", "translate")
 
 PROFILE_FORMAT = "repro-prof/1"
 
@@ -190,6 +192,18 @@ class Profiler:
                 self.wall["decode"] += wall
             else:
                 self.wall[_classify(op)] += wall
+
+    def translation(self, seconds):
+        """Charge one superblock translation attempt.
+
+        Events count attempts (deterministic: a pure function of the
+        instruction stream and the heat threshold); the wall clock is
+        the compile cost and stays in the volatile section.  Virtual
+        cycles are zero by design — translation is simulator work, not
+        simulated work.
+        """
+        self.subsystems["translate"][1] += 1
+        self.wall["translate"] += seconds
 
     def block(self, start, end, instructions, cycles):
         """Close one straight-line PC run ``[start, end]``."""
@@ -340,6 +354,9 @@ class NullProfiler:
         pass
 
     def block(self, *args, **kwargs):
+        pass
+
+    def translation(self, seconds):
         pass
 
     def add_wall(self, subsystem, seconds):

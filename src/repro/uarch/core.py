@@ -36,6 +36,16 @@ Speculation contract
     is the paper's covert channel and the HID's feature signal, so a
     core that squashes cache fills would silently break every
     experiment downstream.
+
+Execution engines
+    *How* ``run()`` retires instructions is a core-private choice, not
+    part of the contract: the ambient engine knob (``--engine`` /
+    ``REPRO_ENGINE``, see :mod:`repro.cpu.engine`) selects between the
+    in-order core's step loop, fast loop and superblock translator,
+    and a core is free to ignore it — the OoO core does.  Whatever
+    the engine, the observable machine must stay bit-identical to a
+    ``step()``-driven run; engine choice never enters manifests or
+    run ids.
 """
 
 import abc

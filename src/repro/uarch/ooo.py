@@ -148,6 +148,10 @@ class OooCore:
         self._l1_latency = self.caches.config.l1_latency
         self._last_iline = -1
         self._last_ipage = -1
+        # Self-modifying stores must not leave stale decode entries
+        # behind; the dispatch loop itself stays untouched (no
+        # superblocks on this core).
+        memory.add_code_listener(self._on_code_write)
 
         # Tomasulo structures.
         p = self.params
@@ -228,6 +232,10 @@ class OooCore:
         self.rs.clear()
         self.lsq.clear()
         self._ready = [self.cycles] * len(self._ready)
+
+    def _on_code_write(self, address, size):
+        """A store reached an executable segment: decode cache is stale."""
+        self._decode_cache.clear()
 
     def _decode_entry(self, pc):
         blob = self.memory.fetch(pc, INSTRUCTION_SIZE)

@@ -124,3 +124,16 @@ class TestRegressionVerdict:
         floors = regression_floors()
         assert ("core", "instructions_per_s") in floors
         assert all(bench != "obs" for bench, _ in floors)
+
+    def test_committed_floors_include_superblock_bars(self):
+        # The sb/* floors are exact-keyed per kernel (never the bare
+        # suffix fallback) and pinned to the committed fast-loop rows.
+        from repro.obs.bench import _ensure_benchmarks_importable
+
+        _ensure_benchmarks_importable()
+        from benchmarks.bench_core import FAST_COMMITTED, SB_MIN_SPEEDUP
+
+        floors = regression_floors()
+        for name, committed in FAST_COMMITTED.items():
+            assert floors[("core", f"sb/{name}.instructions_per_s")] \
+                == SB_MIN_SPEEDUP * committed
